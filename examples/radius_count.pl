@@ -1,0 +1,53 @@
+// A PipeLang program compiled from disk with the knn application's data
+// source:
+//
+//   dune exec bin/cgppc.exe -- plan --app knn --file examples/radius_count.pl
+//   dune exec bin/cgppc.exe -- run  --app knn --file examples/radius_count.pl -c 2-2-1
+//
+// It reuses read_points(p) (36000 synthetic 3-d points in 12 packets)
+// but answers a different query: how many points fall within a fixed
+// radius of the query point, and what is their centroid?  The count and
+// coordinate sums form the reduction; the compiler places the distance
+// test on the data host, so only three numbers per packet cross the
+// network.
+
+class Pt {
+  float x;
+  float y;
+  float z;
+}
+
+class Ball implements Reducinterface {
+  int n;
+  float sx;
+  float sy;
+  float sz;
+  void merge(Ball other) {
+    this.n = this.n + other.n;
+    this.sx = this.sx + other.sx;
+    this.sy = this.sy + other.sy;
+    this.sz = this.sz + other.sz;
+  }
+}
+
+Ball result = new Ball();
+
+pipelined (p in [0 : runtime_define num_packets]) {
+  List<Pt> pts = read_points(p);
+  float qx = float_of_int(runtime_define qx_milli) / 1000.0;
+  float qy = float_of_int(runtime_define qy_milli) / 1000.0;
+  float qz = float_of_int(runtime_define qz_milli) / 1000.0;
+  Ball local = new Ball();
+  foreach (q in pts) {
+    float dx = q.x - qx;
+    float dy = q.y - qy;
+    float dz = q.z - qz;
+    if (dx * dx + dy * dy + dz * dz < 0.01) {
+      local.n += 1;
+      local.sx += q.x;
+      local.sy += q.y;
+      local.sz += q.z;
+    }
+  }
+  result.merge(local);
+}
