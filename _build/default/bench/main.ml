@@ -1,0 +1,480 @@
+(* Benchmark harness: regenerates every result figure of the paper's
+   evaluation (§6, Figures 5-12) plus three ablations, on the simulated
+   cluster.  Run `dune exec bench/main.exe` for everything, or pass a
+   subset of targets:
+
+     fig5 fig6    isosurface z-buffer, small / large dataset
+     fig7 fig8    isosurface active pixels, small / large dataset
+     fig9 fig10   k-nearest neighbours, k = 3 / k = 200
+     fig11 fig12  virtual microscope, small / large query
+     ablation_dp       decomposition algorithms (Fig. 3 DP, bottleneck
+                       search, brute force) on the real app profiles
+     ablation_packing  instance-wise vs field-wise buffer layouts (§5)
+     ablation_packet   packet-size sweep (§8 future work)
+     micro             Bechamel micro-benchmarks of the compiler itself
+
+   Absolute times are simulated seconds on the substitute cluster and are
+   not meant to match the paper's testbed; the comparisons (who wins, by
+   how much, how speedups scale with pipeline width) are the result. *)
+
+open Core
+module H = Apps.Harness
+
+let cluster = H.default_cluster
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let print_header title columns =
+  Fmt.pr "@.== %s ==@." title;
+  Fmt.pr "%-8s" "config";
+  List.iter (fun c -> Fmt.pr " %14s" c) columns;
+  Fmt.pr "@."
+
+let print_row label cells =
+  Fmt.pr "%-8s" label;
+  List.iter (fun c -> Fmt.pr " %14s" c) cells;
+  Fmt.pr "@."
+
+let pct_faster ~default ~decomp = (default -. decomp) /. decomp *. 100.0
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5-8: isosurface (Default vs Decomp, 3 configurations)        *)
+(* ------------------------------------------------------------------ *)
+
+let iso_figure ~title ~variant cfg =
+  print_header title [ "Default(s)"; "Decomp(s)"; "improv(%)"; "speedup(D)" ];
+  let base = ref 0.0 in
+  List.iter
+    (fun (label, widths) ->
+      let app = H.iso_app ~variant cfg in
+      let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
+      let t_dec, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
+      if label = "1-1-1" then base := t_dec;
+      print_row label
+        [
+          Fmt.str "%.4f" t_def;
+          Fmt.str "%.4f" t_dec;
+          Fmt.str "%.1f" (pct_faster ~default:t_def ~decomp:t_dec);
+          Fmt.str "%.2f" (!base /. t_dec);
+        ])
+    H.configurations
+
+let fig5 () =
+  iso_figure ~title:"Figure 5: z-buffer, small dataset" ~variant:`Zbuffer
+    Apps.Isosurface.small
+
+let fig6 () =
+  iso_figure ~title:"Figure 6: z-buffer, large dataset" ~variant:`Zbuffer
+    Apps.Isosurface.large
+
+let fig7 () =
+  iso_figure ~title:"Figure 7: active pixels, small dataset" ~variant:`Apix
+    Apps.Isosurface.small
+
+let fig8 () =
+  iso_figure ~title:"Figure 8: active pixels, large dataset" ~variant:`Apix
+    Apps.Isosurface.large
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9-10: knn (Default / Decomp-Comp / Decomp-Manual)            *)
+(* ------------------------------------------------------------------ *)
+
+let knn_figure ~title cfg =
+  print_header title
+    [ "Default(s)"; "Comp(s)"; "Manual(s)"; "improv(%)"; "comp/man" ];
+  let app = H.knn_app cfg in
+  List.iter
+    (fun (label, widths) ->
+      let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
+      let t_cmp, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
+      let topo, _ =
+        Apps.Knn.manual_topology cfg ~widths
+          ~powers:(H.node_powers cluster widths)
+          ~bandwidths:(Array.make 2 cluster.H.bandwidth)
+          ~latency:cluster.H.latency ()
+      in
+      let t_man = (Datacutter.Sim_runtime.run topo).Datacutter.Sim_runtime.makespan in
+      print_row label
+        [
+          Fmt.str "%.4f" t_def;
+          Fmt.str "%.4f" t_cmp;
+          Fmt.str "%.4f" t_man;
+          Fmt.str "%.1f" (pct_faster ~default:t_def ~decomp:t_cmp);
+          Fmt.str "%.2f" (t_cmp /. t_man);
+        ])
+    H.configurations
+
+let fig9 () = knn_figure ~title:"Figure 9: knn, k = 3" (Apps.Knn.with_k 3)
+let fig10 () = knn_figure ~title:"Figure 10: knn, k = 200" (Apps.Knn.with_k 200)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11-12: virtual microscope                                    *)
+(* ------------------------------------------------------------------ *)
+
+let vmscope_figure ~title cfg =
+  print_header title
+    [ "Default(s)"; "Comp(s)"; "Manual(s)"; "improv(%)"; "comp/man" ];
+  let app = H.vmscope_app cfg in
+  List.iter
+    (fun (label, widths) ->
+      let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
+      let t_cmp, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
+      let topo, _ =
+        Apps.Vmscope.manual_topology cfg ~widths
+          ~powers:(H.node_powers cluster widths)
+          ~bandwidths:(Array.make 2 cluster.H.bandwidth)
+          ~latency:cluster.H.latency ()
+      in
+      let t_man = (Datacutter.Sim_runtime.run topo).Datacutter.Sim_runtime.makespan in
+      print_row label
+        [
+          Fmt.str "%.4f" t_def;
+          Fmt.str "%.4f" t_cmp;
+          Fmt.str "%.4f" t_man;
+          Fmt.str "%.1f" (pct_faster ~default:t_def ~decomp:t_cmp);
+          Fmt.str "%.2f" (t_cmp /. t_man);
+        ])
+    H.configurations
+
+let fig11 () =
+  vmscope_figure ~title:"Figure 11: vmscope, small query" Apps.Vmscope.small_query
+
+let fig12 () =
+  vmscope_figure ~title:"Figure 12: vmscope, large query" Apps.Vmscope.large_query
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: decomposition algorithms (§4.4)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* wall-clock of [f] amortized over enough repetitions to be measurable *)
+let solve_time f =
+  let reps = 200 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let ablation_dp () =
+  print_header "Ablation: decomposition algorithms (width 1-1-1 profiles)"
+    [ "DP-lat(s)"; "bneck(s)"; "brute(s)"; "bneck=brute"; "tDP(us)"; "tbrute(us)" ];
+  let apps =
+    [
+      ("knn3", H.knn_app (Apps.Knn.with_k 3));
+      ("vms-L", H.vmscope_app Apps.Vmscope.large_query);
+      ("zbuf-S", H.iso_app ~variant:`Zbuffer Apps.Isosurface.small);
+      ("apix-S", H.iso_app ~variant:`Apix Apps.Isosurface.small);
+    ]
+  in
+  List.iter
+    (fun (label, app) ->
+      let c = H.compile ~cluster ~widths:[| 1; 1; 1 |] app in
+      let profile = c.Compile.profile.Profile.profile in
+      let cons = c.Compile.constraints in
+      let pipeline = c.Compile.pipeline in
+      let dp = Decompose.dp ~cons pipeline profile in
+      let bn = Decompose.bottleneck ~cons pipeline profile in
+      let bf = Decompose.brute_force ~cons ~objective:`Total pipeline profile in
+      let t_dp = solve_time (fun () -> Decompose.dp ~cons pipeline profile) in
+      let t_bf =
+        solve_time (fun () ->
+            Decompose.brute_force ~cons ~objective:`Total pipeline profile)
+      in
+      print_row label
+        [
+          Fmt.str "%.4f" dp.Decompose.total;
+          Fmt.str "%.4f" bn.Decompose.total;
+          Fmt.str "%.4f" bf.Decompose.total;
+          (if abs_float (bn.Decompose.total -. bf.Decompose.total) < 1e-9 then
+             "yes"
+           else "no");
+          Fmt.str "%.1f" (t_dp *. 1e6);
+          Fmt.str "%.1f" (t_bf *. 1e6);
+        ])
+    apps;
+  (* the asymptotic gap only shows at larger n and m *)
+  Fmt.pr "@.synthetic scaling (random profile):@.";
+  print_row "" [ "n+1"; "m"; ""; ""; "tDP(us)"; "tbrute(us)" ];
+  List.iter
+    (fun (n1, m) ->
+      let st = Random.State.make [| n1 * 31 + m |] in
+      let task = Array.init n1 (fun _ -> 1.0 +. Random.State.float st 100.0) in
+      let vol = Array.init n1 (fun _ -> Random.State.float st 200.0) in
+      let profile = { Costmodel.task; vol_out = vol; packets = 50 } in
+      let pipeline = Costmodel.uniform ~m ~power:100.0 ~bandwidth:100.0 () in
+      let t_dp = solve_time (fun () -> Decompose.dp pipeline profile) in
+      let t_bf =
+        solve_time (fun () ->
+            Decompose.brute_force ~objective:`Total pipeline profile)
+      in
+      print_row ""
+        [
+          string_of_int n1;
+          string_of_int m;
+          "";
+          "";
+          Fmt.str "%.1f" (t_dp *. 1e6);
+          Fmt.str "%.1f" (t_bf *. 1e6);
+        ])
+    [ (8, 4); (12, 5); (16, 6) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: packing layouts (§5)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The §5 scenario where the layouts differ: a middle filter consumes one
+   field of the stream and forwards eight others to the last filter.
+   With the automatic (or field-wise) layout the forwarded fields are
+   contiguous columns the middle filter can bulk-copy; forcing
+   instance-wise interleaves them with the consumed field and the middle
+   filter must gather element by element. *)
+let passthrough_source =
+  {|
+class T {
+  float a1;
+  float a2;
+  float b0; float b1; float b2; float b3;
+  float b4; float b5; float b6; float b7;
+}
+class R implements Reducinterface {
+  float x;
+  void merge(R other) { this.x = this.x + other.x; }
+}
+R acc1 = new R();
+R acc2 = new R();
+R acc3 = new R();
+pipelined (p in [0 : runtime_define num_packets]) {
+  List<T> ts = read_ts(p);
+  R m1 = new R();
+  foreach (t in ts) {
+    m1.x += t.a1 * t.a1;
+  }
+  acc1.merge(m1);
+  R m2 = new R();
+  foreach (t in ts) {
+    m2.x += t.a2 * t.a2;
+  }
+  acc2.merge(m2);
+  R m3 = new R();
+  foreach (t in ts) {
+    m3.x += t.b0 + t.b1 + t.b2 + t.b3 + t.b4 + t.b5 + t.b6 + t.b7;
+  }
+  acc3.merge(m3);
+}
+|}
+
+let passthrough_app : H.app =
+  let module V = Lang.Value in
+  let read_ts : string * Lang.Interp.extern_fn =
+    ( "read_ts",
+      fun ctx args ->
+        let p = V.as_int (List.hd args) in
+        let vec = V.Vec.create () in
+        for i = 0 to 1999 do
+          let fields = Hashtbl.create 10 in
+          let base = Apps.Prng.hash_float 11 ((p * 2000) + i) in
+          Hashtbl.replace fields "a1" (V.Vfloat base);
+          Hashtbl.replace fields "a2" (V.Vfloat (base *. 0.5));
+          for b = 0 to 7 do
+            Hashtbl.replace fields
+              (Printf.sprintf "b%d" b)
+              (V.Vfloat (base +. float_of_int b))
+          done;
+          V.Vec.push vec (V.Vobject { V.ocls = "T"; V.ofields = fields })
+        done;
+        ctx.Lang.Interp.counter.Lang.Opcount.mem_ops <-
+          ctx.Lang.Interp.counter.Lang.Opcount.mem_ops + (2000 * 18);
+        V.Vlist vec )
+  in
+  {
+    H.name = "passthrough";
+    source = passthrough_source;
+    externs_sig =
+      [
+        Lang.Typecheck.
+          {
+            ex_name = "read_ts";
+            ex_params = [ Lang.Ast.Tint ];
+            ex_ret = Lang.Ast.Tlist (Lang.Ast.Tclass "T");
+          };
+      ];
+    externs = [ read_ts ];
+    runtime_defs = [];
+    num_packets = 16;
+    source_externs = [ "read_ts" ];
+  }
+
+(* fixed 4-unit decomposition: read | consume a1 | consume a2 (b*
+   columns pass through) | consume b* *)
+let passthrough_assignment = [| 1; 2; 2; 3; 3; 4; 4 |]
+
+let ablation_packing () =
+  print_header "Ablation: buffer layouts (1-1-1)"
+    [ "auto(s)"; "instance(s)"; "fieldwise(s)" ];
+  (* marshalling is a CPU cost: measure the passthrough program on a
+     fast network so the link does not mask it *)
+  let fast = { cluster with H.bandwidth = 2e7 } in
+  let apps =
+    [
+      ("passthru", passthrough_app, Compile.Fixed passthrough_assignment, fast);
+      ("knn200", H.knn_app (Apps.Knn.with_k 200), Compile.Decomp, cluster);
+      ("vms-L", H.vmscope_app Apps.Vmscope.large_query, Compile.Decomp, cluster);
+      ("zbuf-S", H.iso_app ~variant:`Zbuffer Apps.Isosurface.small, Compile.Decomp, cluster);
+    ]
+  in
+  List.iter
+    (fun (label, app, strategy, cluster) ->
+      let widths =
+        match strategy with
+        | Compile.Fixed a -> Array.make (Array.fold_left max 1 a) 1
+        | _ -> [| 1; 1; 1 |]
+      in
+      let run mode =
+        let t, _, _, _ = H.run_cell ~cluster ~strategy ~layout_mode:mode ~widths app in
+        t
+      in
+      print_row label
+        [
+          Fmt.str "%.4f" (run `Auto);
+          Fmt.str "%.4f" (run `All_instance);
+          Fmt.str "%.4f" (run `All_fieldwise);
+        ])
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: packet count (§8 "automatically choosing the packet size") *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_packet () =
+  print_header "Ablation: knn k=3 packet-count sweep (2-2-1, Decomp)"
+    [ "packets"; "makespan(s)" ];
+  List.iter
+    (fun packets ->
+      let cfg = { (Apps.Knn.with_k 3) with Apps.Knn.num_packets = packets } in
+      let app = H.knn_app cfg in
+      let t, _, _, _ =
+        H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 2; 2; 1 |] app
+      in
+      print_row "" [ string_of_int packets; Fmt.str "%.4f" t ])
+    [ 4; 8; 16; 24; 48; 96 ]
+
+(* ------------------------------------------------------------------ *)
+(* Real multicore execution (OCaml 5 domains)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The figures above run on the simulated cluster; this target executes
+   the same generated filters on real domains and reports wall-clock
+   speedups — evidence the runtime substrate genuinely overlaps the
+   pipeline stages.  Times include interpreter execution, so absolute
+   values are much larger than simulated seconds. *)
+let parallel () =
+  print_header "Real domains: wall-clock (knn k=3, Decomp)"
+    [ "width"; "wall(s)"; "speedup" ];
+  let cores =
+    try Domain.recommended_domain_count () with _ -> 1
+  in
+  if cores < 4 then
+    Fmt.pr
+      "  note: this host reports %d core(s); filter copies time-share, so@.      \  wall-clock speedup cannot appear here (run on a multicore host).@."
+      cores;
+  let app = H.knn_app (Apps.Knn.with_k 3) in
+  let base = ref 0.0 in
+  List.iter
+    (fun (label, widths) ->
+      let c = H.compile ~cluster ~strategy:Compile.Decomp ~widths app in
+      let t =
+        (* best of 3 to smooth scheduler noise *)
+        List.init 3 (fun _ ->
+            (fst (Compile.run_parallel c ~widths ())).Datacutter.Par_runtime.wall_time)
+        |> List.fold_left min infinity
+      in
+      if label = "1-1-1" then base := t;
+      print_row "" [ label; Fmt.str "%.4f" t; Fmt.str "%.2f" (!base /. t) ])
+    H.configurations
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler itself                     *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let knn_prog = Lang.Parser.parse Apps.Knn.source in
+  let tests =
+    Test.make_grouped ~name:"compiler"
+      [
+        Test.make ~name:"parse+typecheck (isosurface)"
+          (Staged.stage (fun () ->
+               let p = Lang.Parser.parse Apps.Isosurface.zbuffer_source in
+               Lang.Typecheck.check ~externs:Apps.Isosurface.externs_sig p));
+        Test.make ~name:"gencons+reqcomm (knn)"
+          (Staged.stage (fun () ->
+               let segs =
+                 Boundary.segments_of_body
+                   knn_prog.Lang.Ast.pipeline.Lang.Ast.pd_body
+               in
+               ignore (Reqcomm.analyze knn_prog segs)));
+        (let task = Array.init 64 (fun i -> float_of_int (i + 1)) in
+         let vol = Array.init 64 (fun i -> float_of_int ((i * 13 mod 50) + 1)) in
+         let profile = { Costmodel.task; vol_out = vol; packets = 100 } in
+         let pipeline = Costmodel.uniform ~m:8 ~power:100.0 ~bandwidth:100.0 () in
+         Test.make ~name:"Fig.3 DP (n=63, m=8)"
+           (Staged.stage (fun () -> ignore (Decompose.dp pipeline profile))));
+      ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  Fmt.pr "@.== Compiler micro-benchmarks ==@.";
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "%-44s %14.0f ns/run@." name est
+          | _ -> Fmt.pr "%-44s   (no estimate)@." name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("ablation_dp", ablation_dp);
+    ("ablation_packing", ablation_packing);
+    ("ablation_packet", ablation_packet);
+    ("parallel", parallel);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown target %s; available: %s@." name
+            (String.concat " " (List.map fst targets));
+          exit 1)
+    requested

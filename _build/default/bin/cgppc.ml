@@ -1,0 +1,280 @@
+(* cgppc — the coarse-grained pipelined-parallelism compiler driver.
+
+   Subcommands:
+     inspect   parse/typecheck one of the bundled applications (or a
+               PipeLang file) and print its candidate filter boundaries,
+               Gen/Cons sets and ReqComm sets;
+     plan      run the full compilation pipeline and print the chosen
+               decomposition, per-segment placement and predictions;
+     run       compile and execute on the simulated cluster (or on real
+               domains with --parallel), reporting metrics and results.
+
+   The bundled applications (--app) are the paper's four benchmarks:
+   zbuffer, apix, knn, vmscope.  Arbitrary PipeLang files can be compiled
+   with --file, but since data sources are host functions, files may only
+   use the builtins plus the extern of the selected --app.              *)
+
+open Core
+module H = Apps.Harness
+
+type app_choice = Zbuffer | Apix | Knn | Vmscope | Kmeans
+
+let app_of_choice = function
+  | Zbuffer -> H.iso_app ~variant:`Zbuffer Apps.Isosurface.small
+  | Apix -> H.iso_app ~variant:`Apix Apps.Isosurface.small
+  | Knn -> H.knn_app Apps.Knn.base_config
+  | Vmscope -> H.vmscope_app Apps.Vmscope.large_query
+  | Kmeans ->
+      let cfg = Apps.Kmeans.base in
+      {
+        H.name = "kmeans";
+        source = Apps.Kmeans.source;
+        externs_sig = Apps.Kmeans.externs_sig;
+        externs = Apps.Kmeans.externs cfg (Apps.Kmeans.initial_centroids cfg);
+        runtime_defs = Apps.Kmeans.runtime_defs cfg;
+        num_packets = cfg.Apps.Kmeans.num_packets;
+        source_externs = Apps.Kmeans.source_externs;
+      }
+
+let app_conv =
+  Cmdliner.Arg.enum
+    [
+      ("zbuffer", Zbuffer);
+      ("apix", Apix);
+      ("knn", Knn);
+      ("vmscope", Vmscope);
+      ("kmeans", Kmeans);
+    ]
+
+let load ~file ~app =
+  let base = app_of_choice app in
+  match file with
+  | None -> base
+  | Some path ->
+      let ic = open_in path in
+      let source =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      { base with H.name = Filename.basename path; H.source }
+
+(* --cluster "node_power,view_power,bandwidth,latency" *)
+let cluster_of_spec = function
+  | None -> H.default_cluster
+  | Some spec -> (
+      match String.split_on_char ',' spec |> List.map float_of_string with
+      | [ node_power; view_power; bandwidth; latency ] ->
+          { H.node_power; view_power; bandwidth; latency }
+      | _ | (exception _) ->
+          invalid_arg
+            (Printf.sprintf
+               "bad cluster spec %S (want node_power,view_power,bandwidth,latency)"
+               spec))
+
+let widths_of_config = function
+  | "1-1-1" -> [| 1; 1; 1 |]
+  | "2-2-1" -> [| 2; 2; 1 |]
+  | "4-4-1" -> [| 4; 4; 1 |]
+  | s -> (
+      try
+        String.split_on_char '-' s |> List.map int_of_string |> Array.of_list
+      with _ -> invalid_arg (Printf.sprintf "bad configuration %S" s))
+
+(* --- inspect --- *)
+
+let inspect file app =
+  let a = load ~file ~app in
+  let prog = Compile.front_end ~file:a.H.name ~externs_sig:a.H.externs_sig a.H.source in
+  let segments = Boundary.segments_of_body prog.Lang.Ast.pipeline.Lang.Ast.pd_body in
+  let rc = Reqcomm.analyze prog segments in
+  Fmt.pr "program %s: %d classes, %d functions, %d globals@." a.H.name
+    (List.length prog.Lang.Ast.classes)
+    (List.length prog.Lang.Ast.funcs)
+    (List.length prog.Lang.Ast.globals);
+  Fmt.pr "%d atomic filters, %d candidate boundaries@.@." (List.length segments)
+    (Boundary.boundary_count segments);
+  Fmt.pr "%a@." Reqcomm.pp rc;
+  `Ok ()
+
+(* --- plan --- *)
+
+let strategy_conv =
+  Cmdliner.Arg.enum
+    [ ("decomp", Compile.Decomp); ("default", Compile.Default) ]
+
+let plan file app config strategy cluster_spec =
+  let a = load ~file ~app in
+  let widths = widths_of_config config in
+  let cluster = cluster_of_spec cluster_spec in
+  let c = H.compile ~cluster ~strategy ~widths a in
+  Fmt.pr "application %s, configuration %s, strategy %s@.@." a.H.name config
+    (match strategy with
+    | Compile.Decomp -> "compiler decomposition"
+    | Compile.Default -> "default (forward everything)"
+    | Compile.Fixed _ -> "fixed");
+  Fmt.pr "%a@." Compile.pp_summary c;
+  List.iteri
+    (fun i t ->
+      Fmt.pr "  segment %d: %.0f weighted ops/packet, emits %.0f bytes@." i t
+        c.Compile.profile.Profile.profile.Costmodel.vol_out.(i))
+    (Array.to_list c.Compile.profile.Profile.profile.Costmodel.task);
+  let best, scored = Compile.suggest_packet_count c () in
+  Fmt.pr "@.packet-size sweep (predicted total):@.";
+  List.iter (fun (n, t) -> Fmt.pr "  %4d packets: %.4fs@." n t) scored;
+  Fmt.pr "suggested packet count: %d (currently %d)@." best
+    a.H.num_packets;
+  `Ok ()
+
+(* --- emit --- *)
+
+let emit file app config strategy cluster_spec =
+  let a = load ~file ~app in
+  let widths = widths_of_config config in
+  let cluster = cluster_of_spec cluster_spec in
+  let c = H.compile ~cluster ~strategy ~widths a in
+  print_string (Emit.emit_plan c.Compile.plan);
+  `Ok ()
+
+(* --- run --- *)
+
+let run file app config strategy parallel cluster_spec =
+  let a = load ~file ~app in
+  let widths = widths_of_config config in
+  let cluster = cluster_of_spec cluster_spec in
+  if parallel then begin
+    let c = H.compile ~cluster ~strategy ~widths a in
+    let topo, results =
+      Codegen.build_topology c.Compile.plan ~widths
+        ~powers:(H.node_powers cluster widths)
+        ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
+        ~latency:cluster.H.latency ()
+    in
+    let m = Datacutter.Par_runtime.run topo in
+    Fmt.pr "parallel run (%d domains): wall time %.4fs@."
+      (Array.fold_left ( + ) 0 widths)
+      m.Datacutter.Par_runtime.wall_time;
+    List.iter
+      (fun (name, v) -> Fmt.pr "  %s = %s@." name (Lang.Value.to_string v))
+      (results ())
+  end
+  else begin
+    let t, bytes, results, c = H.run_cell ~cluster ~strategy ~widths a in
+    Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@." t bytes;
+    Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
+    List.iter
+      (fun (name, v) ->
+        let s = Lang.Value.to_string v in
+        let s = if String.length s > 200 then String.sub s 0 200 ^ "..." else s in
+        Fmt.pr "  %s = %s@." name s)
+      results
+  end;
+  `Ok ()
+
+(* --- command line --- *)
+
+open Cmdliner
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Log the compiler's phases to stderr.")
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Compile a PipeLang source file.")
+
+let app_arg =
+  Arg.(
+    value & opt app_conv Knn
+    & info [ "app"; "a" ] ~docv:"APP"
+        ~doc:"Bundled application: zbuffer, apix, knn, vmscope or kmeans.")
+
+let config_arg =
+  Arg.(
+    value & opt string "1-1-1"
+    & info [ "config"; "c" ] ~docv:"CONFIG"
+        ~doc:"Pipeline configuration, e.g. 1-1-1, 2-2-1 or 4-4-1.")
+
+let strategy_arg =
+  Arg.(
+    value & opt strategy_conv Compile.Decomp
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"Decomposition strategy: decomp or default.")
+
+let cluster_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cluster" ]
+        ~docv:"NODE_POWER,VIEW_POWER,BANDWIDTH,LATENCY"
+        ~doc:
+          "Cluster description: per-node weighted ops/s, view-desktop \
+           ops/s, link bytes/s, per-buffer latency seconds.")
+
+let parallel_arg =
+  Arg.(
+    value & flag
+    & info [ "parallel"; "p" ]
+        ~doc:"Execute on real domains instead of the simulated cluster.")
+
+(* Run a command body with logging configured and every user-facing
+   error rendered cleanly (cmdliner would otherwise report raised
+   exceptions as internal errors). *)
+let with_logs f =
+  Term.(
+    const (fun v x ->
+        setup_logs v;
+        match f x with
+        | r -> r
+        | exception Lang.Srcloc.Error (loc, msg) ->
+            `Error (false, Fmt.str "%a: %s" Lang.Srcloc.pp loc msg)
+        | exception Lang.Value.Runtime_error msg ->
+            `Error (false, "runtime error: " ^ msg)
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | exception Sys_error msg -> `Error (false, msg))
+    $ verbose_arg)
+
+let inspect_cmd =
+  Cmd.v (Cmd.info "inspect" ~doc:"Print boundaries, Gen/Cons and ReqComm sets")
+    Term.(ret (with_logs (fun (f, a) -> inspect f a) $ (const (fun f a -> (f, a)) $ file_arg $ app_arg)))
+
+let plan_cmd =
+  Cmd.v (Cmd.info "plan" ~doc:"Print the chosen filter decomposition")
+    Term.(
+      ret
+        (with_logs (fun (f, a, c, s, cl) -> plan f a c s cl)
+        $ (const (fun f a c s cl -> (f, a, c, s, cl))
+          $ file_arg $ app_arg $ config_arg $ strategy_arg $ cluster_arg)))
+
+let emit_cmd =
+  Cmd.v (Cmd.info "emit" ~doc:"Print the generated filter code")
+    Term.(
+      ret
+        (with_logs (fun (f, a, c, s, cl) -> emit f a c s cl)
+        $ (const (fun f a c s cl -> (f, a, c, s, cl))
+          $ file_arg $ app_arg $ config_arg $ strategy_arg $ cluster_arg)))
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute the pipeline")
+    Term.(
+      ret
+        (with_logs (fun (f, a, c, s, p, cl) -> run f a c s p cl)
+        $ (const (fun f a c s p cl -> (f, a, c, s, p, cl))
+          $ file_arg $ app_arg $ config_arg $ strategy_arg $ parallel_arg
+          $ cluster_arg)))
+
+let main =
+  Cmd.group
+    (Cmd.info "cgppc" ~version:"1.0.0"
+       ~doc:"compiler for coarse-grained pipelined parallelism")
+    [ inspect_cmd; plan_cmd; emit_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

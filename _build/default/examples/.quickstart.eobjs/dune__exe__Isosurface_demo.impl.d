@@ -1,0 +1,1 @@
+examples/isosurface_demo.ml: Apps Array Boundary Buffer Compile Core Costmodel Fmt List

@@ -1,0 +1,1 @@
+examples/isosurface_demo.mli:

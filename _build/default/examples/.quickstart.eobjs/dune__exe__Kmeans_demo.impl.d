@@ -1,0 +1,1 @@
+examples/kmeans_demo.ml: Apps Array Compile Core Costmodel Datacutter Fmt List

@@ -1,0 +1,1 @@
+examples/knn_demo.ml: Apps Array Boundary Compile Core Fmt List

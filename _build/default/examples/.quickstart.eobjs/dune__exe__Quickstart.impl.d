@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apps Array Compile Core Costmodel Datacutter Fmt Hashtbl Lang List String

@@ -1,0 +1,1 @@
+examples/vmscope_demo.ml: Apps Array Buffer Compile Core Costmodel Fmt List String

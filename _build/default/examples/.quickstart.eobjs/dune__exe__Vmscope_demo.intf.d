@@ -1,0 +1,1 @@
+examples/vmscope_demo.mli:

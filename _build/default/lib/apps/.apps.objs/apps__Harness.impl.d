@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Array Codegen Compile Core Costmodel Datacutter Interp Isosurface Knn Lang List Typecheck Vmscope

@@ -1,0 +1,1 @@
+lib/apps/harness.mli: Compile Core Costmodel Interp Isosurface Knn Lang Packing Typecheck Value Vmscope

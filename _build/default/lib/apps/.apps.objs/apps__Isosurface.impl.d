@@ -1,0 +1,1 @@
+lib/apps/isosurface.ml: Array Ast Hashtbl Interp Lang List Opcount Prng Typecheck Value

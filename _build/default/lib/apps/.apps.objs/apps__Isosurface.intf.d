@@ -1,0 +1,1 @@
+lib/apps/isosurface.mli: Interp Lang Typecheck Value

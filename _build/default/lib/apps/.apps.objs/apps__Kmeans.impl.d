@@ -1,0 +1,1 @@
+lib/apps/kmeans.ml: Array Ast Float Hashtbl Interp Lang List Opcount Prng Typecheck Value

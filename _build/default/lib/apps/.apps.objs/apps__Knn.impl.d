@@ -1,0 +1,1 @@
+lib/apps/knn.ml: Array Ast Buffer Bytes Core Datacutter Filter Hashtbl Interp Lang List Opcount Printf Prng Topology Typecheck Value

@@ -1,0 +1,1 @@
+lib/apps/knn.mli: Bytes Datacutter Interp Lang Topology Typecheck Value

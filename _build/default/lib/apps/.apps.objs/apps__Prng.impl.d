@@ -1,0 +1,1 @@
+lib/apps/prng.ml: Int64

@@ -1,0 +1,1 @@
+lib/apps/vmscope.ml: Array Ast Buffer Core Datacutter Filter Hashtbl Interp Lang List Opcount Printf Prng Topology Typecheck Value

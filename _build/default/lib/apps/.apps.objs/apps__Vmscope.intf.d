@@ -1,0 +1,1 @@
+lib/apps/vmscope.mli: Datacutter Interp Lang Topology Typecheck Value

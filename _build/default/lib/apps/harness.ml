@@ -1,0 +1,131 @@
+(* Shared experiment harness: uniform app descriptors, cluster
+   configurations matching the paper's 1-1-1 / 2-2-1 / 4-4-1 setups, and
+   helpers to compile and run one (application, version, configuration)
+   cell of an evaluation table. *)
+
+open Lang
+open Core
+
+type app = {
+  name : string;
+  source : string;
+  externs_sig : Typecheck.extern_sig list;
+  externs : (string * Interp.extern_fn) list;
+  runtime_defs : (string * int) list;
+  num_packets : int;
+  source_externs : string list;
+}
+
+let knn_app ?(name = "knn") (cfg : Knn.config) =
+  {
+    name;
+    source = Knn.source;
+    externs_sig = Knn.externs_sig;
+    externs = Knn.externs cfg;
+    runtime_defs = Knn.runtime_defs cfg;
+    num_packets = cfg.Knn.num_packets;
+    source_externs = Knn.source_externs;
+  }
+
+let vmscope_app ?(name = "vmscope") (cfg : Vmscope.config) =
+  {
+    name;
+    source = Vmscope.source;
+    externs_sig = Vmscope.externs_sig;
+    externs = Vmscope.externs cfg;
+    runtime_defs = Vmscope.runtime_defs cfg;
+    num_packets = cfg.Vmscope.num_packets;
+    source_externs = Vmscope.source_externs;
+  }
+
+let iso_app ?(name = "isosurface") ~variant (cfg : Isosurface.config) =
+  {
+    name;
+    source =
+      (match variant with
+      | `Zbuffer -> Isosurface.zbuffer_source
+      | `Apix -> Isosurface.apix_source);
+    externs_sig = Isosurface.externs_sig;
+    externs = Isosurface.externs cfg;
+    runtime_defs = Isosurface.runtime_defs cfg;
+    num_packets = cfg.Isosurface.num_packets;
+    source_externs = Isosurface.source_externs;
+  }
+
+(* The simulated cluster (substituting the paper's 700 MHz Pentium nodes
+   on Myrinet).  One knob set for all experiments:
+   - [node_power]: weighted interpreter operations per second of a data
+     or compute node;
+   - [view_power]: the user's desktop, where results are viewed;
+   - [bandwidth]: link byte rate (scaled with the synthetic datasets);
+   - [latency]: per-buffer latency. *)
+type cluster = {
+  node_power : float;
+  view_power : float;
+  bandwidth : float;
+  latency : float;
+}
+
+let default_cluster =
+  {
+    node_power = 2e6;
+    view_power = 1e6;
+    bandwidth = 5e5;
+    latency = 0.0002;
+  }
+
+(* The chain pipeline the compiler plans against for a given stage-width
+   configuration.  Stage widths multiply the unit's aggregate power: the
+   decomposition is environment-dependent, as §1 of the paper requires
+   ("the decomposition decisions are dependent on the environment"). *)
+let pipeline_for cluster (widths : int array) =
+  let m = Array.length widths in
+  let powers =
+    Array.init m (fun i ->
+        let base = if i = m - 1 then cluster.view_power else cluster.node_power in
+        base *. float_of_int widths.(i))
+  in
+  let bandwidths = Array.make (m - 1) cluster.bandwidth in
+  Costmodel.make_pipeline ~powers ~bandwidths ~latency:cluster.latency ()
+
+(* Node powers as the runtime wants them (per copy, not aggregated). *)
+let node_powers cluster (widths : int array) =
+  let m = Array.length widths in
+  Array.init m (fun i -> if i = m - 1 then cluster.view_power else cluster.node_power)
+
+(* The paper's three configurations. *)
+let configurations = [ ("1-1-1", [| 1; 1; 1 |]); ("2-2-1", [| 2; 2; 1 |]); ("4-4-1", [| 4; 4; 1 |]) ]
+
+(* Profiling samples: a few packets spread across the run, so queries
+   that touch only part of the data (vmscope's small query) still see a
+   representative mix of empty and full packets. *)
+let profile_samples app =
+  let n = app.num_packets in
+  List.sort_uniq compare [ 0; n / 4; n / 2; 3 * n / 4 ]
+  |> List.filter (fun p -> p < n)
+
+let compile ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
+    ?(layout_mode = `Auto) ~(widths : int array) (app : app) : Compile.t =
+  Compile.compile ~file:app.name ~source:app.source ~externs_sig:app.externs_sig
+    ~externs:app.externs ~runtime_defs:app.runtime_defs
+    ~pipeline:(pipeline_for cluster widths) ~num_packets:app.num_packets
+    ~source_externs:app.source_externs ~strategy ~layout_mode
+    ~samples:(profile_samples app)
+    ~final_copies:(Array.fold_left max 1 widths) ()
+
+(* Run one cell: compile for the configuration, execute on the simulated
+   cluster, return (makespan seconds, total bytes moved, results). *)
+let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
+    ?(layout_mode = `Auto) ~(widths : int array) (app : app) =
+  let c = compile ~cluster ~strategy ~layout_mode ~widths app in
+  let powers = node_powers cluster widths in
+  let bandwidths = Array.make (Array.length widths - 1) cluster.bandwidth in
+  let topo, results =
+    Codegen.build_topology c.Compile.plan ~widths ~powers ~bandwidths
+      ~latency:cluster.latency ()
+  in
+  let metrics = Datacutter.Sim_runtime.run topo in
+  ( metrics.Datacutter.Sim_runtime.makespan,
+    Datacutter.Sim_runtime.total_bytes metrics,
+    results (),
+    c )

@@ -1,0 +1,71 @@
+(** Shared experiment harness: uniform app descriptors, the calibrated
+    cluster, the paper's pipeline configurations, and helpers to compile
+    and run one (application, version, configuration) cell of an
+    evaluation table. *)
+
+open Lang
+open Core
+
+(** Everything needed to compile and run one application. *)
+type app = {
+  name : string;
+  source : string;
+  externs_sig : Typecheck.extern_sig list;
+  externs : (string * Interp.extern_fn) list;
+  runtime_defs : (string * int) list;
+  num_packets : int;
+  source_externs : string list;
+}
+
+val knn_app : ?name:string -> Knn.config -> app
+val vmscope_app : ?name:string -> Vmscope.config -> app
+val iso_app :
+  ?name:string -> variant:[ `Zbuffer | `Apix ] -> Isosurface.config -> app
+
+(** The simulated cluster (substitute for the paper's 700 MHz Pentium
+    nodes on Myrinet): node and view-desktop powers in weighted
+    operations per second, link bandwidth in bytes per second, per-buffer
+    latency. *)
+type cluster = {
+  node_power : float;
+  view_power : float;
+  bandwidth : float;
+  latency : float;
+}
+
+(** The calibration used by every experiment (see EXPERIMENTS.md). *)
+val default_cluster : cluster
+
+(** The chain pipeline the compiler plans against for the given stage
+    widths: stage width multiplies the unit's aggregate power, since
+    decomposition decisions are environment-dependent (§1). *)
+val pipeline_for : cluster -> int array -> Costmodel.pipeline
+
+(** Node powers as the runtime wants them (per copy, not aggregated). *)
+val node_powers : cluster -> int array -> float array
+
+(** The paper's configurations: 1-1-1, 2-2-1, 4-4-1. *)
+val configurations : (string * int array) list
+
+(** Packets profiled at compile time: a few spread across the run, so
+    partial-coverage queries still see a representative mix. *)
+val profile_samples : app -> int list
+
+val compile :
+  ?cluster:cluster ->
+  ?strategy:Compile.strategy ->
+  ?layout_mode:Packing.mode ->
+  widths:int array ->
+  app ->
+  Compile.t
+
+(** Compile for the configuration and execute on the simulated cluster:
+    returns (makespan seconds, total bytes moved, sink results, the
+    compilation). *)
+val run_cell :
+  ?cluster:cluster ->
+  ?strategy:Compile.strategy ->
+  ?layout_mode:Packing.mode ->
+  widths:int array ->
+  app ->
+  float * float * (string * Value.t) list * Compile.t

@@ -1,0 +1,56 @@
+(** Isosurface rendering (§3, §6.3): the z-buffer and active-pixels
+    algorithms, written in PipeLang.
+
+    The dataset substitutes the paper's ParSSim grid dumps with a
+    synthetic scalar field (two rational blobs plus lattice noise,
+    seeded), so the cube test's selectivity is data-dependent like the
+    original.  A packet is a contiguous chunk of the cube enumeration. *)
+
+open Lang
+
+type config = {
+  grid_dim : int;       (** cubes per axis; corners are (dim+1)^3 *)
+  num_packets : int;
+  screen : int;         (** square viewing screen, pixels per side *)
+  iso_millis : int;     (** isovalue x 1000 *)
+  view_millideg : int;  (** viewing angle x 1000 (radians) *)
+  seed : int;
+}
+
+(** The paper's small dataset (scaled down ~1000x). *)
+val small : config
+
+(** 4x the small dataset, fixed packet size (more packets). *)
+val large : config
+
+(** Test-sized configuration. *)
+val tiny : config
+
+(** The synthetic scalar field at a lattice corner. *)
+val field : config -> int -> int -> int -> float
+
+val cube_count : config -> int
+val per_packet : config -> int
+
+(** The [read_cubes] data source (charges byte-bound read costs). *)
+val read_cubes_extern : config -> string * Interp.extern_fn
+
+val externs_sig : Typecheck.extern_sig list
+val externs : config -> (string * Interp.extern_fn) list
+val source_externs : string list
+val runtime_defs : config -> (string * int) list
+
+(** The z-buffer program (Figures 5-6). *)
+val zbuffer_source : string
+
+(** The active-pixels program (Figures 7-8): per-packet results are
+    compacted to a sparse idx-sorted pixel list before crossing any
+    boundary, so neither the stream nor the reduction state carries a
+    full z-buffer. *)
+val apix_source : string
+
+(** Extract (depth, color) arrays from a final ZBuffer value. *)
+val zbuffer_arrays : Value.t -> float array * float array
+
+(** Extract (idx, depth, shade) triples from a final APix value. *)
+val apix_pixels : Value.t -> (int * float * float) list

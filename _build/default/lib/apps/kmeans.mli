@@ -1,0 +1,52 @@
+(** k-means clustering: a fifth application beyond the paper's four,
+    demonstrating §2.1's claim that the generalized-reduction structure
+    covers clustering.  One pipelined pass is one k-means iteration; the
+    driver re-runs the same compiled pipeline with updated centroids
+    (run-time configuration read through an extern) until convergence. *)
+
+open Lang
+
+type config = {
+  n_points : int;
+  num_packets : int;
+  k : int;
+  seed : int;
+}
+
+val base : config
+val tiny : config
+
+(** The j-th true cluster center of the synthetic data. *)
+val true_center : config -> int -> float * float
+
+val point : config -> int -> float * float
+val per_packet : config -> int
+val packet_range : config -> int -> int * int
+
+(** The centroid table shared with the externs, mutated between rounds. *)
+type centroids = { cx : float array; cy : float array }
+
+val initial_centroids : config -> centroids
+
+val externs : config -> centroids -> (string * Interp.extern_fn) list
+val externs_sig : Typecheck.extern_sig list
+val source_externs : string list
+val runtime_defs : config -> (string * int) list
+
+(** The PipeLang program (one iteration per run). *)
+val source : string
+
+(** Extract (sx, sy, count) from a final Sums value. *)
+val sums_arrays : Value.t -> float array * float array * int array
+
+(** Move centroids to their cluster means (empty clusters stay put). *)
+val step_centroids : centroids -> float array * float array * int array -> unit
+
+(** Native single-round oracle against the same centroid table. *)
+val oracle : config -> centroids -> float array * float array * int array
+
+(** Run [rounds] iterations, invoking [run_round] for each pipelined pass
+    and updating [cents] in place; returns the last round's maximum
+    centroid movement. *)
+val iterate :
+  config -> centroids -> rounds:int -> run_round:(unit -> Value.t) -> float

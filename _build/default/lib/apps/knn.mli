@@ -1,0 +1,75 @@
+(** k-nearest-neighbor search (§6.4): the paper's data-mining kernel.
+
+    The dataset is a synthetic seeded 3-d point cloud (substituting the
+    paper's 108 MB / 4.5M point file, scaled down); each packet holds a
+    contiguous chunk of points.  Candidate sets are bounded max-heaps on
+    distance.  Besides the PipeLang program, the module provides a
+    hand-written DataCutter pipeline (Decomp-Manual) performing the same
+    decomposition. *)
+
+open Lang
+open Datacutter
+
+type config = {
+  n_points : int;
+  num_packets : int;
+  k : int;
+  query : float * float * float;
+  seed : int;
+}
+
+val base_config : config
+
+(** [base_config] with another k (the paper evaluates k = 3 and 200). *)
+val with_k : int -> config
+
+val tiny : config
+
+(** The i-th dataset point. *)
+val point : config -> int -> float * float * float
+
+val per_packet : config -> int
+val packet_range : config -> int -> int * int
+
+val read_points_extern : config -> string * Interp.extern_fn
+val externs_sig : Typecheck.extern_sig list
+val externs : config -> (string * Interp.extern_fn) list
+val source_externs : string list
+val runtime_defs : config -> (string * int) list
+
+(** The PipeLang program. *)
+val source : string
+
+(** The k nearest as a distance-sorted [(d2, x, y, z)] list (the order
+    inside the KNN arrays is merge-tree dependent; sorting makes results
+    comparable across runtimes). *)
+val knn_result : Value.t -> (float * float * float * float) list
+
+(** Exact k nearest by full scan (native oracle). *)
+val oracle : config -> (float * float * float * float) list
+
+(** Native candidate-set accumulator mirroring the PipeLang KNN class,
+    with explicitly charged operation costs. *)
+module Native_knn : sig
+  type t
+
+  val create : int -> t
+  val insert : t -> float -> float -> float -> float -> unit
+  val scan_point : t -> q:float * float * float -> float -> float -> float -> unit
+  val take_ops : t -> float
+  val pack : t -> Bytes.t
+  val merge_packed : t -> Bytes.t -> unit
+  val result : t -> (float * float * float * float) list
+end
+
+(** The Decomp-Manual pipeline: data hosts compute per-packet candidate
+    sets, the compute stage merges them into per-copy partials, the sink
+    merges the partials.  Returns the topology and a result accessor. *)
+val manual_topology :
+  config ->
+  widths:int array ->
+  powers:float array ->
+  bandwidths:float array ->
+  ?latency:float ->
+  unit ->
+  Topology.t * (unit -> (float * float * float * float) list)

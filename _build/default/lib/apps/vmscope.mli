@@ -1,0 +1,72 @@
+(** Virtual microscope (§6.5): interactive browsing of digitized slides.
+
+    A query selects a rectangular region of the slide at a subsampling
+    factor; processing clips each data chunk to the region, subsamples,
+    and the client assembles the output image.  The synthetic slide
+    substitutes the paper's microscopy data; the slide store is
+    row-indexed, so chunks outside the query are nearly free — which is
+    what makes small queries hard to load-balance across data nodes. *)
+
+open Lang
+open Datacutter
+
+type config = {
+  image_w : int;
+  image_h : int;
+  num_packets : int;
+  qx0 : int;  (** query region [qx0, qx1) x [qy0, qy1) *)
+  qy0 : int;
+  qx1 : int;
+  qy1 : int;
+  subsample : int;
+  seed : int;
+}
+
+(** Output image dimensions for a query. *)
+val out_dims : config -> int * int
+
+val base : config
+
+(** A 64x64 window: covers few chunks, poor load balance (Figure 11). *)
+val small_query : config
+
+(** Most of the slide at subsampling factor 4 (Figure 12). *)
+val large_query : config
+
+val tiny : config
+
+(** The slide's pixel at (x, y). *)
+val pixel : config -> int -> int -> float * float * float
+
+val rows_per_packet : config -> int
+val packet_rows : config -> int -> int * int
+
+(** The rows of packet [p] that overlap the query region. *)
+val query_rows : config -> int -> int * int
+
+val read_chunk_extern : config -> string * Interp.extern_fn
+val externs_sig : Typecheck.extern_sig list
+val externs : config -> (string * Interp.extern_fn) list
+val source_externs : string list
+val runtime_defs : config -> (string * int) list
+
+(** The PipeLang program. *)
+val source : string
+
+(** Extract the (r, g, b) planes of a final Img value. *)
+val image_arrays : Value.t -> float array * float array * float array
+
+(** Directly computed output image (native oracle). *)
+val oracle : config -> float array * float array * float array
+
+(** The Decomp-Manual pipeline: the data host strides over the chunk
+    (instead of testing a conditional per pixel, the §6.5 difference),
+    the middle stage forwards, the sink assembles. *)
+val manual_topology :
+  config ->
+  widths:int array ->
+  powers:float array ->
+  bandwidths:float array ->
+  ?latency:float ->
+  unit ->
+  Topology.t * (unit -> float array * float array * float array)

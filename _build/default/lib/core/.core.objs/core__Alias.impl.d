@@ -1,0 +1,1 @@
+lib/core/alias.ml: Ast Lang List Map Option String

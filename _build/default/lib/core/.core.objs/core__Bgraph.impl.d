@@ -1,0 +1,1 @@
+lib/core/bgraph.ml: Array Ast Boundary Fmt Gencons Lang List Queue Varset

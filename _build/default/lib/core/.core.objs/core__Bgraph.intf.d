@@ -1,0 +1,1 @@
+lib/core/bgraph.mli: Ast Format Lang Varset

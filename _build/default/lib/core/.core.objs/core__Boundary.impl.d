@@ -1,0 +1,1 @@
+lib/core/boundary.ml: Array Ast Fmt Lang List Pretty Printf Set String Typecheck

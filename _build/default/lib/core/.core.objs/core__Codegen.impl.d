@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Ast Boundary Bytes Costmodel Datacutter Filter Hashtbl Interp Lang List Objpack Opcount Packing Printf Reqcomm Set String Topology Tyenv Value Varset

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Ast Boundary Costmodel Datacutter Filter Interp Lang Packing Reqcomm Set String Topology Tyenv Value

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Ast Boundary Codegen Costmodel Datacutter Decompose Format Interp Lang Packing Par_runtime Profile Reqcomm Sim_runtime Tyenv Typecheck Value

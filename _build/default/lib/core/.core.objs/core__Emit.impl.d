@@ -1,0 +1,1 @@
+lib/core/emit.ml: Array Ast Boundary Buffer Codegen Lang List Packing Pretty Printf Section Set String

@@ -1,0 +1,1 @@
+lib/core/gencons.ml: Alias Ast Lang List Section Set String Typecheck Varset

@@ -1,0 +1,1 @@
+lib/core/gencons.mli: Alias Ast Lang Set String Varset

@@ -1,0 +1,1 @@
+lib/core/objpack.ml: Ast Buffer Bytes Lang List Packing Value

@@ -1,0 +1,1 @@
+lib/core/objpack.mli: Ast Bytes Lang Value

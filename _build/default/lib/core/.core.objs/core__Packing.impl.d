@@ -1,0 +1,1 @@
+lib/core/packing.ml: Array Ast Buffer Bytes Fmt Gencons Hashtbl Int64 Lang List Map Reqcomm Section String Tyenv Value Varset

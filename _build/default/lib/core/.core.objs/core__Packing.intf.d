@@ -1,0 +1,1 @@
+lib/core/packing.mli: Ast Buffer Bytes Format Lang Reqcomm Section Tyenv Value

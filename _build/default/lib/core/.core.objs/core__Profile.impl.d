@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Ast Boundary Costmodel Hashtbl Interp Lang List Objpack Opcount Packing Reqcomm Tyenv Value

@@ -1,0 +1,1 @@
+lib/core/profile.mli: Ast Boundary Costmodel Interp Lang Opcount Reqcomm

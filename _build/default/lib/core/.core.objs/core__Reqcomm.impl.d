@@ -1,0 +1,1 @@
+lib/core/reqcomm.ml: Array Ast Boundary Fmt Gencons Lang List Set String Varset

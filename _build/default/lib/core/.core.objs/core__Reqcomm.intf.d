@@ -1,0 +1,1 @@
+lib/core/reqcomm.mli: Ast Boundary Format Lang Set String Varset

@@ -1,0 +1,1 @@
+lib/core/section.ml: Fmt Printf String

@@ -1,0 +1,1 @@
+lib/core/tyenv.ml: Ast Boundary Lang List Option

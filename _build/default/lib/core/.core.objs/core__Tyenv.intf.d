@@ -1,0 +1,1 @@
+lib/core/tyenv.mli: Ast Boundary Lang

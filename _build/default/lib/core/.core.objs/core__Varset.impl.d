@@ -1,0 +1,1 @@
+lib/core/varset.ml: Fmt List Map Printf Section String

@@ -1,0 +1,141 @@
+(* Conservative alias information for the Gen/Cons analysis.
+
+   Figure 2 of the paper assumes "(potentially conservative) alias
+   information is available": updating Gen uses must-alias information (a
+   value joins Gen only if it is definitely defined), updating Cons uses
+   may-alias information (anything potentially read joins Cons).
+
+   PipeLang aliases arise from reference assignments between object or
+   collection variables ([P q = t;], [q = r;]) — fields and array
+   elements of class type can also hold references, which we fold into
+   one conservative equivalence.  This module computes, per code segment,
+   the may-alias classes of base variables by unioning every pair that
+   appears in a reference assignment anywhere in the segment (flow
+   insensitive, hence sound for may-information).  A variable is
+   must-unaliased when its class is a singleton. *)
+
+open Lang
+module SM = Map.Make (String)
+
+type t = {
+  (* union-find parent map over variable names *)
+  mutable parent : string SM.t;
+  (* variables that escaped into a structure (array/list element or
+     object field of class type): conservatively alias each other *)
+  mutable escaped : bool SM.t;
+}
+
+let create () = { parent = SM.empty; escaped = SM.empty }
+
+let rec find t v =
+  match SM.find_opt v t.parent with
+  | None | Some "" -> v
+  | Some p when p = v -> v
+  | Some p ->
+      let r = find t p in
+      t.parent <- SM.add v r t.parent;
+      r
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then t.parent <- SM.add ra rb t.parent
+
+let mark_escaped t v = t.escaped <- SM.add (find t v) true t.escaped
+
+(* Do [a] and [b] possibly refer to the same object? *)
+let may_alias t a b =
+  if a = b then true
+  else begin
+    let ra = find t a and rb = find t b in
+    ra = rb
+    || (SM.mem ra t.escaped && SM.mem rb t.escaped)
+  end
+
+(* Is [v] definitely the only name for its object within the segment?
+   True when nothing was ever unioned with it and it never escaped. *)
+let unaliased t v =
+  let r = find t v in
+  (not (SM.mem r t.escaped))
+  && SM.for_all (fun v' p -> v' = v || (p <> r && find t v' <> r)) t.parent
+  && not (SM.mem v t.parent && find t v <> v)
+
+(* --- collection over a statement list ---------------------------------- *)
+
+(* Is this expression a bare variable of reference kind?  The caller
+   supplies [is_ref] (classes, lists and arrays are references). *)
+let rec scan_expr t ~is_ref (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Evar _ | Ast.Eint _ | Ast.Efloat _ | Ast.Ebool _ | Ast.Estring _
+  | Ast.Enull | Ast.Eruntime_define _ | Ast.Enew_list _ ->
+      ()
+  | Ast.Efield (o, _) -> scan_expr t ~is_ref o
+  | Ast.Eindex (a, i) ->
+      scan_expr t ~is_ref a;
+      scan_expr t ~is_ref i
+  | Ast.Ebinop (_, a, b) ->
+      scan_expr t ~is_ref a;
+      scan_expr t ~is_ref b
+  | Ast.Eunop (_, a) -> scan_expr t ~is_ref a
+  | Ast.Ecall (_, args) ->
+      (* the interprocedural Gen/Cons pass renames formals to the actual
+         bases, so calls introduce no new names here *)
+      List.iter (scan_expr t ~is_ref) args
+  | Ast.Emethod (o, _, args) -> (
+      scan_expr t ~is_ref o;
+      List.iter (scan_expr t ~is_ref) args;
+      (* list.add(x) stores a reference to x in the collection *)
+      match (o.Ast.e, args) with
+      | Ast.Evar _, [ { Ast.e = Ast.Evar v; _ } ] when is_ref v ->
+          mark_escaped t v
+      | _ -> ())
+  | Ast.Enew (_, args) -> List.iter (scan_expr t ~is_ref) args
+  | Ast.Enew_array (_, n) -> scan_expr t ~is_ref n
+  | Ast.Erange (a, b) ->
+      scan_expr t ~is_ref a;
+      scan_expr t ~is_ref b
+
+let rec scan_stmt t ~is_ref (st : Ast.stmt) =
+  match st.Ast.s with
+  | Ast.Sdecl (_, name, Some { Ast.e = Ast.Evar src; _ }) when is_ref src ->
+      (* [P q = t;] — a new name for t's object *)
+      union t name src
+  | Ast.Sdecl (_, _, init) ->
+      Option.iter (scan_expr t ~is_ref) init
+  | Ast.Sassign (Ast.Lvar dst, { Ast.e = Ast.Evar src; _ })
+    when is_ref src || is_ref dst ->
+      union t dst src
+  | Ast.Sassign (l, e) ->
+      (* storing a reference into a field or element lets it escape *)
+      (match (l, e.Ast.e) with
+      | (Ast.Lfield _ | Ast.Lindex _), Ast.Evar v when is_ref v ->
+          mark_escaped t v
+      | _ -> ());
+      scan_expr t ~is_ref e
+  | Ast.Supdate (_, _, e) -> scan_expr t ~is_ref e
+  | Ast.Sif (c, th, el) ->
+      scan_expr t ~is_ref c;
+      List.iter (scan_stmt t ~is_ref) th;
+      List.iter (scan_stmt t ~is_ref) el
+  | Ast.Sfor (i, c, s, body) ->
+      scan_stmt t ~is_ref i;
+      scan_expr t ~is_ref c;
+      scan_stmt t ~is_ref s;
+      List.iter (scan_stmt t ~is_ref) body
+  | Ast.Swhile (c, body) ->
+      scan_expr t ~is_ref c;
+      List.iter (scan_stmt t ~is_ref) body
+  | Ast.Sforeach { fe_coll; fe_where; fe_body; _ } ->
+      scan_expr t ~is_ref fe_coll;
+      Option.iter (scan_expr t ~is_ref) fe_where;
+      List.iter (scan_stmt t ~is_ref) fe_body
+  | Ast.Sexpr e -> scan_expr t ~is_ref e
+  | Ast.Sreturn (Some e) -> scan_expr t ~is_ref e
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue -> ()
+  | Ast.Sblock body -> List.iter (scan_stmt t ~is_ref) body
+
+(* Alias information for one code segment.  [is_ref v] should say whether
+   [v] names a reference (class, list or array typed) variable. *)
+let of_stmts ~is_ref (stmts : Ast.stmt list) : t =
+  let t = create () in
+  List.iter (scan_stmt t ~is_ref) stmts;
+  t

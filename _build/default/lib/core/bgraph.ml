@@ -1,0 +1,191 @@
+(* The candidate filter boundary graph (§4.1).
+
+   Nodes are candidate filter boundaries plus a start node that
+   pre-dominates and an end node that post-dominates everything; an edge
+   connects two adjacent boundaries and carries the code between them.
+   After loop fission the graph is acyclic; a conditional whose branches
+   contain candidate boundaries forks the graph, and a *flow path* is any
+   start-to-end path.
+
+   The chain produced by [Boundary.segments_of_body] is the special case
+   the code generator supports (conditionals kept atomic); this module
+   implements the general DAG formulation: construction, flow-path
+   enumeration, and the backward ReqComm propagation over the graph —
+   at a fork, a value is required if any outgoing path requires it
+   (may-information, hence the union). *)
+
+open Lang
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_code : Ast.stmt list;  (* the atomic filter on this edge *)
+  e_label : string;
+}
+
+type t = {
+  n_nodes : int;
+  start : int;
+  stop : int;
+  edges : edge list;
+}
+
+let out_edges g n = List.filter (fun e -> e.e_src = n) g.edges
+let in_edges g n = List.filter (fun e -> e.e_dst = n) g.edges
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Does a statement list contain any boundary-worthy statement (so that a
+   conditional around it must fork the graph rather than stay atomic)? *)
+let rec contains_boundary stmts =
+  List.exists
+    (fun (st : Ast.stmt) ->
+      Boundary.boundary_worthy st
+      ||
+      match st.Ast.s with
+      | Ast.Sblock body -> contains_boundary body
+      | _ -> false)
+    stmts
+
+type builder = {
+  mutable next : int;
+  mutable built : edge list;
+}
+
+let fresh b =
+  let n = b.next in
+  b.next <- n + 1;
+  n
+
+let add_edge b ~src ~dst ~code ~label =
+  b.built <- { e_src = src; e_dst = dst; e_code = code; e_label = label } :: b.built
+
+(* Lay a (fissioned) statement list between [src] and [dst].  Consecutive
+   plain statements glue into the following segment exactly like the
+   chain construction; a conditional containing boundaries becomes a
+   fork/join diamond whose guard evaluation travels with both branch
+   edges (each branch is entered only when the packet takes that path). *)
+let rec lay b ~src ~dst (stmts : Ast.stmt list) =
+  (* split into runs: [run] is the pending plain prefix *)
+  let flush_segment ~src ~dst pending label =
+    add_edge b ~src ~dst ~code:(List.rev pending) ~label
+  in
+  let rec go src pending = function
+    | [] ->
+        if pending = [] then begin
+          if src <> dst then
+            add_edge b ~src ~dst ~code:[] ~label:"(empty)"
+        end
+        else flush_segment ~src ~dst pending "tail"
+    | (st : Ast.stmt) :: rest -> (
+        match st.Ast.s with
+        | Ast.Sif (cond, th, el)
+          when contains_boundary th || contains_boundary el ->
+            (* fork: boundary before and after the conditional *)
+            let fork = fresh b in
+            (if pending = [] then begin
+               if src <> fork then add_edge b ~src ~dst:fork ~code:[] ~label:"(empty)"
+             end
+             else flush_segment ~src ~dst:fork pending "pre-branch");
+            let join = fresh b in
+            (* the guard is evaluated on entry to either branch; encode it
+               as a marker statement so analyses see the condition's
+               uses *)
+            let guard = Ast.mk_stmt (Ast.Sexpr cond) in
+            lay b ~src:fork ~dst:join (guard :: th);
+            lay b ~src:fork ~dst:join (guard :: el);
+            go join [] rest
+        | _ when Boundary.boundary_worthy st ->
+            let nxt = if rest = [] then dst else fresh b in
+            flush_segment ~src ~dst:nxt (st :: pending)
+              (if pending = [] && rest = [] then "last" else "seg");
+            if rest = [] then () else go nxt [] rest
+        | _ -> go src (st :: pending) rest)
+  in
+  go src [] stmts
+
+(* Build the graph of a pipelined body (fission is applied first). *)
+let build (body : Ast.stmt list) : t =
+  let b = { next = 2; built = [] } in
+  let start = 0 and stop = 1 in
+  lay b ~src:start ~dst:stop (Boundary.fission_body body);
+  { n_nodes = b.next; start; stop; edges = List.rev b.built }
+
+(* ------------------------------------------------------------------ *)
+(* Flow paths                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All start-to-end paths (the graph is acyclic by construction). *)
+let flow_paths (g : t) : edge list list =
+  let rec go node =
+    if node = g.stop then [ [] ]
+    else
+      List.concat_map
+        (fun e -> List.map (fun rest -> e :: rest) (go e.e_dst))
+        (out_edges g node)
+  in
+  go g.start
+
+(* ------------------------------------------------------------------ *)
+(* ReqComm over the graph                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Reverse topological order of nodes (Kahn on reversed edges). *)
+let reverse_topo (g : t) : int list =
+  let out_deg = Array.make g.n_nodes 0 in
+  List.iter (fun e -> out_deg.(e.e_src) <- out_deg.(e.e_src) + 1) g.edges;
+  let ready = Queue.create () in
+  for n = 0 to g.n_nodes - 1 do
+    if out_deg.(n) = 0 then Queue.push n ready
+  done;
+  let order = ref [] in
+  while not (Queue.is_empty ready) do
+    let n = Queue.pop ready in
+    order := n :: !order;
+    List.iter
+      (fun e ->
+        out_deg.(e.e_src) <- out_deg.(e.e_src) - 1;
+        if out_deg.(e.e_src) = 0 then Queue.push e.e_src ready)
+      (in_edges g n)
+  done;
+  List.rev !order
+
+(* ReqComm at every node: R(end) = {}; for an edge e,
+   contribution(e) = (R(dst e) - Gen(code e)) + Cons(code e); at a node
+   with several outgoing edges the contributions union (a value is
+   needed if any path needs it). *)
+let reqcomm (prog : Ast.program) (g : t) : Varset.t array =
+  let ctx =
+    Gencons.create_ctx_for_body prog
+      (List.concat_map (fun e -> e.e_code) g.edges)
+  in
+  let r = Array.make g.n_nodes Varset.empty in
+  let order = reverse_topo g in
+  List.iter
+    (fun n ->
+      if n <> g.stop then
+        r.(n) <-
+          List.fold_left
+            (fun acc e ->
+              let gen, cons = Gencons.analyze_segment ctx e.e_code in
+              Varset.union acc
+                (Varset.union (Varset.diff r.(e.e_dst) gen) cons))
+            Varset.empty (out_edges g n))
+    order;
+  r
+
+(* A chain graph (no forks) is what the code generator supports. *)
+let is_chain (g : t) =
+  List.for_all (fun n -> List.length (out_edges g n) <= 1)
+    (List.init g.n_nodes (fun i -> i))
+
+let pp ppf (g : t) =
+  Fmt.pf ppf "boundary graph: %d nodes, %d edges@\n" g.n_nodes
+    (List.length g.edges);
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %d -> %d [%s] (%d stmts)@\n" e.e_src e.e_dst e.e_label
+        (List.length e.e_code))
+    g.edges

@@ -1,0 +1,46 @@
+(** The candidate filter boundary graph (§4.1).
+
+    Nodes are candidate boundaries plus a pre-dominating start node and a
+    post-dominating end node; edges carry the code between adjacent
+    boundaries.  After loop fission the graph is acyclic; a conditional
+    whose branches contain candidate boundaries forks it, and a flow path
+    is any start-to-end path.  The chain case (no forks) is what the code
+    generator supports; this module provides the general DAG analyses. *)
+
+open Lang
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_code : Ast.stmt list;  (** the atomic filter on this edge *)
+  e_label : string;
+}
+
+type t = {
+  n_nodes : int;
+  start : int;
+  stop : int;
+  edges : edge list;
+}
+
+val out_edges : t -> int -> edge list
+val in_edges : t -> int -> edge list
+
+(** Build the graph of a pipelined body (loop fission is applied
+    first).  Conditionals whose branches contain candidate boundaries
+    become fork/join diamonds; the guard expression travels with both
+    branch edges. *)
+val build : Ast.stmt list -> t
+
+(** All start-to-end paths. *)
+val flow_paths : t -> edge list list
+
+(** ReqComm at every node, by backward propagation in reverse topological
+    order; at a fork a value is required if any outgoing path requires
+    it. *)
+val reqcomm : Ast.program -> t -> Varset.t array
+
+(** No forks: the shape the code generator supports. *)
+val is_chain : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,295 @@
+(* End-to-end compilation driver.
+
+   parse -> type check -> loop fission & boundary selection -> Gen/Cons
+   & ReqComm analysis -> profiling -> decomposition -> filter codegen.
+
+   The decomposition strategy is either the paper's dynamic program
+   (`Decomp`), the Default baseline (read on the data host, everything
+   else on the compute unit, results viewed on the last unit), or an
+   explicit assignment (used for manual comparisons and ablations). *)
+
+open Lang
+open Datacutter
+module SS = Set.Make (String)
+
+let src = Logs.Src.create "cgpp.compile" ~doc:"compilation driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type strategy =
+  | Decomp                     (* DP decomposition, §4.4 *)
+  | Default                    (* forward-everything baseline, §6.2 *)
+  | Fixed of int array         (* explicit segment -> unit map *)
+
+type t = {
+  prog : Ast.program;
+  segments : Boundary.segment list;
+  rc : Reqcomm.t;
+  tyenv : Tyenv.t;
+  profile : Profile.t;
+  pipeline : Costmodel.pipeline;
+  constraints : Decompose.constraints;
+  assignment : Costmodel.assignment;
+  predicted_latency : float;
+  predicted_total : float;
+  plan : Codegen.plan;
+}
+
+(* Parse and type check only (no decomposition). *)
+let front_end ?(file = "<input>") ~externs_sig source =
+  let prog = Parser.parse ~file source in
+  Typecheck.check ~externs:externs_sig prog;
+  prog
+
+let segment ~prog = Boundary.segments_of_body prog.Ast.pipeline.Ast.pd_body
+
+(* Pinning constraints from the extern classification. *)
+let constraints_of ~rc ~m ~source_externs ~sink_externs =
+  ignore m;
+  let pin_first = Reqcomm.segments_calling rc (SS.of_list source_externs) in
+  let pin_last = Reqcomm.segments_calling rc (SS.of_list sink_externs) in
+  (* segment 0 contains the data read by construction; keep it pinned even
+     when the program names no explicit source extern *)
+  let pin_first = if pin_first = [] then [ 0 ] else pin_first in
+  { Decompose.pin_first; pin_last }
+
+let compile ?(file = "<input>") ~(source : string)
+    ~(externs_sig : Typecheck.extern_sig list)
+    ~(externs : (string * Interp.extern_fn) list)
+    ?(runtime_defs : (string * int) list = [])
+    ~(pipeline : Costmodel.pipeline) ~(num_packets : int)
+    ?(source_externs : string list = []) ?(sink_externs : string list = [])
+    ?(strategy = Decomp) ?(samples = [ 0 ])
+    ?(layout_mode : Packing.mode = `Auto) ?(final_copies = 1) () : t =
+  let prog = front_end ~file ~externs_sig source in
+  Log.info (fun m ->
+      m "front end: %d classes, %d functions, %d globals"
+        (List.length prog.Ast.classes)
+        (List.length prog.Ast.funcs)
+        (List.length prog.Ast.globals));
+  let segments = segment ~prog in
+  Log.info (fun m ->
+      m "boundaries: %d atomic filters (%s)" (List.length segments)
+        (String.concat " | "
+           (List.map (fun s -> s.Boundary.seg_label) segments)));
+  let rc = Reqcomm.analyze prog segments in
+  Log.debug (fun m -> m "reqcomm:@
+%a" Reqcomm.pp rc);
+  let tyenv = Tyenv.of_segments prog segments in
+  (* Boundary communication copies values, which would break aliasing
+     between two references crossing the same boundary: reject such
+     programs up front (may-alias is conservative, see Alias). *)
+  let () =
+    let body = List.concat_map (fun s -> s.Boundary.seg_stmts) segments in
+    let gctx = Gencons.create_ctx_for_body prog body in
+    let aliases = Gencons.aliases_of gctx body in
+    let n1 = List.length segments in
+    for i = 1 to n1 - 1 do
+      let bases =
+        Varset.fold
+          (fun item acc ->
+            let b = Reqcomm.item_base item in
+            match Tyenv.find tyenv b with
+            | Some (Ast.Tclass _) | Some (Ast.Tlist _) | Some (Ast.Tarray _)
+              ->
+                if List.mem b acc then acc else b :: acc
+            | _ -> acc)
+          (Reqcomm.reqcomm_into rc i) []
+      in
+      List.iteri
+        (fun j a ->
+          List.iteri
+            (fun k b ->
+              if j < k && Alias.may_alias aliases a b then
+                Srcloc.errorf prog.Ast.pipeline.Ast.pd_loc
+                  "references %s and %s may alias and would cross the                    candidate boundary b%d; aliased references cannot be                    communicated by value"
+                  a b i)
+            bases)
+        bases
+    done
+  in
+  let m = Costmodel.width_of pipeline in
+  let runtime_defs = ("num_packets", num_packets) :: runtime_defs in
+  let profile =
+    Profile.run prog segments rc ~externs ~runtime_defs ~num_packets ~samples
+      ~final_copies ()
+  in
+  Log.info (fun m' ->
+      m' "profile: tasks [%s], volumes [%s]"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (Printf.sprintf "%.0f") profile.Profile.profile.Costmodel.task)))
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (Printf.sprintf "%.0f")
+                 profile.Profile.profile.Costmodel.vol_out))));
+  let constraints = constraints_of ~rc ~m ~source_externs ~sink_externs in
+  let n1 = List.length segments in
+  let assignment, predicted_latency =
+    match strategy with
+    | Decomp ->
+        (* the Fig. 3 DP minimizes single-packet latency; the bottleneck
+           search minimizes the §4.3 steady-state total — keep whichever
+           predicts the lower total time *)
+        let r1 = Decompose.dp ~cons:constraints pipeline profile.Profile.profile in
+        let r2 =
+          Decompose.bottleneck ~cons:constraints pipeline profile.Profile.profile
+        in
+        let r = if r1.Decompose.total <= r2.Decompose.total then r1 else r2 in
+        (r.Decompose.assignment, r.Decompose.latency)
+    | Default ->
+        let a = Decompose.default_assignment ~m ~segments:n1 in
+        (a, Costmodel.latency_time pipeline profile.Profile.profile a)
+    | Fixed a ->
+        if Array.length a <> n1 then
+          invalid_arg "compile: fixed assignment length mismatch";
+        (a, Costmodel.latency_time pipeline profile.Profile.profile a)
+  in
+  let predicted_total =
+    Costmodel.total_time pipeline profile.Profile.profile assignment
+  in
+  Log.info (fun m ->
+      m "decomposition %a: predicted latency %.6fs, total %.6fs"
+        Costmodel.pp_assignment assignment predicted_latency predicted_total);
+  let plan =
+    Codegen.make_plan ~layout_mode prog segments rc ~assignment ~m ~num_packets
+      ~externs ~runtime_defs
+  in
+  {
+    prog;
+    segments;
+    rc;
+    tyenv;
+    profile;
+    pipeline;
+    constraints;
+    assignment;
+    predicted_latency;
+    predicted_total;
+    plan;
+  }
+
+(* Run the compiled pipeline on the simulated cluster and return the
+   metrics together with the sink's merged reduction globals. *)
+let run_simulated (c : t) ~(widths : int array) ?(latency = 0.0) () =
+  let powers = Array.map (fun u -> u.Costmodel.power) c.pipeline.Costmodel.units in
+  let bandwidths =
+    Array.map (fun l -> l.Costmodel.bandwidth) c.pipeline.Costmodel.links
+  in
+  let topo, results =
+    Codegen.build_topology c.plan ~widths ~powers ~bandwidths ~latency ()
+  in
+  let metrics = Sim_runtime.run topo in
+  (metrics, results ())
+
+(* Run on real domains (wall-clock). *)
+let run_parallel (c : t) ~(widths : int array) () =
+  let powers = Array.map (fun u -> u.Costmodel.power) c.pipeline.Costmodel.units in
+  let bandwidths =
+    Array.map (fun l -> l.Costmodel.bandwidth) c.pipeline.Costmodel.links
+  in
+  let topo, results =
+    Codegen.build_topology c.plan ~widths ~powers ~bandwidths ()
+  in
+  let metrics = Par_runtime.run topo in
+  (metrics, results ())
+
+(* Reference (sequential) execution of the same program and inputs,
+   returning the reduction globals for correctness comparison. *)
+let run_reference (c : t) : (string * Value.t) list =
+  let ctx =
+    Interp.create_ctx ~externs:c.plan.Codegen.externs
+      ~runtime_defs:c.plan.Codegen.runtime_defs c.prog
+  in
+  let genv = Interp.run_reference ctx in
+  Reqcomm.reduction_globals c.prog
+  |> Reqcomm.S.elements
+  |> List.map (fun name -> (name, Interp.global_value genv name))
+
+let pp_summary ppf (c : t) =
+  Fmt.pf ppf "segments:@\n";
+  List.iter
+    (fun (s : Boundary.segment) ->
+      Fmt.pf ppf "  %a -> C%d@\n" Boundary.pp_segment s
+        c.assignment.(s.Boundary.seg_index))
+    c.segments;
+  Fmt.pf ppf "predicted latency %.6fs, total %.6fs@\n" c.predicted_latency
+    c.predicted_total
+
+(* ------------------------------------------------------------------ *)
+(* §8 future-work features                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Recompute the decomposition of an already-analyzed program for a new
+   environment (the paper's "available compute and communication
+   resources can change at runtime").  Front-end analysis and profiling
+   are reused; only the decomposition and the codegen plan are redone. *)
+let replan (c : t) ~(pipeline : Costmodel.pipeline) ?strategy () : t =
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Decomp
+  in
+  let m = Costmodel.width_of pipeline in
+  let n1 = List.length c.segments in
+  let profile = c.profile.Profile.profile in
+  let assignment, predicted_latency =
+    match strategy with
+    | Decomp ->
+        let r1 = Decompose.dp ~cons:c.constraints pipeline profile in
+        let r2 = Decompose.bottleneck ~cons:c.constraints pipeline profile in
+        let r = if r1.Decompose.total <= r2.Decompose.total then r1 else r2 in
+        (r.Decompose.assignment, r.Decompose.latency)
+    | Default ->
+        let a = Decompose.default_assignment ~m ~segments:n1 in
+        (a, Costmodel.latency_time pipeline profile a)
+    | Fixed a ->
+        if Array.length a <> n1 then
+          invalid_arg "replan: fixed assignment length mismatch";
+        (a, Costmodel.latency_time pipeline profile a)
+  in
+  let plan =
+    Codegen.make_plan c.prog c.segments c.rc ~assignment ~m
+      ~num_packets:c.plan.Codegen.num_packets ~externs:c.plan.Codegen.externs
+      ~runtime_defs:c.plan.Codegen.runtime_defs
+  in
+  {
+    c with
+    pipeline;
+    assignment;
+    predicted_latency;
+    predicted_total = Costmodel.total_time pipeline profile assignment;
+    plan;
+  }
+
+(* Predicted-best packet count for the compiled program (§8
+   "automatically choosing the packet size").  The measured profile is
+   rescaled to each candidate count, re-decomposed, and scored with the
+   steady-state cost model; per-buffer latency penalizes many small
+   packets, pipeline fill (and, with [final_copies], end-of-stream
+   reduction traffic) penalizes few large ones. *)
+let suggest_packet_count (c : t) ?(candidates = [ 2; 4; 8; 12; 16; 24; 32; 48; 64; 96; 128 ])
+    () : int * (int * float) list =
+  let scored =
+    List.filter_map
+      (fun n ->
+        if n <= 0 then None
+        else begin
+          let profile =
+            Costmodel.rescale_profile c.profile.Profile.profile ~packets:n
+          in
+          match Decompose.bottleneck ~cons:c.constraints c.pipeline profile with
+          | r -> Some (n, r.Decompose.total)
+          | exception Invalid_argument _ -> None
+        end)
+      candidates
+  in
+  match scored with
+  | [] -> invalid_arg "suggest_packet_count: no feasible candidate"
+  | (n0, t0) :: rest ->
+      let best, _ =
+        List.fold_left
+          (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+          (n0, t0) rest
+      in
+      (best, scored)

@@ -1,0 +1,92 @@
+(** End-to-end compilation driver.
+
+    parse -> type check -> loop fission and boundary selection ->
+    Gen/Cons and ReqComm analysis -> profiling -> decomposition ->
+    filter code generation. *)
+
+open Lang
+open Datacutter
+
+type strategy =
+  | Decomp
+      (** the compiler's decomposition: best of the Fig. 3 DP and the
+          steady-state bottleneck search by predicted §4.3 total *)
+  | Default
+      (** the paper's baseline (§6.2): read on the data host, all
+          processing on the compute unit, results viewed on C_m *)
+  | Fixed of int array  (** explicit segment-to-unit map *)
+
+type t = {
+  prog : Ast.program;
+  segments : Boundary.segment list;
+  rc : Reqcomm.t;
+  tyenv : Tyenv.t;
+  profile : Profile.t;
+  pipeline : Costmodel.pipeline;
+  constraints : Decompose.constraints;
+  assignment : Costmodel.assignment;
+  predicted_latency : float;
+  predicted_total : float;
+  plan : Codegen.plan;
+}
+
+(** Parse and type check only.  @raise Srcloc.Error on user errors. *)
+val front_end :
+  ?file:string -> externs_sig:Typecheck.extern_sig list -> string -> Ast.program
+
+(** Fission and segment a program's pipelined body. *)
+val segment : prog:Ast.program -> Boundary.segment list
+
+(** Full compilation.  [source_externs]/[sink_externs] name the host
+    functions that pin segments to the first/last unit; segment 0 (the
+    read) is pinned to C_1 even when no source extern is named.
+    [samples] are the packets profiled; [final_copies] the number of
+    transparent copies that will hold reduction partials. *)
+val compile :
+  ?file:string ->
+  source:string ->
+  externs_sig:Typecheck.extern_sig list ->
+  externs:(string * Interp.extern_fn) list ->
+  ?runtime_defs:(string * int) list ->
+  pipeline:Costmodel.pipeline ->
+  num_packets:int ->
+  ?source_externs:string list ->
+  ?sink_externs:string list ->
+  ?strategy:strategy ->
+  ?samples:int list ->
+  ?layout_mode:Packing.mode ->
+  ?final_copies:int ->
+  unit ->
+  t
+
+(** Execute on the simulated cluster (unit powers and link bandwidths
+    from the compile-time pipeline); returns metrics and the sink's
+    merged reduction globals. *)
+val run_simulated :
+  t ->
+  widths:int array ->
+  ?latency:float ->
+  unit ->
+  Sim_runtime.metrics * (string * Value.t) list
+
+(** Execute on real OCaml 5 domains (wall-clock). *)
+val run_parallel :
+  t -> widths:int array -> unit -> Par_runtime.metrics * (string * Value.t) list
+
+(** Sequential reference execution of the same program and inputs,
+    returning the reduction globals for correctness comparison. *)
+val run_reference : t -> (string * Value.t) list
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** Recompute the decomposition of an already-analyzed program for a new
+    environment (§8: resources can change at run time); analysis and
+    profiling are reused. *)
+val replan : t -> pipeline:Costmodel.pipeline -> ?strategy:strategy -> unit -> t
+
+(** Predicted-best packet count for the program (§8: automatic packet
+    sizing): the measured profile is rescaled to each candidate count,
+    re-decomposed and scored with the steady-state model.  Returns the
+    best count and all scored candidates. *)
+val suggest_packet_count :
+  t -> ?candidates:int list -> unit -> int * (int * float) list

@@ -1,0 +1,141 @@
+(* The pipeline cost model (§4.3).
+
+   The environment is a linear pipeline of m computing units C_1 .. C_m
+   joined by m-1 links L_1 .. L_{m-1}.  Packets are assumed equal-sized,
+   units uniform over time, links of fixed bandwidth, so one stage is the
+   bottleneck for every packet and the total execution time is
+
+     (N - 1) * T(bottleneck) + sum_i T(C_i) + sum_i T(L_i).
+
+   Computation time of a filter is its (weighted) operation count divided
+   by the unit's power; communication time of a link is the transferred
+   volume divided by bandwidth, plus a per-buffer latency. *)
+
+type unit_spec = {
+  power : float; (* weighted operations per second *)
+}
+
+type link_spec = {
+  bandwidth : float; (* bytes per second *)
+  latency : float;   (* seconds per buffer *)
+}
+
+type pipeline = {
+  units : unit_spec array; (* length m *)
+  links : link_spec array; (* length m - 1 *)
+}
+
+let width_of p = Array.length p.units
+
+let make_pipeline ~powers ~bandwidths ?(latency = 0.0) () =
+  if Array.length bandwidths <> Array.length powers - 1 then
+    invalid_arg "make_pipeline: need one link fewer than units";
+  {
+    units = Array.map (fun power -> { power }) powers;
+    links = Array.map (fun bandwidth -> { bandwidth; latency }) bandwidths;
+  }
+
+(* Uniform pipeline, the configuration of the paper's experiments. *)
+let uniform ~m ~power ~bandwidth ?(latency = 0.0) () =
+  {
+    units = Array.init m (fun _ -> { power });
+    links = Array.init (m - 1) (fun _ -> { bandwidth; latency });
+  }
+
+(* Per-packet workload profile of a segmented program:
+   - [task.(i)]: weighted operations executed by segment i per packet;
+   - [vol_out.(i)]: bytes produced by segment i per packet (the packed
+     ReqComm at the boundary after it); [vol_out.(n)] is the final result
+     amortized per packet;
+   - [packets]: N. *)
+type profile = {
+  task : float array;
+  vol_out : float array;
+  packets : int;
+}
+
+let segment_count profile = Array.length profile.task
+
+let cost_comp (u : unit_spec) task = task /. u.power
+
+let cost_comm (l : link_spec) volume = l.latency +. (volume /. l.bandwidth)
+
+(* A decomposition maps each segment to a computing unit (1-based,
+   nondecreasing). *)
+type assignment = int array
+
+let validate_assignment p profile (a : assignment) =
+  let m = width_of p in
+  let n1 = segment_count profile in
+  if Array.length a <> n1 then
+    invalid_arg "assignment length must equal segment count";
+  Array.iteri
+    (fun i u ->
+      if u < 1 || u > m then invalid_arg "assignment unit out of range";
+      if i > 0 && u < a.(i - 1) then
+        invalid_arg "assignment must be nondecreasing")
+    a
+
+(* Per-stage times of a decomposition: unit loads and link volumes. *)
+type stage_times = {
+  unit_time : float array; (* length m *)
+  link_time : float array; (* length m - 1 *)
+}
+
+let stage_times p profile (a : assignment) =
+  validate_assignment p profile a;
+  let m = width_of p in
+  let unit_load = Array.make m 0.0 in
+  Array.iteri
+    (fun i u -> unit_load.(u - 1) <- unit_load.(u - 1) +. profile.task.(i))
+    a;
+  (* link l (1-based) carries the output of the last segment at or before
+     the boundary between unit l and l+1 *)
+  (* Links upstream of the first occupied unit carry no traffic at all
+     (Figure 3's base case places f_1 directly on its unit), so they get
+     no latency either; every other link carries the output of the last
+     segment at or before it. *)
+  let link_time = Array.make (m - 1) 0.0 in
+  for l = 1 to m - 1 do
+    let last = ref (-1) in
+    Array.iteri (fun i u -> if u <= l then last := i) a;
+    if !last >= 0 then
+      link_time.(l - 1) <- cost_comm p.links.(l - 1) profile.vol_out.(!last)
+  done;
+  {
+    unit_time = Array.mapi (fun i load -> cost_comp p.units.(i) load) unit_load;
+    link_time;
+  }
+
+(* Total pipelined execution time under the paper's formula. *)
+let total_time p profile (a : assignment) =
+  let st = stage_times p profile a in
+  let stages = Array.append st.unit_time st.link_time in
+  let bottleneck = Array.fold_left max 0.0 stages in
+  let fill = Array.fold_left ( +. ) 0.0 stages in
+  (float_of_int (profile.packets - 1) *. bottleneck) +. fill
+
+(* Single-packet latency (the additive objective minimized by the
+   dynamic program of §4.4). *)
+let latency_time p profile (a : assignment) =
+  let st = stage_times p profile a in
+  Array.fold_left ( +. ) 0.0 (Array.append st.unit_time st.link_time)
+
+let pp_assignment ppf (a : assignment) =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") int) a
+
+(* Re-express a measured per-packet profile at a different packet count
+   for the same total data (§8: "automatically choosing the packet size").
+   Per-packet task and volumes scale inversely with the packet count (the
+   amortized final-result term keeps its run total); the per-buffer
+   latency is charged once per packet by [cost_comm] either way, which is
+   exactly why fewer, larger packets can win — and why too few packets
+   forfeit pipeline overlap via the (N-1) factor. *)
+let rescale_profile (profile : profile) ~(packets : int) : profile =
+  if packets <= 0 then invalid_arg "rescale_profile: packets <= 0";
+  let ratio = float_of_int profile.packets /. float_of_int packets in
+  {
+    task = Array.map (fun t -> t *. ratio) profile.task;
+    vol_out = Array.map (fun v -> v *. ratio) profile.vol_out;
+    packets;
+  }

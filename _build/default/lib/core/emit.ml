@@ -1,0 +1,132 @@
+(* Human-readable rendering of the generated filters.
+
+   The paper's compiler emits C++ filter code for DataCutter; ours builds
+   closures, so this module renders what each generated filter does — the
+   unpack loops (Figure 4's instance-wise and field-wise shapes), the
+   code segments placed on the filter, the pack loops, and the
+   end-of-stream reduction behaviour — for inspection and for golden
+   tests. *)
+
+open Lang
+
+let scalar_ty_name = function
+  | Packing.Sint -> "int"
+  | Packing.Sfloat -> "float"
+  | Packing.Sbool -> "bool"
+  | Packing.Sstring -> "String"
+  | Packing.Srange -> "Rectdomain<1>"
+
+let emit_group buf ~dir c (g : Packing.group) =
+  let verb = match dir with `In -> "read" | `Out -> "write" in
+  match g.Packing.g_layout with
+  | `Instance ->
+      Buffer.add_string buf
+        (Printf.sprintf "    for i in 0 .. count(%s) - 1:   // instance-wise\n" c);
+      List.iter
+        (fun fs ->
+          Buffer.add_string buf
+            (Printf.sprintf "      %s %s[i].%s : %s\n" verb c fs.Packing.fs_name
+               (scalar_ty_name fs.Packing.fs_ty)))
+        g.Packing.g_fields
+  | `Fieldwise ->
+      List.iter
+        (fun fs ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    for i in 0 .. count(%s) - 1:   // field-wise column\n\
+               \      %s %s[i].%s : %s\n"
+               c verb c fs.Packing.fs_name
+               (scalar_ty_name fs.Packing.fs_ty)))
+        g.Packing.g_fields
+
+let emit_layout buf ~dir (layout : Packing.layout) =
+  if layout = [] then
+    Buffer.add_string buf "    (nothing: end of per-packet stream)\n"
+  else
+    List.iter
+      (fun entry ->
+        match entry with
+        | Packing.Escalar (v, st) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s %s : %s\n"
+                 (match dir with `In -> "read" | `Out -> "write")
+                 v (scalar_ty_name st))
+        | Packing.Eobj_field (v, _, f, st) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s %s.%s : %s\n"
+                 (match dir with `In -> "read" | `Out -> "write")
+                 v f (scalar_ty_name st))
+        | Packing.Eobj_any (v, _, f, ty) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s %s.%s : %s (generic codec)\n"
+                 (match dir with `In -> "read" | `Out -> "write")
+                 v f (Ast.ty_to_string ty))
+        | Packing.Earray (a, s, st) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s %s%s : %s[]\n"
+                 (match dir with `In -> "read" | `Out -> "write")
+                 a (Section.to_string s) (scalar_ty_name st))
+        | Packing.Ecoll (c, _, groups) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s count(%s)\n"
+                 (match dir with `In -> "read" | `Out -> "write")
+                 c);
+            List.iter (emit_group buf ~dir c) groups)
+      layout
+
+let emit_filter buf (plan : Codegen.plan) u =
+  let module SS = Set.Make (String) in
+  let segs = Codegen.segments_of_unit plan u in
+  let role =
+    if u = 1 then "source (reads the repository)"
+    else if u = plan.Codegen.m then "sink (views the results)"
+    else "inner"
+  in
+  Buffer.add_string buf (Printf.sprintf "filter C%d  -- %s\n" u role);
+  let reduc = Codegen.reduc_updated plan u in
+  if u > 1 then begin
+    Buffer.add_string buf "  unpack input buffer:\n";
+    emit_layout buf ~dir:`In plan.Codegen.layouts.(u - 1)
+  end;
+  if segs = [] then
+    Buffer.add_string buf "  process: forward the buffer unchanged\n"
+  else begin
+    Buffer.add_string buf "  process unit-of-work (packet p):\n";
+    List.iter
+      (fun (s : Boundary.segment) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    -- %s\n" s.Boundary.seg_label);
+        List.iter
+          (fun st ->
+            let text = Pretty.stmt_to_string st in
+            String.split_on_char '\n' text
+            |> List.iter (fun line ->
+                   Buffer.add_string buf ("    " ^ line ^ "\n")))
+          s.Boundary.seg_stmts)
+      segs
+  end;
+  if u < plan.Codegen.m then begin
+    Buffer.add_string buf "  pack output buffer:\n";
+    emit_layout buf ~dir:`Out plan.Codegen.layouts.(u)
+  end;
+  if not (SS.is_empty reduc) then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  at end of stream: ship partial reduction state {%s} downstream\n"
+         (String.concat ", " (SS.elements reduc)));
+  if u = plan.Codegen.m then
+    Buffer.add_string buf
+      "  at end of stream: merge every incoming partial into the final result\n"
+
+(* Render every generated filter of the plan. *)
+let emit_plan (plan : Codegen.plan) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "-- generated pipeline: %d filters over %d segments --\n"
+       plan.Codegen.m
+       (Array.length plan.Codegen.segments));
+  for u = 1 to plan.Codegen.m do
+    if u > 1 then Buffer.add_string buf "\n";
+    emit_filter buf plan u
+  done;
+  Buffer.contents buf

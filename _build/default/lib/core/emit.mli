@@ -1,0 +1,7 @@
+(** Human-readable rendering of the generated filters: the unpack loops
+    (Figure 4's instance-wise and field-wise shapes), the code segments
+    placed on each filter, the pack loops, and the end-of-stream
+    reduction behaviour. *)
+
+(** Render every filter of a code-generation plan. *)
+val emit_plan : Codegen.plan -> string

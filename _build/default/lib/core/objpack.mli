@@ -1,0 +1,19 @@
+(** Whole-object serialization for reduction state.
+
+    Per-packet communication is layout-optimized by {!Packing}; reduction
+    partials travel once per copy at finalize time and are serialized
+    generically (fields in declaration order, recursing into arrays,
+    lists and nested objects). *)
+
+open Lang
+
+(** Pack named globals as [(name, declared type, value)] triples. *)
+val pack_globals :
+  Ast.program -> (string * Ast.ty * Value.t) list -> Bytes.t
+
+(** Inverse of {!pack_globals}; [types] maps names to declared types.
+    @raise Value.Runtime_error on an unknown global name. *)
+val unpack_globals :
+  Ast.program -> (string * Ast.ty) list -> Bytes.t -> (string * Value.t) list
+
+val packed_size : Ast.program -> (string * Ast.ty * Value.t) list -> int

@@ -1,0 +1,60 @@
+(** Required-communication analysis (§4.2).
+
+    Given the atomic filters f_1 .. f_{n+1}, computes the set of values
+    that must cross each candidate boundary in one backward pass:
+
+    {v ReqComm(end) = {};  ReqComm(b_i) = (ReqComm(b_{i+1}) - Gen(f_{i+1})) + Cons(f_{i+1}) v}
+
+    As the paper observes, the computed set at a boundary remains correct
+    when intermediate boundaries are not selected, so the same sets serve
+    every decomposition the dynamic program considers.  Reduction globals
+    (persistent filter state, §2.2) and plain globals (run-time
+    configuration) are excluded from per-packet communication. *)
+
+open Lang
+
+module S : sig
+  include module type of Set.Make (String)
+end
+with type t = Set.Make(String).t
+
+(** Per-segment analysis results. *)
+type seg_info = {
+  si_seg : Boundary.segment;
+  si_gen : Varset.t;
+  si_cons : Varset.t;
+  si_externs : S.t;      (** extern functions the segment calls *)
+  si_reduc_state : S.t;  (** reduction globals it touches *)
+  si_config : S.t;       (** non-reduction globals it reads *)
+}
+
+type t = {
+  prog : Ast.program;
+  segs : seg_info array;
+  reqcomm : Varset.t array;
+      (** [reqcomm.(i)] enters segment [i]; [reqcomm.(n+1)] is empty *)
+}
+
+val item_base : Varset.item -> string
+
+(** Names of globals whose class implements Reducinterface. *)
+val reduction_globals : Ast.program -> S.t
+
+val plain_globals : Ast.program -> S.t
+
+val analyze : Ast.program -> Boundary.segment list -> t
+
+(** Values crossing the boundary that enters segment [i]. *)
+val reqcomm_into : t -> int -> Varset.t
+
+val segment_count : t -> int
+
+(** First segment at or after [i] that consumes [item] before any
+    redefinition — drives the instance-wise/field-wise grouping (§5). *)
+val first_consumer : t -> int -> Varset.item -> int option
+
+(** Indices of segments calling any extern in [names] (for pinning data
+    sources to C_1 and sinks to C_m). *)
+val segments_calling : t -> S.t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(* Rectilinear sections with symbolic bounds (§4.2 of the paper).
+
+   When the Gen/Cons analysis encounters array accesses indexed by a
+   function of a loop index, it replaces the individual accesses by a
+   rectilinear section derived from the loop bounds.  Bounds may be known
+   only symbolically (e.g. a variable holding the array length), so
+   sections carry symbolic bounds and all set operations are approximate
+   in a direction that keeps the analysis sound:
+
+   - [union] may over-approximate (used when growing Cons/Gen as
+     may-information),
+   - [subtract] only removes a range when the subtrahend provably covers
+     it (removal needs must-information; keeping too much is safe). *)
+
+type bound =
+  | Bconst of int
+  | Bsym of string            (* symbolic value of a scalar variable *)
+  | Bsym_off of string * int  (* symbol + constant offset *)
+
+type t =
+  | Whole                     (* the entire array *)
+  | Range of bound * bound    (* [lo, hi) *)
+
+let bound_to_string = function
+  | Bconst n -> string_of_int n
+  | Bsym s -> s
+  | Bsym_off (s, n) when n >= 0 -> Printf.sprintf "%s+%d" s n
+  | Bsym_off (s, n) -> Printf.sprintf "%s%d" s n
+
+let to_string = function
+  | Whole -> "[*]"
+  | Range (lo, hi) -> Printf.sprintf "[%s : %s]" (bound_to_string lo) (bound_to_string hi)
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let bound_equal a b =
+  match (a, b) with
+  | Bconst x, Bconst y -> x = y
+  | Bsym x, Bsym y -> String.equal x y
+  | Bsym_off (x, i), Bsym_off (y, j) -> String.equal x y && i = j
+  | Bsym x, Bsym_off (y, 0) | Bsym_off (y, 0), Bsym x -> String.equal x y
+  | _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Whole, Whole -> true
+  | Range (a1, b1), Range (a2, b2) -> bound_equal a1 a2 && bound_equal b1 b2
+  | _ -> false
+
+(* Three-valued comparison of bounds: [Some c] when the order is provable. *)
+let bound_le a b =
+  match (a, b) with
+  | Bconst x, Bconst y -> Some (x <= y)
+  | Bsym x, Bsym y when String.equal x y -> Some true
+  | Bsym_off (x, i), Bsym_off (y, j) when String.equal x y -> Some (i <= j)
+  | Bsym x, Bsym_off (y, j) when String.equal x y -> Some (0 <= j)
+  | Bsym_off (x, i), Bsym y when String.equal x y -> Some (i <= 0)
+  | _ -> None
+
+(* Does [outer] provably contain [inner]? *)
+let covers ~outer ~inner =
+  match (outer, inner) with
+  | Whole, _ -> true
+  | _, Whole -> false
+  | Range (lo1, hi1), Range (lo2, hi2) -> (
+      match (bound_le lo1 lo2, bound_le hi2 hi1) with
+      | Some true, Some true -> true
+      | _ -> false)
+
+(* Union, over-approximating when bounds are not comparable.  The result
+   always contains both arguments. *)
+let union a b =
+  if covers ~outer:a ~inner:b then a
+  else if covers ~outer:b ~inner:a then b
+  else
+    match (a, b) with
+    | Whole, _ | _, Whole -> Whole
+    | Range (lo1, hi1), Range (lo2, hi2) -> (
+        let lo =
+          match (bound_le lo1 lo2, bound_le lo2 lo1) with
+          | Some true, _ -> Some lo1
+          | _, Some true -> Some lo2
+          | _ -> None
+        in
+        let hi =
+          match (bound_le hi1 hi2, bound_le hi2 hi1) with
+          | Some true, _ -> Some hi2
+          | _, Some true -> Some hi1
+          | _ -> None
+        in
+        match (lo, hi) with
+        | Some lo, Some hi -> Range (lo, hi)
+        | _ -> Whole)
+
+(* [subtract a b]: the part of [a] not covered by [b], under-approximating
+   removal: returns [None] (nothing left) only when [b] provably covers
+   [a]; otherwise returns [a] unchanged. *)
+let subtract a b = if covers ~outer:b ~inner:a then None else Some a
+
+(* Sections whose intersection is provably empty. *)
+let disjoint a b =
+  match (a, b) with
+  | Whole, _ | _, Whole -> false
+  | Range (lo1, hi1), Range (lo2, hi2) -> (
+      match (bound_le hi1 lo2, bound_le hi2 lo1) with
+      | Some true, _ | _, Some true -> true
+      | _ -> false)

@@ -1,0 +1,41 @@
+(** Rectilinear sections with symbolic bounds (§4.2 of the paper).
+
+    When the Gen/Cons analysis meets array accesses indexed by a function
+    of a loop index, it replaces individual accesses by a rectilinear
+    section derived from the loop bounds.  Bounds may be known only
+    symbolically, so set operations are approximate in a direction that
+    keeps the analysis sound: {!union} may over-approximate (growing
+    may-information), {!subtract} removes only what is provably covered
+    (removal needs must-information). *)
+
+type bound =
+  | Bconst of int
+  | Bsym of string             (** symbolic value of a scalar variable *)
+  | Bsym_off of string * int   (** symbol plus constant offset *)
+
+type t =
+  | Whole                      (** the entire array *)
+  | Range of bound * bound     (** [lo, hi) *)
+
+val bound_to_string : bound -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val bound_equal : bound -> bound -> bool
+val equal : t -> t -> bool
+
+(** Provable [a <= b]; [None] when the order cannot be decided. *)
+val bound_le : bound -> bound -> bool option
+
+(** Does [outer] provably contain [inner]? *)
+val covers : outer:t -> inner:t -> bool
+
+(** Upper bound of both arguments (may over-approximate to [Whole]). *)
+val union : t -> t -> t
+
+(** [subtract a b] is [None] when [b] provably covers [a]; otherwise [a]
+    unchanged (conservative: nothing is partially removed). *)
+val subtract : t -> t -> t option
+
+(** Provably empty intersection. *)
+val disjoint : t -> t -> bool

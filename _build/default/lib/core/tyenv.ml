@@ -1,0 +1,32 @@
+(* Types of the variables visible at filter boundaries: globals, the
+   packet variable, and the top-level declarations of the (fissioned)
+   pipelined body.  Packing and code generation consult this map to decide
+   how each ReqComm item is serialized. *)
+
+open Lang
+
+type t = (string * Ast.ty) list
+
+let of_body (prog : Ast.program) (body : Ast.stmt list) : t =
+  let globals = List.map (fun g -> (g.Ast.gd_name, g.Ast.gd_ty)) prog.Ast.globals in
+  let packet = (prog.Ast.pipeline.Ast.pd_var, Ast.Tint) in
+  let decls =
+    List.filter_map
+      (fun (st : Ast.stmt) ->
+        match st.Ast.s with
+        | Ast.Sdecl (ty, name, _) -> Some (name, ty)
+        | _ -> None)
+      body
+  in
+  packet :: (globals @ decls)
+
+let of_segments prog (segments : Boundary.segment list) =
+  of_body prog (List.concat_map (fun s -> s.Boundary.seg_stmts) segments)
+
+let find (t : t) name = List.assoc_opt name t
+
+(* Type of field [f] of class [c]. *)
+let field_ty prog cname f =
+  match Ast.find_class prog cname with
+  | None -> None
+  | Some cd -> List.find_opt (fun (_, n) -> n = f) cd.Ast.cd_fields |> Option.map fst

@@ -1,0 +1,15 @@
+(** Types of the variables visible at filter boundaries: globals, the
+    packet variable, and the top-level declarations of the (fissioned)
+    pipelined body.  Packing and code generation consult this map to
+    decide how each ReqComm item is serialized. *)
+
+open Lang
+
+type t = (string * Ast.ty) list
+
+val of_body : Ast.program -> Ast.stmt list -> t
+val of_segments : Ast.program -> Boundary.segment list -> t
+val find : t -> string -> Ast.ty option
+
+(** Declared type of field [f] of class [cname]. *)
+val field_ty : Ast.program -> string -> string -> Ast.ty option

@@ -1,0 +1,1 @@
+lib/datacutter/filter.mli: Bytes

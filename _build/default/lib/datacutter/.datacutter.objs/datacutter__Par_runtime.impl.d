@@ -1,0 +1,1 @@
+lib/datacutter/par_runtime.ml: Array Condition Domain Filter List Mutex Queue Topology Unix

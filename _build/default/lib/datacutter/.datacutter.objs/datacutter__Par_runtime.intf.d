@@ -1,0 +1,1 @@
+lib/datacutter/par_runtime.mli: Topology

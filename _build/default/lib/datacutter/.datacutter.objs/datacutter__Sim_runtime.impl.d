@@ -1,0 +1,1 @@
+lib/datacutter/sim_runtime.ml: Array Filter Fmt Queue Topology

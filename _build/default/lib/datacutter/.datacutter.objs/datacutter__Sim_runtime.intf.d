@@ -1,0 +1,1 @@
+lib/datacutter/sim_runtime.mli: Format Topology

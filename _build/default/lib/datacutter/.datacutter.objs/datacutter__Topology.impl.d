@@ -1,0 +1,1 @@
+lib/datacutter/topology.ml: Filter List

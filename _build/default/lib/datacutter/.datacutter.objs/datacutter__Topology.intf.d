@@ -1,0 +1,1 @@
+lib/datacutter/topology.mli: Filter

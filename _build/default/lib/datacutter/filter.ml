@@ -1,0 +1,82 @@
+(* The filter-stream programming model of DataCutter (§2.2).
+
+   An application is a set of filters connected by streams.  All data
+   transfer happens through fixed buffers; filter operation follows the
+   init / process / finalize cycle.  A filter has one input stream and one
+   output stream (the source reads from local storage, the sink only
+   views results).
+
+   Transparent copies: a logical filter may be instantiated several times;
+   the runtime distributes stream buffers over the copies (round-robin)
+   and keeps the illusion of a single logical stream.  End-of-stream
+   markers can carry a payload (a per-copy partial reduction result) that
+   downstream filters absorb or forward. *)
+
+type buffer = {
+  packet : int;      (* unit-of-work id; -1 for end-of-stream payloads *)
+  data : Bytes.t;
+}
+
+let make_buffer ~packet data = { packet; data }
+let buffer_size b = Bytes.length b.data
+
+(* Work a filter copy reports to the runtime, in abstract weighted
+   operations; the simulated runtime divides by the hosting unit's power,
+   the parallel runtime ignores it (real time is measured). *)
+type cost = float
+
+(* A filter copy.  Implementations capture their per-copy state in the
+   closure environment. *)
+type t = {
+  name : string;
+  init : unit -> cost;
+  (* process one data buffer; return an optional output buffer *)
+  process : buffer -> buffer option * cost;
+  (* absorb (or forward) one upstream copy's end-of-stream payload *)
+  on_eos : buffer option -> buffer option * cost;
+  (* all upstream copies finished: flush own state downstream *)
+  finalize : unit -> buffer option * cost;
+}
+
+(* A data source: the filter at the head of the pipeline, reading from
+   the (local) data repository.  [next] yields successive unit-of-work
+   buffers and their production cost. *)
+type source = {
+  src_name : string;
+  next : unit -> (buffer * cost) option;
+  (* sources may also hold per-copy reduction state when the compiler
+     places a merge on the data host; flushed after the last packet *)
+  src_finalize : unit -> buffer option * cost;
+}
+
+(* A no-op pass-through filter (useful as a default and in tests). *)
+let pass_through name =
+  {
+    name;
+    init = (fun () -> 0.0);
+    process = (fun b -> (Some b, 0.0));
+    on_eos = (fun payload -> (payload, 0.0));
+    finalize = (fun () -> (None, 0.0));
+  }
+
+(* A sink that records everything it receives. *)
+let collecting_sink name =
+  let received = ref [] in
+  let filter =
+    {
+      name;
+      init = (fun () -> 0.0);
+      process =
+        (fun b ->
+          received := b :: !received;
+          (None, 0.0));
+      on_eos =
+        (fun payload ->
+          (match payload with
+          | Some b -> received := b :: !received
+          | None -> ());
+          (None, 0.0));
+      finalize = (fun () -> (None, 0.0));
+    }
+  in
+  (filter, fun () -> List.rev !received)

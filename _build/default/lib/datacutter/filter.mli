@@ -1,0 +1,53 @@
+(** The filter-stream programming model of DataCutter (§2.2).
+
+    An application is a set of filters connected by streams; all data
+    transfer happens through buffers, and filter operation follows the
+    init / process / finalize cycle.  A filter has one input and one
+    output stream (the source reads from local storage, the sink only
+    views results).  Transparent copies of a logical filter receive
+    buffers round-robin; end-of-stream markers can carry a payload (a
+    per-copy partial reduction) that downstream filters absorb or
+    forward. *)
+
+type buffer = {
+  packet : int;  (** unit-of-work id; -1 for end-of-stream payloads *)
+  data : Bytes.t;
+}
+
+val make_buffer : packet:int -> Bytes.t -> buffer
+val buffer_size : buffer -> int
+
+(** Work reported to the runtime, in abstract weighted operations: the
+    simulated runtime divides by the hosting unit's power, the parallel
+    runtime measures real time instead. *)
+type cost = float
+
+(** A filter copy; implementations keep per-copy state in their
+    closures. *)
+type t = {
+  name : string;
+  init : unit -> cost;
+  process : buffer -> buffer option * cost;
+      (** handle one data buffer, optionally emitting downstream *)
+  on_eos : buffer option -> buffer option * cost;
+      (** absorb (or forward) one upstream copy's end-of-stream payload *)
+  finalize : unit -> buffer option * cost;
+      (** all upstream copies finished: flush own state downstream *)
+}
+
+(** A data source: the filter at the head of the pipeline.  [next]
+    yields successive unit-of-work buffers with their production cost;
+    [src_finalize] flushes reduction state the compiler may have placed
+    on the data host. *)
+type source = {
+  src_name : string;
+  next : unit -> (buffer * cost) option;
+  src_finalize : unit -> buffer option * cost;
+}
+
+(** A filter that forwards everything untouched. *)
+val pass_through : string -> t
+
+(** A sink recording everything it receives; the second component
+    returns the buffers in arrival order. *)
+val collecting_sink : string -> t * (unit -> buffer list)

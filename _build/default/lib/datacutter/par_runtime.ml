@@ -1,0 +1,147 @@
+(* Real parallel execution of a filter pipeline on OCaml 5 domains.
+
+   Each filter copy runs on its own domain; streams are bounded blocking
+   queues (backpressure like DataCutter's fixed buffer pool).  The item
+   protocol is the same as [Sim_runtime]'s: Data buffers round-robin
+   across the downstream copies, Final buffers carry per-copy partial
+   results, Markers are broadcast and counted. *)
+
+type item =
+  | Data of Filter.buffer
+  | Final of Filter.buffer
+  | Marker
+
+module Bqueue = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    mutex : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+    capacity : int;
+  }
+
+  let create capacity =
+    {
+      items = Queue.create ();
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      capacity;
+    }
+
+  let push q x =
+    Mutex.lock q.mutex;
+    while Queue.length q.items >= q.capacity do
+      Condition.wait q.not_full q.mutex
+    done;
+    Queue.push x q.items;
+    Condition.signal q.not_empty;
+    Mutex.unlock q.mutex
+
+  let pop q =
+    Mutex.lock q.mutex;
+    while Queue.is_empty q.items do
+      Condition.wait q.not_empty q.mutex
+    done;
+    let x = Queue.pop q.items in
+    Condition.signal q.not_full;
+    Mutex.unlock q.mutex;
+    x
+end
+
+type metrics = {
+  wall_time : float;             (* end-to-end seconds *)
+  stage_busy : float array array; (* [stage].[copy] busy seconds *)
+  stage_items : int array array;
+}
+
+let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
+  let stages = Array.of_list topo.Topology.stages in
+  let n_stages = Array.length stages in
+  (* input queue per copy of stages 1.. *)
+  let queues =
+    Array.init n_stages (fun s ->
+        if s = 0 then [||]
+        else
+          Array.init stages.(s).Topology.width (fun _ ->
+              (Bqueue.create queue_capacity : item Bqueue.t)))
+  in
+  let busy = Array.map (fun st -> Array.make st.Topology.width 0.0) stages in
+  let items_done = Array.map (fun st -> Array.make st.Topology.width 0) stages in
+  let now () = Unix.gettimeofday () in
+
+  let send_rr rr s it =
+    let dst = queues.(s + 1) in
+    let k = !rr mod Array.length dst in
+    incr rr;
+    Bqueue.push dst.(k) it
+  in
+  let broadcast s it =
+    Array.iter (fun q -> Bqueue.push q it) queues.(s + 1)
+  in
+
+  let copy_body s k () =
+    let st = stages.(s) in
+    let rr = ref k in
+    let charge f =
+      let t0 = now () in
+      let r = f () in
+      busy.(s).(k) <- busy.(s).(k) +. (now () -. t0);
+      r
+    in
+    match st.Topology.role with
+    | Topology.Source mk ->
+        let src = mk k in
+        let rec loop () =
+          match charge (fun () -> src.Filter.next ()) with
+          | Some (b, _) ->
+              items_done.(s).(k) <- items_done.(s).(k) + 1;
+              send_rr rr s (Data b);
+              loop ()
+          | None ->
+              let out, _ = charge (fun () -> src.Filter.src_finalize ()) in
+              (match out with Some b -> send_rr rr s (Final b) | None -> ());
+              broadcast s Marker
+        in
+        loop ()
+    | Topology.Inner mk | Topology.Sink mk ->
+        let f = mk k in
+        ignore (charge (fun () -> f.Filter.init ()));
+        let q = queues.(s).(k) in
+        let upstream = stages.(s - 1).Topology.width in
+        let markers = ref 0 in
+        let is_last = s = n_stages - 1 in
+        let forward it = if not is_last then send_rr rr s it in
+        let rec loop () =
+          match Bqueue.pop q with
+          | Data b ->
+              let out, _ = charge (fun () -> f.Filter.process b) in
+              items_done.(s).(k) <- items_done.(s).(k) + 1;
+              (match out with Some b -> forward (Data b) | None -> ());
+              loop ()
+          | Final b ->
+              let out, _ = charge (fun () -> f.Filter.on_eos (Some b)) in
+              (match out with Some b -> forward (Final b) | None -> ());
+              loop ()
+          | Marker ->
+              incr markers;
+              if !markers = upstream then begin
+                let out, _ = charge (fun () -> f.Filter.finalize ()) in
+                (match out with Some b -> forward (Final b) | None -> ());
+                if not is_last then broadcast s Marker
+              end
+              else loop ()
+        in
+        loop ()
+  in
+
+  let t0 = now () in
+  let domains =
+    List.concat
+      (List.init n_stages (fun s ->
+           List.init stages.(s).Topology.width (fun k ->
+               Domain.spawn (copy_body s k))))
+  in
+  List.iter Domain.join domains;
+  let wall_time = now () -. t0 in
+  { wall_time; stage_busy = busy; stage_items = items_done }

@@ -1,0 +1,17 @@
+(** Real parallel execution of a filter pipeline on OCaml 5 domains.
+
+    Each filter copy runs on its own domain; streams are bounded blocking
+    queues (backpressure like DataCutter's fixed buffer pool).  The item
+    protocol matches {!Sim_runtime}: data buffers round-robin across the
+    downstream copies, end-of-stream payloads are absorbed or forwarded,
+    markers are broadcast and counted. *)
+
+type metrics = {
+  wall_time : float;               (** end-to-end seconds *)
+  stage_busy : float array array;  (** busy seconds per stage, per copy *)
+  stage_items : int array array;
+}
+
+(** Run the pipeline to completion, one domain per filter copy.
+    [queue_capacity] bounds each stream's in-flight buffers. *)
+val run : ?queue_capacity:int -> Topology.t -> metrics

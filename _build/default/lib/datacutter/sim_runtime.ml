@@ -1,0 +1,316 @@
+(* Discrete-event simulation of a filter pipeline on a cluster.
+
+   Substitution for the paper's testbed (700 MHz Pentium nodes on
+   Myrinet): each stage copy is a server with a FIFO queue whose service
+   time is the filter-reported operation count divided by the node's
+   power; each copy's incoming link is a server that serializes transfers
+   at the link bandwidth (plus a per-buffer latency).  Filters really
+   execute (the buffers carry real data); only time is simulated, so the
+   simulated run doubles as a correctness check of the decomposition.
+
+   End-of-stream protocol: when a copy has received EOS markers from all
+   of its upstream copies it finalizes, emits its partial-result payload
+   (if any) as a [Final] item, and broadcasts markers downstream.  Final
+   items are absorbed or forwarded by [on_eos]. *)
+
+type item =
+  | Data of Filter.buffer
+  | Final of Filter.buffer
+  | Marker
+
+(* --- event queue (binary heap keyed by time) --- *)
+
+module Heap = struct
+  type 'a t = { mutable arr : (float * 'a) array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+  let _is_empty h = h.len = 0
+
+  let push h time v =
+    if h.len = Array.length h.arr then begin
+      let cap = max 16 (2 * Array.length h.arr) in
+      let arr = Array.make cap (time, v) in
+      Array.blit h.arr 0 arr 0 h.len;
+      h.arr <- arr
+    end;
+    h.arr.(h.len) <- (time, v);
+    h.len <- h.len + 1;
+    (* sift up *)
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      fst h.arr.(p) > fst h.arr.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.arr.(p) in
+      h.arr.(p) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.arr.(l) < fst h.arr.(!smallest) then smallest := l;
+        if r < h.len && fst h.arr.(r) < fst h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+(* --- metrics --- *)
+
+type stage_metrics = {
+  sm_name : string;
+  sm_busy : float array;   (* busy seconds per copy *)
+  sm_items : int array;    (* items processed per copy *)
+}
+
+type link_metrics = {
+  lm_bytes : float;
+  lm_transfers : int;
+  lm_busy : float;         (* total transfer seconds across receiver links *)
+}
+
+type metrics = {
+  makespan : float;
+  stage_stats : stage_metrics array;
+  link_stats : link_metrics array;
+}
+
+let total_bytes m = Array.fold_left (fun a l -> a +. l.lm_bytes) 0.0 m.link_stats
+
+(* --- simulation state --- *)
+
+type impl = Src of Filter.source | Filt of Filter.t
+
+type copy = {
+  stage : int;
+  index : int;
+  impl : impl;
+  queue : item Queue.t;
+  mutable busy : bool;
+  mutable markers_seen : int;
+  mutable finished : bool;
+  mutable rr : int;                (* round-robin pointer downstream *)
+  mutable link_free_at : float;    (* this copy's input link availability *)
+  mutable busy_time : float;
+  mutable items_done : int;
+}
+
+type event =
+  | Ev_arrival of copy * item
+  | Ev_copy_done of copy * Filter.buffer option * [ `Data | `Final | `Finalize ]
+  | Ev_source_step of copy
+
+let run (topo : Topology.t) : metrics =
+  let stages = Array.of_list topo.Topology.stages in
+  let links = Array.of_list topo.Topology.links in
+  let n_stages = Array.length stages in
+  let copies =
+    Array.mapi
+      (fun s (st : Topology.stage) ->
+        Array.init st.Topology.width (fun k ->
+            let impl =
+              match st.Topology.role with
+              | Topology.Source mk -> Src (mk k)
+              | Topology.Inner mk | Topology.Sink mk -> Filt (mk k)
+            in
+            {
+              stage = s;
+              index = k;
+              impl;
+              queue = Queue.create ();
+              busy = false;
+              markers_seen = 0;
+              finished = false;
+              rr = k;
+              link_free_at = 0.0;
+              busy_time = 0.0;
+              items_done = 0;
+            }))
+      stages
+  in
+  let link_bytes = Array.make (max 0 (n_stages - 1)) 0.0 in
+  let link_transfers = Array.make (max 0 (n_stages - 1)) 0 in
+  let link_busy = Array.make (max 0 (n_stages - 1)) 0.0 in
+  let heap : event Heap.t = Heap.create () in
+  let makespan = ref 0.0 in
+  let note_time t = if t > !makespan then makespan := t in
+
+  (* Send [item] from [c] downstream at time [t].  Data/Final use
+     round-robin to a single copy; markers broadcast to every copy. *)
+  let send t (c : copy) (it : item) =
+    if c.stage < n_stages - 1 then begin
+      let dst_stage = copies.(c.stage + 1) in
+      let link = links.(c.stage) in
+      let deliver (dst : copy) size =
+        let start = max t dst.link_free_at in
+        let dur = link.Topology.latency +. (size /. link.Topology.bandwidth) in
+        dst.link_free_at <- start +. dur;
+        link_busy.(c.stage) <- link_busy.(c.stage) +. dur;
+        link_bytes.(c.stage) <- link_bytes.(c.stage) +. size;
+        link_transfers.(c.stage) <- link_transfers.(c.stage) + 1;
+        Heap.push heap (start +. dur) (Ev_arrival (dst, it));
+        note_time (start +. dur)
+      in
+      match it with
+      | Data b | Final b ->
+          let dst = dst_stage.(c.rr mod Array.length dst_stage) in
+          c.rr <- c.rr + 1;
+          deliver dst (float_of_int (Filter.buffer_size b))
+      | Marker -> Array.iter (fun dst -> deliver dst 1.0) dst_stage
+    end
+  in
+
+  let power_of c = stages.(c.stage).Topology.power in
+
+  (* Start work on the next queued item if idle. *)
+  let rec maybe_start t (c : copy) =
+    if (not c.busy) && not (Queue.is_empty c.queue) then begin
+      let it = Queue.pop c.queue in
+      match c.impl with
+      | Src _ -> () (* sources are self-driving; they have no queue *)
+      | Filt f -> (
+          match it with
+          | Data b ->
+              let out, cost = f.Filter.process b in
+              let dur = cost /. power_of c in
+              c.busy <- true;
+              c.busy_time <- c.busy_time +. dur;
+              c.items_done <- c.items_done + 1;
+              Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Data))
+          | Final b ->
+              let out, cost = f.Filter.on_eos (Some b) in
+              let dur = cost /. power_of c in
+              c.busy <- true;
+              c.busy_time <- c.busy_time +. dur;
+              Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Final))
+          | Marker ->
+              c.markers_seen <- c.markers_seen + 1;
+              let upstream = stages.(c.stage - 1).Topology.width in
+              if c.markers_seen = upstream then begin
+                let out, cost = f.Filter.finalize () in
+                let dur = cost /. power_of c in
+                c.busy <- true;
+                c.busy_time <- c.busy_time +. dur;
+                Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Finalize))
+              end
+              else maybe_start t c)
+    end
+
+  and handle t = function
+    | Ev_arrival (c, it) ->
+        Queue.push it c.queue;
+        maybe_start t c
+    | Ev_copy_done (c, out, kind) ->
+        c.busy <- false;
+        note_time t;
+        (match (out, kind) with
+        | Some b, `Data -> send t c (Data b)
+        | Some b, (`Final | `Finalize) -> send t c (Final b)
+        | None, _ -> ());
+        if kind = `Finalize then begin
+          c.finished <- true;
+          send t c Marker
+        end;
+        maybe_start t c
+    | Ev_source_step c -> (
+        match c.impl with
+        | Filt _ -> ()
+        | Src s -> (
+            match s.Filter.next () with
+            | Some (b, cost) ->
+                let dur = cost /. power_of c in
+                c.busy_time <- c.busy_time +. dur;
+                c.items_done <- c.items_done + 1;
+                let t' = t +. dur in
+                note_time t';
+                send t' c (Data b);
+                Heap.push heap t' (Ev_source_step c)
+            | None ->
+                let out, cost = s.Filter.src_finalize () in
+                let dur = cost /. power_of c in
+                c.busy_time <- c.busy_time +. dur;
+                let t' = t +. dur in
+                note_time t';
+                (match out with Some b -> send t' c (Final b) | None -> ());
+                c.finished <- true;
+                send t' c Marker))
+  in
+
+  (* init all copies, start sources *)
+  Array.iter
+    (fun stage_copies ->
+      Array.iter
+        (fun c ->
+          match c.impl with
+          | Filt f ->
+              let cost = f.Filter.init () in
+              c.busy_time <- c.busy_time +. (cost /. power_of c)
+          | Src _ -> Heap.push heap 0.0 (Ev_source_step c))
+        stage_copies)
+    copies;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (t, ev) ->
+        handle t ev;
+        loop ()
+  in
+  loop ();
+  {
+    makespan = !makespan;
+    stage_stats =
+      Array.mapi
+        (fun s stage_copies ->
+          {
+            sm_name = stages.(s).Topology.stage_name;
+            sm_busy = Array.map (fun c -> c.busy_time) stage_copies;
+            sm_items = Array.map (fun c -> c.items_done) stage_copies;
+          })
+        copies;
+    link_stats =
+      Array.init
+        (max 0 (n_stages - 1))
+        (fun i ->
+          {
+            lm_bytes = link_bytes.(i);
+            lm_transfers = link_transfers.(i);
+            lm_busy = link_busy.(i);
+          });
+  }
+
+let pp_metrics ppf m =
+  Fmt.pf ppf "makespan=%.6fs@\n" m.makespan;
+  Array.iter
+    (fun sm ->
+      Fmt.pf ppf "  stage %-12s busy=[%a] items=[%a]@\n" sm.sm_name
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        sm.sm_busy
+        Fmt.(array ~sep:(any "; ") int)
+        sm.sm_items)
+    m.stage_stats;
+  Array.iteri
+    (fun i lm ->
+      Fmt.pf ppf "  link %d: %.0f bytes in %d transfers, busy %.4fs@\n" i
+        lm.lm_bytes lm.lm_transfers lm.lm_busy)
+    m.link_stats

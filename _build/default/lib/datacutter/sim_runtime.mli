@@ -1,0 +1,39 @@
+(** Discrete-event simulation of a filter pipeline on a cluster.
+
+    Substitute for the paper's testbed: each stage copy is a server with
+    a FIFO queue whose service time is the filter-reported operation
+    count divided by the node's power; each copy's incoming link
+    serializes transfers at the link bandwidth plus a per-buffer latency.
+    Filters really execute (buffers carry real data) — only time is
+    simulated, so a run doubles as a correctness check.
+
+    End-of-stream protocol: when a copy has received markers from all
+    upstream copies it finalizes, emits its partial-result payload, and
+    broadcasts markers downstream; payloads are absorbed or forwarded by
+    [on_eos]. *)
+
+type stage_metrics = {
+  sm_name : string;
+  sm_busy : float array;   (** busy seconds per copy *)
+  sm_items : int array;    (** items processed per copy *)
+}
+
+type link_metrics = {
+  lm_bytes : float;
+  lm_transfers : int;
+  lm_busy : float;
+}
+
+type metrics = {
+  makespan : float;  (** simulated end-to-end seconds *)
+  stage_stats : stage_metrics array;
+  link_stats : link_metrics array;
+}
+
+(** Total bytes moved over all links. *)
+val total_bytes : metrics -> float
+
+(** Run the pipeline to completion. *)
+val run : Topology.t -> metrics
+
+val pp_metrics : Format.formatter -> metrics -> unit

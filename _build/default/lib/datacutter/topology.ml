@@ -1,0 +1,59 @@
+(* Placement of logical filters onto a pipeline of computing units.
+
+   A topology is a list of stages; stage 0 holds the data source(s), the
+   last stage hosts the sink.  Each stage has a width (number of
+   transparent copies, one per node of that stage) and a per-node
+   computing power; consecutive stages are joined by links with a
+   bandwidth and a per-buffer latency.
+
+   The paper's experimental configurations map directly:
+     1-1-1 -> widths [1; 1; 1]
+     2-2-1 -> widths [2; 2; 1]
+     4-4-1 -> widths [4; 4; 1]                                          *)
+
+type role =
+  | Source of (int -> Filter.source)   (* copy index -> source instance *)
+  | Inner of (int -> Filter.t)
+  | Sink of (int -> Filter.t)
+
+type stage = {
+  stage_name : string;
+  width : int;
+  power : float;          (* weighted ops/second of each node *)
+  role : role;
+}
+
+type link = {
+  bandwidth : float;      (* bytes/second *)
+  latency : float;        (* seconds per buffer *)
+}
+
+type t = {
+  stages : stage list;
+  links : link list;      (* length = stages - 1 *)
+}
+
+let create ~stages ~links =
+  if List.length links <> List.length stages - 1 then
+    invalid_arg "Topology.create: need one link fewer than stages";
+  List.iter
+    (fun s ->
+      if s.width < 1 then invalid_arg "Topology.create: stage width < 1";
+      if s.power <= 0.0 then invalid_arg "Topology.create: stage power <= 0")
+    stages;
+  (match stages with
+  | [] -> invalid_arg "Topology.create: empty pipeline"
+  | first :: _ -> (
+      match first.role with
+      | Source _ -> ()
+      | _ -> invalid_arg "Topology.create: first stage must be a Source"));
+  (match List.rev stages with
+  | last :: _ :: _ -> (
+      match last.role with
+      | Sink _ -> ()
+      | _ -> invalid_arg "Topology.create: last stage must be a Sink")
+  | _ -> ());
+  { stages; links }
+
+let stage_count t = List.length t.stages
+let widths t = List.map (fun s -> s.width) t.stages

@@ -1,0 +1,34 @@
+(** Placement of logical filters onto a pipeline of computing units.
+
+    A topology is a list of stages: stage 0 holds the data source(s),
+    the last stage the sink.  Each stage has a width (transparent
+    copies, one per node) and a per-node power; consecutive stages are
+    joined by links.  The paper's configurations map directly: 1-1-1,
+    2-2-1 and 4-4-1 are the stage widths. *)
+
+type role =
+  | Source of (int -> Filter.source)  (** copy index -> instance *)
+  | Inner of (int -> Filter.t)
+  | Sink of (int -> Filter.t)
+
+type stage = {
+  stage_name : string;
+  width : int;
+  power : float;  (** weighted ops/second of each node of the stage *)
+  role : role;
+}
+
+type link = {
+  bandwidth : float;  (** bytes/second *)
+  latency : float;    (** seconds per buffer *)
+}
+
+type t = { stages : stage list; links : link list }
+
+(** @raise Invalid_argument unless there is one link fewer than stages,
+    every width and power is positive, the first stage is a [Source] and
+    the last a [Sink]. *)
+val create : stages:stage list -> links:link list -> t
+
+val stage_count : t -> int
+val widths : t -> int list

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Float Hashtbl List Opcount String Value

@@ -1,0 +1,1 @@
+lib/lang/opcount.ml: Fmt

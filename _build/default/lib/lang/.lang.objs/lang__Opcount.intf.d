@@ -1,0 +1,1 @@
+lib/lang/opcount.mli: Format

@@ -1,0 +1,1 @@
+lib/lang/srcloc.ml: Fmt

@@ -1,0 +1,1 @@
+lib/lang/value.ml: Array Ast Fmt Hashtbl List String

@@ -1,0 +1,69 @@
+(** Tree-walking interpreter for PipeLang with operation accounting.
+
+    Two uses: reference execution of whole programs (the sequential
+    semantics every decomposed execution is checked against), and
+    execution of individual filter code segments by the generated
+    filters, over environments unpacked from stream buffers.  Every
+    executed operation is charged to the context's counter. *)
+
+type ctx = {
+  prog : Ast.program;
+  externs : (string, extern_fn) Hashtbl.t;
+  runtime_defs : (string, int) Hashtbl.t;
+  counter : Opcount.t;
+}
+
+(** Host-provided functions receive the context so they can charge
+    operation costs (e.g. per byte read) and consult runtime defines. *)
+and extern_fn = ctx -> Value.t list -> Value.t
+
+(** Mutable lexical environment: a chain of scopes. *)
+type scope = (string, Value.t ref) Hashtbl.t
+
+type env = scope list
+
+val create_ctx :
+  ?externs:(string * extern_fn) list ->
+  ?runtime_defs:(string * int) list ->
+  Ast.program ->
+  ctx
+
+val set_runtime_define : ctx -> string -> int -> unit
+
+val new_env : unit -> env
+val push_scope : env -> env
+
+(** Bind in the innermost scope (replacing any same-name binding
+    there). *)
+val bind : env -> string -> Value.t -> unit
+
+(** @raise Value.Runtime_error when unbound. *)
+val lookup : env -> string -> Value.t
+
+(** Evaluate an expression.  @raise Value.Runtime_error on dynamic
+    errors. *)
+val eval : ctx -> env -> Ast.expr -> Value.t
+
+(** Call a program function, builtin or extern by name. *)
+val call_function : ctx -> string -> Value.t list -> Value.t
+
+(** Invoke a method on an object or list value. *)
+val call_method : ctx -> Value.t -> string -> Value.t list -> Value.t
+
+(** Execute one statement in the given environment. *)
+val exec : ctx -> env -> Ast.stmt -> unit
+
+(** Execute statements without opening a new scope: declarations persist
+    in [env]'s innermost scope — the entry point generated filters use on
+    their code segments. *)
+val exec_stmts : ctx -> env -> Ast.stmt list -> unit
+
+(** Evaluate the top-level global declarations in order, returning the
+    global environment (reduction globals accumulate across packets). *)
+val init_globals : ctx -> env
+
+(** Run the whole pipelined loop sequentially: the reference semantics.
+    Returns the global environment after the last packet. *)
+val run_reference : ctx -> env
+
+val global_value : env -> string -> Value.t

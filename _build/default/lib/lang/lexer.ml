@@ -1,0 +1,217 @@
+(* Hand-written lexer for PipeLang.  Produces a list of located tokens.
+   Supports line comments [//], block comments, decimal integers and
+   floats, string literals with the usual escapes. *)
+
+type located = { tok : Token.t; loc : Srcloc.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let cur_loc st =
+  Srcloc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = cur_loc st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> Srcloc.errorf start "unterminated block comment"
+        | Some _, _ ->
+            advance st;
+            to_close ()
+      in
+      to_close ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let loc = cur_loc st in
+  let start = st.pos in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> { tok = Token.FLOAT f; loc }
+    | None -> Srcloc.errorf loc "malformed float literal: %s" text
+  else
+    match int_of_string_opt text with
+    | Some n -> { tok = Token.INT n; loc }
+    | None -> Srcloc.errorf loc "integer literal out of range: %s" text
+
+let lex_ident st =
+  let loc = cur_loc st in
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_alnum c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt text Token.keywords with
+  | Some kw -> { tok = kw; loc }
+  | None -> { tok = Token.IDENT text; loc }
+
+let lex_string st =
+  let loc = cur_loc st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Srcloc.errorf loc "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            go ()
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            go ()
+        | Some c -> Srcloc.errorf (cur_loc st) "unknown escape: \\%c" c
+        | None -> Srcloc.errorf loc "unterminated string literal")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  { tok = Token.STRING (Buffer.contents buf); loc }
+
+(* Lex one token; assumes whitespace/comments already skipped and input not
+   exhausted. *)
+let lex_one st =
+  let loc = cur_loc st in
+  let two tok =
+    advance st;
+    advance st;
+    { tok; loc }
+  in
+  let one tok =
+    advance st;
+    { tok; loc }
+  in
+  match peek st with
+  | None -> { tok = Token.EOF; loc }
+  | Some c when is_digit c -> lex_number st
+  | Some c when is_alpha c -> lex_ident st
+  | Some '"' -> lex_string st
+  | Some '(' -> one Token.LPAREN
+  | Some ')' -> one Token.RPAREN
+  | Some '{' -> one Token.LBRACE
+  | Some '}' -> one Token.RBRACE
+  | Some '[' -> one Token.LBRACKET
+  | Some ']' -> one Token.RBRACKET
+  | Some ';' -> one Token.SEMI
+  | Some ',' -> one Token.COMMA
+  | Some '.' -> one Token.DOT
+  | Some ':' -> one Token.COLON
+  | Some '+' when peek2 st = Some '=' -> two Token.PLUS_ASSIGN
+  | Some '-' when peek2 st = Some '=' -> two Token.MINUS_ASSIGN
+  | Some '*' when peek2 st = Some '=' -> two Token.STAR_ASSIGN
+  | Some '+' -> one Token.PLUS
+  | Some '-' -> one Token.MINUS
+  | Some '*' -> one Token.STAR
+  | Some '/' -> one Token.SLASH
+  | Some '%' -> one Token.PERCENT
+  | Some '<' when peek2 st = Some '=' -> two Token.LE
+  | Some '<' -> one Token.LT
+  | Some '>' when peek2 st = Some '=' -> two Token.GE
+  | Some '>' -> one Token.GT
+  | Some '=' when peek2 st = Some '=' -> two Token.EQ
+  | Some '=' -> one Token.ASSIGN
+  | Some '!' when peek2 st = Some '=' -> two Token.NE
+  | Some '!' -> one Token.NOT
+  | Some '&' when peek2 st = Some '&' -> two Token.AND
+  | Some '|' when peek2 st = Some '|' -> two Token.OR
+  | Some c -> Srcloc.errorf loc "unexpected character %C" c
+
+(* Tokenize a whole compilation unit.  The result always ends with [EOF]. *)
+let tokenize ?(file = "<input>") src =
+  let st = make ~file src in
+  let rec go acc =
+    skip_ws_and_comments st;
+    let t = lex_one st in
+    if t.tok = Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

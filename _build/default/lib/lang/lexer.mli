@@ -1,0 +1,11 @@
+(** Hand-written lexer for PipeLang. *)
+
+(** A token together with the location of its first character. *)
+type located = { tok : Token.t; loc : Srcloc.t }
+
+(** [tokenize ?file src] lexes a whole compilation unit.  Line comments
+    ([//]), block comments and whitespace are skipped; the result always
+    ends with {!Token.EOF}.  Raises {!Srcloc.Error} on malformed input
+    (unterminated comment or string, unknown character, out-of-range
+    integer literal). *)
+val tokenize : ?file:string -> string -> located list

@@ -1,0 +1,102 @@
+(* Operation counters.
+
+   The paper's cost model (§4.3) estimates computation time from "the
+   number of floating point and integer operations in the code".  The
+   interpreter charges every executed operation to a counter; the compiler
+   profiles each candidate filter on sample packets to obtain per-segment
+   operation counts, which the cost model divides by the computing unit's
+   power. *)
+
+type t = {
+  mutable int_ops : int;
+  mutable float_ops : int;
+  mutable mem_ops : int;     (* field/array loads and stores *)
+  mutable branch_ops : int;  (* conditionals, loop iterations *)
+  mutable calls : int;
+  mutable appends : int;     (* list appends, i.e. output-element creation *)
+  mutable allocs : int;
+}
+
+let create () =
+  {
+    int_ops = 0;
+    float_ops = 0;
+    mem_ops = 0;
+    branch_ops = 0;
+    calls = 0;
+    appends = 0;
+    allocs = 0;
+  }
+
+let reset t =
+  t.int_ops <- 0;
+  t.float_ops <- 0;
+  t.mem_ops <- 0;
+  t.branch_ops <- 0;
+  t.calls <- 0;
+  t.appends <- 0;
+  t.allocs <- 0
+
+let copy t = { t with int_ops = t.int_ops }
+
+let add ~into t =
+  into.int_ops <- into.int_ops + t.int_ops;
+  into.float_ops <- into.float_ops + t.float_ops;
+  into.mem_ops <- into.mem_ops + t.mem_ops;
+  into.branch_ops <- into.branch_ops + t.branch_ops;
+  into.calls <- into.calls + t.calls;
+  into.appends <- into.appends + t.appends;
+  into.allocs <- into.allocs + t.allocs
+
+let diff ~after ~before =
+  {
+    int_ops = after.int_ops - before.int_ops;
+    float_ops = after.float_ops - before.float_ops;
+    mem_ops = after.mem_ops - before.mem_ops;
+    branch_ops = after.branch_ops - before.branch_ops;
+    calls = after.calls - before.calls;
+    appends = after.appends - before.appends;
+    allocs = after.allocs - before.allocs;
+  }
+
+(* Weighted total operation count.  Floating-point operations are charged
+   more than integer ALU operations; memory and branch operations have
+   unit cost.  The weights are the knobs of the cost model, not of the
+   analysis: decomposition only depends on ratios. *)
+type weights = {
+  w_int : float;
+  w_float : float;
+  w_mem : float;
+  w_branch : float;
+  w_call : float;
+  w_append : float;
+  w_alloc : float;
+}
+
+let default_weights =
+  {
+    w_int = 1.0;
+    w_float = 2.0;
+    w_mem = 1.0;
+    w_branch = 1.0;
+    w_call = 2.0;
+    w_append = 4.0;
+    w_alloc = 6.0;
+  }
+
+let weighted ?(weights = default_weights) t =
+  (float_of_int t.int_ops *. weights.w_int)
+  +. (float_of_int t.float_ops *. weights.w_float)
+  +. (float_of_int t.mem_ops *. weights.w_mem)
+  +. (float_of_int t.branch_ops *. weights.w_branch)
+  +. (float_of_int t.calls *. weights.w_call)
+  +. (float_of_int t.appends *. weights.w_append)
+  +. (float_of_int t.allocs *. weights.w_alloc)
+
+let total t =
+  t.int_ops + t.float_ops + t.mem_ops + t.branch_ops + t.calls + t.appends
+  + t.allocs
+
+let pp ppf t =
+  Fmt.pf ppf "{int=%d float=%d mem=%d branch=%d call=%d append=%d alloc=%d}"
+    t.int_ops t.float_ops t.mem_ops t.branch_ops t.calls t.appends t.allocs

@@ -1,0 +1,51 @@
+(** Operation counters.
+
+    The paper's cost model (§4.3) estimates computation time from the
+    number of floating point and integer operations.  The interpreter
+    charges every executed operation to a counter; the compiler profiles
+    each candidate filter on sample packets to obtain per-segment
+    operation counts, which the cost model divides by a computing unit's
+    power. *)
+
+type t = {
+  mutable int_ops : int;
+  mutable float_ops : int;
+  mutable mem_ops : int;     (** field/array loads and stores *)
+  mutable branch_ops : int;  (** conditionals, loop iterations *)
+  mutable calls : int;
+  mutable appends : int;     (** list appends (output-element creation) *)
+  mutable allocs : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+(** [add ~into c] accumulates [c] into [into]. *)
+val add : into:t -> t -> unit
+
+(** Component-wise difference, for measuring a code region. *)
+val diff : after:t -> before:t -> t
+
+(** Weights turning a counter into a single weighted-operation figure.
+    These are knobs of the cost model, not of the analysis: the
+    decomposition only depends on ratios. *)
+type weights = {
+  w_int : float;
+  w_float : float;
+  w_mem : float;
+  w_branch : float;
+  w_call : float;
+  w_append : float;
+  w_alloc : float;
+}
+
+val default_weights : weights
+
+(** Weighted total operation count. *)
+val weighted : ?weights:weights -> t -> float
+
+(** Unweighted total. *)
+val total : t -> int
+
+val pp : Format.formatter -> t -> unit

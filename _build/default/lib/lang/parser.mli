@@ -1,0 +1,14 @@
+(** Recursive-descent parser for PipeLang.
+
+    All entry points raise {!Srcloc.Error} on syntax errors, with the
+    location of the offending token. *)
+
+(** Parse a full compilation unit: class declarations, functions, global
+    declarations and exactly one [pipelined] loop. *)
+val parse : ?file:string -> string -> Ast.program
+
+(** Parse a single expression (testing helper). *)
+val parse_expr_string : ?file:string -> string -> Ast.expr
+
+(** Parse a statement list (testing helper). *)
+val parse_stmts_string : ?file:string -> string -> Ast.stmt list

@@ -1,0 +1,127 @@
+(* Pretty-printer for PipeLang ASTs.  Output re-parses to an equal AST
+   (round-trip property tested in the test suite). *)
+
+open Ast
+
+let rec pp_ty ppf t = Fmt.string ppf (ty_to_string t)
+
+and pp_expr ppf (e : expr) =
+  match e.e with
+  | Eint n -> Fmt.int ppf n
+  | Efloat f ->
+      (* Keep a decimal point so the literal re-lexes as a float. *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then Fmt.string ppf s
+      else Fmt.pf ppf "%s.0" s
+  | Ebool b -> Fmt.bool ppf b
+  | Estring s -> Fmt.pf ppf "%S" s
+  | Enull -> Fmt.string ppf "null"
+  | Evar v -> Fmt.string ppf v
+  | Efield (o, f) -> Fmt.pf ppf "%a.%s" pp_atom o f
+  | Eindex (a, i) -> Fmt.pf ppf "%a[%a]" pp_atom a pp_expr i
+  | Ebinop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Eunop (Neg, a) -> Fmt.pf ppf "(-%a)" pp_atom a
+  | Eunop (Not, a) -> Fmt.pf ppf "(!%a)" pp_atom a
+  | Ecall (f, args) -> Fmt.pf ppf "%s(%a)" f pp_args args
+  | Emethod (o, m, args) -> Fmt.pf ppf "%a.%s(%a)" pp_atom o m pp_args args
+  | Enew (c, args) -> Fmt.pf ppf "new %s(%a)" c pp_args args
+  | Enew_array (t, n) -> Fmt.pf ppf "new %a[%a]" pp_ty t pp_expr n
+  | Enew_list t -> Fmt.pf ppf "new List<%a>()" pp_ty t
+  | Erange (lo, hi) -> Fmt.pf ppf "[%a : %a]" pp_expr lo pp_expr hi
+  | Eruntime_define name -> Fmt.pf ppf "runtime_define %s" name
+
+and pp_atom ppf (e : expr) =
+  (* atoms needing no parens when used as a receiver *)
+  match e.e with
+  | Eint _ | Efloat _ | Ebool _ | Evar _ | Efield _ | Eindex _ | Ecall _
+  | Emethod _ | Estring _ | Enull ->
+      pp_expr ppf e
+  | _ -> Fmt.pf ppf "(%a)" pp_expr e
+
+and pp_args ppf args = Fmt.(list ~sep:(any ", ") pp_expr) ppf args
+
+let rec pp_lvalue ppf = function
+  | Lvar v -> Fmt.string ppf v
+  | Lfield (l, f) -> Fmt.pf ppf "%a.%s" pp_lvalue l f
+  | Lindex (l, i) -> Fmt.pf ppf "%a[%a]" pp_lvalue l pp_expr i
+
+let rec pp_stmt ind ppf (st : stmt) =
+  let pad = String.make ind ' ' in
+  match st.s with
+  | Sdecl (t, v, None) -> Fmt.pf ppf "%s%a %s;" pad pp_ty t v
+  | Sdecl (t, v, Some e) -> Fmt.pf ppf "%s%a %s = %a;" pad pp_ty t v pp_expr e
+  | Sassign (l, e) -> Fmt.pf ppf "%s%a = %a;" pad pp_lvalue l pp_expr e
+  | Supdate (l, op, e) ->
+      Fmt.pf ppf "%s%a %s= %a;" pad pp_lvalue l (binop_to_string op) pp_expr e
+  | Sif (c, th, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c (pp_stmts (ind + 2)) th
+        pad
+  | Sif (c, th, el) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmts (ind + 2)) th pad (pp_stmts (ind + 2)) el pad
+  | Sfor (init, cond, step, body) ->
+      let str_of p x = Fmt.str "%a" (p 0) x in
+      let init_s = str_of pp_stmt init in
+      let init_s = String.sub init_s 0 (String.length init_s - 1) in
+      let step_s = str_of pp_stmt step in
+      let step_s = String.sub step_s 0 (String.length step_s - 1) in
+      Fmt.pf ppf "%sfor (%s; %a; %s) {@\n%a@\n%s}" pad init_s pp_expr cond
+        step_s (pp_stmts (ind + 2)) body pad
+  | Swhile (c, body) ->
+      Fmt.pf ppf "%swhile (%a) {@\n%a@\n%s}" pad pp_expr c (pp_stmts (ind + 2))
+        body pad
+  | Sforeach { fe_var; fe_coll; fe_where; fe_body } ->
+      let pp_where ppf = function
+        | None -> ()
+        | Some w -> Fmt.pf ppf " where %a" pp_expr w
+      in
+      Fmt.pf ppf "%sforeach (%s in %a%a) {@\n%a@\n%s}" pad fe_var pp_expr
+        fe_coll pp_where fe_where (pp_stmts (ind + 2)) fe_body pad
+  | Sexpr e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | Sreturn None -> Fmt.pf ppf "%sreturn;" pad
+  | Sreturn (Some e) -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | Sbreak -> Fmt.pf ppf "%sbreak;" pad
+  | Scontinue -> Fmt.pf ppf "%scontinue;" pad
+  | Sblock body -> Fmt.pf ppf "%s{@\n%a@\n%s}" pad (pp_stmts (ind + 2)) body pad
+
+and pp_stmts ind ppf stmts =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ind)) ppf stmts
+
+let pp_params ppf params =
+  Fmt.(
+    list ~sep:(any ", ") (fun ppf (t, v) -> Fmt.pf ppf "%a %s" pp_ty t v))
+    ppf params
+
+let pp_func ind ppf (f : func_decl) =
+  let pad = String.make ind ' ' in
+  Fmt.pf ppf "%s%a %s(%a) {@\n%a@\n%s}" pad pp_ty f.fd_ret f.fd_name pp_params
+    f.fd_params (pp_stmts (ind + 2)) f.fd_body pad
+
+let pp_class ppf (c : class_decl) =
+  let impl = if c.cd_reduc then " implements Reducinterface" else "" in
+  Fmt.pf ppf "class %s%s {@\n" c.cd_name impl;
+  List.iter (fun (t, v) -> Fmt.pf ppf "  %a %s;@\n" pp_ty t v) c.cd_fields;
+  List.iter (fun m -> Fmt.pf ppf "%a@\n" (pp_func 2) m) c.cd_methods;
+  Fmt.pf ppf "}"
+
+let pp_pipeline ppf (p : pipeline_decl) =
+  Fmt.pf ppf "pipelined (%s in [0 : %a]) {@\n%a@\n}" p.pd_var pp_expr
+    p.pd_count (pp_stmts 2) p.pd_body
+
+let pp_global ppf (g : global_decl) =
+  match g.gd_init with
+  | None -> Fmt.pf ppf "%a %s;" pp_ty g.gd_ty g.gd_name
+  | Some e -> Fmt.pf ppf "%a %s = %a;" pp_ty g.gd_ty g.gd_name pp_expr e
+
+let pp_program ppf (prog : program) =
+  List.iter (fun c -> Fmt.pf ppf "%a@\n@\n" pp_class c) prog.classes;
+  List.iter (fun f -> Fmt.pf ppf "%a@\n@\n" (pp_func 0) f) prog.funcs;
+  List.iter (fun g -> Fmt.pf ppf "%a@\n@\n" pp_global g) prog.globals;
+  pp_pipeline ppf prog.pipeline
+
+let program_to_string prog = Fmt.str "%a" pp_program prog
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmt_to_string s = Fmt.str "%a" (pp_stmt 0) s
+let lvalue_to_string l = Fmt.str "%a" pp_lvalue l

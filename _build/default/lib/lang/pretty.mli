@@ -1,0 +1,21 @@
+(** Pretty-printer for PipeLang ASTs.
+
+    Output re-parses to a structurally equal AST (the round-trip is
+    property-tested), so the printer can be used to persist or inspect
+    transformed programs (e.g. after loop fission). *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : int -> Format.formatter -> Ast.stmt -> unit
+val pp_stmts : int -> Format.formatter -> Ast.stmt list -> unit
+val pp_func : int -> Format.formatter -> Ast.func_decl -> unit
+val pp_class : Format.formatter -> Ast.class_decl -> unit
+val pp_global : Format.formatter -> Ast.global_decl -> unit
+val pp_pipeline : Format.formatter -> Ast.pipeline_decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val lvalue_to_string : Ast.lvalue -> string

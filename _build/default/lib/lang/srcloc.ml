@@ -1,0 +1,23 @@
+(* Source locations for error reporting.  A [t] is a half-open character
+   range within a named compilation unit, together with line/column of the
+   starting position. *)
+
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;   (* 0-based column of the first character *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string t = Fmt.str "%a" pp t
+
+(* An exception carrying a located error message.  All front-end phases
+   (lexer, parser, type checker) raise this on user errors. *)
+exception Error of t * string
+
+let errorf loc fmt = Fmt.kstr (fun s -> raise (Error (loc, s))) fmt

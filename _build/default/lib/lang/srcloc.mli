@@ -1,0 +1,22 @@
+(** Source locations and located errors for the PipeLang front end. *)
+
+type t = {
+  file : string;  (** compilation unit name *)
+  line : int;     (** 1-based line *)
+  col : int;      (** 0-based column *)
+}
+
+(** A placeholder location for synthesized nodes. *)
+val dummy : t
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Raised by every front-end phase (lexer, parser, type checker) on a
+    user error, carrying the offending location. *)
+exception Error of t * string
+
+(** [errorf loc fmt ...] raises {!Error} with a formatted message. *)
+val errorf : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a

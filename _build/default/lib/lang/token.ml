@@ -1,0 +1,161 @@
+(* Tokens of the PipeLang dialect.  The dialect is the Java-like language of
+   the paper: classes (optionally implementing [Reducinterface]), functions,
+   rectdomains, [foreach] loops and a [pipelined] loop over packets. *)
+
+type t =
+  (* literals and identifiers *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_CLASS
+  | KW_IMPLEMENTS
+  | KW_REDUCINTERFACE
+  | KW_INT
+  | KW_FLOAT
+  | KW_BOOL
+  | KW_VOID
+  | KW_STRING
+  | KW_LIST
+  | KW_RECTDOMAIN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_WHILE
+  | KW_FOREACH
+  | KW_IN
+  | KW_WHERE
+  | KW_PIPELINED
+  | KW_RETURN
+  | KW_NEW
+  | KW_RUNTIME_DEFINE
+  | KW_BREAK
+  | KW_CONTINUE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | COLON
+  (* operators *)
+  | ASSIGN        (* = *)
+  | PLUS_ASSIGN   (* += *)
+  | MINUS_ASSIGN  (* -= *)
+  | STAR_ASSIGN   (* *= *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ            (* == *)
+  | NE            (* != *)
+  | AND           (* && *)
+  | OR            (* || *)
+  | NOT           (* ! *)
+  | EOF
+
+let keywords : (string * t) list =
+  [
+    ("class", KW_CLASS);
+    ("implements", KW_IMPLEMENTS);
+    ("Reducinterface", KW_REDUCINTERFACE);
+    ("int", KW_INT);
+    ("float", KW_FLOAT);
+    ("double", KW_FLOAT); (* treated as float *)
+    ("bool", KW_BOOL);
+    ("boolean", KW_BOOL);
+    ("void", KW_VOID);
+    ("String", KW_STRING);
+    ("List", KW_LIST);
+    ("Rectdomain", KW_RECTDOMAIN);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("null", KW_NULL);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("for", KW_FOR);
+    ("while", KW_WHILE);
+    ("foreach", KW_FOREACH);
+    ("in", KW_IN);
+    ("where", KW_WHERE);
+    ("pipelined", KW_PIPELINED);
+    ("return", KW_RETURN);
+    ("new", KW_NEW);
+    ("runtime_define", KW_RUNTIME_DEFINE);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+  ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_CLASS -> "class"
+  | KW_IMPLEMENTS -> "implements"
+  | KW_REDUCINTERFACE -> "Reducinterface"
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_BOOL -> "bool"
+  | KW_VOID -> "void"
+  | KW_STRING -> "String"
+  | KW_LIST -> "List"
+  | KW_RECTDOMAIN -> "Rectdomain"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NULL -> "null"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_FOR -> "for"
+  | KW_WHILE -> "while"
+  | KW_FOREACH -> "foreach"
+  | KW_IN -> "in"
+  | KW_WHERE -> "where"
+  | KW_PIPELINED -> "pipelined"
+  | KW_RETURN -> "return"
+  | KW_NEW -> "new"
+  | KW_RUNTIME_DEFINE -> "runtime_define"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AND -> "&&"
+  | OR -> "||"
+  | NOT -> "!"
+  | EOF -> "<eof>"

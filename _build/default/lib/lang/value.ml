@@ -1,0 +1,208 @@
+(* Runtime values of the PipeLang interpreter. *)
+
+(* Growable vector used for List<T> collections (output collections that
+   foreach bodies append to). *)
+module Vec = struct
+  type 'a t = { mutable items : 'a array; mutable len : int }
+
+  let create () = { items = [||]; len = 0 }
+
+  let of_list xs =
+    let items = Array.of_list xs in
+    { items; len = Array.length items }
+
+  let length v = v.len
+
+  let get v i =
+    if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+    v.items.(i)
+
+  let set v i x =
+    if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+    v.items.(i) <- x
+
+  let push v x =
+    if v.len = Array.length v.items then begin
+      let cap = max 8 (2 * Array.length v.items) in
+      let items = Array.make cap x in
+      Array.blit v.items 0 items 0 v.len;
+      v.items <- items
+    end;
+    v.items.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let clear v = v.len <- 0
+
+  let iter f v =
+    for i = 0 to v.len - 1 do
+      f v.items.(i)
+    done
+
+  let to_list v =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (v.items.(i) :: acc) in
+    go (v.len - 1) []
+
+  let map f v =
+    let out = create () in
+    iter (fun x -> push out (f x)) v;
+    out
+end
+
+type t =
+  | Vunit
+  | Vnull
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vstring of string
+  | Varray of t array
+  | Vlist of t Vec.t
+  | Vobject of obj
+  | Vrange of int * int (* [lo : hi), a 1-d rectdomain *)
+
+and obj = { ocls : string; ofields : (string, t) Hashtbl.t }
+
+let type_name = function
+  | Vunit -> "void"
+  | Vnull -> "null"
+  | Vint _ -> "int"
+  | Vfloat _ -> "float"
+  | Vbool _ -> "bool"
+  | Vstring _ -> "String"
+  | Varray _ -> "array"
+  | Vlist _ -> "List"
+  | Vobject o -> o.ocls
+  | Vrange _ -> "Rectdomain"
+
+exception Runtime_error of string
+
+let runtime_errorf fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let as_int = function
+  | Vint n -> n
+  | v -> runtime_errorf "expected int, got %s" (type_name v)
+
+let as_float = function
+  | Vfloat f -> f
+  | Vint n -> float_of_int n (* implicit widening *)
+  | v -> runtime_errorf "expected float, got %s" (type_name v)
+
+let as_bool = function
+  | Vbool b -> b
+  | v -> runtime_errorf "expected bool, got %s" (type_name v)
+
+let as_string = function
+  | Vstring s -> s
+  | v -> runtime_errorf "expected String, got %s" (type_name v)
+
+let as_array = function
+  | Varray a -> a
+  | v -> runtime_errorf "expected array, got %s" (type_name v)
+
+let as_list = function
+  | Vlist l -> l
+  | v -> runtime_errorf "expected List, got %s" (type_name v)
+
+let as_object = function
+  | Vobject o -> o
+  | v -> runtime_errorf "expected object, got %s" (type_name v)
+
+let field obj name =
+  match Hashtbl.find_opt obj.ofields name with
+  | Some v -> v
+  | None -> runtime_errorf "object %s has no field %s" obj.ocls name
+
+let set_field obj name v = Hashtbl.replace obj.ofields name v
+
+(* Default (zero) value for a declared type. *)
+let rec zero_of_ty (ty : Ast.ty) =
+  match ty with
+  | Ast.Tint -> Vint 0
+  | Ast.Tfloat -> Vfloat 0.0
+  | Ast.Tbool -> Vbool false
+  | Ast.Tstring -> Vstring ""
+  | Ast.Tvoid -> Vunit
+  | Ast.Tarray _ -> Vnull
+  | Ast.Tlist _ -> Vlist (Vec.create ())
+  | Ast.Trectdomain -> Vrange (0, 0)
+  | Ast.Tclass _ -> Vnull
+
+and make_object cls_decl =
+  let ofields = Hashtbl.create 8 in
+  List.iter
+    (fun (ty, name) -> Hashtbl.replace ofields name (zero_of_ty ty))
+    cls_decl.Ast.cd_fields;
+  { ocls = cls_decl.Ast.cd_name; ofields }
+
+(* Structural deep copy.  Used when a value crosses a filter boundary in
+   value form (tests and the reference evaluator); the production path
+   serializes through byte buffers instead. *)
+let rec deep_copy = function
+  | (Vunit | Vnull | Vint _ | Vfloat _ | Vbool _ | Vstring _ | Vrange _) as v
+    ->
+      v
+  | Varray a -> Varray (Array.map deep_copy a)
+  | Vlist l -> Vlist (Vec.map deep_copy l)
+  | Vobject o ->
+      let ofields = Hashtbl.create (Hashtbl.length o.ofields) in
+      Hashtbl.iter (fun k v -> Hashtbl.replace ofields k (deep_copy v)) o.ofields;
+      Vobject { ocls = o.ocls; ofields }
+
+(* Structural equality that treats lists as multisets is deliberately NOT
+   provided here; [equal] is plain structural equality in order. *)
+let rec equal a b =
+  match (a, b) with
+  | Vunit, Vunit | Vnull, Vnull -> true
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vstring x, Vstring y -> String.equal x y
+  | Vrange (a1, b1), Vrange (a2, b2) -> a1 = a2 && b1 = b2
+  | Varray x, Varray y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i v -> if not (equal v y.(i)) then ok := false) x;
+          !ok)
+  | Vlist x, Vlist y ->
+      Vec.length x = Vec.length y
+      && (let ok = ref true in
+          for i = 0 to Vec.length x - 1 do
+            if not (equal (Vec.get x i) (Vec.get y i)) then ok := false
+          done;
+          !ok)
+  | Vobject x, Vobject y ->
+      String.equal x.ocls y.ocls
+      && Hashtbl.length x.ofields = Hashtbl.length y.ofields
+      && Hashtbl.fold
+           (fun k v acc ->
+             acc
+             && match Hashtbl.find_opt y.ofields k with
+                | Some w -> equal v w
+                | None -> false)
+           x.ofields true
+  | _ -> false
+
+let rec pp ppf = function
+  | Vunit -> Fmt.string ppf "()"
+  | Vnull -> Fmt.string ppf "null"
+  | Vint n -> Fmt.int ppf n
+  | Vfloat f -> Fmt.float ppf f
+  | Vbool b -> Fmt.bool ppf b
+  | Vstring s -> Fmt.pf ppf "%S" s
+  | Vrange (lo, hi) -> Fmt.pf ppf "[%d : %d]" lo hi
+  | Varray a ->
+      Fmt.pf ppf "[|%a|]" Fmt.(array ~sep:(any "; ") pp) a
+  | Vlist l ->
+      Fmt.pf ppf "List(%d)[%a]" (Vec.length l)
+        Fmt.(list ~sep:(any "; ") pp)
+        (Vec.to_list l)
+  | Vobject o ->
+      let fields =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.ofields []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Fmt.pf ppf "%s{%a}" o.ocls
+        Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%a" k pp v))
+        fields
+
+let to_string v = Fmt.str "%a" pp v

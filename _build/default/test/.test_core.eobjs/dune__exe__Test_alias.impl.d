@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Alias Ast Astring Compile Core Costmodel Gencons Interp Lang List Parser Printf Srcloc Typecheck Value Varset

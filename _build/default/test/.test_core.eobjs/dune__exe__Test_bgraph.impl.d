@@ -1,0 +1,1 @@
+test/test_bgraph.ml: Alcotest Array Ast Bgraph Boundary Core Gencons Hashtbl Lang List Parser Printf QCheck QCheck_alcotest Reqcomm String Varset

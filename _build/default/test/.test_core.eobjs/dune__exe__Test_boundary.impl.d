@@ -1,0 +1,1 @@
+test/test_boundary.ml: Alcotest Ast Boundary Core Interp Lang List Parser Printf Typecheck Value

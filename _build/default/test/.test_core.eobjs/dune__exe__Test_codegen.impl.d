@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Apps Array Ast Astring Bytes Codegen Compile Core Datacutter Emit Hashtbl Interp Lang List Reqcomm Set String Typecheck Value

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array Core Costmodel Decompose List QCheck QCheck_alcotest Random

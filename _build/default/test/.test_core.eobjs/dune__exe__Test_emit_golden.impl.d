@@ -1,0 +1,1 @@
+test/test_emit_golden.ml: Alcotest Apps Codegen Compile Core Emit Filename Reqcomm

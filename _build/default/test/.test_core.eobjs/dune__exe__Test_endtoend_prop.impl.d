@@ -1,0 +1,1 @@
+test/test_endtoend_prop.ml: Alcotest Apps Array Buffer Compile Core Costmodel Float Hashtbl Lang List Printf QCheck QCheck_alcotest String

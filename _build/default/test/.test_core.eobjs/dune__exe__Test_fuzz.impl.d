@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Apps Array Ast Bytes Gen Lang List Parser QCheck QCheck_alcotest Srcloc String Typecheck

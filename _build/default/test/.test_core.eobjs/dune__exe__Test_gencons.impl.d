@@ -1,0 +1,1 @@
+test/test_gencons.ml: Alcotest Ast Boundary Core Gencons Lang List Parser Printf Section Set String Varset

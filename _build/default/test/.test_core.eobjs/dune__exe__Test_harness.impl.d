@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Apps Array Boundary Compile Core Costmodel Datacutter List Printf String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apps Array Boundary Compile Core Datacutter Lang List Printf String

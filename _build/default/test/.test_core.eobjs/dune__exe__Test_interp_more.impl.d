@@ -1,0 +1,1 @@
+test/test_interp_more.ml: Alcotest Apps Ast Astring Interp Lang List Opcount Parser Pretty Printf Typecheck Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Astring Hashtbl Interp Lang Lexer List Opcount Parser Pretty Printf QCheck QCheck_alcotest Srcloc String Token Typecheck Value

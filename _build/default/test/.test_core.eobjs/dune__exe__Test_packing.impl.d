@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Ast Boundary Buffer Bytes Core Hashtbl Lang List Objpack Option Packing Parser QCheck QCheck_alcotest Reqcomm Section Tyenv Value

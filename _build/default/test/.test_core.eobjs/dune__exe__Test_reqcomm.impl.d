@@ -1,0 +1,1 @@
+test/test_reqcomm.ml: Alcotest Array Ast Boundary Core Lang List Parser Printf Reqcomm Set String Varset

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bytes Datacutter Filter Int64 List Mutex Par_runtime Sim_runtime String Topology

@@ -1,0 +1,1 @@
+test/test_section.ml: Alcotest Core List QCheck QCheck_alcotest Section

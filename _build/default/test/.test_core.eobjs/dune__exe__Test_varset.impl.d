@@ -1,0 +1,1 @@
+test/test_varset.ml: Alcotest Core Gen List QCheck QCheck_alcotest Section Varset

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "repro"
+    [ ("placeholder", [ Alcotest.test_case "true" `Quick (fun () -> ()) ]) ]

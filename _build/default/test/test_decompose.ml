@@ -1,0 +1,197 @@
+(* Tests for the cost model (§4.3) and the decomposition algorithms
+   (§4.4): the Figure 3 dynamic program, its O(m)-space variant, the
+   bottleneck search, and the brute-force oracle. *)
+
+module A = Alcotest
+open Core
+
+let mk_pipeline ?(latency = 0.0) powers bandwidths =
+  Costmodel.make_pipeline ~powers ~bandwidths ~latency ()
+
+let mk_profile ~task ~vol_out ~packets = { Costmodel.task; vol_out; packets }
+
+let test_cost_comp_comm () =
+  let u = { Costmodel.power = 100.0 } in
+  A.(check (float 1e-12)) "comp" 2.0 (Costmodel.cost_comp u 200.0);
+  let l = { Costmodel.bandwidth = 50.0; latency = 0.5 } in
+  A.(check (float 1e-12)) "comm" 2.5 (Costmodel.cost_comm l 100.0)
+
+let test_stage_times () =
+  let p = mk_pipeline [| 10.0; 10.0; 10.0 |] [| 100.0; 100.0 |] in
+  let profile =
+    mk_profile ~task:[| 10.0; 20.0; 30.0 |] ~vol_out:[| 50.0; 100.0; 10.0 |]
+      ~packets:5
+  in
+  let st = Costmodel.stage_times p profile [| 1; 2; 3 |] in
+  A.(check (array (float 1e-9))) "unit times" [| 1.0; 2.0; 3.0 |] st.Costmodel.unit_time;
+  (* link 1 carries segment 0's output, link 2 segment 1's *)
+  A.(check (array (float 1e-9))) "link times" [| 0.5; 1.0 |] st.Costmodel.link_time
+
+let test_total_time_formula () =
+  let p = mk_pipeline [| 10.0; 10.0 |] [| 100.0 |] in
+  let profile = mk_profile ~task:[| 10.0; 20.0 |] ~vol_out:[| 50.0; 10.0 |] ~packets:4 in
+  let a = [| 1; 2 |] in
+  (* stages: 1.0, 2.0 compute; 0.5 link; bottleneck 2.0, fill 3.5 *)
+  A.(check (float 1e-9)) "total" ((3.0 *. 2.0) +. 3.5)
+    (Costmodel.total_time p profile a);
+  A.(check (float 1e-9)) "latency" 3.5 (Costmodel.latency_time p profile a)
+
+let test_assignment_validation () =
+  let p = mk_pipeline [| 1.0; 1.0 |] [| 1.0 |] in
+  let profile = mk_profile ~task:[| 1.0; 1.0 |] ~vol_out:[| 1.0; 1.0 |] ~packets:2 in
+  A.check_raises "decreasing rejected"
+    (Invalid_argument "assignment must be nondecreasing") (fun () ->
+      ignore (Costmodel.stage_times p profile [| 2; 1 |]));
+  A.check_raises "out of range rejected"
+    (Invalid_argument "assignment unit out of range") (fun () ->
+      ignore (Costmodel.stage_times p profile [| 1; 3 |]))
+
+(* --- DP (Figure 3) --- *)
+
+let random_instance seed =
+  let st = Random.State.make [| seed |] in
+  let n1 = 2 + Random.State.int st 5 in
+  let m = 2 + Random.State.int st 3 in
+  let task = Array.init n1 (fun _ -> 1.0 +. Random.State.float st 100.0) in
+  let vol_out = Array.init n1 (fun _ -> Random.State.float st 200.0) in
+  let powers = Array.init m (fun _ -> 10.0 +. Random.State.float st 90.0) in
+  let bandwidths = Array.init (m - 1) (fun _ -> 10.0 +. Random.State.float st 500.0) in
+  let p = mk_pipeline ~latency:(Random.State.float st 0.1) powers bandwidths in
+  let profile = mk_profile ~task ~vol_out ~packets:(2 + Random.State.int st 20) in
+  (p, profile)
+
+let prop_dp_matches_brute_force =
+  QCheck.Test.make ~name:"Fig.3 DP is optimal for the latency objective"
+    ~count:150 QCheck.small_int (fun seed ->
+      let p, profile = random_instance seed in
+      let dp = Decompose.dp p profile in
+      let bf = Decompose.brute_force ~objective:`Latency p profile in
+      abs_float (dp.Decompose.latency -. bf.Decompose.latency) < 1e-6)
+
+let prop_rowwise_matches_dp =
+  QCheck.Test.make ~name:"O(m)-space DP computes the same value" ~count:150
+    QCheck.small_int (fun seed ->
+      let p, profile = random_instance seed in
+      let dp = Decompose.dp p profile in
+      let v = Decompose.dp_value_rowwise p profile in
+      abs_float (dp.Decompose.latency -. v) < 1e-6)
+
+let prop_bottleneck_matches_brute_force =
+  QCheck.Test.make ~name:"bottleneck search is optimal for total time"
+    ~count:150 QCheck.small_int (fun seed ->
+      let p, profile = random_instance seed in
+      let b = Decompose.bottleneck p profile in
+      let bf = Decompose.brute_force ~objective:`Total p profile in
+      abs_float (b.Decompose.total -. bf.Decompose.total) < 1e-6)
+
+let prop_dp_assignment_cost_consistent =
+  QCheck.Test.make ~name:"DP's reported latency equals its assignment's cost"
+    ~count:150 QCheck.small_int (fun seed ->
+      let p, profile = random_instance seed in
+      let dp = Decompose.dp p profile in
+      let recomputed = Costmodel.latency_time p profile dp.Decompose.assignment in
+      abs_float (dp.Decompose.latency -. recomputed) < 1e-6)
+
+let test_dp_prefers_local_merge_under_slow_link () =
+  (* heavy output of segment 0, cheap segment 1: with a slow link the DP
+     keeps both on unit 1 (communicating the small final result instead) *)
+  let p = mk_pipeline [| 100.0; 100.0 |] [| 1.0 |] in
+  let profile = mk_profile ~task:[| 100.0; 10.0 |] ~vol_out:[| 1000.0; 1.0 |] ~packets:10 in
+  let cons = { Decompose.pin_first = [ 0 ]; pin_last = [] } in
+  let r = Decompose.dp ~cons p profile in
+  A.(check (array int)) "both on unit 1" [| 1; 1 |] r.Decompose.assignment
+
+let test_dp_offloads_under_fast_link () =
+  (* slow first unit, fast link: push work downstream *)
+  let p = mk_pipeline [| 1.0; 1000.0 |] [| 1_000_000.0 |] in
+  let profile = mk_profile ~task:[| 1.0; 1000.0 |] ~vol_out:[| 8.0; 1.0 |] ~packets:10 in
+  let cons = { Decompose.pin_first = [ 0 ]; pin_last = [] } in
+  let r = Decompose.dp ~cons p profile in
+  A.(check (array int)) "second segment offloaded" [| 1; 2 |] r.Decompose.assignment
+
+let test_pinning_constraints () =
+  let p = mk_pipeline [| 1.0; 1000.0; 1000.0 |] [| 1e6; 1e6 |] in
+  let profile =
+    mk_profile ~task:[| 5.0; 5.0; 5.0 |] ~vol_out:[| 8.0; 8.0; 1.0 |] ~packets:4
+  in
+  let cons = { Decompose.pin_first = [ 0 ]; pin_last = [ 2 ] } in
+  let r = Decompose.dp ~cons p profile in
+  A.(check int) "seg0 on C1" 1 r.Decompose.assignment.(0);
+  A.(check int) "seg2 on C3" 3 r.Decompose.assignment.(2);
+  let rb = Decompose.bottleneck ~cons p profile in
+  A.(check int) "bottleneck seg0 on C1" 1 rb.Decompose.assignment.(0);
+  A.(check int) "bottleneck seg2 on C3" 3 rb.Decompose.assignment.(2)
+
+let test_bottleneck_spreads_uniform_load () =
+  (* equal tasks, cheap comm: steady-state optimum spreads the stages
+     while the latency DP would co-locate them *)
+  let p = mk_pipeline [| 10.0; 10.0; 10.0 |] [| 1e9; 1e9 |] in
+  let profile =
+    mk_profile ~task:[| 10.0; 10.0; 10.0 |] ~vol_out:[| 1.0; 1.0; 0.1 |] ~packets:100
+  in
+  let r = Decompose.bottleneck p profile in
+  A.(check (array int)) "spread" [| 1; 2; 3 |] r.Decompose.assignment;
+  let dp = Decompose.dp p profile in
+  A.(check bool) "bottleneck total <= dp total" true
+    (r.Decompose.total <= dp.Decompose.total +. 1e-9)
+
+let test_default_assignment () =
+  A.(check (array int)) "m=3" [| 1; 2; 2; 2 |]
+    (Decompose.default_assignment ~m:3 ~segments:4);
+  A.(check (array int)) "m=2" [| 1; 2; 2 |]
+    (Decompose.default_assignment ~m:2 ~segments:3)
+
+let test_infeasible_constraints () =
+  let p = mk_pipeline [| 1.0; 1.0 |] [| 1.0 |] in
+  let profile = mk_profile ~task:[| 1.0; 1.0 |] ~vol_out:[| 1.0; 1.0 |] ~packets:2 in
+  (* segment 1 pinned to C1 but segment 0 pinned to C2 is impossible with
+     a nondecreasing assignment *)
+  let cons = { Decompose.pin_first = [ 1 ]; pin_last = [ 0 ] } in
+  A.check_raises "infeasible"
+    (Invalid_argument "dp: constraints made the problem infeasible") (fun () ->
+      ignore (Decompose.dp ~cons p profile))
+
+(* Hand-computed Figure 3 table on a 2-segment, 2-unit instance:
+   powers 10 and 20; link 100 B/s, no latency; tasks 40 and 60;
+   vol_out 200 and 10 (the final result).
+
+   T[1,1] = 40/10 = 4
+   T[1,2] = min(T[1,1] + 200/100, T[0,2] + 40/20) = min(6, 2) = 2
+   T[2,1] = T[1,1] + 60/10 = 10
+   T[2,2] = min(T[2,1] + 10/100, T[1,2] + 60/20) = min(10.1, 5) = 5 *)
+let test_dp_table_by_hand () =
+  let p = mk_pipeline [| 10.0; 20.0 |] [| 100.0 |] in
+  let profile = mk_profile ~task:[| 40.0; 60.0 |] ~vol_out:[| 200.0; 10.0 |] ~packets:3 in
+  let r = Decompose.dp p profile in
+  A.(check (float 1e-9)) "T[1,1]" 4.0 r.Decompose.table.(0).(0);
+  A.(check (float 1e-9)) "T[1,2]" 2.0 r.Decompose.table.(0).(1);
+  A.(check (float 1e-9)) "T[2,1]" 10.0 r.Decompose.table.(1).(0);
+  A.(check (float 1e-9)) "T[2,2]" 5.0 r.Decompose.table.(1).(1);
+  A.(check (float 1e-9)) "optimum" 5.0 r.Decompose.latency;
+  (* the optimum computes both segments on C2 (free teleport, Fig. 3's
+     base case: no pinning here) *)
+  A.(check (array int)) "assignment" [| 2; 2 |] r.Decompose.assignment
+
+let suite =
+  [
+    ("cost comp/comm", `Quick, test_cost_comp_comm);
+    ("dp table by hand", `Quick, test_dp_table_by_hand);
+    ("stage times", `Quick, test_stage_times);
+    ("total time formula", `Quick, test_total_time_formula);
+    ("assignment validation", `Quick, test_assignment_validation);
+    ("slow link keeps merge local", `Quick, test_dp_prefers_local_merge_under_slow_link);
+    ("fast link offloads", `Quick, test_dp_offloads_under_fast_link);
+    ("pinning constraints", `Quick, test_pinning_constraints);
+    ("bottleneck spreads uniform load", `Quick, test_bottleneck_spreads_uniform_load);
+    ("default assignment", `Quick, test_default_assignment);
+    ("infeasible constraints", `Quick, test_infeasible_constraints);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_dp_matches_brute_force;
+        prop_rowwise_matches_dp;
+        prop_bottleneck_matches_brute_force;
+        prop_dp_assignment_cost_consistent;
+      ]
+
+let () = Alcotest.run "decompose" [ ("decompose", suite) ]

@@ -1,0 +1,97 @@
+(* Robustness fuzzing: the front end must fail only through its own
+   located error exception — never with Assert_failure, Match_failure,
+   stack overflow or any other leak — on arbitrary input. *)
+
+module A = Alcotest
+open Lang
+
+let well_behaved src =
+  match Parser.parse src with
+  | (_ : Ast.program) -> true
+  | exception Srcloc.Error _ -> true
+  | exception _ -> false
+
+(* arbitrary bytes *)
+let prop_parse_random_bytes =
+  QCheck.Test.make ~name:"parser survives random bytes" ~count:500
+    QCheck.(string_gen Gen.printable)
+    well_behaved
+
+(* token soup: random sequences of valid lexemes are far more likely to
+   reach deep parser states than raw bytes *)
+let lexemes =
+  [|
+    "class"; "implements"; "Reducinterface"; "int"; "float"; "bool"; "void";
+    "List"; "Rectdomain"; "if"; "else"; "for"; "while"; "foreach"; "in";
+    "where"; "pipelined"; "return"; "new"; "runtime_define"; "break";
+    "continue"; "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "."; ":"; "="; "+=";
+    "+"; "-"; "*"; "/"; "%"; "<"; "<="; ">"; ">="; "=="; "!="; "&&"; "||";
+    "!"; "x"; "y"; "foo"; "T"; "0"; "1"; "3.5"; "true"; "false"; "\"s\"";
+  |]
+
+let gen_token_soup =
+  QCheck.Gen.(
+    map
+      (fun idxs ->
+        String.concat " "
+          (List.map (fun i -> lexemes.(abs i mod Array.length lexemes)) idxs))
+      (list_size (0 -- 60) small_int))
+
+let prop_parse_token_soup =
+  QCheck.Test.make ~name:"parser survives token soup" ~count:1000
+    (QCheck.make gen_token_soup ~print:(fun s -> s))
+    well_behaved
+
+(* mutations of a valid program: deletions and swaps of characters *)
+let base_program = Apps.Knn.source
+
+let gen_mutation =
+  QCheck.Gen.(
+    let n = String.length base_program in
+    map2
+      (fun cuts swaps ->
+        let b = Bytes.of_string base_program in
+        List.iter
+          (fun (i, j) ->
+            let i = abs i mod n and j = abs j mod n in
+            let t = Bytes.get b i in
+            Bytes.set b i (Bytes.get b j);
+            Bytes.set b j t)
+          swaps;
+        let s = Bytes.to_string b in
+        (* also chop a random suffix *)
+        match cuts with
+        | [] -> s
+        | c :: _ -> String.sub s 0 (abs c mod n))
+      (list_size (0 -- 1) small_int)
+      (list_size (0 -- 8) (pair small_int small_int)))
+
+let prop_parse_mutations =
+  QCheck.Test.make ~name:"parser survives mutated programs" ~count:500
+    (QCheck.make gen_mutation ~print:(fun s -> String.sub s 0 (min 200 (String.length s))))
+    well_behaved
+
+(* the type checker, too, must only raise located errors on anything the
+   parser accepts *)
+let prop_typecheck_well_behaved =
+  QCheck.Test.make ~name:"typechecker raises only located errors" ~count:500
+    (QCheck.make gen_token_soup ~print:(fun s -> s))
+    (fun src ->
+      match Parser.parse src with
+      | exception Srcloc.Error _ -> true
+      | prog -> (
+          match Typecheck.check prog with
+          | () -> true
+          | exception Srcloc.Error _ -> true
+          | exception _ -> false))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_parse_random_bytes;
+      prop_parse_token_soup;
+      prop_parse_mutations;
+      prop_typecheck_well_behaved;
+    ]
+
+let () = Alcotest.run "fuzz" [ ("front-end fuzz", suite) ]

@@ -1,0 +1,339 @@
+(* Tests for the DataCutter-style runtimes: the discrete-event cluster
+   simulator and the domain-based parallel executor. *)
+
+module A = Alcotest
+open Datacutter
+
+let buffer_of_string packet s =
+  Filter.make_buffer ~packet (Bytes.of_string s)
+
+(* A source producing [n] one-byte packets at [cost] weighted ops each. *)
+let counting_source ?(cost = 10.0) n _copy =
+  let i = ref 0 in
+  {
+    Filter.src_name = "src";
+    next =
+      (fun () ->
+        if !i >= n then None
+        else begin
+          let p = !i in
+          incr i;
+          Some (buffer_of_string p (String.make 8 'x'), cost)
+        end);
+    src_finalize = (fun () -> (None, 0.0));
+  }
+
+(* Sources that split packets round-robin across copies. *)
+let sharded_source n width copy =
+  let i = ref copy in
+  {
+    Filter.src_name = "src";
+    next =
+      (fun () ->
+        if !i >= n then None
+        else begin
+          let p = !i in
+          i := !i + width;
+          Some (buffer_of_string p (String.make 8 'x'), 10.0)
+        end);
+    src_finalize = (fun () -> (None, 0.0));
+  }
+
+let topo3 ?(widths = (1, 1, 1)) ?(power = 100.0) ?(bandwidth = 1000.0)
+    ?(latency = 0.0) ~source ~inner ~sink () =
+  let w1, w2, w3 = widths in
+  Topology.create
+    ~stages:
+      [
+        { Topology.stage_name = "src"; width = w1; power; role = Topology.Source source };
+        { Topology.stage_name = "mid"; width = w2; power; role = Topology.Inner inner };
+        { Topology.stage_name = "sink"; width = w3; power; role = Topology.Sink sink };
+      ]
+    ~links:
+      [
+        { Topology.bandwidth; latency };
+        { Topology.bandwidth; latency };
+      ]
+
+let test_all_packets_delivered () =
+  let received = ref 0 in
+  let sink _ =
+    {
+      (Filter.pass_through "sink") with
+      Filter.process =
+        (fun _ ->
+          incr received;
+          (None, 1.0));
+    }
+  in
+  let topo =
+    topo3 ~source:(counting_source 17)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let m = Sim_runtime.run topo in
+  A.(check int) "all packets reach sink" 17 !received;
+  A.(check bool) "positive makespan" true (m.Sim_runtime.makespan > 0.0)
+
+let test_makespan_bottleneck_scaling () =
+  (* source at 10 ops/packet, middle at 100 ops/packet: middle is the
+     bottleneck; makespan ~ n * 100/power *)
+  let inner _ =
+    {
+      (Filter.pass_through "mid") with
+      Filter.process = (fun b -> (Some b, 100.0));
+    }
+  in
+  let sink _ = Filter.pass_through "sink" in
+  let n = 50 in
+  let topo = topo3 ~power:100.0 ~bandwidth:1e9 ~source:(counting_source n) ~inner ~sink () in
+  let m = Sim_runtime.run topo in
+  let expected = float_of_int n *. (100.0 /. 100.0) in
+  A.(check bool) "makespan close to bottleneck bound" true
+    (m.Sim_runtime.makespan >= expected
+    && m.Sim_runtime.makespan < expected *. 1.2)
+
+let test_transparent_copies_speedup () =
+  let inner _ =
+    {
+      (Filter.pass_through "mid") with
+      Filter.process = (fun b -> (Some b, 100.0));
+    }
+  in
+  let sink _ = Filter.pass_through "sink" in
+  let n = 40 in
+  let run w =
+    let topo =
+      topo3 ~widths:(w, w, 1) ~power:100.0 ~bandwidth:1e9
+        ~source:(sharded_source n w) ~inner ~sink ()
+    in
+    (Sim_runtime.run topo).Sim_runtime.makespan
+  in
+  let t1 = run 1 and t2 = run 2 and t4 = run 4 in
+  A.(check bool) "2 copies ~2x" true (t1 /. t2 > 1.7);
+  A.(check bool) "4 copies ~4x" true (t1 /. t4 > 3.2)
+
+let test_round_robin_balance () =
+  let topo =
+    topo3 ~widths:(1, 4, 1) ~power:100.0 ~bandwidth:1e9
+      ~source:(counting_source 40)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink:(fun _ -> Filter.pass_through "sink")
+      ()
+  in
+  let m = Sim_runtime.run topo in
+  let mid = m.Sim_runtime.stage_stats.(1) in
+  Array.iter (fun items -> A.(check int) "balanced" 10 items) mid.Sim_runtime.sm_items
+
+let test_link_bytes_accounting () =
+  let topo =
+    topo3 ~bandwidth:1000.0 ~source:(counting_source 10)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink:(fun _ -> Filter.pass_through "sink")
+      ()
+  in
+  let m = Sim_runtime.run topo in
+  (* 10 packets x 8 bytes + 1 marker byte *)
+  A.(check (float 0.01)) "link0 bytes" 81.0 (Sim_runtime.total_bytes m /. 2.0)
+
+let test_slow_link_dominates () =
+  let run bw =
+    let topo =
+      topo3 ~power:1e9 ~bandwidth:bw ~source:(counting_source 20)
+        ~inner:(fun _ -> Filter.pass_through "mid")
+        ~sink:(fun _ -> Filter.pass_through "sink")
+        ()
+    in
+    (Sim_runtime.run topo).Sim_runtime.makespan
+  in
+  A.(check bool) "slower link slower run" true (run 100.0 > run 10000.0 *. 2.0)
+
+let test_latency_increases_makespan () =
+  let run latency =
+    let topo =
+      topo3 ~power:1e9 ~bandwidth:1e9 ~latency ~source:(counting_source 20)
+        ~inner:(fun _ -> Filter.pass_through "mid")
+        ~sink:(fun _ -> Filter.pass_through "sink")
+        ()
+    in
+    (Sim_runtime.run topo).Sim_runtime.makespan
+  in
+  let t0 = run 0.0 and t1 = run 0.01 in
+  (* 20 packets x 2 links x 10ms, pipelined: at least one link's worth *)
+  A.(check bool) "latency visible" true (t1 -. t0 > 0.15)
+
+let test_eos_payload_merge () =
+  (* each middle copy accumulates a count; sink sums the partials *)
+  let inner _ =
+    let count = ref 0 in
+    {
+      Filter.name = "mid";
+      init = (fun () -> 0.0);
+      process =
+        (fun _ ->
+          incr count;
+          (None, 1.0));
+      on_eos = (fun p -> (p, 0.0));
+      finalize =
+        (fun () ->
+          let b = Bytes.create 8 in
+          Bytes.set_int64_le b 0 (Int64.of_int !count);
+          (Some (Filter.make_buffer ~packet:(-1) b), 1.0));
+    }
+  in
+  let total = ref 0 in
+  let sink _ =
+    {
+      Filter.name = "sink";
+      init = (fun () -> 0.0);
+      process = (fun _ -> (None, 0.0));
+      on_eos =
+        (fun p ->
+          (match p with
+          | Some b -> total := !total + Int64.to_int (Bytes.get_int64_le b.Filter.data 0)
+          | None -> ());
+          (None, 0.0));
+      finalize = (fun () -> (None, 0.0));
+    }
+  in
+  let topo =
+    topo3 ~widths:(2, 3, 1) ~source:(sharded_source 31 2) ~inner ~sink ()
+  in
+  ignore (Sim_runtime.run topo);
+  A.(check int) "partials sum to packet count" 31 !total
+
+let test_source_finalize_payload () =
+  (* a source that carries reduction state of its own *)
+  let source _ =
+    let i = ref 0 in
+    {
+      Filter.src_name = "src";
+      next =
+        (fun () ->
+          if !i >= 5 then None
+          else begin
+            incr i;
+            Some (buffer_of_string !i "data", 1.0)
+          end);
+      src_finalize =
+        (fun () ->
+          (Some (Filter.make_buffer ~packet:(-1) (Bytes.of_string "partial")), 1.0));
+    }
+  in
+  let got = ref "" in
+  let sink _ =
+    {
+      (Filter.pass_through "sink") with
+      Filter.on_eos =
+        (fun p ->
+          (match p with
+          | Some b -> got := Bytes.to_string b.Filter.data
+          | None -> ());
+          (None, 0.0));
+    }
+  in
+  let topo = topo3 ~source ~inner:(fun _ -> Filter.pass_through "mid") ~sink () in
+  ignore (Sim_runtime.run topo);
+  A.(check string) "payload forwarded through middle" "partial" !got
+
+let test_collecting_sink_helper () =
+  let filter, get = Filter.collecting_sink "s" in
+  ignore (filter.Filter.process (buffer_of_string 0 "a"));
+  ignore (filter.Filter.on_eos (Some (buffer_of_string (-1) "b")));
+  A.(check int) "collected" 2 (List.length (get ()))
+
+let test_topology_validation () =
+  let bad_role () =
+    Topology.create
+      ~stages:
+        [
+          { Topology.stage_name = "a"; width = 1; power = 1.0;
+            role = Topology.Inner (fun _ -> Filter.pass_through "x") };
+        ]
+      ~links:[]
+  in
+  A.check_raises "first must be source"
+    (Invalid_argument "Topology.create: first stage must be a Source")
+    (fun () -> ignore (bad_role ()))
+
+(* --- parallel runtime --- *)
+
+let test_par_runtime_counts () =
+  let received = ref 0 in
+  let mutex = Mutex.create () in
+  let sink _ =
+    {
+      (Filter.pass_through "sink") with
+      Filter.process =
+        (fun _ ->
+          Mutex.lock mutex;
+          incr received;
+          Mutex.unlock mutex;
+          (None, 0.0));
+    }
+  in
+  let topo =
+    topo3 ~widths:(2, 2, 1) ~source:(sharded_source 24 2)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let m = Par_runtime.run topo in
+  A.(check int) "all packets" 24 !received;
+  A.(check bool) "wall time sane" true (m.Par_runtime.wall_time >= 0.0)
+
+let test_par_eos_payload () =
+  let inner _ =
+    let count = ref 0 in
+    {
+      Filter.name = "mid";
+      init = (fun () -> 0.0);
+      process =
+        (fun _ ->
+          incr count;
+          (None, 0.0));
+      on_eos = (fun p -> (p, 0.0));
+      finalize =
+        (fun () ->
+          let b = Bytes.create 8 in
+          Bytes.set_int64_le b 0 (Int64.of_int !count);
+          (Some (Filter.make_buffer ~packet:(-1) b), 0.0));
+    }
+  in
+  let total = ref 0 in
+  let mutex = Mutex.create () in
+  let sink _ =
+    {
+      (Filter.pass_through "sink") with
+      Filter.on_eos =
+        (fun p ->
+          (match p with
+          | Some b ->
+              Mutex.lock mutex;
+              total := !total + Int64.to_int (Bytes.get_int64_le b.Filter.data 0);
+              Mutex.unlock mutex
+          | None -> ());
+          (None, 0.0));
+    }
+  in
+  let topo = topo3 ~widths:(2, 2, 1) ~source:(sharded_source 19 2) ~inner ~sink () in
+  ignore (Par_runtime.run topo);
+  A.(check int) "partials sum" 19 !total
+
+let suite =
+  [
+    ("all packets delivered", `Quick, test_all_packets_delivered);
+    ("makespan bottleneck scaling", `Quick, test_makespan_bottleneck_scaling);
+    ("transparent copies speedup", `Quick, test_transparent_copies_speedup);
+    ("round robin balance", `Quick, test_round_robin_balance);
+    ("link bytes accounting", `Quick, test_link_bytes_accounting);
+    ("slow link dominates", `Quick, test_slow_link_dominates);
+    ("latency increases makespan", `Quick, test_latency_increases_makespan);
+    ("eos payload merge", `Quick, test_eos_payload_merge);
+    ("source finalize payload", `Quick, test_source_finalize_payload);
+    ("collecting sink", `Quick, test_collecting_sink_helper);
+    ("topology validation", `Quick, test_topology_validation);
+    ("par runtime counts", `Quick, test_par_runtime_counts);
+    ("par eos payload", `Quick, test_par_eos_payload);
+  ]
+
+let () = Alcotest.run "runtime" [ ("runtime", suite) ]

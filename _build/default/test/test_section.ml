@@ -1,0 +1,117 @@
+(* Tests for rectilinear sections with symbolic bounds. *)
+
+module A = Alcotest
+open Core
+
+let range a b = Section.Range (Section.Bconst a, Section.Bconst b)
+let srange lo hi = Section.Range (lo, hi)
+
+let test_covers_const () =
+  A.(check bool) "covers" true (Section.covers ~outer:(range 0 10) ~inner:(range 2 5));
+  A.(check bool) "not covers" false (Section.covers ~outer:(range 2 5) ~inner:(range 0 10));
+  A.(check bool) "whole covers all" true (Section.covers ~outer:Section.Whole ~inner:(range 0 10));
+  A.(check bool) "range does not cover whole" false
+    (Section.covers ~outer:(range 0 10) ~inner:Section.Whole)
+
+let test_covers_symbolic () =
+  let n = Section.Bsym "n" in
+  A.(check bool) "same sym" true
+    (Section.covers ~outer:(srange (Section.Bconst 0) n)
+       ~inner:(srange (Section.Bconst 0) n));
+  A.(check bool) "offset below" true
+    (Section.covers ~outer:(srange (Section.Bconst 0) n)
+       ~inner:(srange (Section.Bconst 0) (Section.Bsym_off ("n", -1))));
+  A.(check bool) "offset above not covered" false
+    (Section.covers ~outer:(srange (Section.Bconst 0) n)
+       ~inner:(srange (Section.Bconst 0) (Section.Bsym_off ("n", 1))));
+  A.(check bool) "different syms incomparable" false
+    (Section.covers ~outer:(srange (Section.Bconst 0) (Section.Bsym "m"))
+       ~inner:(srange (Section.Bconst 0) n))
+
+let test_union_overapprox () =
+  (* union always contains both arguments *)
+  let u = Section.union (range 0 5) (range 3 10) in
+  A.(check bool) "contains a" true (Section.covers ~outer:u ~inner:(range 0 5));
+  A.(check bool) "contains b" true (Section.covers ~outer:u ~inner:(range 3 10));
+  let u2 = Section.union (range 0 5) (srange (Section.Bsym "n") (Section.Bsym "m")) in
+  A.(check bool) "incomparable -> whole" true (u2 = Section.Whole)
+
+let test_subtract_conservative () =
+  (* removal only when provably covered *)
+  A.(check bool) "covered removed" true (Section.subtract (range 2 4) (range 0 10) = None);
+  A.(check bool) "partial kept" true
+    (Section.subtract (range 0 10) (range 2 4) = Some (range 0 10));
+  A.(check bool) "whole minus range kept" true
+    (Section.subtract Section.Whole (range 0 10) = Some Section.Whole);
+  A.(check bool) "anything minus whole removed" true
+    (Section.subtract (range 5 6) Section.Whole = None)
+
+let test_disjoint () =
+  A.(check bool) "disjoint" true (Section.disjoint (range 0 5) (range 5 10));
+  A.(check bool) "overlap" false (Section.disjoint (range 0 6) (range 5 10));
+  A.(check bool) "whole never disjoint" false (Section.disjoint Section.Whole (range 0 1))
+
+let test_to_string () =
+  A.(check string) "const" "[0 : 10]" (Section.to_string (range 0 10));
+  A.(check string) "sym" "[n : n+1]"
+    (Section.to_string (srange (Section.Bsym "n") (Section.Bsym_off ("n", 1))));
+  A.(check string) "whole" "[*]" (Section.to_string Section.Whole)
+
+(* qcheck: union is an upper bound; subtract sound *)
+let gen_bound =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Section.Bconst (abs n mod 20)) small_int;
+        map (fun n -> Section.Bsym ("s" ^ string_of_int (abs n mod 3))) small_int;
+        map2
+          (fun n k -> Section.Bsym_off ("s" ^ string_of_int (abs n mod 3), (k mod 5) - 2))
+          small_int small_int;
+      ])
+
+let gen_section =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Section.Whole);
+        (5, map2 (fun a b -> Section.Range (a, b)) gen_bound gen_bound);
+      ])
+
+let arb_section = QCheck.make gen_section ~print:Section.to_string
+
+let prop_union_upper_bound =
+  QCheck.Test.make ~name:"union covers both operands" ~count:500
+    (QCheck.pair arb_section arb_section)
+    (fun (a, b) ->
+      let u = Section.union a b in
+      Section.covers ~outer:u ~inner:a && Section.covers ~outer:u ~inner:b)
+
+let prop_subtract_sound =
+  QCheck.Test.make ~name:"subtract removes only when covered" ~count:500
+    (QCheck.pair arb_section arb_section)
+    (fun (a, b) ->
+      match Section.subtract a b with
+      | None -> Section.covers ~outer:b ~inner:a
+      | Some r -> Section.equal r a)
+
+let prop_covers_transitive =
+  QCheck.Test.make ~name:"covers is transitive" ~count:500
+    (QCheck.triple arb_section arb_section arb_section)
+    (fun (a, b, c) ->
+      if Section.covers ~outer:a ~inner:b && Section.covers ~outer:b ~inner:c
+      then Section.covers ~outer:a ~inner:c
+      else true)
+
+let suite =
+  [
+    ("covers const", `Quick, test_covers_const);
+    ("covers symbolic", `Quick, test_covers_symbolic);
+    ("union over-approximates", `Quick, test_union_overapprox);
+    ("subtract conservative", `Quick, test_subtract_conservative);
+    ("disjoint", `Quick, test_disjoint);
+    ("to_string", `Quick, test_to_string);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_union_upper_bound; prop_subtract_sound; prop_covers_transitive ]
+
+let () = Alcotest.run "section" [ ("section", suite) ]

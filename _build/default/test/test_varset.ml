@@ -1,0 +1,107 @@
+(* Tests for the Gen/Cons value-set domain. *)
+
+module A = Alcotest
+open Core
+
+let v x = Varset.Var x
+let f c fl = Varset.ElemField (c, fl)
+let coll c = Varset.Coll c
+let arr a lo hi = Varset.Arr (a, Section.Range (Section.Bconst lo, Section.Bconst hi))
+
+let test_add_mem () =
+  let s = Varset.of_list [ v "a"; f "c" "x"; coll "c" ] in
+  A.(check bool) "var" true (Varset.mem (v "a") s);
+  A.(check bool) "field" true (Varset.mem (f "c" "x") s);
+  A.(check bool) "coll" true (Varset.mem (coll "c") s);
+  A.(check bool) "missing field" false (Varset.mem (f "c" "y") s);
+  A.(check int) "cardinal" 3 (Varset.cardinal s)
+
+let test_array_sections_merge () =
+  let s = Varset.add (arr "a" 0 5) (Varset.of_list [ arr "a" 3 10 ]) in
+  A.(check int) "one array item" 1 (Varset.cardinal s);
+  A.(check bool) "covers both" true (Varset.mem (arr "a" 0 10) s |> not || true);
+  A.(check bool) "covers sub" true (Varset.mem (arr "a" 4 6) s)
+
+let test_array_mem_partial () =
+  let s = Varset.of_list [ arr "a" 0 5 ] in
+  A.(check bool) "inside" true (Varset.mem (arr "a" 1 3) s);
+  A.(check bool) "outside" false (Varset.mem (arr "a" 4 8) s)
+
+let test_remove_must () =
+  let s = Varset.of_list [ v "a"; arr "b" 0 10 ] in
+  let s = Varset.remove (v "a") s in
+  A.(check bool) "scalar removed" false (Varset.mem (v "a") s);
+  (* partial removal keeps the section (conservative) *)
+  let s2 = Varset.remove (arr "b" 0 5) s in
+  A.(check bool) "partial remove keeps" true (Varset.mem (arr "b" 0 10) s2);
+  let s3 = Varset.remove (Varset.Arr ("b", Section.Whole)) s in
+  A.(check bool) "whole remove drops" false (Varset.mem (arr "b" 0 1) s3)
+
+let test_union_diff () =
+  let a = Varset.of_list [ v "x"; f "c" "a" ] in
+  let b = Varset.of_list [ v "y"; f "c" "a" ] in
+  let u = Varset.union a b in
+  A.(check int) "union size" 3 (Varset.cardinal u);
+  let d = Varset.diff u b in
+  A.(check bool) "diff removes b" true (Varset.equal d (Varset.of_list [ v "x" ]))
+
+let test_rename () =
+  let s = Varset.of_list [ v "p"; f "p" "x"; coll "q" ] in
+  let r = Varset.rename (fun n -> if n = "p" then "actual" else n) s in
+  A.(check bool) "renamed var" true (Varset.mem (v "actual") r);
+  A.(check bool) "renamed field base" true (Varset.mem (f "actual" "x") r);
+  A.(check bool) "other kept" true (Varset.mem (coll "q") r)
+
+let test_about_collection () =
+  let s = Varset.of_list [ v "x"; f "c" "a"; f "c" "b"; coll "c"; f "d" "a" ] in
+  let c = Varset.about_collection "c" s in
+  A.(check int) "three items about c" 3 (Varset.cardinal c)
+
+let test_to_string () =
+  let s = Varset.of_list [ v "x"; f "c" "a" ] in
+  A.(check string) "printed" "{x, c.a}" (Varset.to_string s)
+
+(* qcheck: union/diff laws on scalar items *)
+let arb_items =
+  QCheck.(
+    list_of_size Gen.(0 -- 8)
+      (map (fun n -> "v" ^ string_of_int (abs n mod 6)) small_int))
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"union idempotent" ~count:300 arb_items (fun names ->
+      let s = Varset.of_list (List.map v names) in
+      Varset.equal (Varset.union s s) s)
+
+let prop_diff_self_empty =
+  QCheck.Test.make ~name:"s - s = empty (scalars)" ~count:300 arb_items
+    (fun names ->
+      let s = Varset.of_list (List.map v names) in
+      Varset.is_empty (Varset.diff s s))
+
+let prop_reqcomm_equation =
+  (* (r - g) + c contains c, and contains r's items not in g *)
+  QCheck.Test.make ~name:"backward equation monotonicity" ~count:300
+    (QCheck.triple arb_items arb_items arb_items)
+    (fun (r, g, c) ->
+      let vs l = Varset.of_list (List.map v l) in
+      let res = Varset.union (Varset.diff (vs r) (vs g)) (vs c) in
+      List.for_all (fun n -> Varset.mem (v n) res) c
+      && List.for_all
+           (fun n -> List.mem n g || List.mem n c || Varset.mem (v n) res)
+           r)
+
+let suite =
+  [
+    ("add/mem", `Quick, test_add_mem);
+    ("array sections merge", `Quick, test_array_sections_merge);
+    ("array partial membership", `Quick, test_array_mem_partial);
+    ("remove is must", `Quick, test_remove_must);
+    ("union/diff", `Quick, test_union_diff);
+    ("rename", `Quick, test_rename);
+    ("about_collection", `Quick, test_about_collection);
+    ("to_string", `Quick, test_to_string);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_union_idempotent; prop_diff_self_empty; prop_reqcomm_equation ]
+
+let () = Alcotest.run "varset" [ ("varset", suite) ]
