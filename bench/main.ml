@@ -23,11 +23,63 @@ module H = Apps.Harness
 let cluster = H.default_cluster
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every figure's cells are also recorded as JSON rows and written to
+   bench/results/BENCH_<target>.json (override the directory with
+   BENCH_OUT_DIR), so the perf trajectory of the repo is a diffable
+   artifact rather than scrollback. *)
+module Record = struct
+  let out_dir () =
+    match Sys.getenv_opt "BENCH_OUT_DIR" with
+    | Some d -> d
+    | None -> Filename.concat "bench" "results"
+
+  let rec mkdir_p d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+
+  let title = ref ""
+  let rows : Obs.Json.t list ref = ref []
+
+  let start t =
+    title := t;
+    rows := []
+
+  (* one table row: the config label plus named numeric cells *)
+  let row label cells =
+    rows :=
+      Obs.Json.Obj
+        (("config", Obs.Json.Str label)
+        :: List.map (fun (k, v) -> (k, Obs.Json.Float v)) cells)
+      :: !rows
+
+  let path_of target =
+    Filename.concat (out_dir ()) ("BENCH_" ^ target ^ ".json")
+
+  let write target =
+    mkdir_p (out_dir ());
+    let path = path_of target in
+    Obs.Json.write_file path
+      (Obs.Json.Obj
+         [
+           ("target", Obs.Json.Str target);
+           ("title", Obs.Json.Str !title);
+           ("rows", Obs.Json.List (List.rev !rows));
+         ]);
+    Fmt.pr "  results -> %s@." path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Table rendering                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let print_header title columns =
   Fmt.pr "@.== %s ==@." title;
+  Record.start title;
   Fmt.pr "%-8s" "config";
   List.iter (fun c -> Fmt.pr " %14s" c) columns;
   Fmt.pr "@."
@@ -52,6 +104,13 @@ let iso_figure ~title ~variant cfg =
       let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
       let t_dec, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
       if label = "1-1-1" then base := t_dec;
+      Record.row label
+        [
+          ("default_s", t_def);
+          ("decomp_s", t_dec);
+          ("improv_pct", pct_faster ~default:t_def ~decomp:t_dec);
+          ("speedup", !base /. t_dec);
+        ];
       print_row label
         [
           Fmt.str "%.4f" t_def;
@@ -96,6 +155,14 @@ let knn_figure ~title cfg =
           ~latency:cluster.H.latency ()
       in
       let t_man = (Datacutter.Sim_runtime.run topo).Datacutter.Sim_runtime.makespan in
+      Record.row label
+        [
+          ("default_s", t_def);
+          ("comp_s", t_cmp);
+          ("manual_s", t_man);
+          ("improv_pct", pct_faster ~default:t_def ~decomp:t_cmp);
+          ("comp_over_manual", t_cmp /. t_man);
+        ];
       print_row label
         [
           Fmt.str "%.4f" t_def;
@@ -128,6 +195,14 @@ let vmscope_figure ~title cfg =
           ~latency:cluster.H.latency ()
       in
       let t_man = (Datacutter.Sim_runtime.run topo).Datacutter.Sim_runtime.makespan in
+      Record.row label
+        [
+          ("default_s", t_def);
+          ("comp_s", t_cmp);
+          ("manual_s", t_man);
+          ("improv_pct", pct_faster ~default:t_def ~decomp:t_cmp);
+          ("comp_over_manual", t_cmp /. t_man);
+        ];
       print_row label
         [
           Fmt.str "%.4f" t_def;
@@ -182,6 +257,14 @@ let ablation_dp () =
         solve_time (fun () ->
             Decompose.brute_force ~cons ~objective:`Total pipeline profile)
       in
+      Record.row label
+        [
+          ("dp_total_s", dp.Decompose.total);
+          ("bneck_total_s", bn.Decompose.total);
+          ("brute_total_s", bf.Decompose.total);
+          ("t_dp_us", t_dp *. 1e6);
+          ("t_brute_us", t_bf *. 1e6);
+        ];
       print_row label
         [
           Fmt.str "%.4f" dp.Decompose.total;
@@ -209,6 +292,9 @@ let ablation_dp () =
         solve_time (fun () ->
             Decompose.brute_force ~objective:`Total pipeline profile)
       in
+      Record.row
+        (Printf.sprintf "n%d-m%d" n1 m)
+        [ ("t_dp_us", t_dp *. 1e6); ("t_brute_us", t_bf *. 1e6) ];
       print_row ""
         [
           string_of_int n1;
@@ -335,11 +421,20 @@ let ablation_packing () =
         let t, _, _, _ = H.run_cell ~cluster ~strategy ~layout_mode:mode ~widths app in
         t
       in
+      let t_auto = run `Auto in
+      let t_inst = run `All_instance in
+      let t_field = run `All_fieldwise in
+      Record.row label
+        [
+          ("auto_s", t_auto);
+          ("instance_s", t_inst);
+          ("fieldwise_s", t_field);
+        ];
       print_row label
         [
-          Fmt.str "%.4f" (run `Auto);
-          Fmt.str "%.4f" (run `All_instance);
-          Fmt.str "%.4f" (run `All_fieldwise);
+          Fmt.str "%.4f" t_auto;
+          Fmt.str "%.4f" t_inst;
+          Fmt.str "%.4f" t_field;
         ])
     apps
 
@@ -357,6 +452,7 @@ let ablation_packet () =
       let t, _, _, _ =
         H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 2; 2; 1 |] app
       in
+      Record.row (string_of_int packets) [ ("makespan_s", t) ];
       print_row "" [ string_of_int packets; Fmt.str "%.4f" t ])
     [ 4; 8; 16; 24; 48; 96 ]
 
@@ -391,6 +487,7 @@ let parallel () =
         |> List.fold_left min infinity
       in
       if label = "1-1-1" then base := t;
+      Record.row label [ ("wall_s", t); ("speedup", !base /. t) ];
       print_row "" [ label; Fmt.str "%.4f" t; Fmt.str "%.2f" (!base /. t) ])
     H.configurations
 
@@ -434,17 +531,65 @@ let micro () =
       (List.map (fun instance -> Analyze.all ols instance raw) instances)
   in
   Fmt.pr "@.== Compiler micro-benchmarks ==@.";
+  Record.start "Compiler micro-benchmarks";
   Hashtbl.iter
     (fun _instance tbl ->
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "%-44s %14.0f ns/run@." name est
+          | Some [ est ] ->
+              Record.row name [ ("ns_per_run", est) ];
+              Fmt.pr "%-44s %14.0f ns/run@." name est
           | _ -> Fmt.pr "%-44s   (no estimate)@." name)
         tbl)
     results
 
 (* ------------------------------------------------------------------ *)
+(* Smoke cell for @bench-smoke: one tiny figure cell, recorded through
+   the same Record path as the real figures, then parsed back and
+   validated — so metrics emission can never silently rot.              *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  print_header "Smoke: knn tiny, 1-1-1" [ "Decomp(s)"; "bytes" ];
+  let app = H.knn_app ~name:"knn-tiny" Apps.Knn.tiny in
+  let t, bytes, _, c =
+    H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 1; 1; 1 |] app
+  in
+  Record.row "1-1-1"
+    [
+      ("decomp_s", t);
+      ("bytes", bytes);
+      ("predicted_total_s", c.Compile.predicted_total);
+    ];
+  print_row "1-1-1" [ Fmt.str "%.4f" t; Fmt.str "%.0f" bytes ];
+  Record.write "smoke";
+  (* parse the emitted file back and validate its shape *)
+  let path = Record.path_of "smoke" in
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let module J = Obs.Json in
+  let doc = J.parse text in
+  let check what cond =
+    if not cond then begin
+      Fmt.epr "bench smoke: %s does not hold in %s@." what path;
+      exit 1
+    end
+  in
+  check "target is \"smoke\"" (J.to_str (J.member "target" doc) = "smoke");
+  let rows = J.to_list (J.member "rows" doc) in
+  check "exactly one row" (List.length rows = 1);
+  let row = List.hd rows in
+  check "config is 1-1-1" (J.to_str (J.member "config" row) = "1-1-1");
+  check "positive makespan" (J.to_float (J.member "decomp_s" row) > 0.0);
+  check "positive bytes" (J.to_float (J.member "bytes" row) > 0.0);
+  check "positive prediction"
+    (J.to_float (J.member "predicted_total_s" row) > 0.0);
+  Fmt.pr "smoke: %s parses back and validates@." path
 
 let targets =
   [
@@ -461,6 +606,7 @@ let targets =
     ("ablation_packet", ablation_packet);
     ("parallel", parallel);
     ("micro", micro);
+    ("smoke", smoke);
   ]
 
 let () =
@@ -472,7 +618,10 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name targets with
-      | Some f -> f ()
+      | Some f ->
+          Record.start name;
+          f ();
+          Record.write name
       | None ->
           Fmt.epr "unknown target %s; available: %s@." name
             (String.concat " " (List.map fst targets));

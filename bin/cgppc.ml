@@ -59,27 +59,90 @@ let load ~file ~app =
       in
       { base with H.name = Filename.basename path; H.source }
 
-(* --cluster "node_power,view_power,bandwidth,latency" *)
-let cluster_of_spec = function
-  | None -> H.default_cluster
-  | Some spec -> (
-      match String.split_on_char ',' spec |> List.map float_of_string with
-      | [ node_power; view_power; bandwidth; latency ] ->
-          { H.node_power; view_power; bandwidth; latency }
-      | _ | (exception _) ->
-          invalid_arg
+(* --cluster "node_power,view_power,bandwidth,latency": a proper
+   Cmdliner converter, so a bad spec is a usage error (`Error) rather
+   than a raised Invalid_argument. *)
+let cluster_conv : H.cluster Cmdliner.Arg.conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map float_of_string_opt with
+    | [ Some node_power; Some view_power; Some bandwidth; Some latency ]
+      when node_power > 0.0 && view_power > 0.0 && bandwidth > 0.0
+           && latency >= 0.0 ->
+        Ok { H.node_power; view_power; bandwidth; latency }
+    | _ ->
+        Error
+          (`Msg
             (Printf.sprintf
-               "bad cluster spec %S (want node_power,view_power,bandwidth,latency)"
-               spec))
+               "bad cluster spec %S (want \
+                NODE_POWER,VIEW_POWER,BANDWIDTH,LATENCY: three positive \
+                numbers and a non-negative latency)"
+               s))
+  in
+  let print ppf c =
+    Fmt.pf ppf "%g,%g,%g,%g" c.H.node_power c.H.view_power c.H.bandwidth
+      c.H.latency
+  in
+  Cmdliner.Arg.conv (parse, print)
 
-let widths_of_config = function
-  | "1-1-1" -> [| 1; 1; 1 |]
-  | "2-2-1" -> [| 2; 2; 1 |]
-  | "4-4-1" -> [| 4; 4; 1 |]
-  | s -> (
-      try
-        String.split_on_char '-' s |> List.map int_of_string |> Array.of_list
-      with _ -> invalid_arg (Printf.sprintf "bad configuration %S" s))
+let cluster_of_spec = function None -> H.default_cluster | Some c -> c
+
+(* --config "w1-w2-...-wm": stage widths, all >= 1, at least two stages. *)
+let config_conv : int array Cmdliner.Arg.conv =
+  let parse s =
+    let parts = String.split_on_char '-' s |> List.map int_of_string_opt in
+    if
+      List.length parts >= 2
+      && List.for_all (function Some w -> w >= 1 | None -> false) parts
+    then Ok (Array.of_list (List.filter_map Fun.id parts))
+    else
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad configuration %S (want DASH-separated stage widths >= 1, \
+              e.g. 1-1-1 or 4-4-1)"
+             s))
+  in
+  let print ppf w =
+    Fmt.pf ppf "%s"
+      (String.concat "-" (Array.to_list (Array.map string_of_int w)))
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let config_label widths =
+  String.concat "-" (Array.to_list (Array.map string_of_int widths))
+
+(* --- observability plumbing --- *)
+
+(* Enable tracing up front when --trace was given, write the file after
+   the body completes.  Metrics writers run inside the body. *)
+let with_trace trace f =
+  if trace <> None then Obs.Trace.enable ();
+  let r = f () in
+  (match trace with
+  | Some path ->
+      Obs.Chrome_trace.write_file ~process_name:"cgppc" path;
+      Fmt.pr "trace written to %s (open in Perfetto / chrome://tracing)@." path
+  | None -> ());
+  r
+
+let strategy_name = function
+  | Compile.Decomp -> "decomp"
+  | Compile.Default -> "default"
+  | Compile.Fixed _ -> "fixed"
+
+(* Compilation facts shared by the plan and run metrics documents. *)
+let compile_metrics m (c : Compile.t) =
+  let profile = c.Compile.profile.Profile.profile in
+  Obs.Metrics.set_float m "predicted_latency_s" c.Compile.predicted_latency;
+  Obs.Metrics.set_float m "predicted_total_s" c.Compile.predicted_total;
+  Obs.Metrics.set_ints m "assignment" c.Compile.assignment;
+  Obs.Metrics.set_floats m "task_ops_per_packet" profile.Costmodel.task;
+  Obs.Metrics.set_floats m "vol_out_bytes_per_packet" profile.Costmodel.vol_out;
+  Obs.Metrics.set_int m "num_packets" profile.Costmodel.packets
+
+let write_metrics path m =
+  Obs.Metrics.write_file path m;
+  Fmt.pr "metrics written to %s@." path
 
 (* --- inspect --- *)
 
@@ -103,12 +166,13 @@ let strategy_conv =
   Cmdliner.Arg.enum
     [ ("decomp", Compile.Decomp); ("default", Compile.Default) ]
 
-let plan file app config strategy cluster_spec =
+let plan file app widths strategy cluster_spec trace mjson =
   let a = load ~file ~app in
-  let widths = widths_of_config config in
   let cluster = cluster_of_spec cluster_spec in
+  with_trace trace @@ fun () ->
   let c = H.compile ~cluster ~strategy ~widths a in
-  Fmt.pr "application %s, configuration %s, strategy %s@.@." a.H.name config
+  Fmt.pr "application %s, configuration %s, strategy %s@.@." a.H.name
+    (config_label widths)
     (match strategy with
     | Compile.Decomp -> "compiler decomposition"
     | Compile.Default -> "default (forward everything)"
@@ -124,13 +188,33 @@ let plan file app config strategy cluster_spec =
   List.iter (fun (n, t) -> Fmt.pr "  %4d packets: %.4fs@." n t) scored;
   Fmt.pr "suggested packet count: %d (currently %d)@." best
     a.H.num_packets;
+  (match mjson with
+  | None -> ()
+  | Some path ->
+      let m = Obs.Metrics.create () in
+      Obs.Metrics.set_str m "command" "plan";
+      Obs.Metrics.set_str m "app" a.H.name;
+      Obs.Metrics.set_str m "config" (config_label widths);
+      Obs.Metrics.set_str m "strategy" (strategy_name strategy);
+      compile_metrics m c;
+      Obs.Metrics.set_int m "suggested_packet_count" best;
+      Obs.Metrics.set m "packet_sweep"
+        (Obs.Json.List
+           (List.map
+              (fun (n, t) ->
+                Obs.Json.Obj
+                  [
+                    ("packets", Obs.Json.Int n);
+                    ("predicted_total_s", Obs.Json.Float t);
+                  ])
+              scored));
+      write_metrics path m);
   `Ok ()
 
 (* --- emit --- *)
 
-let emit file app config strategy cluster_spec =
+let emit file app widths strategy cluster_spec =
   let a = load ~file ~app in
-  let widths = widths_of_config config in
   let cluster = cluster_of_spec cluster_spec in
   let c = H.compile ~cluster ~strategy ~widths a in
   print_string (Emit.emit_plan c.Compile.plan);
@@ -138,10 +222,18 @@ let emit file app config strategy cluster_spec =
 
 (* --- run --- *)
 
-let run file app config strategy parallel cluster_spec =
+let run file app widths strategy parallel cluster_spec trace mjson =
   let a = load ~file ~app in
-  let widths = widths_of_config config in
   let cluster = cluster_of_spec cluster_spec in
+  let metrics_doc () =
+    let m = Obs.Metrics.create () in
+    Obs.Metrics.set_str m "command" "run";
+    Obs.Metrics.set_str m "app" a.H.name;
+    Obs.Metrics.set_str m "config" (config_label widths);
+    Obs.Metrics.set_str m "strategy" (strategy_name strategy);
+    m
+  in
+  with_trace trace @@ fun () ->
   if parallel then begin
     let c = H.compile ~cluster ~strategy ~widths a in
     let topo, results =
@@ -154,12 +246,39 @@ let run file app config strategy parallel cluster_spec =
     Fmt.pr "parallel run (%d domains): wall time %.4fs@."
       (Array.fold_left ( + ) 0 widths)
       m.Datacutter.Par_runtime.wall_time;
+    Array.iteri
+      (fun s busy ->
+        Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
+          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+          busy
+          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+          m.Datacutter.Par_runtime.stage_stall_push.(s)
+          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+          m.Datacutter.Par_runtime.stage_stall_pop.(s))
+      m.Datacutter.Par_runtime.stage_busy;
     List.iter
       (fun (name, v) -> Fmt.pr "  %s = %s@." name (Lang.Value.to_string v))
-      (results ())
+      (results ());
+    match mjson with
+    | None -> ()
+    | Some path ->
+        let doc = metrics_doc () in
+        compile_metrics doc c;
+        Obs.Metrics.set doc "parallel"
+          (Datacutter.Par_runtime.metrics_to_json m);
+        write_metrics path doc
   end
   else begin
-    let t, bytes, results, c = H.run_cell ~cluster ~strategy ~widths a in
+    let c = H.compile ~cluster ~strategy ~widths a in
+    let topo, results =
+      Codegen.build_topology c.Compile.plan ~widths
+        ~powers:(H.node_powers cluster widths)
+        ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
+        ~latency:cluster.H.latency ()
+    in
+    let m = Datacutter.Sim_runtime.run topo in
+    let t = m.Datacutter.Sim_runtime.makespan in
+    let bytes = Datacutter.Sim_runtime.total_bytes m in
     Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@." t bytes;
     Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
     List.iter
@@ -167,7 +286,15 @@ let run file app config strategy parallel cluster_spec =
         let s = Lang.Value.to_string v in
         let s = if String.length s > 200 then String.sub s 0 200 ^ "..." else s in
         Fmt.pr "  %s = %s@." name s)
-      results
+      (results ());
+    match mjson with
+    | None -> ()
+    | Some path ->
+        let doc = metrics_doc () in
+        compile_metrics doc c;
+        Obs.Metrics.set doc "simulated"
+          (Datacutter.Sim_runtime.metrics_to_json m);
+        write_metrics path doc
   end;
   `Ok ()
 
@@ -199,7 +326,8 @@ let app_arg =
 
 let config_arg =
   Arg.(
-    value & opt string "1-1-1"
+    value
+    & opt config_conv [| 1; 1; 1 |]
     & info [ "config"; "c" ] ~docv:"CONFIG"
         ~doc:"Pipeline configuration, e.g. 1-1-1, 2-2-1 or 4-4-1.")
 
@@ -212,12 +340,31 @@ let strategy_arg =
 let cluster_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some cluster_conv) None
     & info [ "cluster" ]
         ~docv:"NODE_POWER,VIEW_POWER,BANDWIDTH,LATENCY"
         ~doc:
           "Cluster description: per-node weighted ops/s, view-desktop \
            ops/s, link bytes/s, per-buffer latency seconds.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file covering the compiler \
+           phases and (for run) every filter copy and link; open it in \
+           Perfetto or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write machine-readable metrics JSON: predictions, per-segment \
+           profile and (for run) the runtime's counters.")
 
 let parallel_arg =
   Arg.(
@@ -250,9 +397,10 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Print the chosen filter decomposition")
     Term.(
       ret
-        (with_logs (fun (f, a, c, s, cl) -> plan f a c s cl)
-        $ (const (fun f a c s cl -> (f, a, c, s, cl))
-          $ file_arg $ app_arg $ config_arg $ strategy_arg $ cluster_arg)))
+        (with_logs (fun (f, a, c, s, cl, tr, mj) -> plan f a c s cl tr mj)
+        $ (const (fun f a c s cl tr mj -> (f, a, c, s, cl, tr, mj))
+          $ file_arg $ app_arg $ config_arg $ strategy_arg $ cluster_arg
+          $ trace_arg $ metrics_arg)))
 
 let emit_cmd =
   Cmd.v (Cmd.info "emit" ~doc:"Print the generated filter code")
@@ -266,10 +414,10 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute the pipeline")
     Term.(
       ret
-        (with_logs (fun (f, a, c, s, p, cl) -> run f a c s p cl)
-        $ (const (fun f a c s p cl -> (f, a, c, s, p, cl))
+        (with_logs (fun (f, a, c, s, p, cl, tr, mj) -> run f a c s p cl tr mj)
+        $ (const (fun f a c s p cl tr mj -> (f, a, c, s, p, cl, tr, mj))
           $ file_arg $ app_arg $ config_arg $ strategy_arg $ parallel_arg
-          $ cluster_arg)))
+          $ cluster_arg $ trace_arg $ metrics_arg)))
 
 let main =
   Cmd.group

@@ -35,13 +35,20 @@ type t = {
   plan : Codegen.plan;
 }
 
+(* Compiler phases announce themselves as spans on the compiler's
+   virtual thread (no-ops unless Obs.Trace.enable was called). *)
+let phase name f = Obs.Trace.with_span ~cat:"compiler" name f
+
 (* Parse and type check only (no decomposition). *)
 let front_end ?(file = "<input>") ~externs_sig source =
-  let prog = Parser.parse ~file source in
-  Typecheck.check ~externs:externs_sig prog;
-  prog
+  phase "front_end" (fun () ->
+      let prog = Parser.parse ~file source in
+      Typecheck.check ~externs:externs_sig prog;
+      prog)
 
-let segment ~prog = Boundary.segments_of_body prog.Ast.pipeline.Ast.pd_body
+let segment ~prog =
+  phase "boundaries" (fun () ->
+      Boundary.segments_of_body prog.Ast.pipeline.Ast.pd_body)
 
 (* Pinning constraints from the extern classification. *)
 let constraints_of ~rc ~m ~source_externs ~sink_externs =
@@ -72,7 +79,7 @@ let compile ?(file = "<input>") ~(source : string)
       m "boundaries: %d atomic filters (%s)" (List.length segments)
         (String.concat " | "
            (List.map (fun s -> s.Boundary.seg_label) segments)));
-  let rc = Reqcomm.analyze prog segments in
+  let rc = phase "reqcomm" (fun () -> Reqcomm.analyze prog segments) in
   Log.debug (fun m -> m "reqcomm:@
 %a" Reqcomm.pp rc);
   let tyenv = Tyenv.of_segments prog segments in
@@ -80,6 +87,7 @@ let compile ?(file = "<input>") ~(source : string)
      between two references crossing the same boundary: reject such
      programs up front (may-alias is conservative, see Alias). *)
   let () =
+    phase "alias_check" @@ fun () ->
     let body = List.concat_map (fun s -> s.Boundary.seg_stmts) segments in
     let gctx = Gencons.create_ctx_for_body prog body in
     let aliases = Gencons.aliases_of gctx body in
@@ -111,8 +119,9 @@ let compile ?(file = "<input>") ~(source : string)
   let m = Costmodel.width_of pipeline in
   let runtime_defs = ("num_packets", num_packets) :: runtime_defs in
   let profile =
-    Profile.run prog segments rc ~externs ~runtime_defs ~num_packets ~samples
-      ~final_copies ()
+    phase "profile" (fun () ->
+        Profile.run prog segments rc ~externs ~runtime_defs ~num_packets
+          ~samples ~final_copies ())
   in
   Log.info (fun m' ->
       m' "profile: tasks [%s], volumes [%s]"
@@ -126,6 +135,7 @@ let compile ?(file = "<input>") ~(source : string)
   let constraints = constraints_of ~rc ~m ~source_externs ~sink_externs in
   let n1 = List.length segments in
   let assignment, predicted_latency =
+    phase "decompose" @@ fun () ->
     match strategy with
     | Decomp ->
         (* the Fig. 3 DP minimizes single-packet latency; the bottleneck
@@ -152,8 +162,9 @@ let compile ?(file = "<input>") ~(source : string)
       m "decomposition %a: predicted latency %.6fs, total %.6fs"
         Costmodel.pp_assignment assignment predicted_latency predicted_total);
   let plan =
-    Codegen.make_plan ~layout_mode prog segments rc ~assignment ~m ~num_packets
-      ~externs ~runtime_defs
+    phase "codegen" (fun () ->
+        Codegen.make_plan ~layout_mode prog segments rc ~assignment ~m
+          ~num_packets ~externs ~runtime_defs)
   in
   {
     prog;
@@ -234,6 +245,7 @@ let replan (c : t) ~(pipeline : Costmodel.pipeline) ?strategy () : t =
   let n1 = List.length c.segments in
   let profile = c.profile.Profile.profile in
   let assignment, predicted_latency =
+    phase "decompose" @@ fun () ->
     match strategy with
     | Decomp ->
         let r1 = Decompose.dp ~cons:c.constraints pipeline profile in
@@ -249,9 +261,11 @@ let replan (c : t) ~(pipeline : Costmodel.pipeline) ?strategy () : t =
         (a, Costmodel.latency_time pipeline profile a)
   in
   let plan =
-    Codegen.make_plan c.prog c.segments c.rc ~assignment ~m
-      ~num_packets:c.plan.Codegen.num_packets ~externs:c.plan.Codegen.externs
-      ~runtime_defs:c.plan.Codegen.runtime_defs
+    phase "codegen" (fun () ->
+        Codegen.make_plan c.prog c.segments c.rc ~assignment ~m
+          ~num_packets:c.plan.Codegen.num_packets
+          ~externs:c.plan.Codegen.externs
+          ~runtime_defs:c.plan.Codegen.runtime_defs)
   in
   {
     c with

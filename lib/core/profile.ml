@@ -47,6 +47,10 @@ let run (prog : Ast.program) (segments : Boundary.segment list)
   let n_samples = List.length samples in
   List.iter
     (fun p ->
+      Obs.Trace.with_span ~cat:"profile"
+        ~args:[ ("packet", Obs.Trace.Aint p) ]
+        (Printf.sprintf "sample %d" p)
+      @@ fun () ->
       let env = Interp.push_scope genv in
       Interp.bind env prog.Ast.pipeline.Ast.pd_var (V.Vint p);
       Array.iteri

@@ -4,7 +4,15 @@
    queues (backpressure like DataCutter's fixed buffer pool).  The item
    protocol is the same as [Sim_runtime]'s: Data buffers round-robin
    across the downstream copies, Final buffers carry per-copy partial
-   results, Markers are broadcast and counted. *)
+   results, Markers are broadcast and counted.
+
+   Observability: every queue records its occupancy (length after each
+   push) in a histogram, and both sides of a stream measure the seconds
+   they spend blocked — producers on a full queue (blocked-on-push),
+   consumers on an empty one (blocked-on-pop).  When tracing is enabled
+   each copy additionally emits real-time spans for its filter calls
+   into its own domain-local buffer (see [Obs.Trace]), so recording
+   never synchronizes the workers. *)
 
 type item =
   | Data of Filter.buffer
@@ -18,6 +26,7 @@ module Bqueue = struct
     not_empty : Condition.t;
     not_full : Condition.t;
     capacity : int;
+    occupancy : Obs.Hist.t;  (* length after each push; guarded by mutex *)
   }
 
   let create capacity =
@@ -27,33 +36,67 @@ module Bqueue = struct
       not_empty = Condition.create ();
       not_full = Condition.create ();
       capacity;
+      occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
     }
 
+  (* [push]/[pop] return the seconds the caller spent blocked (lock
+     acquisition plus condition waits). *)
+
   let push q x =
+    let t0 = Obs.Clock.elapsed_s () in
     Mutex.lock q.mutex;
     while Queue.length q.items >= q.capacity do
       Condition.wait q.not_full q.mutex
     done;
+    let blocked = Obs.Clock.elapsed_s () -. t0 in
     Queue.push x q.items;
+    Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
     Condition.signal q.not_empty;
-    Mutex.unlock q.mutex
+    Mutex.unlock q.mutex;
+    blocked
 
   let pop q =
+    let t0 = Obs.Clock.elapsed_s () in
     Mutex.lock q.mutex;
     while Queue.is_empty q.items do
       Condition.wait q.not_empty q.mutex
     done;
+    let blocked = Obs.Clock.elapsed_s () -. t0 in
     let x = Queue.pop q.items in
     Condition.signal q.not_full;
     Mutex.unlock q.mutex;
-    x
+    (x, blocked)
 end
 
 type metrics = {
-  wall_time : float;             (* end-to-end seconds *)
-  stage_busy : float array array; (* [stage].[copy] busy seconds *)
-  stage_items : int array array;
+  wall_time : float;                   (* end-to-end seconds *)
+  stage_busy : float array array;      (* [stage].[copy] busy seconds *)
+  stage_items : int array array;       (* data buffers processed *)
+  stage_items_out : int array array;   (* data buffers sent downstream *)
+  stage_bytes_out : float array array; (* data+final bytes sent downstream *)
+  stage_stall_push : float array array; (* blocked on a full downstream queue *)
+  stage_stall_pop : float array array;  (* blocked on an empty input queue *)
+  queue_occupancy : Obs.Hist.t array array;
+      (* input-queue occupancy per copy; [| |] for stage 0 (no queue) *)
 }
+
+let metrics_to_json m =
+  let grid f a =
+    Obs.Json.List
+      (Array.to_list
+         (Array.map (fun row -> Obs.Json.List (Array.to_list (Array.map f row))) a))
+  in
+  Obs.Json.Obj
+    [
+      ("wall_time_s", Obs.Json.Float m.wall_time);
+      ("busy_s", grid (fun v -> Obs.Json.Float v) m.stage_busy);
+      ("items", grid (fun v -> Obs.Json.Int v) m.stage_items);
+      ("items_out", grid (fun v -> Obs.Json.Int v) m.stage_items_out);
+      ("bytes_out", grid (fun v -> Obs.Json.Float v) m.stage_bytes_out);
+      ("stall_push_s", grid (fun v -> Obs.Json.Float v) m.stage_stall_push);
+      ("stall_pop_s", grid (fun v -> Obs.Json.Float v) m.stage_stall_pop);
+      ("queue_occupancy", grid Obs.Hist.to_json m.queue_occupancy);
+    ]
 
 let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
   let stages = Array.of_list topo.Topology.stages in
@@ -66,76 +109,106 @@ let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
           Array.init stages.(s).Topology.width (fun _ ->
               (Bqueue.create queue_capacity : item Bqueue.t)))
   in
-  let busy = Array.map (fun st -> Array.make st.Topology.width 0.0) stages in
-  let items_done = Array.map (fun st -> Array.make st.Topology.width 0) stages in
-  let now () = Unix.gettimeofday () in
-
-  let send_rr rr s it =
-    let dst = queues.(s + 1) in
-    let k = !rr mod Array.length dst in
-    incr rr;
-    Bqueue.push dst.(k) it
-  in
-  let broadcast s it =
-    Array.iter (fun q -> Bqueue.push q it) queues.(s + 1)
-  in
+  let per_copy mk = Array.map (fun st -> Array.init st.Topology.width (fun _ -> mk ())) stages in
+  let busy = per_copy (fun () -> 0.0) in
+  let items_done = per_copy (fun () -> 0) in
+  let items_out = per_copy (fun () -> 0) in
+  let bytes_out = per_copy (fun () -> 0.0) in
+  let stall_push = per_copy (fun () -> 0.0) in
+  let stall_pop = per_copy (fun () -> 0.0) in
+  let tracing = Obs.Trace.is_enabled () in
+  if tracing then Topology.announce_threads topo;
 
   let copy_body s k () =
     let st = stages.(s) in
     let rr = ref k in
-    let charge f =
-      let t0 = now () in
+    let tid = Topology.copy_tid topo ~stage:s ~copy:k in
+    let charge name f =
+      let t0 = Obs.Clock.elapsed_s () in
       let r = f () in
-      busy.(s).(k) <- busy.(s).(k) +. (now () -. t0);
+      let t1 = Obs.Clock.elapsed_s () in
+      busy.(s).(k) <- busy.(s).(k) +. (t1 -. t0);
+      if tracing then
+        Obs.Trace.emit
+          (Obs.Trace.Span
+             { name; cat = "par"; ts = t0; dur = t1 -. t0; tid; args = [] });
       r
+    in
+    let account_out it =
+      match it with
+      | Data b ->
+          items_out.(s).(k) <- items_out.(s).(k) + 1;
+          bytes_out.(s).(k) <- bytes_out.(s).(k) +. float_of_int (Filter.buffer_size b)
+      | Final b ->
+          bytes_out.(s).(k) <- bytes_out.(s).(k) +. float_of_int (Filter.buffer_size b)
+      | Marker -> ()
+    in
+    let send_rr it =
+      let dst = queues.(s + 1) in
+      let j = !rr mod Array.length dst in
+      incr rr;
+      account_out it;
+      stall_push.(s).(k) <- stall_push.(s).(k) +. Bqueue.push dst.(j) it
+    in
+    let broadcast it =
+      Array.iter
+        (fun q -> stall_push.(s).(k) <- stall_push.(s).(k) +. Bqueue.push q it)
+        queues.(s + 1)
     in
     match st.Topology.role with
     | Topology.Source mk ->
         let src = mk k in
         let rec loop () =
-          match charge (fun () -> src.Filter.next ()) with
+          match charge "produce" (fun () -> src.Filter.next ()) with
           | Some (b, _) ->
               items_done.(s).(k) <- items_done.(s).(k) + 1;
-              send_rr rr s (Data b);
+              send_rr (Data b);
               loop ()
           | None ->
-              let out, _ = charge (fun () -> src.Filter.src_finalize ()) in
-              (match out with Some b -> send_rr rr s (Final b) | None -> ());
-              broadcast s Marker
+              let out, _ =
+                charge "src_finalize" (fun () -> src.Filter.src_finalize ())
+              in
+              (match out with Some b -> send_rr (Final b) | None -> ());
+              broadcast Marker
         in
         loop ()
     | Topology.Inner mk | Topology.Sink mk ->
         let f = mk k in
-        ignore (charge (fun () -> f.Filter.init ()));
+        ignore (charge "init" (fun () -> f.Filter.init ()));
         let q = queues.(s).(k) in
         let upstream = stages.(s - 1).Topology.width in
         let markers = ref 0 in
         let is_last = s = n_stages - 1 in
-        let forward it = if not is_last then send_rr rr s it in
+        let forward it = if not is_last then send_rr it in
+        let recv () =
+          let it, blocked = Bqueue.pop q in
+          stall_pop.(s).(k) <- stall_pop.(s).(k) +. blocked;
+          it
+        in
         let rec loop () =
-          match Bqueue.pop q with
+          match recv () with
           | Data b ->
-              let out, _ = charge (fun () -> f.Filter.process b) in
+              let out, _ = charge "process" (fun () -> f.Filter.process b) in
               items_done.(s).(k) <- items_done.(s).(k) + 1;
               (match out with Some b -> forward (Data b) | None -> ());
               loop ()
           | Final b ->
-              let out, _ = charge (fun () -> f.Filter.on_eos (Some b)) in
+              let out, _ = charge "on_eos" (fun () -> f.Filter.on_eos (Some b)) in
               (match out with Some b -> forward (Final b) | None -> ());
               loop ()
           | Marker ->
               incr markers;
               if !markers = upstream then begin
-                let out, _ = charge (fun () -> f.Filter.finalize ()) in
+                let out, _ = charge "finalize" (fun () -> f.Filter.finalize ()) in
                 (match out with Some b -> forward (Final b) | None -> ());
-                if not is_last then broadcast s Marker
+                if not is_last then broadcast Marker
               end
               else loop ()
         in
         loop ()
   in
 
-  let t0 = now () in
+  let t0 = Obs.Clock.elapsed_s () in
   let domains =
     List.concat
       (List.init n_stages (fun s ->
@@ -143,5 +216,39 @@ let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
                Domain.spawn (copy_body s k))))
   in
   List.iter Domain.join domains;
-  let wall_time = now () -. t0 in
-  { wall_time; stage_busy = busy; stage_items = items_done }
+  let wall_time = Obs.Clock.elapsed_s () -. t0 in
+  {
+    wall_time;
+    stage_busy = busy;
+    stage_items = items_done;
+    stage_items_out = items_out;
+    stage_bytes_out = bytes_out;
+    stage_stall_push = stall_push;
+    stage_stall_pop = stall_pop;
+    queue_occupancy = Array.map (Array.map (fun q -> q.Bqueue.occupancy)) queues;
+  }
+
+let pp_metrics ppf m =
+  Fmt.pf ppf "wall_time=%.6fs@\n" m.wall_time;
+  Array.iteri
+    (fun s row ->
+      Fmt.pf ppf
+        "  stage %d: busy=[%a] items=[%a] stall_push=[%a] stall_pop=[%a]@\n" s
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        row
+        Fmt.(array ~sep:(any "; ") int)
+        m.stage_items.(s)
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        m.stage_stall_push.(s)
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        m.stage_stall_pop.(s))
+    m.stage_busy;
+  Array.iteri
+    (fun s hists ->
+      Array.iteri
+        (fun k h ->
+          if Obs.Hist.count h > 0 then
+            Fmt.pf ppf "  queue %d/%d: mean occupancy %.2f, max %.0f@\n" s k
+              (Obs.Hist.mean h) (Obs.Hist.max_value h))
+        hists)
+    m.queue_occupancy

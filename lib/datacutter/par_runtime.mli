@@ -4,14 +4,36 @@
     queues (backpressure like DataCutter's fixed buffer pool).  The item
     protocol matches {!Sim_runtime}: data buffers round-robin across the
     downstream copies, end-of-stream payloads are absorbed or forwarded,
-    markers are broadcast and counted. *)
+    markers are broadcast and counted.
+
+    Every stream records its occupancy after each push, and both sides
+    measure the seconds spent blocked: producers on a full queue,
+    consumers on an empty one.  With tracing enabled ({!Obs.Trace.enable})
+    copies emit real-time spans for their filter calls into domain-local
+    buffers — collection happens only after the domains are joined. *)
 
 type metrics = {
-  wall_time : float;               (** end-to-end seconds *)
+  wall_time : float;  (** end-to-end seconds *)
   stage_busy : float array array;  (** busy seconds per stage, per copy *)
-  stage_items : int array array;
+  stage_items : int array array;  (** data buffers processed *)
+  stage_items_out : int array array;  (** data buffers sent downstream *)
+  stage_bytes_out : float array array;
+      (** data + end-of-stream payload bytes sent downstream *)
+  stage_stall_push : float array array;
+      (** seconds blocked pushing into a full downstream queue *)
+  stage_stall_pop : float array array;
+      (** seconds blocked popping from an empty input queue; per copy,
+          [busy + stall_push + stall_pop <= wall_time] (up to scheduler
+          overhead) *)
+  queue_occupancy : Obs.Hist.t array array;
+      (** input-queue occupancy per copy; [[||]] for stage 0 *)
 }
+
+(** Machine-readable form of the metrics (the [--metrics-json] body). *)
+val metrics_to_json : metrics -> Obs.Json.t
 
 (** Run the pipeline to completion, one domain per filter copy.
     [queue_capacity] bounds each stream's in-flight buffers. *)
 val run : ?queue_capacity:int -> Topology.t -> metrics
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -80,14 +80,17 @@ end
 
 type stage_metrics = {
   sm_name : string;
-  sm_busy : float array;   (* busy seconds per copy *)
-  sm_items : int array;    (* items processed per copy *)
+  sm_busy : float array;       (* busy seconds per copy *)
+  sm_items : int array;        (* items processed per copy *)
+  sm_queue_wait : float array; (* seconds items sat queued, per copy *)
+  sm_stall : float array;      (* seconds the copy sat idle awaiting work *)
 }
 
 type link_metrics = {
   lm_bytes : float;
   lm_transfers : int;
   lm_busy : float;         (* total transfer seconds across receiver links *)
+  lm_wait : float;         (* serialization wait: send blocked on the link *)
 }
 
 type metrics = {
@@ -98,6 +101,42 @@ type metrics = {
 
 let total_bytes m = Array.fold_left (fun a l -> a +. l.lm_bytes) 0.0 m.link_stats
 
+let metrics_to_json m =
+  let floats a = Obs.Json.List (Array.to_list (Array.map (fun f -> Obs.Json.Float f) a)) in
+  let ints a = Obs.Json.List (Array.to_list (Array.map (fun i -> Obs.Json.Int i) a)) in
+  Obs.Json.Obj
+    [
+      ("makespan_s", Obs.Json.Float m.makespan);
+      ("total_bytes", Obs.Json.Float (total_bytes m));
+      ( "stages",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map
+                (fun sm ->
+                  Obs.Json.Obj
+                    [
+                      ("name", Obs.Json.Str sm.sm_name);
+                      ("busy_s", floats sm.sm_busy);
+                      ("items", ints sm.sm_items);
+                      ("queue_wait_s", floats sm.sm_queue_wait);
+                      ("stall_s", floats sm.sm_stall);
+                    ])
+                m.stage_stats)) );
+      ( "links",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map
+                (fun lm ->
+                  Obs.Json.Obj
+                    [
+                      ("bytes", Obs.Json.Float lm.lm_bytes);
+                      ("transfers", Obs.Json.Int lm.lm_transfers);
+                      ("busy_s", Obs.Json.Float lm.lm_busy);
+                      ("wait_s", Obs.Json.Float lm.lm_wait);
+                    ])
+                m.link_stats)) );
+    ]
+
 (* --- simulation state --- *)
 
 type impl = Src of Filter.source | Filt of Filter.t
@@ -106,7 +145,7 @@ type copy = {
   stage : int;
   index : int;
   impl : impl;
-  queue : item Queue.t;
+  queue : (float * item) Queue.t;  (* (arrival time, item) *)
   mutable busy : bool;
   mutable markers_seen : int;
   mutable finished : bool;
@@ -114,6 +153,9 @@ type copy = {
   mutable link_free_at : float;    (* this copy's input link availability *)
   mutable busy_time : float;
   mutable items_done : int;
+  mutable queue_wait : float;      (* seconds items sat in the queue *)
+  mutable stall : float;           (* idle gaps before each service start *)
+  mutable idle_since : float;      (* when the copy last went idle *)
 }
 
 type event =
@@ -146,15 +188,49 @@ let run (topo : Topology.t) : metrics =
               link_free_at = 0.0;
               busy_time = 0.0;
               items_done = 0;
+              queue_wait = 0.0;
+              stall = 0.0;
+              idle_since = 0.0;
             }))
       stages
   in
   let link_bytes = Array.make (max 0 (n_stages - 1)) 0.0 in
   let link_transfers = Array.make (max 0 (n_stages - 1)) 0 in
   let link_busy = Array.make (max 0 (n_stages - 1)) 0.0 in
+  let link_wait = Array.make (max 0 (n_stages - 1)) 0.0 in
   let heap : event Heap.t = Heap.create () in
   let makespan = ref 0.0 in
   let note_time t = if t > !makespan then makespan := t in
+
+  (* Trace events carry simulated timestamps; copies and links use the
+     topology's stable virtual-thread ids. *)
+  let tracing = Obs.Trace.is_enabled () in
+  if tracing then Topology.announce_threads topo;
+  let ctid (c : copy) = Topology.copy_tid topo ~stage:c.stage ~copy:c.index in
+  let trace_service (c : copy) ~name ~ts ~dur ~packet =
+    if tracing then
+      Obs.Trace.emit
+        (Obs.Trace.Span
+           {
+             name;
+             cat = "sim";
+             ts;
+             dur;
+             tid = ctid c;
+             args = (if packet < 0 then [] else [ ("packet", Obs.Trace.Aint packet) ]);
+           })
+  in
+  let trace_qlen (c : copy) ~ts =
+    if tracing then
+      Obs.Trace.emit
+        (Obs.Trace.Counter
+           {
+             name = "queue " ^ Topology.copy_label topo ~stage:c.stage ~copy:c.index;
+             ts;
+             tid = ctid c;
+             values = [ ("len", float_of_int (Queue.length c.queue)) ];
+           })
+  in
 
   (* Send [item] from [c] downstream at time [t].  Data/Final use
      round-robin to a single copy; markers broadcast to every copy. *)
@@ -167,8 +243,28 @@ let run (topo : Topology.t) : metrics =
         let dur = link.Topology.latency +. (size /. link.Topology.bandwidth) in
         dst.link_free_at <- start +. dur;
         link_busy.(c.stage) <- link_busy.(c.stage) +. dur;
+        link_wait.(c.stage) <- link_wait.(c.stage) +. (start -. t);
         link_bytes.(c.stage) <- link_bytes.(c.stage) +. size;
         link_transfers.(c.stage) <- link_transfers.(c.stage) + 1;
+        if tracing then begin
+          let ltid = Topology.link_tid topo c.stage in
+          Obs.Trace.emit
+            (Obs.Trace.Span
+               {
+                 name = "xfer";
+                 cat = "link";
+                 ts = start;
+                 dur;
+                 tid = ltid;
+                 args = [ ("bytes", Obs.Trace.Afloat size) ];
+               });
+          let id = Obs.Trace.next_flow_id () in
+          Obs.Trace.emit
+            (Obs.Trace.Flow_start { name = "buffer"; id; ts = t; tid = ctid c });
+          Obs.Trace.emit
+            (Obs.Trace.Flow_end
+               { name = "buffer"; id; ts = start +. dur; tid = ctid dst })
+        end;
         Heap.push heap (start +. dur) (Ev_arrival (dst, it));
         note_time (start +. dur)
       in
@@ -186,32 +282,44 @@ let run (topo : Topology.t) : metrics =
   (* Start work on the next queued item if idle. *)
   let rec maybe_start t (c : copy) =
     if (not c.busy) && not (Queue.is_empty c.queue) then begin
-      let it = Queue.pop c.queue in
+      let arrived, it = Queue.pop c.queue in
+      trace_qlen c ~ts:t;
+      (* an actual service begins: charge the idle gap and queue wait *)
+      let begin_service () =
+        c.queue_wait <- c.queue_wait +. Float.max 0.0 (t -. arrived);
+        c.stall <- c.stall +. Float.max 0.0 (t -. c.idle_since)
+      in
       match c.impl with
       | Src _ -> () (* sources are self-driving; they have no queue *)
       | Filt f -> (
           match it with
           | Data b ->
+              begin_service ();
               let out, cost = f.Filter.process b in
               let dur = cost /. power_of c in
               c.busy <- true;
               c.busy_time <- c.busy_time +. dur;
               c.items_done <- c.items_done + 1;
+              trace_service c ~name:"process" ~ts:t ~dur ~packet:b.Filter.packet;
               Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Data))
           | Final b ->
+              begin_service ();
               let out, cost = f.Filter.on_eos (Some b) in
               let dur = cost /. power_of c in
               c.busy <- true;
               c.busy_time <- c.busy_time +. dur;
+              trace_service c ~name:"on_eos" ~ts:t ~dur ~packet:(-1);
               Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Final))
           | Marker ->
               c.markers_seen <- c.markers_seen + 1;
               let upstream = stages.(c.stage - 1).Topology.width in
               if c.markers_seen = upstream then begin
+                begin_service ();
                 let out, cost = f.Filter.finalize () in
                 let dur = cost /. power_of c in
                 c.busy <- true;
                 c.busy_time <- c.busy_time +. dur;
+                trace_service c ~name:"finalize" ~ts:t ~dur ~packet:(-1);
                 Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Finalize))
               end
               else maybe_start t c)
@@ -219,10 +327,12 @@ let run (topo : Topology.t) : metrics =
 
   and handle t = function
     | Ev_arrival (c, it) ->
-        Queue.push it c.queue;
+        Queue.push (t, it) c.queue;
+        trace_qlen c ~ts:t;
         maybe_start t c
     | Ev_copy_done (c, out, kind) ->
         c.busy <- false;
+        c.idle_since <- t;
         note_time t;
         (match (out, kind) with
         | Some b, `Data -> send t c (Data b)
@@ -242,6 +352,8 @@ let run (topo : Topology.t) : metrics =
                 let dur = cost /. power_of c in
                 c.busy_time <- c.busy_time +. dur;
                 c.items_done <- c.items_done + 1;
+                trace_service c ~name:"produce" ~ts:t ~dur
+                  ~packet:b.Filter.packet;
                 let t' = t +. dur in
                 note_time t';
                 send t' c (Data b);
@@ -250,6 +362,7 @@ let run (topo : Topology.t) : metrics =
                 let out, cost = s.Filter.src_finalize () in
                 let dur = cost /. power_of c in
                 c.busy_time <- c.busy_time +. dur;
+                trace_service c ~name:"src_finalize" ~ts:t ~dur ~packet:(-1);
                 let t' = t +. dur in
                 note_time t';
                 (match out with Some b -> send t' c (Final b) | None -> ());
@@ -286,6 +399,8 @@ let run (topo : Topology.t) : metrics =
             sm_name = stages.(s).Topology.stage_name;
             sm_busy = Array.map (fun c -> c.busy_time) stage_copies;
             sm_items = Array.map (fun c -> c.items_done) stage_copies;
+            sm_queue_wait = Array.map (fun c -> c.queue_wait) stage_copies;
+            sm_stall = Array.map (fun c -> c.stall) stage_copies;
           })
         copies;
     link_stats =
@@ -296,6 +411,7 @@ let run (topo : Topology.t) : metrics =
             lm_bytes = link_bytes.(i);
             lm_transfers = link_transfers.(i);
             lm_busy = link_busy.(i);
+            lm_wait = link_wait.(i);
           });
   }
 
@@ -303,14 +419,20 @@ let pp_metrics ppf m =
   Fmt.pf ppf "makespan=%.6fs@\n" m.makespan;
   Array.iter
     (fun sm ->
-      Fmt.pf ppf "  stage %-12s busy=[%a] items=[%a]@\n" sm.sm_name
+      Fmt.pf ppf "  stage %-12s busy=[%a] items=[%a] wait=[%a] stall=[%a]@\n"
+        sm.sm_name
         Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
         sm.sm_busy
         Fmt.(array ~sep:(any "; ") int)
-        sm.sm_items)
+        sm.sm_items
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        sm.sm_queue_wait
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        sm.sm_stall)
     m.stage_stats;
   Array.iteri
     (fun i lm ->
-      Fmt.pf ppf "  link %d: %.0f bytes in %d transfers, busy %.4fs@\n" i
-        lm.lm_bytes lm.lm_transfers lm.lm_busy)
+      Fmt.pf ppf
+        "  link %d: %.0f bytes in %d transfers, busy %.4fs, wait %.4fs@\n" i
+        lm.lm_bytes lm.lm_transfers lm.lm_busy lm.lm_wait)
     m.link_stats

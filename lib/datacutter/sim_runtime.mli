@@ -14,14 +14,19 @@
 
 type stage_metrics = {
   sm_name : string;
-  sm_busy : float array;   (** busy seconds per copy *)
-  sm_items : int array;    (** items processed per copy *)
+  sm_busy : float array;        (** busy seconds per copy *)
+  sm_items : int array;         (** items processed per copy *)
+  sm_queue_wait : float array;  (** seconds items sat queued, per copy *)
+  sm_stall : float array;
+      (** seconds the copy sat idle between services; for zero-cost
+          [init] filters, [busy + stall <= makespan] per copy *)
 }
 
 type link_metrics = {
   lm_bytes : float;
   lm_transfers : int;
   lm_busy : float;
+  lm_wait : float;  (** serialization wait: sends blocked on a busy link *)
 }
 
 type metrics = {
@@ -32,6 +37,9 @@ type metrics = {
 
 (** Total bytes moved over all links. *)
 val total_bytes : metrics -> float
+
+(** Machine-readable form of the metrics (the [--metrics-json] body). *)
+val metrics_to_json : metrics -> Obs.Json.t
 
 (** Run the pipeline to completion. *)
 val run : Topology.t -> metrics

@@ -57,3 +57,51 @@ let create ~stages ~links =
 
 let stage_count t = List.length t.stages
 let widths t = List.map (fun s -> s.width) t.stages
+
+(* --- observability identities ---
+
+   Every filter copy and every link gets a stable virtual-thread id in
+   the exported trace: tid 0 is the compiler, copies follow in stage
+   order, links come after all copies.  Both runtimes and the trace
+   exporter agree on these through the helpers below. *)
+
+let stage_arr t = Array.of_list t.stages
+
+let copy_tid t ~stage ~copy =
+  let stages = stage_arr t in
+  let base = ref 1 in
+  for s = 0 to stage - 1 do
+    base := !base + stages.(s).width
+  done;
+  !base + copy
+
+let total_copies t = List.fold_left (fun a s -> a + s.width) 0 t.stages
+
+let link_tid t i = 1 + total_copies t + i
+
+let copy_label t ~stage ~copy =
+  let stages = stage_arr t in
+  Printf.sprintf "%s/%d" stages.(stage).stage_name copy
+
+let link_label t i =
+  let stages = stage_arr t in
+  Printf.sprintf "link %s->%s" stages.(i).stage_name
+    stages.(i + 1).stage_name
+
+(* Emit thread-name metadata for every copy and link (no-op when tracing
+   is disabled; [Obs.Trace.events] dedupes repeats). *)
+let announce_threads t =
+  if Obs.Trace.is_enabled () then begin
+    Obs.Trace.set_thread_name ~tid:Obs.Trace.compiler_tid "compiler";
+    List.iteri
+      (fun s (st : stage) ->
+        for k = 0 to st.width - 1 do
+          Obs.Trace.set_thread_name ~tid:(copy_tid t ~stage:s ~copy:k)
+            (copy_label t ~stage:s ~copy:k)
+        done)
+      t.stages;
+    List.iteri
+      (fun i (_ : link) ->
+        Obs.Trace.set_thread_name ~tid:(link_tid t i) (link_label t i))
+      t.links
+  end

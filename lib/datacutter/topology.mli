@@ -32,3 +32,24 @@ val create : stages:stage list -> links:link list -> t
 
 val stage_count : t -> int
 val widths : t -> int list
+
+(** {2 Observability identities}
+
+    Stable virtual-thread ids for the exported trace: tid 0 is the
+    compiler ({!Obs.Trace.compiler_tid}), filter copies follow in stage
+    order, links come after all copies.  Both runtimes stamp their
+    events with these so traces from either executor line up. *)
+
+val copy_tid : t -> stage:int -> copy:int -> int
+val link_tid : t -> int -> int
+val total_copies : t -> int
+
+(** ["<stage_name>/<copy>"]. *)
+val copy_label : t -> stage:int -> copy:int -> string
+
+(** ["link <from>-><to>"]. *)
+val link_label : t -> int -> string
+
+(** Emit thread-name metadata for the compiler, every copy and every
+    link; no-op when tracing is disabled. *)
+val announce_threads : t -> unit

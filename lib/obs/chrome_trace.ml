@@ -1,0 +1,79 @@
+(* Chrome trace-event JSON (the "JSON Object Format": a top-level object
+   with a traceEvents array; timestamps and durations in microseconds). *)
+
+let pid = 1
+
+let us s = Json.Float (s *. 1e6)
+
+let arg_to_json = function
+  | Trace.Aint i -> Json.Int i
+  | Trace.Afloat f -> Json.Float f
+  | Trace.Astr s -> Json.Str s
+
+let args_obj args =
+  Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)
+
+let base ~name ~ph ~tid rest =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str ph);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ rest)
+
+let event_to_json = function
+  | Trace.Span { name; cat; ts; dur; tid; args } ->
+      base ~name ~ph:"X" ~tid
+        ([ ("cat", Json.Str (if cat = "" then "default" else cat));
+           ("ts", us ts);
+           ("dur", us dur) ]
+        @ if args = [] then [] else [ ("args", args_obj args) ])
+  | Trace.Instant { name; cat; ts; tid; args } ->
+      base ~name ~ph:"i" ~tid
+        ([ ("cat", Json.Str (if cat = "" then "default" else cat));
+           ("ts", us ts);
+           ("s", Json.Str "t") ]
+        @ if args = [] then [] else [ ("args", args_obj args) ])
+  | Trace.Counter { name; ts; tid; values } ->
+      base ~name ~ph:"C" ~tid
+        [
+          ("ts", us ts);
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values));
+        ]
+  | Trace.Flow_start { name; id; ts; tid } ->
+      base ~name ~ph:"s" ~tid
+        [ ("cat", Json.Str "flow"); ("id", Json.Int id); ("ts", us ts) ]
+  | Trace.Flow_end { name; id; ts; tid } ->
+      base ~name ~ph:"f" ~tid
+        [
+          ("cat", Json.Str "flow");
+          ("id", Json.Int id);
+          ("ts", us ts);
+          ("bp", Json.Str "e");
+        ]
+  | Trace.Thread_name { tid; name } ->
+      base ~name:"thread_name" ~ph:"M" ~tid
+        [ ("args", Json.Obj [ ("name", Json.Str name) ]) ]
+
+let to_json ?(process_name = "cgpp") events =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta :: List.map event_to_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_file ?process_name ?events path =
+  let events = match events with Some e -> e | None -> Trace.events () in
+  Json.write_file path (to_json ?process_name events)

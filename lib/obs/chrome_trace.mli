@@ -1,0 +1,14 @@
+(** Chrome trace-event exporter.
+
+    Produces the JSON Object Format understood by Perfetto and
+    chrome://tracing: spans as complete ("X") events, counters as "C",
+    instants as "i", flows as "s"/"f" pairs, thread names as "M"
+    metadata.  Trace timestamps (seconds) become the format's
+    microseconds; every event lives in a single process whose virtual
+    threads are the compiler and the filter copies. *)
+
+(** [to_json ~process_name events] builds the whole trace document. *)
+val to_json : ?process_name:string -> Trace.event list -> Json.t
+
+(** Export the given events (default: everything recorded so far). *)
+val write_file : ?process_name:string -> ?events:Trace.event list -> string -> unit

@@ -1,0 +1,17 @@
+(* Monotonic elapsed-time clock over gettimeofday.
+
+   Monotonicity is enforced per domain (a domain-local high-water mark)
+   so no lock sits on the timestamp path taken by every span. *)
+
+let t0 = Unix.gettimeofday ()
+
+let last : float ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0.0)
+
+let elapsed_s () =
+  let hw = Domain.DLS.get last in
+  let t = Unix.gettimeofday () -. t0 in
+  let t = if t > !hw then t else !hw in
+  hw := t;
+  t
+
+let elapsed_us () = elapsed_s () *. 1e6

@@ -1,0 +1,43 @@
+(** Minimal JSON: enough to emit trace/metrics files and to parse them
+    back in tests.  No external dependencies — the observability layer
+    must not change the package's footprint.
+
+    Numbers are kept as floats on parse; [Int] exists so emitted counters
+    stay integral in the output text.  Serialization of non-finite floats
+    substitutes [null] (Chrome's trace viewer rejects [NaN]/[inf]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Pretty variant with one object/array entry per line (stable output
+    for golden-style diffs). *)
+val to_string_pretty : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+val parse_result : string -> (t, string) result
+
+(** Accessors used by validators; raise [Parse_error] on shape errors. *)
+val member : string -> t -> t
+
+val member_opt : string -> t -> t option
+val to_list : t -> t list
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string
+
+(** Write [t] to [path] (pretty-printed, trailing newline). *)
+val write_file : string -> t -> unit

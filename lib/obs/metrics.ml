@@ -1,0 +1,24 @@
+(* Ordered key -> Json map with overwrite-in-place semantics. *)
+
+type t = { mutable entries : (string * Json.t) list (* reversed *) }
+
+let create () = { entries = [] }
+
+let set m k v =
+  if List.mem_assoc k m.entries then
+    m.entries <- List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) m.entries
+  else m.entries <- (k, v) :: m.entries
+
+let set_int m k v = set m k (Json.Int v)
+let set_float m k v = set m k (Json.Float v)
+let set_str m k v = set m k (Json.Str v)
+
+let set_floats m k a =
+  set m k (Json.List (Array.to_list (Array.map (fun f -> Json.Float f) a)))
+
+let set_ints m k a =
+  set m k (Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a)))
+
+let to_json m = Json.Obj (List.rev m.entries)
+
+let write_file path m = Json.write_file path (to_json m)

@@ -1,0 +1,21 @@
+(** Flat metrics document: an ordered set of named scalars and
+    substructures assembled by whoever owns the numbers (compiler
+    predictions, runtime stats) and written as one JSON object.
+
+    Keys are recorded in insertion order; setting an existing key
+    overwrites in place, so repeated runs produce stable layouts. *)
+
+type t
+
+val create : unit -> t
+val set : t -> string -> Json.t -> unit
+val set_int : t -> string -> int -> unit
+val set_float : t -> string -> float -> unit
+val set_str : t -> string -> string -> unit
+
+(** Float array as a JSON list. *)
+val set_floats : t -> string -> float array -> unit
+
+val set_ints : t -> string -> int array -> unit
+val to_json : t -> Json.t
+val write_file : string -> t -> unit

@@ -1,0 +1,124 @@
+(* Trace sink with per-domain buffers.
+
+   Each domain appends to a domain-local ref (no lock on the hot path);
+   a registry of all buffers is kept under a mutex taken only when a new
+   domain records its first event.  [events] snapshots the registry and
+   concatenates the buffers — callers collect after joining workers, so
+   no append races a snapshot in practice. *)
+
+type arg = Aint of int | Afloat of float | Astr of string
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float;
+      dur : float;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts : float;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Counter of {
+      name : string;
+      ts : float;
+      tid : int;
+      values : (string * float) list;
+    }
+  | Flow_start of { name : string; id : int; ts : float; tid : int }
+  | Flow_end of { name : string; id : int; ts : float; tid : int }
+  | Thread_name of { tid : int; name : string }
+
+let compiler_tid = 0
+
+let enabled = Atomic.make false
+let registry : event list ref list ref = ref []
+let registry_lock = Mutex.create ()
+let flow_ids = Atomic.make 0
+
+let buffer : event list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = ref [] in
+      Mutex.lock registry_lock;
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      b)
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let clear () =
+  Mutex.lock registry_lock;
+  List.iter (fun b -> b := []) !registry;
+  Mutex.unlock registry_lock
+
+let emit ev =
+  if Atomic.get enabled then begin
+    let b = Domain.DLS.get buffer in
+    b := ev :: !b
+  end
+
+let with_span ?(cat = "") ?(tid = compiler_tid) ?(args = []) name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Clock.elapsed_s () in
+    let record () =
+      let t1 = Clock.elapsed_s () in
+      emit (Span { name; cat; ts = t0; dur = t1 -. t0; tid; args })
+    in
+    match f () with
+    | v ->
+        record ();
+        v
+    | exception e ->
+        record ();
+        raise e
+  end
+
+let set_thread_name ~tid name = emit (Thread_name { tid; name })
+
+let next_flow_id () = Atomic.fetch_and_add flow_ids 1
+
+let ts_of = function
+  | Span { ts; _ } | Instant { ts; _ } | Counter { ts; _ }
+  | Flow_start { ts; _ } | Flow_end { ts; _ } ->
+      ts
+  | Thread_name _ -> 0.0
+
+let events () =
+  Mutex.lock registry_lock;
+  let all = List.concat_map (fun b -> !b) !registry in
+  Mutex.unlock registry_lock;
+  let meta, rest =
+    List.partition (function Thread_name _ -> true | _ -> false) all
+  in
+  (* dedupe thread names (every copy re-announces its own) *)
+  let seen = Hashtbl.create 16 in
+  let meta =
+    List.filter
+      (function
+        | Thread_name { tid; _ } ->
+            if Hashtbl.mem seen tid then false
+            else begin
+              Hashtbl.add seen tid ();
+              true
+            end
+        | _ -> true)
+      meta
+  in
+  let meta =
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | Thread_name { tid = t1; _ }, Thread_name { tid = t2; _ } ->
+            compare t1 t2
+        | _ -> 0)
+      meta
+  in
+  meta @ List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) rest

@@ -1,0 +1,73 @@
+(** Process-wide trace sink: spans, counters, instants and flow events,
+    recorded into per-domain buffers so the parallel runtime's worker
+    domains never contend on a shared lock while tracing.
+
+    Timestamps are seconds on the trace's own axis: real-time recorders
+    ({!with_span}) use {!Clock.elapsed_s} (seconds since process
+    start); the simulated runtime stamps events with simulated seconds
+    directly.  The Chrome exporter converts to microseconds.
+
+    Tracing is off by default and every record is a cheap no-op until
+    {!enable} is called.  Collection ({!events}) is meant to run after
+    worker domains have been joined; it snapshots every domain's
+    buffer under the registry lock. *)
+
+type arg = Aint of int | Afloat of float | Astr of string
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts : float;  (** start, seconds *)
+      dur : float;  (** seconds *)
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts : float;
+      tid : int;
+      args : (string * arg) list;
+    }
+  | Counter of {
+      name : string;
+      ts : float;
+      tid : int;
+      values : (string * float) list;
+    }
+  | Flow_start of { name : string; id : int; ts : float; tid : int }
+  | Flow_end of { name : string; id : int; ts : float; tid : int }
+  | Thread_name of { tid : int; name : string }
+
+(** The virtual thread hosting compiler phases. *)
+val compiler_tid : int
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Drop all recorded events (does not change enablement). *)
+val clear : unit -> unit
+
+(** Record one event; no-op when disabled. *)
+val emit : event -> unit
+
+(** Run [f], recording a real-time span around it (no-op wrapper when
+    disabled).  Exceptions propagate; the span is still recorded. *)
+val with_span :
+  ?cat:string -> ?tid:int -> ?args:(string * arg) list -> string ->
+  (unit -> 'a) -> 'a
+
+(** Name a virtual thread in the exported trace. *)
+val set_thread_name : tid:int -> string -> unit
+
+(** Fresh id linking a flow start to its end (atomic, cross-domain). *)
+val next_flow_id : unit -> int
+
+(** Every recorded event, thread-name metadata first, the rest sorted by
+    timestamp. *)
+val events : unit -> event list
+
+(** Timestamp of an event; 0 for thread-name metadata. *)
+val ts_of : event -> float
