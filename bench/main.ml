@@ -37,10 +37,17 @@ module Record = struct
     | None -> Filename.concat "bench" "results"
 
   let rec mkdir_p d =
-    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
-      mkdir_p (Filename.dirname d);
-      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
-    end
+    if d <> "" && d <> "." && d <> "/" then
+      if Sys.file_exists d then begin
+        if not (Sys.is_directory d) then
+          failwith
+            (Printf.sprintf
+               "bench results directory %S exists but is not a directory" d)
+      end
+      else begin
+        mkdir_p (Filename.dirname d);
+        (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+      end
 
   let title = ref ""
   let rows : Obs.Json.t list ref = ref []

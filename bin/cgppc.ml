@@ -111,6 +111,34 @@ let config_conv : int array Cmdliner.Arg.conv =
 let config_label widths =
   String.concat "-" (Array.to_list (Array.map string_of_int widths))
 
+(* --faults "1.0:crash@8;*.*:slow*2;seed=7": parsed by Fault.parse so a
+   bad spec is a usage error with the parser's message. *)
+let faults_conv : Datacutter.Fault.plan Cmdliner.Arg.conv =
+  let parse s =
+    match Datacutter.Fault.parse s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p = Fmt.string ppf (Datacutter.Fault.to_string p) in
+  Cmdliner.Arg.conv (parse, print)
+
+(* Fold the robustness flags over the default supervisor policy. *)
+let policy_of ~watchdog_ms ~max_retries ~call_budget_ms =
+  let d = Datacutter.Supervisor.default_policy in
+  {
+    d with
+    Datacutter.Supervisor.max_retries =
+      Option.value max_retries ~default:d.Datacutter.Supervisor.max_retries;
+    watchdog_ms =
+      (match watchdog_ms with
+      | Some _ -> watchdog_ms
+      | None -> d.Datacutter.Supervisor.watchdog_ms);
+    call_budget_s =
+      (match call_budget_ms with
+      | Some ms -> Some (ms /. 1000.0)
+      | None -> d.Datacutter.Supervisor.call_budget_s);
+  }
+
 (* --- observability plumbing --- *)
 
 (* Enable tracing up front when --trace was given, write the file after
@@ -222,16 +250,40 @@ let emit file app widths strategy cluster_spec =
 
 (* --- run --- *)
 
-let run file app widths strategy parallel cluster_spec trace mjson =
+let run file app widths strategy parallel cluster_spec trace mjson faults
+    watchdog_ms max_retries call_budget_ms =
   let a = load ~file ~app in
   let cluster = cluster_of_spec cluster_spec in
+  let faults = Option.value faults ~default:Datacutter.Fault.empty in
+  let policy = policy_of ~watchdog_ms ~max_retries ~call_budget_ms in
   let metrics_doc () =
     let m = Obs.Metrics.create () in
     Obs.Metrics.set_str m "command" "run";
     Obs.Metrics.set_str m "app" a.H.name;
     Obs.Metrics.set_str m "config" (config_label widths);
     Obs.Metrics.set_str m "strategy" (strategy_name strategy);
+    if not (Datacutter.Fault.is_empty faults) then
+      Obs.Metrics.set_str m "faults" (Datacutter.Fault.to_string faults);
     m
+  in
+  (* A failed run still writes the metrics document — with the
+     structured error in place of runtime counters — so harnesses can
+     diagnose from the JSON alone. *)
+  let write_failure c err =
+    (match mjson with
+    | None -> ()
+    | Some path ->
+        let doc = metrics_doc () in
+        compile_metrics doc c;
+        Obs.Metrics.set_bool doc "ok" false;
+        Obs.Metrics.set doc "error" (Datacutter.Supervisor.run_error_to_json err);
+        write_metrics path doc);
+    `Error
+      (false, Fmt.str "run failed: %a" Datacutter.Supervisor.pp_run_error err)
+  in
+  let report_recovery r =
+    if Datacutter.Supervisor.recovery_total r > 0 then
+      Fmt.pr "  recovery: %a@." Datacutter.Supervisor.pp_recovery r
   in
   with_trace trace @@ fun () ->
   if parallel then begin
@@ -242,31 +294,36 @@ let run file app widths strategy parallel cluster_spec trace mjson =
         ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
         ~latency:cluster.H.latency ()
     in
-    let m = Datacutter.Par_runtime.run topo in
-    Fmt.pr "parallel run (%d domains): wall time %.4fs@."
-      (Array.fold_left ( + ) 0 widths)
-      m.Datacutter.Par_runtime.wall_time;
-    Array.iteri
-      (fun s busy ->
-        Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
-          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-          busy
-          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-          m.Datacutter.Par_runtime.stage_stall_push.(s)
-          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-          m.Datacutter.Par_runtime.stage_stall_pop.(s))
-      m.Datacutter.Par_runtime.stage_busy;
-    List.iter
-      (fun (name, v) -> Fmt.pr "  %s = %s@." name (Lang.Value.to_string v))
-      (results ());
-    match mjson with
-    | None -> ()
-    | Some path ->
-        let doc = metrics_doc () in
-        compile_metrics doc c;
-        Obs.Metrics.set doc "parallel"
-          (Datacutter.Par_runtime.metrics_to_json m);
-        write_metrics path doc
+    match Datacutter.Par_runtime.run_result ~faults ~policy topo with
+    | Error err -> write_failure c err
+    | Ok m ->
+        Fmt.pr "parallel run (%d domains): wall time %.4fs@."
+          (Array.fold_left ( + ) 0 widths)
+          m.Datacutter.Par_runtime.wall_time;
+        Array.iteri
+          (fun s busy ->
+            Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
+              Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+              busy
+              Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+              m.Datacutter.Par_runtime.stage_stall_push.(s)
+              Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+              m.Datacutter.Par_runtime.stage_stall_pop.(s))
+          m.Datacutter.Par_runtime.stage_busy;
+        report_recovery m.Datacutter.Par_runtime.recovery;
+        List.iter
+          (fun (name, v) -> Fmt.pr "  %s = %s@." name (Lang.Value.to_string v))
+          (results ());
+        (match mjson with
+        | None -> ()
+        | Some path ->
+            let doc = metrics_doc () in
+            compile_metrics doc c;
+            Obs.Metrics.set_bool doc "ok" true;
+            Obs.Metrics.set doc "parallel"
+              (Datacutter.Par_runtime.metrics_to_json m);
+            write_metrics path doc);
+        `Ok ()
   end
   else begin
     let c = H.compile ~cluster ~strategy ~widths a in
@@ -276,27 +333,33 @@ let run file app widths strategy parallel cluster_spec trace mjson =
         ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
         ~latency:cluster.H.latency ()
     in
-    let m = Datacutter.Sim_runtime.run topo in
-    let t = m.Datacutter.Sim_runtime.makespan in
-    let bytes = Datacutter.Sim_runtime.total_bytes m in
-    Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@." t bytes;
-    Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
-    List.iter
-      (fun (name, v) ->
-        let s = Lang.Value.to_string v in
-        let s = if String.length s > 200 then String.sub s 0 200 ^ "..." else s in
-        Fmt.pr "  %s = %s@." name s)
-      (results ());
-    match mjson with
-    | None -> ()
-    | Some path ->
-        let doc = metrics_doc () in
-        compile_metrics doc c;
-        Obs.Metrics.set doc "simulated"
-          (Datacutter.Sim_runtime.metrics_to_json m);
-        write_metrics path doc
-  end;
-  `Ok ()
+    match Datacutter.Sim_runtime.run_result ~faults ~policy topo with
+    | Error err -> write_failure c err
+    | Ok m ->
+        let t = m.Datacutter.Sim_runtime.makespan in
+        let bytes = Datacutter.Sim_runtime.total_bytes m in
+        Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@." t bytes;
+        Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
+        report_recovery m.Datacutter.Sim_runtime.recovery;
+        List.iter
+          (fun (name, v) ->
+            let s = Lang.Value.to_string v in
+            let s =
+              if String.length s > 200 then String.sub s 0 200 ^ "..." else s
+            in
+            Fmt.pr "  %s = %s@." name s)
+          (results ());
+        (match mjson with
+        | None -> ()
+        | Some path ->
+            let doc = metrics_doc () in
+            compile_metrics doc c;
+            Obs.Metrics.set_bool doc "ok" true;
+            Obs.Metrics.set doc "simulated"
+              (Datacutter.Sim_runtime.metrics_to_json m);
+            write_metrics path doc);
+        `Ok ()
+  end
 
 (* --- command line --- *)
 
@@ -372,6 +435,50 @@ let parallel_arg =
     & info [ "parallel"; "p" ]
         ~doc:"Execute on real domains instead of the simulated cluster.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a scripted fault plan, e.g. \
+           'seed=7;1.0:crash@8;*.*:slow~1.5;link0:delay@4+0.01'. Clauses \
+           are STAGE.COPY:crash@N (crash after N buffers), :slow*F / \
+           :slow~F (fixed / seeded-stochastic slowdown), :flaky@NxC \
+           (transient failures for C calls starting at call N), plus \
+           linkI:delay@N+S (extra seconds per transfer, simulator only) \
+           and seed=N. See docs/ROBUSTNESS.md.")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog-ms" ] ~docv:"MS"
+        ~doc:
+          "Fail the run with a per-copy stall report when no filter copy \
+           makes progress for $(docv) milliseconds (parallel runs; the \
+           simulator always detects unresolvable stalls).")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Restart a crashed filter copy at most $(docv) times before \
+           retiring it and re-routing its work to surviving copies \
+           (default 3).")
+
+let call_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "call-budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-callback time budget: completed overruns are counted in \
+           the recovery metrics, and the watchdog treats calls running \
+           past the budget as blocked.")
+
 (* Run a command body with logging configured and every user-facing
    error rendered cleanly (cmdliner would otherwise report raised
    exceptions as internal errors). *)
@@ -414,10 +521,14 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute the pipeline")
     Term.(
       ret
-        (with_logs (fun (f, a, c, s, p, cl, tr, mj) -> run f a c s p cl tr mj)
-        $ (const (fun f a c s p cl tr mj -> (f, a, c, s, p, cl, tr, mj))
+        (with_logs
+           (fun (f, a, c, s, p, cl, tr, mj, (fl, wd, mr, cb)) ->
+             run f a c s p cl tr mj fl wd mr cb)
+        $ (const (fun f a c s p cl tr mj fl wd mr cb ->
+               (f, a, c, s, p, cl, tr, mj, (fl, wd, mr, cb)))
           $ file_arg $ app_arg $ config_arg $ strategy_arg $ parallel_arg
-          $ cluster_arg $ trace_arg $ metrics_arg)))
+          $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg $ watchdog_arg
+          $ max_retries_arg $ call_budget_arg)))
 
 let main =
   Cmd.group

@@ -114,9 +114,11 @@ let compile ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     ~final_copies:(Array.fold_left max 1 widths) ()
 
 (* Run one cell: compile for the configuration, execute on the simulated
-   cluster, return (makespan seconds, total bytes moved, results). *)
+   cluster, return (makespan seconds, total bytes moved, results).
+   [faults]/[policy] forward to the simulator's fault-injection layer,
+   so table cells can also be produced under scripted degradation. *)
 let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
-    ?(layout_mode = `Auto) ~(widths : int array) (app : app) =
+    ?(layout_mode = `Auto) ?faults ?policy ~(widths : int array) (app : app) =
   let c = compile ~cluster ~strategy ~layout_mode ~widths app in
   let powers = node_powers cluster widths in
   let bandwidths = Array.make (Array.length widths - 1) cluster.bandwidth in
@@ -124,7 +126,7 @@ let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     Codegen.build_topology c.Compile.plan ~widths ~powers ~bandwidths
       ~latency:cluster.latency ()
   in
-  let metrics = Datacutter.Sim_runtime.run topo in
+  let metrics = Datacutter.Sim_runtime.run ?faults ?policy topo in
   ( metrics.Datacutter.Sim_runtime.makespan,
     Datacutter.Sim_runtime.total_bytes metrics,
     results (),

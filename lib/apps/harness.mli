@@ -61,11 +61,16 @@ val compile :
 
 (** Compile for the configuration and execute on the simulated cluster:
     returns (makespan seconds, total bytes moved, sink results, the
-    compilation). *)
+    compilation).  [faults] and [policy] forward to the simulator's
+    fault-injection layer ({!Datacutter.Fault}, {!Datacutter.Supervisor}),
+    so cells can be produced under scripted degradation; a failed run
+    raises {!Datacutter.Supervisor.Run_failed}. *)
 val run_cell :
   ?cluster:cluster ->
   ?strategy:Compile.strategy ->
   ?layout_mode:Packing.mode ->
+  ?faults:Datacutter.Fault.plan ->
+  ?policy:Datacutter.Supervisor.policy ->
   widths:int array ->
   app ->
   float * float * (string * Value.t) list * Compile.t

@@ -6,6 +6,21 @@
    across the downstream copies, Final buffers carry per-copy partial
    results, Markers are broadcast and counted.
 
+   Fault tolerance (see docs/ROBUSTNESS.md): every filter callback runs
+   under exception capture.  A copy whose callback raises is restarted
+   (bounded retries, exponential backoff) with a fresh filter instance;
+   the inputs it had already acknowledged are replayed from a per-copy
+   retention ring with outputs suppressed, so restarts rebuild filter
+   state without duplicating downstream sends.  A copy that exhausts its
+   retries retires: the upstream round-robin router stops selecting it
+   and the retired copy lingers as a zombie router, re-routing whatever
+   still lands in its queue to surviving siblings and forwarding its
+   markers so the pipeline drains.  If every copy of a stage dies the
+   run aborts with a structured [Stage_dead].  An optional watchdog
+   domain aborts no-progress runs with a per-copy [Stalled] report.
+   Scripted faults ([Fault.plan]) are injected at process-call
+   granularity through the same capture paths.
+
    Observability: every queue records its occupancy (length after each
    push) in a histogram, and both sides of a stream measure the seconds
    they spend blocked — producers on a full queue (blocked-on-push),
@@ -18,6 +33,13 @@ type item =
   | Data of Filter.buffer
   | Final of Filter.buffer
   | Marker
+  | Release
+      (* intra-stage end-of-drain barrier token (see the EOS notes on
+         [run_result]); never crosses a stage boundary *)
+
+(* Raised inside worker domains when the run is being torn down; never
+   escapes [run_result]. *)
+exception Aborted
 
 module Bqueue = struct
   type 'a t = {
@@ -26,28 +48,35 @@ module Bqueue = struct
     not_empty : Condition.t;
     not_full : Condition.t;
     capacity : int;
+    stop : bool Atomic.t;    (* shared abort flag; waiters raise [Aborted] *)
     occupancy : Obs.Hist.t;  (* length after each push; guarded by mutex *)
   }
 
-  let create capacity =
+  let create ~stop capacity =
     {
       items = Queue.create ();
       mutex = Mutex.create ();
       not_empty = Condition.create ();
       not_full = Condition.create ();
       capacity;
+      stop;
       occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
     }
 
   (* [push]/[pop] return the seconds the caller spent blocked (lock
-     acquisition plus condition waits). *)
+     acquisition plus condition waits); they raise [Aborted] once the
+     shared stop flag is set. *)
 
   let push q x =
     let t0 = Obs.Clock.elapsed_s () in
     Mutex.lock q.mutex;
-    while Queue.length q.items >= q.capacity do
+    while Queue.length q.items >= q.capacity && not (Atomic.get q.stop) do
       Condition.wait q.not_full q.mutex
     done;
+    if Atomic.get q.stop then begin
+      Mutex.unlock q.mutex;
+      raise Aborted
+    end;
     let blocked = Obs.Clock.elapsed_s () -. t0 in
     Queue.push x q.items;
     Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
@@ -58,14 +87,45 @@ module Bqueue = struct
   let pop q =
     let t0 = Obs.Clock.elapsed_s () in
     Mutex.lock q.mutex;
-    while Queue.is_empty q.items do
+    while Queue.is_empty q.items && not (Atomic.get q.stop) do
       Condition.wait q.not_empty q.mutex
     done;
+    if Atomic.get q.stop then begin
+      Mutex.unlock q.mutex;
+      raise Aborted
+    end;
     let blocked = Obs.Clock.elapsed_s () -. t0 in
     let x = Queue.pop q.items in
     Condition.signal q.not_full;
     Mutex.unlock q.mutex;
     (x, blocked)
+
+  let length q =
+    Mutex.lock q.mutex;
+    let n = Queue.length q.items in
+    Mutex.unlock q.mutex;
+    n
+
+  (* Non-blocking pop, for best-effort drains during teardown. *)
+  let try_pop q =
+    Mutex.lock q.mutex;
+    let x =
+      if Queue.is_empty q.items then None
+      else begin
+        let x = Queue.pop q.items in
+        Condition.signal q.not_full;
+        Some x
+      end
+    in
+    Mutex.unlock q.mutex;
+    x
+
+  (* Wake every waiter so it can observe the stop flag. *)
+  let wake q =
+    Mutex.lock q.mutex;
+    Condition.broadcast q.not_empty;
+    Condition.broadcast q.not_full;
+    Mutex.unlock q.mutex
 end
 
 type metrics = {
@@ -78,6 +138,7 @@ type metrics = {
   stage_stall_pop : float array array;  (* blocked on an empty input queue *)
   queue_occupancy : Obs.Hist.t array array;
       (* input-queue occupancy per copy; [| |] for stage 0 (no queue) *)
+  recovery : Supervisor.recovery;      (* retries, re-routes, replays, ... *)
 }
 
 let metrics_to_json m =
@@ -96,18 +157,46 @@ let metrics_to_json m =
       ("stall_push_s", grid (fun v -> Obs.Json.Float v) m.stage_stall_push);
       ("stall_pop_s", grid (fun v -> Obs.Json.Float v) m.stage_stall_pop);
       ("queue_occupancy", grid Obs.Hist.to_json m.queue_occupancy);
+      ("recovery", Supervisor.recovery_to_json m.recovery);
     ]
 
-let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
+(* Copy lifecycle states (for the watchdog and stall reports). *)
+let st_starting = 0
+let st_computing = 1
+let st_blocked_push = 2
+let st_blocked_pop = 3
+let st_idle = 4
+let st_done = 5
+
+let state_name = function
+  | 0 -> "starting"
+  | 1 -> "computing"
+  | 2 -> "blocked_push"
+  | 3 -> "blocked_pop"
+  | 4 -> "running"
+  | 5 -> "done"
+  | _ -> "unknown"
+
+(* What a retained input looked like, for replay after a restart. *)
+type ritem = RData of Filter.buffer | RFinal of Filter.buffer
+
+let run_result ?(queue_capacity = 64) ?(faults = Fault.empty)
+    ?(policy = Supervisor.default_policy) (topo : Topology.t) :
+    (metrics, Supervisor.run_error) result =
+  match Supervisor.validate ~queue_capacity topo with
+  | Error e -> Error e
+  | Ok () ->
   let stages = Array.of_list topo.Topology.stages in
   let n_stages = Array.length stages in
+  let stop = Atomic.make false in
+  let abort_err : Supervisor.run_error option Atomic.t = Atomic.make None in
   (* input queue per copy of stages 1.. *)
   let queues =
     Array.init n_stages (fun s ->
         if s = 0 then [||]
         else
           Array.init stages.(s).Topology.width (fun _ ->
-              (Bqueue.create queue_capacity : item Bqueue.t)))
+              (Bqueue.create ~stop queue_capacity : item Bqueue.t)))
   in
   let per_copy mk = Array.map (fun st -> Array.init st.Topology.width (fun _ -> mk ())) stages in
   let busy = per_copy (fun () -> 0.0) in
@@ -116,23 +205,93 @@ let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
   let bytes_out = per_copy (fun () -> 0.0) in
   let stall_push = per_copy (fun () -> 0.0) in
   let stall_pop = per_copy (fun () -> 0.0) in
+  let alive = per_copy (fun () -> Atomic.make true) in
+  let cstate = per_copy (fun () -> Atomic.make st_starting) in
+  let call_start = per_copy (fun () -> Atomic.make 0.0) in
+  let exited = per_copy (fun () -> Atomic.make false) in
+  (* Per-stage end-of-stream drain barrier: the number of copies (alive
+     or zombie) that have consumed their last upstream marker.  A copy
+     may only finalize once this reaches the stage width — before that,
+     a retired sibling may still re-route buffers into its queue, and
+     finalizing early would drop them (see docs/ROBUSTNESS.md). *)
+  let at_eos = Array.map (fun _ -> Atomic.make 0) stages in
+  let progress = Atomic.make 0 in
+  let recovery = Supervisor.fresh_recovery () in
+  let rec_mu = Mutex.create () in
+  let bump f =
+    Mutex.lock rec_mu;
+    f recovery;
+    Mutex.unlock rec_mu
+  in
+  let wake_all () = Array.iter (Array.iter Bqueue.wake) queues in
+  let do_abort err =
+    ignore (Atomic.compare_and_set abort_err None (Some err));
+    Atomic.set stop true;
+    wake_all ()
+  in
+  let stage_has_survivor s =
+    Array.exists (fun a -> Atomic.get a) alive.(s)
+  in
   let tracing = Obs.Trace.is_enabled () in
   if tracing then Topology.announce_threads topo;
+
+  let copy_report () =
+    let now = Obs.Clock.elapsed_s () in
+    List.concat
+      (List.init n_stages (fun s ->
+           List.init stages.(s).Topology.width (fun k ->
+               let st = Atomic.get cstate.(s).(k) in
+               let state =
+                 let base = state_name st in
+                 let base =
+                   if st = st_computing then
+                     Printf.sprintf "%s (%.3fs in call)" base
+                       (now -. Atomic.get call_start.(s).(k))
+                   else base
+                 in
+                 if Atomic.get alive.(s).(k) then base else "retired/" ^ base
+               in
+               {
+                 Supervisor.cr_stage = s;
+                 cr_copy = k;
+                 cr_label = Topology.copy_label topo ~stage:s ~copy:k;
+                 cr_state = state;
+                 cr_items = items_done.(s).(k);
+                 cr_queue_len = (if s = 0 then 0 else Bqueue.length queues.(s).(k));
+               })))
+  in
 
   let copy_body s k () =
     let st = stages.(s) in
     let rr = ref k in
     let tid = Topology.copy_tid topo ~stage:s ~copy:k in
+    let fstate = Fault.state_for faults ~stage:s ~copy:k in
+    let set_state v = Atomic.set cstate.(s).(k) v in
+    let tick_progress () = Atomic.incr progress in
     let charge name f =
+      set_state st_computing;
       let t0 = Obs.Clock.elapsed_s () in
-      let r = f () in
-      let t1 = Obs.Clock.elapsed_s () in
-      busy.(s).(k) <- busy.(s).(k) +. (t1 -. t0);
-      if tracing then
-        Obs.Trace.emit
-          (Obs.Trace.Span
-             { name; cat = "par"; ts = t0; dur = t1 -. t0; tid; args = [] });
-      r
+      Atomic.set call_start.(s).(k) t0;
+      let finish () =
+        let t1 = Obs.Clock.elapsed_s () in
+        busy.(s).(k) <- busy.(s).(k) +. (t1 -. t0);
+        if tracing then
+          Obs.Trace.emit
+            (Obs.Trace.Span
+               { name; cat = "par"; ts = t0; dur = t1 -. t0; tid; args = [] });
+        set_state st_idle;
+        tick_progress ();
+        match policy.Supervisor.call_budget_s with
+        | Some b when t1 -. t0 > b -> bump (fun r -> r.Supervisor.budget_exceeded <- r.budget_exceeded + 1)
+        | _ -> ()
+      in
+      match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e
     in
     let account_out it =
       match it with
@@ -141,71 +300,466 @@ let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
           bytes_out.(s).(k) <- bytes_out.(s).(k) +. float_of_int (Filter.buffer_size b)
       | Final b ->
           bytes_out.(s).(k) <- bytes_out.(s).(k) +. float_of_int (Filter.buffer_size b)
-      | Marker -> ()
+      | Marker | Release -> ()
     in
+    let blocked_push q it =
+      set_state st_blocked_push;
+      let blocked = Bqueue.push q it in
+      set_state st_idle;
+      tick_progress ();
+      stall_push.(s).(k) <- stall_push.(s).(k) +. blocked
+    in
+    (* Round-robin over the *surviving* downstream copies: the router
+       degrades gracefully when copies retire.  If none survive the run
+       cannot complete — abort with a structured error. *)
     let send_rr it =
       let dst = queues.(s + 1) in
-      let j = !rr mod Array.length dst in
-      incr rr;
-      account_out it;
-      stall_push.(s).(k) <- stall_push.(s).(k) +. Bqueue.push dst.(j) it
+      let w = Array.length dst in
+      let rec pick tries =
+        if tries >= w then None
+        else begin
+          let j = !rr mod w in
+          incr rr;
+          if Atomic.get alive.(s + 1).(j) then Some j else pick (tries + 1)
+        end
+      in
+      match pick 0 with
+      | None ->
+          do_abort
+            (Supervisor.Stage_dead
+               {
+                 stage = s + 1;
+                 stage_name = stages.(s + 1).Topology.stage_name;
+                 error = "no live copies to route to";
+               });
+          raise Aborted
+      | Some j ->
+          account_out it;
+          blocked_push dst.(j) it
     in
-    let broadcast it =
-      Array.iter
-        (fun q -> stall_push.(s).(k) <- stall_push.(s).(k) +. Bqueue.push q it)
-        queues.(s + 1)
+    let broadcast it = Array.iter (fun q -> blocked_push q it) queues.(s + 1) in
+    (* Injected slowdown: time the real call, then sleep the scripted
+       penalty inside the charge (a slower node is just... busier). *)
+    let with_slowdown f =
+      let t0 = Obs.Clock.elapsed_s () in
+      let r = f () in
+      let extra =
+        Fault.extra_delay fstate ~elapsed:(Obs.Clock.elapsed_s () -. t0)
+      in
+      if extra > 0.0 then Unix.sleepf extra;
+      r
     in
     match st.Topology.role with
     | Topology.Source mk ->
+        (* Sources are not restarted (their cursor state cannot be
+           rebuilt without duplicating packets); transient faults are
+           retried in place, fatal ones retire the source, which still
+           broadcasts its marker so the pipeline drains. *)
         let src = mk k in
+        let attempts = ref 0 in
+        let supervised name op =
+          let rec go () =
+            if Atomic.get stop then raise Aborted;
+            match charge name op with
+            | r -> r
+            | exception Aborted -> raise Aborted
+            | exception e ->
+                bump (fun r -> r.Supervisor.crashes <- r.crashes + 1);
+                if !attempts >= policy.Supervisor.max_retries then raise e
+                else begin
+                  incr attempts;
+                  bump (fun r -> r.Supervisor.retries <- r.retries + 1);
+                  let delay =
+                    policy.Supervisor.backoff_s
+                    *. (2.0 ** float_of_int (!attempts - 1))
+                  in
+                  if delay > 0.0 then Unix.sleepf delay;
+                  go ()
+                end
+          in
+          go ()
+        in
+        let finish_stream () =
+          let out, _ =
+            supervised "src_finalize" (fun () -> src.Filter.src_finalize ())
+          in
+          (match out with Some b -> send_rr (Final b) | None -> ());
+          broadcast Marker
+        in
         let rec loop () =
-          match charge "produce" (fun () -> src.Filter.next ()) with
+          match
+            supervised "produce" (fun () ->
+                with_slowdown (fun () ->
+                    Fault.tick fstate;
+                    src.Filter.next ()))
+          with
           | Some (b, _) ->
               items_done.(s).(k) <- items_done.(s).(k) + 1;
               send_rr (Data b);
               loop ()
-          | None ->
-              let out, _ =
-                charge "src_finalize" (fun () -> src.Filter.src_finalize ())
-              in
-              (match out with Some b -> send_rr (Final b) | None -> ());
+          | None -> finish_stream ()
+          | exception Aborted -> raise Aborted
+          | exception err ->
+              (* Retries exhausted: retire this source.  Its remaining
+                 packets are unproducible, so a sibling cannot take over;
+                 end the stream so downstream can still drain what was
+                 produced — unless every source is dead and nothing else
+                 can flow. *)
+              bump (fun r -> r.Supervisor.retired <- r.retired + 1);
+              Atomic.set alive.(s).(k) false;
+              if not (stage_has_survivor s) && items_done.(s).(k) = 0 then begin
+                do_abort
+                  (Supervisor.Stage_dead
+                     {
+                       stage = s;
+                       stage_name = st.Topology.stage_name;
+                       error = Printexc.to_string err;
+                     });
+                raise Aborted
+              end;
               broadcast Marker
         in
         loop ()
     | Topology.Inner mk | Topology.Sink mk ->
-        let f = mk k in
-        ignore (charge "init" (fun () -> f.Filter.init ()));
+        let f = ref (mk k) in
+        let attempts = ref 0 in
+        (* Retention ring: the last [retention] acknowledged inputs, for
+           state replay after a restart. *)
+        let retention = max 0 policy.Supervisor.retention in
+        let ring = Array.make (max retention 1) (RData (Filter.make_buffer ~packet:(-1) Bytes.empty)) in
+        let ring_len = ref 0 in
+        let ring_pos = ref 0 in
+        let acked_total = ref 0 in
+        let ring_push it =
+          if retention > 0 then begin
+            ring.(!ring_pos) <- it;
+            ring_pos := (!ring_pos + 1) mod retention;
+            if !ring_len < retention then incr ring_len
+          end;
+          incr acked_total
+        in
+        let ring_items () =
+          List.init !ring_len (fun i ->
+              ring.((!ring_pos - !ring_len + i + (2 * retention)) mod retention))
+        in
+        let restart_and_replay () =
+          f := mk k;
+          ignore (charge "init" (fun () -> (!f).Filter.init ()));
+          if !acked_total > !ring_len then
+            bump (fun r -> r.Supervisor.replay_truncated <- r.replay_truncated + 1);
+          List.iter
+            (fun it ->
+              bump (fun r -> r.Supervisor.replayed <- r.replayed + 1);
+              match it with
+              | RData b -> ignore (charge "replay" (fun () -> (!f).Filter.process b))
+              | RFinal b ->
+                  ignore (charge "replay_eos" (fun () -> (!f).Filter.on_eos (Some b))))
+            (ring_items ())
+        in
+        (* Run one callback under the supervisor: capture, restart with
+           replay, bounded retries; raises the last error once the copy
+           must retire. *)
+        let supervised name op =
+          let rec go restarting =
+            if Atomic.get stop then raise Aborted;
+            match
+              if restarting then restart_and_replay ();
+              charge name op
+            with
+            | r -> r
+            | exception Aborted -> raise Aborted
+            | exception e ->
+                bump (fun r -> r.Supervisor.crashes <- r.crashes + 1);
+                if !attempts >= policy.Supervisor.max_retries then raise e
+                else begin
+                  incr attempts;
+                  bump (fun r -> r.Supervisor.retries <- r.retries + 1);
+                  let delay =
+                    policy.Supervisor.backoff_s
+                    *. (2.0 ** float_of_int (!attempts - 1))
+                  in
+                  if delay > 0.0 then Unix.sleepf delay;
+                  go true
+                end
+          in
+          go false
+        in
         let q = queues.(s).(k) in
         let upstream = stages.(s - 1).Topology.width in
+        let width_s = st.Topology.width in
         let markers = ref 0 in
         let is_last = s = n_stages - 1 in
         let forward it = if not is_last then send_rr it in
         let recv () =
+          set_state st_blocked_pop;
           let it, blocked = Bqueue.pop q in
+          set_state st_idle;
+          tick_progress ();
           stall_pop.(s).(k) <- stall_pop.(s).(k) +. blocked;
           it
         in
-        let rec loop () =
-          match recv () with
-          | Data b ->
-              let out, _ = charge "process" (fun () -> f.Filter.process b) in
-              items_done.(s).(k) <- items_done.(s).(k) + 1;
-              (match out with Some b -> forward (Data b) | None -> ());
-              loop ()
-          | Final b ->
-              let out, _ = charge "on_eos" (fun () -> f.Filter.on_eos (Some b)) in
-              (match out with Some b -> forward (Final b) | None -> ());
-              loop ()
-          | Marker ->
-              incr markers;
-              if !markers = upstream then begin
-                let out, _ = charge "finalize" (fun () -> f.Filter.finalize ()) in
-                (match out with Some b -> forward (Final b) | None -> ());
-                if not is_last then broadcast Marker
-              end
-              else loop ()
+        (* Stage drain barrier: count this copy into [at_eos] exactly
+           once, when it has consumed its last upstream marker.  The
+           copy that completes the barrier wakes the whole stage with a
+           [Release] token in every sibling queue (queue FIFO order
+           guarantees any zombie re-route pushed before the barrier
+           completed is consumed before the token). *)
+        let counted_eos = ref false in
+        let count_eos () =
+          if not !counted_eos then begin
+            counted_eos := true;
+            let n = 1 + Atomic.fetch_and_add at_eos.(s) 1 in
+            if n = width_s then
+              Array.iter (fun q' -> ignore (Bqueue.push q' Release)) queues.(s)
+          end
         in
-        loop ()
+        let barrier_released () = Atomic.get at_eos.(s) >= width_s in
+        (* Zombie router: a retired copy keeps draining its queue,
+           re-routing buffers to surviving siblings and forwarding its
+           markers, so round-robin senders and marker counting stay
+           sound and the pipeline still drains. *)
+        let reroute it =
+          let w = Array.length queues.(s) in
+          let rec pick tries j =
+            if tries >= w then None
+            else if j <> k && Atomic.get alive.(s).(j) then Some j
+            else pick (tries + 1) ((j + 1) mod w)
+          in
+          match pick 0 ((k + 1) mod w) with
+          | None ->
+              do_abort
+                (Supervisor.Stage_dead
+                   {
+                     stage = s;
+                     stage_name = st.Topology.stage_name;
+                     error = "no live copies to re-route to";
+                   });
+              raise Aborted
+          | Some j ->
+              bump (fun r -> r.Supervisor.rerouted <- r.rerouted + 1);
+              blocked_push queues.(s).(j) it
+        in
+        let retire err in_flight =
+          bump (fun r -> r.Supervisor.retired <- r.retired + 1);
+          Atomic.set alive.(s).(k) false;
+          if not (stage_has_survivor s) then begin
+            do_abort
+              (Supervisor.Stage_dead
+                 {
+                   stage = s;
+                   stage_name = st.Topology.stage_name;
+                   error = Printexc.to_string err;
+                 });
+            raise Aborted
+          end;
+          (match in_flight with
+          | Some ((Data _ | Final _) as it) -> reroute it
+          | Some (Marker | Release) | None -> ());
+          (* The zombie keeps routing until the whole stage has drained:
+             its own stream must end (all upstream markers seen) AND the
+             drain barrier must release, because until then a sibling
+             zombie may still aim re-routes at this queue. *)
+          let rec zombie () =
+            if !markers >= upstream then count_eos ();
+            if !markers >= upstream && barrier_released () then begin
+              (* Best-effort sweep of anything still queued (possible
+                 only if several copies died during the drain). *)
+              let rec sweep () =
+                match Bqueue.try_pop q with
+                | Some ((Data _ | Final _) as it) ->
+                    reroute it;
+                    sweep ()
+                | Some (Marker | Release) -> sweep ()
+                | None -> ()
+              in
+              sweep ();
+              if not is_last then broadcast Marker
+            end
+            else
+              match recv () with
+              | Marker ->
+                  incr markers;
+                  zombie ()
+              | (Data _ | Final _) as it ->
+                  reroute it;
+                  zombie ()
+              | Release -> zombie ()
+          in
+          zombie ()
+        in
+        (* Track the in-flight item so retirement can re-route it. *)
+        let current = ref None in
+        let handle_data b =
+          let out, _ =
+            supervised "process" (fun () ->
+                with_slowdown (fun () ->
+                    Fault.tick fstate;
+                    (!f).Filter.process b))
+          in
+          items_done.(s).(k) <- items_done.(s).(k) + 1;
+          current := None;
+          (match out with Some b -> forward (Data b) | None -> ());
+          ring_push (RData b)
+        in
+        let handle_final b =
+          let out, _ =
+            supervised "on_eos" (fun () -> (!f).Filter.on_eos (Some b))
+          in
+          current := None;
+          (match out with Some b -> forward (Final b) | None -> ());
+          ring_push (RFinal b)
+        in
+        let finalize_copy () =
+          let out, _ = supervised "finalize" (fun () -> (!f).Filter.finalize ()) in
+          (match out with Some b -> forward (Final b) | None -> ());
+          if not is_last then broadcast Marker
+        in
+        let serve () =
+          ignore (supervised "init" (fun () -> (!f).Filter.init ()));
+          (* After the last upstream marker this copy's own stream is
+             done, but retired siblings may still re-route buffers here:
+             keep serving until the stage drain barrier releases, then
+             finalize. *)
+          let rec eos_wait () =
+            match recv () with
+            | Release ->
+                if barrier_released () then finalize_copy () else eos_wait ()
+            | Data b ->
+                current := Some (Data b);
+                handle_data b;
+                eos_wait ()
+            | Final b ->
+                current := Some (Final b);
+                handle_final b;
+                eos_wait ()
+            | Marker ->
+                incr markers;
+                eos_wait ()
+          in
+          let rec loop () =
+            let it = recv () in
+            current := Some it;
+            match it with
+            | Data b ->
+                handle_data b;
+                loop ()
+            | Final b ->
+                handle_final b;
+                loop ()
+            | Release ->
+                (* cannot arrive before this copy reaches its quota *)
+                current := None;
+                loop ()
+            | Marker ->
+                incr markers;
+                current := None;
+                if !markers = upstream then begin
+                  count_eos ();
+                  eos_wait ()
+                end
+                else loop ()
+          in
+          loop ()
+        in
+        (try serve ()
+         with
+        | Aborted -> raise Aborted
+        | err -> retire err !current)
+  in
+
+  let wrapped_body s k () =
+    (try copy_body s k () with
+    | Aborted -> ()
+    | e ->
+        (* A supervisor bug or an error on a path without retry support
+           must not hang the other domains. *)
+        do_abort
+          (Supervisor.Stage_dead
+             {
+               stage = s;
+               stage_name = stages.(s).Topology.stage_name;
+               error = "unexpected runtime error: " ^ Printexc.to_string e;
+             }));
+    Atomic.set cstate.(s).(k) st_done;
+    Atomic.set exited.(s).(k) true
+  in
+
+  let all_exited () =
+    Array.for_all (Array.for_all (fun a -> Atomic.get a)) exited
+  in
+
+  (* The watchdog: a monitor domain that trips when the progress counter
+     stands still for the threshold while every live copy is blocked —
+     on a queue, or inside a call running longer than the budget. *)
+  let watchdog_body ms () =
+    let threshold = float_of_int ms /. 1000.0 in
+    let tick = Float.max 0.002 (Float.min 0.05 (threshold /. 4.0)) in
+    let overdue_budget =
+      match policy.Supervisor.call_budget_s with
+      | Some b -> b
+      | None -> threshold
+    in
+    let last_progress = ref (Atomic.get progress) in
+    let last_change = ref (Obs.Clock.elapsed_s ()) in
+    let rec loop () =
+      if Atomic.get stop || all_exited () then ()
+      else begin
+        Unix.sleepf tick;
+        let p = Atomic.get progress in
+        let now = Obs.Clock.elapsed_s () in
+        if p <> !last_progress then begin
+          last_progress := p;
+          last_change := now
+        end;
+        if now -. !last_change >= threshold then begin
+          let all_blocked = ref true in
+          let any_live = ref false in
+          Array.iteri
+            (fun s row ->
+              Array.iteri
+                (fun k a ->
+                  let st = Atomic.get a in
+                  if st <> st_done then begin
+                    any_live := true;
+                    if st = st_blocked_push || st = st_blocked_pop then ()
+                    else if
+                      st = st_computing
+                      && now -. Atomic.get call_start.(s).(k) > overdue_budget
+                    then ()
+                    else all_blocked := false
+                  end)
+                row)
+            cstate;
+          if !any_live && !all_blocked then begin
+            bump (fun r -> r.Supervisor.watchdog_trips <- r.watchdog_trips + 1);
+            let report = copy_report () in
+            if tracing then
+              Obs.Trace.emit
+                (Obs.Trace.Instant
+                   {
+                     name = "watchdog_trip";
+                     cat = "par";
+                     ts = now;
+                     tid = 0;
+                     args =
+                       List.map
+                         (fun cr ->
+                           (cr.Supervisor.cr_label, Obs.Trace.Astr cr.cr_state))
+                         report;
+                   });
+            Logs.err (fun m ->
+                m "watchdog: no progress for %.3fs; %d copies blocked"
+                  (now -. !last_change) (List.length report));
+            do_abort
+              (Supervisor.Stalled
+                 { after_s = now -. !last_change; report })
+          end
+          else loop ()
+        end
+        else loop ()
+      end
+    in
+    loop ()
   in
 
   let t0 = Obs.Clock.elapsed_s () in
@@ -213,20 +767,65 @@ let run ?(queue_capacity = 64) (topo : Topology.t) : metrics =
     List.concat
       (List.init n_stages (fun s ->
            List.init stages.(s).Topology.width (fun k ->
-               Domain.spawn (copy_body s k))))
+               (s, k, Domain.spawn (wrapped_body s k)))))
   in
-  List.iter Domain.join domains;
+  let watchdog =
+    match policy.Supervisor.watchdog_ms with
+    | Some ms when ms > 0 -> Some (Domain.spawn (watchdog_body ms))
+    | _ -> None
+  in
+  (* Join copies.  Once the run is aborting, a copy stuck inside filter
+     code cannot be interrupted: poll its exit flag for a grace period
+     and leak the domain rather than hang the caller forever. *)
+  let join_copy (s, k, d) =
+    let rec wait deadline =
+      if Atomic.get exited.(s).(k) then Domain.join d
+      else if Atomic.get stop then begin
+        let deadline =
+          match deadline with
+          | Some t -> t
+          | None -> Obs.Clock.elapsed_s () +. 1.0
+        in
+        if Obs.Clock.elapsed_s () > deadline then
+          Logs.warn (fun m ->
+              m "leaking stuck filter copy %s"
+                (Topology.copy_label topo ~stage:s ~copy:k))
+        else begin
+          Unix.sleepf 0.002;
+          wait (Some deadline)
+        end
+      end
+      else begin
+        Unix.sleepf 0.001;
+        wait deadline
+      end
+    in
+    wait None
+  in
+  List.iter join_copy domains;
+  (match watchdog with Some d -> Domain.join d | None -> ());
   let wall_time = Obs.Clock.elapsed_s () -. t0 in
-  {
-    wall_time;
-    stage_busy = busy;
-    stage_items = items_done;
-    stage_items_out = items_out;
-    stage_bytes_out = bytes_out;
-    stage_stall_push = stall_push;
-    stage_stall_pop = stall_pop;
-    queue_occupancy = Array.map (Array.map (fun q -> q.Bqueue.occupancy)) queues;
-  }
+  match Atomic.get abort_err with
+  | Some e -> Error e
+  | None ->
+      Ok
+        {
+          wall_time;
+          stage_busy = busy;
+          stage_items = items_done;
+          stage_items_out = items_out;
+          stage_bytes_out = bytes_out;
+          stage_stall_push = stall_push;
+          stage_stall_pop = stall_pop;
+          queue_occupancy =
+            Array.map (Array.map (fun q -> q.Bqueue.occupancy)) queues;
+          recovery;
+        }
+
+let run ?queue_capacity ?faults ?policy topo =
+  match run_result ?queue_capacity ?faults ?policy topo with
+  | Ok m -> m
+  | Error e -> raise (Supervisor.Run_failed e)
 
 let pp_metrics ppf m =
   Fmt.pf ppf "wall_time=%.6fs@\n" m.wall_time;
@@ -251,4 +850,6 @@ let pp_metrics ppf m =
             Fmt.pf ppf "  queue %d/%d: mean occupancy %.2f, max %.0f@\n" s k
               (Obs.Hist.mean h) (Obs.Hist.max_value h))
         hists)
-    m.queue_occupancy
+    m.queue_occupancy;
+  if Supervisor.recovery_total m.recovery > 0 then
+    Fmt.pf ppf "  recovery: %a@\n" Supervisor.pp_recovery m.recovery

@@ -6,6 +6,21 @@
     downstream copies, end-of-stream payloads are absorbed or forwarded,
     markers are broadcast and counted.
 
+    Fault tolerance (see docs/ROBUSTNESS.md): every filter callback runs
+    under exception capture.  A crashed copy is restarted with bounded
+    retries and exponential backoff — a fresh filter instance replays the
+    copy's retained inputs with outputs suppressed, rebuilding reduction
+    state without duplicating sends — or permanently retired, in which
+    case upstream routers stop selecting it and the retired copy re-routes
+    its remaining queue to surviving siblings so every buffer still
+    reaches the sink exactly once.  A per-stage drain barrier keeps the
+    re-routes safe: a copy that has seen all its upstream markers keeps
+    serving re-routed buffers and only finalizes once every copy of its
+    stage has drained.  Whole-stage death aborts with
+    {!Supervisor.Stage_dead}; an optional watchdog aborts no-progress
+    runs with {!Supervisor.Stalled} and a per-copy report.  Scripted
+    faults ({!Fault.plan}) are injected through the same paths.
+
     Every stream records its occupancy after each push, and both sides
     measure the seconds spent blocked: producers on a full queue,
     consumers on an empty one.  With tracing enabled ({!Obs.Trace.enable})
@@ -27,13 +42,33 @@ type metrics = {
           overhead) *)
   queue_occupancy : Obs.Hist.t array array;
       (** input-queue occupancy per copy; [[||]] for stage 0 *)
+  recovery : Supervisor.recovery;
+      (** retries, re-routes, replays, watchdog trips; all zero on a
+          fault-free run *)
 }
 
-(** Machine-readable form of the metrics (the [--metrics-json] body). *)
+(** Machine-readable form of the metrics (the [--metrics-json] body),
+    including a ["recovery"] object. *)
 val metrics_to_json : metrics -> Obs.Json.t
 
 (** Run the pipeline to completion, one domain per filter copy.
-    [queue_capacity] bounds each stream's in-flight buffers. *)
-val run : ?queue_capacity:int -> Topology.t -> metrics
+    [queue_capacity] bounds each stream's in-flight buffers; [faults]
+    injects a scripted fault plan; [policy] sets retry limits, the
+    replay-ring depth, the per-call budget and the watchdog threshold.
+    The topology is validated first ({!Supervisor.validate}). *)
+val run_result :
+  ?queue_capacity:int ->
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  Topology.t ->
+  (metrics, Supervisor.run_error) result
+
+(** [run_result] unwrapped; raises {!Supervisor.Run_failed} on error. *)
+val run :
+  ?queue_capacity:int ->
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  Topology.t ->
+  metrics
 
 val pp_metrics : Format.formatter -> metrics -> unit

@@ -9,9 +9,25 @@
    simulated run doubles as a correctness check of the decomposition.
 
    End-of-stream protocol: when a copy has received EOS markers from all
-   of its upstream copies it finalizes, emits its partial-result payload
-   (if any) as a [Final] item, and broadcasts markers downstream.  Final
-   items are absorbed or forwarded by [on_eos]. *)
+   of its upstream copies its own stream is complete, but it only
+   finalizes — emitting its partial-result payload (if any) as a [Final]
+   item and broadcasting markers downstream — once every copy of its
+   stage has drained (the stage drain barrier): before that, a retired
+   sibling may still re-route buffers into its queue, and finalizing
+   early would drop them.  Final items are absorbed or forwarded by
+   [on_eos].
+
+   Fault mirroring (see docs/ROBUSTNESS.md): the same [Fault.plan] the
+   parallel runtime injects in real time is replayed here in simulated
+   time.  A callback that raises (scripted or real) is retried after the
+   policy's backoff — simulated seconds, not wall seconds — until the
+   copy's retry budget is exhausted, at which point the copy retires:
+   round-robin senders stop selecting it, buffers already headed its way
+   re-route to surviving siblings, and its markers still flow so the
+   pipeline drains.  Scripted slowdowns multiply service times; link
+   faults add seconds to transfers.  Restarting a simulated copy needs
+   no state replay (nothing was lost), so [replayed] stays 0 here — the
+   asymmetry is deliberate and documented. *)
 
 type item =
   | Data of Filter.buffer
@@ -97,6 +113,7 @@ type metrics = {
   makespan : float;
   stage_stats : stage_metrics array;
   link_stats : link_metrics array;
+  recovery : Supervisor.recovery; (* simulated-time recovery counters *)
 }
 
 let total_bytes m = Array.fold_left (fun a l -> a +. l.lm_bytes) 0.0 m.link_stats
@@ -135,6 +152,7 @@ let metrics_to_json m =
                       ("wait_s", Obs.Json.Float lm.lm_wait);
                     ])
                 m.link_stats)) );
+      ("recovery", Supervisor.recovery_to_json m.recovery);
     ]
 
 (* --- simulation state --- *)
@@ -146,9 +164,13 @@ type copy = {
   index : int;
   impl : impl;
   queue : (float * item) Queue.t;  (* (arrival time, item) *)
+  fstate : Fault.state;            (* scripted-fault injection state *)
   mutable busy : bool;
   mutable markers_seen : int;
+  mutable at_quota : bool;         (* counted into the stage drain barrier *)
   mutable finished : bool;
+  mutable dead : bool;             (* retired: no longer a routing target *)
+  mutable attempts : int;          (* supervisor retries consumed *)
   mutable rr : int;                (* round-robin pointer downstream *)
   mutable link_free_at : float;    (* this copy's input link availability *)
   mutable busy_time : float;
@@ -162,11 +184,21 @@ type event =
   | Ev_arrival of copy * item
   | Ev_copy_done of copy * Filter.buffer option * [ `Data | `Final | `Finalize ]
   | Ev_source_step of copy
+  | Ev_finalize of copy  (* finalize (or retry one) if the barrier allows *)
 
-let run (topo : Topology.t) : metrics =
+(* Raised from inside the event loop to abort the simulation with a
+   structured error; never escapes [run_result]. *)
+exception Sim_abort of Supervisor.run_error
+
+let run_result ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
+    (topo : Topology.t) : (metrics, Supervisor.run_error) result =
+  match Supervisor.validate topo with
+  | Error e -> Error e
+  | Ok () ->
   let stages = Array.of_list topo.Topology.stages in
   let links = Array.of_list topo.Topology.links in
   let n_stages = Array.length stages in
+  let recovery = Supervisor.fresh_recovery () in
   let copies =
     Array.mapi
       (fun s (st : Topology.stage) ->
@@ -181,9 +213,13 @@ let run (topo : Topology.t) : metrics =
               index = k;
               impl;
               queue = Queue.create ();
+              fstate = Fault.state_for faults ~stage:s ~copy:k;
               busy = false;
               markers_seen = 0;
+              at_quota = false;
               finished = false;
+              dead = false;
+              attempts = 0;
               rr = k;
               link_free_at = 0.0;
               busy_time = 0.0;
@@ -232,15 +268,36 @@ let run (topo : Topology.t) : metrics =
            })
   in
 
+  let stage_has_survivor s =
+    Array.exists (fun (c : copy) -> not c.dead) copies.(s)
+  in
+  let stage_dead (c : copy) err =
+    raise
+      (Sim_abort
+         (Supervisor.Stage_dead
+            {
+              stage = c.stage;
+              stage_name = stages.(c.stage).Topology.stage_name;
+              error = err;
+            }))
+  in
+
   (* Send [item] from [c] downstream at time [t].  Data/Final use
-     round-robin to a single copy; markers broadcast to every copy. *)
+     round-robin over the *surviving* downstream copies; markers
+     broadcast to every copy (dead ones still count them). *)
   let send t (c : copy) (it : item) =
     if c.stage < n_stages - 1 then begin
       let dst_stage = copies.(c.stage + 1) in
       let link = links.(c.stage) in
       let deliver (dst : copy) size =
         let start = max t dst.link_free_at in
-        let dur = link.Topology.latency +. (size /. link.Topology.bandwidth) in
+        let extra =
+          Fault.link_extra faults ~link:c.stage
+            ~transfer:(link_transfers.(c.stage) + 1)
+        in
+        let dur =
+          link.Topology.latency +. (size /. link.Topology.bandwidth) +. extra
+        in
         dst.link_free_at <- start +. dur;
         link_busy.(c.stage) <- link_busy.(c.stage) +. dur;
         link_wait.(c.stage) <- link_wait.(c.stage) +. (start -. t);
@@ -270,62 +327,210 @@ let run (topo : Topology.t) : metrics =
       in
       match it with
       | Data b | Final b ->
-          let dst = dst_stage.(c.rr mod Array.length dst_stage) in
-          c.rr <- c.rr + 1;
-          deliver dst (float_of_int (Filter.buffer_size b))
+          let w = Array.length dst_stage in
+          let rec pick tries =
+            if tries >= w then None
+            else begin
+              let j = c.rr mod w in
+              c.rr <- c.rr + 1;
+              if dst_stage.(j).dead then pick (tries + 1) else Some dst_stage.(j)
+            end
+          in
+          (match pick 0 with
+          | None ->
+              raise
+                (Sim_abort
+                   (Supervisor.Stage_dead
+                      {
+                        stage = c.stage + 1;
+                        stage_name = stages.(c.stage + 1).Topology.stage_name;
+                        error = "no live copies to route to";
+                      }))
+          | Some dst -> deliver dst (float_of_int (Filter.buffer_size b)))
       | Marker -> Array.iter (fun dst -> deliver dst 1.0) dst_stage
     end
   in
 
+  (* Re-route an item off a dead copy to a surviving sibling (same
+     stage, immediate re-arrival: the buffer is already on the node's
+     side of the link). *)
+  let reroute t (c : copy) (it : item) =
+    let sibs = copies.(c.stage) in
+    let w = Array.length sibs in
+    let rec pick tries j =
+      if tries >= w then None
+      else if j <> c.index && not sibs.(j).dead then Some sibs.(j)
+      else pick (tries + 1) ((j + 1) mod w)
+    in
+    match pick 0 ((c.index + 1) mod w) with
+    | None -> stage_dead c "no live copies to re-route to"
+    | Some sib ->
+        recovery.Supervisor.rerouted <- recovery.Supervisor.rerouted + 1;
+        Heap.push heap t (Ev_arrival (sib, it))
+  in
+
+  let upstream_width (c : copy) =
+    if c.stage = 0 then 0 else stages.(c.stage - 1).Topology.width
+  in
+
+  (* Stage drain barrier (mirrors Par_runtime): a copy is counted into
+     [at_eos] exactly once, when it has consumed its last upstream
+     marker; finalize waits until the whole stage has drained, because
+     until then a retired sibling may still re-route buffers here.  The
+     [Ev_finalize] wake-ups are scheduled an epsilon late so same-time
+     re-route arrivals are always served first. *)
+  let at_eos = Array.make n_stages 0 in
+  let released = Array.make n_stages false in
+  let eos_eps = 1e-9 in
+  let count_eos t (c : copy) =
+    if not c.at_quota then begin
+      c.at_quota <- true;
+      at_eos.(c.stage) <- at_eos.(c.stage) + 1;
+      if at_eos.(c.stage) = stages.(c.stage).Topology.width then begin
+        released.(c.stage) <- true;
+        Array.iter
+          (fun c' -> Heap.push heap (t +. eos_eps) (Ev_finalize c'))
+          copies.(c.stage)
+      end
+    end
+  in
+
+  (* A retired copy still relays its marker once its upstream quota is
+     met, so downstream marker counting stays sound. *)
+  let dead_maybe_relay t (c : copy) =
+    if c.markers_seen >= upstream_width c then begin
+      count_eos t c;
+      if not c.finished then begin
+        c.finished <- true;
+        send t c Marker
+      end
+    end
+  in
+
+  (* Retire [c] at time [t]: drop it from routing, re-route whatever it
+     was holding, keep its marker obligation alive. *)
+  let retire t (c : copy) err in_flight =
+    recovery.Supervisor.retired <- recovery.Supervisor.retired + 1;
+    c.dead <- true;
+    c.busy <- false;
+    (* A dead stage cannot complete the run — except a source stage that
+       already produced: its stream just truncates and the rest drains
+       (mirrors Par_runtime). *)
+    if
+      (not (stage_has_survivor c.stage))
+      && (c.stage > 0 || c.items_done = 0)
+    then stage_dead c (Printexc.to_string err);
+    (match in_flight with
+    | Some ((Data _ | Final _) as it) -> reroute t c it
+    | Some Marker | None -> ());
+    Queue.iter
+      (fun (_, it) ->
+        match it with
+        | (Data _ | Final _) as it -> reroute t c it
+        | Marker -> c.markers_seen <- c.markers_seen + 1)
+      c.queue;
+    Queue.clear c.queue;
+    trace_qlen c ~ts:t;
+    dead_maybe_relay t c
+  in
+
+  (* One supervised service attempt: on any exception (scripted fault or
+     real filter error) the attempt is retried — by scheduling
+     [retry_ev] after the policy backoff in simulated time — until the
+     copy's budget is spent and it retires ([in_flight] is the item to
+     re-route on retirement). *)
+  let supervised t (c : copy) in_flight retry_ev (f : unit -> unit) =
+    match f () with
+    | () -> ()
+    | exception Sim_abort e -> raise (Sim_abort e)
+    | exception err ->
+        recovery.Supervisor.crashes <- recovery.Supervisor.crashes + 1;
+        if c.attempts >= policy.Supervisor.max_retries then
+          retire t c err in_flight
+        else begin
+          c.attempts <- c.attempts + 1;
+          recovery.Supervisor.retries <- recovery.Supervisor.retries + 1;
+          let delay =
+            policy.Supervisor.backoff_s
+            *. (2.0 ** float_of_int (c.attempts - 1))
+          in
+          Heap.push heap (t +. delay) retry_ev;
+          note_time (t +. delay)
+        end
+  in
+
   let power_of c = stages.(c.stage).Topology.power in
 
-  (* Start work on the next queued item if idle. *)
+  (* Start work on the next queued item if idle; once the queue is dry
+     and the stage drain barrier has released, finalize. *)
   let rec maybe_start t (c : copy) =
-    if (not c.busy) && not (Queue.is_empty c.queue) then begin
-      let arrived, it = Queue.pop c.queue in
-      trace_qlen c ~ts:t;
-      (* an actual service begins: charge the idle gap and queue wait *)
-      let begin_service () =
-        c.queue_wait <- c.queue_wait +. Float.max 0.0 (t -. arrived);
-        c.stall <- c.stall +. Float.max 0.0 (t -. c.idle_since)
-      in
-      match c.impl with
-      | Src _ -> () (* sources are self-driving; they have no queue *)
-      | Filt f -> (
-          match it with
-          | Data b ->
-              begin_service ();
-              let out, cost = f.Filter.process b in
-              let dur = cost /. power_of c in
-              c.busy <- true;
-              c.busy_time <- c.busy_time +. dur;
-              c.items_done <- c.items_done + 1;
-              trace_service c ~name:"process" ~ts:t ~dur ~packet:b.Filter.packet;
-              Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Data))
-          | Final b ->
-              begin_service ();
-              let out, cost = f.Filter.on_eos (Some b) in
-              let dur = cost /. power_of c in
-              c.busy <- true;
-              c.busy_time <- c.busy_time +. dur;
-              trace_service c ~name:"on_eos" ~ts:t ~dur ~packet:(-1);
-              Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Final))
-          | Marker ->
-              c.markers_seen <- c.markers_seen + 1;
-              let upstream = stages.(c.stage - 1).Topology.width in
-              if c.markers_seen = upstream then begin
+    if (not c.busy) && not c.dead then begin
+      if Queue.is_empty c.queue then maybe_finalize t c
+      else begin
+        let arrived, it = Queue.pop c.queue in
+        trace_qlen c ~ts:t;
+        (* an actual service begins: charge the idle gap and queue wait *)
+        let begin_service () =
+          c.queue_wait <- c.queue_wait +. Float.max 0.0 (t -. arrived);
+          c.stall <- c.stall +. Float.max 0.0 (t -. c.idle_since)
+        in
+        match c.impl with
+        | Src _ -> () (* sources are self-driving; they have no queue *)
+        | Filt f -> (
+            match it with
+            | Data b ->
                 begin_service ();
-                let out, cost = f.Filter.finalize () in
-                let dur = cost /. power_of c in
-                c.busy <- true;
-                c.busy_time <- c.busy_time +. dur;
-                trace_service c ~name:"finalize" ~ts:t ~dur ~packet:(-1);
-                Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Finalize))
-              end
-              else maybe_start t c)
+                supervised t c (Some it) (Ev_arrival (c, it)) (fun () ->
+                    Fault.tick c.fstate;
+                    let out, cost = f.Filter.process b in
+                    let dur = cost /. power_of c *. Fault.slow_factor c.fstate in
+                    c.busy <- true;
+                    c.busy_time <- c.busy_time +. dur;
+                    c.items_done <- c.items_done + 1;
+                    trace_service c ~name:"process" ~ts:t ~dur
+                      ~packet:b.Filter.packet;
+                    Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Data)));
+                if not c.busy then maybe_start t c
+            | Final b ->
+                begin_service ();
+                supervised t c (Some it) (Ev_arrival (c, it)) (fun () ->
+                    let out, cost = f.Filter.on_eos (Some b) in
+                    let dur = cost /. power_of c in
+                    c.busy <- true;
+                    c.busy_time <- c.busy_time +. dur;
+                    trace_service c ~name:"on_eos" ~ts:t ~dur ~packet:(-1);
+                    Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Final)));
+                if not c.busy then maybe_start t c
+            | Marker ->
+                c.markers_seen <- c.markers_seen + 1;
+                if c.markers_seen >= upstream_width c then count_eos t c;
+                maybe_start t c)
+      end
     end
 
+  and maybe_finalize t (c : copy) =
+    match c.impl with
+    | Src _ -> ()
+    | Filt f ->
+        if released.(c.stage) && c.at_quota && not c.finished then begin
+          c.stall <- c.stall +. Float.max 0.0 (t -. c.idle_since);
+          supervised t c None (Ev_finalize c) (fun () ->
+              let out, cost = f.Filter.finalize () in
+              let dur = cost /. power_of c in
+              c.busy <- true;
+              c.busy_time <- c.busy_time +. dur;
+              trace_service c ~name:"finalize" ~ts:t ~dur ~packet:(-1);
+              Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Finalize)))
+        end
+
   and handle t = function
+    | Ev_arrival (c, it) when c.dead -> (
+        (* zombie routing: dead copies forward their obligations *)
+        match it with
+        | Marker ->
+            c.markers_seen <- c.markers_seen + 1;
+            dead_maybe_relay t c
+        | (Data _ | Final _) as it -> reroute t c it)
     | Ev_arrival (c, it) ->
         Queue.push (t, it) c.queue;
         trace_qlen c ~ts:t;
@@ -343,77 +548,129 @@ let run (topo : Topology.t) : metrics =
           send t c Marker
         end;
         maybe_start t c
+    | Ev_finalize c -> if not c.dead then maybe_start t c
     | Ev_source_step c -> (
+        if not c.dead then
         match c.impl with
         | Filt _ -> ()
-        | Src s -> (
-            match s.Filter.next () with
-            | Some (b, cost) ->
-                let dur = cost /. power_of c in
-                c.busy_time <- c.busy_time +. dur;
-                c.items_done <- c.items_done + 1;
-                trace_service c ~name:"produce" ~ts:t ~dur
-                  ~packet:b.Filter.packet;
-                let t' = t +. dur in
-                note_time t';
-                send t' c (Data b);
-                Heap.push heap t' (Ev_source_step c)
-            | None ->
-                let out, cost = s.Filter.src_finalize () in
-                let dur = cost /. power_of c in
-                c.busy_time <- c.busy_time +. dur;
-                trace_service c ~name:"src_finalize" ~ts:t ~dur ~packet:(-1);
-                let t' = t +. dur in
-                note_time t';
-                (match out with Some b -> send t' c (Final b) | None -> ());
-                c.finished <- true;
-                send t' c Marker))
+        | Src s ->
+            supervised t c None (Ev_source_step c) (fun () ->
+                Fault.tick c.fstate;
+                match s.Filter.next () with
+                | Some (b, cost) ->
+                    let dur =
+                      cost /. power_of c *. Fault.slow_factor c.fstate
+                    in
+                    c.busy_time <- c.busy_time +. dur;
+                    c.items_done <- c.items_done + 1;
+                    trace_service c ~name:"produce" ~ts:t ~dur
+                      ~packet:b.Filter.packet;
+                    let t' = t +. dur in
+                    note_time t';
+                    send t' c (Data b);
+                    Heap.push heap t' (Ev_source_step c)
+                | None ->
+                    let out, cost = s.Filter.src_finalize () in
+                    let dur = cost /. power_of c in
+                    c.busy_time <- c.busy_time +. dur;
+                    trace_service c ~name:"src_finalize" ~ts:t ~dur ~packet:(-1);
+                    let t' = t +. dur in
+                    note_time t';
+                    (match out with Some b -> send t' c (Final b) | None -> ());
+                    c.finished <- true;
+                    send t' c Marker))
   in
 
-  (* init all copies, start sources *)
-  Array.iter
-    (fun stage_copies ->
-      Array.iter
-        (fun c ->
-          match c.impl with
-          | Filt f ->
-              let cost = f.Filter.init () in
-              c.busy_time <- c.busy_time +. (cost /. power_of c)
-          | Src _ -> Heap.push heap 0.0 (Ev_source_step c))
-        stage_copies)
-    copies;
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (t, ev) ->
-        handle t ev;
-        loop ()
+  let simulate () =
+    (* init all copies, start sources *)
+    Array.iter
+      (fun stage_copies ->
+        Array.iter
+          (fun c ->
+            match c.impl with
+            | Filt f ->
+                let cost = f.Filter.init () in
+                c.busy_time <- c.busy_time +. (cost /. power_of c)
+            | Src _ -> Heap.push heap 0.0 (Ev_source_step c))
+          stage_copies)
+      copies;
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (t, ev) ->
+          handle t ev;
+          loop ()
+    in
+    loop ();
+    (* The event queue drained: every copy must have completed its
+       end-of-stream protocol, or the topology wedged (a marker deficit
+       cannot resolve itself).  Mirror the parallel watchdog with a
+       structured stall report. *)
+    let unfinished =
+      Array.exists (Array.exists (fun c -> not c.finished)) copies
+    in
+    if unfinished then begin
+      recovery.Supervisor.watchdog_trips <-
+        recovery.Supervisor.watchdog_trips + 1;
+      let report =
+        List.concat_map
+          (fun row ->
+            List.map
+              (fun (c : copy) ->
+                let state =
+                  if c.finished then "done"
+                  else
+                    Printf.sprintf "waiting (markers %d/%d)" c.markers_seen
+                      (upstream_width c)
+                in
+                {
+                  Supervisor.cr_stage = c.stage;
+                  cr_copy = c.index;
+                  cr_label =
+                    Topology.copy_label topo ~stage:c.stage ~copy:c.index;
+                  cr_state = (if c.dead then "retired/" ^ state else state);
+                  cr_items = c.items_done;
+                  cr_queue_len = Queue.length c.queue;
+                })
+              (Array.to_list row))
+          (Array.to_list copies)
+      in
+      raise (Sim_abort (Supervisor.Stalled { after_s = !makespan; report }))
+    end;
+    {
+      makespan = !makespan;
+      stage_stats =
+        Array.mapi
+          (fun s stage_copies ->
+            {
+              sm_name = stages.(s).Topology.stage_name;
+              sm_busy = Array.map (fun c -> c.busy_time) stage_copies;
+              sm_items = Array.map (fun c -> c.items_done) stage_copies;
+              sm_queue_wait = Array.map (fun c -> c.queue_wait) stage_copies;
+              sm_stall = Array.map (fun c -> c.stall) stage_copies;
+            })
+          copies;
+      link_stats =
+        Array.init
+          (max 0 (n_stages - 1))
+          (fun i ->
+            {
+              lm_bytes = link_bytes.(i);
+              lm_transfers = link_transfers.(i);
+              lm_busy = link_busy.(i);
+              lm_wait = link_wait.(i);
+            });
+      recovery;
+    }
   in
-  loop ();
-  {
-    makespan = !makespan;
-    stage_stats =
-      Array.mapi
-        (fun s stage_copies ->
-          {
-            sm_name = stages.(s).Topology.stage_name;
-            sm_busy = Array.map (fun c -> c.busy_time) stage_copies;
-            sm_items = Array.map (fun c -> c.items_done) stage_copies;
-            sm_queue_wait = Array.map (fun c -> c.queue_wait) stage_copies;
-            sm_stall = Array.map (fun c -> c.stall) stage_copies;
-          })
-        copies;
-    link_stats =
-      Array.init
-        (max 0 (n_stages - 1))
-        (fun i ->
-          {
-            lm_bytes = link_bytes.(i);
-            lm_transfers = link_transfers.(i);
-            lm_busy = link_busy.(i);
-            lm_wait = link_wait.(i);
-          });
-  }
+  match simulate () with
+  | m -> Ok m
+  | exception Sim_abort e -> Error e
+
+let run ?faults ?policy topo =
+  match run_result ?faults ?policy topo with
+  | Ok m -> m
+  | Error e -> raise (Supervisor.Run_failed e)
 
 let pp_metrics ppf m =
   Fmt.pf ppf "makespan=%.6fs@\n" m.makespan;
@@ -435,4 +692,6 @@ let pp_metrics ppf m =
       Fmt.pf ppf
         "  link %d: %.0f bytes in %d transfers, busy %.4fs, wait %.4fs@\n" i
         lm.lm_bytes lm.lm_transfers lm.lm_busy lm.lm_wait)
-    m.link_stats
+    m.link_stats;
+  if Supervisor.recovery_total m.recovery > 0 then
+    Fmt.pf ppf "  recovery: %a@\n" Supervisor.pp_recovery m.recovery

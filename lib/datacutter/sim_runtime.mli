@@ -8,9 +8,21 @@
     simulated, so a run doubles as a correctness check.
 
     End-of-stream protocol: when a copy has received markers from all
-    upstream copies it finalizes, emits its partial-result payload, and
-    broadcasts markers downstream; payloads are absorbed or forwarded by
-    [on_eos]. *)
+    upstream copies its stream is complete, but it finalizes — emitting
+    its partial-result payload and broadcasting markers downstream —
+    only once every copy of its stage has drained (the stage drain
+    barrier, mirroring {!Par_runtime}), so buffers re-routed off a
+    retired sibling are never dropped; payloads are absorbed or
+    forwarded by [on_eos].
+
+    Fault mirroring (see docs/ROBUSTNESS.md): the same {!Fault.plan} the
+    parallel runtime injects in real time is replayed in simulated time —
+    failed callbacks retry after the policy backoff (simulated seconds),
+    exhausted copies retire with their traffic re-routed to surviving
+    siblings, scripted slowdowns multiply service times, and link faults
+    add seconds to transfers.  A simulated restart loses no state, so the
+    [replayed] counter stays 0 here (the parallel runtime's replay ring
+    has no simulated equivalent). *)
 
 type stage_metrics = {
   sm_name : string;
@@ -33,15 +45,28 @@ type metrics = {
   makespan : float;  (** simulated end-to-end seconds *)
   stage_stats : stage_metrics array;
   link_stats : link_metrics array;
+  recovery : Supervisor.recovery;
+      (** simulated-time recovery counters; all zero on a fault-free run *)
 }
 
 (** Total bytes moved over all links. *)
 val total_bytes : metrics -> float
 
-(** Machine-readable form of the metrics (the [--metrics-json] body). *)
+(** Machine-readable form of the metrics (the [--metrics-json] body),
+    including a ["recovery"] object. *)
 val metrics_to_json : metrics -> Obs.Json.t
 
-(** Run the pipeline to completion. *)
-val run : Topology.t -> metrics
+(** Run the pipeline to completion.  The topology is validated first
+    ({!Supervisor.validate}); a drained event queue that leaves a copy's
+    end-of-stream protocol incomplete yields {!Supervisor.Stalled}. *)
+val run_result :
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  Topology.t ->
+  (metrics, Supervisor.run_error) result
+
+(** [run_result] unwrapped; raises {!Supervisor.Run_failed} on error. *)
+val run :
+  ?faults:Fault.plan -> ?policy:Supervisor.policy -> Topology.t -> metrics
 
 val pp_metrics : Format.formatter -> metrics -> unit

@@ -10,6 +10,7 @@ let set m k v =
   else m.entries <- (k, v) :: m.entries
 
 let set_int m k v = set m k (Json.Int v)
+let set_bool m k v = set m k (Json.Bool v)
 let set_float m k v = set m k (Json.Float v)
 let set_str m k v = set m k (Json.Str v)
 

@@ -10,6 +10,7 @@ type t
 val create : unit -> t
 val set : t -> string -> Json.t -> unit
 val set_int : t -> string -> int -> unit
+val set_bool : t -> string -> bool -> unit
 val set_float : t -> string -> float -> unit
 val set_str : t -> string -> string -> unit
 

@@ -1,0 +1,64 @@
+(* Smoke test for the fault-tolerance layer, wired into `dune runtest`
+   via the @fault-smoke alias: compile one bundled app cell, execute it
+   on real domains under an injected crash + slowdown plan, emit the
+   metrics JSON, and assert — by parsing the JSON back — that the run
+   completed with at least one supervised retry.  This pins the whole
+   path the robustness docs promise: --faults spec -> supervisor
+   recovery -> recovery counters in the metrics document. *)
+
+module H = Apps.Harness
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("fault-smoke: " ^ m); exit 1) fmt
+
+let () =
+  let widths = [| 2; 2; 1 |] in
+  let cluster = H.default_cluster in
+  let app = H.knn_app Apps.Knn.base_config in
+  let c = H.compile ~cluster ~widths app in
+  let topo, _results =
+    Core.Codegen.build_topology c.Core.Compile.plan ~widths
+      ~powers:(H.node_powers cluster widths)
+      ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
+      ~latency:cluster.H.latency ()
+  in
+  let faults =
+    match Datacutter.Fault.parse "seed=3;1.0:crash@2;1.1:slow*2" with
+    | Ok p -> p
+    | Error m -> die "bad fault spec: %s" m
+  in
+  let metrics =
+    match Datacutter.Par_runtime.run_result ~faults topo with
+    | Ok m -> m
+    | Error e ->
+        die "injected-fault run did not complete: %s"
+          (Fmt.str "%a" Datacutter.Supervisor.pp_run_error e)
+  in
+  let path = "fault_smoke_metrics.json" in
+  let doc = Obs.Metrics.create () in
+  Obs.Metrics.set_str doc "app" app.H.name;
+  Obs.Metrics.set_bool doc "ok" true;
+  Obs.Metrics.set doc "parallel" (Datacutter.Par_runtime.metrics_to_json metrics);
+  Obs.Metrics.write_file path doc;
+  (* assert on the emitted artifact, not the in-memory record *)
+  let json =
+    let ic = open_in path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.parse_result s with
+    | Ok j -> j
+    | Error m -> die "emitted metrics unparsable: %s" m
+  in
+  let retries =
+    match
+      Obs.Json.(member "parallel" json |> member "recovery" |> member "retries")
+    with
+    | Obs.Json.Int n -> n
+    | _ -> die "metrics JSON missing recovery.retries"
+  in
+  if retries < 1 then die "expected retries >= 1 under 1.0:crash@2, got %d" retries;
+  Printf.printf
+    "fault-smoke ok: knn 2-2-1 completed under crash+slowdown (retries=%d)\n"
+    retries

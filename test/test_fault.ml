@@ -1,0 +1,371 @@
+(* Tests for the fault-tolerance layer: the scripted fault-injection
+   model, the parallel runtime's supervisor (restart + replay,
+   retirement + re-routing, stall watchdog) and the simulator's
+   mirrored fault semantics. *)
+
+module A = Alcotest
+open Datacutter
+
+let buffer_of_string packet s =
+  Filter.make_buffer ~packet (Bytes.of_string s)
+
+(* A source producing [n] 8-byte packets at [cost] weighted ops each. *)
+let counting_source ?(cost = 10.0) n _copy =
+  let i = ref 0 in
+  {
+    Filter.src_name = "src";
+    next =
+      (fun () ->
+        if !i >= n then None
+        else begin
+          let p = !i in
+          incr i;
+          Some (buffer_of_string p (String.make 8 'x'), cost)
+        end);
+    src_finalize = (fun () -> (None, 0.0));
+  }
+
+let topo3 ?(widths = (1, 1, 1)) ?(power = 100.0) ?(bandwidth = 1e6)
+    ?(latency = 0.0) ~source ~inner ~sink () =
+  let w1, w2, w3 = widths in
+  Topology.create
+    ~stages:
+      [
+        { Topology.stage_name = "src"; width = w1; power; role = Topology.Source source };
+        { Topology.stage_name = "mid"; width = w2; power; role = Topology.Inner inner };
+        { Topology.stage_name = "sink"; width = w3; power; role = Topology.Sink sink };
+      ]
+    ~links:
+      [
+        { Topology.bandwidth; latency };
+        { Topology.bandwidth; latency };
+      ]
+
+(* A sink recording every data packet id it sees (thread-safe: the
+   parallel runtime calls it from a worker domain). *)
+let recording_sink () =
+  let mutex = Mutex.create () in
+  let packets = ref [] in
+  let sink _ =
+    {
+      (Filter.pass_through "sink") with
+      Filter.process =
+        (fun b ->
+          Mutex.lock mutex;
+          packets := b.Filter.packet :: !packets;
+          Mutex.unlock mutex;
+          (None, 1.0));
+    }
+  in
+  (sink, fun () -> List.sort compare !packets)
+
+let expect_packets n got =
+  A.(check (list int)) "every packet reaches the sink exactly once"
+    (List.init n Fun.id) got
+
+let plan_exn spec =
+  match Fault.parse spec with
+  | Ok p -> p
+  | Error m -> A.failf "fault spec %S rejected: %s" spec m
+
+(* --- fault spec parsing --- *)
+
+let test_parse_roundtrip () =
+  let spec = "seed=7;1.0:crash@3;*.*:slow~1.5;0.1:flaky@2x4;link0:delay@4+0.01" in
+  let p = plan_exn spec in
+  A.(check int) "seed" 7 p.Fault.seed;
+  A.(check int) "clauses" 3 (List.length p.Fault.clauses);
+  A.(check int) "link faults" 1 (List.length p.Fault.link_faults);
+  let printed = Fault.to_string p in
+  (match Fault.parse printed with
+  | Ok p' -> A.(check bool) "roundtrip" true (p = p')
+  | Error m -> A.failf "printed spec %S rejected: %s" printed m);
+  let cfg = Fault.resolve p ~stage:1 ~copy:0 in
+  A.(check (option int)) "crash resolved" (Some 3) cfg.Fault.crash_after;
+  A.(check bool) "wildcard slowdown resolved" true (cfg.Fault.slow <> None);
+  let cfg2 = Fault.resolve p ~stage:2 ~copy:5 in
+  A.(check (option int)) "crash is site-local" None cfg2.Fault.crash_after
+
+let test_parse_errors () =
+  let rejected spec =
+    match Fault.parse spec with
+    | Error _ -> ()
+    | Ok _ -> A.failf "bad spec %S accepted" spec
+  in
+  rejected "";
+  rejected "bogus";
+  rejected "1.0:crash@0";       (* crash count must be >= 1 *)
+  rejected "1.0:slow*0.5";      (* slowdown factors are >= 1 *)
+  rejected "x.y:crash@2";       (* selectors are ints or '*' *)
+  rejected "1.0:flaky@3";       (* flaky needs a window: flaky@NxC *)
+  rejected "link0:delay@0+0.1"; (* transfers are 1-based *)
+  rejected "linkA:delay@1+0.1"
+
+(* --- simulator fault mirroring --- *)
+
+let sim_makespan ~faults ~seed () =
+  let faults = { faults with Fault.seed } in
+  let topo =
+    topo3 ~widths:(1, 2, 1)
+      ~source:(counting_source 30)
+      ~inner:(fun _ ->
+        { (Filter.pass_through "mid") with Filter.process = (fun b -> (Some b, 100.0)) })
+      ~sink:(fun _ -> Filter.pass_through "sink")
+      ()
+  in
+  Sim_runtime.run ~faults topo
+
+let test_sim_deterministic () =
+  let faults = plan_exn "*.*:slow~2.0" in
+  let a = sim_makespan ~faults ~seed:11 () in
+  let b = sim_makespan ~faults ~seed:11 () in
+  let c = sim_makespan ~faults ~seed:12 () in
+  A.(check (float 0.0)) "same seed, same makespan" a.Sim_runtime.makespan
+    b.Sim_runtime.makespan;
+  A.(check bool) "different seed, different fault trace" true
+    (a.Sim_runtime.makespan <> c.Sim_runtime.makespan)
+
+let test_sim_flaky_retries () =
+  let sink, got = recording_sink () in
+  let topo =
+    topo3 ~source:(counting_source 12)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let m = Sim_runtime.run ~faults:(plan_exn "1.0:flaky@2x3") topo in
+  expect_packets 12 (got ());
+  let r = m.Sim_runtime.recovery in
+  A.(check int) "three transient crashes" 3 r.Supervisor.crashes;
+  A.(check int) "each retried" 3 r.Supervisor.retries;
+  A.(check int) "no copy retired" 0 r.Supervisor.retired
+
+let test_sim_crash_failover () =
+  let sink, got = recording_sink () in
+  let topo =
+    topo3 ~widths:(1, 2, 1)
+      ~source:(counting_source 20)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let policy = { Supervisor.default_policy with Supervisor.max_retries = 0 } in
+  let m = Sim_runtime.run ~faults:(plan_exn "1.0:crash@5") ~policy topo in
+  expect_packets 20 (got ());
+  let r = m.Sim_runtime.recovery in
+  A.(check int) "one copy retired" 1 r.Supervisor.retired;
+  A.(check bool) "its traffic re-routed" true (r.Supervisor.rerouted >= 1)
+
+let test_sim_whole_stage_dead () =
+  let topo =
+    topo3 ~source:(counting_source 10)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink:(fun _ -> Filter.pass_through "sink")
+      ()
+  in
+  let policy = { Supervisor.default_policy with Supervisor.max_retries = 0 } in
+  match Sim_runtime.run_result ~faults:(plan_exn "1.0:crash@2") ~policy topo with
+  | Error (Supervisor.Stage_dead { stage = 1; _ }) -> ()
+  | Error e -> A.failf "wrong error: %a" Supervisor.pp_run_error e
+  | Ok _ -> A.fail "width-1 stage death must abort the run"
+
+(* --- sim/par agreement under injected slowdown --- *)
+
+let spin seconds =
+  let t0 = Obs.Clock.elapsed_s () in
+  while Obs.Clock.elapsed_s () -. t0 < seconds do
+    ()
+  done
+
+let test_slowdown_shifts_bottleneck () =
+  (* slow down mid copy 0 by 4x; in both runtimes it must end up
+     markedly busier than its untouched sibling *)
+  let faults = plan_exn "1.0:slow*4" in
+  let mk_topo inner_process =
+    topo3 ~widths:(1, 2, 1)
+      ~source:(counting_source 24)
+      ~inner:(fun _ ->
+        { (Filter.pass_through "mid") with Filter.process = inner_process })
+      ~sink:(fun _ -> Filter.pass_through "sink")
+      ()
+  in
+  let sm =
+    Sim_runtime.run ~faults (mk_topo (fun b -> (Some b, 100.0)))
+  in
+  let sim_busy = sm.Sim_runtime.stage_stats.(1).Sim_runtime.sm_busy in
+  A.(check bool) "sim: slowed copy dominates" true
+    (sim_busy.(0) > 2.0 *. sim_busy.(1));
+  let pm =
+    Par_runtime.run ~faults
+      (mk_topo (fun b ->
+           spin 0.0005;
+           (Some b, 100.0)))
+  in
+  let par_busy = pm.Par_runtime.stage_busy.(1) in
+  A.(check bool) "par: slowed copy dominates" true
+    (par_busy.(0) > 2.0 *. par_busy.(1))
+
+(* --- parallel runtime: supervisor --- *)
+
+let test_par_crash_restart () =
+  let sink, got = recording_sink () in
+  let topo =
+    topo3 ~widths:(1, 2, 1)
+      ~source:(counting_source 20)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  match Par_runtime.run_result ~faults:(plan_exn "1.0:crash@3") topo with
+  | Error e -> A.failf "run failed: %a" Supervisor.pp_run_error e
+  | Ok m ->
+      expect_packets 20 (got ());
+      let r = m.Par_runtime.recovery in
+      A.(check bool) "restarted" true (r.Supervisor.retries >= 1);
+      A.(check bool) "state replayed" true (r.Supervisor.replayed >= 1);
+      A.(check int) "no copy retired" 0 r.Supervisor.retired
+
+let test_par_crash_retire () =
+  let sink, got = recording_sink () in
+  let topo =
+    topo3 ~widths:(1, 2, 1)
+      ~source:(counting_source 20)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let policy = { Supervisor.default_policy with Supervisor.max_retries = 0 } in
+  match Par_runtime.run_result ~faults:(plan_exn "1.0:crash@5") ~policy topo with
+  | Error e -> A.failf "run failed: %a" Supervisor.pp_run_error e
+  | Ok m ->
+      expect_packets 20 (got ());
+      let r = m.Par_runtime.recovery in
+      A.(check int) "one copy retired" 1 r.Supervisor.retired;
+      A.(check bool) "its traffic re-routed" true (r.Supervisor.rerouted >= 1)
+
+(* --- the stall watchdog --- *)
+
+let test_watchdog_trips_on_deadlock () =
+  (* A sink that wedges forever on its second packet: with a small
+     queue the whole pipeline backs up behind it, and only the
+     watchdog can diagnose the run. *)
+  let wedge_mutex = Mutex.create () in
+  let wedge_cond = Condition.create () in
+  let seen = ref 0 in
+  let sink _ =
+    {
+      (Filter.pass_through "sink") with
+      Filter.process =
+        (fun _ ->
+          incr seen;
+          if !seen >= 2 then begin
+            Mutex.lock wedge_mutex;
+            while true do
+              Condition.wait wedge_cond wedge_mutex
+            done
+          end;
+          (None, 1.0));
+    }
+  in
+  let topo =
+    topo3 ~source:(counting_source 30)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let policy =
+    {
+      Supervisor.default_policy with
+      Supervisor.watchdog_ms = Some 100;
+      call_budget_s = Some 0.05;
+    }
+  in
+  match Par_runtime.run_result ~queue_capacity:2 ~policy topo with
+  | Error (Supervisor.Stalled { after_s; report }) ->
+      A.(check bool) "stall interval reported" true (after_s >= 0.05);
+      A.(check bool) "per-copy report present" true (List.length report = 3);
+      A.(check bool) "some copy reported blocked" true
+        (List.exists
+           (fun cr ->
+             Astring.String.is_prefix ~affix:"blocked"
+               cr.Supervisor.cr_state)
+           report)
+  | Error e -> A.failf "wrong error: %a" Supervisor.pp_run_error e
+  | Ok _ -> A.fail "deadlocked pipeline must trip the watchdog"
+
+let test_watchdog_quiet_on_healthy_run () =
+  let sink, got = recording_sink () in
+  let topo =
+    topo3 ~source:(counting_source 15)
+      ~inner:(fun _ -> Filter.pass_through "mid")
+      ~sink ()
+  in
+  let policy =
+    { Supervisor.default_policy with Supervisor.watchdog_ms = Some 2000 }
+  in
+  match Par_runtime.run_result ~policy topo with
+  | Error e -> A.failf "healthy run failed: %a" Supervisor.pp_run_error e
+  | Ok m ->
+      expect_packets 15 (got ());
+      A.(check int) "no watchdog trips" 0
+        m.Par_runtime.recovery.Supervisor.watchdog_trips
+
+(* --- topology validation --- *)
+
+let test_validation () =
+  let expect_invalid what r =
+    match r with
+    | Error (Supervisor.Invalid_topology _) -> ()
+    | Error e -> A.failf "%s: wrong error: %a" what Supervisor.pp_run_error e
+    | Ok _ -> A.failf "%s: accepted" what
+  in
+  let src = Topology.Source (counting_source 3) in
+  let mid = Topology.Inner (fun _ -> Filter.pass_through "mid") in
+  let snk = Topology.Sink (fun _ -> Filter.pass_through "sink") in
+  let stage ?(width = 1) ?(power = 1.0) role =
+    { Topology.stage_name = "s"; width; power; role }
+  in
+  let link = { Topology.bandwidth = 1.0; latency = 0.0 } in
+  (* hand-built records bypass Topology.create, so the runtimes must
+     reject them on their own *)
+  expect_invalid "empty pipeline"
+    (Sim_runtime.run_result { Topology.stages = []; links = [] });
+  expect_invalid "single stage"
+    (Sim_runtime.run_result { Topology.stages = [ stage src ]; links = [] });
+  expect_invalid "zero-width stage"
+    (Sim_runtime.run_result
+       {
+         Topology.stages = [ stage src; stage ~width:0 mid; stage snk ];
+         links = [ link; link ];
+       });
+  expect_invalid "non-positive power"
+    (Sim_runtime.run_result
+       {
+         Topology.stages = [ stage src; stage ~power:0.0 mid; stage snk ];
+         links = [ link; link ];
+       });
+  expect_invalid "link count mismatch"
+    (Sim_runtime.run_result
+       { Topology.stages = [ stage src; stage snk ]; links = [ link; link ] });
+  expect_invalid "sink in the middle"
+    (Sim_runtime.run_result
+       {
+         Topology.stages = [ stage src; stage snk; stage snk ];
+         links = [ link; link ];
+       });
+  expect_invalid "zero queue capacity (par)"
+    (Par_runtime.run_result ~queue_capacity:0
+       { Topology.stages = [ stage src; stage snk ]; links = [ link ] })
+
+let suite =
+  [
+    ("fault spec roundtrip", `Quick, test_parse_roundtrip);
+    ("fault spec errors", `Quick, test_parse_errors);
+    ("sim faults deterministic per seed", `Quick, test_sim_deterministic);
+    ("sim flaky retries", `Quick, test_sim_flaky_retries);
+    ("sim crash failover conserves packets", `Quick, test_sim_crash_failover);
+    ("sim whole-stage death aborts", `Quick, test_sim_whole_stage_dead);
+    ("slowdown shifts bottleneck (sim+par)", `Quick, test_slowdown_shifts_bottleneck);
+    ("par crash restart with replay", `Quick, test_par_crash_restart);
+    ("par crash retire and re-route", `Quick, test_par_crash_retire);
+    ("watchdog trips on deadlock", `Quick, test_watchdog_trips_on_deadlock);
+    ("watchdog quiet on healthy run", `Quick, test_watchdog_quiet_on_healthy_run);
+    ("runtime topology validation", `Quick, test_validation);
+  ]
+
+let () = Alcotest.run "fault" [ ("fault", suite) ]
