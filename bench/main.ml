@@ -98,6 +98,11 @@ let print_row label cells =
 
 let pct_faster ~default ~decomp = (default -. decomp) /. decomp *. 100.0
 
+(* Unwrap a harness/runtime result, rendering a failure readably. *)
+let cell = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "run failed: %a" Datacutter.Supervisor.pp_run_error e
+
 (* ------------------------------------------------------------------ *)
 (* Figures 5-8: isosurface (Default vs Decomp, 3 configurations)        *)
 (* ------------------------------------------------------------------ *)
@@ -108,8 +113,8 @@ let iso_figure ~title ~variant cfg =
   List.iter
     (fun (label, widths) ->
       let app = H.iso_app ~variant cfg in
-      let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
-      let t_dec, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
+      let t_def, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Default ~widths app) in
+      let t_dec, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app) in
       if label = "1-1-1" then base := t_dec;
       Record.row label
         [
@@ -153,15 +158,15 @@ let knn_figure ~title cfg =
   let app = H.knn_app cfg in
   List.iter
     (fun (label, widths) ->
-      let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
-      let t_cmp, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
+      let t_def, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Default ~widths app) in
+      let t_cmp, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app) in
       let topo, _ =
         Apps.Knn.manual_topology cfg ~widths
           ~powers:(H.node_powers cluster widths)
           ~bandwidths:(Array.make 2 cluster.H.bandwidth)
           ~latency:cluster.H.latency ()
       in
-      let t_man = (Datacutter.Sim_runtime.run topo).Datacutter.Sim_runtime.makespan in
+      let t_man = (cell (Datacutter.Runtime.run_result topo)).Datacutter.Engine.elapsed_s in
       Record.row label
         [
           ("default_s", t_def);
@@ -193,15 +198,15 @@ let vmscope_figure ~title cfg =
   let app = H.vmscope_app cfg in
   List.iter
     (fun (label, widths) ->
-      let t_def, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Default ~widths app in
-      let t_cmp, _, _, _ = H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app in
+      let t_def, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Default ~widths app) in
+      let t_cmp, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app) in
       let topo, _ =
         Apps.Vmscope.manual_topology cfg ~widths
           ~powers:(H.node_powers cluster widths)
           ~bandwidths:(Array.make 2 cluster.H.bandwidth)
           ~latency:cluster.H.latency ()
       in
-      let t_man = (Datacutter.Sim_runtime.run topo).Datacutter.Sim_runtime.makespan in
+      let t_man = (cell (Datacutter.Runtime.run_result topo)).Datacutter.Engine.elapsed_s in
       Record.row label
         [
           ("default_s", t_def);
@@ -425,7 +430,7 @@ let ablation_packing () =
         | _ -> [| 1; 1; 1 |]
       in
       let run mode =
-        let t, _, _, _ = H.run_cell ~cluster ~strategy ~layout_mode:mode ~widths app in
+        let t, _, _, _ = cell (H.run_cell ~cluster ~strategy ~layout_mode:mode ~widths app) in
         t
       in
       let t_auto = run `Auto in
@@ -457,7 +462,7 @@ let ablation_packet () =
       let cfg = { (Apps.Knn.with_k 3) with Apps.Knn.num_packets = packets } in
       let app = H.knn_app cfg in
       let t, _, _, _ =
-        H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 2; 2; 1 |] app
+        cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 2; 2; 1 |] app)
       in
       Record.row (string_of_int packets) [ ("makespan_s", t) ];
       print_row "" [ string_of_int packets; Fmt.str "%.4f" t ])
@@ -490,7 +495,7 @@ let parallel () =
       let t =
         (* best of 3 to smooth scheduler noise *)
         List.init 3 (fun _ ->
-            (fst (Compile.run_parallel c ~widths ())).Datacutter.Par_runtime.wall_time)
+            (fst (Compile.run_parallel c ~widths ())).Datacutter.Engine.elapsed_s)
         |> List.fold_left min infinity
       in
       if label = "1-1-1" then base := t;
@@ -561,7 +566,7 @@ let smoke () =
   print_header "Smoke: knn tiny, 1-1-1" [ "Decomp(s)"; "bytes" ];
   let app = H.knn_app ~name:"knn-tiny" Apps.Knn.tiny in
   let t, bytes, _, c =
-    H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 1; 1; 1 |] app
+    cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 1; 1; 1 |] app)
   in
   Record.row "1-1-1"
     [

@@ -250,10 +250,11 @@ let emit file app widths strategy cluster_spec =
 
 (* --- run --- *)
 
-let run file app widths strategy parallel cluster_spec trace mjson faults
-    watchdog_ms max_retries call_budget_ms =
+let run file app widths strategy backend parallel cluster_spec trace mjson
+    faults watchdog_ms max_retries call_budget_ms =
   let a = load ~file ~app in
   let cluster = cluster_of_spec cluster_spec in
+  let backend = if parallel then Datacutter.Runtime.Par else backend in
   let faults = Option.value faults ~default:Datacutter.Fault.empty in
   let policy = policy_of ~watchdog_ms ~max_retries ~call_budget_ms in
   let metrics_doc () =
@@ -262,6 +263,7 @@ let run file app widths strategy parallel cluster_spec trace mjson faults
     Obs.Metrics.set_str m "app" a.H.name;
     Obs.Metrics.set_str m "config" (config_label widths);
     Obs.Metrics.set_str m "strategy" (strategy_name strategy);
+    Obs.Metrics.set_str m "backend" (Datacutter.Runtime.backend_name backend);
     if not (Datacutter.Fault.is_empty faults) then
       Obs.Metrics.set_str m "faults" (Datacutter.Fault.to_string faults);
     m
@@ -286,80 +288,54 @@ let run file app widths strategy parallel cluster_spec trace mjson faults
       Fmt.pr "  recovery: %a@." Datacutter.Supervisor.pp_recovery r
   in
   with_trace trace @@ fun () ->
-  if parallel then begin
-    let c = H.compile ~cluster ~strategy ~widths a in
-    let topo, results =
-      Codegen.build_topology c.Compile.plan ~widths
-        ~powers:(H.node_powers cluster widths)
-        ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
-        ~latency:cluster.H.latency ()
-    in
-    match Datacutter.Par_runtime.run_result ~faults ~policy topo with
-    | Error err -> write_failure c err
-    | Ok m ->
-        Fmt.pr "parallel run (%d domains): wall time %.4fs@."
-          (Array.fold_left ( + ) 0 widths)
-          m.Datacutter.Par_runtime.wall_time;
-        Array.iteri
-          (fun s busy ->
-            Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
-              Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-              busy
-              Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-              m.Datacutter.Par_runtime.stage_stall_push.(s)
-              Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-              m.Datacutter.Par_runtime.stage_stall_pop.(s))
-          m.Datacutter.Par_runtime.stage_busy;
-        report_recovery m.Datacutter.Par_runtime.recovery;
-        List.iter
-          (fun (name, v) -> Fmt.pr "  %s = %s@." name (Lang.Value.to_string v))
-          (results ());
-        (match mjson with
-        | None -> ()
-        | Some path ->
-            let doc = metrics_doc () in
-            compile_metrics doc c;
-            Obs.Metrics.set_bool doc "ok" true;
-            Obs.Metrics.set doc "parallel"
-              (Datacutter.Par_runtime.metrics_to_json m);
-            write_metrics path doc);
-        `Ok ()
-  end
-  else begin
-    let c = H.compile ~cluster ~strategy ~widths a in
-    let topo, results =
-      Codegen.build_topology c.Compile.plan ~widths
-        ~powers:(H.node_powers cluster widths)
-        ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
-        ~latency:cluster.H.latency ()
-    in
-    match Datacutter.Sim_runtime.run_result ~faults ~policy topo with
-    | Error err -> write_failure c err
-    | Ok m ->
-        let t = m.Datacutter.Sim_runtime.makespan in
-        let bytes = Datacutter.Sim_runtime.total_bytes m in
-        Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@." t bytes;
-        Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
-        report_recovery m.Datacutter.Sim_runtime.recovery;
-        List.iter
-          (fun (name, v) ->
-            let s = Lang.Value.to_string v in
-            let s =
-              if String.length s > 200 then String.sub s 0 200 ^ "..." else s
-            in
-            Fmt.pr "  %s = %s@." name s)
-          (results ());
-        (match mjson with
-        | None -> ()
-        | Some path ->
-            let doc = metrics_doc () in
-            compile_metrics doc c;
-            Obs.Metrics.set_bool doc "ok" true;
-            Obs.Metrics.set doc "simulated"
-              (Datacutter.Sim_runtime.metrics_to_json m);
-            write_metrics path doc);
-        `Ok ()
-  end
+  let c = H.compile ~cluster ~strategy ~widths a in
+  let topo, results =
+    Codegen.build_topology c.Compile.plan ~widths
+      ~powers:(H.node_powers cluster widths)
+      ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
+      ~latency:cluster.H.latency ()
+  in
+  match Datacutter.Runtime.run_result ~backend ~faults ~policy topo with
+  | Error err -> write_failure c err
+  | Ok m ->
+      let open Datacutter in
+      (match backend with
+      | Runtime.Par ->
+          Fmt.pr "parallel run (%d domains): wall time %.4fs@."
+            (Array.fold_left ( + ) 0 widths)
+            m.Engine.elapsed_s
+      | Runtime.Sim ->
+          Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@."
+            m.Engine.elapsed_s (Runtime.total_bytes m));
+      Array.iteri
+        (fun s busy ->
+          Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
+            Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+            busy
+            Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+            m.Engine.stall_push_s.(s)
+            Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+            m.Engine.stall_pop_s.(s))
+        m.Engine.busy_s;
+      Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
+      report_recovery m.Engine.recovery;
+      List.iter
+        (fun (name, v) ->
+          let s = Lang.Value.to_string v in
+          let s =
+            if String.length s > 200 then String.sub s 0 200 ^ "..." else s
+          in
+          Fmt.pr "  %s = %s@." name s)
+        (results ());
+      (match mjson with
+      | None -> ()
+      | Some path ->
+          let doc = metrics_doc () in
+          compile_metrics doc c;
+          Obs.Metrics.set_bool doc "ok" true;
+          Obs.Metrics.set doc "runtime" (Runtime.metrics_to_json m);
+          write_metrics path doc);
+      `Ok ()
 
 (* --- command line --- *)
 
@@ -429,11 +405,26 @@ let metrics_arg =
           "Write machine-readable metrics JSON: predictions, per-segment \
            profile and (for run) the runtime's counters.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("sim", Datacutter.Runtime.Sim); ("par", Datacutter.Runtime.Par) ])
+        Datacutter.Runtime.Sim
+    & info [ "backend"; "b" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: $(b,sim) (discrete-event simulation of the \
+           cluster) or $(b,par) (real OCaml domains). Both run the same \
+           pipeline engine and report the same metrics.")
+
 let parallel_arg =
   Arg.(
     value & flag
     & info [ "parallel"; "p" ]
-        ~doc:"Execute on real domains instead of the simulated cluster.")
+        ~doc:
+          "Execute on real domains instead of the simulated cluster \
+           (alias for --backend par).")
 
 let faults_arg =
   Arg.(
@@ -522,13 +513,13 @@ let run_cmd =
     Term.(
       ret
         (with_logs
-           (fun (f, a, c, s, p, cl, tr, mj, (fl, wd, mr, cb)) ->
-             run f a c s p cl tr mj fl wd mr cb)
-        $ (const (fun f a c s p cl tr mj fl wd mr cb ->
-               (f, a, c, s, p, cl, tr, mj, (fl, wd, mr, cb)))
-          $ file_arg $ app_arg $ config_arg $ strategy_arg $ parallel_arg
-          $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg $ watchdog_arg
-          $ max_retries_arg $ call_budget_arg)))
+           (fun (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb)) ->
+             run f a c s b p cl tr mj fl wd mr cb)
+        $ (const (fun f a c s b p cl tr mj fl wd mr cb ->
+               (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb)))
+          $ file_arg $ app_arg $ config_arg $ strategy_arg $ backend_arg
+          $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
+          $ watchdog_arg $ max_retries_arg $ call_budget_arg)))
 
 let main =
   Cmd.group

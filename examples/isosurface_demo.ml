@@ -9,6 +9,11 @@
 open Core
 module H = Apps.Harness
 
+(* Unwrap a harness cell, rendering a runtime failure readably. *)
+let cell = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "run failed: %a" Datacutter.Supervisor.pp_run_error e
+
 let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
 
 let render depth color w h =
@@ -32,7 +37,7 @@ let () =
     cfg.Apps.Isosurface.grid_dim cfg.Apps.Isosurface.num_packets;
   let app = H.iso_app ~variant:`Zbuffer cfg in
   let widths = [| 2; 2; 1 |] in
-  let t, bytes, results, c = H.run_cell ~widths app in
+  let t, bytes, results, c = cell (H.run_cell ~widths app) in
   Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
   List.iter
     (fun (s : Boundary.segment) ->
@@ -46,7 +51,7 @@ let () =
   render depth color cfg.Apps.Isosurface.screen cfg.Apps.Isosurface.screen;
   (* cross-check with the active-pixels algorithm *)
   let app2 = H.iso_app ~variant:`Apix cfg in
-  let _, _, results2, _ = H.run_cell ~widths app2 in
+  let _, _, results2, _ = cell (H.run_cell ~widths app2) in
   let pixels = Apps.Isosurface.apix_pixels (List.assoc "afinal" results2) in
   let agree =
     List.for_all

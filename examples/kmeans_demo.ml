@@ -34,7 +34,7 @@ let () =
     incr round;
     let metrics, results = Compile.run_simulated compiled ~widths:[| 2; 2; 1 |] () in
     Fmt.pr "round %d: %.4fs simulated;" !round
-      metrics.Datacutter.Sim_runtime.makespan;
+      metrics.Datacutter.Engine.elapsed_s;
     let v = List.assoc "sums" results in
     let _, _, counts = Apps.Kmeans.sums_arrays v in
     Fmt.pr " cluster sizes: %a@." Fmt.(array ~sep:(any ", ") int) counts;

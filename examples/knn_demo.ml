@@ -12,6 +12,11 @@
 open Core
 module H = Apps.Harness
 
+(* Unwrap a harness cell, rendering a runtime failure readably. *)
+let cell = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "run failed: %a" Datacutter.Supervisor.pp_run_error e
+
 let describe label (c : Compile.t) =
   Fmt.pr "%s@." label;
   List.iter
@@ -37,8 +42,8 @@ let () =
   (* run Default vs Decomp on the standard cluster, as in Figure 9 *)
   Fmt.pr "Figure-9 style comparison on the standard cluster (2-2-1):@.";
   let widths = [| 2; 2; 1 |] in
-  let t_def, _, _, _ = H.run_cell ~strategy:Compile.Default ~widths app in
-  let t_dec, _, results, _ = H.run_cell ~strategy:Compile.Decomp ~widths app in
+  let t_def, _, _, _ = cell (H.run_cell ~strategy:Compile.Default ~widths app) in
+  let t_dec, _, results, _ = cell (H.run_cell ~strategy:Compile.Decomp ~widths app) in
   Fmt.pr "  Default: %.4fs   Decomp: %.4fs   (%.0f%% faster)@.@." t_def t_dec
     ((t_def -. t_dec) /. t_dec *. 100.0);
 

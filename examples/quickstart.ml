@@ -105,7 +105,7 @@ let () =
   (* 4. Run on the simulated cluster, 2 data + 2 compute nodes. *)
   let metrics, results = Compile.run_simulated compiled ~widths:[| 2; 2; 1 |] () in
   Fmt.pr "--- simulated 2-2-1 run ---@.%a@."
-    Datacutter.Sim_runtime.pp_metrics metrics;
+    Datacutter.Runtime.pp_metrics metrics;
 
   (* 5. Check against the sequential reference semantics. *)
   let reference = Compile.run_reference compiled in
@@ -128,5 +128,5 @@ let () =
   (* 6. The same filters also run on real domains. *)
   let par, par_results = Compile.run_parallel compiled ~widths:[| 2; 2; 1 |] () in
   Fmt.pr "--- parallel run on %d domains: %.3fs wall, matches: %b ---@." 5
-    par.Datacutter.Par_runtime.wall_time
+    par.Datacutter.Engine.elapsed_s
     (counts (List.assoc "histogram" par_results) = ref_)

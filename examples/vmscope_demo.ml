@@ -8,6 +8,11 @@
 open Core
 module H = Apps.Harness
 
+(* Unwrap a harness cell, rendering a runtime failure readably. *)
+let cell = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "run failed: %a" Datacutter.Supervisor.pp_run_error e
+
 let show_image r g b w h =
   (* luminance as ASCII *)
   let shades = " .:-=+*#%@" in
@@ -31,7 +36,7 @@ let run_query label cfg =
     cfg.Apps.Vmscope.qx0 cfg.Apps.Vmscope.qy0 cfg.Apps.Vmscope.qx1
     cfg.Apps.Vmscope.qy1 cfg.Apps.Vmscope.subsample ow oh;
   let app = H.vmscope_app cfg in
-  let t, bytes, results, c = H.run_cell ~widths:[| 2; 2; 1 |] app in
+  let t, bytes, results, c = cell (H.run_cell ~widths:[| 2; 2; 1 |] app) in
   Fmt.pr "decomposition %a, %.3fs simulated, %.0f KB over the network@."
     Costmodel.pp_assignment c.Compile.assignment t (bytes /. 1024.);
   let r, g, b = Apps.Vmscope.image_arrays (List.assoc "view" results) in

@@ -113,12 +113,14 @@ let compile ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     ~samples:(profile_samples app)
     ~final_copies:(Array.fold_left max 1 widths) ()
 
-(* Run one cell: compile for the configuration, execute on the simulated
-   cluster, return (makespan seconds, total bytes moved, results).
-   [faults]/[policy] forward to the simulator's fault-injection layer,
-   so table cells can also be produced under scripted degradation. *)
+(* Run one cell: compile for the configuration, execute on the chosen
+   backend (default: the simulated cluster), return (elapsed seconds,
+   total bytes moved, results).  [faults]/[policy] forward to the
+   runtime's fault-injection layer, so table cells can also be produced
+   under scripted degradation. *)
 let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
-    ?(layout_mode = `Auto) ?faults ?policy ~(widths : int array) (app : app) =
+    ?(layout_mode = `Auto) ?(backend = Datacutter.Runtime.Sim) ?faults ?policy
+    ~(widths : int array) (app : app) =
   let c = compile ~cluster ~strategy ~layout_mode ~widths app in
   let powers = node_powers cluster widths in
   let bandwidths = Array.make (Array.length widths - 1) cluster.bandwidth in
@@ -126,8 +128,11 @@ let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     Codegen.build_topology c.Compile.plan ~widths ~powers ~bandwidths
       ~latency:cluster.latency ()
   in
-  let metrics = Datacutter.Sim_runtime.run ?faults ?policy topo in
-  ( metrics.Datacutter.Sim_runtime.makespan,
-    Datacutter.Sim_runtime.total_bytes metrics,
-    results (),
-    c )
+  match Datacutter.Runtime.run_result ~backend ?faults ?policy topo with
+  | Error _ as e -> e
+  | Ok metrics ->
+      Ok
+        ( metrics.Datacutter.Engine.elapsed_s,
+          Datacutter.Runtime.total_bytes metrics,
+          results (),
+          c )

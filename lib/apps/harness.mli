@@ -59,18 +59,21 @@ val compile :
   app ->
   Compile.t
 
-(** Compile for the configuration and execute on the simulated cluster:
-    returns (makespan seconds, total bytes moved, sink results, the
-    compilation).  [faults] and [policy] forward to the simulator's
-    fault-injection layer ({!Datacutter.Fault}, {!Datacutter.Supervisor}),
-    so cells can be produced under scripted degradation; a failed run
-    raises {!Datacutter.Supervisor.Run_failed}. *)
+(** Compile for the configuration and execute on [backend] (default
+    [Sim], the simulated cluster): returns (elapsed seconds, total bytes
+    moved, sink results, the compilation), or the runtime's failure.
+    [faults] and [policy] forward to the runtime's fault-injection layer
+    ({!Datacutter.Fault}, {!Datacutter.Supervisor}), so cells can be
+    produced under scripted degradation. *)
 val run_cell :
   ?cluster:cluster ->
   ?strategy:Compile.strategy ->
   ?layout_mode:Packing.mode ->
+  ?backend:Datacutter.Runtime.backend ->
   ?faults:Datacutter.Fault.plan ->
   ?policy:Datacutter.Supervisor.policy ->
   widths:int array ->
   app ->
-  float * float * (string * Value.t) list * Compile.t
+  ( float * float * (string * Value.t) list * Compile.t,
+    Datacutter.Supervisor.run_error )
+  result

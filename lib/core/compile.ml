@@ -180,9 +180,10 @@ let compile ?(file = "<input>") ~(source : string)
     plan;
   }
 
-(* Run the compiled pipeline on the simulated cluster and return the
+(* Run the compiled pipeline on the chosen backend and return the
    metrics together with the sink's merged reduction globals. *)
-let run_simulated (c : t) ~(widths : int array) ?(latency = 0.0) () =
+let execute (c : t) ?(backend = Runtime.Sim) ?(latency = 0.0) ?faults ?policy
+    ~(widths : int array) () =
   let powers = Array.map (fun u -> u.Costmodel.power) c.pipeline.Costmodel.units in
   let bandwidths =
     Array.map (fun l -> l.Costmodel.bandwidth) c.pipeline.Costmodel.links
@@ -190,20 +191,19 @@ let run_simulated (c : t) ~(widths : int array) ?(latency = 0.0) () =
   let topo, results =
     Codegen.build_topology c.plan ~widths ~powers ~bandwidths ~latency ()
   in
-  let metrics = Sim_runtime.run topo in
-  (metrics, results ())
+  match Runtime.run_result ~backend ?faults ?policy topo with
+  | Error _ as e -> e
+  | Ok metrics -> Ok (metrics, results ())
 
-(* Run on real domains (wall-clock). *)
+let unwrap = function
+  | Ok v -> v
+  | Error e -> raise (Supervisor.Run_failed e)
+
+let run_simulated (c : t) ~(widths : int array) ?(latency = 0.0) () =
+  unwrap (execute c ~backend:Runtime.Sim ~latency ~widths ())
+
 let run_parallel (c : t) ~(widths : int array) () =
-  let powers = Array.map (fun u -> u.Costmodel.power) c.pipeline.Costmodel.units in
-  let bandwidths =
-    Array.map (fun l -> l.Costmodel.bandwidth) c.pipeline.Costmodel.links
-  in
-  let topo, results =
-    Codegen.build_topology c.plan ~widths ~powers ~bandwidths ()
-  in
-  let metrics = Par_runtime.run topo in
-  (metrics, results ())
+  unwrap (execute c ~backend:Runtime.Par ~widths ())
 
 (* Reference (sequential) execution of the same program and inputs,
    returning the reduction globals for correctness comparison. *)

@@ -59,19 +59,32 @@ val compile :
   unit ->
   t
 
-(** Execute on the simulated cluster (unit powers and link bandwidths
-    from the compile-time pipeline); returns metrics and the sink's
-    merged reduction globals. *)
+(** Execute the compiled pipeline on a {!Datacutter.Runtime} backend
+    (default [Sim]: unit powers and link bandwidths from the
+    compile-time pipeline); returns the unified metrics and the sink's
+    merged reduction globals.  [latency] only affects the simulated
+    links. *)
+val execute :
+  t ->
+  ?backend:Runtime.backend ->
+  ?latency:float ->
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  widths:int array ->
+  unit ->
+  (Engine.metrics * (string * Value.t) list, Supervisor.run_error) result
+
+(** Legacy conveniences over {!execute}: run on the simulator / on real
+    domains, raising {!Supervisor.Run_failed} on failure. *)
 val run_simulated :
   t ->
   widths:int array ->
   ?latency:float ->
   unit ->
-  Sim_runtime.metrics * (string * Value.t) list
+  Engine.metrics * (string * Value.t) list
 
-(** Execute on real OCaml 5 domains (wall-clock). *)
 val run_parallel :
-  t -> widths:int array -> unit -> Par_runtime.metrics * (string * Value.t) list
+  t -> widths:int array -> unit -> Engine.metrics * (string * Value.t) list
 
 (** Sequential reference execution of the same program and inputs,
     returning the reduction globals for correctness comparison. *)

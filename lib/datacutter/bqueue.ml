@@ -1,0 +1,87 @@
+(* Bounded blocking queue (mutex + condition variables).  Producers
+   block on a full queue, consumers on an empty one; both report the
+   seconds they spent blocked so the runtime can account stalls.  A
+   shared stop flag aborts every waiter. *)
+
+exception Aborted
+
+type 'a t = {
+  items : 'a Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  capacity : int;
+  stop : bool Atomic.t;
+  occupancy : Obs.Hist.t;  (* length after each push; guarded by mutex *)
+}
+
+let create ~stop capacity =
+  {
+    items = Queue.create ();
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    capacity;
+    stop;
+    occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
+  }
+
+let push q x =
+  let t0 = Obs.Clock.elapsed_s () in
+  Mutex.lock q.mutex;
+  while Queue.length q.items >= q.capacity && not (Atomic.get q.stop) do
+    Condition.wait q.not_full q.mutex
+  done;
+  if Atomic.get q.stop then begin
+    Mutex.unlock q.mutex;
+    raise Aborted
+  end;
+  let blocked = Obs.Clock.elapsed_s () -. t0 in
+  Queue.push x q.items;
+  Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
+  Condition.signal q.not_empty;
+  Mutex.unlock q.mutex;
+  blocked
+
+let pop q =
+  let t0 = Obs.Clock.elapsed_s () in
+  Mutex.lock q.mutex;
+  while Queue.is_empty q.items && not (Atomic.get q.stop) do
+    Condition.wait q.not_empty q.mutex
+  done;
+  if Atomic.get q.stop then begin
+    Mutex.unlock q.mutex;
+    raise Aborted
+  end;
+  let blocked = Obs.Clock.elapsed_s () -. t0 in
+  let x = Queue.pop q.items in
+  Condition.signal q.not_full;
+  Mutex.unlock q.mutex;
+  (x, blocked)
+
+let length q =
+  Mutex.lock q.mutex;
+  let n = Queue.length q.items in
+  Mutex.unlock q.mutex;
+  n
+
+let try_pop q =
+  Mutex.lock q.mutex;
+  let x =
+    if Queue.is_empty q.items then None
+    else begin
+      let x = Queue.pop q.items in
+      Condition.signal q.not_full;
+      Some x
+    end
+  in
+  Mutex.unlock q.mutex;
+  x
+
+let wake q =
+  Mutex.lock q.mutex;
+  Condition.broadcast q.not_empty;
+  Condition.broadcast q.not_full;
+  Mutex.unlock q.mutex
+
+let occupancy q = q.occupancy

@@ -1,0 +1,32 @@
+(** Bounded blocking queue for the domain backend: backpressure like
+    DataCutter's fixed buffer pool, with occupancy and blocked-seconds
+    instrumentation built in. *)
+
+(** Raised by blocked [push]/[pop] once the shared stop flag is set;
+    never escapes the runtime. *)
+exception Aborted
+
+type 'a t
+
+(** [create ~stop capacity] — all queues of one run share the [stop]
+    abort flag. *)
+val create : stop:bool Atomic.t -> int -> 'a t
+
+(** Blocking push; returns the seconds spent blocked (lock acquisition
+    plus condition waits).  @raise Aborted once [stop] is set. *)
+val push : 'a t -> 'a -> float
+
+(** Blocking pop; returns the item and the seconds spent blocked.
+    @raise Aborted once [stop] is set. *)
+val pop : 'a t -> 'a * float
+
+val length : 'a t -> int
+
+(** Non-blocking pop, for best-effort drains during teardown. *)
+val try_pop : 'a t -> 'a option
+
+(** Wake every waiter so it can observe the stop flag. *)
+val wake : 'a t -> unit
+
+(** Length after each push. *)
+val occupancy : 'a t -> Obs.Hist.t

@@ -1,0 +1,703 @@
+(* The backend-agnostic core of the filter-stream execution model.
+
+   One protocol, two schedulers: this module owns everything the
+   simulator and the domain executor used to duplicate — the routing
+   mask, the per-stage EOS drain barrier, the retry/retire/re-route
+   state machine, recovery accounting and the unified metrics record —
+   and exposes it as pure decisions over shared state.  Backends plug
+   in through the [executor] record (clock, sleep, send, queue length,
+   wake) and keep only their scheduling mechanism: a time-ordered event
+   heap or one domain per copy.
+
+   Shared state is atomic where more than one domain can touch it
+   (alive masks, marker counts, the barrier, lifecycle states, the
+   progress counter); the single-threaded simulator pays nothing for
+   that.  [attempts] and [rr] are owner-only by construction: only the
+   copy's own domain (or the one event-loop thread) mutates them. *)
+
+type backend = Sim | Par
+
+let backend_name = function Sim -> "sim" | Par -> "par"
+
+type item =
+  | Data of Filter.buffer
+  | Final of Filter.buffer
+  | Marker
+
+type copy = {
+  stage : int;
+  index : int;
+  fstate : Fault.state;
+  alive : bool Atomic.t;
+  markers : int Atomic.t;
+  at_quota : bool Atomic.t;
+  mutable attempts : int;
+  mutable rr : int;
+  lifecycle : int Atomic.t;
+  call_start : float Atomic.t;
+  exited : bool Atomic.t;
+}
+
+(* Copy lifecycle states (for the watchdog and stall reports). *)
+let st_starting = 0
+let st_computing = 1
+let st_blocked_push = 2
+let st_blocked_pop = 3
+let st_idle = 4
+let st_done = 5
+
+let state_name = function
+  | 0 -> "starting"
+  | 1 -> "computing"
+  | 2 -> "blocked_push"
+  | 3 -> "blocked_pop"
+  | 4 -> "running"
+  | 5 -> "done"
+  | _ -> "unknown"
+
+type executor = {
+  exec_backend : backend;
+  exec_now : unit -> float;
+  exec_sleep : float -> unit;
+  exec_send : src:copy -> dst_stage:int -> dst_copy:int -> item -> unit;
+  exec_queue_len : stage:int -> copy:int -> int;
+  exec_wake : unit -> unit;
+}
+
+type t = {
+  topo : Topology.t;
+  stages : Topology.stage array;
+  n_stages : int;
+  pol : Supervisor.policy;
+  tracing : bool;
+  copies : copy array array;
+  at_eos : int Atomic.t array;   (* per-stage drain barrier *)
+  progress : int Atomic.t;
+  rec_counters : Supervisor.recovery;
+  rec_mu : Mutex.t;
+  stop : bool Atomic.t;
+  abort_err : Supervisor.run_error option Atomic.t;
+  (* accounting grids, one writer per cell (the owning copy) *)
+  busy : float array array;
+  items_grid : int array array;
+  items_out : int array array;
+  bytes_out : float array array;
+  queue_wait : float array array;
+  stall_pop : float array array;
+  stall_push : float array array;
+  mutable exec : executor option;
+}
+
+let create ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
+    ?queue_capacity (topo : Topology.t) =
+  match Supervisor.validate ?queue_capacity topo with
+  | Error e -> Error e
+  | Ok () ->
+      let stages = Array.of_list topo.Topology.stages in
+      let per_copy mk =
+        Array.map
+          (fun (st : Topology.stage) ->
+            Array.init st.Topology.width (fun _ -> mk ()))
+          stages
+      in
+      let tracing = Obs.Trace.is_enabled () in
+      if tracing then Topology.announce_threads topo;
+      Ok
+        {
+          topo;
+          stages;
+          n_stages = Array.length stages;
+          pol = policy;
+          tracing;
+          copies =
+            Array.mapi
+              (fun s (st : Topology.stage) ->
+                Array.init st.Topology.width (fun k ->
+                    {
+                      stage = s;
+                      index = k;
+                      fstate = Fault.state_for faults ~stage:s ~copy:k;
+                      alive = Atomic.make true;
+                      markers = Atomic.make 0;
+                      at_quota = Atomic.make false;
+                      attempts = 0;
+                      rr = k;
+                      lifecycle = Atomic.make st_starting;
+                      call_start = Atomic.make 0.0;
+                      exited = Atomic.make false;
+                    }))
+              stages;
+          at_eos = Array.map (fun _ -> Atomic.make 0) stages;
+          progress = Atomic.make 0;
+          rec_counters = Supervisor.fresh_recovery ();
+          rec_mu = Mutex.create ();
+          stop = Atomic.make false;
+          abort_err = Atomic.make None;
+          busy = per_copy (fun () -> 0.0);
+          items_grid = per_copy (fun () -> 0);
+          items_out = per_copy (fun () -> 0);
+          bytes_out = per_copy (fun () -> 0.0);
+          queue_wait = per_copy (fun () -> 0.0);
+          stall_pop = per_copy (fun () -> 0.0);
+          stall_push = per_copy (fun () -> 0.0);
+          exec = None;
+        }
+
+let attach t exec = t.exec <- Some exec
+
+let executor t =
+  match t.exec with
+  | Some e -> e
+  | None -> invalid_arg "Engine: no executor attached"
+
+let policy t = t.pol
+let topology t = t.topo
+let n_stages t = t.n_stages
+let width t s = t.stages.(s).Topology.width
+let stage_name t s = t.stages.(s).Topology.stage_name
+let copy_at t ~stage ~copy = t.copies.(stage).(copy)
+let is_sink_stage t s = s = t.n_stages - 1
+
+type instance = I_source of Filter.source | I_filter of Filter.t
+
+let instantiate t (c : copy) =
+  match t.stages.(c.stage).Topology.role with
+  | Topology.Source mk -> I_source (mk c.index)
+  | Topology.Inner mk | Topology.Sink mk -> I_filter (mk c.index)
+
+(* --- recovery and abort --- *)
+
+let bump t f =
+  Mutex.lock t.rec_mu;
+  f t.rec_counters;
+  Mutex.unlock t.rec_mu
+
+let recovery t = t.rec_counters
+
+let abort t err =
+  ignore (Atomic.compare_and_set t.abort_err None (Some err));
+  Atomic.set t.stop true;
+  (executor t).exec_wake ()
+
+let aborting t = Atomic.get t.stop
+let abort_error t = Atomic.get t.abort_err
+let stop_flag t = t.stop
+
+let stage_dead_error t ~stage ~error =
+  Supervisor.Stage_dead
+    { stage; stage_name = t.stages.(stage).Topology.stage_name; error }
+
+(* --- routing (the live-copy mask) --- *)
+
+let stage_has_survivor t s =
+  Array.exists (fun c -> Atomic.get c.alive) t.copies.(s)
+
+let note_out t (c : copy) it =
+  match it with
+  | Data b ->
+      t.items_out.(c.stage).(c.index) <- t.items_out.(c.stage).(c.index) + 1;
+      t.bytes_out.(c.stage).(c.index) <-
+        t.bytes_out.(c.stage).(c.index) +. float_of_int (Filter.buffer_size b)
+  | Final b ->
+      t.bytes_out.(c.stage).(c.index) <-
+        t.bytes_out.(c.stage).(c.index) +. float_of_int (Filter.buffer_size b)
+  | Marker -> ()
+
+let send_downstream t (c : copy) (it : item) =
+  if c.stage >= t.n_stages - 1 then Ok ()
+  else
+    let exec = executor t in
+    let dst = t.copies.(c.stage + 1) in
+    match it with
+    | Marker ->
+        (* broadcast: dead copies still count markers *)
+        Array.iter
+          (fun (d : copy) ->
+            exec.exec_send ~src:c ~dst_stage:d.stage ~dst_copy:d.index it)
+          dst;
+        Ok ()
+    | Data _ | Final _ ->
+        let w = Array.length dst in
+        let rec pick tries =
+          if tries >= w then
+            Error
+              (stage_dead_error t ~stage:(c.stage + 1)
+                 ~error:"no live copies to route to")
+          else begin
+            let j = c.rr mod w in
+            c.rr <- c.rr + 1;
+            if Atomic.get dst.(j).alive then Ok j else pick (tries + 1)
+          end
+        in
+        Result.map
+          (fun j ->
+            note_out t c it;
+            exec.exec_send ~src:c ~dst_stage:(c.stage + 1) ~dst_copy:j it)
+          (pick 0)
+
+let reroute t (c : copy) (it : item) =
+  let w = Array.length t.copies.(c.stage) in
+  let rec pick tries j =
+    if tries >= w then
+      Error
+        (stage_dead_error t ~stage:c.stage
+           ~error:"no live copies to re-route to")
+    else if j <> c.index && Atomic.get t.copies.(c.stage).(j).alive then Ok j
+    else pick (tries + 1) ((j + 1) mod w)
+  in
+  Result.map
+    (fun j ->
+      bump t (fun r -> r.Supervisor.rerouted <- r.rerouted + 1);
+      (executor t).exec_send ~src:c ~dst_stage:c.stage ~dst_copy:j it)
+    (pick 0 ((c.index + 1) mod w))
+
+(* --- the end-of-stream drain barrier --- *)
+
+let upstream_width t (c : copy) =
+  if c.stage = 0 then 0 else t.stages.(c.stage - 1).Topology.width
+
+let note_marker _t (c : copy) = Atomic.incr c.markers
+let markers_seen (c : copy) = Atomic.get c.markers
+let at_marker_quota t (c : copy) = markers_seen c >= upstream_width t c
+
+let count_eos t (c : copy) =
+  if Atomic.get c.at_quota then `Already
+  else begin
+    Atomic.set c.at_quota true;
+    let n = 1 + Atomic.fetch_and_add t.at_eos.(c.stage) 1 in
+    if n = width t c.stage then `Stage_drained else `Counted
+  end
+
+let barrier_released t s = Atomic.get t.at_eos.(s) >= width t s
+
+(* --- the supervisor state machine --- *)
+
+let on_crash t (c : copy) =
+  bump t (fun r -> r.Supervisor.crashes <- r.crashes + 1);
+  if c.attempts >= t.pol.Supervisor.max_retries then `Give_up
+  else begin
+    c.attempts <- c.attempts + 1;
+    bump t (fun r -> r.Supervisor.retries <- r.retries + 1);
+    `Retry (t.pol.Supervisor.backoff_s *. (2.0 ** float_of_int (c.attempts - 1)))
+  end
+
+let retire t (c : copy) ~error =
+  bump t (fun r -> r.Supervisor.retired <- r.retired + 1);
+  Atomic.set c.alive false;
+  (* A dead stage cannot complete the run — except a source stage that
+     already produced: its stream truncates and the rest drains. *)
+  if
+    (not (stage_has_survivor t c.stage))
+    && (c.stage > 0 || t.items_grid.(c.stage).(c.index) = 0)
+  then
+    `Fatal
+      (stage_dead_error t ~stage:c.stage ~error:(Printexc.to_string error))
+  else `Continue
+
+(* --- lifecycle, accounting, the watchdog --- *)
+
+let set_lifecycle (c : copy) st = Atomic.set c.lifecycle st
+let mark_exited (c : copy) = Atomic.set c.exited true
+
+let all_exited t =
+  Array.for_all (Array.for_all (fun c -> Atomic.get c.exited)) t.copies
+
+let note_progress t = Atomic.incr t.progress
+
+let note_busy t (c : copy) s =
+  t.busy.(c.stage).(c.index) <- t.busy.(c.stage).(c.index) +. s
+
+let note_item_done t (c : copy) =
+  t.items_grid.(c.stage).(c.index) <- t.items_grid.(c.stage).(c.index) + 1
+
+let items_done t (c : copy) = t.items_grid.(c.stage).(c.index)
+
+let note_queue_wait t (c : copy) s =
+  t.queue_wait.(c.stage).(c.index) <- t.queue_wait.(c.stage).(c.index) +. s
+
+let note_stall_pop t (c : copy) s =
+  t.stall_pop.(c.stage).(c.index) <- t.stall_pop.(c.stage).(c.index) +. s
+
+let note_stall_push t (c : copy) s =
+  t.stall_push.(c.stage).(c.index) <- t.stall_push.(c.stage).(c.index) +. s
+
+let timed_call t (c : copy) ~name f =
+  let exec = executor t in
+  set_lifecycle c st_computing;
+  let t0 = exec.exec_now () in
+  Atomic.set c.call_start t0;
+  let finish () =
+    let t1 = exec.exec_now () in
+    note_busy t c (t1 -. t0);
+    if t.tracing then
+      Obs.Trace.emit
+        (Obs.Trace.Span
+           {
+             name;
+             cat = backend_name exec.exec_backend;
+             ts = t0;
+             dur = t1 -. t0;
+             tid = Topology.copy_tid t.topo ~stage:c.stage ~copy:c.index;
+             args = [];
+           });
+    set_lifecycle c st_idle;
+    note_progress t;
+    match t.pol.Supervisor.call_budget_s with
+    | Some b when t1 -. t0 > b ->
+        bump t (fun r -> r.Supervisor.budget_exceeded <- r.budget_exceeded + 1)
+    | _ -> ()
+  in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+let lifecycle_description t (c : copy) =
+  let st = Atomic.get c.lifecycle in
+  let base = state_name st in
+  let base =
+    if st = st_computing then
+      Printf.sprintf "%s (%.3fs in call)" base
+        ((executor t).exec_now () -. Atomic.get c.call_start)
+    else base
+  in
+  if Atomic.get c.alive then base else "retired/" ^ base
+
+let copy_report ?state_of t =
+  let exec = executor t in
+  let state_of =
+    match state_of with
+    | Some f -> f
+    | None ->
+        fun ~stage ~copy -> lifecycle_description t t.copies.(stage).(copy)
+  in
+  List.concat
+    (List.init t.n_stages (fun s ->
+         List.init (width t s) (fun k ->
+             {
+               Supervisor.cr_stage = s;
+               cr_copy = k;
+               cr_label = Topology.copy_label t.topo ~stage:s ~copy:k;
+               cr_state = state_of ~stage:s ~copy:k;
+               cr_items = t.items_grid.(s).(k);
+               cr_queue_len = exec.exec_queue_len ~stage:s ~copy:k;
+             })))
+
+(* Trip when the progress counter stands still for the threshold while
+   every unfinished copy is blocked on a queue, or stuck inside a call
+   for longer than the budget (the threshold itself if no budget is
+   set) — a long legitimate computation holds the watchdog off. *)
+let watchdog_loop t ~ms =
+  let exec = executor t in
+  let threshold = float_of_int ms /. 1000.0 in
+  let tick = Float.max 0.002 (Float.min 0.05 (threshold /. 4.0)) in
+  let overdue_budget =
+    match t.pol.Supervisor.call_budget_s with
+    | Some b -> b
+    | None -> threshold
+  in
+  let last_progress = ref (Atomic.get t.progress) in
+  let last_change = ref (exec.exec_now ()) in
+  let rec loop () =
+    if aborting t || all_exited t then ()
+    else begin
+      exec.exec_sleep tick;
+      let p = Atomic.get t.progress in
+      let now = exec.exec_now () in
+      if p <> !last_progress then begin
+        last_progress := p;
+        last_change := now
+      end;
+      if now -. !last_change >= threshold then begin
+        let all_blocked = ref true in
+        let any_live = ref false in
+        Array.iter
+          (Array.iter (fun (c : copy) ->
+               let st = Atomic.get c.lifecycle in
+               if st <> st_done then begin
+                 any_live := true;
+                 if st = st_blocked_push || st = st_blocked_pop then ()
+                 else if
+                   st = st_computing
+                   && now -. Atomic.get c.call_start > overdue_budget
+                 then ()
+                 else all_blocked := false
+               end))
+          t.copies;
+        if !any_live && !all_blocked then begin
+          bump t (fun r ->
+              r.Supervisor.watchdog_trips <- r.watchdog_trips + 1);
+          let report = copy_report t in
+          if t.tracing then
+            Obs.Trace.emit
+              (Obs.Trace.Instant
+                 {
+                   name = "watchdog_trip";
+                   cat = backend_name exec.exec_backend;
+                   ts = now;
+                   tid = 0;
+                   args =
+                     List.map
+                       (fun cr ->
+                         (cr.Supervisor.cr_label, Obs.Trace.Astr cr.cr_state))
+                       report;
+                 });
+          Logs.err (fun m ->
+              m "watchdog: no progress for %.3fs; %d copies blocked"
+                (now -. !last_change) (List.length report));
+          abort t (Supervisor.Stalled { after_s = now -. !last_change; report })
+        end
+        else loop ()
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+(* --- backend utilities --- *)
+
+module Ring = struct
+  type nonrec t = {
+    arr : item array;
+    cap : int;
+    mutable len : int;
+    mutable pos : int;
+    mutable total : int;
+  }
+
+  let create ~retention =
+    let cap = max 0 retention in
+    { arr = Array.make (max cap 1) Marker; cap; len = 0; pos = 0; total = 0 }
+
+  let push r it =
+    if r.cap > 0 then begin
+      r.arr.(r.pos) <- it;
+      r.pos <- (r.pos + 1) mod r.cap;
+      if r.len < r.cap then r.len <- r.len + 1
+    end;
+    r.total <- r.total + 1
+
+  let items r =
+    List.init r.len (fun i ->
+        r.arr.((r.pos - r.len + i + (2 * r.cap)) mod (max r.cap 1)))
+
+  let truncated r = r.total > r.len
+end
+
+module Timeline = struct
+  type 'a t = { mutable arr : (float * 'a) array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let push h time v =
+    if h.len = Array.length h.arr then begin
+      let cap = max 16 (2 * Array.length h.arr) in
+      let arr = Array.make cap (time, v) in
+      Array.blit h.arr 0 arr 0 h.len;
+      h.arr <- arr
+    end;
+    h.arr.(h.len) <- (time, v);
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      fst h.arr.(p) > fst h.arr.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.arr.(p) in
+      h.arr.(p) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.arr.(l) < fst h.arr.(!smallest) then smallest := l;
+        if r < h.len && fst h.arr.(r) < fst h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+(* --- unified metrics --- *)
+
+type link_metrics = {
+  lm_bytes : float;
+  lm_transfers : int;
+  lm_busy : float;
+  lm_wait : float;
+}
+
+type metrics = {
+  backend : backend;
+  elapsed_s : float;
+  stage_names : string array;
+  busy_s : float array array;
+  items : int array array;
+  items_out : int array array;
+  bytes_out : float array array;
+  queue_wait_s : float array array;
+  stall_pop_s : float array array;
+  stall_push_s : float array array;
+  queue_occupancy : Obs.Hist.t array array option;
+  link_stats : link_metrics array option;
+  recovery : Supervisor.recovery;
+}
+
+let metrics t ~elapsed_s ?queue_occupancy ?link_stats () =
+  {
+    backend = (executor t).exec_backend;
+    elapsed_s;
+    stage_names = Array.map (fun s -> s.Topology.stage_name) t.stages;
+    busy_s = t.busy;
+    items = t.items_grid;
+    items_out = t.items_out;
+    bytes_out = t.bytes_out;
+    queue_wait_s = t.queue_wait;
+    stall_pop_s = t.stall_pop;
+    stall_push_s = t.stall_push;
+    queue_occupancy;
+    link_stats;
+    recovery = t.rec_counters;
+  }
+
+let total_bytes m =
+  match m.link_stats with
+  | Some ls -> Array.fold_left (fun a l -> a +. l.lm_bytes) 0.0 ls
+  | None ->
+      Array.fold_left
+        (fun a row -> Array.fold_left ( +. ) a row)
+        0.0 m.bytes_out
+
+let metrics_to_json m =
+  let floats a =
+    Obs.Json.List (Array.to_list (Array.map (fun f -> Obs.Json.Float f) a))
+  in
+  let ints a =
+    Obs.Json.List (Array.to_list (Array.map (fun i -> Obs.Json.Int i) a))
+  in
+  let stages =
+    Array.to_list
+      (Array.mapi
+         (fun s name ->
+           let fields =
+             [
+               ("name", Obs.Json.Str name);
+               ("busy_s", floats m.busy_s.(s));
+               ("items", ints m.items.(s));
+               ("items_out", ints m.items_out.(s));
+               ("bytes_out", floats m.bytes_out.(s));
+               ("queue_wait_s", floats m.queue_wait_s.(s));
+               ("stall_pop_s", floats m.stall_pop_s.(s));
+               ("stall_push_s", floats m.stall_push_s.(s));
+             ]
+           in
+           let fields =
+             match m.queue_occupancy with
+             | Some occ ->
+                 fields
+                 @ [
+                     ( "queue_occupancy",
+                       Obs.Json.List
+                         (Array.to_list (Array.map Obs.Hist.to_json occ.(s)))
+                     );
+                   ]
+             | None -> fields
+           in
+           Obs.Json.Obj fields)
+         m.stage_names)
+  in
+  let base =
+    [
+      ("backend", Obs.Json.Str (backend_name m.backend));
+      ("elapsed_s", Obs.Json.Float m.elapsed_s);
+      ("total_bytes", Obs.Json.Float (total_bytes m));
+      ("stages", Obs.Json.List stages);
+    ]
+  in
+  let links =
+    match m.link_stats with
+    | None -> []
+    | Some ls ->
+        [
+          ( "links",
+            Obs.Json.List
+              (Array.to_list
+                 (Array.map
+                    (fun lm ->
+                      Obs.Json.Obj
+                        [
+                          ("bytes", Obs.Json.Float lm.lm_bytes);
+                          ("transfers", Obs.Json.Int lm.lm_transfers);
+                          ("busy_s", Obs.Json.Float lm.lm_busy);
+                          ("wait_s", Obs.Json.Float lm.lm_wait);
+                        ])
+                    ls)) );
+        ]
+  in
+  Obs.Json.Obj
+    (base @ links @ [ ("recovery", Supervisor.recovery_to_json m.recovery) ])
+
+let pp_metrics ppf m =
+  Fmt.pf ppf "%s: elapsed=%.6fs@\n" (backend_name m.backend) m.elapsed_s;
+  Array.iteri
+    (fun s name ->
+      Fmt.pf ppf
+        "  stage %-12s busy=[%a] items=[%a] wait=[%a] stall_pop=[%a] \
+         stall_push=[%a]@\n"
+        name
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        m.busy_s.(s)
+        Fmt.(array ~sep:(any "; ") int)
+        m.items.(s)
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        m.queue_wait_s.(s)
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        m.stall_pop_s.(s)
+        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+        m.stall_push_s.(s))
+    m.stage_names;
+  (match m.link_stats with
+  | None -> ()
+  | Some ls ->
+      Array.iteri
+        (fun i lm ->
+          Fmt.pf ppf
+            "  link %d: %.0f bytes in %d transfers, busy %.4fs, wait %.4fs@\n"
+            i lm.lm_bytes lm.lm_transfers lm.lm_busy lm.lm_wait)
+        ls);
+  (match m.queue_occupancy with
+  | None -> ()
+  | Some occ ->
+      Array.iteri
+        (fun s hists ->
+          Array.iteri
+            (fun k h ->
+              if Obs.Hist.count h > 0 then
+                Fmt.pf ppf "  queue %d/%d: mean occupancy %.2f, max %.0f@\n" s
+                  k (Obs.Hist.mean h) (Obs.Hist.max_value h))
+            hists)
+        occ);
+  if Supervisor.recovery_total m.recovery > 0 then
+    Fmt.pf ppf "  recovery: %a@\n" Supervisor.pp_recovery m.recovery

@@ -1,0 +1,297 @@
+(** The backend-agnostic core of the filter-stream execution model.
+
+    Both executors — the discrete-event simulator ({!Sim_runtime}) and
+    the OCaml 5 domain scheduler ({!Par_runtime}) — run the *same*
+    protocol: stage copies exchange data buffers, end-of-stream payloads
+    and markers; data round-robins over the live copies of the next
+    stage; a per-stage drain barrier gates finalization; a supervisor
+    retries, retires and re-routes failing copies.  This module owns all
+    of that protocol — topology instantiation, the routing mask, the EOS
+    barrier, the retry/retire/re-route state machine, recovery counters,
+    and the unified metrics record — leaving each backend a pure
+    scheduler of a couple hundred lines.
+
+    {2 The executor signature}
+
+    A backend plugs in by {!attach}ing an {!executor}:
+
+    - [exec_now] — the backend's clock (simulated seconds or wall-clock);
+    - [exec_sleep] — how to spend time: the domain backend really
+      sleeps; the discrete-event backend advances its virtual clock
+      instead (it applies [`Retry of delay] decisions by scheduling an
+      event, so its [exec_sleep] is a no-op);
+    - [exec_send] — how to move one item from [src] into the input
+      channel of copy [dst_copy] of [dst_stage]: a bounded blocking
+      queue push, or a heap-scheduled arrival event with modeled link
+      time.  The implementation must charge any blocking to the sender
+      ({!note_stall_push});
+    - [exec_queue_len] — input-channel length, for stall reports;
+    - [exec_wake] — wake every blocked copy so it can observe
+      {!aborting} (a no-op for single-threaded backends).
+
+    Spawning and stepping copies stays with the backend (domains vs. an
+    event loop); everything the copies *decide* comes from here.
+
+    Decision/mechanism split: functions here never block and never
+    schedule — they update shared protocol state and return a decision
+    ([`Retry of delay], [`Stage_drained], [`Fatal err], a route, ...)
+    that the backend applies with its own mechanism.  Shared state uses
+    atomics, which the domain backend needs and the single-threaded
+    simulator tolerates for free. *)
+
+type backend = Sim | Par
+
+val backend_name : backend -> string
+
+(** The item protocol, identical on every backend: [Data] buffers
+    stream through the pipeline, [Final] carries a copy's partial
+    result emitted at end-of-stream, [Marker] signals one upstream
+    copy's stream has ended (markers are broadcast, data round-robins). *)
+type item =
+  | Data of Filter.buffer
+  | Final of Filter.buffer
+  | Marker
+
+(** Shared per-copy protocol state.  Backends may read any field;
+    [attempts] and [rr] are owner-only (mutated by the copy's own
+    domain / the event loop), the atomics are cross-domain. *)
+type copy = {
+  stage : int;
+  index : int;
+  fstate : Fault.state;          (** scripted-fault injection state *)
+  alive : bool Atomic.t;         (** cleared on retirement *)
+  markers : int Atomic.t;        (** upstream markers consumed *)
+  at_quota : bool Atomic.t;      (** counted into the drain barrier *)
+  mutable attempts : int;        (** supervisor retries consumed *)
+  mutable rr : int;              (** round-robin cursor downstream *)
+  lifecycle : int Atomic.t;      (** {!st_starting} .. {!st_done} *)
+  call_start : float Atomic.t;   (** start of the in-flight call *)
+  exited : bool Atomic.t;        (** the copy's body returned *)
+}
+
+type t
+
+type executor = {
+  exec_backend : backend;
+  exec_now : unit -> float;
+  exec_sleep : float -> unit;
+  exec_send : src:copy -> dst_stage:int -> dst_copy:int -> item -> unit;
+  exec_queue_len : stage:int -> copy:int -> int;
+  exec_wake : unit -> unit;
+}
+
+(** Validate the topology ({!Supervisor.validate}) and build the shared
+    protocol state: per-copy cells, the per-stage EOS barrier, recovery
+    counters and accounting grids.  Announces the topology's virtual
+    threads when tracing is enabled. *)
+val create :
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  ?queue_capacity:int ->
+  Topology.t ->
+  (t, Supervisor.run_error) result
+
+(** Plug the backend in.  Must be called before any function that needs
+    the executor ({!send_downstream}, {!timed_call}, {!copy_report},
+    {!watchdog_loop}). *)
+val attach : t -> executor -> unit
+
+val policy : t -> Supervisor.policy
+val topology : t -> Topology.t
+val n_stages : t -> int
+val width : t -> int -> int
+val stage_name : t -> int -> string
+val copy_at : t -> stage:int -> copy:int -> copy
+val is_sink_stage : t -> int -> bool
+
+(** A fresh filter/source instance for one copy (also used to rebuild a
+    crashed copy before replay). *)
+type instance = I_source of Filter.source | I_filter of Filter.t
+
+val instantiate : t -> copy -> instance
+
+(** {2 Routing (the live-copy mask)} *)
+
+(** Send one item downstream through the executor: [Data]/[Final]
+    round-robin over the *surviving* copies of the next stage
+    (advancing [src.rr], accounting [items_out]/[bytes_out]), [Marker]
+    broadcasts to every copy — dead ones still count markers.  A no-op
+    for the sink stage.  [Error] when no live downstream copy remains:
+    the run cannot complete. *)
+val send_downstream : t -> copy -> item -> (unit, Supervisor.run_error) result
+
+(** Hand an item off a dead copy to a live sibling of the same stage
+    (counted in [rerouted]).  [Error] when no sibling survives. *)
+val reroute : t -> copy -> item -> (unit, Supervisor.run_error) result
+
+val stage_has_survivor : t -> int -> bool
+
+(** {2 The end-of-stream drain barrier}
+
+    A copy that has consumed its last upstream marker is "at quota" but
+    must keep serving re-routed buffers; it may only finalize once every
+    copy of its stage (alive or zombie) is at quota — before that, a
+    retired sibling may still aim buffers at it (see
+    docs/ROBUSTNESS.md). *)
+
+val upstream_width : t -> copy -> int
+val note_marker : t -> copy -> unit
+val markers_seen : copy -> int
+val at_marker_quota : t -> copy -> bool
+
+(** Count this copy into its stage's barrier (idempotent).
+    [`Stage_drained] means this call completed the barrier — the
+    backend must wake the whole stage (finalize events / release
+    tokens). *)
+val count_eos : t -> copy -> [ `Already | `Counted | `Stage_drained ]
+
+val barrier_released : t -> int -> bool
+
+(** {2 The supervisor state machine} *)
+
+(** One crash: account it and decide.  [`Retry d] consumed one unit of
+    the copy's retry budget — re-attempt after [d] seconds (exponential
+    backoff), by sleeping or by scheduling an event.  [`Give_up] — the
+    budget is spent; retire the copy. *)
+val on_crash : t -> copy -> [ `Retry of float | `Give_up ]
+
+(** Permanently retire a copy: drop it from the routing mask, count it.
+    [`Fatal err] when the run can no longer complete — every copy of
+    the stage is dead (a source stage that already produced is exempt:
+    its stream truncates and the pipeline still drains).  On
+    [`Continue] the backend must re-route the copy's backlog
+    ({!reroute}) and keep its marker obligations alive. *)
+val retire :
+  t -> copy -> error:exn -> [ `Continue | `Fatal of Supervisor.run_error ]
+
+val bump : t -> (Supervisor.recovery -> unit) -> unit
+val recovery : t -> Supervisor.recovery
+
+(** {2 Abort} *)
+
+(** First error wins; sets the stop flag and wakes all copies. *)
+val abort : t -> Supervisor.run_error -> unit
+
+val aborting : t -> bool
+val abort_error : t -> Supervisor.run_error option
+
+(** The raw stop flag behind {!aborting}, for wiring into blocking
+    primitives ({!Bqueue.create}) so waiters unblock on abort. *)
+val stop_flag : t -> bool Atomic.t
+
+(** {2 Lifecycle states, accounting hooks, the watchdog} *)
+
+val st_starting : int
+val st_computing : int
+val st_blocked_push : int
+val st_blocked_pop : int
+val st_idle : int
+val st_done : int
+val state_name : int -> string
+val set_lifecycle : copy -> int -> unit
+val mark_exited : copy -> unit
+val all_exited : t -> bool
+
+(** Global progress counter (watchdog heartbeat); bump after every
+    completed call, push and pop. *)
+val note_progress : t -> unit
+
+val note_busy : t -> copy -> float -> unit
+val note_item_done : t -> copy -> unit
+val items_done : t -> copy -> int
+val note_queue_wait : t -> copy -> float -> unit
+val note_stall_pop : t -> copy -> float -> unit
+val note_stall_push : t -> copy -> float -> unit
+
+(** Run one filter callback on the executor clock: lifecycle goes to
+    [st_computing], busy time is charged, a span is emitted when
+    tracing, the call budget is checked and progress ticks — whether
+    the callback returns or raises.  (Real-time backends; the simulator
+    charges modeled costs with {!note_busy} instead.) *)
+val timed_call : t -> copy -> name:string -> (unit -> 'a) -> 'a
+
+(** Per-copy state snapshot for {!Supervisor.Stalled} reports.
+    [state_of] overrides the lifecycle-based description (the simulator
+    reports marker deficits instead). *)
+val copy_report :
+  ?state_of:(stage:int -> copy:int -> string) -> t -> Supervisor.copy_report list
+
+(** The stall watchdog (real-time backends): trips — aborting the run
+    with {!Supervisor.Stalled} — when the progress counter stands still
+    for [ms] while every unfinished copy is blocked on a queue or stuck
+    in a call past the budget.  Runs until trip, abort or
+    {!all_exited}; call from a dedicated monitor domain. *)
+val watchdog_loop : t -> ms:int -> unit
+
+(** {2 Utilities for backends} *)
+
+(** Retention ring: the last [retention] acknowledged inputs of a copy,
+    replayed into a fresh instance after a restart. *)
+module Ring : sig
+  type nonrec t
+
+  val create : retention:int -> t
+  val push : t -> item -> unit
+  val items : t -> item list
+
+  (** More inputs were acknowledged than the ring retains: a replay
+      from it is incomplete. *)
+  val truncated : t -> bool
+end
+
+(** Time-ordered event queue (binary heap) for discrete-event backends. *)
+module Timeline : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> float -> 'a -> unit
+  val pop : 'a t -> (float * 'a) option
+end
+
+(** {2 Unified metrics}
+
+    One record for every backend; [elapsed_s] is the simulated makespan
+    or the wall-clock time.  Grids are indexed [stage].[copy].
+    Backend-specific extras are optional: [link_stats] (modeled links,
+    simulator) and [queue_occupancy] (bounded queues, domain backend). *)
+
+type link_metrics = {
+  lm_bytes : float;
+  lm_transfers : int;
+  lm_busy : float;
+  lm_wait : float;  (** serialization wait: sends blocked on a busy link *)
+}
+
+type metrics = {
+  backend : backend;
+  elapsed_s : float;
+  stage_names : string array;
+  busy_s : float array array;
+  items : int array array;          (** data buffers processed *)
+  items_out : int array array;      (** data buffers sent downstream *)
+  bytes_out : float array array;    (** data + EOS-payload bytes sent *)
+  queue_wait_s : float array array; (** seconds items sat queued (sim) *)
+  stall_pop_s : float array array;  (** blocked/idle awaiting input *)
+  stall_push_s : float array array; (** blocked pushing downstream (par) *)
+  queue_occupancy : Obs.Hist.t array array option;
+  link_stats : link_metrics array option;
+  recovery : Supervisor.recovery;
+}
+
+(** Assemble the run's metrics from the engine's accounting grids. *)
+val metrics :
+  t ->
+  elapsed_s:float ->
+  ?queue_occupancy:Obs.Hist.t array array ->
+  ?link_stats:link_metrics array ->
+  unit ->
+  metrics
+
+(** Bytes moved between stages: modeled link bytes when links exist,
+    otherwise the sum of [bytes_out]. *)
+val total_bytes : metrics -> float
+
+(** The one serializer behind every backend's [--metrics-json] body. *)
+val metrics_to_json : metrics -> Obs.Json.t
+
+val pp_metrics : Format.formatter -> metrics -> unit

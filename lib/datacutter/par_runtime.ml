@@ -1,587 +1,203 @@
-(* Real parallel execution of a filter pipeline on OCaml 5 domains.
+(* Domain backend of the filter-stream engine (see the .mli).
+   Protocol decisions come from [Engine]; this file only schedules:
+   one domain per copy over bounded blocking queues ([Bqueue]), the
+   executor's [send] a blocking push, [`Retry of delay] a real sleep
+   preceded by retention-ring replay into a fresh instance.  The one
+   message this backend adds to the item protocol is [Release], the
+   intra-stage end-of-drain token: the copy completing the stage
+   barrier pushes it into every sibling queue; queue FIFO order
+   guarantees zombie re-routes pushed earlier are consumed first. *)
 
-   Each filter copy runs on its own domain; streams are bounded blocking
-   queues (backpressure like DataCutter's fixed buffer pool).  The item
-   protocol is the same as [Sim_runtime]'s: Data buffers round-robin
-   across the downstream copies, Final buffers carry per-copy partial
-   results, Markers are broadcast and counted.
+type msg = It of Engine.item | Release
 
-   Fault tolerance (see docs/ROBUSTNESS.md): every filter callback runs
-   under exception capture.  A copy whose callback raises is restarted
-   (bounded retries, exponential backoff) with a fresh filter instance;
-   the inputs it had already acknowledged are replayed from a per-copy
-   retention ring with outputs suppressed, so restarts rebuild filter
-   state without duplicating downstream sends.  A copy that exhausts its
-   retries retires: the upstream round-robin router stops selecting it
-   and the retired copy lingers as a zombie router, re-routing whatever
-   still lands in its queue to surviving siblings and forwarding its
-   markers so the pipeline drains.  If every copy of a stage dies the
-   run aborts with a structured [Stage_dead].  An optional watchdog
-   domain aborts no-progress runs with a per-copy [Stalled] report.
-   Scripted faults ([Fault.plan]) are injected at process-call
-   granularity through the same capture paths.
-
-   Observability: every queue records its occupancy (length after each
-   push) in a histogram, and both sides of a stream measure the seconds
-   they spend blocked — producers on a full queue (blocked-on-push),
-   consumers on an empty one (blocked-on-pop).  When tracing is enabled
-   each copy additionally emits real-time spans for its filter calls
-   into its own domain-local buffer (see [Obs.Trace]), so recording
-   never synchronizes the workers. *)
-
-type item =
-  | Data of Filter.buffer
-  | Final of Filter.buffer
-  | Marker
-  | Release
-      (* intra-stage end-of-drain barrier token (see the EOS notes on
-         [run_result]); never crosses a stage boundary *)
-
-(* Raised inside worker domains when the run is being torn down; never
-   escapes [run_result]. *)
-exception Aborted
-
-module Bqueue = struct
-  type 'a t = {
-    items : 'a Queue.t;
-    mutex : Mutex.t;
-    not_empty : Condition.t;
-    not_full : Condition.t;
-    capacity : int;
-    stop : bool Atomic.t;    (* shared abort flag; waiters raise [Aborted] *)
-    occupancy : Obs.Hist.t;  (* length after each push; guarded by mutex *)
-  }
-
-  let create ~stop capacity =
-    {
-      items = Queue.create ();
-      mutex = Mutex.create ();
-      not_empty = Condition.create ();
-      not_full = Condition.create ();
-      capacity;
-      stop;
-      occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
-    }
-
-  (* [push]/[pop] return the seconds the caller spent blocked (lock
-     acquisition plus condition waits); they raise [Aborted] once the
-     shared stop flag is set. *)
-
-  let push q x =
-    let t0 = Obs.Clock.elapsed_s () in
-    Mutex.lock q.mutex;
-    while Queue.length q.items >= q.capacity && not (Atomic.get q.stop) do
-      Condition.wait q.not_full q.mutex
-    done;
-    if Atomic.get q.stop then begin
-      Mutex.unlock q.mutex;
-      raise Aborted
-    end;
-    let blocked = Obs.Clock.elapsed_s () -. t0 in
-    Queue.push x q.items;
-    Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
-    Condition.signal q.not_empty;
-    Mutex.unlock q.mutex;
-    blocked
-
-  let pop q =
-    let t0 = Obs.Clock.elapsed_s () in
-    Mutex.lock q.mutex;
-    while Queue.is_empty q.items && not (Atomic.get q.stop) do
-      Condition.wait q.not_empty q.mutex
-    done;
-    if Atomic.get q.stop then begin
-      Mutex.unlock q.mutex;
-      raise Aborted
-    end;
-    let blocked = Obs.Clock.elapsed_s () -. t0 in
-    let x = Queue.pop q.items in
-    Condition.signal q.not_full;
-    Mutex.unlock q.mutex;
-    (x, blocked)
-
-  let length q =
-    Mutex.lock q.mutex;
-    let n = Queue.length q.items in
-    Mutex.unlock q.mutex;
-    n
-
-  (* Non-blocking pop, for best-effort drains during teardown. *)
-  let try_pop q =
-    Mutex.lock q.mutex;
-    let x =
-      if Queue.is_empty q.items then None
-      else begin
-        let x = Queue.pop q.items in
-        Condition.signal q.not_full;
-        Some x
-      end
-    in
-    Mutex.unlock q.mutex;
-    x
-
-  (* Wake every waiter so it can observe the stop flag. *)
-  let wake q =
-    Mutex.lock q.mutex;
-    Condition.broadcast q.not_empty;
-    Condition.broadcast q.not_full;
-    Mutex.unlock q.mutex
-end
-
-type metrics = {
-  wall_time : float;                   (* end-to-end seconds *)
-  stage_busy : float array array;      (* [stage].[copy] busy seconds *)
-  stage_items : int array array;       (* data buffers processed *)
-  stage_items_out : int array array;   (* data buffers sent downstream *)
-  stage_bytes_out : float array array; (* data+final bytes sent downstream *)
-  stage_stall_push : float array array; (* blocked on a full downstream queue *)
-  stage_stall_pop : float array array;  (* blocked on an empty input queue *)
-  queue_occupancy : Obs.Hist.t array array;
-      (* input-queue occupancy per copy; [| |] for stage 0 (no queue) *)
-  recovery : Supervisor.recovery;      (* retries, re-routes, replays, ... *)
-}
-
-let metrics_to_json m =
-  let grid f a =
-    Obs.Json.List
-      (Array.to_list
-         (Array.map (fun row -> Obs.Json.List (Array.to_list (Array.map f row))) a))
-  in
-  Obs.Json.Obj
-    [
-      ("wall_time_s", Obs.Json.Float m.wall_time);
-      ("busy_s", grid (fun v -> Obs.Json.Float v) m.stage_busy);
-      ("items", grid (fun v -> Obs.Json.Int v) m.stage_items);
-      ("items_out", grid (fun v -> Obs.Json.Int v) m.stage_items_out);
-      ("bytes_out", grid (fun v -> Obs.Json.Float v) m.stage_bytes_out);
-      ("stall_push_s", grid (fun v -> Obs.Json.Float v) m.stage_stall_push);
-      ("stall_pop_s", grid (fun v -> Obs.Json.Float v) m.stage_stall_pop);
-      ("queue_occupancy", grid Obs.Hist.to_json m.queue_occupancy);
-      ("recovery", Supervisor.recovery_to_json m.recovery);
-    ]
-
-(* Copy lifecycle states (for the watchdog and stall reports). *)
-let st_starting = 0
-let st_computing = 1
-let st_blocked_push = 2
-let st_blocked_pop = 3
-let st_idle = 4
-let st_done = 5
-
-let state_name = function
-  | 0 -> "starting"
-  | 1 -> "computing"
-  | 2 -> "blocked_push"
-  | 3 -> "blocked_pop"
-  | 4 -> "running"
-  | 5 -> "done"
-  | _ -> "unknown"
-
-(* What a retained input looked like, for replay after a restart. *)
-type ritem = RData of Filter.buffer | RFinal of Filter.buffer
-
-let run_result ?(queue_capacity = 64) ?(faults = Fault.empty)
-    ?(policy = Supervisor.default_policy) (topo : Topology.t) :
-    (metrics, Supervisor.run_error) result =
-  match Supervisor.validate ~queue_capacity topo with
+let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
+  match Engine.create ?faults ?policy ~queue_capacity topo with
   | Error e -> Error e
-  | Ok () ->
-  let stages = Array.of_list topo.Topology.stages in
-  let n_stages = Array.length stages in
-  let stop = Atomic.make false in
-  let abort_err : Supervisor.run_error option Atomic.t = Atomic.make None in
+  | Ok eng ->
+  let policy = Engine.policy eng in
+  let n_stages = Engine.n_stages eng in
+  let stop = Engine.stop_flag eng in
   (* input queue per copy of stages 1.. *)
   let queues =
     Array.init n_stages (fun s ->
         if s = 0 then [||]
         else
-          Array.init stages.(s).Topology.width (fun _ ->
-              (Bqueue.create ~stop queue_capacity : item Bqueue.t)))
+          Array.init (Engine.width eng s) (fun _ ->
+              (Bqueue.create ~stop queue_capacity : msg Bqueue.t)))
   in
-  let per_copy mk = Array.map (fun st -> Array.init st.Topology.width (fun _ -> mk ())) stages in
-  let busy = per_copy (fun () -> 0.0) in
-  let items_done = per_copy (fun () -> 0) in
-  let items_out = per_copy (fun () -> 0) in
-  let bytes_out = per_copy (fun () -> 0.0) in
-  let stall_push = per_copy (fun () -> 0.0) in
-  let stall_pop = per_copy (fun () -> 0.0) in
-  let alive = per_copy (fun () -> Atomic.make true) in
-  let cstate = per_copy (fun () -> Atomic.make st_starting) in
-  let call_start = per_copy (fun () -> Atomic.make 0.0) in
-  let exited = per_copy (fun () -> Atomic.make false) in
-  (* Per-stage end-of-stream drain barrier: the number of copies (alive
-     or zombie) that have consumed their last upstream marker.  A copy
-     may only finalize once this reaches the stage width — before that,
-     a retired sibling may still re-route buffers into its queue, and
-     finalizing early would drop them (see docs/ROBUSTNESS.md). *)
-  let at_eos = Array.map (fun _ -> Atomic.make 0) stages in
-  let progress = Atomic.make 0 in
-  let recovery = Supervisor.fresh_recovery () in
-  let rec_mu = Mutex.create () in
-  let bump f =
-    Mutex.lock rec_mu;
-    f recovery;
-    Mutex.unlock rec_mu
+  (* The executor: [send] is a blocking push, with the blocked seconds
+     charged to the sender. *)
+  let blocked_push (src : Engine.copy) q m =
+    Engine.set_lifecycle src Engine.st_blocked_push;
+    let blocked = Bqueue.push q m in
+    Engine.set_lifecycle src Engine.st_idle;
+    Engine.note_progress eng;
+    Engine.note_stall_push eng src blocked
   in
-  let wake_all () = Array.iter (Array.iter Bqueue.wake) queues in
-  let do_abort err =
-    ignore (Atomic.compare_and_set abort_err None (Some err));
-    Atomic.set stop true;
-    wake_all ()
-  in
-  let stage_has_survivor s =
-    Array.exists (fun a -> Atomic.get a) alive.(s)
-  in
-  let tracing = Obs.Trace.is_enabled () in
-  if tracing then Topology.announce_threads topo;
-
-  let copy_report () =
-    let now = Obs.Clock.elapsed_s () in
-    List.concat
-      (List.init n_stages (fun s ->
-           List.init stages.(s).Topology.width (fun k ->
-               let st = Atomic.get cstate.(s).(k) in
-               let state =
-                 let base = state_name st in
-                 let base =
-                   if st = st_computing then
-                     Printf.sprintf "%s (%.3fs in call)" base
-                       (now -. Atomic.get call_start.(s).(k))
-                   else base
-                 in
-                 if Atomic.get alive.(s).(k) then base else "retired/" ^ base
-               in
-               {
-                 Supervisor.cr_stage = s;
-                 cr_copy = k;
-                 cr_label = Topology.copy_label topo ~stage:s ~copy:k;
-                 cr_state = state;
-                 cr_items = items_done.(s).(k);
-                 cr_queue_len = (if s = 0 then 0 else Bqueue.length queues.(s).(k));
-               })))
-  in
+  Engine.attach eng
+    {
+      exec_backend = Engine.Par;
+      exec_now = Obs.Clock.elapsed_s;
+      exec_sleep = Unix.sleepf;
+      exec_send =
+        (fun ~src ~dst_stage ~dst_copy it ->
+          blocked_push src queues.(dst_stage).(dst_copy) (It it));
+      exec_queue_len =
+        (fun ~stage ~copy ->
+          if stage = 0 then 0 else Bqueue.length queues.(stage).(copy));
+      exec_wake = (fun () -> Array.iter (Array.iter Bqueue.wake) queues);
+    };
+  let abort_raise err = Engine.abort eng err; raise Bqueue.Aborted in
+  let ok = function Ok () -> () | Error e -> abort_raise e in
 
   let copy_body s k () =
-    let st = stages.(s) in
-    let rr = ref k in
-    let tid = Topology.copy_tid topo ~stage:s ~copy:k in
-    let fstate = Fault.state_for faults ~stage:s ~copy:k in
-    let set_state v = Atomic.set cstate.(s).(k) v in
-    let tick_progress () = Atomic.incr progress in
-    let charge name f =
-      set_state st_computing;
-      let t0 = Obs.Clock.elapsed_s () in
-      Atomic.set call_start.(s).(k) t0;
-      let finish () =
-        let t1 = Obs.Clock.elapsed_s () in
-        busy.(s).(k) <- busy.(s).(k) +. (t1 -. t0);
-        if tracing then
-          Obs.Trace.emit
-            (Obs.Trace.Span
-               { name; cat = "par"; ts = t0; dur = t1 -. t0; tid; args = [] });
-        set_state st_idle;
-        tick_progress ();
-        match policy.Supervisor.call_budget_s with
-        | Some b when t1 -. t0 > b -> bump (fun r -> r.Supervisor.budget_exceeded <- r.budget_exceeded + 1)
-        | _ -> ()
-      in
-      match f () with
-      | r ->
-          finish ();
-          r
-      | exception e ->
-          finish ();
-          raise e
-    in
-    let account_out it =
-      match it with
-      | Data b ->
-          items_out.(s).(k) <- items_out.(s).(k) + 1;
-          bytes_out.(s).(k) <- bytes_out.(s).(k) +. float_of_int (Filter.buffer_size b)
-      | Final b ->
-          bytes_out.(s).(k) <- bytes_out.(s).(k) +. float_of_int (Filter.buffer_size b)
-      | Marker | Release -> ()
-    in
-    let blocked_push q it =
-      set_state st_blocked_push;
-      let blocked = Bqueue.push q it in
-      set_state st_idle;
-      tick_progress ();
-      stall_push.(s).(k) <- stall_push.(s).(k) +. blocked
-    in
-    (* Round-robin over the *surviving* downstream copies: the router
-       degrades gracefully when copies retire.  If none survive the run
-       cannot complete — abort with a structured error. *)
-    let send_rr it =
-      let dst = queues.(s + 1) in
-      let w = Array.length dst in
-      let rec pick tries =
-        if tries >= w then None
-        else begin
-          let j = !rr mod w in
-          incr rr;
-          if Atomic.get alive.(s + 1).(j) then Some j else pick (tries + 1)
-        end
-      in
-      match pick 0 with
-      | None ->
-          do_abort
-            (Supervisor.Stage_dead
-               {
-                 stage = s + 1;
-                 stage_name = stages.(s + 1).Topology.stage_name;
-                 error = "no live copies to route to";
-               });
-          raise Aborted
-      | Some j ->
-          account_out it;
-          blocked_push dst.(j) it
-    in
-    let broadcast it = Array.iter (fun q -> blocked_push q it) queues.(s + 1) in
+    let cs = Engine.copy_at eng ~stage:s ~copy:k in
+    let charge name f = Engine.timed_call eng cs ~name f in
+    let send it = ok (Engine.send_downstream eng cs it) in
     (* Injected slowdown: time the real call, then sleep the scripted
        penalty inside the charge (a slower node is just... busier). *)
     let with_slowdown f =
       let t0 = Obs.Clock.elapsed_s () in
       let r = f () in
-      let extra =
-        Fault.extra_delay fstate ~elapsed:(Obs.Clock.elapsed_s () -. t0)
-      in
+      let elapsed = Obs.Clock.elapsed_s () -. t0 in
+      let extra = Fault.extra_delay cs.Engine.fstate ~elapsed in
       if extra > 0.0 then Unix.sleepf extra;
       r
     in
-    match st.Topology.role with
-    | Topology.Source mk ->
-        (* Sources are not restarted (their cursor state cannot be
-           rebuilt without duplicating packets); transient faults are
-           retried in place, fatal ones retire the source, which still
-           broadcasts its marker so the pipeline drains. *)
-        let src = mk k in
-        let attempts = ref 0 in
-        let supervised name op =
-          let rec go () =
-            if Atomic.get stop then raise Aborted;
-            match charge name op with
-            | r -> r
-            | exception Aborted -> raise Aborted
-            | exception e ->
-                bump (fun r -> r.Supervisor.crashes <- r.crashes + 1);
-                if !attempts >= policy.Supervisor.max_retries then raise e
-                else begin
-                  incr attempts;
-                  bump (fun r -> r.Supervisor.retries <- r.retries + 1);
-                  let delay =
-                    policy.Supervisor.backoff_s
-                    *. (2.0 ** float_of_int (!attempts - 1))
-                  in
-                  if delay > 0.0 then Unix.sleepf delay;
-                  go ()
-                end
-          in
-          go ()
-        in
-        let finish_stream () =
-          let out, _ =
-            supervised "src_finalize" (fun () -> src.Filter.src_finalize ())
-          in
-          (match out with Some b -> send_rr (Final b) | None -> ());
-          broadcast Marker
-        in
+    (* One callback under the supervisor: retries sleep the backoff for
+       real and rebuild via [restart] first; raises the last error once
+       the copy must retire. *)
+    let supervised ?(restart = fun () -> ()) name op =
+      let rec go restarting =
+        if Engine.aborting eng then raise Bqueue.Aborted;
+        match
+          if restarting then restart ();
+          charge name op
+        with
+        | r -> r
+        | exception Bqueue.Aborted -> raise Bqueue.Aborted
+        | exception e -> (
+            match Engine.on_crash eng cs with
+            | `Give_up -> raise e
+            | `Retry delay ->
+                if delay > 0.0 then Unix.sleepf delay;
+                go true)
+      in
+      go false
+    in
+    match Engine.instantiate eng cs with
+    | Engine.I_source src ->
+        (* Sources are never rebuilt (their cursor state cannot be
+           replayed without duplicating packets): transient faults retry
+           in place; exhaustion retires, still ending the stream. *)
         let rec loop () =
           match
             supervised "produce" (fun () ->
                 with_slowdown (fun () ->
-                    Fault.tick fstate;
+                    Fault.tick cs.Engine.fstate;
                     src.Filter.next ()))
           with
           | Some (b, _) ->
-              items_done.(s).(k) <- items_done.(s).(k) + 1;
-              send_rr (Data b);
+              Engine.note_item_done eng cs;
+              send (Engine.Data b);
               loop ()
-          | None -> finish_stream ()
-          | exception Aborted -> raise Aborted
-          | exception err ->
-              (* Retries exhausted: retire this source.  Its remaining
-                 packets are unproducible, so a sibling cannot take over;
-                 end the stream so downstream can still drain what was
-                 produced — unless every source is dead and nothing else
-                 can flow. *)
-              bump (fun r -> r.Supervisor.retired <- r.retired + 1);
-              Atomic.set alive.(s).(k) false;
-              if not (stage_has_survivor s) && items_done.(s).(k) = 0 then begin
-                do_abort
-                  (Supervisor.Stage_dead
-                     {
-                       stage = s;
-                       stage_name = st.Topology.stage_name;
-                       error = Printexc.to_string err;
-                     });
-                raise Aborted
-              end;
-              broadcast Marker
+          | None ->
+              let out, _ =
+                supervised "src_finalize" (fun () ->
+                    src.Filter.src_finalize ())
+              in
+              (match out with Some b -> send (Engine.Final b) | None -> ());
+              send Engine.Marker
+          | exception Bqueue.Aborted -> raise Bqueue.Aborted
+          | exception err -> (
+              match Engine.retire eng cs ~error:err with
+              | `Fatal e -> abort_raise e
+              | `Continue -> send Engine.Marker)
         in
         loop ()
-    | Topology.Inner mk | Topology.Sink mk ->
-        let f = ref (mk k) in
-        let attempts = ref 0 in
-        (* Retention ring: the last [retention] acknowledged inputs, for
-           state replay after a restart. *)
-        let retention = max 0 policy.Supervisor.retention in
-        let ring = Array.make (max retention 1) (RData (Filter.make_buffer ~packet:(-1) Bytes.empty)) in
-        let ring_len = ref 0 in
-        let ring_pos = ref 0 in
-        let acked_total = ref 0 in
-        let ring_push it =
-          if retention > 0 then begin
-            ring.(!ring_pos) <- it;
-            ring_pos := (!ring_pos + 1) mod retention;
-            if !ring_len < retention then incr ring_len
-          end;
-          incr acked_total
-        in
-        let ring_items () =
-          List.init !ring_len (fun i ->
-              ring.((!ring_pos - !ring_len + i + (2 * retention)) mod retention))
-        in
+    | Engine.I_filter f0 ->
+        let f = ref f0 in
+        let q = queues.(s).(k) in
+        let is_last = Engine.is_sink_stage eng s in
+        (* Retention ring: the last acknowledged inputs, replayed into a
+           fresh instance after a restart (outputs suppressed — state is
+           rebuilt without duplicating sends). *)
+        let ring = Engine.Ring.create ~retention:policy.Supervisor.retention in
         let restart_and_replay () =
-          f := mk k;
+          f := (match Engine.instantiate eng cs with
+               | Engine.I_filter f -> f
+               | Engine.I_source _ -> assert false);
           ignore (charge "init" (fun () -> (!f).Filter.init ()));
-          if !acked_total > !ring_len then
-            bump (fun r -> r.Supervisor.replay_truncated <- r.replay_truncated + 1);
+          if Engine.Ring.truncated ring then
+            Engine.bump eng (fun r ->
+                r.Supervisor.replay_truncated <- r.replay_truncated + 1);
           List.iter
             (fun it ->
-              bump (fun r -> r.Supervisor.replayed <- r.replayed + 1);
+              Engine.bump eng (fun r ->
+                  r.Supervisor.replayed <- r.replayed + 1);
               match it with
-              | RData b -> ignore (charge "replay" (fun () -> (!f).Filter.process b))
-              | RFinal b ->
-                  ignore (charge "replay_eos" (fun () -> (!f).Filter.on_eos (Some b))))
-            (ring_items ())
+              | Engine.Data b ->
+                  ignore (charge "replay" (fun () -> (!f).Filter.process b))
+              | Engine.Final b ->
+                  ignore
+                    (charge "replay_eos" (fun () -> (!f).Filter.on_eos (Some b)))
+              | Engine.Marker -> ())
+            (Engine.Ring.items ring)
         in
-        (* Run one callback under the supervisor: capture, restart with
-           replay, bounded retries; raises the last error once the copy
-           must retire. *)
-        let supervised name op =
-          let rec go restarting =
-            if Atomic.get stop then raise Aborted;
-            match
-              if restarting then restart_and_replay ();
-              charge name op
-            with
-            | r -> r
-            | exception Aborted -> raise Aborted
-            | exception e ->
-                bump (fun r -> r.Supervisor.crashes <- r.crashes + 1);
-                if !attempts >= policy.Supervisor.max_retries then raise e
-                else begin
-                  incr attempts;
-                  bump (fun r -> r.Supervisor.retries <- r.retries + 1);
-                  let delay =
-                    policy.Supervisor.backoff_s
-                    *. (2.0 ** float_of_int (!attempts - 1))
-                  in
-                  if delay > 0.0 then Unix.sleepf delay;
-                  go true
-                end
-          in
-          go false
-        in
-        let q = queues.(s).(k) in
-        let upstream = stages.(s - 1).Topology.width in
-        let width_s = st.Topology.width in
-        let markers = ref 0 in
-        let is_last = s = n_stages - 1 in
-        let forward it = if not is_last then send_rr it in
+        let supervised name op = supervised ~restart:restart_and_replay name op in
         let recv () =
-          set_state st_blocked_pop;
-          let it, blocked = Bqueue.pop q in
-          set_state st_idle;
-          tick_progress ();
-          stall_pop.(s).(k) <- stall_pop.(s).(k) +. blocked;
-          it
+          Engine.set_lifecycle cs Engine.st_blocked_pop;
+          let m, blocked = Bqueue.pop q in
+          Engine.set_lifecycle cs Engine.st_idle;
+          Engine.note_progress eng;
+          Engine.note_stall_pop eng cs blocked;
+          m
         in
-        (* Stage drain barrier: count this copy into [at_eos] exactly
-           once, when it has consumed its last upstream marker.  The
-           copy that completes the barrier wakes the whole stage with a
-           [Release] token in every sibling queue (queue FIFO order
-           guarantees any zombie re-route pushed before the barrier
-           completed is consumed before the token). *)
-        let counted_eos = ref false in
+        (* Completing the stage drain barrier wakes the whole stage with
+           a [Release] token in every sibling queue. *)
         let count_eos () =
-          if not !counted_eos then begin
-            counted_eos := true;
-            let n = 1 + Atomic.fetch_and_add at_eos.(s) 1 in
-            if n = width_s then
+          match Engine.count_eos eng cs with
+          | `Already | `Counted -> ()
+          | `Stage_drained ->
               Array.iter (fun q' -> ignore (Bqueue.push q' Release)) queues.(s)
-          end
         in
-        let barrier_released () = Atomic.get at_eos.(s) >= width_s in
         (* Zombie router: a retired copy keeps draining its queue,
-           re-routing buffers to surviving siblings and forwarding its
-           markers, so round-robin senders and marker counting stay
-           sound and the pipeline still drains. *)
-        let reroute it =
-          let w = Array.length queues.(s) in
-          let rec pick tries j =
-            if tries >= w then None
-            else if j <> k && Atomic.get alive.(s).(j) then Some j
-            else pick (tries + 1) ((j + 1) mod w)
-          in
-          match pick 0 ((k + 1) mod w) with
-          | None ->
-              do_abort
-                (Supervisor.Stage_dead
-                   {
-                     stage = s;
-                     stage_name = st.Topology.stage_name;
-                     error = "no live copies to re-route to";
-                   });
-              raise Aborted
-          | Some j ->
-              bump (fun r -> r.Supervisor.rerouted <- r.rerouted + 1);
-              blocked_push queues.(s).(j) it
-        in
+           re-routing buffers and counting markers, until its stream has
+           ended AND the barrier has released — until then a sibling
+           zombie may still aim re-routes at this queue. *)
         let retire err in_flight =
-          bump (fun r -> r.Supervisor.retired <- r.retired + 1);
-          Atomic.set alive.(s).(k) false;
-          if not (stage_has_survivor s) then begin
-            do_abort
-              (Supervisor.Stage_dead
-                 {
-                   stage = s;
-                   stage_name = st.Topology.stage_name;
-                   error = Printexc.to_string err;
-                 });
-            raise Aborted
-          end;
+          (match Engine.retire eng cs ~error:err with
+          | `Fatal e -> abort_raise e
+          | `Continue -> ());
           (match in_flight with
-          | Some ((Data _ | Final _) as it) -> reroute it
-          | Some (Marker | Release) | None -> ());
-          (* The zombie keeps routing until the whole stage has drained:
-             its own stream must end (all upstream markers seen) AND the
-             drain barrier must release, because until then a sibling
-             zombie may still aim re-routes at this queue. *)
+          | Some (It ((Engine.Data _ | Engine.Final _) as it)) ->
+              ok (Engine.reroute eng cs it)
+          | Some (It Engine.Marker) | Some Release | None -> ());
           let rec zombie () =
-            if !markers >= upstream then count_eos ();
-            if !markers >= upstream && barrier_released () then begin
+            if Engine.at_marker_quota eng cs then count_eos ();
+            if
+              Engine.at_marker_quota eng cs
+              && Engine.barrier_released eng s
+            then begin
               (* Best-effort sweep of anything still queued (possible
                  only if several copies died during the drain). *)
               let rec sweep () =
                 match Bqueue.try_pop q with
-                | Some ((Data _ | Final _) as it) ->
-                    reroute it;
+                | Some (It ((Engine.Data _ | Engine.Final _) as it)) ->
+                    ok (Engine.reroute eng cs it);
                     sweep ()
-                | Some (Marker | Release) -> sweep ()
+                | Some (It Engine.Marker) | Some Release -> sweep ()
                 | None -> ()
               in
               sweep ();
-              if not is_last then broadcast Marker
+              if not is_last then send Engine.Marker
             end
             else
               match recv () with
-              | Marker ->
-                  incr markers;
-                  zombie ()
-              | (Data _ | Final _) as it ->
-                  reroute it;
+              | It Engine.Marker -> Engine.note_marker eng cs; zombie ()
+              | It ((Engine.Data _ | Engine.Final _) as it) ->
+                  ok (Engine.reroute eng cs it);
                   zombie ()
               | Release -> zombie ()
           in
@@ -589,30 +205,29 @@ let run_result ?(queue_capacity = 64) ?(faults = Fault.empty)
         in
         (* Track the in-flight item so retirement can re-route it. *)
         let current = ref None in
+        let forward it = if not is_last then send it in
         let handle_data b =
           let out, _ =
             supervised "process" (fun () ->
                 with_slowdown (fun () ->
-                    Fault.tick fstate;
+                    Fault.tick cs.Engine.fstate;
                     (!f).Filter.process b))
           in
-          items_done.(s).(k) <- items_done.(s).(k) + 1;
+          Engine.note_item_done eng cs;
           current := None;
-          (match out with Some b -> forward (Data b) | None -> ());
-          ring_push (RData b)
+          (match out with Some b -> forward (Engine.Data b) | None -> ());
+          Engine.Ring.push ring (Engine.Data b)
         in
         let handle_final b =
-          let out, _ =
-            supervised "on_eos" (fun () -> (!f).Filter.on_eos (Some b))
-          in
+          let out, _ = supervised "on_eos" (fun () -> (!f).Filter.on_eos (Some b)) in
           current := None;
-          (match out with Some b -> forward (Final b) | None -> ());
-          ring_push (RFinal b)
+          (match out with Some b -> forward (Engine.Final b) | None -> ());
+          Engine.Ring.push ring (Engine.Final b)
         in
         let finalize_copy () =
           let out, _ = supervised "finalize" (fun () -> (!f).Filter.finalize ()) in
-          (match out with Some b -> forward (Final b) | None -> ());
-          if not is_last then broadcast Marker
+          (match out with Some b -> forward (Engine.Final b) | None -> ());
+          if not is_last then send Engine.Marker
         in
         let serve () =
           ignore (supervised "init" (fun () -> (!f).Filter.init ()));
@@ -623,37 +238,26 @@ let run_result ?(queue_capacity = 64) ?(faults = Fault.empty)
           let rec eos_wait () =
             match recv () with
             | Release ->
-                if barrier_released () then finalize_copy () else eos_wait ()
-            | Data b ->
-                current := Some (Data b);
-                handle_data b;
-                eos_wait ()
-            | Final b ->
-                current := Some (Final b);
-                handle_final b;
-                eos_wait ()
-            | Marker ->
-                incr markers;
-                eos_wait ()
+                if Engine.barrier_released eng s then finalize_copy ()
+                else eos_wait ()
+            | It (Engine.Data b) as m -> current := Some m; handle_data b; eos_wait ()
+            | It (Engine.Final b) as m -> current := Some m; handle_final b; eos_wait ()
+            | It Engine.Marker -> Engine.note_marker eng cs; eos_wait ()
           in
           let rec loop () =
-            let it = recv () in
-            current := Some it;
-            match it with
-            | Data b ->
-                handle_data b;
-                loop ()
-            | Final b ->
-                handle_final b;
-                loop ()
+            let m = recv () in
+            current := Some m;
+            match m with
+            | It (Engine.Data b) -> handle_data b; loop ()
+            | It (Engine.Final b) -> handle_final b; loop ()
             | Release ->
                 (* cannot arrive before this copy reaches its quota *)
                 current := None;
                 loop ()
-            | Marker ->
-                incr markers;
+            | It Engine.Marker ->
+                Engine.note_marker eng cs;
                 current := None;
-                if !markers = upstream then begin
+                if Engine.at_marker_quota eng cs then begin
                   count_eos ();
                   eos_wait ()
                 end
@@ -661,126 +265,50 @@ let run_result ?(queue_capacity = 64) ?(faults = Fault.empty)
           in
           loop ()
         in
-        (try serve ()
-         with
-        | Aborted -> raise Aborted
+        (try serve () with
+        | Bqueue.Aborted -> raise Bqueue.Aborted
         | err -> retire err !current)
   in
 
   let wrapped_body s k () =
+    let cs = Engine.copy_at eng ~stage:s ~copy:k in
     (try copy_body s k () with
-    | Aborted -> ()
+    | Bqueue.Aborted -> ()
     | e ->
         (* A supervisor bug or an error on a path without retry support
            must not hang the other domains. *)
-        do_abort
+        Engine.abort eng
           (Supervisor.Stage_dead
              {
                stage = s;
-               stage_name = stages.(s).Topology.stage_name;
+               stage_name = Engine.stage_name eng s;
                error = "unexpected runtime error: " ^ Printexc.to_string e;
              }));
-    Atomic.set cstate.(s).(k) st_done;
-    Atomic.set exited.(s).(k) true
-  in
-
-  let all_exited () =
-    Array.for_all (Array.for_all (fun a -> Atomic.get a)) exited
-  in
-
-  (* The watchdog: a monitor domain that trips when the progress counter
-     stands still for the threshold while every live copy is blocked —
-     on a queue, or inside a call running longer than the budget. *)
-  let watchdog_body ms () =
-    let threshold = float_of_int ms /. 1000.0 in
-    let tick = Float.max 0.002 (Float.min 0.05 (threshold /. 4.0)) in
-    let overdue_budget =
-      match policy.Supervisor.call_budget_s with
-      | Some b -> b
-      | None -> threshold
-    in
-    let last_progress = ref (Atomic.get progress) in
-    let last_change = ref (Obs.Clock.elapsed_s ()) in
-    let rec loop () =
-      if Atomic.get stop || all_exited () then ()
-      else begin
-        Unix.sleepf tick;
-        let p = Atomic.get progress in
-        let now = Obs.Clock.elapsed_s () in
-        if p <> !last_progress then begin
-          last_progress := p;
-          last_change := now
-        end;
-        if now -. !last_change >= threshold then begin
-          let all_blocked = ref true in
-          let any_live = ref false in
-          Array.iteri
-            (fun s row ->
-              Array.iteri
-                (fun k a ->
-                  let st = Atomic.get a in
-                  if st <> st_done then begin
-                    any_live := true;
-                    if st = st_blocked_push || st = st_blocked_pop then ()
-                    else if
-                      st = st_computing
-                      && now -. Atomic.get call_start.(s).(k) > overdue_budget
-                    then ()
-                    else all_blocked := false
-                  end)
-                row)
-            cstate;
-          if !any_live && !all_blocked then begin
-            bump (fun r -> r.Supervisor.watchdog_trips <- r.watchdog_trips + 1);
-            let report = copy_report () in
-            if tracing then
-              Obs.Trace.emit
-                (Obs.Trace.Instant
-                   {
-                     name = "watchdog_trip";
-                     cat = "par";
-                     ts = now;
-                     tid = 0;
-                     args =
-                       List.map
-                         (fun cr ->
-                           (cr.Supervisor.cr_label, Obs.Trace.Astr cr.cr_state))
-                         report;
-                   });
-            Logs.err (fun m ->
-                m "watchdog: no progress for %.3fs; %d copies blocked"
-                  (now -. !last_change) (List.length report));
-            do_abort
-              (Supervisor.Stalled
-                 { after_s = now -. !last_change; report })
-          end
-          else loop ()
-        end
-        else loop ()
-      end
-    in
-    loop ()
+    Engine.set_lifecycle cs Engine.st_done;
+    Engine.mark_exited cs
   in
 
   let t0 = Obs.Clock.elapsed_s () in
   let domains =
     List.concat
       (List.init n_stages (fun s ->
-           List.init stages.(s).Topology.width (fun k ->
+           List.init (Engine.width eng s) (fun k ->
                (s, k, Domain.spawn (wrapped_body s k)))))
   in
   let watchdog =
     match policy.Supervisor.watchdog_ms with
-    | Some ms when ms > 0 -> Some (Domain.spawn (watchdog_body ms))
+    | Some ms when ms > 0 ->
+        Some (Domain.spawn (fun () -> Engine.watchdog_loop eng ~ms))
     | _ -> None
   in
   (* Join copies.  Once the run is aborting, a copy stuck inside filter
      code cannot be interrupted: poll its exit flag for a grace period
      and leak the domain rather than hang the caller forever. *)
   let join_copy (s, k, d) =
+    let cs = Engine.copy_at eng ~stage:s ~copy:k in
     let rec wait deadline =
-      if Atomic.get exited.(s).(k) then Domain.join d
-      else if Atomic.get stop then begin
+      if Atomic.get cs.Engine.exited then Domain.join d
+      else if Engine.aborting eng then begin
         let deadline =
           match deadline with
           | Some t -> t
@@ -795,61 +323,17 @@ let run_result ?(queue_capacity = 64) ?(faults = Fault.empty)
           wait (Some deadline)
         end
       end
-      else begin
-        Unix.sleepf 0.001;
-        wait deadline
-      end
+      else begin Unix.sleepf 0.001; wait deadline end
     in
     wait None
   in
   List.iter join_copy domains;
   (match watchdog with Some d -> Domain.join d | None -> ());
   let wall_time = Obs.Clock.elapsed_s () -. t0 in
-  match Atomic.get abort_err with
+  match Engine.abort_error eng with
   | Some e -> Error e
   | None ->
       Ok
-        {
-          wall_time;
-          stage_busy = busy;
-          stage_items = items_done;
-          stage_items_out = items_out;
-          stage_bytes_out = bytes_out;
-          stage_stall_push = stall_push;
-          stage_stall_pop = stall_pop;
-          queue_occupancy =
-            Array.map (Array.map (fun q -> q.Bqueue.occupancy)) queues;
-          recovery;
-        }
-
-let run ?queue_capacity ?faults ?policy topo =
-  match run_result ?queue_capacity ?faults ?policy topo with
-  | Ok m -> m
-  | Error e -> raise (Supervisor.Run_failed e)
-
-let pp_metrics ppf m =
-  Fmt.pf ppf "wall_time=%.6fs@\n" m.wall_time;
-  Array.iteri
-    (fun s row ->
-      Fmt.pf ppf
-        "  stage %d: busy=[%a] items=[%a] stall_push=[%a] stall_pop=[%a]@\n" s
-        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-        row
-        Fmt.(array ~sep:(any "; ") int)
-        m.stage_items.(s)
-        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-        m.stage_stall_push.(s)
-        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-        m.stage_stall_pop.(s))
-    m.stage_busy;
-  Array.iteri
-    (fun s hists ->
-      Array.iteri
-        (fun k h ->
-          if Obs.Hist.count h > 0 then
-            Fmt.pf ppf "  queue %d/%d: mean occupancy %.2f, max %.0f@\n" s k
-              (Obs.Hist.mean h) (Obs.Hist.max_value h))
-        hists)
-    m.queue_occupancy;
-  if Supervisor.recovery_total m.recovery > 0 then
-    Fmt.pf ppf "  recovery: %a@\n" Supervisor.pp_recovery m.recovery
+        (Engine.metrics eng ~elapsed_s:wall_time
+           ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+           ())

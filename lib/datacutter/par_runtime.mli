@@ -1,74 +1,28 @@
-(** Real parallel execution of a filter pipeline on OCaml 5 domains.
+(** Domain backend of the filter-stream {!Engine}: real parallel
+    execution on OCaml 5 domains.
 
-    Each filter copy runs on its own domain; streams are bounded blocking
-    queues (backpressure like DataCutter's fixed buffer pool).  The item
-    protocol matches {!Sim_runtime}: data buffers round-robin across the
-    downstream copies, end-of-stream payloads are absorbed or forwarded,
-    markers are broadcast and counted.
-
-    Fault tolerance (see docs/ROBUSTNESS.md): every filter callback runs
-    under exception capture.  A crashed copy is restarted with bounded
-    retries and exponential backoff — a fresh filter instance replays the
-    copy's retained inputs with outputs suppressed, rebuilding reduction
-    state without duplicating sends — or permanently retired, in which
-    case upstream routers stop selecting it and the retired copy re-routes
-    its remaining queue to surviving siblings so every buffer still
-    reaches the sink exactly once.  A per-stage drain barrier keeps the
-    re-routes safe: a copy that has seen all its upstream markers keeps
-    serving re-routed buffers and only finalizes once every copy of its
-    stage has drained.  Whole-stage death aborts with
-    {!Supervisor.Stage_dead}; an optional watchdog aborts no-progress
-    runs with {!Supervisor.Stalled} and a per-copy report.  Scripted
-    faults ({!Fault.plan}) are injected through the same paths.
+    Each filter copy runs on its own domain; streams are bounded
+    blocking queues ({!Bqueue}, backpressure like DataCutter's fixed
+    buffer pool).  The protocol — routing, the EOS drain barrier,
+    retry / retire / re-route, recovery and stall accounting — lives in
+    {!Engine}; this backend is the scheduler: one domain per copy, a
+    blocking push as the executor's [send], real sleeps for backoff,
+    and retention-ring replay (outputs suppressed) to rebuild a crashed
+    copy's state before re-attempting the failed call.  Whole-stage
+    death aborts with {!Supervisor.Stage_dead}; the optional watchdog
+    domain ({!Engine.watchdog_loop}) aborts no-progress runs with
+    {!Supervisor.Stalled}.
 
     Every stream records its occupancy after each push, and both sides
-    measure the seconds spent blocked: producers on a full queue,
-    consumers on an empty one.  With tracing enabled ({!Obs.Trace.enable})
-    copies emit real-time spans for their filter calls into domain-local
-    buffers — collection happens only after the domains are joined. *)
+    measure the seconds spent blocked (producers on a full queue,
+    consumers on an empty one) into the engine's stall grids.
 
-type metrics = {
-  wall_time : float;  (** end-to-end seconds *)
-  stage_busy : float array array;  (** busy seconds per stage, per copy *)
-  stage_items : int array array;  (** data buffers processed *)
-  stage_items_out : int array array;  (** data buffers sent downstream *)
-  stage_bytes_out : float array array;
-      (** data + end-of-stream payload bytes sent downstream *)
-  stage_stall_push : float array array;
-      (** seconds blocked pushing into a full downstream queue *)
-  stage_stall_pop : float array array;
-      (** seconds blocked popping from an empty input queue; per copy,
-          [busy + stall_push + stall_pop <= wall_time] (up to scheduler
-          overhead) *)
-  queue_occupancy : Obs.Hist.t array array;
-      (** input-queue occupancy per copy; [[||]] for stage 0 *)
-  recovery : Supervisor.recovery;
-      (** retries, re-routes, replays, watchdog trips; all zero on a
-          fault-free run *)
-}
+    Prefer the {!Runtime} facade; this entry point is the backend
+    implementation behind [Runtime.run_result ~backend:Par]. *)
 
-(** Machine-readable form of the metrics (the [--metrics-json] body),
-    including a ["recovery"] object. *)
-val metrics_to_json : metrics -> Obs.Json.t
-
-(** Run the pipeline to completion, one domain per filter copy.
-    [queue_capacity] bounds each stream's in-flight buffers; [faults]
-    injects a scripted fault plan; [policy] sets retry limits, the
-    replay-ring depth, the per-call budget and the watchdog threshold.
-    The topology is validated first ({!Supervisor.validate}). *)
 val run_result :
   ?queue_capacity:int ->
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
   Topology.t ->
-  (metrics, Supervisor.run_error) result
-
-(** [run_result] unwrapped; raises {!Supervisor.Run_failed} on error. *)
-val run :
-  ?queue_capacity:int ->
-  ?faults:Fault.plan ->
-  ?policy:Supervisor.policy ->
-  Topology.t ->
-  metrics
-
-val pp_metrics : Format.formatter -> metrics -> unit
+  (Engine.metrics, Supervisor.run_error) result

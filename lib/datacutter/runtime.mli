@@ -1,0 +1,39 @@
+(** Unified entry point for running a {!Topology} on either backend.
+
+    Both backends execute the same {!Engine} protocol — topology
+    instantiation, round-robin routing over the live-copy mask, the
+    per-stage EOS drain barrier, the retry / retire / re-route failover
+    machine — and produce the same {!Engine.metrics} record, serialized
+    by the same {!metrics_to_json}.  They differ only in mechanism:
+
+    - {!Sim} ({!Sim_runtime}): discrete-event simulation on one thread;
+      [elapsed_s] is the simulated makespan, [link_stats] is populated,
+      [queue_occupancy] is [None].
+    - {!Par} ({!Par_runtime}): one OCaml 5 domain per filter copy with
+      bounded blocking queues; [elapsed_s] is wall time,
+      [queue_occupancy] is populated, [link_stats] is [None]. *)
+
+type backend = Engine.backend = Sim | Par
+
+val backend_name : backend -> string
+(** ["sim"] or ["par"]. *)
+
+val run_result :
+  ?backend:backend ->
+  ?queue_capacity:int ->
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  Topology.t ->
+  (Engine.metrics, Supervisor.run_error) result
+(** Run the pipeline to completion on [backend] (default {!Sim}).
+    [queue_capacity] bounds the per-copy stream queues and only applies
+    to {!Par} (the simulator's queues are unbounded; passing it with
+    {!Sim} is accepted and ignored, except that [queue_capacity <= 0]
+    is rejected on both backends by {!Supervisor.validate}). *)
+
+(** Re-exports so callers can report metrics without importing
+    {!Engine}. *)
+
+val total_bytes : Engine.metrics -> float
+val pp_metrics : Format.formatter -> Engine.metrics -> unit
+val metrics_to_json : Engine.metrics -> Obs.Json.t

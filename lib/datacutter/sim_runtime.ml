@@ -1,536 +1,263 @@
-(* Discrete-event simulation of a filter pipeline on a cluster.
+(* Discrete-event backend of the filter-stream engine (see the .mli).
+   Protocol decisions — routing, the EOS barrier, retry/retire/re-route,
+   recovery — come from [Engine]; this file only schedules: an event
+   heap, with the executor's [send] a heap push at the modeled link
+   time.  [`Retry of delay] re-schedules the failed event [delay]
+   simulated seconds later; a simulated restart loses no state. *)
 
-   Substitution for the paper's testbed (700 MHz Pentium nodes on
-   Myrinet): each stage copy is a server with a FIFO queue whose service
-   time is the filter-reported operation count divided by the node's
-   power; each copy's incoming link is a server that serializes transfers
-   at the link bandwidth (plus a per-buffer latency).  Filters really
-   execute (the buffers carry real data); only time is simulated, so the
-   simulated run doubles as a correctness check of the decomposition.
-
-   End-of-stream protocol: when a copy has received EOS markers from all
-   of its upstream copies its own stream is complete, but it only
-   finalizes — emitting its partial-result payload (if any) as a [Final]
-   item and broadcasting markers downstream — once every copy of its
-   stage has drained (the stage drain barrier): before that, a retired
-   sibling may still re-route buffers into its queue, and finalizing
-   early would drop them.  Final items are absorbed or forwarded by
-   [on_eos].
-
-   Fault mirroring (see docs/ROBUSTNESS.md): the same [Fault.plan] the
-   parallel runtime injects in real time is replayed here in simulated
-   time.  A callback that raises (scripted or real) is retried after the
-   policy's backoff — simulated seconds, not wall seconds — until the
-   copy's retry budget is exhausted, at which point the copy retires:
-   round-robin senders stop selecting it, buffers already headed its way
-   re-route to surviving siblings, and its markers still flow so the
-   pipeline drains.  Scripted slowdowns multiply service times; link
-   faults add seconds to transfers.  Restarting a simulated copy needs
-   no state replay (nothing was lost), so [replayed] stays 0 here — the
-   asymmetry is deliberate and documented. *)
-
-type item =
-  | Data of Filter.buffer
-  | Final of Filter.buffer
-  | Marker
-
-(* --- event queue (binary heap keyed by time) --- *)
-
-module Heap = struct
-  type 'a t = { mutable arr : (float * 'a) array; mutable len : int }
-
-  let create () = { arr = [||]; len = 0 }
-  let _is_empty h = h.len = 0
-
-  let push h time v =
-    if h.len = Array.length h.arr then begin
-      let cap = max 16 (2 * Array.length h.arr) in
-      let arr = Array.make cap (time, v) in
-      Array.blit h.arr 0 arr 0 h.len;
-      h.arr <- arr
-    end;
-    h.arr.(h.len) <- (time, v);
-    h.len <- h.len + 1;
-    (* sift up *)
-    let i = ref (h.len - 1) in
-    while
-      !i > 0
-      &&
-      let p = (!i - 1) / 2 in
-      fst h.arr.(p) > fst h.arr.(!i)
-    do
-      let p = (!i - 1) / 2 in
-      let tmp = h.arr.(p) in
-      h.arr.(p) <- h.arr.(!i);
-      h.arr.(!i) <- tmp;
-      i := p
-    done
-
-  let pop h =
-    if h.len = 0 then None
-    else begin
-      let top = h.arr.(0) in
-      h.len <- h.len - 1;
-      h.arr.(0) <- h.arr.(h.len);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && fst h.arr.(l) < fst h.arr.(!smallest) then smallest := l;
-        if r < h.len && fst h.arr.(r) < fst h.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.arr.(!smallest) in
-          h.arr.(!smallest) <- h.arr.(!i);
-          h.arr.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some top
-    end
-end
-
-(* --- metrics --- *)
-
-type stage_metrics = {
-  sm_name : string;
-  sm_busy : float array;       (* busy seconds per copy *)
-  sm_items : int array;        (* items processed per copy *)
-  sm_queue_wait : float array; (* seconds items sat queued, per copy *)
-  sm_stall : float array;      (* seconds the copy sat idle awaiting work *)
-}
-
-type link_metrics = {
-  lm_bytes : float;
-  lm_transfers : int;
-  lm_busy : float;         (* total transfer seconds across receiver links *)
-  lm_wait : float;         (* serialization wait: send blocked on the link *)
-}
-
-type metrics = {
-  makespan : float;
-  stage_stats : stage_metrics array;
-  link_stats : link_metrics array;
-  recovery : Supervisor.recovery; (* simulated-time recovery counters *)
-}
-
-let total_bytes m = Array.fold_left (fun a l -> a +. l.lm_bytes) 0.0 m.link_stats
-
-let metrics_to_json m =
-  let floats a = Obs.Json.List (Array.to_list (Array.map (fun f -> Obs.Json.Float f) a)) in
-  let ints a = Obs.Json.List (Array.to_list (Array.map (fun i -> Obs.Json.Int i) a)) in
-  Obs.Json.Obj
-    [
-      ("makespan_s", Obs.Json.Float m.makespan);
-      ("total_bytes", Obs.Json.Float (total_bytes m));
-      ( "stages",
-        Obs.Json.List
-          (Array.to_list
-             (Array.map
-                (fun sm ->
-                  Obs.Json.Obj
-                    [
-                      ("name", Obs.Json.Str sm.sm_name);
-                      ("busy_s", floats sm.sm_busy);
-                      ("items", ints sm.sm_items);
-                      ("queue_wait_s", floats sm.sm_queue_wait);
-                      ("stall_s", floats sm.sm_stall);
-                    ])
-                m.stage_stats)) );
-      ( "links",
-        Obs.Json.List
-          (Array.to_list
-             (Array.map
-                (fun lm ->
-                  Obs.Json.Obj
-                    [
-                      ("bytes", Obs.Json.Float lm.lm_bytes);
-                      ("transfers", Obs.Json.Int lm.lm_transfers);
-                      ("busy_s", Obs.Json.Float lm.lm_busy);
-                      ("wait_s", Obs.Json.Float lm.lm_wait);
-                    ])
-                m.link_stats)) );
-      ("recovery", Supervisor.recovery_to_json m.recovery);
-    ]
-
-(* --- simulation state --- *)
-
-type impl = Src of Filter.source | Filt of Filter.t
+open Engine
 
 type copy = {
-  stage : int;
-  index : int;
-  impl : impl;
-  queue : (float * item) Queue.t;  (* (arrival time, item) *)
-  fstate : Fault.state;            (* scripted-fault injection state *)
+  cs : Engine.copy;                       (* shared protocol state *)
+  impl : Engine.instance;
+  queue : (float * Engine.item) Queue.t;  (* (arrival time, item) *)
   mutable busy : bool;
-  mutable markers_seen : int;
-  mutable at_quota : bool;         (* counted into the stage drain barrier *)
   mutable finished : bool;
-  mutable dead : bool;             (* retired: no longer a routing target *)
-  mutable attempts : int;          (* supervisor retries consumed *)
-  mutable rr : int;                (* round-robin pointer downstream *)
-  mutable link_free_at : float;    (* this copy's input link availability *)
-  mutable busy_time : float;
-  mutable items_done : int;
-  mutable queue_wait : float;      (* seconds items sat in the queue *)
-  mutable stall : float;           (* idle gaps before each service start *)
-  mutable idle_since : float;      (* when the copy last went idle *)
+  mutable link_free_at : float;           (* input-link availability *)
+  mutable idle_since : float;
 }
 
 type event =
-  | Ev_arrival of copy * item
+  | Ev_arrival of copy * Engine.item
   | Ev_copy_done of copy * Filter.buffer option * [ `Data | `Final | `Finalize ]
   | Ev_source_step of copy
   | Ev_finalize of copy  (* finalize (or retry one) if the barrier allows *)
 
-(* Raised from inside the event loop to abort the simulation with a
-   structured error; never escapes [run_result]. *)
+(* Aborts the event loop with a structured error; never escapes
+   [run_result]. *)
 exception Sim_abort of Supervisor.run_error
 
-let run_result ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
-    (topo : Topology.t) : (metrics, Supervisor.run_error) result =
-  match Supervisor.validate topo with
+let run_result ?(faults = Fault.empty) ?policy (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
+  match Engine.create ~faults ?policy topo with
   | Error e -> Error e
-  | Ok () ->
+  | Ok eng ->
   let stages = Array.of_list topo.Topology.stages in
   let links = Array.of_list topo.Topology.links in
   let n_stages = Array.length stages in
-  let recovery = Supervisor.fresh_recovery () in
+  let n_links = max 0 (n_stages - 1) in
   let copies =
-    Array.mapi
-      (fun s (st : Topology.stage) ->
-        Array.init st.Topology.width (fun k ->
-            let impl =
-              match st.Topology.role with
-              | Topology.Source mk -> Src (mk k)
-              | Topology.Inner mk | Topology.Sink mk -> Filt (mk k)
-            in
-            {
-              stage = s;
-              index = k;
-              impl;
-              queue = Queue.create ();
-              fstate = Fault.state_for faults ~stage:s ~copy:k;
-              busy = false;
-              markers_seen = 0;
-              at_quota = false;
-              finished = false;
-              dead = false;
-              attempts = 0;
-              rr = k;
-              link_free_at = 0.0;
-              busy_time = 0.0;
-              items_done = 0;
-              queue_wait = 0.0;
-              stall = 0.0;
-              idle_since = 0.0;
-            }))
-      stages
+    Array.init n_stages (fun s ->
+        Array.init stages.(s).Topology.width (fun k ->
+            let cs = Engine.copy_at eng ~stage:s ~copy:k in
+            { cs; impl = Engine.instantiate eng cs; queue = Queue.create ();
+              busy = false; finished = false; link_free_at = 0.0;
+              idle_since = 0.0 }))
   in
-  let link_bytes = Array.make (max 0 (n_stages - 1)) 0.0 in
-  let link_transfers = Array.make (max 0 (n_stages - 1)) 0 in
-  let link_busy = Array.make (max 0 (n_stages - 1)) 0.0 in
-  let link_wait = Array.make (max 0 (n_stages - 1)) 0.0 in
-  let heap : event Heap.t = Heap.create () in
+  let link_bytes = Array.make n_links 0.0 in
+  let link_transfers = Array.make n_links 0 in
+  let link_busy = Array.make n_links 0.0 in
+  let link_wait = Array.make n_links 0.0 in
+  let heap : event Timeline.t = Timeline.create () in
+  let now = ref 0.0 in
   let makespan = ref 0.0 in
   let note_time t = if t > !makespan then makespan := t in
 
-  (* Trace events carry simulated timestamps; copies and links use the
-     topology's stable virtual-thread ids. *)
+  (* Traces carry simulated timestamps on stable virtual-thread ids. *)
   let tracing = Obs.Trace.is_enabled () in
-  if tracing then Topology.announce_threads topo;
-  let ctid (c : copy) = Topology.copy_tid topo ~stage:c.stage ~copy:c.index in
+  let ctid (c : copy) =
+    Topology.copy_tid topo ~stage:c.cs.stage ~copy:c.cs.index
+  in
   let trace_service (c : copy) ~name ~ts ~dur ~packet =
     if tracing then
+      let args =
+        if packet < 0 then [] else [ ("packet", Obs.Trace.Aint packet) ]
+      in
       Obs.Trace.emit
-        (Obs.Trace.Span
-           {
-             name;
-             cat = "sim";
-             ts;
-             dur;
-             tid = ctid c;
-             args = (if packet < 0 then [] else [ ("packet", Obs.Trace.Aint packet) ]);
-           })
+        (Obs.Trace.Span { name; cat = "sim"; ts; dur; tid = ctid c; args })
   in
   let trace_qlen (c : copy) ~ts =
     if tracing then
+      let name =
+        "queue " ^ Topology.copy_label topo ~stage:c.cs.stage ~copy:c.cs.index
+      in
       Obs.Trace.emit
         (Obs.Trace.Counter
-           {
-             name = "queue " ^ Topology.copy_label topo ~stage:c.stage ~copy:c.index;
-             ts;
-             tid = ctid c;
-             values = [ ("len", float_of_int (Queue.length c.queue)) ];
-           })
+           { name; ts; tid = ctid c;
+             values = [ ("len", float_of_int (Queue.length c.queue)) ] })
   in
 
-  let stage_has_survivor s =
-    Array.exists (fun (c : copy) -> not c.dead) copies.(s)
-  in
-  let stage_dead (c : copy) err =
-    raise
-      (Sim_abort
-         (Supervisor.Stage_dead
-            {
-              stage = c.stage;
-              stage_name = stages.(c.stage).Topology.stage_name;
-              error = err;
-            }))
-  in
-
-  (* Send [item] from [c] downstream at time [t].  Data/Final use
-     round-robin over the *surviving* downstream copies; markers
-     broadcast to every copy (dead ones still count them). *)
-  let send t (c : copy) (it : item) =
-    if c.stage < n_stages - 1 then begin
-      let dst_stage = copies.(c.stage + 1) in
-      let link = links.(c.stage) in
-      let deliver (dst : copy) size =
-        let start = max t dst.link_free_at in
-        let extra =
-          Fault.link_extra faults ~link:c.stage
-            ~transfer:(link_transfers.(c.stage) + 1)
-        in
-        let dur =
-          link.Topology.latency +. (size /. link.Topology.bandwidth) +. extra
-        in
-        dst.link_free_at <- start +. dur;
-        link_busy.(c.stage) <- link_busy.(c.stage) +. dur;
-        link_wait.(c.stage) <- link_wait.(c.stage) +. (start -. t);
-        link_bytes.(c.stage) <- link_bytes.(c.stage) +. size;
-        link_transfers.(c.stage) <- link_transfers.(c.stage) + 1;
-        if tracing then begin
-          let ltid = Topology.link_tid topo c.stage in
-          Obs.Trace.emit
-            (Obs.Trace.Span
-               {
-                 name = "xfer";
-                 cat = "link";
-                 ts = start;
-                 dur;
-                 tid = ltid;
-                 args = [ ("bytes", Obs.Trace.Afloat size) ];
-               });
-          let id = Obs.Trace.next_flow_id () in
-          Obs.Trace.emit
-            (Obs.Trace.Flow_start { name = "buffer"; id; ts = t; tid = ctid c });
-          Obs.Trace.emit
-            (Obs.Trace.Flow_end
-               { name = "buffer"; id; ts = start +. dur; tid = ctid dst })
-        end;
-        Heap.push heap (start +. dur) (Ev_arrival (dst, it));
-        note_time (start +. dur)
+  (* The executor: [send] is a heap push.  Cross-stage sends pay the
+     modeled link time; same-stage sends (re-routes off a dead copy)
+     re-arrive immediately — the buffer is already on the node. *)
+  let exec_send ~src ~dst_stage ~dst_copy it =
+    let t = !now in
+    let dst = copies.(dst_stage).(dst_copy) in
+    if dst_stage = src.Engine.stage then Timeline.push heap t (Ev_arrival (dst, it))
+    else begin
+      let li = src.Engine.stage in
+      let link = links.(li) in
+      let size =
+        match it with
+        | Data b | Final b -> float_of_int (Filter.buffer_size b)
+        | Marker -> 1.0 in
+      let start = max t dst.link_free_at in
+      let dur =
+        link.Topology.latency +. (size /. link.Topology.bandwidth)
+        +. Fault.link_extra faults ~link:li ~transfer:(link_transfers.(li) + 1)
       in
-      match it with
-      | Data b | Final b ->
-          let w = Array.length dst_stage in
-          let rec pick tries =
-            if tries >= w then None
-            else begin
-              let j = c.rr mod w in
-              c.rr <- c.rr + 1;
-              if dst_stage.(j).dead then pick (tries + 1) else Some dst_stage.(j)
-            end
-          in
-          (match pick 0 with
-          | None ->
-              raise
-                (Sim_abort
-                   (Supervisor.Stage_dead
-                      {
-                        stage = c.stage + 1;
-                        stage_name = stages.(c.stage + 1).Topology.stage_name;
-                        error = "no live copies to route to";
-                      }))
-          | Some dst -> deliver dst (float_of_int (Filter.buffer_size b)))
-      | Marker -> Array.iter (fun dst -> deliver dst 1.0) dst_stage
+      dst.link_free_at <- start +. dur;
+      link_busy.(li) <- link_busy.(li) +. dur;
+      link_wait.(li) <- link_wait.(li) +. (start -. t);
+      link_bytes.(li) <- link_bytes.(li) +. size;
+      link_transfers.(li) <- link_transfers.(li) + 1;
+      if tracing then begin
+        let tid = Topology.link_tid topo li in
+        let args = [ ("bytes", Obs.Trace.Afloat size) ] in
+        Obs.Trace.emit
+          (Obs.Trace.Span { name = "xfer"; cat = "link"; ts = start; dur; tid; args });
+        let id = Obs.Trace.next_flow_id () in
+        let src_tid =
+          Topology.copy_tid topo ~stage:src.Engine.stage ~copy:src.Engine.index
+        in
+        Obs.Trace.emit
+          (Obs.Trace.Flow_start { name = "buffer"; id; ts = t; tid = src_tid });
+        Obs.Trace.emit
+          (Obs.Trace.Flow_end
+             { name = "buffer"; id; ts = start +. dur; tid = ctid dst })
+      end;
+      Timeline.push heap (start +. dur) (Ev_arrival (dst, it));
+      note_time (start +. dur)
     end
   in
+  Engine.attach eng
+    { exec_backend = Engine.Sim;
+      exec_now = (fun () -> !now);
+      exec_sleep = (fun _ -> ());  (* retries are scheduled, not slept *)
+      exec_send;
+      exec_queue_len =
+        (fun ~stage ~copy -> Queue.length copies.(stage).(copy).queue);
+      exec_wake = (fun () -> ()) };
 
-  (* Re-route an item off a dead copy to a surviving sibling (same
-     stage, immediate re-arrival: the buffer is already on the node's
-     side of the link). *)
-  let reroute t (c : copy) (it : item) =
-    let sibs = copies.(c.stage) in
-    let w = Array.length sibs in
-    let rec pick tries j =
-      if tries >= w then None
-      else if j <> c.index && not sibs.(j).dead then Some sibs.(j)
-      else pick (tries + 1) ((j + 1) mod w)
-    in
-    match pick 0 ((c.index + 1) mod w) with
-    | None -> stage_dead c "no live copies to re-route to"
-    | Some sib ->
-        recovery.Supervisor.rerouted <- recovery.Supervisor.rerouted + 1;
-        Heap.push heap t (Ev_arrival (sib, it))
-  in
+  let ok = function Ok () -> () | Error e -> raise (Sim_abort e) in
+  let send t c it = now := t; ok (Engine.send_downstream eng c.cs it) in
 
-  let upstream_width (c : copy) =
-    if c.stage = 0 then 0 else stages.(c.stage - 1).Topology.width
-  in
-
-  (* Stage drain barrier (mirrors Par_runtime): a copy is counted into
-     [at_eos] exactly once, when it has consumed its last upstream
-     marker; finalize waits until the whole stage has drained, because
-     until then a retired sibling may still re-route buffers here.  The
-     [Ev_finalize] wake-ups are scheduled an epsilon late so same-time
-     re-route arrivals are always served first. *)
-  let at_eos = Array.make n_stages 0 in
-  let released = Array.make n_stages false in
+  (* When a stage drains, wake every copy so survivors can finalize —
+     an epsilon late, so same-time re-route arrivals are served first. *)
   let eos_eps = 1e-9 in
   let count_eos t (c : copy) =
-    if not c.at_quota then begin
-      c.at_quota <- true;
-      at_eos.(c.stage) <- at_eos.(c.stage) + 1;
-      if at_eos.(c.stage) = stages.(c.stage).Topology.width then begin
-        released.(c.stage) <- true;
+    match Engine.count_eos eng c.cs with
+    | `Already | `Counted -> ()
+    | `Stage_drained ->
         Array.iter
-          (fun c' -> Heap.push heap (t +. eos_eps) (Ev_finalize c'))
-          copies.(c.stage)
-      end
-    end
+          (fun c' -> Timeline.push heap (t +. eos_eps) (Ev_finalize c'))
+          copies.(c.cs.stage)
   in
 
-  (* A retired copy still relays its marker once its upstream quota is
-     met, so downstream marker counting stays sound. *)
+  (* A retired copy still relays its marker once at quota, so
+     downstream marker counting stays sound. *)
   let dead_maybe_relay t (c : copy) =
-    if c.markers_seen >= upstream_width c then begin
+    if Engine.at_marker_quota eng c.cs then begin
       count_eos t c;
-      if not c.finished then begin
-        c.finished <- true;
-        send t c Marker
-      end
+      if not c.finished then (c.finished <- true; send t c Marker)
     end
   in
 
-  (* Retire [c] at time [t]: drop it from routing, re-route whatever it
-     was holding, keep its marker obligation alive. *)
+  (* Retire [c]: drop it from routing (engine decision), re-route what
+     it was holding and had queued, keep its marker obligation. *)
   let retire t (c : copy) err in_flight =
-    recovery.Supervisor.retired <- recovery.Supervisor.retired + 1;
-    c.dead <- true;
+    (match Engine.retire eng c.cs ~error:err with
+    | `Fatal e -> raise (Sim_abort e)
+    | `Continue -> ());
     c.busy <- false;
-    (* A dead stage cannot complete the run — except a source stage that
-       already produced: its stream just truncates and the rest drains
-       (mirrors Par_runtime). *)
-    if
-      (not (stage_has_survivor c.stage))
-      && (c.stage > 0 || c.items_done = 0)
-    then stage_dead c (Printexc.to_string err);
-    (match in_flight with
-    | Some ((Data _ | Final _) as it) -> reroute t c it
-    | Some Marker | None -> ());
-    Queue.iter
-      (fun (_, it) ->
-        match it with
-        | (Data _ | Final _) as it -> reroute t c it
-        | Marker -> c.markers_seen <- c.markers_seen + 1)
-      c.queue;
+    now := t;
+    let relay = function
+      | (Data _ | Final _) as it -> ok (Engine.reroute eng c.cs it)
+      | Marker -> Engine.note_marker eng c.cs
+    in
+    (match in_flight with Some it -> relay it | None -> ());
+    Queue.iter (fun (_, it) -> relay it) c.queue;
     Queue.clear c.queue;
     trace_qlen c ~ts:t;
     dead_maybe_relay t c
   in
 
-  (* One supervised service attempt: on any exception (scripted fault or
-     real filter error) the attempt is retried — by scheduling
-     [retry_ev] after the policy backoff in simulated time — until the
-     copy's budget is spent and it retires ([in_flight] is the item to
-     re-route on retirement). *)
+  (* One supervised attempt: retries re-schedule [retry_ev] after the
+     backoff in simulated time; exhaustion retires + re-routes. *)
   let supervised t (c : copy) in_flight retry_ev (f : unit -> unit) =
     match f () with
     | () -> ()
     | exception Sim_abort e -> raise (Sim_abort e)
-    | exception err ->
-        recovery.Supervisor.crashes <- recovery.Supervisor.crashes + 1;
-        if c.attempts >= policy.Supervisor.max_retries then
-          retire t c err in_flight
-        else begin
-          c.attempts <- c.attempts + 1;
-          recovery.Supervisor.retries <- recovery.Supervisor.retries + 1;
-          let delay =
-            policy.Supervisor.backoff_s
-            *. (2.0 ** float_of_int (c.attempts - 1))
-          in
-          Heap.push heap (t +. delay) retry_ev;
-          note_time (t +. delay)
-        end
+    | exception err -> (
+        match Engine.on_crash eng c.cs with
+        | `Retry delay ->
+            Timeline.push heap (t +. delay) retry_ev; note_time (t +. delay)
+        | `Give_up -> retire t c err in_flight)
   in
 
-  let power_of c = stages.(c.stage).Topology.power in
+  let power_of (c : copy) = stages.(c.cs.stage).Topology.power in
+  let dead (c : copy) = not (Atomic.get c.cs.Engine.alive) in
 
-  (* Start work on the next queued item if idle; once the queue is dry
-     and the stage drain barrier has released, finalize. *)
+  (* Serve the next queued item if idle; once the queue is dry and the
+     stage drain barrier has released, finalize. *)
   let rec maybe_start t (c : copy) =
-    if (not c.busy) && not c.dead then begin
+    if (not c.busy) && not (dead c) then begin
       if Queue.is_empty c.queue then maybe_finalize t c
       else begin
         let arrived, it = Queue.pop c.queue in
         trace_qlen c ~ts:t;
         (* an actual service begins: charge the idle gap and queue wait *)
         let begin_service () =
-          c.queue_wait <- c.queue_wait +. Float.max 0.0 (t -. arrived);
-          c.stall <- c.stall +. Float.max 0.0 (t -. c.idle_since)
+          Engine.note_queue_wait eng c.cs (Float.max 0.0 (t -. arrived));
+          Engine.note_stall_pop eng c.cs (Float.max 0.0 (t -. c.idle_since))
         in
         match c.impl with
-        | Src _ -> () (* sources are self-driving; they have no queue *)
-        | Filt f -> (
+        | I_source _ -> () (* sources are self-driving; they have no queue *)
+        | I_filter f -> (
             match it with
-            | Data b ->
+            | (Data _ | Final _) as it ->
                 begin_service ();
                 supervised t c (Some it) (Ev_arrival (c, it)) (fun () ->
-                    Fault.tick c.fstate;
-                    let out, cost = f.Filter.process b in
-                    let dur = cost /. power_of c *. Fault.slow_factor c.fstate in
-                    c.busy <- true;
-                    c.busy_time <- c.busy_time +. dur;
-                    c.items_done <- c.items_done + 1;
-                    trace_service c ~name:"process" ~ts:t ~dur
-                      ~packet:b.Filter.packet;
-                    Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Data)));
-                if not c.busy then maybe_start t c
-            | Final b ->
-                begin_service ();
-                supervised t c (Some it) (Ev_arrival (c, it)) (fun () ->
-                    let out, cost = f.Filter.on_eos (Some b) in
+                    let out, cost, name, packet, kind =
+                      match it with
+                      | Data b ->
+                          Fault.tick c.cs.fstate;
+                          let out, cost = f.Filter.process b in
+                          let cost = cost *. Fault.slow_factor c.cs.fstate in
+                          (out, cost, "process", b.Filter.packet, `Data)
+                      | Final b ->
+                          let out, cost = f.Filter.on_eos (Some b) in
+                          (out, cost, "on_eos", -1, `Final)
+                      | Marker -> assert false
+                    in
                     let dur = cost /. power_of c in
                     c.busy <- true;
-                    c.busy_time <- c.busy_time +. dur;
-                    trace_service c ~name:"on_eos" ~ts:t ~dur ~packet:(-1);
-                    Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Final)));
+                    Engine.note_busy eng c.cs dur;
+                    if kind = `Data then Engine.note_item_done eng c.cs;
+                    trace_service c ~name ~ts:t ~dur ~packet;
+                    Timeline.push heap (t +. dur) (Ev_copy_done (c, out, kind)));
                 if not c.busy then maybe_start t c
             | Marker ->
-                c.markers_seen <- c.markers_seen + 1;
-                if c.markers_seen >= upstream_width c then count_eos t c;
+                Engine.note_marker eng c.cs;
+                if Engine.at_marker_quota eng c.cs then count_eos t c;
                 maybe_start t c)
       end
     end
 
   and maybe_finalize t (c : copy) =
     match c.impl with
-    | Src _ -> ()
-    | Filt f ->
-        if released.(c.stage) && c.at_quota && not c.finished then begin
-          c.stall <- c.stall +. Float.max 0.0 (t -. c.idle_since);
+    | I_source _ -> ()
+    | I_filter f ->
+        if
+          Engine.barrier_released eng c.cs.stage
+          && Atomic.get c.cs.Engine.at_quota && not c.finished
+        then begin
+          Engine.note_stall_pop eng c.cs (Float.max 0.0 (t -. c.idle_since));
           supervised t c None (Ev_finalize c) (fun () ->
               let out, cost = f.Filter.finalize () in
               let dur = cost /. power_of c in
               c.busy <- true;
-              c.busy_time <- c.busy_time +. dur;
+              Engine.note_busy eng c.cs dur;
               trace_service c ~name:"finalize" ~ts:t ~dur ~packet:(-1);
-              Heap.push heap (t +. dur) (Ev_copy_done (c, out, `Finalize)))
+              Timeline.push heap (t +. dur) (Ev_copy_done (c, out, `Finalize)))
         end
 
   and handle t = function
-    | Ev_arrival (c, it) when c.dead -> (
+    | Ev_arrival (c, it) when dead c -> (
         (* zombie routing: dead copies forward their obligations *)
         match it with
-        | Marker ->
-            c.markers_seen <- c.markers_seen + 1;
-            dead_maybe_relay t c
-        | (Data _ | Final _) as it -> reroute t c it)
+        | Marker -> Engine.note_marker eng c.cs; dead_maybe_relay t c
+        | (Data _ | Final _) as it -> now := t; ok (Engine.reroute eng c.cs it))
     | Ev_arrival (c, it) ->
         Queue.push (t, it) c.queue;
         trace_qlen c ~ts:t;
@@ -543,155 +270,81 @@ let run_result ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
         | Some b, `Data -> send t c (Data b)
         | Some b, (`Final | `Finalize) -> send t c (Final b)
         | None, _ -> ());
-        if kind = `Finalize then begin
-          c.finished <- true;
-          send t c Marker
-        end;
+        if kind = `Finalize then (c.finished <- true; send t c Marker);
         maybe_start t c
-    | Ev_finalize c -> if not c.dead then maybe_start t c
+    | Ev_finalize c -> if not (dead c) then maybe_start t c
     | Ev_source_step c -> (
-        if not c.dead then
-        match c.impl with
-        | Filt _ -> ()
-        | Src s ->
-            supervised t c None (Ev_source_step c) (fun () ->
-                Fault.tick c.fstate;
-                match s.Filter.next () with
-                | Some (b, cost) ->
-                    let dur =
-                      cost /. power_of c *. Fault.slow_factor c.fstate
-                    in
-                    c.busy_time <- c.busy_time +. dur;
-                    c.items_done <- c.items_done + 1;
-                    trace_service c ~name:"produce" ~ts:t ~dur
-                      ~packet:b.Filter.packet;
-                    let t' = t +. dur in
-                    note_time t';
-                    send t' c (Data b);
-                    Heap.push heap t' (Ev_source_step c)
-                | None ->
-                    let out, cost = s.Filter.src_finalize () in
+        if not (dead c) then
+          match c.impl with
+          | I_filter _ -> ()
+          | I_source s ->
+              supervised t c None (Ev_source_step c) (fun () ->
+                  Fault.tick c.cs.fstate;
+                  let serve ~name ~cost ~packet =
                     let dur = cost /. power_of c in
-                    c.busy_time <- c.busy_time +. dur;
-                    trace_service c ~name:"src_finalize" ~ts:t ~dur ~packet:(-1);
+                    Engine.note_busy eng c.cs dur;
+                    trace_service c ~name ~ts:t ~dur ~packet;
                     let t' = t +. dur in
                     note_time t';
-                    (match out with Some b -> send t' c (Final b) | None -> ());
-                    c.finished <- true;
-                    send t' c Marker))
+                    t'
+                  in
+                  match s.Filter.next () with
+                  | Some (b, cost) ->
+                      let cost = cost *. Fault.slow_factor c.cs.fstate in
+                      let t' = serve ~name:"produce" ~cost ~packet:b.Filter.packet in
+                      Engine.note_item_done eng c.cs;
+                      send t' c (Data b);
+                      Timeline.push heap t' (Ev_source_step c)
+                  | None ->
+                      let out, cost = s.Filter.src_finalize () in
+                      let t' = serve ~name:"src_finalize" ~cost ~packet:(-1) in
+                      (match out with Some b -> send t' c (Final b) | None -> ());
+                      c.finished <- true;
+                      send t' c Marker))
   in
 
   let simulate () =
     (* init all copies, start sources *)
     Array.iter
-      (fun stage_copies ->
-        Array.iter
-          (fun c ->
-            match c.impl with
-            | Filt f ->
-                let cost = f.Filter.init () in
-                c.busy_time <- c.busy_time +. (cost /. power_of c)
-            | Src _ -> Heap.push heap 0.0 (Ev_source_step c))
-          stage_copies)
+      (Array.iter (fun c ->
+           match c.impl with
+           | I_filter f ->
+               let cost = f.Filter.init () in
+               Engine.note_busy eng c.cs (cost /. power_of c)
+           | I_source _ -> Timeline.push heap 0.0 (Ev_source_step c)))
       copies;
     let rec loop () =
-      match Heap.pop heap with
+      match Timeline.pop heap with
       | None -> ()
-      | Some (t, ev) ->
-          handle t ev;
-          loop ()
+      | Some (t, ev) -> now := t; handle t ev; loop ()
     in
     loop ();
-    (* The event queue drained: every copy must have completed its
-       end-of-stream protocol, or the topology wedged (a marker deficit
-       cannot resolve itself).  Mirror the parallel watchdog with a
-       structured stall report. *)
-    let unfinished =
-      Array.exists (Array.exists (fun c -> not c.finished)) copies
-    in
-    if unfinished then begin
-      recovery.Supervisor.watchdog_trips <-
-        recovery.Supervisor.watchdog_trips + 1;
-      let report =
-        List.concat_map
-          (fun row ->
-            List.map
-              (fun (c : copy) ->
-                let state =
-                  if c.finished then "done"
-                  else
-                    Printf.sprintf "waiting (markers %d/%d)" c.markers_seen
-                      (upstream_width c)
-                in
-                {
-                  Supervisor.cr_stage = c.stage;
-                  cr_copy = c.index;
-                  cr_label =
-                    Topology.copy_label topo ~stage:c.stage ~copy:c.index;
-                  cr_state = (if c.dead then "retired/" ^ state else state);
-                  cr_items = c.items_done;
-                  cr_queue_len = Queue.length c.queue;
-                })
-              (Array.to_list row))
-          (Array.to_list copies)
+    (* A drained heap with unfinished copies is a wedged topology (a
+       marker deficit cannot resolve itself): mirror the watchdog. *)
+    if Array.exists (Array.exists (fun c -> not c.finished)) copies then begin
+      Engine.bump eng (fun r ->
+          r.Supervisor.watchdog_trips <- r.watchdog_trips + 1);
+      let state_of ~stage ~copy =
+        let c = copies.(stage).(copy) in
+        let state =
+          if c.finished then "done"
+          else
+            Printf.sprintf "waiting (markers %d/%d)"
+              (Engine.markers_seen c.cs) (Engine.upstream_width eng c.cs)
+        in
+        if dead c then "retired/" ^ state else state
       in
-      raise (Sim_abort (Supervisor.Stalled { after_s = !makespan; report }))
+      raise
+        (Sim_abort
+           (Supervisor.Stalled
+              { after_s = !makespan; report = Engine.copy_report ~state_of eng }))
     end;
-    {
-      makespan = !makespan;
-      stage_stats =
-        Array.mapi
-          (fun s stage_copies ->
-            {
-              sm_name = stages.(s).Topology.stage_name;
-              sm_busy = Array.map (fun c -> c.busy_time) stage_copies;
-              sm_items = Array.map (fun c -> c.items_done) stage_copies;
-              sm_queue_wait = Array.map (fun c -> c.queue_wait) stage_copies;
-              sm_stall = Array.map (fun c -> c.stall) stage_copies;
-            })
-          copies;
-      link_stats =
-        Array.init
-          (max 0 (n_stages - 1))
-          (fun i ->
-            {
-              lm_bytes = link_bytes.(i);
-              lm_transfers = link_transfers.(i);
-              lm_busy = link_busy.(i);
-              lm_wait = link_wait.(i);
-            });
-      recovery;
-    }
+    Engine.metrics eng ~elapsed_s:!makespan
+      ~link_stats:
+        (Array.init n_links (fun i ->
+             { Engine.lm_bytes = link_bytes.(i);
+               lm_transfers = link_transfers.(i);
+               lm_busy = link_busy.(i); lm_wait = link_wait.(i) }))
+      ()
   in
-  match simulate () with
-  | m -> Ok m
-  | exception Sim_abort e -> Error e
-
-let run ?faults ?policy topo =
-  match run_result ?faults ?policy topo with
-  | Ok m -> m
-  | Error e -> raise (Supervisor.Run_failed e)
-
-let pp_metrics ppf m =
-  Fmt.pf ppf "makespan=%.6fs@\n" m.makespan;
-  Array.iter
-    (fun sm ->
-      Fmt.pf ppf "  stage %-12s busy=[%a] items=[%a] wait=[%a] stall=[%a]@\n"
-        sm.sm_name
-        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-        sm.sm_busy
-        Fmt.(array ~sep:(any "; ") int)
-        sm.sm_items
-        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-        sm.sm_queue_wait
-        Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-        sm.sm_stall)
-    m.stage_stats;
-  Array.iteri
-    (fun i lm ->
-      Fmt.pf ppf
-        "  link %d: %.0f bytes in %d transfers, busy %.4fs, wait %.4fs@\n" i
-        lm.lm_bytes lm.lm_transfers lm.lm_busy lm.lm_wait)
-    m.link_stats;
-  if Supervisor.recovery_total m.recovery > 0 then
-    Fmt.pf ppf "  recovery: %a@\n" Supervisor.pp_recovery m.recovery
+  match simulate () with m -> Ok m | exception Sim_abort e -> Error e

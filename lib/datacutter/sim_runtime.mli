@@ -1,4 +1,4 @@
-(** Discrete-event simulation of a filter pipeline on a cluster.
+(** Discrete-event backend of the filter-stream {!Engine}.
 
     Substitute for the paper's testbed: each stage copy is a server with
     a FIFO queue whose service time is the filter-reported operation
@@ -7,66 +7,20 @@
     Filters really execute (buffers carry real data) — only time is
     simulated, so a run doubles as a correctness check.
 
-    End-of-stream protocol: when a copy has received markers from all
-    upstream copies its stream is complete, but it finalizes — emitting
-    its partial-result payload and broadcasting markers downstream —
-    only once every copy of its stage has drained (the stage drain
-    barrier, mirroring {!Par_runtime}), so buffers re-routed off a
-    retired sibling are never dropped; payloads are absorbed or
-    forwarded by [on_eos].
+    The protocol — routing, the EOS drain barrier, retry / retire /
+    re-route, recovery counters — lives in {!Engine}; this backend is
+    the event-heap scheduler that applies the engine's decisions in
+    simulated time.  Retries cost simulated (free) seconds; a simulated
+    restart loses no state, so the [replayed] counter stays 0 here.
+    Link-delay faults are modeled per transfer.  A drained event queue
+    that leaves a copy's end-of-stream protocol incomplete yields
+    {!Supervisor.Stalled} with a marker-deficit report.
 
-    Fault mirroring (see docs/ROBUSTNESS.md): the same {!Fault.plan} the
-    parallel runtime injects in real time is replayed in simulated time —
-    failed callbacks retry after the policy backoff (simulated seconds),
-    exhausted copies retire with their traffic re-routed to surviving
-    siblings, scripted slowdowns multiply service times, and link faults
-    add seconds to transfers.  A simulated restart loses no state, so the
-    [replayed] counter stays 0 here (the parallel runtime's replay ring
-    has no simulated equivalent). *)
+    Prefer the {!Runtime} facade; this entry point is the backend
+    implementation behind [Runtime.run_result ~backend:Sim]. *)
 
-type stage_metrics = {
-  sm_name : string;
-  sm_busy : float array;        (** busy seconds per copy *)
-  sm_items : int array;         (** items processed per copy *)
-  sm_queue_wait : float array;  (** seconds items sat queued, per copy *)
-  sm_stall : float array;
-      (** seconds the copy sat idle between services; for zero-cost
-          [init] filters, [busy + stall <= makespan] per copy *)
-}
-
-type link_metrics = {
-  lm_bytes : float;
-  lm_transfers : int;
-  lm_busy : float;
-  lm_wait : float;  (** serialization wait: sends blocked on a busy link *)
-}
-
-type metrics = {
-  makespan : float;  (** simulated end-to-end seconds *)
-  stage_stats : stage_metrics array;
-  link_stats : link_metrics array;
-  recovery : Supervisor.recovery;
-      (** simulated-time recovery counters; all zero on a fault-free run *)
-}
-
-(** Total bytes moved over all links. *)
-val total_bytes : metrics -> float
-
-(** Machine-readable form of the metrics (the [--metrics-json] body),
-    including a ["recovery"] object. *)
-val metrics_to_json : metrics -> Obs.Json.t
-
-(** Run the pipeline to completion.  The topology is validated first
-    ({!Supervisor.validate}); a drained event queue that leaves a copy's
-    end-of-stream protocol incomplete yields {!Supervisor.Stalled}. *)
 val run_result :
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
   Topology.t ->
-  (metrics, Supervisor.run_error) result
-
-(** [run_result] unwrapped; raises {!Supervisor.Run_failed} on error. *)
-val run :
-  ?faults:Fault.plan -> ?policy:Supervisor.policy -> Topology.t -> metrics
-
-val pp_metrics : Format.formatter -> metrics -> unit
+  (Engine.metrics, Supervisor.run_error) result

@@ -1,0 +1,177 @@
+(* Differential backend test, wired into `dune runtest` via the
+   @engine-smoke alias: run the same topology on both Engine backends —
+   the discrete-event simulator and the domain executor — with and
+   without an injected crash plan, and assert that the shared protocol
+   behaves identically:
+
+   - the sink receives exactly the same payload multiset on both
+     backends (exactly-once delivery, even while a copy dies mid-run
+     and its queued work is re-routed to the survivor);
+   - the recovery counters agree where the semantics are shared
+     (crashes, retirements) and differ only where documented (replay is
+     a wall-clock mechanism, so the simulator's [replayed] stays 0);
+   - both backends serialize through the one [Runtime.metrics_to_json],
+     producing documents with the same shared key set.
+
+   This is the contract the backend-agnostic engine exists to enforce:
+   anything protocol-level that diverges between the backends is a bug
+   in a backend's executor, not a semantic fork. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("engine-smoke: " ^ m);
+      exit 1)
+    fmt
+
+let buffer_of_int packet =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int packet);
+  Datacutter.Filter.make_buffer ~packet b
+
+(* Sources that split [n] packets round-robin across copies. *)
+let sharded_source n width copy =
+  let i = ref copy in
+  {
+    Datacutter.Filter.src_name = "src";
+    next =
+      (fun () ->
+        if !i >= n then None
+        else begin
+          let p = !i in
+          i := !i + width;
+          Some (buffer_of_int p, 10.0)
+        end);
+    src_finalize = (fun () -> (None, 0.0));
+  }
+
+(* A sink recording every payload it sees (thread-safe for the domain
+   backend). *)
+let recording_sink () =
+  let mutex = Mutex.create () in
+  let packets = ref [] in
+  let sink _ =
+    {
+      (Datacutter.Filter.pass_through "sink") with
+      Datacutter.Filter.process =
+        (fun b ->
+          let p = Int64.to_int (Bytes.get_int64_le b.Datacutter.Filter.data 0) in
+          Mutex.lock mutex;
+          packets := p :: !packets;
+          Mutex.unlock mutex;
+          (None, 1.0));
+    }
+  in
+  (sink, fun () -> List.sort compare !packets)
+
+(* A fresh topology (fresh filter state!) for every single run. *)
+let make_topo ~n () =
+  let sink, got = recording_sink () in
+  let topo =
+    Datacutter.Topology.create
+      ~stages:
+        [
+          {
+            Datacutter.Topology.stage_name = "src";
+            width = 1;
+            power = 100.0;
+            role = Datacutter.Topology.Source (sharded_source n 1);
+          };
+          {
+            Datacutter.Topology.stage_name = "mid";
+            width = 2;
+            power = 100.0;
+            role =
+              Datacutter.Topology.Inner
+                (fun _ -> Datacutter.Filter.pass_through "mid");
+          };
+          {
+            Datacutter.Topology.stage_name = "sink";
+            width = 1;
+            power = 100.0;
+            role = Datacutter.Topology.Sink sink;
+          };
+        ]
+      ~links:
+        [
+          { Datacutter.Topology.bandwidth = 1e6; latency = 0.0 };
+          { Datacutter.Topology.bandwidth = 1e6; latency = 0.0 };
+        ]
+  in
+  (topo, got)
+
+let run ~label backend ?faults ?policy n =
+  let topo, got = make_topo ~n () in
+  match Datacutter.Runtime.run_result ~backend ?faults ?policy topo with
+  | Ok m -> (m, got ())
+  | Error e ->
+      die "%s run failed: %s" label
+        (Fmt.str "%a" Datacutter.Supervisor.pp_run_error e)
+
+let json_keys = function
+  | Obs.Json.Obj kvs -> List.sort compare (List.map fst kvs)
+  | _ -> die "metrics JSON is not an object"
+
+let check_pair ~what ?faults ?policy n =
+  let sim_m, sim_got = run ~label:(what ^ "/sim") Datacutter.Runtime.Sim ?faults ?policy n in
+  let par_m, par_got = run ~label:(what ^ "/par") Datacutter.Runtime.Par ?faults ?policy n in
+  let all = List.init n Fun.id in
+  if sim_got <> all then
+    die "%s: sim sink multiset wrong (%d packets, expected %d distinct)" what
+      (List.length sim_got) n;
+  if par_got <> all then
+    die "%s: par sink multiset wrong (%d packets, expected %d distinct)" what
+      (List.length par_got) n;
+  let sr = sim_m.Datacutter.Engine.recovery
+  and pr = par_m.Datacutter.Engine.recovery in
+  if sr.Datacutter.Supervisor.crashes <> pr.Datacutter.Supervisor.crashes then
+    die "%s: crash counts diverge (sim %d, par %d)" what
+      sr.Datacutter.Supervisor.crashes pr.Datacutter.Supervisor.crashes;
+  if sr.Datacutter.Supervisor.retired <> pr.Datacutter.Supervisor.retired then
+    die "%s: retirement counts diverge (sim %d, par %d)" what
+      sr.Datacutter.Supervisor.retired pr.Datacutter.Supervisor.retired;
+  if sr.Datacutter.Supervisor.replayed <> 0 then
+    die "%s: simulated restarts lose no state, yet sim replayed = %d" what
+      sr.Datacutter.Supervisor.replayed;
+  (* one serializer: identical key sets up to the documented optional
+     sections (links on sim, queue occupancy inside the par stages) *)
+  let strip keys = List.filter (fun k -> k <> "links") keys in
+  let sk = strip (json_keys (Datacutter.Runtime.metrics_to_json sim_m))
+  and pk = strip (json_keys (Datacutter.Runtime.metrics_to_json par_m)) in
+  if sk <> pk then
+    die "%s: metrics JSON key sets diverge (sim: %s; par: %s)" what
+      (String.concat "," sk) (String.concat "," pk);
+  (sr, pr)
+
+let () =
+  let n = 40 in
+  (* healthy pipeline: no recovery activity on either backend *)
+  let sr, _pr = check_pair ~what:"healthy" n in
+  if Datacutter.Supervisor.recovery_total sr <> 0 then
+    die "healthy: unexpected recovery activity on sim";
+  (* one mid copy dies for good after 5 packets: both backends must
+     retire it, re-route its queued work and still deliver exactly
+     once *)
+  let faults =
+    match Datacutter.Fault.parse "1.0:crash@5" with
+    | Ok p -> p
+    | Error m -> die "bad fault spec: %s" m
+  in
+  let policy =
+    {
+      Datacutter.Supervisor.default_policy with
+      Datacutter.Supervisor.max_retries = 0;
+    }
+  in
+  let sr, pr = check_pair ~what:"crash" ~faults ~policy n in
+  if sr.Datacutter.Supervisor.retired <> 1 then
+    die "crash: expected exactly one retirement, got %d"
+      sr.Datacutter.Supervisor.retired;
+  if sr.Datacutter.Supervisor.rerouted < 1 || pr.Datacutter.Supervisor.rerouted < 1
+  then
+    die "crash: expected re-routed traffic on both backends (sim %d, par %d)"
+      sr.Datacutter.Supervisor.rerouted pr.Datacutter.Supervisor.rerouted;
+  Printf.printf
+    "engine-smoke ok: sim and par agree on %d packets, healthy and under \
+     crash@5 (retired=1, rerouted sim=%d par=%d)\n"
+    n sr.Datacutter.Supervisor.rerouted pr.Datacutter.Supervisor.rerouted

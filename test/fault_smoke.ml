@@ -27,7 +27,7 @@ let () =
     | Error m -> die "bad fault spec: %s" m
   in
   let metrics =
-    match Datacutter.Par_runtime.run_result ~faults topo with
+    match Datacutter.Runtime.run_result ~backend:Datacutter.Runtime.Par ~faults topo with
     | Ok m -> m
     | Error e ->
         die "injected-fault run did not complete: %s"
@@ -37,7 +37,8 @@ let () =
   let doc = Obs.Metrics.create () in
   Obs.Metrics.set_str doc "app" app.H.name;
   Obs.Metrics.set_bool doc "ok" true;
-  Obs.Metrics.set doc "parallel" (Datacutter.Par_runtime.metrics_to_json metrics);
+  Obs.Metrics.set_str doc "backend" "par";
+  Obs.Metrics.set doc "runtime" (Datacutter.Runtime.metrics_to_json metrics);
   Obs.Metrics.write_file path doc;
   (* assert on the emitted artifact, not the in-memory record *)
   let json =
@@ -53,7 +54,7 @@ let () =
   in
   let retries =
     match
-      Obs.Json.(member "parallel" json |> member "recovery" |> member "retries")
+      Obs.Json.(member "runtime" json |> member "recovery" |> member "retries")
     with
     | Obs.Json.Int n -> n
     | _ -> die "metrics JSON missing recovery.retries"

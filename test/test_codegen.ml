@@ -8,6 +8,12 @@ open Lang
 module V = Value
 module SS = Set.Make (String)
 
+(* Run on the simulator via the unified API, raising on failure. *)
+let sim_run topo =
+  match Datacutter.Runtime.run_result topo with
+  | Ok m -> m
+  | Error e -> raise (Datacutter.Supervisor.Run_failed e)
+
 let src =
   {|
 class P { float a; float b; }
@@ -145,7 +151,7 @@ let test_sink_collects_result () =
       ~powers:[| 1e6; 1e6; 1e6 |] ~bandwidths:[| 1e6; 1e6 |] ()
   in
   ignore got;
-  ignore (Datacutter.Sim_runtime.run topo);
+  ignore (sim_run topo);
   match List.assoc "acc" (results ()) with
   | V.Vobject o ->
       A.(check bool) "accumulated something" true
@@ -185,7 +191,7 @@ let test_eos_payload_roundtrip () =
     Codegen.build_topology plan ~widths:[| 2; 1; 1 |]
       ~powers:[| 1e6; 1e6; 1e6 |] ~bandwidths:[| 1e6; 1e6 |] ()
   in
-  ignore (Datacutter.Sim_runtime.run topo);
+  ignore (sim_run topo);
   (* compare against reference *)
   let prog = Compile.front_end ~externs_sig src in
   let ctx =

@@ -6,6 +6,12 @@
 module A = Alcotest
 open Datacutter
 
+(* Run on a backend via the unified API, raising on failure. *)
+let run_exn backend ?faults ?policy topo =
+  match Runtime.run_result ~backend ?faults ?policy topo with
+  | Ok m -> m
+  | Error e -> raise (Supervisor.Run_failed e)
+
 let buffer_of_string packet s =
   Filter.make_buffer ~packet (Bytes.of_string s)
 
@@ -113,17 +119,17 @@ let sim_makespan ~faults ~seed () =
       ~sink:(fun _ -> Filter.pass_through "sink")
       ()
   in
-  Sim_runtime.run ~faults topo
+  run_exn Runtime.Sim ~faults topo
 
 let test_sim_deterministic () =
   let faults = plan_exn "*.*:slow~2.0" in
   let a = sim_makespan ~faults ~seed:11 () in
   let b = sim_makespan ~faults ~seed:11 () in
   let c = sim_makespan ~faults ~seed:12 () in
-  A.(check (float 0.0)) "same seed, same makespan" a.Sim_runtime.makespan
-    b.Sim_runtime.makespan;
+  A.(check (float 0.0)) "same seed, same makespan" a.Engine.elapsed_s
+    b.Engine.elapsed_s;
   A.(check bool) "different seed, different fault trace" true
-    (a.Sim_runtime.makespan <> c.Sim_runtime.makespan)
+    (a.Engine.elapsed_s <> c.Engine.elapsed_s)
 
 let test_sim_flaky_retries () =
   let sink, got = recording_sink () in
@@ -132,9 +138,9 @@ let test_sim_flaky_retries () =
       ~inner:(fun _ -> Filter.pass_through "mid")
       ~sink ()
   in
-  let m = Sim_runtime.run ~faults:(plan_exn "1.0:flaky@2x3") topo in
+  let m = run_exn Runtime.Sim ~faults:(plan_exn "1.0:flaky@2x3") topo in
   expect_packets 12 (got ());
-  let r = m.Sim_runtime.recovery in
+  let r = m.Engine.recovery in
   A.(check int) "three transient crashes" 3 r.Supervisor.crashes;
   A.(check int) "each retried" 3 r.Supervisor.retries;
   A.(check int) "no copy retired" 0 r.Supervisor.retired
@@ -148,9 +154,9 @@ let test_sim_crash_failover () =
       ~sink ()
   in
   let policy = { Supervisor.default_policy with Supervisor.max_retries = 0 } in
-  let m = Sim_runtime.run ~faults:(plan_exn "1.0:crash@5") ~policy topo in
+  let m = run_exn Runtime.Sim ~faults:(plan_exn "1.0:crash@5") ~policy topo in
   expect_packets 20 (got ());
-  let r = m.Sim_runtime.recovery in
+  let r = m.Engine.recovery in
   A.(check int) "one copy retired" 1 r.Supervisor.retired;
   A.(check bool) "its traffic re-routed" true (r.Supervisor.rerouted >= 1)
 
@@ -162,7 +168,7 @@ let test_sim_whole_stage_dead () =
       ()
   in
   let policy = { Supervisor.default_policy with Supervisor.max_retries = 0 } in
-  match Sim_runtime.run_result ~faults:(plan_exn "1.0:crash@2") ~policy topo with
+  match Runtime.run_result ~backend:Runtime.Sim ~faults:(plan_exn "1.0:crash@2") ~policy topo with
   | Error (Supervisor.Stage_dead { stage = 1; _ }) -> ()
   | Error e -> A.failf "wrong error: %a" Supervisor.pp_run_error e
   | Ok _ -> A.fail "width-1 stage death must abort the run"
@@ -188,18 +194,18 @@ let test_slowdown_shifts_bottleneck () =
       ()
   in
   let sm =
-    Sim_runtime.run ~faults (mk_topo (fun b -> (Some b, 100.0)))
+    run_exn Runtime.Sim ~faults (mk_topo (fun b -> (Some b, 100.0)))
   in
-  let sim_busy = sm.Sim_runtime.stage_stats.(1).Sim_runtime.sm_busy in
+  let sim_busy = sm.Engine.busy_s.(1) in
   A.(check bool) "sim: slowed copy dominates" true
     (sim_busy.(0) > 2.0 *. sim_busy.(1));
   let pm =
-    Par_runtime.run ~faults
+    run_exn Runtime.Par ~faults
       (mk_topo (fun b ->
            spin 0.0005;
            (Some b, 100.0)))
   in
-  let par_busy = pm.Par_runtime.stage_busy.(1) in
+  let par_busy = pm.Engine.busy_s.(1) in
   A.(check bool) "par: slowed copy dominates" true
     (par_busy.(0) > 2.0 *. par_busy.(1))
 
@@ -213,11 +219,11 @@ let test_par_crash_restart () =
       ~inner:(fun _ -> Filter.pass_through "mid")
       ~sink ()
   in
-  match Par_runtime.run_result ~faults:(plan_exn "1.0:crash@3") topo with
+  match Runtime.run_result ~backend:Runtime.Par ~faults:(plan_exn "1.0:crash@3") topo with
   | Error e -> A.failf "run failed: %a" Supervisor.pp_run_error e
   | Ok m ->
       expect_packets 20 (got ());
-      let r = m.Par_runtime.recovery in
+      let r = m.Engine.recovery in
       A.(check bool) "restarted" true (r.Supervisor.retries >= 1);
       A.(check bool) "state replayed" true (r.Supervisor.replayed >= 1);
       A.(check int) "no copy retired" 0 r.Supervisor.retired
@@ -231,11 +237,11 @@ let test_par_crash_retire () =
       ~sink ()
   in
   let policy = { Supervisor.default_policy with Supervisor.max_retries = 0 } in
-  match Par_runtime.run_result ~faults:(plan_exn "1.0:crash@5") ~policy topo with
+  match Runtime.run_result ~backend:Runtime.Par ~faults:(plan_exn "1.0:crash@5") ~policy topo with
   | Error e -> A.failf "run failed: %a" Supervisor.pp_run_error e
   | Ok m ->
       expect_packets 20 (got ());
-      let r = m.Par_runtime.recovery in
+      let r = m.Engine.recovery in
       A.(check int) "one copy retired" 1 r.Supervisor.retired;
       A.(check bool) "its traffic re-routed" true (r.Supervisor.rerouted >= 1)
 
@@ -275,7 +281,7 @@ let test_watchdog_trips_on_deadlock () =
       call_budget_s = Some 0.05;
     }
   in
-  match Par_runtime.run_result ~queue_capacity:2 ~policy topo with
+  match Runtime.run_result ~backend:Runtime.Par ~queue_capacity:2 ~policy topo with
   | Error (Supervisor.Stalled { after_s; report }) ->
       A.(check bool) "stall interval reported" true (after_s >= 0.05);
       A.(check bool) "per-copy report present" true (List.length report = 3);
@@ -298,12 +304,12 @@ let test_watchdog_quiet_on_healthy_run () =
   let policy =
     { Supervisor.default_policy with Supervisor.watchdog_ms = Some 2000 }
   in
-  match Par_runtime.run_result ~policy topo with
+  match Runtime.run_result ~backend:Runtime.Par ~policy topo with
   | Error e -> A.failf "healthy run failed: %a" Supervisor.pp_run_error e
   | Ok m ->
       expect_packets 15 (got ());
       A.(check int) "no watchdog trips" 0
-        m.Par_runtime.recovery.Supervisor.watchdog_trips
+        m.Engine.recovery.Supervisor.watchdog_trips
 
 (* --- topology validation --- *)
 
@@ -324,9 +330,9 @@ let test_validation () =
   (* hand-built records bypass Topology.create, so the runtimes must
      reject them on their own *)
   expect_invalid "empty pipeline"
-    (Sim_runtime.run_result { Topology.stages = []; links = [] });
+    (Runtime.run_result ~backend:Runtime.Sim { Topology.stages = []; links = [] });
   expect_invalid "single stage"
-    (Sim_runtime.run_result { Topology.stages = [ stage src ]; links = [] });
+    (Runtime.run_result ~backend:Runtime.Sim { Topology.stages = [ stage src ]; links = [] });
   expect_invalid "zero-width stage"
     (Sim_runtime.run_result
        {
@@ -349,7 +355,7 @@ let test_validation () =
          links = [ link; link ];
        });
   expect_invalid "zero queue capacity (par)"
-    (Par_runtime.run_result ~queue_capacity:0
+    (Runtime.run_result ~backend:Runtime.Par ~queue_capacity:0
        { Topology.stages = [ stage src; stage snk ]; links = [ link ] })
 
 let suite =

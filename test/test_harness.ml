@@ -5,6 +5,16 @@ module A = Alcotest
 open Core
 module H = Apps.Harness
 
+(* Run on the simulator via the unified API, raising on failure. *)
+let sim_run topo =
+  match Datacutter.Runtime.run_result topo with
+  | Ok m -> m
+  | Error e -> raise (Datacutter.Supervisor.Run_failed e)
+
+let cell = function
+  | Ok v -> v
+  | Error e -> raise (Datacutter.Supervisor.Run_failed e)
+
 let tiny_knn = H.knn_app Apps.Knn.tiny
 
 let test_pipeline_for_scales_power () =
@@ -48,7 +58,7 @@ let test_configurations () =
     H.configurations
 
 let test_run_cell_returns_results () =
-  let t, bytes, results, c = H.run_cell ~widths:[| 1; 1; 1 |] tiny_knn in
+  let t, bytes, results, c = cell (H.run_cell ~widths:[| 1; 1; 1 |] tiny_knn) in
   A.(check bool) "positive makespan" true (t > 0.0);
   A.(check bool) "bytes moved" true (bytes > 0.0);
   A.(check bool) "result present" true (List.mem_assoc "result" results);
@@ -63,7 +73,7 @@ let test_layout_modes_same_results () =
   in
   let run mode =
     let _, _, results, _ =
-      H.run_cell ~layout_mode:mode ~widths:[| 2; 2; 1 |] tiny_knn
+      cell (H.run_cell ~layout_mode:mode ~widths:[| 2; 2; 1 |] tiny_knn)
     in
     dists results
   in
@@ -168,7 +178,7 @@ let test_four_stage_pipeline_end_to_end () =
       ~bandwidths:(Array.make 3 cluster.H.bandwidth)
       ~latency:cluster.H.latency ()
   in
-  ignore (Datacutter.Sim_runtime.run topo);
+  ignore (sim_run topo);
   let dists v = List.map (fun (d, _, _, _) -> d) (Apps.Knn.knn_result v) in
   A.(check (list (float 1e-12))) "4-stage correct"
     (List.map (fun (d, _, _, _) -> d) (Apps.Knn.oracle cfg))
@@ -186,7 +196,7 @@ let test_two_stage_pipeline_end_to_end () =
       ~bandwidths:(Array.make 1 cluster.H.bandwidth)
       ~latency:cluster.H.latency ()
   in
-  ignore (Datacutter.Sim_runtime.run topo);
+  ignore (sim_run topo);
   let dists v = List.map (fun (d, _, _, _) -> d) (Apps.Knn.knn_result v) in
   A.(check (list (float 1e-12))) "2-stage correct"
     (List.map (fun (d, _, _, _) -> d) (Apps.Knn.oracle cfg))
@@ -197,7 +207,7 @@ let test_ragged_packet_distribution () =
      depend on the uneven split *)
   let cfg = { Apps.Knn.tiny with Apps.Knn.num_packets = 5 } in
   let app = H.knn_app cfg in
-  let _, _, results, _ = H.run_cell ~widths:[| 2; 2; 1 |] app in
+  let _, _, results, _ = cell (H.run_cell ~widths:[| 2; 2; 1 |] app) in
   let dists v = List.map (fun (d, _, _, _) -> d) (Apps.Knn.knn_result v) in
   A.(check (list (float 1e-12))) "ragged split correct"
     (List.map (fun (d, _, _, _) -> d) (Apps.Knn.oracle cfg))

@@ -7,6 +7,12 @@ module A = Alcotest
 open Core
 module V = Lang.Value
 
+(* Run on the simulator via the unified API, raising on failure. *)
+let sim_run topo =
+  match Datacutter.Runtime.run_result topo with
+  | Ok m -> m
+  | Error e -> raise (Datacutter.Supervisor.Run_failed e)
+
 (* the calibrated cluster of the benchmark harness, width 1-1-1 *)
 let pipeline = Apps.Harness.(pipeline_for default_cluster [| 1; 1; 1 |])
 
@@ -72,8 +78,8 @@ let test_knn_decomp_beats_default () =
   let md, _ = Compile.run_simulated cd ~widths:[| 1; 1; 1 |] () in
   let mf, _ = Compile.run_simulated cf ~widths:[| 1; 1; 1 |] () in
   A.(check bool) "decomp not slower" true
-    (md.Datacutter.Sim_runtime.makespan
-    <= mf.Datacutter.Sim_runtime.makespan *. 1.02)
+    (md.Datacutter.Engine.elapsed_s
+    <= mf.Datacutter.Engine.elapsed_s *. 1.02)
 
 let test_knn_decomposition_shape () =
   (* with the calibrated cluster (communication-dominated knn) the
@@ -104,7 +110,7 @@ let test_knn_manual_matches_oracle () =
     Apps.Knn.manual_topology cfg ~widths:[| 2; 2; 1 |]
       ~powers:[| 1e6; 1e6; 5e5 |] ~bandwidths:[| 1e6; 1e6 |] ()
   in
-  ignore (Datacutter.Sim_runtime.run topo);
+  ignore (sim_run topo);
   A.check float_list "manual matches oracle"
     (List.map (fun (d, _, _, _) -> d) (Apps.Knn.oracle cfg))
     (List.map (fun (d, _, _, _) -> d) (get ()))
@@ -131,7 +137,7 @@ let test_vmscope_manual_matches_oracle () =
     Apps.Vmscope.manual_topology cfg ~widths:[| 2; 2; 1 |]
       ~powers:[| 1e6; 1e6; 5e5 |] ~bandwidths:[| 1e6; 1e6 |] ()
   in
-  ignore (Datacutter.Sim_runtime.run topo);
+  ignore (sim_run topo);
   let r, _, _ = get () in
   let orr, _, _ = Apps.Vmscope.oracle cfg in
   A.(check (array (float 1e-9))) "manual red matches oracle" orr r
@@ -145,8 +151,8 @@ let test_vmscope_decomp_not_slower () =
   let md, _ = Compile.run_simulated cd ~widths:[| 1; 1; 1 |] () in
   let mf, _ = Compile.run_simulated cf ~widths:[| 1; 1; 1 |] () in
   A.(check bool) "decomp not slower" true
-    (md.Datacutter.Sim_runtime.makespan
-    <= mf.Datacutter.Sim_runtime.makespan *. 1.05)
+    (md.Datacutter.Engine.elapsed_s
+    <= mf.Datacutter.Engine.elapsed_s *. 1.05)
 
 (* --- isosurface --- *)
 
@@ -216,8 +222,8 @@ let test_iso_decomp_not_slower () =
   let md, _ = Compile.run_simulated cd ~widths:[| 1; 1; 1 |] () in
   let mf, _ = Compile.run_simulated cf ~widths:[| 1; 1; 1 |] () in
   A.(check bool) "decomp not slower" true
-    (md.Datacutter.Sim_runtime.makespan
-    <= mf.Datacutter.Sim_runtime.makespan *. 1.05)
+    (md.Datacutter.Engine.elapsed_s
+    <= mf.Datacutter.Engine.elapsed_s *. 1.05)
 
 (* --- cross-cutting --- *)
 
@@ -226,7 +232,7 @@ let test_predicted_total_tracks_measured () =
      same order of magnitude for width-1 runs *)
   let c = compile_knn Apps.Knn.tiny in
   let m, _ = Compile.run_simulated c ~widths:[| 1; 1; 1 |] () in
-  let ratio = c.Compile.predicted_total /. m.Datacutter.Sim_runtime.makespan in
+  let ratio = c.Compile.predicted_total /. m.Datacutter.Engine.elapsed_s in
   A.(check bool)
     (Printf.sprintf "prediction within 3x (ratio %.3f)" ratio)
     true

@@ -209,6 +209,12 @@ let test_chrome_trace_wellformed () =
 
 let buffer_of packet n = Filter.make_buffer ~packet (Bytes.make n 'x')
 
+(* Run on a backend via the unified API, raising on failure. *)
+let run_exn backend ?queue_capacity topo =
+  match Runtime.run_result ~backend ?queue_capacity topo with
+  | Ok m -> m
+  | Error e -> raise (Supervisor.Run_failed e)
+
 let counting_source ?(cost = 10.0) ?(size = 8) n _copy =
   let i = ref 0 in
   {
@@ -276,35 +282,38 @@ let topo3 ?(widths = (1, 2, 1)) ?(n = 40) () =
 
 let test_sim_invariants () =
   let n = 40 in
-  let m = Sim_runtime.run (topo3 ~n ()) in
-  let open Sim_runtime in
-  A.(check bool) "positive makespan" true (m.makespan > 0.0);
-  Array.iter
-    (fun sm ->
+  let m = run_exn Runtime.Sim (topo3 ~n ()) in
+  let open Engine in
+  A.(check bool) "positive makespan" true (m.elapsed_s > 0.0);
+  Array.iteri
+    (fun s row ->
       Array.iteri
         (fun k busy ->
-          let stall = sm.sm_queue_wait.(k) in
+          let name = m.stage_names.(s) in
           A.(check bool)
-            (Printf.sprintf "%s/%d queue wait >= 0" sm.sm_name k)
-            true (stall >= 0.0);
-          A.(check bool)
-            (Printf.sprintf "%s/%d busy + stall <= makespan" sm.sm_name k)
+            (Printf.sprintf "%s/%d queue wait >= 0" name k)
             true
-            (busy +. sm.sm_stall.(k) <= m.makespan +. 1e-9))
-        sm.sm_busy)
-    m.stage_stats;
+            (m.queue_wait_s.(s).(k) >= 0.0);
+          A.(check bool)
+            (Printf.sprintf "%s/%d busy + stall <= makespan" name k)
+            true
+            (busy +. m.stall_pop_s.(s).(k) <= m.elapsed_s +. 1e-9))
+        row)
+    m.busy_s;
   (* items conserved across links: src produced = mid processed = sink
      processed (relay forwards every data buffer) *)
-  let totals =
-    Array.map (fun sm -> Array.fold_left ( + ) 0 sm.sm_items) m.stage_stats
-  in
+  let totals = Array.map (Array.fold_left ( + ) 0) m.items in
   A.(check (array int)) "items conserved" [| n; n; n |] totals;
   (* each link moved at least the data buffers *)
-  Array.iter
-    (fun lm ->
-      A.(check bool) "transfers cover data items" true (lm.lm_transfers >= n);
-      A.(check bool) "link wait >= 0" true (lm.lm_wait >= 0.0))
-    m.link_stats
+  match m.link_stats with
+  | None -> A.fail "sim metrics must carry link stats"
+  | Some links ->
+      Array.iter
+        (fun lm ->
+          A.(check bool) "transfers cover data items" true
+            (lm.lm_transfers >= n);
+          A.(check bool) "link wait >= 0" true (lm.lm_wait >= 0.0))
+        links
 
 let test_sim_stall_detects_bottleneck () =
   (* sink 10x slower than the producer: its stall should be ~0 while the
@@ -341,85 +350,75 @@ let test_sim_stall_detects_bottleneck () =
           { Topology.bandwidth = 1e6; latency = 0.0 };
         ]
   in
-  let m = Sim_runtime.run t in
-  let open Sim_runtime in
-  let sink = m.stage_stats.(2) in
-  let mid = m.stage_stats.(1) in
+  let m = run_exn Runtime.Sim t in
+  let open Engine in
   A.(check bool) "sink dominates makespan" true
-    (sink.sm_busy.(0) >= 0.9 *. m.makespan);
+    (m.busy_s.(2).(0) >= 0.9 *. m.elapsed_s);
   (* the fast mid finishes early: its idle gap shows up as queue wait on
      the sink, not stall on mid *)
   A.(check bool) "sink queue wait large" true
-    (sink.sm_queue_wait.(0) > mid.sm_queue_wait.(0))
+    (m.queue_wait_s.(2).(0) > m.queue_wait_s.(1).(0))
 
 let test_par_invariants () =
   let n = 40 in
-  let m = Par_runtime.run ~queue_capacity:4 (topo3 ~n ()) in
-  let open Par_runtime in
-  A.(check bool) "positive wall time" true (m.wall_time > 0.0);
+  let m = run_exn Runtime.Par ~queue_capacity:4 (topo3 ~n ()) in
+  let open Engine in
+  A.(check bool) "positive wall time" true (m.elapsed_s > 0.0);
   Array.iteri
     (fun s row ->
       Array.iteri
         (fun k busy ->
           let total =
-            busy +. m.stage_stall_push.(s).(k) +. m.stage_stall_pop.(s).(k)
+            busy +. m.stall_push_s.(s).(k) +. m.stall_pop_s.(s).(k)
           in
           (* measurement overhead (mutex hand-off outside the clocks) is
              real but small; allow 25% slack plus a constant *)
           A.(check bool)
             (Printf.sprintf "stage %d/%d busy+stalls <= wall" s k)
             true
-            (total <= (m.wall_time *. 1.25) +. 0.05))
+            (total <= (m.elapsed_s *. 1.25) +. 0.05))
         row)
-    m.stage_busy;
+    m.busy_s;
   (* conservation: data items sent by stage s = data items processed by
      stage s+1 *)
   let sum = Array.fold_left ( + ) 0 in
-  A.(check int) "src out = mid in"
-    (sum m.stage_items_out.(0))
-    (sum m.stage_items.(1));
-  A.(check int) "mid out = sink in"
-    (sum m.stage_items_out.(1))
-    (sum m.stage_items.(2));
-  A.(check int) "sink forwards nothing" 0 (sum m.stage_items_out.(2));
+  A.(check int) "src out = mid in" (sum m.items_out.(0)) (sum m.items.(1));
+  A.(check int) "mid out = sink in" (sum m.items_out.(1)) (sum m.items.(2));
+  A.(check int) "sink forwards nothing" 0 (sum m.items_out.(2));
   (* every push is one occupancy observation: data + finals + markers *)
-  Array.iteri
-    (fun s hists ->
-      if s > 0 then begin
-        let pushes =
-          Array.fold_left (fun a h -> a + Obs.Hist.count h) 0 hists
-        in
-        A.(check bool)
-          (Printf.sprintf "stage %d occupancy observed" s)
-          true
-          (pushes >= sum m.stage_items.(s))
-      end)
-    m.queue_occupancy;
+  (match m.queue_occupancy with
+  | None -> A.fail "par metrics must carry queue occupancy"
+  | Some occupancy ->
+      Array.iteri
+        (fun s hists ->
+          if s > 0 then begin
+            let pushes =
+              Array.fold_left (fun a h -> a + Obs.Hist.count h) 0 hists
+            in
+            A.(check bool)
+              (Printf.sprintf "stage %d occupancy observed" s)
+              true
+              (pushes >= sum m.items.(s))
+          end)
+        occupancy);
   (* bytes counters: every data buffer is 8 bytes *)
   A.(check bool) "src bytes counted" true
-    (Array.fold_left ( +. ) 0.0 m.stage_bytes_out.(0)
-    >= float_of_int (8 * n))
+    (Array.fold_left ( +. ) 0.0 m.bytes_out.(0) >= float_of_int (8 * n))
 
 let test_sim_par_items_agree () =
   (* same topology shape, fresh filter instances for each executor *)
   let n = 30 in
-  let sim = Sim_runtime.run (topo3 ~n ~widths:(1, 2, 2) ()) in
-  let par = Par_runtime.run (topo3 ~n ~widths:(1, 2, 2) ()) in
-  let sim_totals =
-    Array.map
-      (fun sm -> Array.fold_left ( + ) 0 sm.Sim_runtime.sm_items)
-      sim.Sim_runtime.stage_stats
-  in
-  let par_totals =
-    Array.map (Array.fold_left ( + ) 0) par.Par_runtime.stage_items
-  in
+  let sim = run_exn Runtime.Sim (topo3 ~n ~widths:(1, 2, 2) ()) in
+  let par = run_exn Runtime.Par (topo3 ~n ~widths:(1, 2, 2) ()) in
+  let sim_totals = Array.map (Array.fold_left ( + ) 0) sim.Engine.items in
+  let par_totals = Array.map (Array.fold_left ( + ) 0) par.Engine.items in
   A.(check (array int)) "sim and par item counts equal" sim_totals par_totals
 
 let test_runtimes_emit_spans () =
   with_tracing @@ fun () ->
   let n = 10 in
-  ignore (Sim_runtime.run (topo3 ~n ~widths:(1, 1, 1) ()));
-  ignore (Par_runtime.run (topo3 ~n ~widths:(1, 1, 1) ()));
+  ignore (run_exn Runtime.Sim (topo3 ~n ~widths:(1, 1, 1) ()));
+  ignore (run_exn Runtime.Par (topo3 ~n ~widths:(1, 1, 1) ()));
   let evs = Obs.Trace.events () in
   let spans_cat cat =
     List.filter

@@ -4,6 +4,15 @@
 module A = Alcotest
 open Datacutter
 
+(* Unified-runtime helpers: run on a backend, raising on failure. *)
+let run_exn backend topo =
+  match Runtime.run_result ~backend topo with
+  | Ok m -> m
+  | Error e -> raise (Supervisor.Run_failed e)
+
+let sim_run topo = run_exn Runtime.Sim topo
+let par_run topo = run_exn Runtime.Par topo
+
 let buffer_of_string packet s =
   Filter.make_buffer ~packet (Bytes.of_string s)
 
@@ -71,9 +80,9 @@ let test_all_packets_delivered () =
       ~inner:(fun _ -> Filter.pass_through "mid")
       ~sink ()
   in
-  let m = Sim_runtime.run topo in
+  let m = sim_run topo in
   A.(check int) "all packets reach sink" 17 !received;
-  A.(check bool) "positive makespan" true (m.Sim_runtime.makespan > 0.0)
+  A.(check bool) "positive makespan" true (m.Engine.elapsed_s > 0.0)
 
 let test_makespan_bottleneck_scaling () =
   (* source at 10 ops/packet, middle at 100 ops/packet: middle is the
@@ -87,11 +96,11 @@ let test_makespan_bottleneck_scaling () =
   let sink _ = Filter.pass_through "sink" in
   let n = 50 in
   let topo = topo3 ~power:100.0 ~bandwidth:1e9 ~source:(counting_source n) ~inner ~sink () in
-  let m = Sim_runtime.run topo in
+  let m = sim_run topo in
   let expected = float_of_int n *. (100.0 /. 100.0) in
   A.(check bool) "makespan close to bottleneck bound" true
-    (m.Sim_runtime.makespan >= expected
-    && m.Sim_runtime.makespan < expected *. 1.2)
+    (m.Engine.elapsed_s >= expected
+    && m.Engine.elapsed_s < expected *. 1.2)
 
 let test_transparent_copies_speedup () =
   let inner _ =
@@ -107,7 +116,7 @@ let test_transparent_copies_speedup () =
       topo3 ~widths:(w, w, 1) ~power:100.0 ~bandwidth:1e9
         ~source:(sharded_source n w) ~inner ~sink ()
     in
-    (Sim_runtime.run topo).Sim_runtime.makespan
+    (sim_run topo).Engine.elapsed_s
   in
   let t1 = run 1 and t2 = run 2 and t4 = run 4 in
   A.(check bool) "2 copies ~2x" true (t1 /. t2 > 1.7);
@@ -121,9 +130,8 @@ let test_round_robin_balance () =
       ~sink:(fun _ -> Filter.pass_through "sink")
       ()
   in
-  let m = Sim_runtime.run topo in
-  let mid = m.Sim_runtime.stage_stats.(1) in
-  Array.iter (fun items -> A.(check int) "balanced" 10 items) mid.Sim_runtime.sm_items
+  let m = sim_run topo in
+  Array.iter (fun items -> A.(check int) "balanced" 10 items) m.Engine.items.(1)
 
 let test_link_bytes_accounting () =
   let topo =
@@ -132,9 +140,9 @@ let test_link_bytes_accounting () =
       ~sink:(fun _ -> Filter.pass_through "sink")
       ()
   in
-  let m = Sim_runtime.run topo in
+  let m = sim_run topo in
   (* 10 packets x 8 bytes + 1 marker byte *)
-  A.(check (float 0.01)) "link0 bytes" 81.0 (Sim_runtime.total_bytes m /. 2.0)
+  A.(check (float 0.01)) "link0 bytes" 81.0 (Runtime.total_bytes m /. 2.0)
 
 let test_slow_link_dominates () =
   let run bw =
@@ -144,7 +152,7 @@ let test_slow_link_dominates () =
         ~sink:(fun _ -> Filter.pass_through "sink")
         ()
     in
-    (Sim_runtime.run topo).Sim_runtime.makespan
+    (sim_run topo).Engine.elapsed_s
   in
   A.(check bool) "slower link slower run" true (run 100.0 > run 10000.0 *. 2.0)
 
@@ -156,7 +164,7 @@ let test_latency_increases_makespan () =
         ~sink:(fun _ -> Filter.pass_through "sink")
         ()
     in
-    (Sim_runtime.run topo).Sim_runtime.makespan
+    (sim_run topo).Engine.elapsed_s
   in
   let t0 = run 0.0 and t1 = run 0.01 in
   (* 20 packets x 2 links x 10ms, pipelined: at least one link's worth *)
@@ -199,7 +207,7 @@ let test_eos_payload_merge () =
   let topo =
     topo3 ~widths:(2, 3, 1) ~source:(sharded_source 31 2) ~inner ~sink ()
   in
-  ignore (Sim_runtime.run topo);
+  ignore (sim_run topo);
   A.(check int) "partials sum to packet count" 31 !total
 
 let test_source_finalize_payload () =
@@ -233,7 +241,7 @@ let test_source_finalize_payload () =
     }
   in
   let topo = topo3 ~source ~inner:(fun _ -> Filter.pass_through "mid") ~sink () in
-  ignore (Sim_runtime.run topo);
+  ignore (sim_run topo);
   A.(check string) "payload forwarded through middle" "partial" !got
 
 let test_collecting_sink_helper () =
@@ -277,9 +285,9 @@ let test_par_runtime_counts () =
       ~inner:(fun _ -> Filter.pass_through "mid")
       ~sink ()
   in
-  let m = Par_runtime.run topo in
+  let m = par_run topo in
   A.(check int) "all packets" 24 !received;
-  A.(check bool) "wall time sane" true (m.Par_runtime.wall_time >= 0.0)
+  A.(check bool) "wall time sane" true (m.Engine.elapsed_s >= 0.0)
 
 let test_par_eos_payload () =
   let inner _ =
@@ -316,7 +324,7 @@ let test_par_eos_payload () =
     }
   in
   let topo = topo3 ~widths:(2, 2, 1) ~source:(sharded_source 19 2) ~inner ~sink () in
-  ignore (Par_runtime.run topo);
+  ignore (par_run topo);
   A.(check int) "partials sum" 19 !total
 
 let suite =
