@@ -11,6 +11,9 @@
                        search, brute force) on the real app profiles
      ablation_packing  instance-wise vs field-wise buffer layouts (§5)
      ablation_packet   packet-size sweep (§8 future work)
+     backends          one cell on every Engine backend (sim/par/proc),
+                       rows tagged with a "backend" discriminator
+     parallel          real-domain wall-clock speedups
      micro             Bechamel micro-benchmarks of the compiler itself
 
    Absolute times are simulated seconds on the substitute cluster and are
@@ -56,12 +59,14 @@ module Record = struct
     title := t;
     rows := []
 
-  (* one table row: the config label plus named numeric cells *)
-  let row label cells =
+  (* one table row: the config label, optional string tags (e.g. the
+     "backend" discriminator), then named numeric cells *)
+  let row ?(tags = []) label cells =
     rows :=
       Obs.Json.Obj
         (("config", Obs.Json.Str label)
-        :: List.map (fun (k, v) -> (k, Obs.Json.Float v)) cells)
+         :: List.map (fun (k, v) -> (k, Obs.Json.Str v)) tags
+        @ List.map (fun (k, v) -> (k, Obs.Json.Float v)) cells)
       :: !rows
 
   let path_of target =
@@ -469,6 +474,42 @@ let ablation_packet () =
     [ 4; 8; 16; 24; 48; 96 ]
 
 (* ------------------------------------------------------------------ *)
+(* Backend baseline: the same cell on all three Engine backends         *)
+(* ------------------------------------------------------------------ *)
+
+(* One compiled cell executed on the simulator, on domains and on
+   forked worker processes, each row tagged with a "backend"
+   discriminator so bench/results/ keeps per-backend baselines apart.
+   The proc leg runs first: OCaml 5 permanently refuses Unix.fork once
+   any domain has been spawned in the process, so proc must precede
+   par (and this target must precede `parallel` in a combined run —
+   when fork is already poisoned the leg is reported and skipped). *)
+let backends () =
+  print_header "Backends: knn tiny, 2-2-1 (sim / par / proc)"
+    [ "elapsed(s)"; "bytes" ];
+  let app = H.knn_app ~name:"knn-tiny" Apps.Knn.tiny in
+  let widths = [| 2; 2; 1 |] in
+  List.iter
+    (fun (name, backend) ->
+      match
+        H.run_cell ~cluster ~strategy:Compile.Decomp ~backend ~widths app
+      with
+      | Ok (t, bytes, _, _) ->
+          Record.row ~tags:[ ("backend", name) ] name
+            [ ("elapsed_s", t); ("bytes", bytes) ];
+          print_row name [ Fmt.str "%.4f" t; Fmt.str "%.0f" bytes ]
+      | Error (Datacutter.Supervisor.Unsupported msg) ->
+          Fmt.pr "%-8s skipped: %s@." name msg
+      | Error e ->
+          Fmt.failwith "backend %s failed: %a" name
+            Datacutter.Supervisor.pp_run_error e)
+    [
+      ("proc", Datacutter.Runtime.Proc);
+      ("sim", Datacutter.Runtime.Sim);
+      ("par", Datacutter.Runtime.Par);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Real multicore execution (OCaml 5 domains)                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -616,6 +657,7 @@ let targets =
     ("ablation_dp", ablation_dp);
     ("ablation_packing", ablation_packing);
     ("ablation_packet", ablation_packet);
+    ("backends", backends);
     ("parallel", parallel);
     ("micro", micro);
     ("smoke", smoke);

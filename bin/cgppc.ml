@@ -304,6 +304,11 @@ let run file app widths strategy backend parallel cluster_spec trace mjson
           Fmt.pr "parallel run (%d domains): wall time %.4fs@."
             (Array.fold_left ( + ) 0 widths)
             m.Engine.elapsed_s
+      | Runtime.Proc ->
+          Fmt.pr "process run (%d filter copies): wall time %.4fs, %.0f \
+                  bytes serialized@."
+            (Array.fold_left ( + ) 0 widths)
+            m.Engine.elapsed_s (Runtime.total_bytes m)
       | Runtime.Sim ->
           Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@."
             m.Engine.elapsed_s (Runtime.total_bytes m));
@@ -410,13 +415,19 @@ let backend_arg =
     value
     & opt
         (enum
-           [ ("sim", Datacutter.Runtime.Sim); ("par", Datacutter.Runtime.Par) ])
+           [
+             ("sim", Datacutter.Runtime.Sim);
+             ("par", Datacutter.Runtime.Par);
+             ("proc", Datacutter.Runtime.Proc);
+           ])
         Datacutter.Runtime.Sim
     & info [ "backend"; "b" ] ~docv:"BACKEND"
         ~doc:
           "Execution backend: $(b,sim) (discrete-event simulation of the \
-           cluster) or $(b,par) (real OCaml domains). Both run the same \
-           pipeline engine and report the same metrics.")
+           cluster), $(b,par) (real OCaml domains) or $(b,proc) (one forked \
+           OS process per filter copy, items serialized over Unix-domain \
+           sockets). All run the same pipeline engine and report the same \
+           metrics.")
 
 let parallel_arg =
   Arg.(

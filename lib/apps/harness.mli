@@ -60,7 +60,8 @@ val compile :
   Compile.t
 
 (** Compile for the configuration and execute on [backend] (default
-    [Sim], the simulated cluster): returns (elapsed seconds, total bytes
+    [Sim], the simulated cluster; [Par] runs on domains, [Proc] on
+    forked worker processes): returns (elapsed seconds, total bytes
     moved, sink results, the compilation), or the runtime's failure.
     [faults] and [policy] forward to the runtime's fault-injection layer
     ({!Datacutter.Fault}, {!Datacutter.Supervisor}), so cells can be

@@ -232,21 +232,13 @@ let layout_for_cut ?(mode : mode = `Auto) (prog : Ast.program)
 (* Serialization                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let buf_add_int buf n =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 (Int64.of_int n);
-  Buffer.add_bytes buf b
-
-let buf_add_float buf f =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 (Int64.bits_of_float f);
-  Buffer.add_bytes buf b
-
-let buf_add_bool buf v = Buffer.add_char buf (if v then '\001' else '\000')
-
-let buf_add_string buf s =
-  buf_add_int buf (String.length s);
-  Buffer.add_string buf s
+(* The byte codec itself lives in the leaf [Wirefmt] library so the
+   runtime's wire protocol (Datacutter.Wire) can frame payloads with the
+   exact same encoding without a core↔datacutter dependency cycle. *)
+let buf_add_int = Wirefmt.buf_add_int
+let buf_add_float = Wirefmt.buf_add_float
+let buf_add_bool = Wirefmt.buf_add_bool
+let buf_add_string = Wirefmt.buf_add_string
 
 let add_scalar buf st (v : V.t) =
   match st with
@@ -261,28 +253,12 @@ let add_scalar buf st (v : V.t) =
           buf_add_int buf hi
       | _ -> V.runtime_errorf "expected Rectdomain, got %s" (V.type_name v))
 
-type reader = { data : Bytes.t; mutable pos : int }
+type reader = Wirefmt.reader = { data : Bytes.t; mutable pos : int }
 
-let read_int r =
-  let v = Int64.to_int (Bytes.get_int64_le r.data r.pos) in
-  r.pos <- r.pos + 8;
-  v
-
-let read_float r =
-  let v = Int64.float_of_bits (Bytes.get_int64_le r.data r.pos) in
-  r.pos <- r.pos + 8;
-  v
-
-let read_bool r =
-  let v = Bytes.get r.data r.pos <> '\000' in
-  r.pos <- r.pos + 1;
-  v
-
-let read_string r =
-  let len = read_int r in
-  let s = Bytes.sub_string r.data r.pos len in
-  r.pos <- r.pos + len;
-  s
+let read_int = Wirefmt.read_int
+let read_float = Wirefmt.read_float
+let read_bool = Wirefmt.read_bool
+let read_string = Wirefmt.read_string
 
 let read_scalar r st =
   match st with

@@ -1,9 +1,18 @@
 (* Bounded blocking queue (mutex + condition variables).  Producers
    block on a full queue, consumers on an empty one; both report the
-   seconds they spent blocked so the runtime can account stalls.  A
-   shared stop flag aborts every waiter. *)
+   seconds they spent blocked so the runtime can account stalls.
+
+   Two shutdown paths with different guarantees:
+   - the shared [stop] flag is the *abort* path: every waiter (and every
+     later caller) raises [Aborted] immediately, queued items may be
+     dropped — the run has already failed;
+   - [close] is the *graceful* path: blocked pushers wake exactly once
+     and raise [Closed], poppers keep draining whatever was already
+     enqueued and only raise [Closed] once the queue is empty — no
+     accepted item is ever dropped. *)
 
 exception Aborted
+exception Closed
 
 type 'a t = {
   items : 'a Queue.t;
@@ -12,6 +21,7 @@ type 'a t = {
   not_full : Condition.t;
   capacity : int;
   stop : bool Atomic.t;
+  mutable closed : bool; (* guarded by mutex *)
   occupancy : Obs.Hist.t;  (* length after each push; guarded by mutex *)
 }
 
@@ -23,18 +33,27 @@ let create ~stop capacity =
     not_full = Condition.create ();
     capacity;
     stop;
+    closed = false;
     occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
   }
 
 let push q x =
   let t0 = Obs.Clock.elapsed_s () in
   Mutex.lock q.mutex;
-  while Queue.length q.items >= q.capacity && not (Atomic.get q.stop) do
+  while
+    Queue.length q.items >= q.capacity
+    && (not (Atomic.get q.stop))
+    && not q.closed
+  do
     Condition.wait q.not_full q.mutex
   done;
   if Atomic.get q.stop then begin
     Mutex.unlock q.mutex;
     raise Aborted
+  end;
+  if q.closed then begin
+    Mutex.unlock q.mutex;
+    raise Closed
   end;
   let blocked = Obs.Clock.elapsed_s () -. t0 in
   Queue.push x q.items;
@@ -46,18 +65,35 @@ let push q x =
 let pop q =
   let t0 = Obs.Clock.elapsed_s () in
   Mutex.lock q.mutex;
-  while Queue.is_empty q.items && not (Atomic.get q.stop) do
+  while
+    Queue.is_empty q.items && (not (Atomic.get q.stop)) && not q.closed
+  do
     Condition.wait q.not_empty q.mutex
   done;
   if Atomic.get q.stop then begin
     Mutex.unlock q.mutex;
     raise Aborted
   end;
+  (* Closed but non-empty: keep draining — close never drops an
+     already-enqueued item. *)
+  if Queue.is_empty q.items then begin
+    Mutex.unlock q.mutex;
+    raise Closed
+  end;
   let blocked = Obs.Clock.elapsed_s () -. t0 in
   let x = Queue.pop q.items in
   Condition.signal q.not_full;
   Mutex.unlock q.mutex;
   (x, blocked)
+
+let close q =
+  Mutex.lock q.mutex;
+  if not q.closed then begin
+    q.closed <- true;
+    Condition.broadcast q.not_empty;
+    Condition.broadcast q.not_full
+  end;
+  Mutex.unlock q.mutex
 
 let length q =
   Mutex.lock q.mutex;

@@ -3,8 +3,13 @@
     instrumentation built in. *)
 
 (** Raised by blocked [push]/[pop] once the shared stop flag is set;
-    never escapes the runtime. *)
+    never escapes the runtime.  The abort path may drop queued items —
+    the run has already failed. *)
 exception Aborted
+
+(** Raised after {!close}: immediately by pushers, and by poppers only
+    once the queue has fully drained. *)
+exception Closed
 
 type 'a t
 
@@ -13,12 +18,20 @@ type 'a t
 val create : stop:bool Atomic.t -> int -> 'a t
 
 (** Blocking push; returns the seconds spent blocked (lock acquisition
-    plus condition waits).  @raise Aborted once [stop] is set. *)
+    plus condition waits).  @raise Aborted once [stop] is set.
+    @raise Closed once the queue is closed. *)
 val push : 'a t -> 'a -> float
 
 (** Blocking pop; returns the item and the seconds spent blocked.
-    @raise Aborted once [stop] is set. *)
+    @raise Aborted once [stop] is set.  @raise Closed once the queue is
+    closed {e and} empty — items enqueued before the close are still
+    delivered. *)
 val pop : 'a t -> 'a * float
+
+(** Graceful shutdown: wakes every blocked pusher and popper exactly
+    once (they stop waiting and observe the closed state) and refuses
+    new items, but never drops an already-enqueued one.  Idempotent. *)
+val close : 'a t -> unit
 
 val length : 'a t -> int
 

@@ -15,9 +15,9 @@
    that.  [attempts] and [rr] are owner-only by construction: only the
    copy's own domain (or the one event-loop thread) mutates them. *)
 
-type backend = Sim | Par
+type backend = Sim | Par | Proc
 
-let backend_name = function Sim -> "sim" | Par -> "par"
+let backend_name = function Sim -> "sim" | Par -> "par" | Proc -> "proc"
 
 type item =
   | Data of Filter.buffer

@@ -39,7 +39,7 @@
     atomics, which the domain backend needs and the single-threaded
     simulator tolerates for free. *)
 
-type backend = Sim | Par
+type backend = Sim | Par | Proc
 
 val backend_name : backend -> string
 

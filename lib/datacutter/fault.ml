@@ -43,6 +43,17 @@ let is_empty p = p.clauses = [] && p.link_faults = []
 
 let string_of_sel = function None -> "*" | Some i -> string_of_int i
 
+(* Shortest decimal form that reparses to the same float.  A bare "%g"
+   keeps only six significant digits, so printing a plan with e.g.
+   factor 1.2345678 and parsing it back used to yield a *different*
+   plan — breaking parse ∘ print ∘ parse = parse. *)
+let string_of_float_rt f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
 let string_of_clause c =
   let site =
     Printf.sprintf "%s.%s" (string_of_sel c.site.fs_stage)
@@ -51,7 +62,9 @@ let string_of_clause c =
   match c.kind with
   | Crash_after n -> Printf.sprintf "%s:crash@%d" site n
   | Slowdown { factor; jitter } ->
-      Printf.sprintf "%s:slow%c%g" site (if jitter then '~' else '*') factor
+      Printf.sprintf "%s:slow%c%s" site
+        (if jitter then '~' else '*')
+        (string_of_float_rt factor)
   | Flaky { first; count } -> Printf.sprintf "%s:flaky@%dx%d" site first count
 
 let to_string p =
@@ -60,11 +73,14 @@ let to_string p =
     @ List.map string_of_clause p.clauses
     @ List.map
         (fun lf ->
-          Printf.sprintf "link%d:delay@%d+%g" lf.lf_link lf.lf_after
-            lf.lf_extra_s)
+          Printf.sprintf "link%d:delay@%d+%s" lf.lf_link lf.lf_after
+            (string_of_float_rt lf.lf_extra_s))
         p.link_faults
   in
-  String.concat ";" parts
+  (* a plan with no faults and the default seed would print as "",
+     which [parse] rejects — spell it canonically instead so printing
+     always yields an accepted spec *)
+  if parts = [] then "seed=0" else String.concat ";" parts
 
 (* --- parsing --- *)
 

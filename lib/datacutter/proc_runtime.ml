@@ -1,0 +1,665 @@
+(* Process backend of the filter-stream engine (see the .mli).
+
+   Same scheduling skeleton as [Par_runtime] — one driver domain per
+   copy over [Bqueue]s, protocol decisions from [Engine] — but the
+   filter callbacks of source and inner copies execute in forked child
+   processes, one per copy, connected by Unix-domain socket pairs
+   speaking the [Wire] frame protocol.  Every buffer crossing a copy
+   boundary is genuinely serialized, so the compiler's packing layer is
+   exercised end-to-end, and an injected [crash@N] kills a real OS
+   process which the supervisor observes with [waitpid] and replaces
+   from a pool of pre-forked spares.
+
+   Division of labour:
+   - the parent keeps the whole protocol brain: queues, routing, the
+     EOS drain barrier, fault ticking ([Fault.tick] runs parent-side so
+     injection state survives child replacement), the retry/retire/
+     re-route machine, accounting and the watchdog;
+   - a child is a dumb callback executor: read a request frame,
+     run [init]/[process]/[on_eos]/[finalize]/[next], write the result
+     back (or [Crashed] if the callback raised), repeat until [Exit] or
+     EOF;
+   - sink copies run their filter in the parent: their closures carry
+     the caller's result collectors (e.g. [Filter.collecting_sink]),
+     which must mutate parent memory — the paper's "view node" sat on
+     the host for the same reason.
+
+   Fork safety: every child is forked *before* any domain is spawned
+   (OCaml 5 forbids forking a multi-domain runtime), which is why each
+   inner copy pre-forks [max_retries] spare workers instead of forking
+   on demand during a restart.  Sources are never restarted (their
+   cursor cannot be rebuilt without duplicating packets), so they get
+   no spares. *)
+
+type msg = It of Engine.item | Release
+
+let available = not Sys.win32
+
+(* The remote peer failed: the callback raised in the child, the child
+   died (EOF/EPIPE), or it sent garbage.  Handled by the supervisor
+   exactly like a local filter exception. *)
+exception Remote_crash of string
+
+type worker = { pid : int; fd : Unix.file_descr }
+
+(* Per-copy worker state, touched only by the copy's own driver domain
+   (and by teardown after the joins). *)
+type handle = {
+  mutable active : worker option;
+  mutable spares : worker list;
+}
+
+(* --- the child ------------------------------------------------------- *)
+
+(* Child main loop: never returns.  [Unix._exit] (not [exit]) so the
+   child cannot re-run the parent's [at_exit] hooks or flush inherited
+   channel buffers. *)
+let worker_main eng (cs : Engine.copy) fd : unit =
+  let inst = ref `None in
+  let handle req =
+    match req with
+    | Wire.Init -> (
+        match Engine.instantiate eng cs with
+        | Engine.I_filter f ->
+            inst := `Filter f;
+            ignore (f.Filter.init ());
+            Wire.Done
+        | Engine.I_source s ->
+            inst := `Source s;
+            Wire.Done)
+    | Wire.Item (Engine.Data b) -> (
+        match !inst with
+        | `Filter f ->
+            let out, _ = f.Filter.process b in
+            Wire.Out (Option.map (fun b -> Engine.Data b) out)
+        | _ -> Wire.Crashed "worker has no filter instance")
+    | Wire.Item (Engine.Final b) -> (
+        match !inst with
+        | `Filter f ->
+            let out, _ = f.Filter.on_eos (Some b) in
+            Wire.Out (Option.map (fun b -> Engine.Final b) out)
+        | _ -> Wire.Crashed "worker has no filter instance")
+    | Wire.Item Engine.Marker -> Wire.Done
+    | Wire.Finalize -> (
+        match !inst with
+        | `Filter f ->
+            let out, _ = f.Filter.finalize () in
+            Wire.Out (Option.map (fun b -> Engine.Final b) out)
+        | _ -> Wire.Crashed "worker has no filter instance")
+    | Wire.Next -> (
+        match !inst with
+        | `Source s -> (
+            match s.Filter.next () with
+            | Some (b, _) -> Wire.Out (Some (Engine.Data b))
+            | None -> Wire.Done)
+        | _ -> Wire.Crashed "worker has no source instance")
+    | Wire.Src_finalize -> (
+        match !inst with
+        | `Source s ->
+            let out, _ = s.Filter.src_finalize () in
+            Wire.Out (Option.map (fun b -> Engine.Final b) out)
+        | _ -> Wire.Crashed "worker has no source instance")
+    | Wire.Exit | Wire.Out _ | Wire.Done | Wire.Crashed _ ->
+        Wire.Crashed "unexpected frame in worker"
+  in
+  let rec loop () =
+    match (try Wire.read_msg fd with _ -> None) with
+    | None | Some Wire.Exit -> Unix._exit 0
+    | Some req ->
+        let resp =
+          try handle req with e -> Wire.Crashed (Printexc.to_string e)
+        in
+        (try Wire.write_msg fd resp with _ -> Unix._exit 1);
+        loop ()
+  in
+  loop ()
+
+(* --- parent-side worker management ----------------------------------- *)
+
+let string_of_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+(* Reap a dead-or-dying worker and observe its real exit status. *)
+let reap_worker ?(kill = false) label (w : worker) =
+  if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (match Unix.waitpid [] w.pid with
+  | _, status ->
+      Logs.debug (fun m ->
+          m "proc worker %s pid %d: %s" label w.pid (string_of_status status))
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+  try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+(* Orderly shutdown for workers still alive at the end of the run:
+   close the request channel (the child reads EOF and [_exit]s), give
+   it a grace period, then SIGKILL. *)
+let shutdown_worker label (w : worker) =
+  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  let deadline = Obs.Clock.elapsed_s () +. 1.0 in
+  let rec reap () =
+    match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+    | 0, _ ->
+        if Obs.Clock.elapsed_s () > deadline then begin
+          Logs.warn (fun m ->
+              m "proc worker %s pid %d unresponsive; killing" label w.pid);
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] w.pid)
+        end
+        else begin
+          Unix.sleepf 0.002;
+          reap ()
+        end
+    | _, status ->
+        Logs.debug (fun m ->
+            m "proc worker %s pid %d: %s" label w.pid (string_of_status status))
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  reap ()
+
+(* One request/response round trip.  Any transport-level failure —
+   the child died (EOF, EPIPE), sent a malformed frame, or an
+   out-of-protocol response — reaps the worker and surfaces as
+   [Remote_crash] for the supervisor. *)
+let rpc label (h : handle) (req : Wire.msg) : Wire.msg =
+  match h.active with
+  | None -> raise (Remote_crash "worker is dead")
+  | Some w -> (
+      let fail msg =
+        h.active <- None;
+        reap_worker label w;
+        raise (Remote_crash msg)
+      in
+      match
+        Wire.write_msg w.fd req;
+        Wire.read_msg w.fd
+      with
+      | Some (Wire.Crashed msg) -> raise (Remote_crash msg)
+      | Some ((Wire.Out _ | Wire.Done) as resp) -> resp
+      | Some _ -> fail "out-of-protocol response from worker"
+      | None -> fail "worker exited unexpectedly"
+      | exception Unix.Unix_error (e, _, _) ->
+          fail ("worker i/o error: " ^ Unix.error_message e)
+      | exception Wire.Protocol_error msg ->
+          fail ("worker protocol error: " ^ msg))
+
+(* --- the run --------------------------------------------------------- *)
+
+let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
+  if not available then
+    Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
+  else
+  match Engine.create ?faults ?policy ~queue_capacity topo with
+  | Error e -> Error e
+  | Ok eng ->
+  let policy = Engine.policy eng in
+  let n_stages = Engine.n_stages eng in
+  let stop = Engine.stop_flag eng in
+  let stages = Array.of_list topo.Topology.stages in
+  let label s k = Topology.copy_label topo ~stage:s ~copy:k in
+  (* A dead child turns writes into EPIPE errors (handled in [rpc])
+     rather than a fatal signal. *)
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let queues =
+    Array.init n_stages (fun s ->
+        if s = 0 then [||]
+        else
+          Array.init (Engine.width eng s) (fun _ ->
+              (Bqueue.create ~stop queue_capacity : msg Bqueue.t)))
+  in
+  let blocked_push (src : Engine.copy) q m =
+    Engine.set_lifecycle src Engine.st_blocked_push;
+    let blocked = Bqueue.push q m in
+    Engine.set_lifecycle src Engine.st_idle;
+    Engine.note_progress eng;
+    Engine.note_stall_push eng src blocked
+  in
+  Engine.attach eng
+    {
+      exec_backend = Engine.Proc;
+      exec_now = Obs.Clock.elapsed_s;
+      exec_sleep = Unix.sleepf;
+      exec_send =
+        (fun ~src ~dst_stage ~dst_copy it ->
+          blocked_push src queues.(dst_stage).(dst_copy) (It it));
+      exec_queue_len =
+        (fun ~stage ~copy ->
+          if stage = 0 then 0 else Bqueue.length queues.(stage).(copy));
+      exec_wake = (fun () -> Array.iter (Array.iter Bqueue.wake) queues);
+    };
+  (* Pre-fork every worker while the runtime is still single-domain:
+     one per source copy, 1 + max_retries per non-sink filter copy (the
+     spares stand in for fork-on-restart), none for sink copies (their
+     filters run in the parent). *)
+  let all_parent_fds = ref [] in
+  let all_pids = ref [] in
+  let fork_worker cs =
+    let parent_fd, child_fd =
+      Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+    in
+    match Unix.fork () with
+    | 0 ->
+        (* Keep only our own channel: inherited parent-side fds of
+           earlier workers would defeat their EOF detection. *)
+        (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          !all_parent_fds;
+        worker_main eng cs child_fd;
+        Unix._exit 0
+    | pid ->
+        (try Unix.close child_fd with Unix.Unix_error _ -> ());
+        all_parent_fds := parent_fd :: !all_parent_fds;
+        all_pids := pid :: !all_pids;
+        { pid; fd = parent_fd }
+  in
+  let handles_or_err =
+    try
+      Ok
+        (Array.init n_stages (fun s ->
+             Array.init (Engine.width eng s) (fun k ->
+                 let cs = Engine.copy_at eng ~stage:s ~copy:k in
+                 match stages.(s).Topology.role with
+                 | Topology.Source _ ->
+                     Some { active = Some (fork_worker cs); spares = [] }
+                 | Topology.Inner _ | Topology.Sink _ ->
+                     if Engine.is_sink_stage eng s then None
+                     else
+                       Some
+                         {
+                           active = Some (fork_worker cs);
+                           spares =
+                             List.init policy.Supervisor.max_retries (fun _ ->
+                                 fork_worker cs);
+                         })))
+    with Failure msg ->
+      (* OCaml 5 permanently refuses [Unix.fork] once any domain has
+         ever been spawned in this process — report it like a platform
+         without fork instead of crashing, after reclaiming whatever we
+         managed to fork. *)
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !all_parent_fds;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !all_pids;
+      Error msg
+  in
+  match handles_or_err with
+  | Error msg ->
+      (match prev_sigpipe with
+      | Some b -> (
+          try Sys.set_signal Sys.sigpipe b
+          with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      Error (Supervisor.Unsupported msg)
+  | Ok handles ->
+  let abort_raise err = Engine.abort eng err; raise Bqueue.Aborted in
+  let ok = function Ok () -> () | Error e -> abort_raise e in
+
+  (* Kill the current worker (real SIGKILL + waitpid) — the injected
+     or real crash this copy just took becomes a dead OS process. *)
+  let kill_active lbl (h : handle) =
+    match h.active with
+    | None -> ()
+    | Some w ->
+        h.active <- None;
+        reap_worker ~kill:true lbl w
+  in
+  let activate_spare lbl (h : handle) =
+    match h.spares with
+    | [] -> raise (Remote_crash (lbl ^ ": no spare worker left"))
+    | w :: rest ->
+        h.spares <- rest;
+        h.active <- Some w
+  in
+
+  let copy_body s k () =
+    let cs = Engine.copy_at eng ~stage:s ~copy:k in
+    let lbl = label s k in
+    let charge name f = Engine.timed_call eng cs ~name f in
+    let send it = ok (Engine.send_downstream eng cs it) in
+    let with_slowdown f =
+      let t0 = Obs.Clock.elapsed_s () in
+      let r = f () in
+      let elapsed = Obs.Clock.elapsed_s () -. t0 in
+      let extra = Fault.extra_delay cs.Engine.fstate ~elapsed in
+      if extra > 0.0 then Unix.sleepf extra;
+      r
+    in
+    (* Identical supervision skeleton to [Par_runtime], with [on_fail]
+       run before the crash decision (the remote driver kills the
+       worker there) and [restart] rebuilding state before a retry. *)
+    let supervised ?(on_fail = fun () -> ()) ?(restart = fun () -> ()) name op
+        =
+      let rec go restarting =
+        if Engine.aborting eng then raise Bqueue.Aborted;
+        match
+          if restarting then restart ();
+          charge name op
+        with
+        | r -> r
+        | exception Bqueue.Aborted -> raise Bqueue.Aborted
+        | exception e -> (
+            on_fail ();
+            match Engine.on_crash eng cs with
+            | `Give_up -> raise e
+            | `Retry delay ->
+                if delay > 0.0 then Unix.sleepf delay;
+                go true)
+      in
+      go false
+    in
+    match stages.(s).Topology.role with
+    | Topology.Source _ ->
+        (* Sources are never rebuilt: transient faults retry in place on
+           the same child; only an actual child death (EOF) makes every
+           retry fail and retires the source, truncating its stream. *)
+        let h = Option.get handles.(s).(k) in
+        (match rpc lbl h Wire.Init with
+        | Wire.Done -> ()
+        | _ -> raise (Remote_crash "bad init response"));
+        let next () =
+          match rpc lbl h Wire.Next with
+          | Wire.Out (Some (Engine.Data b)) -> Some b
+          | Wire.Done -> None
+          | _ -> raise (Remote_crash "bad next response")
+        in
+        let src_finalize () =
+          match rpc lbl h Wire.Src_finalize with
+          | Wire.Out out -> (
+              match out with
+              | Some (Engine.Final b) | Some (Engine.Data b) -> Some b
+              | _ -> None)
+          | Wire.Done -> None
+          | _ -> raise (Remote_crash "bad src_finalize response")
+        in
+        let rec loop () =
+          match
+            supervised "produce" (fun () ->
+                with_slowdown (fun () ->
+                    Fault.tick cs.Engine.fstate;
+                    next ()))
+          with
+          | Some b ->
+              Engine.note_item_done eng cs;
+              send (Engine.Data b);
+              loop ()
+          | None ->
+              let out = supervised "src_finalize" src_finalize in
+              (match out with Some b -> send (Engine.Final b) | None -> ());
+              send Engine.Marker
+          | exception Bqueue.Aborted -> raise Bqueue.Aborted
+          | exception err -> (
+              match Engine.retire eng cs ~error:err with
+              | `Fatal e -> abort_raise e
+              | `Continue -> send Engine.Marker)
+        in
+        loop ()
+    | Topology.Inner _ | Topology.Sink _ ->
+        let is_last = Engine.is_sink_stage eng s in
+        (* The callback set, local (sink, parent memory) or remote. *)
+        let fresh, call_init, call_process, call_eos, call_finalize,
+            on_fail =
+          if is_last then begin
+            let f =
+              ref
+                (match Engine.instantiate eng cs with
+                | Engine.I_filter f -> f
+                | Engine.I_source _ -> assert false)
+            in
+            ( (fun () ->
+                f :=
+                  (match Engine.instantiate eng cs with
+                  | Engine.I_filter f -> f
+                  | Engine.I_source _ -> assert false)),
+              (fun () -> ignore ((!f).Filter.init ())),
+              (fun b -> fst ((!f).Filter.process b)),
+              (fun b -> fst ((!f).Filter.on_eos (Some b))),
+              (fun () -> fst ((!f).Filter.finalize ())),
+              fun () -> () )
+          end
+          else begin
+            let h = Option.get handles.(s).(k) in
+            let data_out = function
+              | Wire.Out (Some (Engine.Data b)) | Wire.Out (Some (Engine.Final b))
+                ->
+                  Some b
+              | Wire.Out None | Wire.Done -> None
+              | _ -> raise (Remote_crash "bad callback response")
+            in
+            ( (fun () -> activate_spare lbl h),
+              (fun () ->
+                match rpc lbl h Wire.Init with
+                | Wire.Done -> ()
+                | _ -> raise (Remote_crash "bad init response")),
+              (fun b -> data_out (rpc lbl h (Wire.Item (Engine.Data b)))),
+              (fun b -> data_out (rpc lbl h (Wire.Item (Engine.Final b)))),
+              (fun () -> data_out (rpc lbl h Wire.Finalize)),
+              fun () -> kill_active lbl h )
+          end
+        in
+        let q = queues.(s).(k) in
+        let ring = Engine.Ring.create ~retention:policy.Supervisor.retention in
+        (* Restart: a fresh executor (spare worker / fresh instance),
+           init, then replay the retention ring with outputs suppressed. *)
+        let restart_and_replay () =
+          fresh ();
+          ignore (charge "init" call_init);
+          if Engine.Ring.truncated ring then
+            Engine.bump eng (fun r ->
+                r.Supervisor.replay_truncated <- r.replay_truncated + 1);
+          List.iter
+            (fun it ->
+              Engine.bump eng (fun r ->
+                  r.Supervisor.replayed <- r.replayed + 1);
+              match it with
+              | Engine.Data b -> ignore (charge "replay" (fun () -> call_process b))
+              | Engine.Final b ->
+                  ignore (charge "replay_eos" (fun () -> call_eos b))
+              | Engine.Marker -> ())
+            (Engine.Ring.items ring)
+        in
+        let supervised name op =
+          supervised ~on_fail ~restart:restart_and_replay name op
+        in
+        let recv () =
+          Engine.set_lifecycle cs Engine.st_blocked_pop;
+          let m, blocked = Bqueue.pop q in
+          Engine.set_lifecycle cs Engine.st_idle;
+          Engine.note_progress eng;
+          Engine.note_stall_pop eng cs blocked;
+          m
+        in
+        let count_eos () =
+          match Engine.count_eos eng cs with
+          | `Already | `Counted -> ()
+          | `Stage_drained ->
+              Array.iter (fun q' -> ignore (Bqueue.push q' Release)) queues.(s)
+        in
+        let retire err in_flight =
+          (match Engine.retire eng cs ~error:err with
+          | `Fatal e -> abort_raise e
+          | `Continue -> ());
+          (match in_flight with
+          | Some (It ((Engine.Data _ | Engine.Final _) as it)) ->
+              ok (Engine.reroute eng cs it)
+          | Some (It Engine.Marker) | Some Release | None -> ());
+          let rec zombie () =
+            if Engine.at_marker_quota eng cs then count_eos ();
+            if
+              Engine.at_marker_quota eng cs
+              && Engine.barrier_released eng s
+            then begin
+              let rec sweep () =
+                match Bqueue.try_pop q with
+                | Some (It ((Engine.Data _ | Engine.Final _) as it)) ->
+                    ok (Engine.reroute eng cs it);
+                    sweep ()
+                | Some (It Engine.Marker) | Some Release -> sweep ()
+                | None -> ()
+              in
+              sweep ();
+              if not is_last then send Engine.Marker
+            end
+            else
+              match recv () with
+              | It Engine.Marker -> Engine.note_marker eng cs; zombie ()
+              | It ((Engine.Data _ | Engine.Final _) as it) ->
+                  ok (Engine.reroute eng cs it);
+                  zombie ()
+              | Release -> zombie ()
+          in
+          zombie ()
+        in
+        let current = ref None in
+        let forward it = if not is_last then send it in
+        let handle_data b =
+          let out =
+            supervised "process" (fun () ->
+                with_slowdown (fun () ->
+                    Fault.tick cs.Engine.fstate;
+                    call_process b))
+          in
+          Engine.note_item_done eng cs;
+          current := None;
+          (match out with Some b -> forward (Engine.Data b) | None -> ());
+          Engine.Ring.push ring (Engine.Data b)
+        in
+        let handle_final b =
+          let out = supervised "on_eos" (fun () -> call_eos b) in
+          current := None;
+          (match out with Some b -> forward (Engine.Final b) | None -> ());
+          Engine.Ring.push ring (Engine.Final b)
+        in
+        let finalize_copy () =
+          let out = supervised "finalize" call_finalize in
+          (match out with Some b -> forward (Engine.Final b) | None -> ());
+          if not is_last then send Engine.Marker
+        in
+        let serve () =
+          supervised "init" call_init;
+          let rec eos_wait () =
+            match recv () with
+            | Release ->
+                if Engine.barrier_released eng s then finalize_copy ()
+                else eos_wait ()
+            | It (Engine.Data b) as m -> current := Some m; handle_data b; eos_wait ()
+            | It (Engine.Final b) as m -> current := Some m; handle_final b; eos_wait ()
+            | It Engine.Marker -> Engine.note_marker eng cs; eos_wait ()
+          in
+          let rec loop () =
+            let m = recv () in
+            current := Some m;
+            match m with
+            | It (Engine.Data b) -> handle_data b; loop ()
+            | It (Engine.Final b) -> handle_final b; loop ()
+            | Release ->
+                current := None;
+                loop ()
+            | It Engine.Marker ->
+                Engine.note_marker eng cs;
+                current := None;
+                if Engine.at_marker_quota eng cs then begin
+                  count_eos ();
+                  eos_wait ()
+                end
+                else loop ()
+          in
+          loop ()
+        in
+        (try serve () with
+        | Bqueue.Aborted -> raise Bqueue.Aborted
+        | err -> retire err !current)
+  in
+
+  let wrapped_body s k () =
+    let cs = Engine.copy_at eng ~stage:s ~copy:k in
+    (try copy_body s k () with
+    | Bqueue.Aborted | Bqueue.Closed -> ()
+    | e ->
+        Engine.abort eng
+          (Supervisor.Stage_dead
+             {
+               stage = s;
+               stage_name = Engine.stage_name eng s;
+               error = "unexpected runtime error: " ^ Printexc.to_string e;
+             }));
+    Engine.set_lifecycle cs Engine.st_done;
+    Engine.mark_exited cs
+  in
+
+  let t0 = Obs.Clock.elapsed_s () in
+  let domains =
+    List.concat
+      (List.init n_stages (fun s ->
+           List.init (Engine.width eng s) (fun k ->
+               (s, k, Domain.spawn (wrapped_body s k)))))
+  in
+  let watchdog =
+    match policy.Supervisor.watchdog_ms with
+    | Some ms when ms > 0 ->
+        Some (Domain.spawn (fun () -> Engine.watchdog_loop eng ~ms))
+    | _ -> None
+  in
+  let join_copy (s, k, d) =
+    let cs = Engine.copy_at eng ~stage:s ~copy:k in
+    let rec wait deadline =
+      if Atomic.get cs.Engine.exited then Domain.join d
+      else if Engine.aborting eng then begin
+        let deadline =
+          match deadline with
+          | Some t -> t
+          | None -> Obs.Clock.elapsed_s () +. 1.0
+        in
+        if Obs.Clock.elapsed_s () > deadline then
+          Logs.warn (fun m -> m "leaking stuck filter copy %s" (label s k))
+        else begin
+          Unix.sleepf 0.002;
+          wait (Some deadline)
+        end
+      end
+      else begin Unix.sleepf 0.001; wait deadline end
+    in
+    wait None
+  in
+  List.iter join_copy domains;
+  (match watchdog with Some d -> Domain.join d | None -> ());
+  (* Graceful queue close: leaked stuck copies (abort path) wake with
+     [Closed] instead of blocking forever once their worker dies. *)
+  Array.iter (Array.iter Bqueue.close) queues;
+  (* Reap the surviving children: the still-active workers of completed
+     copies and every unused spare. *)
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun k h ->
+          match h with
+          | None -> ()
+          | Some h ->
+              let lbl = label s k in
+              (match h.active with
+              | Some w -> shutdown_worker lbl w
+              | None -> ());
+              h.active <- None;
+              List.iter (shutdown_worker lbl) h.spares;
+              h.spares <- [])
+        row)
+    handles;
+  (match prev_sigpipe with
+  | Some b -> (try Sys.set_signal Sys.sigpipe b with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
+  let wall_time = Obs.Clock.elapsed_s () -. t0 in
+  match Engine.abort_error eng with
+  | Some e -> Error e
+  | None ->
+      Ok
+        (Engine.metrics eng ~elapsed_s:wall_time
+           ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+           ())

@@ -1,0 +1,31 @@
+(** Process backend: one forked OS process per source/inner filter
+    copy, items serialized over Unix-domain socket pairs ({!Wire}).
+
+    The parent process keeps the whole {!Engine} protocol — queues,
+    routing, the EOS drain barrier, fault ticking, the retry/retire/
+    re-route supervisor, metrics — with one driver domain per copy
+    exactly like {!Par_runtime}; children only execute filter
+    callbacks.  Sink copies run in the parent so their closures (result
+    collectors) mutate caller-visible memory.  A crash decision kills
+    the copy's child with [SIGKILL], observes the real exit status with
+    [waitpid], and restarts onto a pre-forked spare (forking after
+    domains exist is unsafe in OCaml 5, so each inner copy pre-forks
+    [max_retries] spares); the retention ring is then replayed over the
+    wire like the domain backend replays it in memory.
+
+    Must be called while the calling process is still single-domain
+    (the facade's normal use); workers are forked before any driver
+    domain spawns. *)
+
+val available : bool
+(** Whether this platform can run the backend ([Unix.fork]). *)
+
+val run_result :
+  ?queue_capacity:int ->
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  Topology.t ->
+  (Engine.metrics, Supervisor.run_error) result
+(** Run to completion; [Error (Unsupported _)] when {!available} is
+    [false].  Metrics match {!Par_runtime}'s shape ([queue_occupancy]
+    populated, no [link_stats]); [elapsed_s] is wall time. *)

@@ -1,4 +1,4 @@
-type backend = Engine.backend = Sim | Par
+type backend = Engine.backend = Sim | Par | Proc
 
 let backend_name = Engine.backend_name
 
@@ -11,6 +11,7 @@ let run_result ?(backend = Sim) ?queue_capacity ?faults ?policy topo =
       | Some c when c <= 0 -> Error (Supervisor.Invalid_topology "queue capacity must be positive")
       | _ -> Sim_runtime.run_result ?faults ?policy topo)
   | Par -> Par_runtime.run_result ?queue_capacity ?faults ?policy topo
+  | Proc -> Proc_runtime.run_result ?queue_capacity ?faults ?policy topo
 
 let total_bytes = Engine.total_bytes
 let pp_metrics = Engine.pp_metrics

@@ -11,12 +11,17 @@
       [queue_occupancy] is [None].
     - {!Par} ({!Par_runtime}): one OCaml 5 domain per filter copy with
       bounded blocking queues; [elapsed_s] is wall time,
-      [queue_occupancy] is populated, [link_stats] is [None]. *)
+      [queue_occupancy] is populated, [link_stats] is [None].
+    - {!Proc} ({!Proc_runtime}): one forked OS process per source/inner
+      filter copy, every item serialized over a Unix-domain socket pair
+      ({!Wire}); scheduling, metrics shape and failover match {!Par},
+      but an injected crash [SIGKILL]s a real child process.  Returns
+      [Error (Unsupported _)] on platforms without [Unix.fork]. *)
 
-type backend = Engine.backend = Sim | Par
+type backend = Engine.backend = Sim | Par | Proc
 
 val backend_name : backend -> string
-(** ["sim"] or ["par"]. *)
+(** ["sim"], ["par"] or ["proc"]. *)
 
 val run_result :
   ?backend:backend ->
@@ -26,10 +31,11 @@ val run_result :
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run the pipeline to completion on [backend] (default {!Sim}).
-    [queue_capacity] bounds the per-copy stream queues and only applies
-    to {!Par} (the simulator's queues are unbounded; passing it with
-    {!Sim} is accepted and ignored, except that [queue_capacity <= 0]
-    is rejected on both backends by {!Supervisor.validate}). *)
+    [queue_capacity] bounds the per-copy stream queues and applies to
+    {!Par} and {!Proc} (the simulator's queues are unbounded; passing
+    it with {!Sim} is accepted and ignored, except that
+    [queue_capacity <= 0] is rejected on every backend by
+    {!Supervisor.validate}). *)
 
 (** Re-exports so callers can report metrics without importing
     {!Engine}. *)

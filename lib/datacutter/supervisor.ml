@@ -102,6 +102,7 @@ type run_error =
   | Invalid_topology of string
   | Stage_dead of { stage : int; stage_name : string; error : string }
   | Stalled of { after_s : float; report : copy_report list }
+  | Unsupported of string
 
 exception Run_failed of run_error
 
@@ -135,6 +136,9 @@ let run_error_to_json = function
           ("after_s", Obs.Json.Float after_s);
           ("copies", Obs.Json.List (List.map copy_report_to_json report));
         ]
+  | Unsupported msg ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.Str "unsupported"); ("error", Obs.Json.Str msg) ]
 
 let pp_copy_report ppf cr =
   Fmt.pf ppf "%-16s %-12s items=%d queue=%d" cr.cr_label cr.cr_state cr.cr_items
@@ -149,6 +153,7 @@ let pp_run_error ppf = function
       Fmt.pf ppf "pipeline stalled: no progress for %.3fs@\n%a" after_s
         Fmt.(list ~sep:(any "@\n") (any "  " ++ pp_copy_report))
         report
+  | Unsupported msg -> Fmt.pf ppf "backend unsupported: %s" msg
 
 (* --- topology validation ---
 

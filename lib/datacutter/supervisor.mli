@@ -70,6 +70,9 @@ type run_error =
   | Stalled of { after_s : float; report : copy_report list }
       (** the watchdog saw no progress for [after_s] seconds with every
           live copy blocked *)
+  | Unsupported of string
+      (** the selected backend cannot run on this platform (e.g. the
+          process backend without [Unix.fork]) *)
 
 (** Raised by the compatibility [run] wrappers; prefer [run_result]. *)
 exception Run_failed of run_error

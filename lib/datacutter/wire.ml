@@ -1,0 +1,226 @@
+(* Length-prefixed wire protocol for the process backend.
+
+   The parent (which runs the whole Engine protocol) and each worker
+   child exchange [msg] frames over a Unix-domain socket pair.  A frame
+   is:
+
+       tag : 1 byte        message kind
+       len : 4 bytes LE    payload length in bytes
+       payload             [len] bytes, encoded with the Wirefmt codec
+                           (the same low-level codec the compiler's
+                           buffer-packing layer uses)
+
+   [Data]/[Final] items carry their packet id as a Wirefmt int and
+   their bytes as a Wirefmt length-prefixed string; [Marker] is an
+   empty payload.  Frames are bounded by [max_frame]; a reader rejects
+   oversized or truncated frames with [Protocol_error] rather than
+   allocating attacker-controlled lengths or silently misparsing. *)
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+(* Requests (parent -> worker) and responses (worker -> parent). *)
+type msg =
+  | Init  (** (re)instantiate the filter and run [init] *)
+  | Item of Engine.item  (** process a [Data] or drain a [Final] payload *)
+  | Finalize  (** run [finalize] and return its emission *)
+  | Next  (** pull the next buffer from a source *)
+  | Src_finalize  (** run the source's [src_finalize] *)
+  | Exit  (** orderly worker shutdown *)
+  | Out of Engine.item option  (** callback result: optional emission *)
+  | Done  (** acknowledgement with no emission (Init, Exit, Marker) *)
+  | Crashed of string  (** the callback raised; payload is the message *)
+
+(* An 8 MiB frame comfortably holds any benchmark buffer while keeping
+   a corrupt length header from allocating gigabytes. *)
+let max_frame = 8 * 1024 * 1024
+let header_bytes = 5
+
+let tag_of_msg = function
+  | Init -> 'I'
+  | Item (Engine.Data _) -> 'D'
+  | Item (Engine.Final _) -> 'F'
+  | Item Engine.Marker -> 'M'
+  | Finalize -> 'Z'
+  | Next -> 'N'
+  | Src_finalize -> 'S'
+  | Exit -> 'X'
+  | Out _ -> 'O'
+  | Done -> 'K'
+  | Crashed _ -> 'C'
+
+let add_buffer buf (b : Filter.buffer) =
+  Wirefmt.buf_add_int buf b.Filter.packet;
+  Wirefmt.buf_add_string buf (Bytes.to_string b.Filter.data)
+
+let read_buffer r =
+  let packet = Wirefmt.read_int r in
+  let data = Bytes.of_string (Wirefmt.read_string r) in
+  Filter.make_buffer ~packet data
+
+(* Item kind byte used inside [Out] payloads. *)
+let add_item_opt buf = function
+  | None -> Buffer.add_char buf '\000'
+  | Some (Engine.Data b) ->
+      Buffer.add_char buf '\001';
+      add_buffer buf b
+  | Some (Engine.Final b) ->
+      Buffer.add_char buf '\002';
+      add_buffer buf b
+  | Some Engine.Marker -> Buffer.add_char buf '\003'
+
+let read_item_opt (r : Wirefmt.reader) =
+  if r.Wirefmt.pos >= Bytes.length r.Wirefmt.data then
+    fail "Out payload missing item kind byte";
+  let kind = Bytes.get r.Wirefmt.data r.Wirefmt.pos in
+  r.Wirefmt.pos <- r.Wirefmt.pos + 1;
+  match kind with
+  | '\000' -> None
+  | '\001' -> Some (Engine.Data (read_buffer r))
+  | '\002' -> Some (Engine.Final (read_buffer r))
+  | '\003' -> Some Engine.Marker
+  | c -> fail "bad item kind byte %C in Out payload" c
+
+let encode (m : msg) : Bytes.t =
+  let payload = Buffer.create 64 in
+  (match m with
+  | Init | Finalize | Next | Src_finalize | Exit | Done -> ()
+  | Item (Engine.Data b) | Item (Engine.Final b) -> add_buffer payload b
+  | Item Engine.Marker -> ()
+  | Out it -> add_item_opt payload it
+  | Crashed s -> Wirefmt.buf_add_string payload s);
+  let len = Buffer.length payload in
+  if len > max_frame then fail "frame payload %d exceeds max_frame %d" len max_frame;
+  let frame = Bytes.create (header_bytes + len) in
+  Bytes.set frame 0 (tag_of_msg m);
+  Bytes.set_int32_le frame 1 (Int32.of_int len);
+  Buffer.blit payload 0 frame header_bytes len;
+  frame
+
+(* Decode one frame whose header has already been validated: [tag] plus
+   exactly the payload bytes.  Rejects trailing garbage so a framing bug
+   cannot silently smuggle data between messages. *)
+let decode_payload tag (payload : Bytes.t) : msg =
+  let r = { Wirefmt.data = payload; pos = 0 } in
+  let m =
+    try
+      match tag with
+      | 'I' -> Init
+      | 'D' -> Item (Engine.Data (read_buffer r))
+      | 'F' -> Item (Engine.Final (read_buffer r))
+      | 'M' -> Item Engine.Marker
+      | 'Z' -> Finalize
+      | 'N' -> Next
+      | 'S' -> Src_finalize
+      | 'X' -> Exit
+      | 'O' -> Out (read_item_opt r)
+      | 'K' -> Done
+      | 'C' -> Crashed (Wirefmt.read_string r)
+      | c -> fail "unknown frame tag %C" c
+    with Wirefmt.Short_read m -> fail "truncated frame payload (%s)" m
+  in
+  if r.Wirefmt.pos <> Bytes.length payload then
+    fail "frame has %d trailing bytes after %C payload"
+      (Bytes.length payload - r.Wirefmt.pos)
+      tag;
+  m
+
+let check_len len =
+  if len < 0 || len > max_frame then fail "bad frame length %d (max %d)" len max_frame
+
+(* Decode a complete frame (header + payload) held in [b] at [pos].
+   Returns the message and the offset just past the frame. *)
+let decode (b : Bytes.t) ~(pos : int) : msg * int =
+  if pos < 0 || pos + header_bytes > Bytes.length b then
+    fail "truncated frame header";
+  let tag = Bytes.get b pos in
+  let len = Int32.to_int (Bytes.get_int32_le b (pos + 1)) in
+  check_len len;
+  if pos + header_bytes + len > Bytes.length b then
+    fail "truncated frame: header says %d payload bytes, %d available" len
+      (Bytes.length b - pos - header_bytes);
+  let payload = Bytes.sub b (pos + header_bytes) len in
+  (decode_payload tag payload, pos + header_bytes + len)
+
+(* Incremental decoder for byte streams that arrive in arbitrary
+   chunks (partial reads).  Feed bytes in; [next] yields a message as
+   soon as a whole frame has accumulated. *)
+module Decoder = struct
+  type t = { mutable pending : Bytes.t; mutable len : int }
+
+  let create () = { pending = Bytes.create 256; len = 0 }
+
+  let feed t b ~off ~len =
+    if off < 0 || len < 0 || off + len > Bytes.length b then
+      invalid_arg "Wire.Decoder.feed";
+    let need = t.len + len in
+    if need > Bytes.length t.pending then begin
+      let cap = max need (2 * Bytes.length t.pending) in
+      let grown = Bytes.create cap in
+      Bytes.blit t.pending 0 grown 0 t.len;
+      t.pending <- grown
+    end;
+    Bytes.blit b off t.pending t.len len;
+    t.len <- t.len + len
+
+  let next t =
+    if t.len < header_bytes then None
+    else begin
+      let tag = Bytes.get t.pending 0 in
+      let len = Int32.to_int (Bytes.get_int32_le t.pending 1) in
+      check_len len;
+      if t.len < header_bytes + len then None
+      else begin
+        let payload = Bytes.sub t.pending header_bytes len in
+        let consumed = header_bytes + len in
+        Bytes.blit t.pending consumed t.pending 0 (t.len - consumed);
+        t.len <- t.len - consumed;
+        Some (decode_payload tag payload)
+      end
+    end
+end
+
+(* --- blocking fd transport ------------------------------------------- *)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_msg fd (m : msg) =
+  let frame = encode m in
+  write_all fd frame 0 (Bytes.length frame)
+
+(* Read exactly [len] bytes; [`Eof] only if the stream ends on a frame
+   boundary (0 bytes read so far). *)
+let really_read fd b len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      let n =
+        try Unix.read fd b off (len - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      in
+      if n = 0 then if off = 0 then `Eof else fail "eof inside a frame"
+      else go (off + max n 0)
+  in
+  go 0
+
+let read_msg fd : msg option =
+  let header = Bytes.create header_bytes in
+  match really_read fd header header_bytes with
+  | `Eof -> None
+  | `Ok ->
+      let tag = Bytes.get header 0 in
+      let len = Int32.to_int (Bytes.get_int32_le header 1) in
+      check_len len;
+      let payload = Bytes.create len in
+      (match really_read fd payload len with
+      | `Eof -> fail "eof inside a frame payload"
+      | `Ok -> ());
+      Some (decode_payload tag payload)

@@ -1,0 +1,55 @@
+(** Length-prefixed wire protocol for the process backend.
+
+    A frame is [tag:1][len:4 LE][payload:len]; payloads use the
+    {!Wirefmt} codec (the same low-level codec as the compiler's
+    buffer-packing layer).  [Data]/[Final] items carry packet id +
+    bytes; [Marker] is an empty payload.  See
+    [lib/datacutter/proc_runtime.ml] for the request/response
+    discipline. *)
+
+exception Protocol_error of string
+(** Raised on malformed input: unknown tag, oversized or negative
+    length, truncated payload, trailing bytes, or EOF mid-frame. *)
+
+(** Requests (parent → worker) and responses (worker → parent). *)
+type msg =
+  | Init  (** (re)instantiate the filter and run [init] *)
+  | Item of Engine.item  (** process a [Data] or drain a [Final] payload *)
+  | Finalize  (** run [finalize] and return its emission *)
+  | Next  (** pull the next buffer from a source *)
+  | Src_finalize  (** run the source's [src_finalize] *)
+  | Exit  (** orderly worker shutdown *)
+  | Out of Engine.item option  (** callback result: optional emission *)
+  | Done  (** acknowledgement with no emission *)
+  | Crashed of string  (** the callback raised; payload is the message *)
+
+val max_frame : int
+(** Upper bound on a frame's payload size; larger lengths are rejected
+    on both encode and decode. *)
+
+val encode : msg -> Bytes.t
+(** A complete frame, header included. *)
+
+val decode : Bytes.t -> pos:int -> msg * int
+(** Decode one complete frame at [pos]; returns the message and the
+    offset just past it.  Raises {!Protocol_error} on truncation. *)
+
+(** Incremental decoder for streams arriving in arbitrary chunks. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> Bytes.t -> off:int -> len:int -> unit
+
+  val next : t -> msg option
+  (** [Some m] once a whole frame has accumulated, [None] to feed more.
+      Raises {!Protocol_error} on a malformed prefix. *)
+end
+
+val write_msg : Unix.file_descr -> msg -> unit
+(** Blocking full write of one frame (retries [EINTR]); propagates
+    [Unix.Unix_error] (e.g. [EPIPE]) for the caller's crash handling. *)
+
+val read_msg : Unix.file_descr -> msg option
+(** Blocking read of one frame; [None] on EOF at a frame boundary,
+    {!Protocol_error} if the peer dies mid-frame. *)

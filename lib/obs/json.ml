@@ -3,8 +3,9 @@
    The emitter escapes control characters and keeps integers integral;
    non-finite floats become null (Chrome's trace viewer rejects NaN and
    infinities).  The parser accepts standard JSON (no comments, no
-   trailing commas) and decodes \uXXXX escapes below 0x80 literally,
-   higher ones as UTF-8. *)
+   trailing commas) and decodes \uXXXX escapes to UTF-8, merging
+   \uD800-\uDBFF/\uDC00-\uDFFF surrogate pairs into the astral code
+   point they encode; lone surrogates are rejected. *)
 
 type t =
   | Null
@@ -134,11 +135,37 @@ let add_utf8 b code =
     Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
   end
-  else begin
+  else if code < 0x10000 then begin
     Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
     Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
   end
+  else begin
+    (* astral plane (from a surrogate pair): four bytes *)
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail "bad hex digit %C in \\u escape at offset %d" c st.pos
+
+(* Exactly four hex digits — [int_of_string "0x…"] would also accept
+   underscores and signs. *)
+let read_u16 st =
+  if st.pos + 4 > String.length st.src then
+    fail "truncated \\u escape at offset %d" st.pos;
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 4) lor hex_digit st st.src.[st.pos + i]
+  done;
+  st.pos <- st.pos + 4;
+  !v
 
 let parse_string st =
   expect st '"';
@@ -160,12 +187,26 @@ let parse_string st =
         | Some 'f' -> advance st; Buffer.add_char b '\012'; loop ()
         | Some 'u' ->
             advance st;
-            if st.pos + 4 > String.length st.src then fail "bad \\u escape";
-            let hex = String.sub st.src st.pos 4 in
-            st.pos <- st.pos + 4;
+            let code = read_u16 st in
             let code =
-              try int_of_string ("0x" ^ hex)
-              with _ -> fail "bad \\u escape %S" hex
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* high surrogate: only valid as the first half of a
+                   \uXXXX\uXXXX pair encoding an astral code point *)
+                if
+                  not
+                    (st.pos + 2 <= String.length st.src
+                    && st.src.[st.pos] = '\\'
+                    && st.src.[st.pos + 1] = 'u')
+                then fail "lone high surrogate \\u%04X" code;
+                st.pos <- st.pos + 2;
+                let lo = read_u16 st in
+                if lo < 0xDC00 || lo > 0xDFFF then
+                  fail "invalid low surrogate \\u%04X after \\u%04X" lo code;
+                0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail "lone low surrogate \\u%04X" code
+              else code
             in
             add_utf8 b code;
             loop ()

@@ -1,0 +1,61 @@
+(* Low-level byte codec shared by the compiler's buffer-packing layer
+   (lib/core/Packing, lib/core/Objpack) and the process backend's wire
+   protocol (lib/datacutter/Wire).
+
+   It lives in its own leaf library because [core] depends on
+   [datacutter]: the runtime cannot reach back up into the compiler for
+   these helpers without creating a cycle.  All integers are 8-byte
+   little-endian two's complement; floats are IEEE-754 bit patterns in
+   the same frame; strings are length-prefixed. *)
+
+let buf_add_int buf n =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int n);
+  Buffer.add_bytes buf b
+
+let buf_add_float buf f =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float f);
+  Buffer.add_bytes buf b
+
+let buf_add_bool buf v = Buffer.add_char buf (if v then '\001' else '\000')
+
+let buf_add_string buf s =
+  buf_add_int buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+exception Short_read of string
+
+let need r n what =
+  if r.pos < 0 || n < 0 || r.pos + n > Bytes.length r.data then
+    raise
+      (Short_read
+         (Printf.sprintf "%s: need %d bytes at offset %d of %d" what n r.pos
+            (Bytes.length r.data)))
+
+let read_int r =
+  need r 8 "int";
+  let v = Int64.to_int (Bytes.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let read_float r =
+  need r 8 "float";
+  let v = Int64.float_of_bits (Bytes.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let read_bool r =
+  need r 1 "bool";
+  let v = Bytes.get r.data r.pos <> '\000' in
+  r.pos <- r.pos + 1;
+  v
+
+let read_string r =
+  let len = read_int r in
+  need r len "string";
+  let s = Bytes.sub_string r.data r.pos len in
+  r.pos <- r.pos + len;
+  s

@@ -1,0 +1,20 @@
+(* Low-level byte codec shared by the buffer-packing layer and the
+   process backend's wire protocol: 8-byte little-endian ints, IEEE-754
+   floats, one-byte bools, length-prefixed strings. *)
+
+val buf_add_int : Buffer.t -> int -> unit
+val buf_add_float : Buffer.t -> float -> unit
+val buf_add_bool : Buffer.t -> bool -> unit
+val buf_add_string : Buffer.t -> string -> unit
+
+(** A cursor over packed bytes.  The [read_*] functions raise
+    {!Short_read} instead of [Invalid_argument] when the buffer is
+    truncated, so framing layers can reject malformed input cleanly. *)
+type reader = { data : Bytes.t; mutable pos : int }
+
+exception Short_read of string
+
+val read_int : reader -> int
+val read_float : reader -> float
+val read_bool : reader -> bool
+val read_string : reader -> string

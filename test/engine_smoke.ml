@@ -1,21 +1,23 @@
 (* Differential backend test, wired into `dune runtest` via the
-   @engine-smoke alias: run the same topology on both Engine backends —
-   the discrete-event simulator and the domain executor — with and
-   without an injected crash plan, and assert that the shared protocol
-   behaves identically:
+   @engine-smoke alias: run the same topology on every Engine backend —
+   the discrete-event simulator, the domain executor and the forked
+   process executor — with and without injected crash plans, and assert
+   that the shared protocol behaves identically:
 
-   - the sink receives exactly the same payload multiset on both
-     backends (exactly-once delivery, even while a copy dies mid-run
+   - the sink receives exactly the same payload multiset on every
+     backend (exactly-once delivery, even while a copy dies mid-run
      and its queued work is re-routed to the survivor);
    - the recovery counters agree where the semantics are shared
-     (crashes, retirements) and differ only where documented (replay is
-     a wall-clock mechanism, so the simulator's [replayed] stays 0);
-   - both backends serialize through the one [Runtime.metrics_to_json],
+     (crashes, retries, retirements; par and proc also agree on replay
+     counts) and differ only where documented (replay is a wall-clock
+     mechanism, so the simulator's [replayed] stays 0);
+   - all backends serialize through the one [Runtime.metrics_to_json],
      producing documents with the same shared key set.
 
    This is the contract the backend-agnostic engine exists to enforce:
    anything protocol-level that diverges between the backends is a bug
-   in a backend's executor, not a semantic fork. *)
+   in a backend's executor, not a semantic fork.  On platforms without
+   [Unix.fork] the proc leg is skipped. *)
 
 let die fmt =
   Printf.ksprintf
@@ -112,66 +114,206 @@ let json_keys = function
   | Obs.Json.Obj kvs -> List.sort compare (List.map fst kvs)
   | _ -> die "metrics JSON is not an object"
 
-let check_pair ~what ?faults ?policy n =
-  let sim_m, sim_got = run ~label:(what ^ "/sim") Datacutter.Runtime.Sim ?faults ?policy n in
-  let par_m, par_got = run ~label:(what ^ "/par") Datacutter.Runtime.Par ?faults ?policy n in
+(* Everything one backend leg of one scenario produces that the
+   differential compares.  Plain data so a proc leg can be computed in
+   a forked child and marshalled back. *)
+type leg = {
+  got : int list;
+  recovery : Datacutter.Supervisor.recovery;
+  keys : string list;
+      (** top-level metrics-JSON keys, minus the documented optional
+          sections (links on sim) *)
+}
+
+let strip keys = List.filter (fun k -> k <> "links") keys
+
+let run_leg ~label backend ?faults ?policy n : leg =
+  let m, got = run ~label backend ?faults ?policy n in
+  {
+    got;
+    recovery = m.Datacutter.Engine.recovery;
+    keys = strip (json_keys (Datacutter.Runtime.metrics_to_json m));
+  }
+
+(* OCaml 5 permanently refuses [Unix.fork] once any domain has ever
+   been spawned in the process, and both the par and proc backends
+   spawn driver domains — so every proc leg runs in its own child
+   process, and all of them run before the first par leg.  The child
+   marshals its leg over a pipe and [_exit]s. *)
+let run_proc_leg ~label ?faults ?policy n : leg =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let leg = run_leg ~label Datacutter.Runtime.Proc ?faults ?policy n in
+      let oc = Unix.out_channel_of_descr wr in
+      Marshal.to_channel oc leg [];
+      flush oc;
+      Unix._exit 0
+  | pid -> (
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let leg =
+        try Some (Marshal.from_channel ic : leg)
+        with End_of_file | Failure _ -> None
+      in
+      close_in ic;
+      match (leg, Unix.waitpid [] pid) with
+      | Some leg, (_, Unix.WEXITED 0) -> leg
+      | _, (_, Unix.WEXITED c) ->
+          die "%s: proc subprocess exited %d without a result" label c
+      | _, (_, Unix.WSIGNALED sg) ->
+          die "%s: proc subprocess killed by signal %d" label sg
+      | _, (_, Unix.WSTOPPED _) -> die "%s: proc subprocess stopped" label)
+
+(* Assert the shared protocol agrees across one scenario's legs. *)
+let check ~what n (legs : (string * leg) list) =
   let all = List.init n Fun.id in
-  if sim_got <> all then
-    die "%s: sim sink multiset wrong (%d packets, expected %d distinct)" what
-      (List.length sim_got) n;
-  if par_got <> all then
-    die "%s: par sink multiset wrong (%d packets, expected %d distinct)" what
-      (List.length par_got) n;
-  let sr = sim_m.Datacutter.Engine.recovery
-  and pr = par_m.Datacutter.Engine.recovery in
-  if sr.Datacutter.Supervisor.crashes <> pr.Datacutter.Supervisor.crashes then
-    die "%s: crash counts diverge (sim %d, par %d)" what
-      sr.Datacutter.Supervisor.crashes pr.Datacutter.Supervisor.crashes;
-  if sr.Datacutter.Supervisor.retired <> pr.Datacutter.Supervisor.retired then
-    die "%s: retirement counts diverge (sim %d, par %d)" what
-      sr.Datacutter.Supervisor.retired pr.Datacutter.Supervisor.retired;
-  if sr.Datacutter.Supervisor.replayed <> 0 then
-    die "%s: simulated restarts lose no state, yet sim replayed = %d" what
-      sr.Datacutter.Supervisor.replayed;
-  (* one serializer: identical key sets up to the documented optional
-     sections (links on sim, queue occupancy inside the par stages) *)
-  let strip keys = List.filter (fun k -> k <> "links") keys in
-  let sk = strip (json_keys (Datacutter.Runtime.metrics_to_json sim_m))
-  and pk = strip (json_keys (Datacutter.Runtime.metrics_to_json par_m)) in
-  if sk <> pk then
-    die "%s: metrics JSON key sets diverge (sim: %s; par: %s)" what
-      (String.concat "," sk) (String.concat "," pk);
-  (sr, pr)
+  List.iter
+    (fun (name, leg) ->
+      if leg.got <> all then
+        die "%s: %s sink multiset wrong (%d packets, expected %d distinct)"
+          what name (List.length leg.got) n)
+    legs;
+  let counter cname f =
+    let vals = List.map (fun (_, leg) -> f leg.recovery) legs in
+    match vals with
+    | [] -> ()
+    | v0 :: rest ->
+        if List.exists (fun v -> v <> v0) rest then
+          die "%s: %s counts diverge (%s)" what cname
+            (String.concat ", "
+               (List.map2
+                  (fun (name, _) v -> Printf.sprintf "%s %d" name v)
+                  legs vals))
+  in
+  counter "crash" (fun r -> r.Datacutter.Supervisor.crashes);
+  counter "retry" (fun r -> r.Datacutter.Supervisor.retries);
+  counter "retirement" (fun r -> r.Datacutter.Supervisor.retired);
+  (* replay is a wall-clock mechanism: sim stays 0, par and proc agree *)
+  let replayed name =
+    Option.map
+      (fun leg -> leg.recovery.Datacutter.Supervisor.replayed)
+      (List.assoc_opt name legs)
+  in
+  (match replayed "sim" with
+  | Some r when r <> 0 ->
+      die "%s: simulated restarts lose no state, yet sim replayed = %d" what r
+  | _ -> ());
+  (match (replayed "par", replayed "proc") with
+  | Some p, Some q when p <> q ->
+      die "%s: replay counts diverge (par %d, proc %d)" what p q
+  | _ -> ());
+  (* one serializer: identical key sets on every backend *)
+  (match legs with
+  | [] -> ()
+  | (n0, leg0) :: rest ->
+      List.iter
+        (fun (name, leg) ->
+          if leg.keys <> leg0.keys then
+            die "%s: metrics JSON key sets diverge (%s: %s; %s: %s)" what n0
+              (String.concat "," leg0.keys)
+              name
+              (String.concat "," leg.keys))
+        rest)
+
+let recovery_of what legs name =
+  match List.assoc_opt name legs with
+  | Some leg -> leg.recovery
+  | None -> die "%s: no %s leg" what name
+
+let plan_exn spec =
+  match Datacutter.Fault.parse spec with
+  | Ok p -> p
+  | Error m -> die "bad fault spec %S: %s" spec m
 
 let () =
   let n = 40 in
-  (* healthy pipeline: no recovery activity on either backend *)
-  let sr, _pr = check_pair ~what:"healthy" n in
-  if Datacutter.Supervisor.recovery_total sr <> 0 then
-    die "healthy: unexpected recovery activity on sim";
-  (* one mid copy dies for good after 5 packets: both backends must
-     retire it, re-route its queued work and still deliver exactly
-     once *)
-  let faults =
-    match Datacutter.Fault.parse "1.0:crash@5" with
-    | Ok p -> p
-    | Error m -> die "bad fault spec: %s" m
-  in
-  let policy =
+  let retire_policy =
     {
       Datacutter.Supervisor.default_policy with
       Datacutter.Supervisor.max_retries = 0;
     }
   in
-  let sr, pr = check_pair ~what:"crash" ~faults ~policy n in
+  (* scenario name, fault plan, policy override *)
+  let scenarios =
+    [
+      ("healthy", None, None);
+      ("crash-retire", Some (plan_exn "1.0:crash@5"), Some retire_policy);
+      ("crash-retry", Some (plan_exn "1.0:crash@3"), None);
+    ]
+  in
+  let with_proc = Datacutter.Proc_runtime.available in
+  if not with_proc then
+    prerr_endline "engine-smoke: no Unix.fork here; proc legs skipped";
+  (* Every proc leg first (forking is poisoned once par spawns
+     domains), then the in-process sim and par legs. *)
+  let proc_legs =
+    if not with_proc then []
+    else
+      List.map
+        (fun (what, faults, policy) ->
+          ( what,
+            run_proc_leg ~label:(what ^ "/proc") ?faults ?policy n ))
+        scenarios
+  in
+  let results =
+    List.map
+      (fun (what, faults, policy) ->
+        let leg b name =
+          (name, run_leg ~label:(what ^ "/" ^ name) b ?faults ?policy n)
+        in
+        let legs =
+          [ leg Datacutter.Runtime.Sim "sim"; leg Datacutter.Runtime.Par "par" ]
+          @
+          match List.assoc_opt what proc_legs with
+          | Some l -> [ ("proc", l) ]
+          | None -> []
+        in
+        check ~what n legs;
+        (what, legs))
+      scenarios
+  in
+  let legs_of what =
+    match List.assoc_opt what results with
+    | Some legs -> legs
+    | None -> die "missing scenario %s" what
+  in
+  (* healthy pipeline: no recovery activity at all *)
+  List.iter
+    (fun (name, leg) ->
+      if Datacutter.Supervisor.recovery_total leg.recovery <> 0 then
+        die "healthy: unexpected recovery activity on %s" name)
+    (legs_of "healthy");
+  (* crash-retire: one mid copy dies for good after 5 packets — every
+     backend must retire it, re-route its queued work and still
+     deliver exactly once *)
+  let sr = recovery_of "crash-retire" (legs_of "crash-retire") "sim" in
   if sr.Datacutter.Supervisor.retired <> 1 then
-    die "crash: expected exactly one retirement, got %d"
+    die "crash-retire: expected exactly one retirement, got %d"
       sr.Datacutter.Supervisor.retired;
-  if sr.Datacutter.Supervisor.rerouted < 1 || pr.Datacutter.Supervisor.rerouted < 1
+  List.iter
+    (fun (name, leg) ->
+      if leg.recovery.Datacutter.Supervisor.rerouted < 1 then
+        die "crash-retire: expected re-routed traffic on %s, got 0" name)
+    (legs_of "crash-retire");
+  (* crash-retry: one mid copy crashes once within the retry budget —
+     the real backends must restart it (a fresh domain instance / a
+     freshly activated worker process) and replay the same retained
+     inputs *)
+  let sr = recovery_of "crash-retry" (legs_of "crash-retry") "sim" in
+  if
+    sr.Datacutter.Supervisor.crashes <> 1
+    || sr.Datacutter.Supervisor.retries <> 1
   then
-    die "crash: expected re-routed traffic on both backends (sim %d, par %d)"
-      sr.Datacutter.Supervisor.rerouted pr.Datacutter.Supervisor.rerouted;
+    die "crash-retry: expected one crash and one retry, got %d/%d"
+      sr.Datacutter.Supervisor.crashes sr.Datacutter.Supervisor.retries;
+  let pr = recovery_of "crash-retry" (legs_of "crash-retry") "par" in
+  if pr.Datacutter.Supervisor.replayed <> 3 then
+    die "crash-retry: expected 3 replayed inputs on par, got %d"
+      pr.Datacutter.Supervisor.replayed;
+  let names = if with_proc then "sim/par/proc" else "sim/par" in
   Printf.printf
-    "engine-smoke ok: sim and par agree on %d packets, healthy and under \
-     crash@5 (retired=1, rerouted sim=%d par=%d)\n"
-    n sr.Datacutter.Supervisor.rerouted pr.Datacutter.Supervisor.rerouted
+    "engine-smoke ok: %s agree on %d packets — healthy, crash@5+retire \
+     (rerouted) and crash@3+retry (replayed=%d)\n"
+    names n pr.Datacutter.Supervisor.replayed

@@ -92,6 +92,119 @@ let test_parse_roundtrip () =
   let cfg2 = Fault.resolve p ~stage:2 ~copy:5 in
   A.(check (option int)) "crash is site-local" None cfg2.Fault.crash_after
 
+(* Property: parsing is a retraction of printing — for any plan built
+   from the constructors, [parse (to_string p) = Ok p], and for any
+   accepted spec string, parse ∘ print ∘ parse = parse.  This caught
+   the "%g" printing of slowdown factors and link delays, which kept
+   only six significant digits and reparsed to a *different* plan. *)
+let gen_plan =
+  let open QCheck.Gen in
+  let sel = oneof [ return None; map (fun i -> Some i) (int_bound 9) ] in
+  (* floats with enough significant digits to defeat lossy printing,
+     plus exact-decimal and integral corner cases *)
+  let factor =
+    oneof
+      [
+        map (fun i -> 1.0 +. (float_of_int i /. 1e7)) (int_bound 999_999_999);
+        map (fun i -> 1.0 +. (float_of_int i /. 4.0)) (int_bound 64);
+        map float_of_int (int_range 1 1000);
+      ]
+  in
+  let extra_s =
+    oneof
+      [
+        map (fun i -> float_of_int i /. 1e9) (int_bound 999_999_999);
+        map (fun i -> float_of_int i /. 8.0) (int_bound 80);
+      ]
+  in
+  let kind =
+    oneof
+      [
+        map (fun n -> Fault.Crash_after n) (int_range 1 100);
+        map2
+          (fun f jitter -> Fault.Slowdown { factor = f; jitter })
+          factor bool;
+        map2
+          (fun first count -> Fault.Flaky { first; count })
+          (int_range 1 50) (int_range 1 50);
+      ]
+  in
+  let clause =
+    map2
+      (fun (fs_stage, fs_copy) kind ->
+        { Fault.site = { Fault.fs_stage; fs_copy }; kind })
+      (pair sel sel) kind
+  in
+  let link_fault =
+    map3
+      (fun lf_link lf_after lf_extra_s ->
+        { Fault.lf_link; lf_after; lf_extra_s })
+      (int_bound 5) (int_range 1 20) extra_s
+  in
+  map3
+    (fun seed clauses link_faults -> { Fault.seed; clauses; link_faults })
+    (int_bound 1_000_000)
+    (list_size (int_range 1 6) clause)
+    (list_size (int_bound 3) link_fault)
+
+let print_plan p = Fault.to_string p
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"fault plans: parse (to_string p) = Ok p" ~count:500
+    (QCheck.make gen_plan ~print:print_plan)
+    (fun p ->
+      match Fault.parse (Fault.to_string p) with
+      | Ok p' ->
+          if p' <> p then
+            QCheck.Test.fail_reportf
+              "printed %S reparsed to a different plan (reprint %S)"
+              (Fault.to_string p) (Fault.to_string p')
+          else begin
+            (* and printing is now a fixpoint: a second round changes
+               nothing *)
+            match Fault.parse (Fault.to_string p') with
+            | Ok p'' -> p'' = p'
+            | Error m ->
+                QCheck.Test.fail_reportf "second reparse rejected: %s" m
+          end
+      | Error m ->
+          QCheck.Test.fail_reportf "printed spec %S rejected: %s"
+            (Fault.to_string p) m)
+
+(* The same retraction property over hand-written spec strings using
+   the grammar's more exotic spellings (exponents, wildcards, spaces,
+   hex-ish digits that int_of_string would over-accept). *)
+let test_roundtrip_audit () =
+  let accepted =
+    [
+      "seed=0" (* prints as "" semantically: seed 0 is the default *);
+      "seed=-3;1.0:crash@7";
+      "*.*:slow*1.5e0";
+      "0.*:slow~2.5E0";
+      "*.3:slow*01.25";
+      " 1.0:crash@2 ; link0:delay@1+0.125 ";
+      "1.0:flaky@2x4;1.0:crash@9";
+      "link2:delay@3+1e-3";
+      "link0:delay@1+0.0";
+      "1.0:slow*1.2345678";
+      "link1:delay@2+0.30000000000000004";
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Fault.parse spec with
+      | Error m -> A.failf "spec %S rejected: %s" spec m
+      | Ok p -> (
+          match Fault.parse (Fault.to_string p) with
+          | Error m ->
+              A.failf "printed form %S of %S rejected: %s" (Fault.to_string p)
+                spec m
+          | Ok p' ->
+              if p' <> p then
+                A.failf "spec %S: parse/print/parse changed the plan (%S)"
+                  spec (Fault.to_string p)))
+    accepted
+
 let test_parse_errors () =
   let rejected spec =
     match Fault.parse spec with
@@ -361,6 +474,7 @@ let test_validation () =
 let suite =
   [
     ("fault spec roundtrip", `Quick, test_parse_roundtrip);
+    ("fault spec roundtrip audit", `Quick, test_roundtrip_audit);
     ("fault spec errors", `Quick, test_parse_errors);
     ("sim faults deterministic per seed", `Quick, test_sim_deterministic);
     ("sim flaky retries", `Quick, test_sim_flaky_retries);
@@ -374,4 +488,9 @@ let suite =
     ("runtime topology validation", `Quick, test_validation);
   ]
 
-let () = Alcotest.run "fault" [ ("fault", suite) ]
+let () =
+  Alcotest.run "fault"
+    [
+      ("fault", suite);
+      ("fault-prop", List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ]);
+    ]

@@ -58,6 +58,42 @@ let test_json_errors () =
   (* \u escapes decode to UTF-8 *)
   A.(check string) "unicode escape" "A\xc3\xa9" (J.to_str (J.parse "\"A\\u00e9\""))
 
+let test_json_surrogates () =
+  (* a surrogate pair decodes to the single astral code point it
+     encodes — U+1D11E MUSICAL SYMBOL G CLEF is \uD834\uDD1E *)
+  A.(check string)
+    "astral escape" "\xf0\x9d\x84\x9e"
+    (J.to_str (J.parse "\"\\uD834\\uDD1E\""));
+  (* mixed with surrounding text and a BMP escape *)
+  A.(check string)
+    "astral in context" "x\xf0\x9f\x98\x80y\xc3\xa9"
+    (J.to_str (J.parse "\"x\\uD83D\\uDE00y\\u00e9\""));
+  (* raw astral UTF-8 survives an emit → parse round-trip *)
+  let astral = "clef \xf0\x9d\x84\x9e emoji \xf0\x9f\x98\x80" in
+  A.(check string)
+    "astral round-trip" astral
+    (J.to_str (J.parse (J.to_string (J.Str astral))));
+  (* lone or malformed surrogates are rejected, as are non-hex digits
+     (int_of_string-style underscores must not sneak through) *)
+  let bad =
+    [
+      "\"\\uD834\"" (* lone high *);
+      "\"\\uD834x\"" (* high followed by literal char *);
+      "\"\\uD834\\n\"" (* high followed by another escape *);
+      "\"\\uDD1E\"" (* lone low *);
+      "\"\\uD834\\uD834\"" (* high followed by high *);
+      "\"\\u1_23\"" (* underscore is not a hex digit *);
+      "\"\\u12\"" (* truncated *);
+      "\"\\ud8\"" (* truncated surrogate *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse_result s with
+      | Ok _ -> A.fail (Printf.sprintf "parse %S should fail" s)
+      | Error _ -> ())
+    bad
+
 (* --- Hist --- *)
 
 let test_hist_buckets () =
@@ -460,6 +496,7 @@ let suite =
     ("json roundtrip", `Quick, test_json_roundtrip);
     ("json special floats", `Quick, test_json_special_floats);
     ("json errors", `Quick, test_json_errors);
+    ("json surrogate pairs", `Quick, test_json_surrogates);
     ("hist buckets", `Quick, test_hist_buckets);
     ("hist occupancy bounds", `Quick, test_hist_occupancy_bounds);
     ("span nesting", `Quick, test_span_nesting);

@@ -327,6 +327,85 @@ let test_par_eos_payload () =
   ignore (par_run topo);
   A.(check int) "partials sum" 19 !total
 
+(* --- Bqueue close-while-blocked (graceful shutdown) --- *)
+
+(* [close] must wake every blocked pusher and popper exactly once
+   (each raises [Closed] instead of hanging), and must never drop an
+   item that was already enqueued: poppers drain the backlog first and
+   only then see [Closed]. *)
+let test_bqueue_close_wakes_blocked () =
+  let stop = Atomic.make false in
+  let capacity = 4 in
+  let q : int Bqueue.t = Bqueue.create ~stop capacity in
+  (* fill to capacity so pushers block *)
+  for i = 0 to capacity - 1 do
+    ignore (Bqueue.push q i)
+  done;
+  let n_pushers = 3 in
+  let pushed = Atomic.make 0 in
+  let pushers =
+    List.init n_pushers (fun i ->
+        Domain.spawn (fun () ->
+            match Bqueue.push q (100 + i) with
+            | _ ->
+                Atomic.incr pushed;
+                `Pushed
+            | exception Bqueue.Closed -> `Closed
+            | exception Bqueue.Aborted -> `Aborted))
+  in
+  (* give the pushers time to block on the full queue, then close *)
+  Unix.sleepf 0.05;
+  Bqueue.close q;
+  let results = List.map Domain.join pushers in
+  (* every blocked pusher woke exactly once and observed the close;
+     none hung (join returned) and none slipped an item in *)
+  List.iter
+    (fun r -> A.(check bool) "blocked pusher raised Closed" true (r = `Closed))
+    results;
+  A.(check int) "no pusher slipped an item past close" 0 (Atomic.get pushed);
+  A.(check int) "backlog intact after close" capacity (Bqueue.length q);
+  (* push after close fails immediately *)
+  (match Bqueue.push q 999 with
+  | _ -> A.fail "push after close must raise Closed"
+  | exception Bqueue.Closed -> ());
+  (* the backlog enqueued before the close still drains in order *)
+  for i = 0 to capacity - 1 do
+    let x, _ = Bqueue.pop q in
+    A.(check int) "drained in order" i x
+  done;
+  (* and only once empty does pop raise Closed *)
+  match Bqueue.pop q with
+  | _ -> A.fail "pop on drained closed queue must raise Closed"
+  | exception Bqueue.Closed -> ()
+
+let test_bqueue_close_wakes_poppers () =
+  let stop = Atomic.make false in
+  let q : int Bqueue.t = Bqueue.create ~stop 4 in
+  let n_poppers = 4 in
+  let poppers =
+    List.init n_poppers (fun _ ->
+        Domain.spawn (fun () ->
+            match Bqueue.pop q with
+            | x, _ -> `Got x
+            | exception Bqueue.Closed -> `Closed
+            | exception Bqueue.Aborted -> `Aborted))
+  in
+  Unix.sleepf 0.05;
+  (* two items for four blocked poppers, then close: exactly two
+     domains get an item, the other two wake once and raise Closed *)
+  ignore (Bqueue.push q 1);
+  ignore (Bqueue.push q 2);
+  Bqueue.close q;
+  let results = List.map Domain.join poppers in
+  let got = List.filter (function `Got _ -> true | _ -> false) results in
+  let closed = List.filter (( = ) `Closed) results in
+  A.(check int) "every enqueued item delivered" 2 (List.length got);
+  A.(check int) "remaining poppers woken with Closed" (n_poppers - 2)
+    (List.length closed);
+  A.(check bool) "close is idempotent" true
+    (Bqueue.close q;
+     true)
+
 let suite =
   [
     ("all packets delivered", `Quick, test_all_packets_delivered);
@@ -342,6 +421,8 @@ let suite =
     ("topology validation", `Quick, test_topology_validation);
     ("par runtime counts", `Quick, test_par_runtime_counts);
     ("par eos payload", `Quick, test_par_eos_payload);
+    ("bqueue close wakes blocked pushers", `Quick, test_bqueue_close_wakes_blocked);
+    ("bqueue close wakes blocked poppers", `Quick, test_bqueue_close_wakes_poppers);
   ]
 
 let () = Alcotest.run "runtime" [ ("runtime", suite) ]
