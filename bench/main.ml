@@ -109,31 +109,138 @@ let cell = function
   | Error e -> Fmt.failwith "run failed: %a" Datacutter.Supervisor.pp_run_error e
 
 (* ------------------------------------------------------------------ *)
+(* Sim-predicted vs measured drift                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every figure row re-runs its Decomp cell on the measured backends
+   and records wall-clock seconds plus the measured/simulated ratio
+   ("drift") — per-backend baselines for every figure, not just the
+   `backends` target.  OCaml 5 permanently refuses Unix.fork once a
+   domain has been spawned, so each figure measures its whole proc
+   column BEFORE its first par leg; in a combined multi-target run,
+   targets after the first lose their proc cells and report the skip.
+   Set BENCH_DRIFT=0 to skip the measured legs entirely (sim-only,
+   fast). *)
+let drift_enabled () = Sys.getenv_opt "BENCH_DRIFT" <> Some "0"
+
+(* Run [f] in a forked child and marshal its result back over a pipe.
+   The proc backend spawns parent-side driver domains, and OCaml 5
+   permanently refuses [Unix.fork] once any domain has ever been
+   spawned in a process — so every proc leg runs in its own child,
+   keeping the bench itself fork-capable for the next proc leg.  [None]
+   when fork is unavailable (non-Unix, or a par leg already spawned
+   domains here); a child that fails aborts the bench. *)
+let in_subprocess (f : unit -> 'a) : 'a option =
+  if not Datacutter.Proc_runtime.available then None
+  else
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | exception Invalid_argument _ ->
+        Unix.close rd;
+        Unix.close wr;
+        None
+    | 0 ->
+        Unix.close rd;
+        let r = f () in
+        let oc = Unix.out_channel_of_descr wr in
+        Marshal.to_channel oc r [];
+        flush oc;
+        Unix._exit 0
+    | pid -> (
+        Unix.close wr;
+        let ic = Unix.in_channel_of_descr rd in
+        let r =
+          try Some (Marshal.from_channel ic : 'a)
+          with End_of_file | Failure _ -> None
+        in
+        close_in ic;
+        match (r, Unix.waitpid [] pid) with
+        | Some r, (_, Unix.WEXITED 0) -> Some r
+        | _, (_, Unix.WEXITED c) ->
+            Fmt.failwith "proc subprocess exited %d without a result" c
+        | _, (_, Unix.WSIGNALED sg) ->
+            Fmt.failwith "proc subprocess killed by signal %d" sg
+        | _, (_, Unix.WSTOPPED _) -> Fmt.failwith "proc subprocess stopped")
+
+let measured ~backend ~strategy ~widths app =
+  let run () =
+    match H.run_cell ~cluster ~strategy ~backend ~widths app with
+    | Ok (t, _, _, _) -> t
+    | Error e ->
+        Fmt.failwith "%s leg failed: %a"
+          (Datacutter.Runtime.backend_name backend)
+          Datacutter.Supervisor.pp_run_error e
+  in
+  match backend with
+  | Datacutter.Runtime.Proc -> (
+      match in_subprocess run with
+      | Some t -> Some t
+      | None ->
+          Fmt.pr "  (proc leg skipped: fork unavailable)@.";
+          None)
+  | _ -> Some (run ())
+
+(* Proc wall-clock for every configuration, measured up front while
+   fork is still available. *)
+let proc_prepass ~strategy app =
+  if not (drift_enabled ()) then []
+  else
+    List.map
+      (fun (label, widths) ->
+        ( label,
+          measured ~backend:Datacutter.Runtime.Proc ~strategy ~widths app ))
+      H.configurations
+
+let par_leg ~strategy ~widths app =
+  if not (drift_enabled ()) then None
+  else measured ~backend:Datacutter.Runtime.Par ~strategy ~widths app
+
+(* JSON cells a figure row gains when measured legs ran: wall-clock and
+   the measured/simulated drift ratio per backend. *)
+let drift_cells ~sim_s ~par_s ~proc_s =
+  let one name = function
+    | Some t -> [ (name ^ "_wall_s", t); (name ^ "_drift", t /. sim_s) ]
+    | None -> []
+  in
+  one "par" par_s @ one "proc" proc_s
+
+let drift_str sim_s = function
+  | Some t -> Fmt.str "%.1f" (t /. sim_s)
+  | None -> "-"
+
+(* ------------------------------------------------------------------ *)
 (* Figures 5-8: isosurface (Default vs Decomp, 3 configurations)        *)
 (* ------------------------------------------------------------------ *)
 
 let iso_figure ~title ~variant cfg =
-  print_header title [ "Default(s)"; "Decomp(s)"; "improv(%)"; "speedup(D)" ];
+  print_header title
+    [ "Default(s)"; "Decomp(s)"; "improv(%)"; "speedup(D)"; "par(x)"; "proc(x)" ];
+  let app = H.iso_app ~variant cfg in
+  let procs = proc_prepass ~strategy:Compile.Decomp app in
   let base = ref 0.0 in
   List.iter
     (fun (label, widths) ->
-      let app = H.iso_app ~variant cfg in
       let t_def, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Default ~widths app) in
       let t_dec, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app) in
       if label = "1-1-1" then base := t_dec;
-      Record.row label
-        [
-          ("default_s", t_def);
-          ("decomp_s", t_dec);
-          ("improv_pct", pct_faster ~default:t_def ~decomp:t_dec);
-          ("speedup", !base /. t_dec);
-        ];
+      let par_s = par_leg ~strategy:Compile.Decomp ~widths app in
+      let proc_s = Option.join (List.assoc_opt label procs) in
+      Record.row ~tags:[ ("backend", "sim") ] label
+        ([
+           ("default_s", t_def);
+           ("decomp_s", t_dec);
+           ("improv_pct", pct_faster ~default:t_def ~decomp:t_dec);
+           ("speedup", !base /. t_dec);
+         ]
+        @ drift_cells ~sim_s:t_dec ~par_s ~proc_s);
       print_row label
         [
           Fmt.str "%.4f" t_def;
           Fmt.str "%.4f" t_dec;
           Fmt.str "%.1f" (pct_faster ~default:t_def ~decomp:t_dec);
           Fmt.str "%.2f" (!base /. t_dec);
+          drift_str t_dec par_s;
+          drift_str t_dec proc_s;
         ])
     H.configurations
 
@@ -159,8 +266,9 @@ let fig8 () =
 
 let knn_figure ~title cfg =
   print_header title
-    [ "Default(s)"; "Comp(s)"; "Manual(s)"; "improv(%)"; "comp/man" ];
+    [ "Default(s)"; "Comp(s)"; "Manual(s)"; "improv(%)"; "comp/man"; "par(x)"; "proc(x)" ];
   let app = H.knn_app cfg in
+  let procs = proc_prepass ~strategy:Compile.Decomp app in
   List.iter
     (fun (label, widths) ->
       let t_def, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Default ~widths app) in
@@ -172,14 +280,17 @@ let knn_figure ~title cfg =
           ~latency:cluster.H.latency ()
       in
       let t_man = (cell (Datacutter.Runtime.run_result topo)).Datacutter.Engine.elapsed_s in
-      Record.row label
-        [
-          ("default_s", t_def);
-          ("comp_s", t_cmp);
-          ("manual_s", t_man);
-          ("improv_pct", pct_faster ~default:t_def ~decomp:t_cmp);
-          ("comp_over_manual", t_cmp /. t_man);
-        ];
+      let par_s = par_leg ~strategy:Compile.Decomp ~widths app in
+      let proc_s = Option.join (List.assoc_opt label procs) in
+      Record.row ~tags:[ ("backend", "sim") ] label
+        ([
+           ("default_s", t_def);
+           ("comp_s", t_cmp);
+           ("manual_s", t_man);
+           ("improv_pct", pct_faster ~default:t_def ~decomp:t_cmp);
+           ("comp_over_manual", t_cmp /. t_man);
+         ]
+        @ drift_cells ~sim_s:t_cmp ~par_s ~proc_s);
       print_row label
         [
           Fmt.str "%.4f" t_def;
@@ -187,6 +298,8 @@ let knn_figure ~title cfg =
           Fmt.str "%.4f" t_man;
           Fmt.str "%.1f" (pct_faster ~default:t_def ~decomp:t_cmp);
           Fmt.str "%.2f" (t_cmp /. t_man);
+          drift_str t_cmp par_s;
+          drift_str t_cmp proc_s;
         ])
     H.configurations
 
@@ -199,8 +312,9 @@ let fig10 () = knn_figure ~title:"Figure 10: knn, k = 200" (Apps.Knn.with_k 200)
 
 let vmscope_figure ~title cfg =
   print_header title
-    [ "Default(s)"; "Comp(s)"; "Manual(s)"; "improv(%)"; "comp/man" ];
+    [ "Default(s)"; "Comp(s)"; "Manual(s)"; "improv(%)"; "comp/man"; "par(x)"; "proc(x)" ];
   let app = H.vmscope_app cfg in
+  let procs = proc_prepass ~strategy:Compile.Decomp app in
   List.iter
     (fun (label, widths) ->
       let t_def, _, _, _ = cell (H.run_cell ~cluster ~strategy:Compile.Default ~widths app) in
@@ -212,14 +326,17 @@ let vmscope_figure ~title cfg =
           ~latency:cluster.H.latency ()
       in
       let t_man = (cell (Datacutter.Runtime.run_result topo)).Datacutter.Engine.elapsed_s in
-      Record.row label
-        [
-          ("default_s", t_def);
-          ("comp_s", t_cmp);
-          ("manual_s", t_man);
-          ("improv_pct", pct_faster ~default:t_def ~decomp:t_cmp);
-          ("comp_over_manual", t_cmp /. t_man);
-        ];
+      let par_s = par_leg ~strategy:Compile.Decomp ~widths app in
+      let proc_s = Option.join (List.assoc_opt label procs) in
+      Record.row ~tags:[ ("backend", "sim") ] label
+        ([
+           ("default_s", t_def);
+           ("comp_s", t_cmp);
+           ("manual_s", t_man);
+           ("improv_pct", pct_faster ~default:t_def ~decomp:t_cmp);
+           ("comp_over_manual", t_cmp /. t_man);
+         ]
+        @ drift_cells ~sim_s:t_cmp ~par_s ~proc_s);
       print_row label
         [
           Fmt.str "%.4f" t_def;
@@ -227,6 +344,8 @@ let vmscope_figure ~title cfg =
           Fmt.str "%.4f" t_man;
           Fmt.str "%.1f" (pct_faster ~default:t_def ~decomp:t_cmp);
           Fmt.str "%.2f" (t_cmp /. t_man);
+          drift_str t_cmp par_s;
+          drift_str t_cmp proc_s;
         ])
     H.configurations
 
@@ -274,7 +393,7 @@ let ablation_dp () =
         solve_time (fun () ->
             Decompose.brute_force ~cons ~objective:`Total pipeline profile)
       in
-      Record.row label
+      Record.row ~tags:[ ("backend", "sim") ] label
         [
           ("dp_total_s", dp.Decompose.total);
           ("bneck_total_s", bn.Decompose.total);
@@ -309,7 +428,7 @@ let ablation_dp () =
         solve_time (fun () ->
             Decompose.brute_force ~objective:`Total pipeline profile)
       in
-      Record.row
+      Record.row ~tags:[ ("backend", "host") ]
         (Printf.sprintf "n%d-m%d" n1 m)
         [ ("t_dp_us", t_dp *. 1e6); ("t_brute_us", t_bf *. 1e6) ];
       print_row ""
@@ -441,7 +560,7 @@ let ablation_packing () =
       let t_auto = run `Auto in
       let t_inst = run `All_instance in
       let t_field = run `All_fieldwise in
-      Record.row label
+      Record.row ~tags:[ ("backend", "sim") ] label
         [
           ("auto_s", t_auto);
           ("instance_s", t_inst);
@@ -469,7 +588,8 @@ let ablation_packet () =
       let t, _, _, _ =
         cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 2; 2; 1 |] app)
       in
-      Record.row (string_of_int packets) [ ("makespan_s", t) ];
+      Record.row ~tags:[ ("backend", "sim") ] (string_of_int packets)
+        [ ("makespan_s", t) ];
       print_row "" [ string_of_int packets; Fmt.str "%.4f" t ])
     [ 4; 8; 16; 24; 48; 96 ]
 
@@ -540,7 +660,8 @@ let parallel () =
         |> List.fold_left min infinity
       in
       if label = "1-1-1" then base := t;
-      Record.row label [ ("wall_s", t); ("speedup", !base /. t) ];
+      Record.row ~tags:[ ("backend", "par") ] label
+        [ ("wall_s", t); ("speedup", !base /. t) ];
       print_row "" [ label; Fmt.str "%.4f" t; Fmt.str "%.2f" (!base /. t) ])
     H.configurations
 
@@ -591,11 +712,137 @@ let micro () =
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some [ est ] ->
-              Record.row name [ ("ns_per_run", est) ];
+              Record.row ~tags:[ ("backend", "host") ] name
+                [ ("ns_per_run", est) ];
               Fmt.pr "%-44s %14.0f ns/run@." name est
           | _ -> Fmt.pr "%-44s   (no estimate)@." name)
         tbl)
     results
+
+(* ------------------------------------------------------------------ *)
+(* Throughput: batch-cap sweep on all three backends                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The workload where per-item overhead dominates by construction
+   (Streambench: many small buffers through a pass-through stage),
+   swept over the engine's batch cap on every backend.  Sim rows are
+   simulated seconds (the modeled startup-once-per-batch transfer
+   cost); par and proc rows are wall-clock, so items/s at B>1 vs B=1 is
+   the measured amortization of locks, wakeups and wire frames.  The
+   proc column runs first: fork is refused once the par legs have
+   spawned domains, and a proc leg attempted after them is skipped. *)
+let throughput_sweep ~title ~cfg ~batches () =
+  print_header title [ "batch"; "elapsed(s)"; "items/s" ];
+  let widths = [| 1; 1; 1 |] in
+  let powers = H.node_powers cluster widths in
+  let bandwidths = Array.make 2 cluster.H.bandwidth in
+  let exp_count, exp_sum = Apps.Streambench.expected cfg in
+  let leg backend b =
+    let run () =
+      let topo, results =
+        Apps.Streambench.topology cfg ~widths ~powers ~bandwidths
+          ~latency:cluster.H.latency ()
+      in
+      match Datacutter.Runtime.run_result ~backend ~batch:b topo with
+      | Ok m ->
+          let n, sum = results () in
+          if (n, sum) <> (exp_count, exp_sum) then
+            Fmt.failwith
+              "throughput %s B=%d: sink saw (%d, %d), expected (%d, %d)"
+              (Datacutter.Runtime.backend_name backend)
+              b n sum exp_count exp_sum;
+          (m.Datacutter.Engine.elapsed_s, Datacutter.Runtime.metrics_to_json m)
+      | Error e ->
+          Fmt.failwith "throughput %s B=%d failed: %a"
+            (Datacutter.Runtime.backend_name backend)
+            b Datacutter.Supervisor.pp_run_error e
+    in
+    match backend with
+    | Datacutter.Runtime.Proc -> (
+        match in_subprocess run with
+        | Some r -> Some r
+        | None ->
+            Fmt.pr "%-8s B=%-4d skipped: fork unavailable@." "proc" b;
+            None)
+    | _ -> Some (run ())
+  in
+  List.concat_map
+    (fun (name, backend) ->
+      List.filter_map
+        (fun b ->
+          match leg backend b with
+          | None -> None
+          | Some (t, doc) ->
+              let rate = float_of_int cfg.Apps.Streambench.items /. t in
+              Record.row ~tags:[ ("backend", name) ]
+                (Printf.sprintf "B=%d" b)
+                [
+                  ("batch", float_of_int b);
+                  ("elapsed_s", t);
+                  ("items_per_s", rate);
+                ];
+              print_row (name ^ (if b = 1 then "" else "*"))
+                [ string_of_int b; Fmt.str "%.4f" t; Fmt.str "%.0f" rate ];
+              Some (name, b, doc))
+        batches)
+    [
+      ("proc", Datacutter.Runtime.Proc);
+      ("sim", Datacutter.Runtime.Sim);
+      ("par", Datacutter.Runtime.Par);
+    ]
+
+let throughput () =
+  ignore
+    (throughput_sweep
+       ~title:
+         (Printf.sprintf "Throughput: streambench %d items x %d bytes, 1-1-1"
+          Apps.Streambench.default.Apps.Streambench.items
+          Apps.Streambench.default.Apps.Streambench.item_bytes)
+       ~cfg:Apps.Streambench.default
+       ~batches:[ 1; 8; 64; 512 ] ())
+
+(* Tiny sweep for @perf-smoke: sim + par always, proc while fork is
+   available, then assert the runtime metrics JSON of every batched leg
+   carries batch-size histograms (and that some batch actually formed). *)
+let throughput_smoke () =
+  let legs =
+    throughput_sweep ~title:"Perf smoke: streambench tiny, 1-1-1"
+      ~cfg:Apps.Streambench.tiny ~batches:[ 1; 8 ] ()
+  in
+  let module J = Obs.Json in
+  let check what cond =
+    if not cond then begin
+      Fmt.epr "perf smoke: %s does not hold@." what;
+      exit 1
+    end
+  in
+  check "a par leg ran" (List.exists (fun (n, _, _) -> n = "par") legs);
+  check "a sim leg ran" (List.exists (fun (n, _, _) -> n = "sim") legs);
+  List.iter
+    (fun (name, b, doc) ->
+      if b > 1 then begin
+        let ctx what = Printf.sprintf "%s (%s B=%d)" what name b in
+        check (ctx "batch plan in metrics JSON")
+          (match J.member "batch" doc with
+          | J.List (_ :: _) -> true
+          | _ -> false);
+        let stages = J.to_list (J.member "stages" doc) in
+        let hists =
+          List.concat_map
+            (fun s -> J.to_list (J.member "batch_out" s))
+            stages
+        in
+        check (ctx "per-stage batch_out histograms") (hists <> []);
+        check (ctx "some flushed batch holds > 1 item")
+          (List.exists
+             (fun h ->
+               match J.member "max" h with
+               | J.Float f -> f > 1.0
+               | _ -> false)
+             hists)
+      end)
+    legs;
+  Fmt.pr "perf smoke: batched legs carry batch-size histograms@."
 
 (* ------------------------------------------------------------------ *)
 (* Smoke cell for @bench-smoke: one tiny figure cell, recorded through
@@ -604,18 +851,29 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let smoke () =
-  print_header "Smoke: knn tiny, 1-1-1" [ "Decomp(s)"; "bytes" ];
+  print_header "Smoke: knn tiny, 1-1-1" [ "Decomp(s)"; "bytes"; "par(x)"; "proc(x)" ];
   let app = H.knn_app ~name:"knn-tiny" Apps.Knn.tiny in
+  let widths = [| 1; 1; 1 |] in
+  (* proc before par: fork is refused once a domain has been spawned *)
+  let proc_s = measured ~backend:Datacutter.Runtime.Proc ~strategy:Compile.Decomp ~widths app in
   let t, bytes, _, c =
-    cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths:[| 1; 1; 1 |] app)
+    cell (H.run_cell ~cluster ~strategy:Compile.Decomp ~widths app)
   in
-  Record.row "1-1-1"
+  let par_s = par_leg ~strategy:Compile.Decomp ~widths app in
+  Record.row ~tags:[ ("backend", "sim") ] "1-1-1"
+    ([
+       ("decomp_s", t);
+       ("bytes", bytes);
+       ("predicted_total_s", c.Compile.predicted_total);
+     ]
+    @ drift_cells ~sim_s:t ~par_s ~proc_s);
+  print_row "1-1-1"
     [
-      ("decomp_s", t);
-      ("bytes", bytes);
-      ("predicted_total_s", c.Compile.predicted_total);
+      Fmt.str "%.4f" t;
+      Fmt.str "%.0f" bytes;
+      drift_str t par_s;
+      drift_str t proc_s;
     ];
-  print_row "1-1-1" [ Fmt.str "%.4f" t; Fmt.str "%.0f" bytes ];
   Record.write "smoke";
   (* parse the emitted file back and validate its shape *)
   let path = Record.path_of "smoke" in
@@ -638,10 +896,15 @@ let smoke () =
   check "exactly one row" (List.length rows = 1);
   let row = List.hd rows in
   check "config is 1-1-1" (J.to_str (J.member "config" row) = "1-1-1");
+  check "backend discriminator is sim"
+    (J.to_str (J.member "backend" row) = "sim");
   check "positive makespan" (J.to_float (J.member "decomp_s" row) > 0.0);
   check "positive bytes" (J.to_float (J.member "bytes" row) > 0.0);
   check "positive prediction"
     (J.to_float (J.member "predicted_total_s" row) > 0.0);
+  if drift_enabled () then
+    check "measured par drift recorded"
+      (J.to_float (J.member "par_drift" row) > 0.0);
   Fmt.pr "smoke: %s parses back and validates@." path
 
 let targets =
@@ -659,6 +922,8 @@ let targets =
     ("ablation_packet", ablation_packet);
     ("backends", backends);
     ("parallel", parallel);
+    ("throughput", throughput);
+    ("throughput_smoke", throughput_smoke);
     ("micro", micro);
     ("smoke", smoke);
   ]

@@ -251,7 +251,7 @@ let emit file app widths strategy cluster_spec =
 (* --- run --- *)
 
 let run file app widths strategy backend parallel cluster_spec trace mjson
-    faults watchdog_ms max_retries call_budget_ms =
+    faults watchdog_ms max_retries call_budget_ms batch =
   let a = load ~file ~app in
   let cluster = cluster_of_spec cluster_spec in
   let backend = if parallel then Datacutter.Runtime.Par else backend in
@@ -264,6 +264,7 @@ let run file app widths strategy backend parallel cluster_spec trace mjson
     Obs.Metrics.set_str m "config" (config_label widths);
     Obs.Metrics.set_str m "strategy" (strategy_name strategy);
     Obs.Metrics.set_str m "backend" (Datacutter.Runtime.backend_name backend);
+    if batch > 1 then Obs.Metrics.set_int m "batch" batch;
     if not (Datacutter.Fault.is_empty faults) then
       Obs.Metrics.set_str m "faults" (Datacutter.Fault.to_string faults);
     m
@@ -295,7 +296,10 @@ let run file app widths strategy backend parallel cluster_spec trace mjson
       ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
       ~latency:cluster.H.latency ()
   in
-  match Datacutter.Runtime.run_result ~backend ~faults ~policy topo with
+  let stage_batch = H.batch_plan c ~widths ~batch in
+  match
+    Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch topo
+  with
   | Error err -> write_failure c err
   | Ok m ->
       let open Datacutter in
@@ -451,6 +455,18 @@ let faults_arg =
            linkI:delay@N+S (extra seconds per transfer, simulator only) \
            and seed=N. See docs/ROBUSTNESS.md.")
 
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Move items between stages in batches of up to $(docv): one \
+           lock/wakeup per batch on domains, one wire frame per batch \
+           across processes, one modeled transfer per batch in the \
+           simulator. Per-stage caps are derived from the cost model's \
+           item sizes, so stages emitting small items batch harder. \
+           $(docv)=1 (the default) is the unbatched hot path.")
+
 let watchdog_arg =
   Arg.(
     value
@@ -524,13 +540,13 @@ let run_cmd =
     Term.(
       ret
         (with_logs
-           (fun (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb)) ->
-             run f a c s b p cl tr mj fl wd mr cb)
-        $ (const (fun f a c s b p cl tr mj fl wd mr cb ->
-               (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb)))
+           (fun (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt)) ->
+             run f a c s b p cl tr mj fl wd mr cb bt)
+        $ (const (fun f a c s b p cl tr mj fl wd mr cb bt ->
+               (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt)))
           $ file_arg $ app_arg $ config_arg $ strategy_arg $ backend_arg
           $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
-          $ watchdog_arg $ max_retries_arg $ call_budget_arg)))
+          $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg)))
 
 let main =
   Cmd.group

@@ -113,14 +113,36 @@ let compile ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     ~samples:(profile_samples app)
     ~final_copies:(Array.fold_left max 1 widths) ()
 
+(* Per-stage batch plan derived from the cost model: the bytes one item
+   leaving stage s carries are the profiled [vol_out] of the LAST
+   program segment assigned to pipeline unit s+1 (that segment's
+   emission is what crosses the stage boundary).  Small items earn big
+   batches up to the [batch] ceiling; [None] when batching is off, so
+   callers fall through to the unbatched default. *)
+let batch_plan (c : Compile.t) ~(widths : int array) ~batch =
+  if batch <= 1 then None
+  else begin
+    let m = Array.length widths in
+    let asg = c.Compile.assignment in
+    let vol = c.Compile.profile.Profile.profile.Costmodel.vol_out in
+    let item_bytes =
+      Array.init m (fun s ->
+          let last = ref (-1) in
+          Array.iteri (fun i u -> if u = s + 1 then last := i) asg;
+          if !last < 0 then 1.0 else Float.max 1.0 vol.(!last))
+    in
+    Some (Datacutter.Engine.plan_batches ~cap:batch ~item_bytes ())
+  end
+
 (* Run one cell: compile for the configuration, execute on the chosen
    backend (default: the simulated cluster), return (elapsed seconds,
    total bytes moved, results).  [faults]/[policy] forward to the
    runtime's fault-injection layer, so table cells can also be produced
-   under scripted degradation. *)
+   under scripted degradation.  [batch] turns on engine-level item
+   batching with a cost-model-derived per-stage plan. *)
 let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     ?(layout_mode = `Auto) ?(backend = Datacutter.Runtime.Sim) ?faults ?policy
-    ~(widths : int array) (app : app) =
+    ?(batch = 1) ~(widths : int array) (app : app) =
   let c = compile ~cluster ~strategy ~layout_mode ~widths app in
   let powers = node_powers cluster widths in
   let bandwidths = Array.make (Array.length widths - 1) cluster.bandwidth in
@@ -128,7 +150,10 @@ let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     Codegen.build_topology c.Compile.plan ~widths ~powers ~bandwidths
       ~latency:cluster.latency ()
   in
-  match Datacutter.Runtime.run_result ~backend ?faults ?policy topo with
+  let stage_batch = batch_plan c ~widths ~batch in
+  match
+    Datacutter.Runtime.run_result ~backend ?faults ?policy ?stage_batch topo
+  with
   | Error _ as e -> e
   | Ok metrics ->
       Ok

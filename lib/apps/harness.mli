@@ -59,13 +59,23 @@ val compile :
   app ->
   Compile.t
 
+(** Per-stage batch caps derived from the compilation's cost model: the
+    bytes per item leaving stage [s] are the profiled [vol_out] of the
+    last segment assigned to unit [s+1], and small items earn batches up
+    to the [batch] ceiling ({!Datacutter.Engine.plan_batches}).  [None]
+    when [batch <= 1]. *)
+val batch_plan :
+  Compile.t -> widths:int array -> batch:int -> int array option
+
 (** Compile for the configuration and execute on [backend] (default
     [Sim], the simulated cluster; [Par] runs on domains, [Proc] on
     forked worker processes): returns (elapsed seconds, total bytes
     moved, sink results, the compilation), or the runtime's failure.
     [faults] and [policy] forward to the runtime's fault-injection layer
     ({!Datacutter.Fault}, {!Datacutter.Supervisor}), so cells can be
-    produced under scripted degradation. *)
+    produced under scripted degradation.  [batch] (default 1, meaning
+    off) enables engine-level item batching, with per-stage caps derived
+    from the cost model via {!batch_plan}. *)
 val run_cell :
   ?cluster:cluster ->
   ?strategy:Compile.strategy ->
@@ -73,6 +83,7 @@ val run_cell :
   ?backend:Datacutter.Runtime.backend ->
   ?faults:Datacutter.Fault.plan ->
   ?policy:Datacutter.Supervisor.policy ->
+  ?batch:int ->
   widths:int array ->
   app ->
   ( float * float * (string * Value.t) list * Compile.t,

@@ -352,7 +352,7 @@ module Native_knn = struct
     Buffer.to_bytes buf
 
   let merge_packed t data =
-    let r = { Core.Packing.data; pos = 0 } in
+    let r = Core.Packing.reader_of data in
     let n = Core.Packing.read_int r in
     for _ = 1 to n do
       let d = Core.Packing.read_float r in

@@ -1,0 +1,30 @@
+(** Throughput microbenchmark for the engine's hot path: a source
+    flooding many small buffers through a pass-through middle stage into
+    a counting/checksumming sink.  Per-item overhead dominates by
+    construction, so this is the workload where engine-level batching
+    (`--batch`, {!Datacutter.Engine.plan_batches}) shows its win; the
+    `bench throughput` target sweeps the batch cap over it on all three
+    backends. *)
+
+type config = {
+  items : int;  (** buffers pushed through the pipeline *)
+  item_bytes : int;  (** payload size of each buffer *)
+  work : float;  (** weighted ops charged per item at each stage *)
+}
+
+val default : config
+val tiny : config
+
+(** Three-stage topology (source, pass-through, sink) plus a closure
+    returning the sink's (item count, byte checksum) after a run. *)
+val topology :
+  config ->
+  widths:int array ->
+  powers:float array ->
+  bandwidths:float array ->
+  ?latency:float ->
+  unit ->
+  Datacutter.Topology.t * (unit -> int * int)
+
+(** The (count, checksum) every correct run must report. *)
+val expected : config -> int * int

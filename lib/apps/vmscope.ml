@@ -337,7 +337,7 @@ let manual_topology cfg ~(widths : int array) ~(powers : float array)
       init = (fun () -> 0.0);
       process =
         (fun buf ->
-          let rd = { Core.Packing.data = buf.Filter.data; pos = 0 } in
+          let rd = Core.Packing.reader_of buf.Filter.data in
           let n = Core.Packing.read_int rd in
           for _ = 1 to n do
             let idx = Core.Packing.read_int rd in

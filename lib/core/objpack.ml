@@ -22,7 +22,7 @@ let pack_globals prog (globals : (string * Ast.ty * V.t) list) : Bytes.t =
 
 let unpack_globals prog (types : (string * Ast.ty) list) (data : Bytes.t) :
     (string * V.t) list =
-  let r = { Packing.data; pos = 0 } in
+  let r = Packing.reader_of data in
   let n = Packing.read_int r in
   List.init n (fun _ ->
       let name = Packing.read_string r in

@@ -253,7 +253,13 @@ let add_scalar buf st (v : V.t) =
           buf_add_int buf hi
       | _ -> V.runtime_errorf "expected Rectdomain, got %s" (V.type_name v))
 
-type reader = Wirefmt.reader = { data : Bytes.t; mutable pos : int }
+type reader = Wirefmt.reader = {
+  data : Bytes.t;
+  mutable pos : int;
+  limit : int;
+}
+
+let reader_of = Wirefmt.reader_of
 
 let read_int = Wirefmt.read_int
 let read_float = Wirefmt.read_float
@@ -483,7 +489,7 @@ let obj_slot out add v cls prog =
    rebuilt at [lo + length] size. *)
 let unpack (prog : Ast.program) (layout : layout) (data : Bytes.t) :
     (string * V.t) list =
-  let r = { data; pos = 0 } in
+  let r = reader_of data in
   let out = ref [] in
   let add name v = out := (name, v) :: !out in
   List.iter

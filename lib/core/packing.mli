@@ -69,7 +69,14 @@ val buf_add_float : Buffer.t -> float -> unit
 val buf_add_bool : Buffer.t -> bool -> unit
 val buf_add_string : Buffer.t -> string -> unit
 
-type reader = { data : Bytes.t; mutable pos : int }
+(** A bounded cursor over packed bytes ({!Wirefmt.reader}): [limit]
+    caps every read so a reader can decode one window of a larger
+    buffer in place. *)
+type reader = { data : Bytes.t; mutable pos : int; limit : int }
+
+(** [reader_of ?pos ?limit data] — [limit] defaults to the whole
+    buffer. *)
+val reader_of : ?pos:int -> ?limit:int -> Bytes.t -> reader
 
 val read_int : reader -> int
 val read_float : reader -> float

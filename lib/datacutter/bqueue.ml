@@ -2,6 +2,15 @@
    block on a full queue, consumers on an empty one; both report the
    seconds they spent blocked so the runtime can account stalls.
 
+   Batch-aware: [push_all]/[pop_all] move a whole batch under one lock
+   acquisition and one wakeup, so a batched hot path pays the
+   mutex/condvar round-trip per batch instead of per item.  All
+   enqueue/dequeue paths go through the same two helpers, so occupancy
+   accounting (observed after every mutation) and signalling (never
+   [not_full] after close — pushers can only fail fast then, so the
+   wakeup would be wasted) cannot diverge between the single-item and
+   batched variants.
+
    Two shutdown paths with different guarantees:
    - the shared [stop] flag is the *abort* path: every waiter (and every
      later caller) raises [Aborted] immediately, queued items may be
@@ -22,7 +31,8 @@ type 'a t = {
   capacity : int;
   stop : bool Atomic.t;
   mutable closed : bool; (* guarded by mutex *)
-  occupancy : Obs.Hist.t;  (* length after each push; guarded by mutex *)
+  occupancy : Obs.Hist.t;  (* length after each push/pop; guarded by mutex *)
+  batches : Obs.Hist.t;    (* items moved per pop/pop_all; guarded by mutex *)
 }
 
 let create ~stop capacity =
@@ -35,7 +45,34 @@ let create ~stop capacity =
     stop;
     closed = false;
     occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
+    batches = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
   }
+
+(* The two mutation helpers every public path funnels through (call
+   with the mutex held). *)
+let enqueued q n =
+  if n > 0 then begin
+    Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
+    if n = 1 then Condition.signal q.not_empty
+    else Condition.broadcast q.not_empty
+  end
+
+let dequeued q n =
+  if n > 0 then begin
+    Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
+    Obs.Hist.observe q.batches (float_of_int n);
+    (* After close no pusher can ever enter a wait again — they fail
+       fast — so a [not_full] wakeup would only be noise. *)
+    if not q.closed then
+      if n = 1 then Condition.signal q.not_full
+      else Condition.broadcast q.not_full
+  end
+
+let check_stop q =
+  if Atomic.get q.stop then begin
+    Mutex.unlock q.mutex;
+    raise Aborted
+  end
 
 let push q x =
   let t0 = Obs.Clock.elapsed_s () in
@@ -47,20 +84,59 @@ let push q x =
   do
     Condition.wait q.not_full q.mutex
   done;
-  if Atomic.get q.stop then begin
-    Mutex.unlock q.mutex;
-    raise Aborted
-  end;
+  check_stop q;
   if q.closed then begin
     Mutex.unlock q.mutex;
     raise Closed
   end;
   let blocked = Obs.Clock.elapsed_s () -. t0 in
   Queue.push x q.items;
-  Obs.Hist.observe q.occupancy (float_of_int (Queue.length q.items));
-  Condition.signal q.not_empty;
+  enqueued q 1;
   Mutex.unlock q.mutex;
   blocked
+
+(* Enqueue the whole batch, in waves when it exceeds the free space (or
+   even the capacity): each wave waits for room for at least one item,
+   fills the queue, and wakes consumers once.  All-or-nothing is not
+   required — items of one batch are independent stream elements. *)
+let push_all q xs =
+  match xs with
+  | [] -> 0.0
+  | [ x ] -> push q x
+  | xs ->
+      let t0 = Obs.Clock.elapsed_s () in
+      Mutex.lock q.mutex;
+      let rec waves xs =
+        match xs with
+        | [] -> ()
+        | xs ->
+            while
+              Queue.length q.items >= q.capacity
+              && (not (Atomic.get q.stop))
+              && not q.closed
+            do
+              Condition.wait q.not_full q.mutex
+            done;
+            check_stop q;
+            if q.closed then begin
+              Mutex.unlock q.mutex;
+              raise Closed
+            end;
+            let room = q.capacity - Queue.length q.items in
+            let rec take n = function
+              | x :: rest when n > 0 ->
+                  Queue.push x q.items;
+                  take (n - 1) rest
+              | rest -> rest
+            in
+            let rest = take room xs in
+            enqueued q (min room (List.length xs));
+            waves rest
+      in
+      waves xs;
+      let blocked = Obs.Clock.elapsed_s () -. t0 in
+      Mutex.unlock q.mutex;
+      blocked
 
 let pop q =
   let t0 = Obs.Clock.elapsed_s () in
@@ -70,10 +146,7 @@ let pop q =
   do
     Condition.wait q.not_empty q.mutex
   done;
-  if Atomic.get q.stop then begin
-    Mutex.unlock q.mutex;
-    raise Aborted
-  end;
+  check_stop q;
   (* Closed but non-empty: keep draining — close never drops an
      already-enqueued item. *)
   if Queue.is_empty q.items then begin
@@ -82,9 +155,37 @@ let pop q =
   end;
   let blocked = Obs.Clock.elapsed_s () -. t0 in
   let x = Queue.pop q.items in
-  Condition.signal q.not_full;
+  dequeued q 1;
   Mutex.unlock q.mutex;
   (x, blocked)
+
+(* Block until at least one item is available, then take up to [max]
+   (FIFO) under the same lock acquisition.  Close semantics match
+   {!pop}: drain first, [Closed] only once empty. *)
+let pop_all q ~max:cap =
+  if cap <= 1 then
+    let x, blocked = pop q in
+    ([ x ], blocked)
+  else begin
+    let t0 = Obs.Clock.elapsed_s () in
+    Mutex.lock q.mutex;
+    while
+      Queue.is_empty q.items && (not (Atomic.get q.stop)) && not q.closed
+    do
+      Condition.wait q.not_empty q.mutex
+    done;
+    check_stop q;
+    if Queue.is_empty q.items then begin
+      Mutex.unlock q.mutex;
+      raise Closed
+    end;
+    let blocked = Obs.Clock.elapsed_s () -. t0 in
+    let n = min cap (Queue.length q.items) in
+    let xs = List.init n (fun _ -> Queue.pop q.items) in
+    dequeued q n;
+    Mutex.unlock q.mutex;
+    (xs, blocked)
+  end
 
 let close q =
   Mutex.lock q.mutex;
@@ -107,7 +208,7 @@ let try_pop q =
     if Queue.is_empty q.items then None
     else begin
       let x = Queue.pop q.items in
-      Condition.signal q.not_full;
+      dequeued q 1;
       Some x
     end
   in
@@ -121,3 +222,4 @@ let wake q =
   Mutex.unlock q.mutex
 
 let occupancy q = q.occupancy
+let batches q = q.batches

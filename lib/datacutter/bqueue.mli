@@ -1,6 +1,11 @@
-(** Bounded blocking queue for the domain backend: backpressure like
-    DataCutter's fixed buffer pool, with occupancy and blocked-seconds
-    instrumentation built in. *)
+(** Bounded blocking queue for the domain and process backends:
+    backpressure like DataCutter's fixed buffer pool, with occupancy,
+    batch-size and blocked-seconds instrumentation built in.
+
+    Batch-aware: {!push_all} and {!pop_all} move a whole batch under
+    one lock acquisition and one consumer/producer wakeup, so a batched
+    hot path pays the mutex/condvar round-trip per batch instead of per
+    item. *)
 
 (** Raised by blocked [push]/[pop] once the shared stop flag is set;
     never escapes the runtime.  The abort path may drop queued items —
@@ -22,11 +27,27 @@ val create : stop:bool Atomic.t -> int -> 'a t
     @raise Closed once the queue is closed. *)
 val push : 'a t -> 'a -> float
 
+(** Push a whole batch under one lock acquisition, waking consumers
+    once per wave.  Batches larger than the free space (or even the
+    capacity) are enqueued in waves, each waiting for room for at least
+    one item — items of one batch are independent stream elements, so
+    all-or-nothing is not required.  Returns the total blocked seconds.
+    @raise Aborted once [stop] is set.  @raise Closed once the queue is
+    closed (items pushed by completed waves remain enqueued, like any
+    accepted item). *)
+val push_all : 'a t -> 'a list -> float
+
 (** Blocking pop; returns the item and the seconds spent blocked.
     @raise Aborted once [stop] is set.  @raise Closed once the queue is
     closed {e and} empty — items enqueued before the close are still
     delivered. *)
 val pop : 'a t -> 'a * float
+
+(** Block until at least one item is available, then take up to [max]
+    of them (FIFO) under the same lock acquisition.  Close semantics
+    match {!pop}: a closed queue drains its backlog first and raises
+    [Closed] only once empty.  @raise Aborted once [stop] is set. *)
+val pop_all : 'a t -> max:int -> 'a list * float
 
 (** Graceful shutdown: wakes every blocked pusher and popper exactly
     once (they stop waiting and observe the closed state) and refuses
@@ -41,5 +62,10 @@ val try_pop : 'a t -> 'a option
 (** Wake every waiter so it can observe the stop flag. *)
 val wake : 'a t -> unit
 
-(** Length after each push. *)
+(** Length observed after every push and pop (all variants — the
+    single-item and batched paths share one accounting helper). *)
 val occupancy : 'a t -> Obs.Hist.t
+
+(** Items moved per dequeue ({!pop}, {!try_pop} and {!pop_all}): the
+    consumer-side batch-size distribution. *)
+val batches : 'a t -> Obs.Hist.t

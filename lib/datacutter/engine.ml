@@ -33,6 +33,8 @@ type copy = {
   at_quota : bool Atomic.t;
   mutable attempts : int;
   mutable rr : int;
+  mutable out_buf : item list;  (* batch accumulator, newest first *)
+  mutable out_len : int;
   lifecycle : int Atomic.t;
   call_start : float Atomic.t;
   exited : bool Atomic.t;
@@ -60,6 +62,8 @@ type executor = {
   exec_now : unit -> float;
   exec_sleep : float -> unit;
   exec_send : src:copy -> dst_stage:int -> dst_copy:int -> item -> unit;
+  exec_send_batch :
+    src:copy -> dst_stage:int -> dst_copy:int -> item list -> unit;
   exec_queue_len : stage:int -> copy:int -> int;
   exec_wake : unit -> unit;
 }
@@ -71,6 +75,7 @@ type t = {
   pol : Supervisor.policy;
   tracing : bool;
   copies : copy array array;
+  send_batch : int array;        (* outgoing batch cap per stage *)
   at_eos : int Atomic.t array;   (* per-stage drain barrier *)
   progress : int Atomic.t;
   rec_counters : Supervisor.recovery;
@@ -85,63 +90,99 @@ type t = {
   queue_wait : float array array;
   stall_pop : float array array;
   stall_push : float array array;
+  batch_hist : Obs.Hist.t array array;  (* flushed batch sizes *)
   mutable exec : executor option;
 }
 
+(* Per-stage outgoing batch caps: [stage_batch] wins over the uniform
+   [batch]; every entry is clamped to >= 1 and the sink's (which has no
+   downstream) is forced to 1 so the metrics stay honest. *)
+let resolve_batches ~n_stages ~batch ~stage_batch =
+  match stage_batch with
+  | Some a when Array.length a <> n_stages ->
+      Error
+        (Supervisor.Invalid_topology
+           (Printf.sprintf "stage_batch has %d entries for %d stages"
+              (Array.length a) n_stages))
+  | Some a ->
+      let sb = Array.map (fun b -> max 1 b) a in
+      if n_stages > 0 then sb.(n_stages - 1) <- 1;
+      Ok sb
+  | None ->
+      let sb = Array.make (max n_stages 1) (max 1 batch) in
+      if n_stages > 0 then sb.(n_stages - 1) <- 1;
+      Ok sb
+
 let create ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
-    ?queue_capacity (topo : Topology.t) =
+    ?queue_capacity ?(batch = 1) ?stage_batch (topo : Topology.t) =
   match Supervisor.validate ?queue_capacity topo with
   | Error e -> Error e
-  | Ok () ->
+  | Ok () -> (
       let stages = Array.of_list topo.Topology.stages in
-      let per_copy mk =
-        Array.map
-          (fun (st : Topology.stage) ->
-            Array.init st.Topology.width (fun _ -> mk ()))
-          stages
-      in
-      let tracing = Obs.Trace.is_enabled () in
-      if tracing then Topology.announce_threads topo;
-      Ok
-        {
-          topo;
-          stages;
-          n_stages = Array.length stages;
-          pol = policy;
-          tracing;
-          copies =
-            Array.mapi
-              (fun s (st : Topology.stage) ->
-                Array.init st.Topology.width (fun k ->
-                    {
-                      stage = s;
-                      index = k;
-                      fstate = Fault.state_for faults ~stage:s ~copy:k;
-                      alive = Atomic.make true;
-                      markers = Atomic.make 0;
-                      at_quota = Atomic.make false;
-                      attempts = 0;
-                      rr = k;
-                      lifecycle = Atomic.make st_starting;
-                      call_start = Atomic.make 0.0;
-                      exited = Atomic.make false;
-                    }))
+      let n_stages = Array.length stages in
+      match resolve_batches ~n_stages ~batch ~stage_batch with
+      | Error e -> Error e
+      | Ok send_batch ->
+          let per_copy mk =
+            Array.map
+              (fun (st : Topology.stage) ->
+                Array.init st.Topology.width (fun _ -> mk ()))
+              stages
+          in
+          let tracing = Obs.Trace.is_enabled () in
+          if tracing then Topology.announce_threads topo;
+          Ok
+            {
+              topo;
               stages;
-          at_eos = Array.map (fun _ -> Atomic.make 0) stages;
-          progress = Atomic.make 0;
-          rec_counters = Supervisor.fresh_recovery ();
-          rec_mu = Mutex.create ();
-          stop = Atomic.make false;
-          abort_err = Atomic.make None;
-          busy = per_copy (fun () -> 0.0);
-          items_grid = per_copy (fun () -> 0);
-          items_out = per_copy (fun () -> 0);
-          bytes_out = per_copy (fun () -> 0.0);
-          queue_wait = per_copy (fun () -> 0.0);
-          stall_pop = per_copy (fun () -> 0.0);
-          stall_push = per_copy (fun () -> 0.0);
-          exec = None;
-        }
+              n_stages;
+              pol = policy;
+              tracing;
+              copies =
+                Array.mapi
+                  (fun s (st : Topology.stage) ->
+                    Array.init st.Topology.width (fun k ->
+                        {
+                          stage = s;
+                          index = k;
+                          fstate = Fault.state_for faults ~stage:s ~copy:k;
+                          alive = Atomic.make true;
+                          markers = Atomic.make 0;
+                          at_quota = Atomic.make false;
+                          attempts = 0;
+                          rr = k;
+                          out_buf = [];
+                          out_len = 0;
+                          lifecycle = Atomic.make st_starting;
+                          call_start = Atomic.make 0.0;
+                          exited = Atomic.make false;
+                        }))
+                  stages;
+              send_batch;
+              at_eos = Array.map (fun _ -> Atomic.make 0) stages;
+              progress = Atomic.make 0;
+              rec_counters = Supervisor.fresh_recovery ();
+              rec_mu = Mutex.create ();
+              stop = Atomic.make false;
+              abort_err = Atomic.make None;
+              busy = per_copy (fun () -> 0.0);
+              items_grid = per_copy (fun () -> 0);
+              items_out = per_copy (fun () -> 0);
+              bytes_out = per_copy (fun () -> 0.0);
+              queue_wait = per_copy (fun () -> 0.0);
+              stall_pop = per_copy (fun () -> 0.0);
+              stall_push = per_copy (fun () -> 0.0);
+              batch_hist =
+                Array.mapi
+                  (fun s (st : Topology.stage) ->
+                    Array.init st.Topology.width (fun _ ->
+                        Obs.Hist.create
+                          ~bounds:
+                            (Obs.Hist.occupancy_bounds
+                               ~capacity:send_batch.(s))))
+                  stages;
+              exec = None;
+            })
 
 let attach t exec = t.exec <- Some exec
 
@@ -153,6 +194,31 @@ let executor t =
 let policy t = t.pol
 let topology t = t.topo
 let n_stages t = t.n_stages
+
+(* Outgoing batch cap of stage [s] (1 = unbatched hot path). *)
+let stage_batch t s = t.send_batch.(s)
+
+(* Batch size a consumer at stage [s] should pop at once: its
+   upstream's outgoing cap (stage 0 has no upstream). *)
+let input_batch t s = if s = 0 then 1 else t.send_batch.(s - 1)
+
+(* Plan per-stage batch caps from the cost model: small items get big
+   batches, bounded by a per-flush byte budget so one flush never
+   buffers an unbounded amount of data.  [cap] is the user's --batch
+   ceiling. *)
+let default_batch_budget_bytes = 256 * 1024
+
+let plan_batches ~cap ?(budget_bytes = default_batch_budget_bytes)
+    ~item_bytes () =
+  if cap <= 1 then Array.map (fun _ -> 1) item_bytes
+  else
+    Array.map
+      (fun bytes ->
+        let per_flush =
+          float_of_int budget_bytes /. Float.max 1.0 bytes
+        in
+        max 1 (min cap (int_of_float per_flush)))
+      item_bytes
 let width t s = t.stages.(s).Topology.width
 let stage_name t s = t.stages.(s).Topology.stage_name
 let copy_at t ~stage ~copy = t.copies.(stage).(copy)
@@ -203,37 +269,88 @@ let note_out t (c : copy) it =
         t.bytes_out.(c.stage).(c.index) +. float_of_int (Filter.buffer_size b)
   | Marker -> ()
 
+(* Round-robin pick of a live downstream copy; advances [rr] once per
+   pick, so at batch cap B the mask rotates per batch, not per item —
+   a batch is the routing unit. *)
+let pick_dst t (c : copy) =
+  let dst = t.copies.(c.stage + 1) in
+  let w = Array.length dst in
+  let rec pick tries =
+    if tries >= w then
+      Error
+        (stage_dead_error t ~stage:(c.stage + 1)
+           ~error:"no live copies to route to")
+    else begin
+      let j = c.rr mod w in
+      c.rr <- c.rr + 1;
+      if Atomic.get dst.(j).alive then Ok j else pick (tries + 1)
+    end
+  in
+  pick 0
+
+(* Deliver the accumulated batch to one live downstream copy. *)
+let flush t (c : copy) =
+  match c.out_buf with
+  | [] -> Ok ()
+  | buffered ->
+      let items = List.rev buffered in
+      let n = c.out_len in
+      c.out_buf <- [];
+      c.out_len <- 0;
+      Result.map
+        (fun j ->
+          List.iter (fun it -> note_out t c it) items;
+          Obs.Hist.observe t.batch_hist.(c.stage).(c.index) (float_of_int n);
+          (executor t).exec_send_batch ~src:c ~dst_stage:(c.stage + 1)
+            ~dst_copy:j items)
+        (pick_dst t c)
+
 let send_downstream t (c : copy) (it : item) =
   if c.stage >= t.n_stages - 1 then Ok ()
   else
-    let exec = executor t in
-    let dst = t.copies.(c.stage + 1) in
     match it with
     | Marker ->
-        (* broadcast: dead copies still count markers *)
-        Array.iter
-          (fun (d : copy) ->
-            exec.exec_send ~src:c ~dst_stage:d.stage ~dst_copy:d.index it)
-          dst;
-        Ok ()
-    | Data _ | Final _ ->
-        let w = Array.length dst in
-        let rec pick tries =
-          if tries >= w then
-            Error
-              (stage_dead_error t ~stage:(c.stage + 1)
-                 ~error:"no live copies to route to")
-          else begin
-            let j = c.rr mod w in
-            c.rr <- c.rr + 1;
-            if Atomic.get dst.(j).alive then Ok j else pick (tries + 1)
-          end
-        in
-        Result.map
-          (fun j ->
-            note_out t c it;
-            exec.exec_send ~src:c ~dst_stage:(c.stage + 1) ~dst_copy:j it)
-          (pick 0)
+        (* flush first: a queue delivers FIFO, so the batch lands ahead
+           of the marker it precedes in stream order *)
+        Result.bind (flush t c) (fun () ->
+            let exec = executor t in
+            (* broadcast: dead copies still count markers *)
+            Array.iter
+              (fun (d : copy) ->
+                exec.exec_send ~src:c ~dst_stage:d.stage ~dst_copy:d.index it)
+              t.copies.(c.stage + 1);
+            Ok ())
+    | Final _ ->
+        Result.bind (flush t c) (fun () ->
+            Result.map
+              (fun j ->
+                note_out t c it;
+                (executor t).exec_send ~src:c ~dst_stage:(c.stage + 1)
+                  ~dst_copy:j it)
+              (pick_dst t c))
+    | Data _ ->
+        let cap = t.send_batch.(c.stage) in
+        if cap <= 1 then
+          (* unbatched hot path: routing, accounting and send ordering
+             are bit-for-bit the pre-batching behaviour *)
+          Result.map
+            (fun j ->
+              note_out t c it;
+              Obs.Hist.observe t.batch_hist.(c.stage).(c.index) 1.0;
+              (executor t).exec_send ~src:c ~dst_stage:(c.stage + 1)
+                ~dst_copy:j it)
+            (pick_dst t c)
+        else begin
+          c.out_buf <- it :: c.out_buf;
+          c.out_len <- c.out_len + 1;
+          (* Once this copy has counted every upstream marker its own
+             marker relay (and the flush ahead of it) may already be
+             behind us, so an output produced now — a retried or
+             replayed input served late — has no later flush point:
+             deliver it straight away. *)
+          if c.out_len >= cap || Atomic.get c.at_quota then flush t c
+          else Ok ()
+        end
 
 let reroute t (c : copy) (it : item) =
   let w = Array.length t.copies.(c.stage) in
@@ -284,15 +401,26 @@ let on_crash t (c : copy) =
 let retire t (c : copy) ~error =
   bump t (fun r -> r.Supervisor.retired <- r.retired + 1);
   Atomic.set c.alive false;
-  (* A dead stage cannot complete the run — except a source stage that
-     already produced: its stream truncates and the rest drains. *)
-  if
-    (not (stage_has_survivor t c.stage))
-    && (c.stage > 0 || t.items_grid.(c.stage).(c.index) = 0)
-  then
-    `Fatal
-      (stage_dead_error t ~stage:c.stage ~error:(Printexc.to_string error))
-  else `Continue
+  (* Outputs still in the batch accumulator were produced from inputs
+     this copy already acknowledged — those inputs will not be
+     re-routed, so the buffered outputs must be delivered now. *)
+  let flushed =
+    if c.stage >= t.n_stages - 1 then Ok () else flush t c
+  in
+  match flushed with
+  | Error e -> `Fatal e
+  | Ok () ->
+      (* A dead stage cannot complete the run — except a source stage
+         that already produced: its stream truncates and the rest
+         drains. *)
+      if
+        (not (stage_has_survivor t c.stage))
+        && (c.stage > 0 || t.items_grid.(c.stage).(c.index) = 0)
+      then
+        `Fatal
+          (stage_dead_error t ~stage:c.stage
+             ~error:(Printexc.to_string error))
+      else `Continue
 
 (* --- lifecycle, accounting, the watchdog --- *)
 
@@ -562,6 +690,8 @@ type metrics = {
   stall_push_s : float array array;
   queue_occupancy : Obs.Hist.t array array option;
   link_stats : link_metrics array option;
+  batch_plan : int array;
+  batch_out : Obs.Hist.t array array;
   recovery : Supervisor.recovery;
 }
 
@@ -579,6 +709,8 @@ let metrics t ~elapsed_s ?queue_occupancy ?link_stats () =
     stall_push_s = t.stall_push;
     queue_occupancy;
     link_stats;
+    batch_plan = t.send_batch;
+    batch_out = t.batch_hist;
     recovery = t.rec_counters;
   }
 
@@ -611,6 +743,10 @@ let metrics_to_json m =
                ("queue_wait_s", floats m.queue_wait_s.(s));
                ("stall_pop_s", floats m.stall_pop_s.(s));
                ("stall_push_s", floats m.stall_push_s.(s));
+               ( "batch_out",
+                 Obs.Json.List
+                   (Array.to_list (Array.map Obs.Hist.to_json m.batch_out.(s)))
+               );
              ]
            in
            let fields =
@@ -633,6 +769,7 @@ let metrics_to_json m =
       ("backend", Obs.Json.Str (backend_name m.backend));
       ("elapsed_s", Obs.Json.Float m.elapsed_s);
       ("total_bytes", Obs.Json.Float (total_bytes m));
+      ("batch", ints m.batch_plan);
       ("stages", Obs.Json.List stages);
     ]
   in
@@ -661,6 +798,10 @@ let metrics_to_json m =
 
 let pp_metrics ppf m =
   Fmt.pf ppf "%s: elapsed=%.6fs@\n" (backend_name m.backend) m.elapsed_s;
+  if Array.exists (fun b -> b > 1) m.batch_plan then
+    Fmt.pf ppf "  batch plan: [%a]@\n"
+      Fmt.(array ~sep:(any "; ") int)
+      m.batch_plan;
   Array.iteri
     (fun s name ->
       Fmt.pf ppf

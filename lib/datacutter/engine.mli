@@ -64,6 +64,8 @@ type copy = {
   at_quota : bool Atomic.t;      (** counted into the drain barrier *)
   mutable attempts : int;        (** supervisor retries consumed *)
   mutable rr : int;              (** round-robin cursor downstream *)
+  mutable out_buf : item list;   (** batch accumulator, newest first *)
+  mutable out_len : int;         (** [List.length out_buf] *)
   lifecycle : int Atomic.t;      (** {!st_starting} .. {!st_done} *)
   call_start : float Atomic.t;   (** start of the in-flight call *)
   exited : bool Atomic.t;        (** the copy's body returned *)
@@ -76,6 +78,12 @@ type executor = {
   exec_now : unit -> float;
   exec_sleep : float -> unit;
   exec_send : src:copy -> dst_stage:int -> dst_copy:int -> item -> unit;
+  exec_send_batch :
+    src:copy -> dst_stage:int -> dst_copy:int -> item list -> unit;
+      (** Move a whole flushed batch into ONE destination's input
+          channel, preserving order — one lock/wakeup (domains), one
+          modeled transfer paying latency once (simulator), one wire
+          frame (processes).  Only ever called with a non-empty list. *)
   exec_queue_len : stage:int -> copy:int -> int;
   exec_wake : unit -> unit;
 }
@@ -83,11 +91,19 @@ type executor = {
 (** Validate the topology ({!Supervisor.validate}) and build the shared
     protocol state: per-copy cells, the per-stage EOS barrier, recovery
     counters and accounting grids.  Announces the topology's virtual
-    threads when tracing is enabled. *)
+    threads when tracing is enabled.
+
+    [batch] is the uniform outgoing batch cap (default [1] — the
+    unbatched hot path, bit-for-bit the pre-batching behaviour);
+    [stage_batch] overrides it per stage (length must equal the number
+    of stages; the sink's entry is forced to 1).  See {!plan_batches}
+    for deriving [stage_batch] from the cost model. *)
 val create :
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
   ?queue_capacity:int ->
+  ?batch:int ->
+  ?stage_batch:int array ->
   Topology.t ->
   (t, Supervisor.run_error) result
 
@@ -103,6 +119,34 @@ val width : t -> int -> int
 val stage_name : t -> int -> string
 val copy_at : t -> stage:int -> copy:int -> copy
 val is_sink_stage : t -> int -> bool
+
+(** {2 Batching}
+
+    A stage with an outgoing batch cap B > 1 accumulates its [Data]
+    outputs and flushes them as one unit: one routing decision (the
+    round-robin cursor advances per batch), one [exec_send_batch].
+    The accumulator is flushed before any [Final] or [Marker] send —
+    FIFO channels then deliver the batch ahead of the marker it
+    precedes in stream order — and on retirement, so acknowledged
+    outputs are never lost.  At B = 1 the send path is bit-for-bit the
+    pre-batching behaviour. *)
+
+(** Outgoing batch cap of stage [s] (1 = unbatched). *)
+val stage_batch : t -> int -> int
+
+(** Batch size a consumer at stage [s] should pop at once: its
+    upstream's outgoing cap (1 for the source stage). *)
+val input_batch : t -> int -> int
+
+val default_batch_budget_bytes : int
+
+(** Derive a per-stage batch plan from the cost model: stage [s] gets
+    [clamp 1 cap (budget_bytes / item_bytes.(s))] — small items batch
+    up to the [cap] ceiling, large items keep small batches so one
+    flush never buffers more than roughly [budget_bytes].  All ones
+    when [cap <= 1]. *)
+val plan_batches :
+  cap:int -> ?budget_bytes:int -> item_bytes:float array -> unit -> int array
 
 (** A fresh filter/source instance for one copy (also used to rebuild a
     crashed copy before replay). *)
@@ -275,6 +319,9 @@ type metrics = {
   stall_push_s : float array array; (** blocked pushing downstream (par) *)
   queue_occupancy : Obs.Hist.t array array option;
   link_stats : link_metrics array option;
+  batch_plan : int array;           (** per-stage outgoing batch caps *)
+  batch_out : Obs.Hist.t array array;
+      (** flushed batch sizes per copy (all 1.0 at B = 1) *)
   recovery : Supervisor.recovery;
 }
 

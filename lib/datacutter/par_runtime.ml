@@ -10,9 +10,9 @@
 
 type msg = It of Engine.item | Release
 
-let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
-    (Engine.metrics, Supervisor.run_error) result =
-  match Engine.create ?faults ?policy ~queue_capacity topo with
+let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
+    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+  match Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch topo with
   | Error e -> Error e
   | Ok eng ->
   let policy = Engine.policy eng in
@@ -35,6 +35,15 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
     Engine.note_progress eng;
     Engine.note_stall_push eng src blocked
   in
+  (* A flushed batch is one [push_all]: one lock acquisition, one
+     consumer wakeup, one blocked-seconds charge. *)
+  let blocked_push_all (src : Engine.copy) q ms =
+    Engine.set_lifecycle src Engine.st_blocked_push;
+    let blocked = Bqueue.push_all q ms in
+    Engine.set_lifecycle src Engine.st_idle;
+    Engine.note_progress eng;
+    Engine.note_stall_push eng src blocked
+  in
   Engine.attach eng
     {
       exec_backend = Engine.Par;
@@ -43,6 +52,11 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
       exec_send =
         (fun ~src ~dst_stage ~dst_copy it ->
           blocked_push src queues.(dst_stage).(dst_copy) (It it));
+      exec_send_batch =
+        (fun ~src ~dst_stage ~dst_copy items ->
+          blocked_push_all src
+            queues.(dst_stage).(dst_copy)
+            (List.map (fun it -> It it) items));
       exec_queue_len =
         (fun ~stage ~copy ->
           if stage = 0 then 0 else Bqueue.length queues.(stage).(copy));
@@ -146,13 +160,30 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
             (Engine.Ring.items ring)
         in
         let supervised name op = supervised ~restart:restart_and_replay name op in
+        (* Batched receive: drain up to the upstream's batch cap in one
+           queue round-trip into a local pending buffer, then serve from
+           it.  At cap 1 this is exactly the old single-item [pop]. *)
+        let in_cap = Engine.input_batch eng s in
+        let pend : msg Queue.t = Queue.create () in
         let recv () =
-          Engine.set_lifecycle cs Engine.st_blocked_pop;
-          let m, blocked = Bqueue.pop q in
-          Engine.set_lifecycle cs Engine.st_idle;
-          Engine.note_progress eng;
-          Engine.note_stall_pop eng cs blocked;
-          m
+          if not (Queue.is_empty pend) then Queue.pop pend
+          else begin
+            Engine.set_lifecycle cs Engine.st_blocked_pop;
+            let ms, blocked =
+              if in_cap <= 1 then
+                let m, blocked = Bqueue.pop q in
+                ([ m ], blocked)
+              else Bqueue.pop_all q ~max:in_cap
+            in
+            Engine.set_lifecycle cs Engine.st_idle;
+            Engine.note_progress eng;
+            Engine.note_stall_pop eng cs blocked;
+            match ms with
+            | [] -> assert false
+            | m :: rest ->
+                List.iter (fun m' -> Queue.push m' pend) rest;
+                m
+          end
         in
         (* Completing the stage drain barrier wakes the whole stage with
            a [Release] token in every sibling queue. *)
@@ -174,6 +205,17 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
           | Some (It ((Engine.Data _ | Engine.Final _) as it)) ->
               ok (Engine.reroute eng cs it)
           | Some (It Engine.Marker) | Some Release | None -> ());
+          (* Items already popped into the local batch buffer are this
+             copy's obligations too: re-route them before going zombie. *)
+          Queue.iter
+            (fun m ->
+              match m with
+              | It ((Engine.Data _ | Engine.Final _) as it) ->
+                  ok (Engine.reroute eng cs it)
+              | It Engine.Marker -> Engine.note_marker eng cs
+              | Release -> ())
+            pend;
+          Queue.clear pend;
           let rec zombie () =
             if Engine.at_marker_quota eng cs then count_eos ();
             if

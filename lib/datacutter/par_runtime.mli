@@ -24,5 +24,7 @@ val run_result :
   ?queue_capacity:int ->
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
+  ?batch:int ->
+  ?stage_batch:int array ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result

@@ -47,6 +47,7 @@ type worker = { pid : int; fd : Unix.file_descr }
 type handle = {
   mutable active : worker option;
   mutable spares : worker list;
+  scratch : Bytes.t ref;  (* reusable receive buffer for responses *)
 }
 
 (* --- the child ------------------------------------------------------- *)
@@ -80,6 +81,34 @@ let worker_main eng (cs : Engine.copy) fd : unit =
             Wire.Out (Option.map (fun b -> Engine.Final b) out)
         | _ -> Wire.Crashed "worker has no filter instance")
     | Wire.Item Engine.Marker -> Wire.Done
+    | Wire.Batch items -> (
+        match !inst with
+        | `Filter f ->
+            (* One emission slot per processed input.  If the callback
+               raises partway, reply with the successful prefix and the
+               error — the parent accounts exactly those items before
+               running its crash protocol. *)
+            let outs = ref [] in
+            let step it =
+              let out =
+                match it with
+                | Engine.Data b ->
+                    Option.map
+                      (fun o -> Engine.Data o)
+                      (fst (f.Filter.process b))
+                | Engine.Final b ->
+                    Option.map
+                      (fun o -> Engine.Final o)
+                      (fst (f.Filter.on_eos (Some b)))
+                | Engine.Marker -> None
+              in
+              outs := out :: !outs
+            in
+            (try
+               List.iter step items;
+               Wire.Outs (List.rev !outs, None)
+             with e -> Wire.Outs (List.rev !outs, Some (Printexc.to_string e)))
+        | _ -> Wire.Crashed "worker has no filter instance")
     | Wire.Finalize -> (
         match !inst with
         | `Filter f ->
@@ -99,11 +128,12 @@ let worker_main eng (cs : Engine.copy) fd : unit =
             let out, _ = s.Filter.src_finalize () in
             Wire.Out (Option.map (fun b -> Engine.Final b) out)
         | _ -> Wire.Crashed "worker has no source instance")
-    | Wire.Exit | Wire.Out _ | Wire.Done | Wire.Crashed _ ->
+    | Wire.Exit | Wire.Out _ | Wire.Outs _ | Wire.Done | Wire.Crashed _ ->
         Wire.Crashed "unexpected frame in worker"
   in
+  let scratch = ref (Bytes.create 256) in
   let rec loop () =
-    match (try Wire.read_msg fd with _ -> None) with
+    match (try Wire.read_msg ~scratch fd with _ -> None) with
     | None | Some Wire.Exit -> Unix._exit 0
     | Some req ->
         let resp =
@@ -172,10 +202,10 @@ let rpc label (h : handle) (req : Wire.msg) : Wire.msg =
       in
       match
         Wire.write_msg w.fd req;
-        Wire.read_msg w.fd
+        Wire.read_msg ~scratch:h.scratch w.fd
       with
       | Some (Wire.Crashed msg) -> raise (Remote_crash msg)
-      | Some ((Wire.Out _ | Wire.Done) as resp) -> resp
+      | Some ((Wire.Out _ | Wire.Outs _ | Wire.Done) as resp) -> resp
       | Some _ -> fail "out-of-protocol response from worker"
       | None -> fail "worker exited unexpectedly"
       | exception Unix.Unix_error (e, _, _) ->
@@ -185,12 +215,12 @@ let rpc label (h : handle) (req : Wire.msg) : Wire.msg =
 
 (* --- the run --------------------------------------------------------- *)
 
-let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
-    (Engine.metrics, Supervisor.run_error) result =
+let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
+    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else
-  match Engine.create ?faults ?policy ~queue_capacity topo with
+  match Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch topo with
   | Error e -> Error e
   | Ok eng ->
   let policy = Engine.policy eng in
@@ -218,6 +248,13 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
     Engine.note_progress eng;
     Engine.note_stall_push eng src blocked
   in
+  let blocked_push_all (src : Engine.copy) q ms =
+    Engine.set_lifecycle src Engine.st_blocked_push;
+    let blocked = Bqueue.push_all q ms in
+    Engine.set_lifecycle src Engine.st_idle;
+    Engine.note_progress eng;
+    Engine.note_stall_push eng src blocked
+  in
   Engine.attach eng
     {
       exec_backend = Engine.Proc;
@@ -226,6 +263,11 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
       exec_send =
         (fun ~src ~dst_stage ~dst_copy it ->
           blocked_push src queues.(dst_stage).(dst_copy) (It it));
+      exec_send_batch =
+        (fun ~src ~dst_stage ~dst_copy items ->
+          blocked_push_all src
+            queues.(dst_stage).(dst_copy)
+            (List.map (fun it -> It it) items));
       exec_queue_len =
         (fun ~stage ~copy ->
           if stage = 0 then 0 else Bqueue.length queues.(stage).(copy));
@@ -265,7 +307,12 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
                  let cs = Engine.copy_at eng ~stage:s ~copy:k in
                  match stages.(s).Topology.role with
                  | Topology.Source _ ->
-                     Some { active = Some (fork_worker cs); spares = [] }
+                     Some
+                       {
+                         active = Some (fork_worker cs);
+                         spares = [];
+                         scratch = ref (Bytes.create 256);
+                       }
                  | Topology.Inner _ | Topology.Sink _ ->
                      if Engine.is_sink_stage eng s then None
                      else
@@ -275,6 +322,7 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
                            spares =
                              List.init policy.Supervisor.max_retries (fun _ ->
                                  fork_worker cs);
+                           scratch = ref (Bytes.create 256);
                          })))
     with Failure msg ->
       (* OCaml 5 permanently refuses [Unix.fork] once any domain has
@@ -404,9 +452,12 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
         loop ()
     | Topology.Inner _ | Topology.Sink _ ->
         let is_last = Engine.is_sink_stage eng s in
-        (* The callback set, local (sink, parent memory) or remote. *)
+        (* The callback set, local (sink, parent memory) or remote.
+           [call_batch] processes a whole item run and returns the
+           per-item emission slots plus the error if it failed partway
+           (the slots then cover exactly the successful prefix). *)
         let fresh, call_init, call_process, call_eos, call_finalize,
-            on_fail =
+            call_batch, on_fail =
           if is_last then begin
             let f =
               ref
@@ -423,6 +474,21 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
               (fun b -> fst ((!f).Filter.process b)),
               (fun b -> fst ((!f).Filter.on_eos (Some b))),
               (fun () -> fst ((!f).Filter.finalize ())),
+              (fun items ->
+                ( List.map
+                    (fun it ->
+                      match it with
+                      | Engine.Data b ->
+                          Option.map
+                            (fun o -> Engine.Data o)
+                            (fst ((!f).Filter.process b))
+                      | Engine.Final b ->
+                          Option.map
+                            (fun o -> Engine.Final o)
+                            (fst ((!f).Filter.on_eos (Some b)))
+                      | Engine.Marker -> None)
+                    items,
+                  None )),
               fun () -> () )
           end
           else begin
@@ -442,6 +508,10 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
               (fun b -> data_out (rpc lbl h (Wire.Item (Engine.Data b)))),
               (fun b -> data_out (rpc lbl h (Wire.Item (Engine.Final b)))),
               (fun () -> data_out (rpc lbl h Wire.Finalize)),
+              (fun items ->
+                match rpc lbl h (Wire.Batch items) with
+                | Wire.Outs (outs, err) -> (outs, err)
+                | _ -> raise (Remote_crash "bad batch response")),
               fun () -> kill_active lbl h )
           end
         in
@@ -469,13 +539,30 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
         let supervised name op =
           supervised ~on_fail ~restart:restart_and_replay name op
         in
+        (* Batched receive: drain up to the upstream's batch cap in one
+           queue round-trip into a local pending buffer.  At cap 1 this
+           is exactly the old single-item [pop]. *)
+        let in_cap = Engine.input_batch eng s in
+        let pend : msg Queue.t = Queue.create () in
         let recv () =
-          Engine.set_lifecycle cs Engine.st_blocked_pop;
-          let m, blocked = Bqueue.pop q in
-          Engine.set_lifecycle cs Engine.st_idle;
-          Engine.note_progress eng;
-          Engine.note_stall_pop eng cs blocked;
-          m
+          if not (Queue.is_empty pend) then Queue.pop pend
+          else begin
+            Engine.set_lifecycle cs Engine.st_blocked_pop;
+            let ms, blocked =
+              if in_cap <= 1 then
+                let m, blocked = Bqueue.pop q in
+                ([ m ], blocked)
+              else Bqueue.pop_all q ~max:in_cap
+            in
+            Engine.set_lifecycle cs Engine.st_idle;
+            Engine.note_progress eng;
+            Engine.note_stall_pop eng cs blocked;
+            match ms with
+            | [] -> assert false
+            | m :: rest ->
+                List.iter (fun m' -> Queue.push m' pend) rest;
+                m
+          end
         in
         let count_eos () =
           match Engine.count_eos eng cs with
@@ -483,6 +570,10 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
           | `Stage_drained ->
               Array.iter (fun q' -> ignore (Bqueue.push q' Release)) queues.(s)
         in
+        (* Unacknowledged remainder of an in-flight wire batch, for the
+           retirement re-route (the acknowledged prefix was already
+           accounted and forwarded). *)
+        let current_batch = ref [] in
         let retire err in_flight =
           (match Engine.retire eng cs ~error:err with
           | `Fatal e -> abort_raise e
@@ -491,6 +582,25 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
           | Some (It ((Engine.Data _ | Engine.Final _) as it)) ->
               ok (Engine.reroute eng cs it)
           | Some (It Engine.Marker) | Some Release | None -> ());
+          List.iter
+            (fun it ->
+              match it with
+              | (Engine.Data _ | Engine.Final _) as it ->
+                  ok (Engine.reroute eng cs it)
+              | Engine.Marker -> ())
+            !current_batch;
+          current_batch := [];
+          (* Items already popped into the local batch buffer are this
+             copy's obligations too: re-route them before going zombie. *)
+          Queue.iter
+            (fun m ->
+              match m with
+              | It ((Engine.Data _ | Engine.Final _) as it) ->
+                  ok (Engine.reroute eng cs it)
+              | It Engine.Marker -> Engine.note_marker eng cs
+              | Release -> ())
+            pend;
+          Queue.clear pend;
           let rec zombie () =
             if Engine.at_marker_quota eng cs then count_eos ();
             if
@@ -532,6 +642,69 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
           (match out with Some b -> forward (Engine.Data b) | None -> ());
           Engine.Ring.push ring (Engine.Data b)
         in
+        (* Wire-frame batching: a run of consecutive [Data] items goes
+           to the worker as ONE [Batch] frame instead of N [Item] round
+           trips.  Gated on fault-inert copies — injected faults tick
+           parent-side per item, so batching there would change when a
+           scripted crash fires relative to B=1.  Partial success is
+           accounted INSIDE the supervised op: the worker's reply names
+           the acknowledged prefix, which is forwarded, ring-retained
+           and dropped from [remaining] before the crash protocol runs —
+           a retry replays the ring and resumes from the suffix, so no
+           item is processed twice or lost. *)
+        let wire_batch =
+          in_cap > 1 && (not is_last) && Fault.inert cs.Engine.fstate
+        in
+        let data_run () =
+          if not wire_batch then []
+          else begin
+            let rec grab acc =
+              match Queue.peek_opt pend with
+              | Some (It (Engine.Data b')) ->
+                  ignore (Queue.pop pend);
+                  grab (b' :: acc)
+              | _ -> List.rev acc
+            in
+            grab []
+          end
+        in
+        let handle_data_batch bs =
+          let items = List.map (fun b -> Engine.Data b) bs in
+          current_batch := items;
+          let remaining = ref items in
+          let step () =
+            supervised "process_batch" (fun () ->
+                with_slowdown (fun () ->
+                    let chunk = !remaining in
+                    List.iter
+                      (fun _ -> Fault.tick cs.Engine.fstate)
+                      chunk;
+                    let outs, err = call_batch chunk in
+                    List.iter
+                      (fun out ->
+                        match !remaining with
+                        | [] ->
+                            raise
+                              (Remote_crash
+                                 "worker acknowledged more items than sent")
+                        | it :: rest ->
+                            Engine.note_item_done eng cs;
+                            (match out with
+                            | Some o -> forward o
+                            | None -> ());
+                            Engine.Ring.push ring it;
+                            remaining := rest;
+                            current_batch := rest)
+                      outs;
+                    match err with
+                    | Some msg -> raise (Remote_crash msg)
+                    | None -> ()))
+          in
+          while !remaining <> [] do
+            step ()
+          done;
+          current_batch := []
+        in
         let handle_final b =
           let out = supervised "on_eos" (fun () -> call_eos b) in
           current := None;
@@ -545,21 +718,32 @@ let run_result ?(queue_capacity = 64) ?faults ?policy (topo : Topology.t) :
         in
         let serve () =
           supervised "init" call_init;
+          let serve_data m b =
+            match data_run () with
+            | [] ->
+                current := Some m;
+                handle_data b
+            | more ->
+                current := None;
+                handle_data_batch (b :: more)
+          in
           let rec eos_wait () =
             match recv () with
             | Release ->
                 if Engine.barrier_released eng s then finalize_copy ()
                 else eos_wait ()
-            | It (Engine.Data b) as m -> current := Some m; handle_data b; eos_wait ()
+            | It (Engine.Data b) as m -> serve_data m b; eos_wait ()
             | It (Engine.Final b) as m -> current := Some m; handle_final b; eos_wait ()
             | It Engine.Marker -> Engine.note_marker eng cs; eos_wait ()
           in
           let rec loop () =
             let m = recv () in
-            current := Some m;
             match m with
-            | It (Engine.Data b) -> handle_data b; loop ()
-            | It (Engine.Final b) -> handle_final b; loop ()
+            | It (Engine.Data b) -> serve_data m b; loop ()
+            | It (Engine.Final b) ->
+                current := Some m;
+                handle_final b;
+                loop ()
             | Release ->
                 current := None;
                 loop ()

@@ -24,6 +24,8 @@ val run_result :
   ?queue_capacity:int ->
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
+  ?batch:int ->
+  ?stage_batch:int array ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run to completion; [Error (Unsupported _)] when {!available} is

@@ -28,6 +28,8 @@ val run_result :
   ?queue_capacity:int ->
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
+  ?batch:int ->
+  ?stage_batch:int array ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run the pipeline to completion on [backend] (default {!Sim}).
@@ -35,7 +37,15 @@ val run_result :
     {!Par} and {!Proc} (the simulator's queues are unbounded; passing
     it with {!Sim} is accepted and ignored, except that
     [queue_capacity <= 0] is rejected on every backend by
-    {!Supervisor.validate}). *)
+    {!Supervisor.validate}).
+
+    [batch] sets a uniform outgoing batch cap for every non-sink stage
+    (default 1 — bit-for-bit the unbatched behaviour); [stage_batch]
+    overrides it per stage (see {!Engine.plan_batches} to derive one
+    from the cost model).  Batching is an engine-level concept, so all
+    three backends honour it: one queue round-trip (Par/Proc), one
+    modeled transfer (Sim) and one wire frame (Proc, fault-inert
+    copies) per batch. *)
 
 (** Re-exports so callers can report metrics without importing
     {!Engine}. *)

@@ -27,9 +27,9 @@ type event =
    [run_result]. *)
 exception Sim_abort of Supervisor.run_error
 
-let run_result ?(faults = Fault.empty) ?policy (topo : Topology.t) :
-    (Engine.metrics, Supervisor.run_error) result =
-  match Engine.create ~faults ?policy topo with
+let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
+    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+  match Engine.create ~faults ?policy ?batch ?stage_batch topo with
   | Error e -> Error e
   | Ok eng ->
   let stages = Array.of_list topo.Topology.stages in
@@ -120,11 +120,59 @@ let run_result ?(faults = Fault.empty) ?policy (topo : Topology.t) :
       note_time (start +. dur)
     end
   in
+  (* A flushed batch is ONE modeled transfer: the link latency (the
+     per-transfer startup cost) is paid once for the whole batch, the
+     bandwidth term covers the summed payload, and all items arrive
+     together when it lands — exactly the amortization the real
+     backends realize with one lock/wakeup or one wire frame. *)
+  let exec_send_batch ~src ~dst_stage ~dst_copy items =
+    let t = !now in
+    let dst = copies.(dst_stage).(dst_copy) in
+    if dst_stage = src.Engine.stage then
+      List.iter (fun it -> Timeline.push heap t (Ev_arrival (dst, it))) items
+    else begin
+      let li = src.Engine.stage in
+      let link = links.(li) in
+      let size =
+        List.fold_left
+          (fun a it ->
+            match it with
+            | Data b | Final b -> a +. float_of_int (Filter.buffer_size b)
+            | Marker -> a +. 1.0)
+          0.0 items
+      in
+      let start = max t dst.link_free_at in
+      let dur =
+        link.Topology.latency +. (size /. link.Topology.bandwidth)
+        +. Fault.link_extra faults ~link:li ~transfer:(link_transfers.(li) + 1)
+      in
+      dst.link_free_at <- start +. dur;
+      link_busy.(li) <- link_busy.(li) +. dur;
+      link_wait.(li) <- link_wait.(li) +. (start -. t);
+      link_bytes.(li) <- link_bytes.(li) +. size;
+      link_transfers.(li) <- link_transfers.(li) + 1;
+      if tracing then begin
+        let tid = Topology.link_tid topo li in
+        let args =
+          [ ("bytes", Obs.Trace.Afloat size);
+            ("items", Obs.Trace.Aint (List.length items)) ]
+        in
+        Obs.Trace.emit
+          (Obs.Trace.Span
+             { name = "xfer_batch"; cat = "link"; ts = start; dur; tid; args })
+      end;
+      List.iter
+        (fun it -> Timeline.push heap (start +. dur) (Ev_arrival (dst, it)))
+        items;
+      note_time (start +. dur)
+    end
+  in
   Engine.attach eng
     { exec_backend = Engine.Sim;
       exec_now = (fun () -> !now);
       exec_sleep = (fun _ -> ());  (* retries are scheduled, not slept *)
       exec_send;
+      exec_send_batch;
       exec_queue_len =
         (fun ~stage ~copy -> Queue.length copies.(stage).(copy).queue);
       exec_wake = (fun () -> ()) };

@@ -22,5 +22,7 @@
 val run_result :
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
+  ?batch:int ->
+  ?stage_batch:int array ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result

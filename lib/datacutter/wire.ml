@@ -11,10 +11,16 @@
                            buffer-packing layer uses)
 
    [Data]/[Final] items carry their packet id as a Wirefmt int and
-   their bytes as a Wirefmt length-prefixed string; [Marker] is an
-   empty payload.  Frames are bounded by [max_frame]; a reader rejects
-   oversized or truncated frames with [Protocol_error] rather than
-   allocating attacker-controlled lengths or silently misparsing. *)
+   their bytes as a Wirefmt length-prefixed payload written straight
+   from [Bytes] (no string round-trip); [Marker] is an empty payload.
+   [Batch] packs N items into one frame so a batched hot path pays one
+   syscall-visible frame per batch instead of per item; its [Outs]
+   response carries the per-item emissions, plus the error message if
+   the callback failed partway (the outputs then cover exactly the
+   successful prefix).  Frames are bounded by [max_frame]; a reader
+   rejects oversized or truncated frames with [Protocol_error] rather
+   than allocating attacker-controlled lengths or silently
+   misparsing. *)
 
 exception Protocol_error of string
 
@@ -24,11 +30,17 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 type msg =
   | Init  (** (re)instantiate the filter and run [init] *)
   | Item of Engine.item  (** process a [Data] or drain a [Final] payload *)
+  | Batch of Engine.item list
+      (** process N items in one frame; answered by [Outs] *)
   | Finalize  (** run [finalize] and return its emission *)
   | Next  (** pull the next buffer from a source *)
   | Src_finalize  (** run the source's [src_finalize] *)
   | Exit  (** orderly worker shutdown *)
   | Out of Engine.item option  (** callback result: optional emission *)
+  | Outs of Engine.item option list * string option
+      (** [Batch] result: one emission slot per processed input, in
+          order; [Some err] if the callback raised partway — the slots
+          then cover exactly the successful prefix *)
   | Done  (** acknowledgement with no emission (Init, Exit, Marker) *)
   | Crashed of string  (** the callback raised; payload is the message *)
 
@@ -42,24 +54,26 @@ let tag_of_msg = function
   | Item (Engine.Data _) -> 'D'
   | Item (Engine.Final _) -> 'F'
   | Item Engine.Marker -> 'M'
+  | Batch _ -> 'B'
   | Finalize -> 'Z'
   | Next -> 'N'
   | Src_finalize -> 'S'
   | Exit -> 'X'
   | Out _ -> 'O'
+  | Outs _ -> 'P'
   | Done -> 'K'
   | Crashed _ -> 'C'
 
 let add_buffer buf (b : Filter.buffer) =
   Wirefmt.buf_add_int buf b.Filter.packet;
-  Wirefmt.buf_add_string buf (Bytes.to_string b.Filter.data)
+  Wirefmt.buf_add_bytes buf b.Filter.data
 
 let read_buffer r =
   let packet = Wirefmt.read_int r in
-  let data = Bytes.of_string (Wirefmt.read_string r) in
+  let data = Wirefmt.read_bytes r in
   Filter.make_buffer ~packet data
 
-(* Item kind byte used inside [Out] payloads. *)
+(* Item kind byte used inside [Out]/[Outs]/[Batch] payloads. *)
 let add_item_opt buf = function
   | None -> Buffer.add_char buf '\000'
   | Some (Engine.Data b) ->
@@ -71,8 +85,8 @@ let add_item_opt buf = function
   | Some Engine.Marker -> Buffer.add_char buf '\003'
 
 let read_item_opt (r : Wirefmt.reader) =
-  if r.Wirefmt.pos >= Bytes.length r.Wirefmt.data then
-    fail "Out payload missing item kind byte";
+  if r.Wirefmt.pos >= r.Wirefmt.limit then
+    fail "payload missing item kind byte";
   let kind = Bytes.get r.Wirefmt.data r.Wirefmt.pos in
   r.Wirefmt.pos <- r.Wirefmt.pos + 1;
   match kind with
@@ -80,7 +94,21 @@ let read_item_opt (r : Wirefmt.reader) =
   | '\001' -> Some (Engine.Data (read_buffer r))
   | '\002' -> Some (Engine.Final (read_buffer r))
   | '\003' -> Some Engine.Marker
-  | c -> fail "bad item kind byte %C in Out payload" c
+  | c -> fail "bad item kind byte %C in payload" c
+
+let read_item r =
+  match read_item_opt r with
+  | Some it -> it
+  | None -> fail "bare item slot cannot be empty"
+
+let add_items buf items =
+  Wirefmt.buf_add_int buf (List.length items);
+  List.iter (fun it -> add_item_opt buf (Some it)) items
+
+let read_counted what r read_one =
+  let n = Wirefmt.read_int r in
+  if n < 0 || n > max_frame then fail "bad %s count %d" what n;
+  List.init n (fun _ -> read_one r)
 
 let encode (m : msg) : Bytes.t =
   let payload = Buffer.create 64 in
@@ -88,7 +116,16 @@ let encode (m : msg) : Bytes.t =
   | Init | Finalize | Next | Src_finalize | Exit | Done -> ()
   | Item (Engine.Data b) | Item (Engine.Final b) -> add_buffer payload b
   | Item Engine.Marker -> ()
+  | Batch items -> add_items payload items
   | Out it -> add_item_opt payload it
+  | Outs (outs, err) ->
+      Wirefmt.buf_add_int payload (List.length outs);
+      List.iter (add_item_opt payload) outs;
+      (match err with
+      | None -> Wirefmt.buf_add_bool payload false
+      | Some e ->
+          Wirefmt.buf_add_bool payload true;
+          Wirefmt.buf_add_string payload e)
   | Crashed s -> Wirefmt.buf_add_string payload s);
   let len = Buffer.length payload in
   if len > max_frame then fail "frame payload %d exceeds max_frame %d" len max_frame;
@@ -98,11 +135,11 @@ let encode (m : msg) : Bytes.t =
   Buffer.blit payload 0 frame header_bytes len;
   frame
 
-(* Decode one frame whose header has already been validated: [tag] plus
-   exactly the payload bytes.  Rejects trailing garbage so a framing bug
-   cannot silently smuggle data between messages. *)
-let decode_payload tag (payload : Bytes.t) : msg =
-  let r = { Wirefmt.data = payload; pos = 0 } in
+(* Decode one frame whose header has already been validated: a bounded
+   reader over exactly the payload window (possibly in the middle of a
+   larger scratch buffer — no payload copy).  Rejects trailing garbage
+   so a framing bug cannot silently smuggle data between messages. *)
+let decode_reader tag (r : Wirefmt.reader) : msg =
   let m =
     try
       match tag with
@@ -110,19 +147,26 @@ let decode_payload tag (payload : Bytes.t) : msg =
       | 'D' -> Item (Engine.Data (read_buffer r))
       | 'F' -> Item (Engine.Final (read_buffer r))
       | 'M' -> Item Engine.Marker
+      | 'B' -> Batch (read_counted "batch item" r read_item)
       | 'Z' -> Finalize
       | 'N' -> Next
       | 'S' -> Src_finalize
       | 'X' -> Exit
       | 'O' -> Out (read_item_opt r)
+      | 'P' ->
+          let outs = read_counted "outs slot" r read_item_opt in
+          let err =
+            if Wirefmt.read_bool r then Some (Wirefmt.read_string r) else None
+          in
+          Outs (outs, err)
       | 'K' -> Done
       | 'C' -> Crashed (Wirefmt.read_string r)
       | c -> fail "unknown frame tag %C" c
     with Wirefmt.Short_read m -> fail "truncated frame payload (%s)" m
   in
-  if r.Wirefmt.pos <> Bytes.length payload then
+  if r.Wirefmt.pos <> r.Wirefmt.limit then
     fail "frame has %d trailing bytes after %C payload"
-      (Bytes.length payload - r.Wirefmt.pos)
+      (r.Wirefmt.limit - r.Wirefmt.pos)
       tag;
   m
 
@@ -140,23 +184,40 @@ let decode (b : Bytes.t) ~(pos : int) : msg * int =
   if pos + header_bytes + len > Bytes.length b then
     fail "truncated frame: header says %d payload bytes, %d available" len
       (Bytes.length b - pos - header_bytes);
-  let payload = Bytes.sub b (pos + header_bytes) len in
-  (decode_payload tag payload, pos + header_bytes + len)
+  let r =
+    Wirefmt.reader_of b ~pos:(pos + header_bytes)
+      ~limit:(pos + header_bytes + len)
+  in
+  (decode_reader tag r, pos + header_bytes + len)
 
 (* Incremental decoder for byte streams that arrive in arbitrary
    chunks (partial reads).  Feed bytes in; [next] yields a message as
-   soon as a whole frame has accumulated. *)
+   soon as a whole frame has accumulated.  [pending] doubles as the
+   decode scratch: frames are parsed in place with a bounded reader
+   (buffer payloads are the only per-frame allocation), and growth is
+   geometric but informed by the pending frame's length header, so one
+   resize fits an oversized frame instead of log2 doublings. *)
 module Decoder = struct
   type t = { mutable pending : Bytes.t; mutable len : int }
 
   let create () = { pending = Bytes.create 256; len = 0 }
+
+  (* How many bytes the frame at the head of [pending] needs in total,
+     if its header has arrived (and parses) — the growth hint. *)
+  let frame_hint t =
+    if t.len < header_bytes then 0
+    else
+      let len = Int32.to_int (Bytes.get_int32_le t.pending 1) in
+      if len < 0 || len > max_frame then 0 else header_bytes + len
 
   let feed t b ~off ~len =
     if off < 0 || len < 0 || off + len > Bytes.length b then
       invalid_arg "Wire.Decoder.feed";
     let need = t.len + len in
     if need > Bytes.length t.pending then begin
-      let cap = max need (2 * Bytes.length t.pending) in
+      let cap =
+        max need (max (2 * Bytes.length t.pending) (frame_hint t))
+      in
       let grown = Bytes.create cap in
       Bytes.blit t.pending 0 grown 0 t.len;
       t.pending <- grown
@@ -172,11 +233,15 @@ module Decoder = struct
       check_len len;
       if t.len < header_bytes + len then None
       else begin
-        let payload = Bytes.sub t.pending header_bytes len in
+        let r =
+          Wirefmt.reader_of t.pending ~pos:header_bytes
+            ~limit:(header_bytes + len)
+        in
+        let m = decode_reader tag r in
         let consumed = header_bytes + len in
         Bytes.blit t.pending consumed t.pending 0 (t.len - consumed);
         t.len <- t.len - consumed;
-        Some (decode_payload tag payload)
+        Some m
       end
     end
 end
@@ -211,16 +276,26 @@ let really_read fd b len =
   in
   go 0
 
-let read_msg fd : msg option =
-  let header = Bytes.create header_bytes in
-  match really_read fd header header_bytes with
+(* [scratch] is a reusable receive buffer: steady-state reads allocate
+   nothing per frame beyond the decoded buffers themselves.  Grown
+   geometrically toward the frame length so one connection converges on
+   its largest frame size. *)
+let read_msg ?scratch fd : msg option =
+  let buf =
+    match scratch with
+    | Some r -> r
+    | None -> ref (Bytes.create header_bytes)
+  in
+  if Bytes.length !buf < header_bytes then buf := Bytes.create 256;
+  match really_read fd !buf header_bytes with
   | `Eof -> None
   | `Ok ->
-      let tag = Bytes.get header 0 in
-      let len = Int32.to_int (Bytes.get_int32_le header 1) in
+      let tag = Bytes.get !buf 0 in
+      let len = Int32.to_int (Bytes.get_int32_le !buf 1) in
       check_len len;
-      let payload = Bytes.create len in
-      (match really_read fd payload len with
+      if Bytes.length !buf < len then
+        buf := Bytes.create (max len (2 * Bytes.length !buf));
+      (match really_read fd !buf len with
       | `Eof -> fail "eof inside a frame payload"
       | `Ok -> ());
-      Some (decode_payload tag payload)
+      Some (decode_reader tag (Wirefmt.reader_of !buf ~limit:len))

@@ -3,9 +3,10 @@
     A frame is [tag:1][len:4 LE][payload:len]; payloads use the
     {!Wirefmt} codec (the same low-level codec as the compiler's
     buffer-packing layer).  [Data]/[Final] items carry packet id +
-    bytes; [Marker] is an empty payload.  See
-    [lib/datacutter/proc_runtime.ml] for the request/response
-    discipline. *)
+    bytes, written straight from [Bytes] (no string round-trip);
+    [Marker] is an empty payload; [Batch] packs N items into one
+    length-prefixed frame.  See [lib/datacutter/proc_runtime.ml] for
+    the request/response discipline. *)
 
 exception Protocol_error of string
 (** Raised on malformed input: unknown tag, oversized or negative
@@ -15,11 +16,18 @@ exception Protocol_error of string
 type msg =
   | Init  (** (re)instantiate the filter and run [init] *)
   | Item of Engine.item  (** process a [Data] or drain a [Final] payload *)
+  | Batch of Engine.item list
+      (** process N items in one frame (one syscall-visible transfer
+          per batch); answered by [Outs] *)
   | Finalize  (** run [finalize] and return its emission *)
   | Next  (** pull the next buffer from a source *)
   | Src_finalize  (** run the source's [src_finalize] *)
   | Exit  (** orderly worker shutdown *)
   | Out of Engine.item option  (** callback result: optional emission *)
+  | Outs of Engine.item option list * string option
+      (** [Batch] result: one emission slot per processed input, in
+          order; [Some err] when the callback raised partway — the
+          slots then cover exactly the successful prefix *)
   | Done  (** acknowledgement with no emission *)
   | Crashed of string  (** the callback raised; payload is the message *)
 
@@ -50,6 +58,9 @@ val write_msg : Unix.file_descr -> msg -> unit
 (** Blocking full write of one frame (retries [EINTR]); propagates
     [Unix.Unix_error] (e.g. [EPIPE]) for the caller's crash handling. *)
 
-val read_msg : Unix.file_descr -> msg option
+val read_msg : ?scratch:Bytes.t ref -> Unix.file_descr -> msg option
 (** Blocking read of one frame; [None] on EOF at a frame boundary,
-    {!Protocol_error} if the peer dies mid-frame. *)
+    {!Protocol_error} if the peer dies mid-frame.  [scratch] is a
+    reusable receive buffer (grown geometrically as needed): passing
+    the same ref for every read on a connection makes steady-state
+    receive allocation-free apart from the decoded buffers. *)

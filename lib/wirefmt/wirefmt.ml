@@ -6,7 +6,7 @@
    [datacutter]: the runtime cannot reach back up into the compiler for
    these helpers without creating a cycle.  All integers are 8-byte
    little-endian two's complement; floats are IEEE-754 bit patterns in
-   the same frame; strings are length-prefixed. *)
+   the same frame; strings and byte payloads are length-prefixed. *)
 
 let buf_add_int buf n =
   let b = Bytes.create 8 in
@@ -24,16 +24,31 @@ let buf_add_string buf s =
   buf_add_int buf (String.length s);
   Buffer.add_string buf s
 
-type reader = { data : Bytes.t; mutable pos : int }
+(* Same frame as [buf_add_string], written straight from [Bytes]: the
+   hot wire path must not round-trip every payload through an
+   intermediate string copy. *)
+let buf_add_bytes buf b =
+  buf_add_int buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+type reader = { data : Bytes.t; mutable pos : int; limit : int }
+
+let reader_of ?(pos = 0) ?limit data =
+  let limit =
+    match limit with None -> Bytes.length data | Some l -> l
+  in
+  if pos < 0 || limit < pos || limit > Bytes.length data then
+    invalid_arg "Wirefmt.reader_of";
+  { data; pos; limit }
 
 exception Short_read of string
 
 let need r n what =
-  if r.pos < 0 || n < 0 || r.pos + n > Bytes.length r.data then
+  if r.pos < 0 || n < 0 || r.pos + n > r.limit then
     raise
       (Short_read
          (Printf.sprintf "%s: need %d bytes at offset %d of %d" what n r.pos
-            (Bytes.length r.data)))
+            r.limit))
 
 let read_int r =
   need r 8 "int";
@@ -59,3 +74,11 @@ let read_string r =
   let s = Bytes.sub_string r.data r.pos len in
   r.pos <- r.pos + len;
   s
+
+(* One [Bytes.sub], no string detour: the inverse of [buf_add_bytes]. *)
+let read_bytes r =
+  let len = read_int r in
+  need r len "bytes";
+  let b = Bytes.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  b

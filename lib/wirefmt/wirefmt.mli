@@ -1,16 +1,28 @@
 (* Low-level byte codec shared by the buffer-packing layer and the
    process backend's wire protocol: 8-byte little-endian ints, IEEE-754
-   floats, one-byte bools, length-prefixed strings. *)
+   floats, one-byte bools, length-prefixed strings/bytes. *)
 
 val buf_add_int : Buffer.t -> int -> unit
 val buf_add_float : Buffer.t -> float -> unit
 val buf_add_bool : Buffer.t -> bool -> unit
 val buf_add_string : Buffer.t -> string -> unit
 
-(** A cursor over packed bytes.  The [read_*] functions raise
-    {!Short_read} instead of [Invalid_argument] when the buffer is
-    truncated, so framing layers can reject malformed input cleanly. *)
-type reader = { data : Bytes.t; mutable pos : int }
+(** Same frame as {!buf_add_string}, written straight from [Bytes] —
+    no intermediate string copy on the hot wire path. *)
+val buf_add_bytes : Buffer.t -> Bytes.t -> unit
+
+(** A cursor over packed bytes.  [limit] bounds every read, so a reader
+    can decode in place from a larger scratch buffer (e.g. one frame
+    inside a stream decoder's pending bytes) without an intermediate
+    copy.  The [read_*] functions raise {!Short_read} instead of
+    [Invalid_argument] when the window is truncated, so framing layers
+    can reject malformed input cleanly. *)
+type reader = { data : Bytes.t; mutable pos : int; limit : int }
+
+(** [reader_of ?pos ?limit data] — [limit] defaults to the whole
+    buffer.  @raise Invalid_argument unless
+    [0 <= pos <= limit <= length data]. *)
+val reader_of : ?pos:int -> ?limit:int -> Bytes.t -> reader
 
 exception Short_read of string
 
@@ -18,3 +30,6 @@ val read_int : reader -> int
 val read_float : reader -> float
 val read_bool : reader -> bool
 val read_string : reader -> string
+
+(** Inverse of {!buf_add_bytes}: one [Bytes.sub], no string detour. *)
+val read_bytes : reader -> Bytes.t

@@ -102,9 +102,9 @@ let make_topo ~n () =
   in
   (topo, got)
 
-let run ~label backend ?faults ?policy n =
+let run ~label backend ?faults ?policy ?batch n =
   let topo, got = make_topo ~n () in
-  match Datacutter.Runtime.run_result ~backend ?faults ?policy topo with
+  match Datacutter.Runtime.run_result ~backend ?faults ?policy ?batch topo with
   | Ok m -> (m, got ())
   | Error e ->
       die "%s run failed: %s" label
@@ -127,8 +127,8 @@ type leg = {
 
 let strip keys = List.filter (fun k -> k <> "links") keys
 
-let run_leg ~label backend ?faults ?policy n : leg =
-  let m, got = run ~label backend ?faults ?policy n in
+let run_leg ~label backend ?faults ?policy ?batch n : leg =
+  let m, got = run ~label backend ?faults ?policy ?batch n in
   {
     got;
     recovery = m.Datacutter.Engine.recovery;
@@ -140,12 +140,12 @@ let run_leg ~label backend ?faults ?policy n : leg =
    spawn driver domains — so every proc leg runs in its own child
    process, and all of them run before the first par leg.  The child
    marshals its leg over a pipe and [_exit]s. *)
-let run_proc_leg ~label ?faults ?policy n : leg =
+let run_proc_leg ~label ?faults ?policy ?batch n : leg =
   let rd, wr = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
       Unix.close rd;
-      let leg = run_leg ~label Datacutter.Runtime.Proc ?faults ?policy n in
+      let leg = run_leg ~label Datacutter.Runtime.Proc ?faults ?policy ?batch n in
       let oc = Unix.out_channel_of_descr wr in
       Marshal.to_channel oc leg [];
       flush oc;
@@ -246,39 +246,95 @@ let () =
   let with_proc = Datacutter.Proc_runtime.available in
   if not with_proc then
     prerr_endline "engine-smoke: no Unix.fork here; proc legs skipped";
-  (* Every proc leg first (forking is poisoned once par spawns
-     domains), then the in-process sim and par legs. *)
+  (* The whole matrix runs unbatched and at an engine batch cap of 64:
+     batching changes how items move (one queue wave / wire frame /
+     modeled transfer per batch), never what arrives or how recovery
+     counts, so every differential below must hold in both groups. *)
+  let batches = [ 1; 64 ] in
+  (* Every proc leg of every batch group first (forking is poisoned
+     once par spawns domains), then the in-process sim and par legs. *)
   let proc_legs =
     if not with_proc then []
     else
-      List.map
-        (fun (what, faults, policy) ->
-          ( what,
-            run_proc_leg ~label:(what ^ "/proc") ?faults ?policy n ))
-        scenarios
+      List.concat_map
+        (fun batch ->
+          List.map
+            (fun (what, faults, policy) ->
+              ( (what, batch),
+                run_proc_leg
+                  ~label:(Printf.sprintf "%s/proc@B%d" what batch)
+                  ?faults ?policy ~batch n ))
+            scenarios)
+        batches
   in
   let results =
-    List.map
-      (fun (what, faults, policy) ->
-        let leg b name =
-          (name, run_leg ~label:(what ^ "/" ^ name) b ?faults ?policy n)
-        in
-        let legs =
-          [ leg Datacutter.Runtime.Sim "sim"; leg Datacutter.Runtime.Par "par" ]
-          @
-          match List.assoc_opt what proc_legs with
-          | Some l -> [ ("proc", l) ]
-          | None -> []
-        in
-        check ~what n legs;
-        (what, legs))
-      scenarios
+    List.concat_map
+      (fun batch ->
+        List.map
+          (fun (what, faults, policy) ->
+            let leg b name =
+              ( name,
+                run_leg
+                  ~label:(Printf.sprintf "%s/%s@B%d" what name batch)
+                  b ?faults ?policy ~batch n )
+            in
+            let legs =
+              [
+                leg Datacutter.Runtime.Sim "sim";
+                leg Datacutter.Runtime.Par "par";
+              ]
+              @
+              match List.assoc_opt (what, batch) proc_legs with
+              | Some l -> [ ("proc", l) ]
+              | None -> []
+            in
+            check ~what:(Printf.sprintf "%s@B%d" what batch) n legs;
+            ((what, batch), legs))
+          scenarios)
+      batches
   in
-  let legs_of what =
-    match List.assoc_opt what results with
+  let legs_at what batch =
+    match List.assoc_opt (what, batch) results with
     | Some legs -> legs
-    | None -> die "missing scenario %s" what
+    | None -> die "missing scenario %s@B%d" what batch
   in
+  let legs_of what = legs_at what 1 in
+  (* Across batch groups the shared protocol must not move: the sink
+     multiset is pinned exactly by [check], and per backend the
+     crash/retry/retirement counters and the metrics-JSON key set at
+     B=64 must equal the B=1 ones.  (Routing picks one destination per
+     batch rather than per item, so the re-routed and replayed traffic
+     counts may legitimately differ between batch groups.) *)
+  List.iter
+    (fun (what, _, _) ->
+      let l1 = legs_at what 1 in
+      List.iter
+        (fun (name, leg64) ->
+          match List.assoc_opt name l1 with
+          | None -> ()
+          | Some leg1 ->
+              if leg64.keys <> leg1.keys then
+                die "%s: %s metrics keys differ between B=64 and B=1" what name;
+              let r1 = leg1.recovery and r64 = leg64.recovery in
+              if
+                r64.Datacutter.Supervisor.crashes
+                <> r1.Datacutter.Supervisor.crashes
+                || r64.Datacutter.Supervisor.retries
+                   <> r1.Datacutter.Supervisor.retries
+                || r64.Datacutter.Supervisor.retired
+                   <> r1.Datacutter.Supervisor.retired
+              then
+                die
+                  "%s: %s recovery counters differ between B=64 \
+                   (crash/retry/retire %d/%d/%d) and B=1 (%d/%d/%d)"
+                  what name r64.Datacutter.Supervisor.crashes
+                  r64.Datacutter.Supervisor.retries
+                  r64.Datacutter.Supervisor.retired
+                  r1.Datacutter.Supervisor.crashes
+                  r1.Datacutter.Supervisor.retries
+                  r1.Datacutter.Supervisor.retired)
+        (legs_at what 64))
+    scenarios;
   (* healthy pipeline: no recovery activity at all *)
   List.iter
     (fun (name, leg) ->
@@ -314,6 +370,6 @@ let () =
       pr.Datacutter.Supervisor.replayed;
   let names = if with_proc then "sim/par/proc" else "sim/par" in
   Printf.printf
-    "engine-smoke ok: %s agree on %d packets — healthy, crash@5+retire \
-     (rerouted) and crash@3+retry (replayed=%d)\n"
+    "engine-smoke ok: %s agree on %d packets at batch 1 and 64 — healthy, \
+     crash@5+retire (rerouted) and crash@3+retry (replayed=%d)\n"
     names n pr.Datacutter.Supervisor.replayed

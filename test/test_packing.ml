@@ -216,7 +216,7 @@ let test_generic_value_roundtrip_nested () =
   let v = V.Vlist vec in
   let buf = Buffer.create 64 in
   Packing.pack_value_generic buf prog ty v;
-  let r = { Packing.data = Buffer.to_bytes buf; pos = 0 } in
+  let r = Packing.reader_of (Buffer.to_bytes buf) in
   let v' = Packing.unpack_value_generic r prog ty in
   A.(check bool) "roundtrip" true (V.equal v v');
   A.(check int) "size accounting" (Buffer.length buf)

@@ -406,6 +406,68 @@ let test_bqueue_close_wakes_poppers () =
     (Bqueue.close q;
      true)
 
+(* Close-while-batch-blocked: a pusher mid-[push_all] wave and a popper
+   blocked in [pop_all] must both be woken exactly once by [close].
+   The pusher's completed waves stay enqueued (accepted items are never
+   dropped), the rest of its batch is refused with [Closed]; the popper
+   drains the whole backlog in order and only then sees [Closed]. *)
+let test_bqueue_close_while_batch_blocked () =
+  let stop = Atomic.make false in
+  let capacity = 4 in
+  let q : int Bqueue.t = Bqueue.create ~stop capacity in
+  (* a batch far larger than capacity and no consumer: the first wave
+     fills the queue, then the pusher blocks mid-batch waiting for room *)
+  let batch = List.init 32 Fun.id in
+  let pusher =
+    Domain.spawn (fun () ->
+        match Bqueue.push_all q batch with
+        | _ -> `Pushed
+        | exception Bqueue.Closed -> `Closed
+        | exception Bqueue.Aborted -> `Aborted)
+  in
+  Unix.sleepf 0.05;
+  Bqueue.close q;
+  (match Domain.join pusher with
+  | `Closed -> ()
+  | `Pushed -> A.fail "pusher blocked mid-batch must observe the close"
+  | `Aborted -> A.fail "pusher saw Aborted, expected Closed");
+  (* whatever prefix the completed waves accepted survives the close:
+     pop_all drains it in order and raises Closed only once empty *)
+  let rec drain acc =
+    match Bqueue.pop_all q ~max:8 with
+    | items, _ -> drain (acc @ items)
+    | exception Bqueue.Closed -> acc
+  in
+  let got = drain [] in
+  A.(check bool) "the first wave's items were delivered"
+    true
+    (List.length got >= 1);
+  A.(check bool) "the refused tail was not enqueued" true
+    (List.length got < List.length batch);
+  A.(check (list int)) "delivered prefix in order"
+    (List.filteri (fun i _ -> i < List.length got) batch)
+    got;
+  (* push_all after close is refused outright *)
+  (match Bqueue.push_all q [ 99 ] with
+  | _ -> A.fail "push_all after close must raise Closed"
+  | exception Bqueue.Closed -> ());
+  (* and a popper blocked inside pop_all on an empty queue is woken
+     exactly once by close, observing Closed instead of hanging *)
+  let q2 : int Bqueue.t = Bqueue.create ~stop capacity in
+  let popper =
+    Domain.spawn (fun () ->
+        match Bqueue.pop_all q2 ~max:capacity with
+        | _ -> `Got
+        | exception Bqueue.Closed -> `Closed
+        | exception Bqueue.Aborted -> `Aborted)
+  in
+  Unix.sleepf 0.05;
+  Bqueue.close q2;
+  match Domain.join popper with
+  | `Closed -> ()
+  | `Got -> A.fail "popper got items from an empty closed queue"
+  | `Aborted -> A.fail "popper saw Aborted, expected Closed"
+
 let suite =
   [
     ("all packets delivered", `Quick, test_all_packets_delivered);
@@ -423,6 +485,9 @@ let suite =
     ("par eos payload", `Quick, test_par_eos_payload);
     ("bqueue close wakes blocked pushers", `Quick, test_bqueue_close_wakes_blocked);
     ("bqueue close wakes blocked poppers", `Quick, test_bqueue_close_wakes_poppers);
+    ( "bqueue close while batch-blocked",
+      `Quick,
+      test_bqueue_close_while_batch_blocked );
   ]
 
 let () = Alcotest.run "runtime" [ ("runtime", suite) ]

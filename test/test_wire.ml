@@ -17,6 +17,12 @@ let item_equal a b =
       x.Filter.packet = y.Filter.packet && Bytes.equal x.Filter.data y.Filter.data
   | _ -> false
 
+let item_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> item_equal x y
+  | _ -> false
+
 let msg_equal a b =
   match (a, b) with
   | Wire.Init, Wire.Init
@@ -28,6 +34,12 @@ let msg_equal a b =
   | Wire.Out None, Wire.Out None ->
       true
   | Wire.Item x, Wire.Item y -> item_equal x y
+  | Wire.Batch xs, Wire.Batch ys ->
+      List.length xs = List.length ys && List.for_all2 item_equal xs ys
+  | Wire.Outs (xs, xe), Wire.Outs (ys, ye) ->
+      List.length xs = List.length ys
+      && List.for_all2 item_opt_equal xs ys
+      && Option.equal String.equal xe ye
   | Wire.Out (Some x), Wire.Out (Some y) -> item_equal x y
   | Wire.Crashed x, Wire.Crashed y -> String.equal x y
   | _ -> false
@@ -37,6 +49,10 @@ let msg_name = function
   | Wire.Item (Engine.Data _) -> "Item Data"
   | Wire.Item (Engine.Final _) -> "Item Final"
   | Wire.Item Engine.Marker -> "Item Marker"
+  | Wire.Batch items -> Printf.sprintf "Batch[%d]" (List.length items)
+  | Wire.Outs (outs, err) ->
+      Printf.sprintf "Outs[%d%s]" (List.length outs)
+        (match err with Some _ -> ",err" | None -> "")
   | Wire.Finalize -> "Finalize"
   | Wire.Next -> "Next"
   | Wire.Src_finalize -> "Src_finalize"
@@ -68,6 +84,18 @@ let samples =
     Wire.Done;
     Wire.Crashed "Failure(\"boom\")";
     Wire.Crashed "";
+    Wire.Batch [ Engine.Data (buffer "one") ];
+    Wire.Batch
+      [
+        Engine.Data (buffer ~packet:1 "a");
+        Engine.Data (buffer ~packet:2 "");
+        Engine.Final (buffer ~packet:3 "tail");
+        Engine.Marker;
+      ];
+    Wire.Outs ([], None);
+    Wire.Outs ([ None; Some (Engine.Data (buffer "out")) ], None);
+    Wire.Outs ([ Some (Engine.Final (buffer "partial")) ], Some "boom");
+    Wire.Outs ([], Some "");
   ]
 
 let test_roundtrip () =
@@ -216,6 +244,81 @@ let test_fd_roundtrip () =
   Alcotest.(check bool) "clean EOF" true (Wire.read_msg rd = None);
   Unix.close rd
 
+(* Property: any batched frame sequence survives encode → arbitrary
+   chunking → incremental decode.  Random [Batch]/[Outs] messages with
+   random payloads are concatenated and re-fed to a [Decoder] in random
+   split points; the recovered messages must equal the originals. *)
+let gen_item =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 6,
+          map2
+            (fun packet s ->
+              Engine.Data (buffer ~packet (Bytes.to_string (Bytes.of_string s))))
+            (int_bound 10_000) (string_size (int_bound 64)) );
+        ( 2,
+          map2
+            (fun packet s -> Engine.Final (buffer ~packet s))
+            (int_bound 10_000) (string_size (int_bound 64)) );
+        (1, return Engine.Marker);
+      ])
+
+let gen_msg =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun items -> Wire.Batch items) (list_size (1 -- 20) gen_item));
+        ( 2,
+          map2
+            (fun outs err -> Wire.Outs (outs, err))
+            (list_size (int_bound 20) (option gen_item))
+            (option (string_size (int_bound 32))) );
+      ])
+
+let arb_stream =
+  QCheck.make
+    ~print:(fun (ms, _) ->
+      String.concat "; " (List.map msg_name ms))
+    QCheck.Gen.(
+      pair (list_size (1 -- 8) gen_msg) (list_size (int_bound 40) (1 -- 64)))
+
+let prop_batch_roundtrip =
+  QCheck.Test.make ~name:"batched frames survive chunked decode" ~count:200
+    arb_stream (fun (msgs, cuts) ->
+      let stream = Bytes.concat Bytes.empty (List.map Wire.encode msgs) in
+      let d = Wire.Decoder.create () in
+      let out = ref [] in
+      let drain () =
+        let rec go () =
+          match Wire.Decoder.next d with
+          | Some m ->
+              out := m :: !out;
+              go ()
+          | None -> ()
+        in
+        go ()
+      in
+      let total = Bytes.length stream in
+      let pos = ref 0 in
+      (* feed in the generator's chunk sizes, then whatever remains *)
+      List.iter
+        (fun sz ->
+          let len = min sz (total - !pos) in
+          if len > 0 then begin
+            Wire.Decoder.feed d stream ~off:!pos ~len;
+            pos := !pos + len;
+            drain ()
+          end)
+        cuts;
+      if total - !pos > 0 then begin
+        Wire.Decoder.feed d stream ~off:!pos ~len:(total - !pos);
+        drain ()
+      end;
+      let out = List.rev !out in
+      List.length out = List.length msgs
+      && List.for_all2 msg_equal msgs out)
+
 let test_fd_midframe_eof () =
   let rd, wr = Unix.pipe () in
   let frame = Wire.encode (Wire.Crashed "interrupted") in
@@ -253,6 +356,7 @@ let () =
             test_decoder_reassembly;
           Alcotest.test_case "bulk feed" `Quick test_decoder_bulk;
           Alcotest.test_case "malformed prefix" `Quick test_decoder_malformed;
+          QCheck_alcotest.to_alcotest prop_batch_roundtrip;
         ] );
       ( "fds",
         [
