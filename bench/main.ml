@@ -59,12 +59,14 @@ module Record = struct
     title := t;
     rows := []
 
-  (* one table row: the config label, optional string tags (e.g. the
-     "backend" discriminator), then named numeric cells *)
+  (* one table row: the schema version, the config label, optional
+     string tags (e.g. the "backend" discriminator), then named numeric
+     cells *)
   let row ?(tags = []) label cells =
     rows :=
       Obs.Json.Obj
-        (("config", Obs.Json.Str label)
+        (("schema_version", Obs.Json.Int Obs.Metrics.schema_version)
+         :: ("config", Obs.Json.Str label)
          :: List.map (fun (k, v) -> (k, Obs.Json.Str v)) tags
         @ List.map (fun (k, v) -> (k, Obs.Json.Float v)) cells)
       :: !rows
@@ -818,6 +820,13 @@ let throughput_smoke () =
   in
   check "a par leg ran" (List.exists (fun (n, _, _) -> n = "par") legs);
   check "a sim leg ran" (List.exists (fun (n, _, _) -> n = "sim") legs);
+  check "every recorded row carries the schema version"
+    (List.for_all
+       (fun row ->
+         match J.member "schema_version" row with
+         | J.Int v -> v = Obs.Metrics.schema_version
+         | _ -> false)
+       !Record.rows);
   List.iter
     (fun (name, b, doc) ->
       if b > 1 then begin
@@ -896,6 +905,8 @@ let smoke () =
   check "exactly one row" (List.length rows = 1);
   let row = List.hd rows in
   check "config is 1-1-1" (J.to_str (J.member "config" row) = "1-1-1");
+  check "row carries the schema version"
+    (J.to_int (J.member "schema_version" row) = Obs.Metrics.schema_version);
   check "backend discriminator is sim"
     (J.to_str (J.member "backend" row) = "sim");
   check "positive makespan" (J.to_float (J.member "decomp_s" row) > 0.0);

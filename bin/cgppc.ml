@@ -46,6 +46,22 @@ let app_conv =
       ("kmeans", Kmeans);
     ]
 
+(* run/analyze additionally accept the engine-level streambench
+   microbenchmark, which is built directly on the engine (no PipeLang
+   source) — its cost model is synthesized rather than profiled. *)
+type run_target = TApp of app_choice | TStreambench
+
+let target_conv =
+  Cmdliner.Arg.enum
+    [
+      ("zbuffer", TApp Zbuffer);
+      ("apix", TApp Apix);
+      ("knn", TApp Knn);
+      ("vmscope", TApp Vmscope);
+      ("kmeans", TApp Kmeans);
+      ("streambench", TStreambench);
+    ]
+
 let load ~file ~app =
   let base = app_of_choice app in
   match file with
@@ -172,6 +188,22 @@ let write_metrics path m =
   Obs.Metrics.write_file path m;
   Fmt.pr "metrics written to %s@." path
 
+(* Sampler interval in seconds.  --openmetrics needs a time series to
+   render, so it implies a default 50 ms interval when
+   --metrics-interval-ms was not given. *)
+let interval_s_of ~interval_ms ~openmetrics =
+  match interval_ms with
+  | Some ms -> Some (ms /. 1000.0)
+  | None -> if openmetrics <> None then Some 0.05 else None
+
+let write_openmetrics path (m : Datacutter.Engine.metrics) =
+  match m.Datacutter.Engine.timeseries with
+  | None -> Fmt.epr "warning: no time series sampled; %s not written@." path
+  | Some ts ->
+      Obs.Openmetrics.write_file path
+        (Obs.Openmetrics.families_of_timeseries ts);
+      Fmt.pr "openmetrics written to %s@." path
+
 (* --- inspect --- *)
 
 let inspect file app =
@@ -220,6 +252,7 @@ let plan file app widths strategy cluster_spec trace mjson =
   | None -> ()
   | Some path ->
       let m = Obs.Metrics.create () in
+      Obs.Metrics.set_int m "schema_version" Obs.Metrics.schema_version;
       Obs.Metrics.set_str m "command" "plan";
       Obs.Metrics.set_str m "app" a.H.name;
       Obs.Metrics.set_str m "config" (config_label widths);
@@ -250,17 +283,24 @@ let emit file app widths strategy cluster_spec =
 
 (* --- run --- *)
 
-let run file app widths strategy backend parallel cluster_spec trace mjson
-    faults watchdog_ms max_retries call_budget_ms batch =
-  let a = load ~file ~app in
+let run file target widths strategy backend parallel cluster_spec trace mjson
+    faults watchdog_ms max_retries call_budget_ms batch interval_ms
+    openmetrics report =
   let cluster = cluster_of_spec cluster_spec in
   let backend = if parallel then Datacutter.Runtime.Par else backend in
   let faults = Option.value faults ~default:Datacutter.Fault.empty in
   let policy = policy_of ~watchdog_ms ~max_retries ~call_budget_ms in
+  let metrics_interval_s = interval_s_of ~interval_ms ~openmetrics in
+  let app_name =
+    match target with
+    | TApp a -> (load ~file ~app:a).H.name
+    | TStreambench -> "streambench"
+  in
   let metrics_doc () =
     let m = Obs.Metrics.create () in
+    Obs.Metrics.set_int m "schema_version" Obs.Metrics.schema_version;
     Obs.Metrics.set_str m "command" "run";
-    Obs.Metrics.set_str m "app" a.H.name;
+    Obs.Metrics.set_str m "app" app_name;
     Obs.Metrics.set_str m "config" (config_label widths);
     Obs.Metrics.set_str m "strategy" (strategy_name strategy);
     Obs.Metrics.set_str m "backend" (Datacutter.Runtime.backend_name backend);
@@ -272,12 +312,12 @@ let run file app widths strategy backend parallel cluster_spec trace mjson
   (* A failed run still writes the metrics document — with the
      structured error in place of runtime counters — so harnesses can
      diagnose from the JSON alone. *)
-  let write_failure c err =
+  let write_failure fill err =
     (match mjson with
     | None -> ()
     | Some path ->
         let doc = metrics_doc () in
-        compile_metrics doc c;
+        fill doc;
         Obs.Metrics.set_bool doc "ok" false;
         Obs.Metrics.set doc "error" (Datacutter.Supervisor.run_error_to_json err);
         write_metrics path doc);
@@ -288,63 +328,153 @@ let run file app widths strategy backend parallel cluster_spec trace mjson
     if Datacutter.Supervisor.recovery_total r > 0 then
       Fmt.pr "  recovery: %a@." Datacutter.Supervisor.pp_recovery r
   in
-  with_trace trace @@ fun () ->
-  let c = H.compile ~cluster ~strategy ~widths a in
-  let topo, results =
-    Codegen.build_topology c.Compile.plan ~widths
-      ~powers:(H.node_powers cluster widths)
-      ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
-      ~latency:cluster.H.latency ()
+  (* Shared tail of both targets: per-stage counters, the bottleneck
+     attribution report, and the telemetry artifacts. *)
+  let finish ~fill ~attribution ~print_results
+      (m : Datacutter.Engine.metrics) =
+    let open Datacutter in
+    (match backend with
+    | Runtime.Par ->
+        Fmt.pr "parallel run (%d domains): wall time %.4fs@."
+          (Array.fold_left ( + ) 0 widths)
+          m.Engine.elapsed_s
+    | Runtime.Proc ->
+        Fmt.pr "process run (%d filter copies): wall time %.4fs, %.0f \
+                bytes serialized@."
+          (Array.fold_left ( + ) 0 widths)
+          m.Engine.elapsed_s (Runtime.total_bytes m)
+    | Runtime.Sim ->
+        Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@."
+          m.Engine.elapsed_s (Runtime.total_bytes m));
+    Array.iteri
+      (fun s busy ->
+        Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
+          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+          busy
+          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+          m.Engine.stall_push_s.(s)
+          Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
+          m.Engine.stall_pop_s.(s))
+      m.Engine.busy_s;
+    report_recovery m.Engine.recovery;
+    print_results ();
+    let attribution = if report then attribution m else None in
+    (match attribution with
+    | Some r -> Fmt.pr "%a" Report.pp r
+    | None -> ());
+    (match openmetrics with
+    | Some path -> write_openmetrics path m
+    | None -> ());
+    (match mjson with
+    | None -> ()
+    | Some path ->
+        let doc = metrics_doc () in
+        fill doc;
+        Obs.Metrics.set_bool doc "ok" true;
+        Obs.Metrics.set doc "runtime" (Runtime.metrics_to_json m);
+        (match attribution with
+        | Some r -> Obs.Metrics.set doc "report" (Report.to_json r)
+        | None -> ());
+        write_metrics path doc);
+    `Ok ()
   in
-  let stage_batch = H.batch_plan c ~widths ~batch in
-  match
-    Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch topo
-  with
-  | Error err -> write_failure c err
-  | Ok m ->
-      let open Datacutter in
-      (match backend with
-      | Runtime.Par ->
-          Fmt.pr "parallel run (%d domains): wall time %.4fs@."
-            (Array.fold_left ( + ) 0 widths)
-            m.Engine.elapsed_s
-      | Runtime.Proc ->
-          Fmt.pr "process run (%d filter copies): wall time %.4fs, %.0f \
-                  bytes serialized@."
-            (Array.fold_left ( + ) 0 widths)
-            m.Engine.elapsed_s (Runtime.total_bytes m)
-      | Runtime.Sim ->
-          Fmt.pr "simulated run: makespan %.4fs, %.0f bytes moved@."
-            m.Engine.elapsed_s (Runtime.total_bytes m));
-      Array.iteri
-        (fun s busy ->
-          Fmt.pr "  stage %d: busy=[%a] stall_push=[%a] stall_pop=[%a]@." s
-            Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-            busy
-            Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-            m.Engine.stall_push_s.(s)
-            Fmt.(array ~sep:(any "; ") (fmt "%.4f"))
-            m.Engine.stall_pop_s.(s))
-        m.Engine.busy_s;
-      Fmt.pr "decomposition: %a@." Costmodel.pp_assignment c.Compile.assignment;
-      report_recovery m.Engine.recovery;
-      List.iter
-        (fun (name, v) ->
-          let s = Lang.Value.to_string v in
-          let s =
-            if String.length s > 200 then String.sub s 0 200 ^ "..." else s
-          in
-          Fmt.pr "  %s = %s@." name s)
-        (results ());
-      (match mjson with
-      | None -> ()
-      | Some path ->
-          let doc = metrics_doc () in
-          compile_metrics doc c;
-          Obs.Metrics.set_bool doc "ok" true;
-          Obs.Metrics.set doc "runtime" (Runtime.metrics_to_json m);
-          write_metrics path doc);
-      `Ok ()
+  with_trace trace @@ fun () ->
+  match target with
+  | TStreambench ->
+      (* The engine-level microbenchmark: no PipeLang source, so the
+         cost model is synthesized from its fixed per-item work and
+         item size instead of profiled. *)
+      if Array.length widths <> 3 then
+        `Error
+          ( false,
+            "streambench is a fixed 3-stage pipeline; give a 3-wide \
+             --config (e.g. 1-1-1)" )
+      else begin
+        let cfg = Apps.Streambench.tiny in
+        let topo, results =
+          Apps.Streambench.topology cfg ~widths
+            ~powers:(H.node_powers cluster widths)
+            ~bandwidths:(Array.make 2 cluster.H.bandwidth)
+            ~latency:cluster.H.latency ()
+        in
+        let profile =
+          {
+            Costmodel.task = [| cfg.Apps.Streambench.work; cfg.work; cfg.work |];
+            vol_out =
+              [|
+                float_of_int cfg.Apps.Streambench.item_bytes;
+                float_of_int cfg.item_bytes;
+                (* the sink's (count, checksum) result amortized *)
+                16.0 /. float_of_int cfg.items;
+              |];
+            packets = cfg.Apps.Streambench.items;
+          }
+        in
+        let fill doc =
+          Obs.Metrics.set_int doc "num_packets" cfg.Apps.Streambench.items
+        in
+        match
+          Datacutter.Runtime.run_result ~backend ~faults ~policy ~batch
+            ?metrics_interval_s topo
+        with
+        | Error err -> write_failure fill err
+        | Ok m ->
+            let n, sum = results () in
+            let exp_n, exp_sum = Apps.Streambench.expected cfg in
+            if (n, sum) <> (exp_n, exp_sum) && Datacutter.Fault.is_empty faults
+            then
+              `Error
+                ( false,
+                  Fmt.str
+                    "streambench sink saw (%d, %d), expected (%d, %d)" n sum
+                    exp_n exp_sum )
+            else
+              finish ~fill
+                ~attribution:(fun m ->
+                  Some
+                    (Report.make
+                       ~pipeline:(H.pipeline_for cluster widths)
+                       ~profile ~assignment:[| 1; 2; 3 |] ~metrics:m))
+                ~print_results:(fun () ->
+                  Fmt.pr "  sink: %d items, checksum %d@." n sum)
+                m
+      end
+  | TApp app ->
+      let a = load ~file ~app in
+      let c = H.compile ~cluster ~strategy ~widths a in
+      let topo, results =
+        Codegen.build_topology c.Compile.plan ~widths
+          ~powers:(H.node_powers cluster widths)
+          ~bandwidths:(Array.make (Array.length widths - 1) cluster.H.bandwidth)
+          ~latency:cluster.H.latency ()
+      in
+      let stage_batch = H.batch_plan c ~widths ~batch in
+      let fill doc = compile_metrics doc c in
+      (match
+         Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch
+           ?metrics_interval_s topo
+       with
+      | Error err -> write_failure fill err
+      | Ok m ->
+          finish ~fill
+            ~attribution:(fun m ->
+              Some
+                (Report.make ~pipeline:c.Compile.pipeline
+                   ~profile:c.Compile.profile.Profile.profile
+                   ~assignment:c.Compile.assignment ~metrics:m))
+            ~print_results:(fun () ->
+              Fmt.pr "decomposition: %a@." Costmodel.pp_assignment
+                c.Compile.assignment;
+              List.iter
+                (fun (name, v) ->
+                  let s = Lang.Value.to_string v in
+                  let s =
+                    if String.length s > 200 then String.sub s 0 200 ^ "..."
+                    else s
+                  in
+                  Fmt.pr "  %s = %s@." name s)
+                (results ()))
+            m)
 
 (* --- command line --- *)
 
@@ -413,6 +543,40 @@ let metrics_arg =
         ~doc:
           "Write machine-readable metrics JSON: predictions, per-segment \
            profile and (for run) the runtime's counters.")
+
+let interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "metrics-interval-ms" ] ~docv:"MS"
+        ~doc:
+          "Sample per-copy busy/stall seconds, queue occupancy and item \
+           rates every $(docv) milliseconds into a time-series ring \
+           (the metrics-JSON \"timeseries\" section and the \
+           $(b,--openmetrics) export). The simulator samples at fixed \
+           simulated times, so its series is deterministic; par and \
+           proc sample on the real clock.")
+
+let openmetrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "openmetrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the sampled time series as OpenMetrics/Prometheus text \
+           to $(docv). Implies a 50 ms sampling interval unless \
+           $(b,--metrics-interval-ms) is given.")
+
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Print the bottleneck attribution report after the run: \
+           per-stage utilization, the bottleneck stage, and predicted \
+           (cost-model) vs measured per-packet service time with the \
+           per-stage prediction error ($(b,analyze) is $(b,run) with \
+           this always on).")
 
 let backend_arg =
   Arg.(
@@ -535,23 +699,47 @@ let emit_cmd =
         $ (const (fun f a c s cl -> (f, a, c, s, cl))
           $ file_arg $ app_arg $ config_arg $ strategy_arg $ cluster_arg)))
 
+let target_arg =
+  Arg.(
+    value & opt target_conv (TApp Knn)
+    & info [ "app"; "a" ] ~docv:"APP"
+        ~doc:
+          "Bundled application: zbuffer, apix, knn, vmscope, kmeans, or \
+           the engine-level streambench microbenchmark.")
+
+(* run and analyze share every flag; analyze just forces the report. *)
+let run_term ~always_report =
+  Term.(
+    ret
+      (with_logs
+         (fun (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt), (iv, om, rp)) ->
+           run f a c s b p cl tr mj fl wd mr cb bt iv om
+             (rp || always_report))
+      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt iv om rp ->
+             (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt), (iv, om, rp)))
+        $ file_arg $ target_arg $ config_arg $ strategy_arg $ backend_arg
+        $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
+        $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg
+        $ interval_arg $ openmetrics_arg $ report_arg)))
+
 let run_cmd =
-  Cmd.v (Cmd.info "run" ~doc:"Compile and execute the pipeline")
-    Term.(
-      ret
-        (with_logs
-           (fun (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt)) ->
-             run f a c s b p cl tr mj fl wd mr cb bt)
-        $ (const (fun f a c s b p cl tr mj fl wd mr cb bt ->
-               (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt)))
-          $ file_arg $ app_arg $ config_arg $ strategy_arg $ backend_arg
-          $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
-          $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg)))
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute the pipeline")
+    (run_term ~always_report:false)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Execute the pipeline and attribute the bottleneck: per-stage \
+          utilization and predicted (cost-model) vs measured service \
+          time with per-stage prediction error")
+    (run_term ~always_report:true)
 
 let main =
   Cmd.group
     (Cmd.info "cgppc" ~version:"1.0.0"
        ~doc:"compiler for coarse-grained pipelined parallelism")
-    [ inspect_cmd; plan_cmd; emit_cmd; run_cmd ]
+    [ inspect_cmd; plan_cmd; emit_cmd; run_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,162 @@
+(* Predicted-vs-measured bottleneck attribution (see report.mli). *)
+
+type stage_row = {
+  sr_stage : int;
+  sr_name : string;
+  sr_width : int;
+  sr_items : int;
+  sr_busy_s : float;
+  sr_utilization : float;
+  sr_predicted_s : float;
+  sr_measured_s : float;
+  sr_error_pct : float option;
+}
+
+type t = {
+  elapsed_s : float;
+  packets : int;
+  rows : stage_row array;
+  predicted_bottleneck : int;
+  measured_bottleneck : int;
+  agree : bool;
+  predicted_link_s : float array;
+  link_bound : bool;
+}
+
+let argmax (f : int -> float) n =
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if f i > f !best then best := i
+  done;
+  !best
+
+let make ~pipeline ~profile ~assignment ~(metrics : Datacutter.Engine.metrics)
+    =
+  let open Datacutter in
+  let m = Costmodel.width_of pipeline in
+  if Array.length metrics.Engine.busy_s <> m then
+    invalid_arg
+      (Printf.sprintf
+         "Report.make: pipeline has %d units but the metrics record has %d \
+          stages"
+         m
+         (Array.length metrics.Engine.busy_s));
+  let st = Costmodel.stage_times pipeline profile assignment in
+  let elapsed = metrics.Engine.elapsed_s in
+  let sum_f = Array.fold_left ( +. ) 0.0 in
+  let sum_i = Array.fold_left ( + ) 0 in
+  let rows =
+    Array.init m (fun s ->
+        let width = Array.length metrics.Engine.busy_s.(s) in
+        let busy = sum_f metrics.Engine.busy_s.(s) in
+        let items = sum_i metrics.Engine.items.(s) in
+        let predicted = st.Costmodel.unit_time.(s) in
+        let measured =
+          if items = 0 || width = 0 then 0.0
+          else busy /. float_of_int items /. float_of_int width
+        in
+        let error_pct =
+          if predicted > 0.0 && items > 0 then
+            Some ((measured -. predicted) /. predicted *. 100.0)
+          else None
+        in
+        {
+          sr_stage = s;
+          sr_name = metrics.Engine.stage_names.(s);
+          sr_width = width;
+          sr_items = items;
+          sr_busy_s = busy;
+          sr_utilization =
+            (if elapsed > 0.0 && width > 0 then
+               busy /. (float_of_int width *. elapsed)
+             else 0.0);
+          sr_predicted_s = predicted;
+          sr_measured_s = measured;
+          sr_error_pct = error_pct;
+        })
+  in
+  let predicted_bottleneck = argmax (fun s -> st.Costmodel.unit_time.(s)) m in
+  let measured_bottleneck = argmax (fun s -> rows.(s).sr_utilization) m in
+  let max_unit = st.Costmodel.unit_time.(predicted_bottleneck) in
+  let max_link = Array.fold_left Float.max 0.0 st.Costmodel.link_time in
+  {
+    elapsed_s = elapsed;
+    packets = profile.Costmodel.packets;
+    rows;
+    predicted_bottleneck;
+    measured_bottleneck;
+    agree = predicted_bottleneck = measured_bottleneck;
+    predicted_link_s = st.Costmodel.link_time;
+    link_bound = max_link > max_unit;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "bottleneck attribution (%d packets, elapsed %.4fs):@\n"
+    t.packets t.elapsed_s;
+  Fmt.pf ppf "  %-5s %-12s %5s %7s %7s %14s %14s %9s@\n" "stage" "name"
+    "width" "items" "util%" "predicted(s/p)" "measured(s/p)" "err%";
+  Array.iter
+    (fun r ->
+      Fmt.pf ppf "  %-5d %-12s %5d %7d %6.1f%% %14.3e %14.3e %9s@\n"
+        r.sr_stage r.sr_name r.sr_width r.sr_items
+        (r.sr_utilization *. 100.0)
+        r.sr_predicted_s r.sr_measured_s
+        (match r.sr_error_pct with
+        | Some e -> Fmt.str "%+.1f%%" e
+        | None -> "-"))
+    t.rows;
+  Array.iteri
+    (fun i lt -> Fmt.pf ppf "  link %d->%d: predicted %.3es/packet@\n" i (i + 1) lt)
+    t.predicted_link_s;
+  let name s = t.rows.(s).sr_name in
+  if t.agree then
+    Fmt.pf ppf
+      "  bottleneck: stage %d (%s) — cost model and measurement agree@\n"
+      t.measured_bottleneck
+      (name t.measured_bottleneck)
+  else
+    Fmt.pf ppf
+      "  bottleneck: predicted stage %d (%s), measured stage %d (%s) — \
+       see the per-stage prediction error above@\n"
+      t.predicted_bottleneck
+      (name t.predicted_bottleneck)
+      t.measured_bottleneck
+      (name t.measured_bottleneck);
+  if t.link_bound then
+    Fmt.pf ppf
+      "  note: the model predicts a link outweighs every computing stage \
+       (communication-bound)@\n"
+
+let to_json t =
+  let module J = Obs.Json in
+  let row r =
+    J.Obj
+      ([
+         ("stage", J.Int r.sr_stage);
+         ("name", J.Str r.sr_name);
+         ("width", J.Int r.sr_width);
+         ("items", J.Int r.sr_items);
+         ("busy_s", J.Float r.sr_busy_s);
+         ("utilization", J.Float r.sr_utilization);
+         ("predicted_service_s", J.Float r.sr_predicted_s);
+         ("measured_service_s", J.Float r.sr_measured_s);
+       ]
+      @
+      match r.sr_error_pct with
+      | Some e -> [ ("error_pct", J.Float e) ]
+      | None -> [])
+  in
+  J.Obj
+    [
+      ("elapsed_s", J.Float t.elapsed_s);
+      ("packets", J.Int t.packets);
+      ("stages", J.List (Array.to_list (Array.map row t.rows)));
+      ( "predicted_link_s",
+        J.List
+          (Array.to_list (Array.map (fun f -> J.Float f) t.predicted_link_s))
+      );
+      ("predicted_bottleneck", J.Int t.predicted_bottleneck);
+      ("measured_bottleneck", J.Int t.measured_bottleneck);
+      ("agree", J.Bool t.agree);
+      ("link_bound", J.Bool t.link_bound);
+    ]

@@ -1,0 +1,58 @@
+(** Bottleneck attribution: the cost model's per-stage predictions
+    tabulated against a run's measured metrics.
+
+    The paper validates its decomposition DP by comparing predicted
+    per-filter times against measured ones (§6); this module computes
+    that comparison from a {!Costmodel.stage_times} prediction and an
+    {!Datacutter.Engine.metrics} record, names the bottleneck stage
+    both sides believe in, and quantifies the per-stage prediction
+    error — the feedback signal adaptive re-decomposition consumes.
+
+    Conventions: the cost model's unit [s] aggregates the whole stage
+    (its power is the per-copy power times the width), so the measured
+    per-packet service time is normalized the same way:
+    [busy / items / width].  Utilization is [busy / (width * elapsed)],
+    the fraction of the run each stage's copies spent computing. *)
+
+type stage_row = {
+  sr_stage : int;
+  sr_name : string;             (** stage name from the metrics record *)
+  sr_width : int;               (** copies *)
+  sr_items : int;               (** packets processed, summed over copies *)
+  sr_busy_s : float;            (** busy seconds, summed over copies *)
+  sr_utilization : float;       (** busy / (width * elapsed) *)
+  sr_predicted_s : float;       (** cost model: per-packet aggregate time *)
+  sr_measured_s : float;        (** busy / items / width (0 when idle) *)
+  sr_error_pct : float option;
+      (** (measured - predicted) / predicted, as a percentage; [None]
+          when the prediction is 0 or the stage saw no packets *)
+}
+
+type t = {
+  elapsed_s : float;
+  packets : int;
+  rows : stage_row array;       (** one per pipeline stage, in order *)
+  predicted_bottleneck : int;   (** argmax of predicted stage time *)
+  measured_bottleneck : int;    (** argmax of measured utilization *)
+  agree : bool;                 (** the two argmaxes coincide *)
+  predicted_link_s : float array;
+      (** per-packet predicted link times; a link can out-bottleneck
+          every computing stage (communication-bound pipelines) *)
+  link_bound : bool;
+      (** the model predicts a link, not a stage, limits throughput *)
+}
+
+val make :
+  pipeline:Costmodel.pipeline ->
+  profile:Costmodel.profile ->
+  assignment:Costmodel.assignment ->
+  metrics:Datacutter.Engine.metrics ->
+  t
+(** @raise Invalid_argument when the pipeline's unit count differs from
+    the metrics record's stage count. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table plus the bottleneck verdict. *)
+
+val to_json : t -> Obs.Json.t
+(** Machine-readable form (the metrics-JSON ["report"] section). *)

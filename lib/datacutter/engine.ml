@@ -585,6 +585,99 @@ let watchdog_loop t ~ms =
   in
   loop ()
 
+(* --- time-series sampler --- *)
+
+(* Periodic snapshots of the accounting grids into an [Obs.Timeseries]
+   ring.  One sampler per run; samples are taken either inline by the
+   simulator's event loop at exact virtual times ([sampler_advance]) or
+   by a dedicated monitor domain on the real clock ([sampler_loop], the
+   watchdog pattern).  Reads of the grids from the monitor domain are
+   racy-but-benign, exactly like the watchdog's [copy_report]: each
+   cell has a single writer and a torn read only skews one sample. *)
+
+let sample_metrics = [ "busy_s"; "stall_pop_s"; "stall_push_s"; "queue_len"; "items_per_s" ]
+
+type sampler = {
+  smp_series : Obs.Timeseries.t;
+  smp_interval : float;
+  mutable smp_next_at : float;  (* executor-clock time of the next sample *)
+  mutable smp_last_ts : float;
+  smp_prev_items : int array array;  (* items grid at the last sample *)
+}
+
+let sampler_create ?capacity t ~interval_s =
+  if interval_s <= 0.0 then invalid_arg "Engine.sampler_create: interval <= 0";
+  let columns =
+    Array.of_list
+      (List.concat
+         (List.init t.n_stages (fun s ->
+              List.concat
+                (List.init (width t s) (fun k ->
+                     let lbl = Topology.copy_label t.topo ~stage:s ~copy:k in
+                     List.map (fun m -> lbl ^ ":" ^ m) sample_metrics)))))
+  in
+  let t0 = (executor t).exec_now () in
+  {
+    smp_series =
+      Obs.Timeseries.create ?capacity ~interval_s ~columns ();
+    smp_interval = interval_s;
+    smp_next_at = t0 +. interval_s;
+    smp_last_ts = t0;
+    smp_prev_items = Array.map Array.copy t.items_grid;
+  }
+
+let sampler_series smp = smp.smp_series
+
+let sampler_take smp t ~ts =
+  let exec = executor t in
+  let dt = ts -. smp.smp_last_ts in
+  let vals = Array.make (Array.length (Obs.Timeseries.columns smp.smp_series)) 0.0 in
+  let j = ref 0 in
+  for s = 0 to t.n_stages - 1 do
+    for k = 0 to width t s - 1 do
+      let items = t.items_grid.(s).(k) in
+      vals.(!j) <- t.busy.(s).(k);
+      vals.(!j + 1) <- t.stall_pop.(s).(k);
+      vals.(!j + 2) <- t.stall_push.(s).(k);
+      vals.(!j + 3) <- float_of_int (exec.exec_queue_len ~stage:s ~copy:k);
+      vals.(!j + 4) <-
+        (if dt > 0.0 then
+           float_of_int (items - smp.smp_prev_items.(s).(k)) /. dt
+         else 0.0);
+      smp.smp_prev_items.(s).(k) <- items;
+      j := !j + List.length sample_metrics
+    done
+  done;
+  Obs.Timeseries.sample smp.smp_series ~ts vals;
+  smp.smp_last_ts <- ts;
+  while smp.smp_next_at <= ts do
+    smp.smp_next_at <- smp.smp_next_at +. smp.smp_interval
+  done
+
+(* Simulator: emit every sample scheduled at or before virtual time
+   [upto], each stamped at its exact scheduled time — deterministic
+   because the event loop is single-threaded and calls this before
+   handling the event that advances past the sample point. *)
+let sampler_advance smp t ~upto =
+  while smp.smp_next_at <= upto do
+    sampler_take smp t ~ts:smp.smp_next_at
+  done
+
+(* Real-time backends: poll from a dedicated monitor domain. *)
+let sampler_loop t smp =
+  let exec = executor t in
+  let tick = Float.max 0.001 (Float.min 0.05 (smp.smp_interval /. 4.0)) in
+  let rec loop () =
+    if aborting t || all_exited t then ()
+    else begin
+      exec.exec_sleep tick;
+      let now = exec.exec_now () in
+      if now >= smp.smp_next_at then sampler_take smp t ~ts:now;
+      loop ()
+    end
+  in
+  loop ()
+
 (* --- backend utilities --- *)
 
 module Ring = struct
@@ -692,10 +785,14 @@ type metrics = {
   link_stats : link_metrics array option;
   batch_plan : int array;
   batch_out : Obs.Hist.t array array;
+  timeseries : Obs.Timeseries.t option;
+  extra : (string * Obs.Json.t) list;
+  copies : Supervisor.copy_report list;
   recovery : Supervisor.recovery;
 }
 
-let metrics t ~elapsed_s ?queue_occupancy ?link_stats () =
+let metrics t ~elapsed_s ?queue_occupancy ?link_stats ?timeseries
+    ?(extra = []) () =
   {
     backend = (executor t).exec_backend;
     elapsed_s;
@@ -711,6 +808,9 @@ let metrics t ~elapsed_s ?queue_occupancy ?link_stats () =
     link_stats;
     batch_plan = t.send_batch;
     batch_out = t.batch_hist;
+    timeseries;
+    extra;
+    copies = copy_report t;
     recovery = t.rec_counters;
   }
 
@@ -793,8 +893,18 @@ let metrics_to_json m =
                     ls)) );
         ]
   in
+  let timeseries =
+    match m.timeseries with
+    | None -> []
+    | Some ts -> [ ("timeseries", Obs.Timeseries.to_json ts) ]
+  in
   Obs.Json.Obj
-    (base @ links @ [ ("recovery", Supervisor.recovery_to_json m.recovery) ])
+    (base @ links @ timeseries @ m.extra
+    @ [
+        ( "copies",
+          Obs.Json.List (List.map Supervisor.copy_report_to_json m.copies) );
+        ("recovery", Supervisor.recovery_to_json m.recovery);
+      ])
 
 let pp_metrics ppf m =
   Fmt.pf ppf "%s: elapsed=%.6fs@\n" (backend_name m.backend) m.elapsed_s;

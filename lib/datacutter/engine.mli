@@ -267,6 +267,33 @@ val copy_report :
     {!all_exited}; call from a dedicated monitor domain. *)
 val watchdog_loop : t -> ms:int -> unit
 
+(** {2 Time-series sampler}
+
+    Periodic snapshots of the accounting grids — per-copy busy/stall
+    seconds, live queue length and items/s since the previous sample —
+    into an {!Obs.Timeseries} ring.  The simulator advances the sampler
+    inline at exact virtual times (deterministic); real-time backends
+    poll it from a dedicated monitor domain (the watchdog pattern).
+    Cross-domain grid reads are racy-but-benign: one writer per cell, a
+    torn read only skews one sample. *)
+
+type sampler
+
+(** Column names follow ["<copy_label>:<metric>"] with metrics
+    [busy_s], [stall_pop_s], [stall_push_s], [queue_len],
+    [items_per_s]. *)
+val sampler_create : ?capacity:int -> t -> interval_s:float -> sampler
+
+val sampler_series : sampler -> Obs.Timeseries.t
+
+(** Simulator hook: emit every sample scheduled at or before virtual
+    time [upto], each stamped at its exact scheduled time. *)
+val sampler_advance : sampler -> t -> upto:float -> unit
+
+(** Real-time hook: poll on the executor clock until abort or
+    {!all_exited}; run from a dedicated monitor domain. *)
+val sampler_loop : t -> sampler -> unit
+
 (** {2 Utilities for backends} *)
 
 (** Retention ring: the last [retention] acknowledged inputs of a copy,
@@ -322,6 +349,16 @@ type metrics = {
   batch_plan : int array;           (** per-stage outgoing batch caps *)
   batch_out : Obs.Hist.t array array;
       (** flushed batch sizes per copy (all 1.0 at B = 1) *)
+  timeseries : Obs.Timeseries.t option;
+      (** sampled series when a sampler ran (["timeseries"] section) *)
+  extra : (string * Obs.Json.t) list;
+      (** backend-specific extra JSON sections (e.g. the proc
+          backend's ["workers"]) *)
+  copies : Supervisor.copy_report list;
+      (** end-of-run snapshot of every copy — the same per-copy report
+          the watchdog prints on a stall, serialized as the metrics
+          ["copies"] section so lifecycle evidence is machine-readable
+          on successful runs too *)
   recovery : Supervisor.recovery;
 }
 
@@ -331,6 +368,8 @@ val metrics :
   elapsed_s:float ->
   ?queue_occupancy:Obs.Hist.t array array ->
   ?link_stats:link_metrics array ->
+  ?timeseries:Obs.Timeseries.t ->
+  ?extra:(string * Obs.Json.t) list ->
   unit ->
   metrics
 

@@ -11,7 +11,8 @@
 type msg = It of Engine.item | Release
 
 let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+    ?metrics_interval_s (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
   match Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch topo with
   | Error e -> Error e
   | Ok eng ->
@@ -343,6 +344,13 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
         Some (Domain.spawn (fun () -> Engine.watchdog_loop eng ~ms))
     | _ -> None
   in
+  let sampler =
+    match metrics_interval_s with
+    | Some iv when iv > 0.0 ->
+        let smp = Engine.sampler_create eng ~interval_s:iv in
+        Some (smp, Domain.spawn (fun () -> Engine.sampler_loop eng smp))
+    | _ -> None
+  in
   (* Join copies.  Once the run is aborting, a copy stuck inside filter
      code cannot be interrupted: poll its exit flag for a grace period
      and leak the domain rather than hang the caller forever. *)
@@ -371,6 +379,7 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
   in
   List.iter join_copy domains;
   (match watchdog with Some d -> Domain.join d | None -> ());
+  (match sampler with Some (_, d) -> Domain.join d | None -> ());
   let wall_time = Obs.Clock.elapsed_s () -. t0 in
   match Engine.abort_error eng with
   | Some e -> Error e
@@ -378,4 +387,6 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       Ok
         (Engine.metrics eng ~elapsed_s:wall_time
            ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+           ?timeseries:
+             (Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
            ())

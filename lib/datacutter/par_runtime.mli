@@ -26,5 +26,9 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
+(** [metrics_interval_s] runs an {!Engine.sampler_loop} monitor domain
+    sampling the accounting grids on the real clock and fills
+    [metrics.timeseries]. *)

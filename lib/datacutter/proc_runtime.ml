@@ -57,6 +57,71 @@ type handle = {
    channel buffers. *)
 let worker_main eng (cs : Engine.copy) fd : unit =
   let inst = ref `None in
+  (* Local telemetry: spans + cumulative counters recorded around each
+     callback, shipped as [Wire.Telemetry] frames at flush points and
+     immediately before Finalize/Src_finalize/Crashed responses (a
+     crash response is the last frame before the parent SIGKILLs this
+     worker, so the failing call's span still ships).  Enablement is
+     inherited at fork (tracing is turned on before the run), and so is
+     [Obs.Clock]'s t0, so timestamps share the parent's axis.  The
+     shared Trace DLS buffer is deliberately NOT used: it was inherited
+     from the parent and appending there would duplicate parent events
+     on ship. *)
+  let telem = Obs.Trace.is_enabled () in
+  let my_pid = Unix.getpid () in
+  let tid =
+    Topology.copy_tid (Engine.topology eng) ~stage:cs.Engine.stage
+      ~copy:cs.Engine.index
+  in
+  let pending = ref [] in
+  let n_pending = ref 0 in
+  let busy = ref 0.0 in
+  let calls = ref 0 in
+  let flush_every = 32 in
+  let flush_telemetry ?(best_effort = false) ~force () =
+    if telem && !n_pending > 0 && (force || !n_pending >= flush_every) then begin
+      let t =
+        {
+          Wire.w_pid = my_pid;
+          w_spans = List.rev !pending;
+          w_counters =
+            [ ("busy_s", !busy); ("calls", float_of_int !calls) ];
+        }
+      in
+      pending := [];
+      n_pending := 0;
+      try Wire.write_msg fd (Wire.Telemetry t)
+      with _ -> if not best_effort then Unix._exit 1
+    end
+  in
+  let record name f =
+    if not telem then f ()
+    else begin
+      let t0 = Obs.Clock.elapsed_s () in
+      let fin () =
+        let dur = Obs.Clock.elapsed_s () -. t0 in
+        busy := !busy +. dur;
+        incr calls;
+        pending :=
+          {
+            Wire.s_name = name;
+            s_cat = "proc-worker";
+            s_ts = t0;
+            s_dur = dur;
+            s_tid = tid;
+          }
+          :: !pending;
+        incr n_pending
+      in
+      match f () with
+      | r ->
+          fin ();
+          r
+      | exception e ->
+          fin ();
+          raise e
+    end
+  in
   let handle req =
     match req with
     | Wire.Init -> (
@@ -128,17 +193,45 @@ let worker_main eng (cs : Engine.copy) fd : unit =
             let out, _ = s.Filter.src_finalize () in
             Wire.Out (Option.map (fun b -> Engine.Final b) out)
         | _ -> Wire.Crashed "worker has no source instance")
-    | Wire.Exit | Wire.Out _ | Wire.Outs _ | Wire.Done | Wire.Crashed _ ->
+    | Wire.Exit | Wire.Out _ | Wire.Outs _ | Wire.Done | Wire.Crashed _
+    | Wire.Telemetry _ ->
         Wire.Crashed "unexpected frame in worker"
+  in
+  (* Wrap real callback requests in a recorded span; markers and
+     protocol frames are not callbacks. *)
+  let span_name = function
+    | Wire.Init -> Some "init"
+    | Wire.Item (Engine.Data _) -> Some "process"
+    | Wire.Item (Engine.Final _) -> Some "on_eos"
+    | Wire.Batch _ -> Some "process_batch"
+    | Wire.Finalize -> Some "finalize"
+    | Wire.Next -> Some "produce"
+    | Wire.Src_finalize -> Some "src_finalize"
+    | _ -> None
   in
   let scratch = ref (Bytes.create 256) in
   let rec loop () =
     match (try Wire.read_msg ~scratch fd with _ -> None) with
-    | None | Some Wire.Exit -> Unix._exit 0
+    | None | Some Wire.Exit ->
+        (* The parent usually closed its end already; shipping the tail
+           is best-effort. *)
+        flush_telemetry ~best_effort:true ~force:true ();
+        Unix._exit 0
     | Some req ->
         let resp =
-          try handle req with e -> Wire.Crashed (Printexc.to_string e)
+          try
+            match span_name req with
+            | Some name -> record name (fun () -> handle req)
+            | None -> handle req
+          with e -> Wire.Crashed (Printexc.to_string e)
         in
+        let force =
+          match (req, resp) with
+          | (Wire.Finalize | Wire.Src_finalize), _ -> true
+          | _, Wire.Crashed _ -> true
+          | _ -> false
+        in
+        flush_telemetry ~force ();
         (try Wire.write_msg fd resp with _ -> Unix._exit 1);
         loop ()
   in
@@ -187,11 +280,14 @@ let shutdown_worker label (w : worker) =
   in
   reap ()
 
-(* One request/response round trip.  Any transport-level failure —
-   the child died (EOF, EPIPE), sent a malformed frame, or an
-   out-of-protocol response — reaps the worker and surfaces as
+(* One request/response round trip.  Unsolicited [Telemetry] frames
+   the worker shipped ahead of its response are absorbed (handed to
+   [absorb]) until the real response arrives.  Any transport-level
+   failure — the child died (EOF, EPIPE), sent a malformed frame, or
+   an out-of-protocol response — reaps the worker and surfaces as
    [Remote_crash] for the supervisor. *)
-let rpc label (h : handle) (req : Wire.msg) : Wire.msg =
+let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
+    (req : Wire.msg) : Wire.msg =
   match h.active with
   | None -> raise (Remote_crash "worker is dead")
   | Some w -> (
@@ -200,14 +296,22 @@ let rpc label (h : handle) (req : Wire.msg) : Wire.msg =
         reap_worker label w;
         raise (Remote_crash msg)
       in
+      let rec read_resp () =
+        match Wire.read_msg ~scratch:h.scratch w.fd with
+        | Some (Wire.Telemetry t) ->
+            absorb t;
+            read_resp ()
+        | Some (Wire.Crashed msg) -> raise (Remote_crash msg)
+        | Some ((Wire.Out _ | Wire.Outs _ | Wire.Done) as resp) -> resp
+        | Some _ -> fail "out-of-protocol response from worker"
+        | None -> fail "worker exited unexpectedly"
+      in
       match
         Wire.write_msg w.fd req;
-        Wire.read_msg ~scratch:h.scratch w.fd
+        read_resp ()
       with
-      | Some (Wire.Crashed msg) -> raise (Remote_crash msg)
-      | Some ((Wire.Out _ | Wire.Outs _ | Wire.Done) as resp) -> resp
-      | Some _ -> fail "out-of-protocol response from worker"
-      | None -> fail "worker exited unexpectedly"
+      | resp -> resp
+      | exception Remote_crash msg -> raise (Remote_crash msg)
       | exception Unix.Unix_error (e, _, _) ->
           fail ("worker i/o error: " ^ Unix.error_message e)
       | exception Wire.Protocol_error msg ->
@@ -216,7 +320,8 @@ let rpc label (h : handle) (req : Wire.msg) : Wire.msg =
 (* --- the run --------------------------------------------------------- *)
 
 let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+    ?metrics_interval_s (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else
@@ -228,6 +333,34 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
   let stop = Engine.stop_flag eng in
   let stages = Array.of_list topo.Topology.stages in
   let label s k = Topology.copy_label topo ~stage:s ~copy:k in
+  (* Worker-shipped telemetry: spans merge into the process-wide trace
+     under the worker's real pid; the latest cumulative counters per
+     pid feed the metrics "workers" section.  [rpc] calls absorb from
+     every driver domain, hence the lock around the counter table. *)
+  let telem_lock = Mutex.create () in
+  let worker_counters : (int, (string * float) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let pid_copy : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let absorb (t : Wire.telemetry) =
+    Obs.Trace.emit_shipped ~pid:t.Wire.w_pid
+      (List.map
+         (fun (s : Wire.span) ->
+           Obs.Trace.Span
+             {
+               name = s.Wire.s_name;
+               cat = s.Wire.s_cat;
+               ts = s.Wire.s_ts;
+               dur = s.Wire.s_dur;
+               tid = s.Wire.s_tid;
+               args = [];
+             })
+         t.Wire.w_spans);
+    Mutex.lock telem_lock;
+    Hashtbl.replace worker_counters t.Wire.w_pid t.Wire.w_counters;
+    Mutex.unlock telem_lock
+  in
+  let rpc lbl h req = rpc ~absorb lbl h req in
   (* A dead child turns writes into EPIPE errors (handled in [rpc])
      rather than a fatal signal. *)
   let prev_sigpipe =
@@ -297,6 +430,11 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
         (try Unix.close child_fd with Unix.Unix_error _ -> ());
         all_parent_fds := parent_fd :: !all_parent_fds;
         all_pids := pid :: !all_pids;
+        Hashtbl.replace pid_copy pid (cs.Engine.stage, cs.Engine.index);
+        if Obs.Trace.is_enabled () then
+          Obs.Trace.name_process ~pid
+            (Printf.sprintf "cgpp worker %s"
+               (label cs.Engine.stage cs.Engine.index));
         { pid; fd = parent_fd }
   in
   let handles_or_err =
@@ -792,6 +930,13 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
         Some (Domain.spawn (fun () -> Engine.watchdog_loop eng ~ms))
     | _ -> None
   in
+  let sampler =
+    match metrics_interval_s with
+    | Some iv when iv > 0.0 ->
+        let smp = Engine.sampler_create eng ~interval_s:iv in
+        Some (smp, Domain.spawn (fun () -> Engine.sampler_loop eng smp))
+    | _ -> None
+  in
   let join_copy (s, k, d) =
     let cs = Engine.copy_at eng ~stage:s ~copy:k in
     let rec wait deadline =
@@ -815,6 +960,7 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
   in
   List.iter join_copy domains;
   (match watchdog with Some d -> Domain.join d | None -> ());
+  (match sampler with Some (_, d) -> Domain.join d | None -> ());
   (* Graceful queue close: leaked stuck copies (abort path) wake with
      [Closed] instead of blocking forever once their worker dies. *)
   Array.iter (Array.iter Bqueue.close) queues;
@@ -840,10 +986,61 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
   | Some b -> (try Sys.set_signal Sys.sigpipe b with Invalid_argument _ | Sys_error _ -> ())
   | None -> ());
   let wall_time = Obs.Clock.elapsed_s () -. t0 in
+  (* Per-copy rollup of the workers' final cumulative counters: worker
+     pids, busy seconds measured inside the children and callback
+     counts.  Only present when workers actually shipped telemetry. *)
+  let workers_section () =
+    let per_copy : (int * int, float * float * int list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    Hashtbl.iter
+      (fun pid counters ->
+        match Hashtbl.find_opt pid_copy pid with
+        | None -> ()
+        | Some key ->
+            let get name =
+              match List.assoc_opt name counters with
+              | Some v -> v
+              | None -> 0.0
+            in
+            let b0, c0, pids =
+              Option.value ~default:(0.0, 0.0, [])
+                (Hashtbl.find_opt per_copy key)
+            in
+            Hashtbl.replace per_copy key
+              (b0 +. get "busy_s", c0 +. get "calls", pid :: pids))
+      worker_counters;
+    if Hashtbl.length per_copy = 0 then []
+    else begin
+      let entries = ref [] in
+      for s = n_stages - 1 downto 0 do
+        for k = Engine.width eng s - 1 downto 0 do
+          match Hashtbl.find_opt per_copy (s, k) with
+          | None -> ()
+          | Some (busy, calls, pids) ->
+              entries :=
+                ( label s k,
+                  Obs.Json.Obj
+                    [
+                      ("busy_s", Obs.Json.Float busy);
+                      ("calls", Obs.Json.Int (int_of_float calls));
+                      ( "pids",
+                        Obs.Json.List
+                          (List.map
+                             (fun p -> Obs.Json.Int p)
+                             (List.sort compare pids)) );
+                    ] )
+                :: !entries
+        done
+      done;
+      [ ("workers", Obs.Json.Obj !entries) ]
+    end
+  in
   match Engine.abort_error eng with
   | Some e -> Error e
   | None ->
       Ok
         (Engine.metrics eng ~elapsed_s:wall_time
            ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
-           ())
+           ?timeseries:(Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
+           ~extra:(workers_section ()) ())

@@ -26,8 +26,14 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run to completion; [Error (Unsupported _)] when {!available} is
     [false].  Metrics match {!Par_runtime}'s shape ([queue_occupancy]
-    populated, no [link_stats]); [elapsed_s] is wall time. *)
+    populated, no [link_stats]); [elapsed_s] is wall time.
+    [metrics_interval_s] runs an {!Engine.sampler_loop} monitor domain
+    and fills [metrics.timeseries].  When tracing is enabled the
+    workers ship their callback spans and counters back over the wire
+    ({!Wire.Telemetry}): the trace covers worker pids and the metrics
+    carry a per-copy ["workers"] rollup. *)

@@ -30,9 +30,17 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run the pipeline to completion on [backend] (default {!Sim}).
+
+    [metrics_interval_s] turns on the engine's time-series sampler:
+    per-copy busy/stall/queue/items-per-second snapshots every interval
+    into [metrics.timeseries] (the metrics JSON ["timeseries"]
+    section).  The simulator samples at fixed {e virtual} times —
+    deterministic; Par and Proc sample on the real clock from a monitor
+    domain.
     [queue_capacity] bounds the per-copy stream queues and applies to
     {!Par} and {!Proc} (the simulator's queues are unbounded; passing
     it with {!Sim} is accepted and ignored, except that

@@ -28,7 +28,8 @@ type event =
 exception Sim_abort of Supervisor.run_error
 
 let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
-    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+    ?metrics_interval_s (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
   match Engine.create ~faults ?policy ?batch ?stage_batch topo with
   | Error e -> Error e
   | Ok eng ->
@@ -176,6 +177,15 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
       exec_queue_len =
         (fun ~stage ~copy -> Queue.length copies.(stage).(copy).queue);
       exec_wake = (fun () -> ()) };
+
+  (* Virtual-time sampler: advanced by the event loop before each event
+     is handled, so every sample lands at its exact scheduled virtual
+     time — sim timeseries are fully deterministic. *)
+  let sampler =
+    match metrics_interval_s with
+    | Some iv when iv > 0.0 -> Some (Engine.sampler_create eng ~interval_s:iv)
+    | _ -> None
+  in
 
   let ok = function Ok () -> () | Error e -> raise (Sim_abort e) in
   let send t c it = now := t; ok (Engine.send_downstream eng c.cs it) in
@@ -364,9 +374,20 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
     let rec loop () =
       match Timeline.pop heap with
       | None -> ()
-      | Some (t, ev) -> now := t; handle t ev; loop ()
+      | Some (t, ev) ->
+          (match sampler with
+          | Some smp -> Engine.sampler_advance smp eng ~upto:t
+          | None -> ());
+          now := t;
+          handle t ev;
+          loop ()
     in
     loop ();
+    (* Emit the samples scheduled between the last event and the
+       makespan so the series covers the whole run. *)
+    (match sampler with
+    | Some smp -> Engine.sampler_advance smp eng ~upto:!makespan
+    | None -> ());
     (* A drained heap with unfinished copies is a wedged topology (a
        marker deficit cannot resolve itself): mirror the watchdog. *)
     if Array.exists (Array.exists (fun c -> not c.finished)) copies then begin
@@ -387,12 +408,19 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
            (Supervisor.Stalled
               { after_s = !makespan; report = Engine.copy_report ~state_of eng }))
     end;
+    (* Truthful end-of-run lifecycle for the metrics ["copies"] section:
+       the simulator does not drive the engine's lifecycle atomics
+       during the run (no watchdog here), so mark completion now. *)
+    Array.iter
+      (Array.iter (fun c ->
+           if c.finished then Engine.set_lifecycle c.cs Engine.st_done))
+      copies;
     Engine.metrics eng ~elapsed_s:!makespan
       ~link_stats:
         (Array.init n_links (fun i ->
              { Engine.lm_bytes = link_bytes.(i);
                lm_transfers = link_transfers.(i);
                lm_busy = link_busy.(i); lm_wait = link_wait.(i) }))
-      ()
+      ?timeseries:(Option.map Engine.sampler_series sampler) ()
   in
   match simulate () with m -> Ok m | exception Sim_abort e -> Error e

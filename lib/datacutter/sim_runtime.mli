@@ -24,5 +24,9 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
+(** [metrics_interval_s] samples the accounting grids at fixed
+    {e virtual} times — the resulting [metrics.timeseries] is
+    deterministic for a given topology and seed. *)

@@ -63,6 +63,11 @@ type copy_report = {
   cr_queue_len : int;
 }
 
+val copy_report_to_json : copy_report -> Obs.Json.t
+(** One JSON object per copy — the machine-readable form of the
+    watchdog's stall report, also embedded per-run as the metrics
+    ["copies"] section. *)
+
 type run_error =
   | Invalid_topology of string
   | Stage_dead of { stage : int; stage_name : string; error : string }

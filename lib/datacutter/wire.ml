@@ -26,6 +26,24 @@ exception Protocol_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
+(* One callback span recorded inside a worker: enough to rebuild an
+   [Obs.Trace.Span] in the parent with the worker's pid attached. *)
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_ts : float;  (* seconds on the shared Clock axis (t0 pre-fork) *)
+  s_dur : float;
+  s_tid : int;   (* the copy's stable Topology tid *)
+}
+
+(* A worker's local telemetry: shipped at flush points and before
+   orderly exit, merged by the parent into the process-wide trace. *)
+type telemetry = {
+  w_pid : int;
+  w_spans : span list;
+  w_counters : (string * float) list;  (* cumulative, e.g. busy_s *)
+}
+
 (* Requests (parent -> worker) and responses (worker -> parent). *)
 type msg =
   | Init  (** (re)instantiate the filter and run [init] *)
@@ -43,6 +61,10 @@ type msg =
           then cover exactly the successful prefix *)
   | Done  (** acknowledgement with no emission (Init, Exit, Marker) *)
   | Crashed of string  (** the callback raised; payload is the message *)
+  | Telemetry of telemetry
+      (** unsolicited worker -> parent frame, sent immediately before a
+          response at flush points; the parent's rpc loop absorbs any
+          number of these while waiting for the real response *)
 
 (* An 8 MiB frame comfortably holds any benchmark buffer while keeping
    a corrupt length header from allocating gigabytes. *)
@@ -63,6 +85,7 @@ let tag_of_msg = function
   | Outs _ -> 'P'
   | Done -> 'K'
   | Crashed _ -> 'C'
+  | Telemetry _ -> 'T'
 
 let add_buffer buf (b : Filter.buffer) =
   Wirefmt.buf_add_int buf b.Filter.packet;
@@ -110,6 +133,43 @@ let read_counted what r read_one =
   if n < 0 || n > max_frame then fail "bad %s count %d" what n;
   List.init n (fun _ -> read_one r)
 
+let add_span buf s =
+  Wirefmt.buf_add_string buf s.s_name;
+  Wirefmt.buf_add_string buf s.s_cat;
+  Wirefmt.buf_add_float buf s.s_ts;
+  Wirefmt.buf_add_float buf s.s_dur;
+  Wirefmt.buf_add_int buf s.s_tid
+
+let read_span r =
+  let s_name = Wirefmt.read_string r in
+  let s_cat = Wirefmt.read_string r in
+  let s_ts = Wirefmt.read_float r in
+  let s_dur = Wirefmt.read_float r in
+  let s_tid = Wirefmt.read_int r in
+  { s_name; s_cat; s_ts; s_dur; s_tid }
+
+let add_telemetry buf t =
+  Wirefmt.buf_add_int buf t.w_pid;
+  Wirefmt.buf_add_int buf (List.length t.w_spans);
+  List.iter (add_span buf) t.w_spans;
+  Wirefmt.buf_add_int buf (List.length t.w_counters);
+  List.iter
+    (fun (k, v) ->
+      Wirefmt.buf_add_string buf k;
+      Wirefmt.buf_add_float buf v)
+    t.w_counters
+
+let read_telemetry r =
+  let w_pid = Wirefmt.read_int r in
+  let w_spans = read_counted "telemetry span" r read_span in
+  let w_counters =
+    read_counted "telemetry counter" r (fun r ->
+        let k = Wirefmt.read_string r in
+        let v = Wirefmt.read_float r in
+        (k, v))
+  in
+  { w_pid; w_spans; w_counters }
+
 let encode (m : msg) : Bytes.t =
   let payload = Buffer.create 64 in
   (match m with
@@ -126,7 +186,8 @@ let encode (m : msg) : Bytes.t =
       | Some e ->
           Wirefmt.buf_add_bool payload true;
           Wirefmt.buf_add_string payload e)
-  | Crashed s -> Wirefmt.buf_add_string payload s);
+  | Crashed s -> Wirefmt.buf_add_string payload s
+  | Telemetry t -> add_telemetry payload t);
   let len = Buffer.length payload in
   if len > max_frame then fail "frame payload %d exceeds max_frame %d" len max_frame;
   let frame = Bytes.create (header_bytes + len) in
@@ -161,6 +222,7 @@ let decode_reader tag (r : Wirefmt.reader) : msg =
           Outs (outs, err)
       | 'K' -> Done
       | 'C' -> Crashed (Wirefmt.read_string r)
+      | 'T' -> Telemetry (read_telemetry r)
       | c -> fail "unknown frame tag %C" c
     with Wirefmt.Short_read m -> fail "truncated frame payload (%s)" m
   in

@@ -12,6 +12,24 @@ exception Protocol_error of string
 (** Raised on malformed input: unknown tag, oversized or negative
     length, truncated payload, trailing bytes, or EOF mid-frame. *)
 
+(** One callback span recorded inside a worker, timestamped on the
+    shared {!Obs.Clock} axis (the clock's t0 predates the fork). *)
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_ts : float;  (** start, seconds *)
+  s_dur : float;  (** seconds *)
+  s_tid : int;  (** the copy's stable [Topology] tid *)
+}
+
+(** A worker's locally-recorded telemetry batch. *)
+type telemetry = {
+  w_pid : int;
+  w_spans : span list;
+  w_counters : (string * float) list;
+      (** cumulative counters, e.g. ["busy_s"], ["calls"] *)
+}
+
 (** Requests (parent → worker) and responses (worker → parent). *)
 type msg =
   | Init  (** (re)instantiate the filter and run [init] *)
@@ -30,6 +48,11 @@ type msg =
           slots then cover exactly the successful prefix *)
   | Done  (** acknowledgement with no emission *)
   | Crashed of string  (** the callback raised; payload is the message *)
+  | Telemetry of telemetry
+      (** unsolicited worker → parent frame sent immediately before a
+          response at flush points and before orderly exit; the
+          parent's rpc loop absorbs any number of these while waiting
+          for the real response *)
 
 val max_frame : int
 (** Upper bound on a frame's payload size; larger lengths are rejected

@@ -1,7 +1,11 @@
 (* Chrome trace-event JSON (the "JSON Object Format": a top-level object
-   with a traceEvents array; timestamps and durations in microseconds). *)
+   with a traceEvents array; timestamps and durations in microseconds).
 
-let pid = 1
+   Events from this process live in pid 1 (Trace.local_pid); events
+   shipped from proc-backend workers keep the worker's real pid, each
+   with its own process_name metadata row. *)
+
+let default_pid = Trace.local_pid
 
 let us s = Json.Float (s *. 1e6)
 
@@ -13,7 +17,7 @@ let arg_to_json = function
 let args_obj args =
   Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)
 
-let base ~name ~ph ~tid rest =
+let base ~name ~ph ~pid ~tid rest =
   Json.Obj
     ([
        ("name", Json.Str name);
@@ -23,30 +27,31 @@ let base ~name ~ph ~tid rest =
      ]
     @ rest)
 
-let event_to_json = function
+let event_to_json ?(pid = default_pid) ev =
+  match ev with
   | Trace.Span { name; cat; ts; dur; tid; args } ->
-      base ~name ~ph:"X" ~tid
+      base ~name ~ph:"X" ~pid ~tid
         ([ ("cat", Json.Str (if cat = "" then "default" else cat));
            ("ts", us ts);
            ("dur", us dur) ]
         @ if args = [] then [] else [ ("args", args_obj args) ])
   | Trace.Instant { name; cat; ts; tid; args } ->
-      base ~name ~ph:"i" ~tid
+      base ~name ~ph:"i" ~pid ~tid
         ([ ("cat", Json.Str (if cat = "" then "default" else cat));
            ("ts", us ts);
            ("s", Json.Str "t") ]
         @ if args = [] then [] else [ ("args", args_obj args) ])
   | Trace.Counter { name; ts; tid; values } ->
-      base ~name ~ph:"C" ~tid
+      base ~name ~ph:"C" ~pid ~tid
         [
           ("ts", us ts);
           ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values));
         ]
   | Trace.Flow_start { name; id; ts; tid } ->
-      base ~name ~ph:"s" ~tid
+      base ~name ~ph:"s" ~pid ~tid
         [ ("cat", Json.Str "flow"); ("id", Json.Int id); ("ts", us ts) ]
   | Trace.Flow_end { name; id; ts; tid } ->
-      base ~name ~ph:"f" ~tid
+      base ~name ~ph:"f" ~pid ~tid
         [
           ("cat", Json.Str "flow");
           ("id", Json.Int id);
@@ -54,26 +59,54 @@ let event_to_json = function
           ("bp", Json.Str "e");
         ]
   | Trace.Thread_name { tid; name } ->
-      base ~name:"thread_name" ~ph:"M" ~tid
+      base ~name:"thread_name" ~ph:"M" ~pid ~tid
         [ ("args", Json.Obj [ ("name", Json.Str name) ]) ]
 
-let to_json ?(process_name = "cgpp") events =
-  let meta =
-    Json.Obj
-      [
-        ("name", Json.Str "process_name");
-        ("ph", Json.Str "M");
-        ("pid", Json.Int pid);
-        ("tid", Json.Int 0);
-        ("args", Json.Obj [ ("name", Json.Str process_name) ]);
-      ]
+let process_meta ~pid name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let to_json_multi ?(process_name = "cgpp") ?(process_names = []) pid_events =
+  let pids =
+    List.sort_uniq compare
+      (default_pid :: List.map (fun (p, _) -> p) pid_events)
+  in
+  let metas =
+    List.map
+      (fun p ->
+        let nm =
+          if p = default_pid then process_name
+          else
+            match List.assoc_opt p process_names with
+            | Some n -> n
+            | None -> Printf.sprintf "worker %d" p
+        in
+        process_meta ~pid:p nm)
+      pids
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (meta :: List.map event_to_json events));
+      ( "traceEvents",
+        Json.List
+          (metas @ List.map (fun (p, e) -> event_to_json ~pid:p e) pid_events)
+      );
       ("displayTimeUnit", Json.Str "ms");
     ]
 
+let to_json ?process_name events =
+  to_json_multi ?process_name (List.map (fun e -> (default_pid, e)) events)
+
 let write_file ?process_name ?events path =
-  let events = match events with Some e -> e | None -> Trace.events () in
-  Json.write_file path (to_json ?process_name events)
+  match events with
+  | Some e -> Json.write_file path (to_json ?process_name e)
+  | None ->
+      Json.write_file path
+        (to_json_multi ?process_name
+           ~process_names:(Trace.process_names ())
+           (Trace.events_with_pids ()))

@@ -7,8 +7,20 @@
     microseconds; every event lives in a single process whose virtual
     threads are the compiler and the filter copies. *)
 
-(** [to_json ~process_name events] builds the whole trace document. *)
+(** [to_json ~process_name events] builds the whole trace document with
+    every event in the local process (pid 1). *)
 val to_json : ?process_name:string -> Trace.event list -> Json.t
 
-(** Export the given events (default: everything recorded so far). *)
+(** Multi-process variant: each event carries its process id; every
+    distinct pid gets a process_name metadata row ([process_names]
+    overrides the default ["worker <pid>"] for foreign pids,
+    [process_name] names pid 1). *)
+val to_json_multi :
+  ?process_name:string ->
+  ?process_names:(int * string) list ->
+  (int * Trace.event) list ->
+  Json.t
+
+(** Export the given events (default: everything recorded so far,
+    including worker-shipped events under their own pids). *)
 val write_file : ?process_name:string -> ?events:Trace.event list -> string -> unit

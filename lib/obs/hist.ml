@@ -90,6 +90,10 @@ let quantile h q =
     !result
   end
 
+let p50 h = quantile h 0.5
+let p95 h = quantile h 0.95
+let p99 h = quantile h 0.99
+
 let merge a b =
   if a.bounds <> b.bounds then invalid_arg "Hist.merge: bound mismatch";
   let m = create ~bounds:a.bounds in

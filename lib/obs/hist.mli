@@ -43,6 +43,12 @@ val counts : t -> int array
     overflow bucket, 0 when empty. *)
 val quantile : t -> float -> float
 
+(** [quantile] at the conventional percentiles. *)
+val p50 : t -> float
+
+val p95 : t -> float
+val p99 : t -> float
+
 (** Pointwise merge.  @raise Invalid_argument on bound mismatch. *)
 val merge : t -> t -> t
 

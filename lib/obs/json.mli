@@ -39,5 +39,9 @@ val to_float : t -> float
 val to_int : t -> int
 val to_str : t -> string
 
-(** Write [t] to [path] (pretty-printed, trailing newline). *)
+(** Create [dir] and any missing ancestors (no-op when it exists). *)
+val mkdir_p : string -> unit
+
+(** Write [t] to [path] (pretty-printed, trailing newline), creating
+    missing parent directories first. *)
 val write_file : string -> t -> unit

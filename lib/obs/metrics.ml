@@ -2,6 +2,8 @@
 
 type t = { mutable entries : (string * Json.t) list (* reversed *) }
 
+let schema_version = 1
+
 let create () = { entries = [] }
 
 let set m k v =

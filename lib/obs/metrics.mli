@@ -7,6 +7,12 @@
 
 type t
 
+val schema_version : int
+(** Version of the emitted document layouts, stamped as a
+    ["schema_version"] field by every producer (cgppc metrics documents,
+    bench result rows) so downstream consumers can detect layout
+    changes.  Bump when a field is renamed, removed or re-typed. *)
+
 val create : unit -> t
 val set : t -> string -> Json.t -> unit
 val set_int : t -> string -> int -> unit

@@ -1,0 +1,251 @@
+(* OpenMetrics text exposition (the Prometheus text format plus the
+   `# EOF` terminator).  Self-contained like the rest of obs: a metric
+   family is a name, a type, a help line and sample lines; histograms
+   expand to cumulative `_bucket{le=...}` / `_sum` / `_count` series.
+
+   Names and label values are escaped per the spec: label values
+   escape backslash, double-quote and newline; metric/label names are
+   sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* by mapping every other
+   character to '_'. *)
+
+type sample = { labels : (string * string) list; value : float }
+
+type family =
+  | Counter of { name : string; help : string; samples : sample list }
+  | Gauge of { name : string; help : string; samples : sample list }
+  | Histogram of {
+      name : string;
+      help : string;
+      labels : (string * string) list;
+      hist : Hist.t;
+    }
+
+let sanitize_name s =
+  if s = "" then "_"
+  else
+    String.mapi
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+        | '0' .. '9' when i > 0 -> c
+        | _ -> '_')
+      s
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_value v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+                 (escape_label_value v))
+             labels)
+      ^ "}"
+
+let line b name labels value =
+  Buffer.add_string b name;
+  Buffer.add_string b (render_labels labels);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (render_value value);
+  Buffer.add_char b '\n'
+
+let header b name typ help =
+  Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+let render_family b = function
+  | Counter { name; help; samples } ->
+      let name = sanitize_name name in
+      header b name "counter" help;
+      List.iter (fun s -> line b name s.labels s.value) samples
+  | Gauge { name; help; samples } ->
+      let name = sanitize_name name in
+      header b name "gauge" help;
+      List.iter (fun s -> line b name s.labels s.value) samples
+  | Histogram { name; help; labels; hist } ->
+      let name = sanitize_name name in
+      header b name "histogram" help;
+      let bounds = Hist.bounds hist and counts = Hist.counts hist in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          let le =
+            if i < Array.length bounds then render_value bounds.(i)
+            else "+Inf"
+          in
+          line b (name ^ "_bucket")
+            (labels @ [ ("le", le) ])
+            (float_of_int !cum))
+        counts;
+      line b (name ^ "_sum") labels (Hist.sum hist);
+      line b (name ^ "_count") labels (float_of_int (Hist.count hist))
+
+let to_string families =
+  let b = Buffer.create 1024 in
+  List.iter (render_family b) families;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* A timeseries becomes one gauge family per column, each sample line
+   labeled with its timestamp — the "already scraped" shape, which a
+   Prometheus backfill or any text-format parser can ingest.  The
+   latest row additionally exports as plain (timestamp-free) gauges so
+   a live scrape sees current values under stable series names. *)
+let families_of_timeseries ?(prefix = "cgpp") ts =
+  let cols = Timeseries.columns ts in
+  let rows = Timeseries.rows ts in
+  let col_name c = sanitize_name (prefix ^ "_" ^ c) in
+  let per_col =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           Gauge
+             {
+               name = col_name c;
+               help = Printf.sprintf "sampled series %s" c;
+               samples =
+                 List.map
+                   (fun (tstamp, vs) ->
+                     {
+                       labels = [ ("ts", render_value tstamp) ];
+                       value = vs.(i);
+                     })
+                   rows;
+             })
+         cols)
+  in
+  let meta =
+    [
+      Gauge
+        {
+          name = sanitize_name (prefix ^ "_sample_interval_seconds");
+          help = "configured sampling interval";
+          samples = [ { labels = []; value = Timeseries.interval_s ts } ];
+        };
+      Counter
+        {
+          name = sanitize_name (prefix ^ "_samples_dropped_total");
+          help = "rows lost to ring wrap-around";
+          samples =
+            [ { labels = []; value = float_of_int (Timeseries.dropped ts) } ];
+        };
+    ]
+  in
+  meta @ per_col
+
+let write_file path families =
+  Json.mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string families))
+
+(* Minimal parse-back for tests: sample lines as
+   (metric, labels, value); comment lines other than EOF are skipped.
+   Raises Failure on a malformed line or a missing terminator. *)
+let parse_back text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc saw_eof = function
+    | [] ->
+        if not saw_eof then failwith "openmetrics: missing # EOF";
+        List.rev acc
+    | "" :: rest -> go acc saw_eof rest
+    | l :: rest when String.length l > 0 && l.[0] = '#' ->
+        go acc (saw_eof || l = "# EOF") rest
+    | l :: rest ->
+        if saw_eof then failwith "openmetrics: data after # EOF";
+        let name_end =
+          match (String.index_opt l '{', String.index_opt l ' ') with
+          | Some b, Some sp when b < sp -> b
+          | _, Some sp -> sp
+          | _ -> failwith ("openmetrics: malformed line: " ^ l)
+        in
+        let name = String.sub l 0 name_end in
+        let labels, value_str =
+          if l.[name_end] = '{' then begin
+            let close =
+              match String.index_from_opt l name_end '}' with
+              | Some i -> i
+              | None -> failwith ("openmetrics: unclosed labels: " ^ l)
+            in
+            let inside = String.sub l (name_end + 1) (close - name_end - 1) in
+            let pairs =
+              if inside = "" then []
+              else
+                List.map
+                  (fun kv ->
+                    match String.index_opt kv '=' with
+                    | Some i ->
+                        let k = String.sub kv 0 i in
+                        let v =
+                          String.sub kv (i + 1) (String.length kv - i - 1)
+                        in
+                        let v =
+                          if
+                            String.length v >= 2
+                            && v.[0] = '"'
+                            && v.[String.length v - 1] = '"'
+                          then String.sub v 1 (String.length v - 2)
+                          else v
+                        in
+                        (k, v)
+                    | None -> failwith ("openmetrics: bad label: " ^ kv))
+                  (String.split_on_char ',' inside)
+            in
+            ( pairs,
+              String.trim
+                (String.sub l (close + 1) (String.length l - close - 1)) )
+          end
+          else
+            ( [],
+              String.trim
+                (String.sub l (name_end + 1) (String.length l - name_end - 1))
+            )
+        in
+        let value =
+          match value_str with
+          | "+Inf" -> Float.infinity
+          | "-Inf" -> Float.neg_infinity
+          | "NaN" -> Float.nan
+          | s -> (
+              match float_of_string_opt s with
+              | Some f -> f
+              | None -> failwith ("openmetrics: bad value: " ^ l))
+        in
+        go ((name, labels, value) :: acc) saw_eof rest
+  in
+  go [] false lines

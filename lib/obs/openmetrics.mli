@@ -1,0 +1,40 @@
+(** OpenMetrics / Prometheus text exposition.
+
+    A document is a list of metric families rendered to the text
+    format: [# HELP] / [# TYPE] headers, one sample line per series,
+    and the OpenMetrics [# EOF] terminator.  Histograms expand to the
+    conventional cumulative [_bucket{le=...}] / [_sum] / [_count]
+    series from an {!Hist.t}.  Self-contained (no new dependency),
+    like the rest of the obs layer. *)
+
+type sample = { labels : (string * string) list; value : float }
+
+type family =
+  | Counter of { name : string; help : string; samples : sample list }
+  | Gauge of { name : string; help : string; samples : sample list }
+  | Histogram of {
+      name : string;
+      help : string;
+      labels : (string * string) list;
+      hist : Hist.t;
+    }
+
+(** Map a free-form name to the metric-name alphabet
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+val sanitize_name : string -> string
+
+(** Render families followed by the [# EOF] terminator. *)
+val to_string : family list -> string
+
+(** One gauge family per column (each retained row becomes a sample
+    labeled with its timestamp), plus interval/dropped metadata
+    series.  [prefix] defaults to ["cgpp"]. *)
+val families_of_timeseries : ?prefix:string -> Timeseries.t -> family list
+
+(** Write the rendered document, creating missing parent dirs. *)
+val write_file : string -> family list -> unit
+
+(** Test-oriented inverse of {!to_string}: every sample line as
+    [(metric, labels, value)].  @raise Failure on malformed input or a
+    missing [# EOF]. *)
+val parse_back : string -> (string * (string * string) list * float) list

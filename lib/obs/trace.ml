@@ -35,11 +35,18 @@ type event =
   | Thread_name of { tid : int; name : string }
 
 let compiler_tid = 0
+let local_pid = 1
 
 let enabled = Atomic.make false
 let registry : event list ref list ref = ref []
 let registry_lock = Mutex.create ()
 let flow_ids = Atomic.make 0
+
+(* Events shipped from other processes (proc-backend workers), stored
+   with the shipping pid.  Appended under the registry lock: shipments
+   arrive on whichever domain services that worker's wire. *)
+let shipped : (int * event) list ref = ref []
+let proc_names : (int * string) list ref = ref []
 
 let buffer : event list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
@@ -56,7 +63,28 @@ let is_enabled () = Atomic.get enabled
 let clear () =
   Mutex.lock registry_lock;
   List.iter (fun b -> b := []) !registry;
+  shipped := [];
+  proc_names := [];
   Mutex.unlock registry_lock
+
+let emit_shipped ~pid evs =
+  if evs <> [] then begin
+    Mutex.lock registry_lock;
+    shipped := List.rev_append (List.map (fun e -> (pid, e)) evs) !shipped;
+    Mutex.unlock registry_lock
+  end
+
+let name_process ~pid name =
+  Mutex.lock registry_lock;
+  if not (List.mem_assoc pid !proc_names) then
+    proc_names := (pid, name) :: !proc_names;
+  Mutex.unlock registry_lock
+
+let process_names () =
+  Mutex.lock registry_lock;
+  let ns = List.rev !proc_names in
+  Mutex.unlock registry_lock;
+  ns
 
 let emit ev =
   if Atomic.get enabled then begin
@@ -122,3 +150,39 @@ let events () =
       meta
   in
   meta @ List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) rest
+
+let events_with_pids () =
+  Mutex.lock registry_lock;
+  let locals = List.concat_map (fun b -> !b) !registry in
+  let foreign = List.rev !shipped in
+  Mutex.unlock registry_lock;
+  let all = List.map (fun e -> (local_pid, e)) locals @ foreign in
+  let meta, rest =
+    List.partition (function _, Thread_name _ -> true | _ -> false) all
+  in
+  (* dedupe thread names per (pid, tid) *)
+  let seen = Hashtbl.create 16 in
+  let meta =
+    List.filter
+      (function
+        | pid, Thread_name { tid; _ } ->
+            if Hashtbl.mem seen (pid, tid) then false
+            else begin
+              Hashtbl.add seen (pid, tid) ();
+              true
+            end
+        | _ -> true)
+      meta
+  in
+  let meta =
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | (p1, Thread_name { tid = t1; _ }), (p2, Thread_name { tid = t2; _ })
+          ->
+            compare (p1, t1) (p2, t2)
+        | _ -> 0)
+      meta
+  in
+  meta
+  @ List.stable_sort (fun (_, a) (_, b) -> compare (ts_of a) (ts_of b)) rest

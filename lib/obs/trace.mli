@@ -43,6 +43,11 @@ type event =
 (** The virtual thread hosting compiler phases. *)
 val compiler_tid : int
 
+(** The virtual process id of events recorded in this process (the
+    Chrome exporter's historical pid 1); shipped events carry the
+    worker's real pid. *)
+val local_pid : int
+
 val enable : unit -> unit
 val disable : unit -> unit
 val is_enabled : unit -> bool
@@ -65,9 +70,26 @@ val set_thread_name : tid:int -> string -> unit
 (** Fresh id linking a flow start to its end (atomic, cross-domain). *)
 val next_flow_id : unit -> int
 
+(** Adopt events recorded in another process (proc-backend workers ship
+    theirs over the wire), attributed to that process's [pid].  Unlike
+    {!emit} this is not gated on enablement — the shipper already was. *)
+val emit_shipped : pid:int -> event list -> unit
+
+(** Register a display name for a foreign process (first registration
+    wins). *)
+val name_process : pid:int -> string -> unit
+
+(** Registered foreign-process names, in registration order. *)
+val process_names : unit -> (int * string) list
+
 (** Every recorded event, thread-name metadata first, the rest sorted by
     timestamp. *)
 val events : unit -> event list
+
+(** {!events} plus shipped foreign events, each tagged with its process
+    id (local events carry {!local_pid}); thread names deduped per
+    (pid, tid). *)
+val events_with_pids : unit -> (int * event) list
 
 (** Timestamp of an event; 0 for thread-name metadata. *)
 val ts_of : event -> float

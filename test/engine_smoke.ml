@@ -102,9 +102,16 @@ let make_topo ~n () =
   in
   (topo, got)
 
+(* Telemetry is on for the whole differential — the time-series
+   sampler on every leg and trace collection (which makes proc workers
+   ship spans and counters back to the parent) — because turning it on
+   must not move anything the protocol promises. *)
 let run ~label backend ?faults ?policy ?batch n =
   let topo, got = make_topo ~n () in
-  match Datacutter.Runtime.run_result ~backend ?faults ?policy ?batch topo with
+  match
+    Datacutter.Runtime.run_result ~backend ?faults ?policy ?batch
+      ~metrics_interval_s:0.005 topo
+  with
   | Ok m -> (m, got ())
   | Error e ->
       die "%s run failed: %s" label
@@ -122,10 +129,10 @@ type leg = {
   recovery : Datacutter.Supervisor.recovery;
   keys : string list;
       (** top-level metrics-JSON keys, minus the documented optional
-          sections (links on sim) *)
+          sections (links on sim, the worker-telemetry rollup on proc) *)
 }
 
-let strip keys = List.filter (fun k -> k <> "links") keys
+let strip keys = List.filter (fun k -> k <> "links" && k <> "workers") keys
 
 let run_leg ~label backend ?faults ?policy ?batch n : leg =
   let m, got = run ~label backend ?faults ?policy ?batch n in
@@ -228,6 +235,7 @@ let plan_exn spec =
   | Error m -> die "bad fault spec %S: %s" spec m
 
 let () =
+  Obs.Trace.enable ();
   let n = 40 in
   let retire_policy =
     {

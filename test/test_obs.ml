@@ -491,6 +491,273 @@ let test_runtimes_emit_spans () =
   in
   A.(check (list int)) "flow starts match ends" starts ends
 
+(* --- Hist percentiles --- *)
+
+let test_hist_percentiles () =
+  (* bounds at every integer 1..100, observations 1..100: the quantile
+     estimate is the bucket upper bound holding that rank *)
+  let bounds = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let h = Obs.Hist.create ~bounds in
+  for v = 1 to 100 do
+    Obs.Hist.observe h (float_of_int v)
+  done;
+  A.(check (float 1.0)) "p50" 50.0 (Obs.Hist.p50 h);
+  A.(check (float 1.0)) "p95" 95.0 (Obs.Hist.p95 h);
+  A.(check (float 1.0)) "p99" 99.0 (Obs.Hist.p99 h);
+  (* empty histogram: percentiles are 0, not NaN *)
+  let e = Obs.Hist.create ~bounds:[| 1.0 |] in
+  A.(check (float feps)) "empty p99" 0.0 (Obs.Hist.p99 e)
+
+(* --- Timeseries ring --- *)
+
+let test_timeseries_ring () =
+  let ts = Obs.Timeseries.create ~capacity:4 ~interval_s:0.01 ~columns:[| "a"; "b" |] () in
+  A.(check (float feps)) "interval" 0.01 (Obs.Timeseries.interval_s ts);
+  A.(check int) "empty" 0 (Obs.Timeseries.length ts);
+  for i = 0 to 5 do
+    Obs.Timeseries.sample ts ~ts:(float_of_int i *. 0.01)
+      [| float_of_int i; float_of_int (10 * i) |]
+  done;
+  (* 6 samples into a 4-row ring: the oldest 2 are gone *)
+  A.(check int) "retained" 4 (Obs.Timeseries.length ts);
+  A.(check int) "dropped" 2 (Obs.Timeseries.dropped ts);
+  let rows = Obs.Timeseries.rows ts in
+  A.(check (list (float feps))) "oldest-first timestamps"
+    [ 0.02; 0.03; 0.04; 0.05 ]
+    (List.map fst rows);
+  let t0, v0 = Obs.Timeseries.nth ts 0 in
+  A.(check (float feps)) "nth 0 ts" 0.02 t0;
+  A.(check (array (float feps))) "nth 0 values" [| 2.0; 20.0 |] v0;
+  (* JSON carries samples as [ts, v...] rows plus the drop count *)
+  let j = J.parse (J.to_string (Obs.Timeseries.to_json ts)) in
+  A.(check int) "json dropped" 2 (J.to_int (J.member "dropped" j));
+  A.(check int) "json columns" 2 (List.length (J.to_list (J.member "columns" j)));
+  let samples = J.to_list (J.member "samples" j) in
+  A.(check int) "json samples" 4 (List.length samples);
+  List.iter
+    (fun row -> A.(check int) "row arity = 1 + columns" 3 (List.length (J.to_list row)))
+    samples
+
+let test_timeseries_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> A.fail "expected Invalid_argument"
+  in
+  raises (fun () ->
+      Obs.Timeseries.create ~capacity:0 ~interval_s:0.01 ~columns:[| "a" |] ());
+  raises (fun () -> Obs.Timeseries.create ~interval_s:0.01 ~columns:[||] ());
+  raises (fun () -> Obs.Timeseries.create ~interval_s:0.0 ~columns:[| "a" |] ());
+  let ts = Obs.Timeseries.create ~interval_s:1.0 ~columns:[| "a" |] () in
+  raises (fun () -> Obs.Timeseries.sample ts ~ts:0.0 [| 1.0; 2.0 |])
+
+(* --- OpenMetrics --- *)
+
+let test_openmetrics_roundtrip () =
+  let h = Obs.Hist.create ~bounds:[| 1.0; 2.0 |] in
+  List.iter (Obs.Hist.observe h) [ 0.5; 1.5; 3.0 ];
+  let fams =
+    [
+      Obs.Openmetrics.Gauge
+        {
+          name = "cgpp_busy_seconds";
+          help = "per-copy busy time";
+          samples =
+            [
+              { Obs.Openmetrics.labels = [ ("copy", "S1/0") ]; value = 0.25 };
+              (* label values need escaping: backslash, quote, newline *)
+              { Obs.Openmetrics.labels = [ ("copy", "a\\b\"c\nd") ]; value = 1.5 };
+            ];
+        };
+      Obs.Openmetrics.Counter
+        {
+          name = "cgpp_items_total";
+          help = "items processed";
+          samples = [ { Obs.Openmetrics.labels = []; value = 40.0 } ];
+        };
+      Obs.Openmetrics.Histogram
+        { name = "cgpp_q"; help = "queue occupancy"; labels = [ ("stage", "1") ]; hist = h };
+    ]
+  in
+  let text = Obs.Openmetrics.to_string fams in
+  A.(check bool) "has EOF" true (Astring.String.is_infix ~affix:"# EOF" text);
+  A.(check bool) "has HELP" true (Astring.String.is_infix ~affix:"# HELP cgpp_busy_seconds" text);
+  let back = Obs.Openmetrics.parse_back text in
+  let find name labels =
+    match
+      List.find_opt (fun (n, ls, _) -> n = name && ls = labels) back
+    with
+    | Some (_, _, v) -> v
+    | None -> A.fail (Printf.sprintf "series %s not parsed back" name)
+  in
+  A.(check (float feps)) "gauge survives" 0.25
+    (find "cgpp_busy_seconds" [ ("copy", "S1/0") ]);
+  (* the renderer escapes backslash, quote and newline so the line stays
+     one sample line; the minimal parser keeps the escaped spelling *)
+  A.(check bool) "label value escaped in text" true
+    (Astring.String.is_infix ~affix:"copy=\"a\\\\b\\\"c\\nd\"" text);
+  A.(check (float feps)) "escaped label survives" 1.5
+    (find "cgpp_busy_seconds" [ ("copy", "a\\\\b\\\"c\\nd") ]);
+  A.(check (float feps)) "counter survives" 40.0 (find "cgpp_items_total" []);
+  (* histogram expands to cumulative buckets + sum + count *)
+  A.(check (float feps)) "bucket le=1" 1.0
+    (find "cgpp_q_bucket" [ ("stage", "1"); ("le", "1") ]);
+  A.(check (float feps)) "bucket le=+Inf" 3.0
+    (find "cgpp_q_bucket" [ ("stage", "1"); ("le", "+Inf") ]);
+  A.(check (float feps)) "hist count" 3.0 (find "cgpp_q_count" [ ("stage", "1") ]);
+  A.(check (float feps)) "hist sum" 5.0 (find "cgpp_q_sum" [ ("stage", "1") ]);
+  (* malformed documents are rejected *)
+  (match Obs.Openmetrics.parse_back "cgpp_x 1\n" with
+  | exception Failure _ -> ()
+  | _ -> A.fail "missing # EOF must be rejected");
+  (* sanitize_name maps arbitrary labels into the metric alphabet *)
+  A.(check string) "sanitize" "S1_0:busy_s"
+    (Obs.Openmetrics.sanitize_name "S1/0:busy s")
+
+let test_openmetrics_of_timeseries () =
+  let ts = Obs.Timeseries.create ~interval_s:0.05 ~columns:[| "S1/0:busy_s" |] () in
+  Obs.Timeseries.sample ts ~ts:0.05 [| 0.04 |];
+  Obs.Timeseries.sample ts ~ts:0.10 [| 0.05 |];
+  let back =
+    Obs.Openmetrics.parse_back
+      (Obs.Openmetrics.to_string (Obs.Openmetrics.families_of_timeseries ts))
+  in
+  let series name = List.filter (fun (n, _, _) -> n = name) back in
+  A.(check int) "one sample per retained row" 2
+    (List.length (series "cgpp_S1_0:busy_s"));
+  (match series "cgpp_sample_interval_seconds" with
+  | [ (_, _, v) ] -> A.(check (float feps)) "interval metadata" 0.05 v
+  | _ -> A.fail "expected one interval series");
+  (match series "cgpp_samples_dropped_total" with
+  | [ (_, _, v) ] -> A.(check (float feps)) "dropped metadata" 0.0 v
+  | _ -> A.fail "expected one dropped series");
+  (* every column sample is labeled with its timestamp *)
+  List.iter
+    (fun (_, labels, _) ->
+      A.(check bool) "ts label present" true (List.mem_assoc "ts" labels))
+    (series "cgpp_S1_0:busy_s")
+
+let test_openmetrics_write_file_mkdirs () =
+  (* exporters create missing parent directories (same promise as
+     --trace/--metrics-json/--openmetrics in the CLI) *)
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cgpp_obs_test_%d" (Unix.getpid ()))
+  in
+  let path = Filename.concat (Filename.concat base "nested/deeper") "om.txt" in
+  let fams =
+    [
+      Obs.Openmetrics.Gauge
+        {
+          name = "cgpp_x";
+          help = "x";
+          samples = [ { Obs.Openmetrics.labels = []; value = 1.0 } ];
+        };
+    ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote base))))
+    (fun () ->
+      Obs.Openmetrics.write_file path fams;
+      A.(check bool) "file created in nested dir" true (Sys.file_exists path);
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Openmetrics.parse_back text with
+      | [ ("cgpp_x", [], v) ] -> A.(check (float feps)) "value" 1.0 v
+      | _ -> A.fail "unexpected parse-back of written file")
+
+(* --- sampler determinism on the sim backend --- *)
+
+let test_sim_sampler_determinism () =
+  (* the sim samples on its virtual clock, so two runs of the same
+     topology produce bit-identical series: same row count, timestamps
+     at exact interval multiples, same values *)
+  let run () =
+    match
+      Runtime.run_result ~backend:Runtime.Sim ~metrics_interval_s:0.01
+        (topo3 ~n:40 ())
+    with
+    | Ok m -> (
+        match m.Engine.timeseries with
+        | Some ts -> ts
+        | None -> A.fail "sim run with an interval must carry a timeseries")
+    | Error e -> raise (Supervisor.Run_failed e)
+  in
+  let a = run () in
+  let b = run () in
+  A.(check bool) "sampler produced rows" true (Obs.Timeseries.length a > 0);
+  A.(check int) "row counts equal" (Obs.Timeseries.length a)
+    (Obs.Timeseries.length b);
+  A.(check (array string)) "columns equal" (Obs.Timeseries.columns a)
+    (Obs.Timeseries.columns b);
+  List.iter2
+    (fun (ta, va) (tb, vb) ->
+      A.(check (float feps)) "timestamps equal" ta tb;
+      A.(check (array (float feps))) "values equal" va vb;
+      (* virtual-time sampling lands on exact interval multiples *)
+      let k = Float.round (ta /. 0.01) in
+      A.(check (float 1e-6)) "ts is an interval multiple" (k *. 0.01) ta)
+    (Obs.Timeseries.rows a) (Obs.Timeseries.rows b)
+
+(* --- worker trace shipping --- *)
+
+let test_trace_shipping () =
+  with_tracing @@ fun () ->
+  Obs.Trace.with_span "local" (fun () -> ());
+  (* a worker ships its buffered events; they keep their own pid *)
+  Obs.Trace.emit_shipped ~pid:4242
+    [
+      Obs.Trace.Span
+        { name = "remote"; cat = "proc"; ts = 0.1; dur = 0.2; tid = 5; args = [] };
+      Obs.Trace.Thread_name { tid = 5; name = "copy S1/0" };
+    ];
+  Obs.Trace.name_process ~pid:4242 "cgpp worker S1/0";
+  let pids =
+    List.sort_uniq compare (List.map fst (Obs.Trace.events_with_pids ()))
+  in
+  A.(check (list int)) "local + shipped pids" [ Obs.Trace.local_pid; 4242 ] pids;
+  A.(check bool) "process name registered" true
+    (List.mem (4242, "cgpp worker S1/0") (Obs.Trace.process_names ()));
+  (* the multi-process exporter attributes events to their pid and
+     emits process_name metadata for each *)
+  let doc =
+    J.parse
+      (J.to_string
+         (Obs.Chrome_trace.to_json_multi ~process_name:"cgppc"
+            ~process_names:(Obs.Trace.process_names ())
+            (Obs.Trace.events_with_pids ())))
+  in
+  let evs = J.to_list (J.member "traceEvents" doc) in
+  let remote_span =
+    List.find_opt
+      (fun e ->
+        J.to_str (J.member "ph" e) = "X"
+        && J.to_str (J.member "name" e) = "remote")
+      evs
+  in
+  (match remote_span with
+  | Some e -> A.(check int) "shipped span keeps worker pid" 4242 (J.to_int (J.member "pid" e))
+  | None -> A.fail "shipped span missing from export");
+  let proc_names =
+    List.filter_map
+      (fun e ->
+        if
+          J.to_str (J.member "ph" e) = "M"
+          && J.to_str (J.member "name" e) = "process_name"
+        then
+          Some
+            ( J.to_int (J.member "pid" e),
+              J.to_str (J.member "name" (J.member "args" e)) )
+        else None)
+      evs
+  in
+  A.(check bool) "worker process_name metadata" true
+    (List.mem (4242, "cgpp worker S1/0") proc_names);
+  A.(check bool) "parent process_name metadata" true
+    (List.mem (Obs.Trace.local_pid, "cgppc") proc_names)
+
 let suite =
   [
     ("json roundtrip", `Quick, test_json_roundtrip);
@@ -510,6 +777,14 @@ let suite =
     ("par invariants", `Quick, test_par_invariants);
     ("sim/par items agree", `Quick, test_sim_par_items_agree);
     ("runtimes emit spans", `Quick, test_runtimes_emit_spans);
+    ("hist percentiles", `Quick, test_hist_percentiles);
+    ("timeseries ring", `Quick, test_timeseries_ring);
+    ("timeseries validation", `Quick, test_timeseries_validation);
+    ("openmetrics roundtrip", `Quick, test_openmetrics_roundtrip);
+    ("openmetrics of timeseries", `Quick, test_openmetrics_of_timeseries);
+    ("openmetrics write_file mkdirs", `Quick, test_openmetrics_write_file_mkdirs);
+    ("sim sampler determinism", `Quick, test_sim_sampler_determinism);
+    ("trace shipping", `Quick, test_trace_shipping);
   ]
 
 let () = Alcotest.run "obs" [ ("obs", suite) ]

@@ -42,6 +42,21 @@ let msg_equal a b =
       && Option.equal String.equal xe ye
   | Wire.Out (Some x), Wire.Out (Some y) -> item_equal x y
   | Wire.Crashed x, Wire.Crashed y -> String.equal x y
+  | Wire.Telemetry x, Wire.Telemetry y ->
+      x.Wire.w_pid = y.Wire.w_pid
+      && List.length x.Wire.w_spans = List.length y.Wire.w_spans
+      && List.for_all2
+           (fun (a : Wire.span) (b : Wire.span) ->
+             String.equal a.Wire.s_name b.Wire.s_name
+             && String.equal a.Wire.s_cat b.Wire.s_cat
+             && a.Wire.s_ts = b.Wire.s_ts
+             && a.Wire.s_dur = b.Wire.s_dur
+             && a.Wire.s_tid = b.Wire.s_tid)
+           x.Wire.w_spans y.Wire.w_spans
+      && List.length x.Wire.w_counters = List.length y.Wire.w_counters
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && va = vb)
+           x.Wire.w_counters y.Wire.w_counters
   | _ -> false
 
 let msg_name = function
@@ -63,6 +78,9 @@ let msg_name = function
   | Wire.Out (Some Engine.Marker) -> "Out Marker"
   | Wire.Done -> "Done"
   | Wire.Crashed _ -> "Crashed"
+  | Wire.Telemetry { Wire.w_spans; w_counters; _ } ->
+      Printf.sprintf "Telemetry[%d spans,%d counters]"
+        (List.length w_spans) (List.length w_counters)
 
 (* One representative of every message kind, including the empty-data
    and empty-string edge cases. *)
@@ -96,6 +114,29 @@ let samples =
     Wire.Outs ([ None; Some (Engine.Data (buffer "out")) ], None);
     Wire.Outs ([ Some (Engine.Final (buffer "partial")) ], Some "boom");
     Wire.Outs ([], Some "");
+    Wire.Telemetry { Wire.w_pid = 12345; w_spans = []; w_counters = [] };
+    Wire.Telemetry
+      {
+        Wire.w_pid = 1;
+        w_spans =
+          [
+            {
+              Wire.s_name = "process";
+              s_cat = "proc-worker";
+              s_ts = 0.125;
+              s_dur = 3.5e-4;
+              s_tid = 2;
+            };
+            {
+              Wire.s_name = "";
+              s_cat = "";
+              s_ts = 0.0;
+              s_dur = 0.0;
+              s_tid = 0;
+            };
+          ];
+        w_counters = [ ("busy_s", 1.25); ("calls", 42.0) ];
+      };
   ]
 
 let test_roundtrip () =
