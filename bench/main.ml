@@ -854,6 +854,111 @@ let throughput_smoke () =
   Fmt.pr "perf smoke: batched legs carry batch-size histograms@."
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-core: file-backed streambench, items/s vs dataset size vs
+   memory budget.  Sources stream a write-once dataset cache file in
+   chunks (Apps.Dataset) and the queues run under --mem-budget-style
+   byte budgets, spilling to disk instead of blocking — so the 100x
+   stream completes on every backend with the exact inline checksum.   *)
+(* ------------------------------------------------------------------ *)
+
+let outofcore () =
+  print_header
+    "Out-of-core: streambench file-backed 1-1-1 (items/s vs size vs budget)"
+    [ "items"; "budget(B)"; "elapsed(s)"; "items/s"; "spilled(B)" ];
+  let widths = [| 1; 1; 1 |] in
+  let powers = H.node_powers cluster widths in
+  let bandwidths = Array.make 2 cluster.H.bandwidth in
+  let factors = [ 1; 10; 100 ] in
+  let budgets = [ Some 16_384; Some 262_144; None ] in
+  let leg backend cfg ds expected budget =
+    let run () =
+      let topo, results =
+        Apps.Streambench.topology cfg ~dataset:ds ~widths ~powers ~bandwidths
+          ~latency:cluster.H.latency ()
+      in
+      match Datacutter.Runtime.run_result ~backend ?mem_budget:budget topo with
+      | Ok m ->
+          if results () <> expected then
+            Fmt.failwith "outofcore %s: sink multiset diverged at %d items"
+              (Datacutter.Runtime.backend_name backend)
+              cfg.Apps.Streambench.items;
+          ( m.Datacutter.Engine.elapsed_s,
+            m.Datacutter.Engine.spilled_bytes,
+            m.Datacutter.Engine.mem_high_water )
+      | Error e ->
+          Fmt.failwith "outofcore %s failed: %a"
+            (Datacutter.Runtime.backend_name backend)
+            Datacutter.Supervisor.pp_run_error e
+    in
+    match backend with
+    | Datacutter.Runtime.Proc -> (
+        match in_subprocess run with
+        | Some r -> Some r
+        | None ->
+            Fmt.pr "%-8s skipped: fork unavailable@." "proc";
+            None)
+    | _ -> Some (run ())
+  in
+  List.iter
+    (fun (name, backend) ->
+      List.iter
+        (fun factor ->
+          (* the per-item wire cost dominates proc; keep its column to
+             the sizes it finishes in seconds and say so *)
+          if backend = Datacutter.Runtime.Proc && factor > 10 then
+            Fmt.pr "%-8s x%-4d skipped: wire cost dominates at this size@."
+              name factor
+          else begin
+            let cfg = Apps.Streambench.scaled Apps.Streambench.tiny factor in
+            let ds = Apps.Streambench.dataset cfg in
+            let expected = Apps.Streambench.expected cfg in
+            List.iter
+              (fun budget ->
+                match leg backend cfg ds expected budget with
+                | None -> ()
+                | Some (t, spilled, high_water) ->
+                    let items = cfg.Apps.Streambench.items in
+                    let rate = float_of_int items /. t in
+                    let blab =
+                      match budget with
+                      | None -> "inf"
+                      | Some b -> string_of_int b
+                    in
+                    Record.row
+                      ~tags:[ ("backend", name) ]
+                      (Printf.sprintf "x%d/%s" factor blab)
+                      [
+                        ("factor", float_of_int factor);
+                        ("items", float_of_int items);
+                        ("dataset_bytes", float_of_int (Apps.Dataset.size_bytes ds));
+                        ( "mem_budget",
+                          match budget with
+                          | None -> 0.0
+                          | Some b -> float_of_int b );
+                        ("elapsed_s", t);
+                        ("items_per_s", rate);
+                        ("spilled_bytes", float_of_int spilled);
+                        ("mem_high_water", float_of_int high_water);
+                      ];
+                    print_row
+                      (name ^ if budget = None then "" else "*")
+                      [
+                        string_of_int items;
+                        blab;
+                        Fmt.str "%.4f" t;
+                        Fmt.str "%.0f" rate;
+                        string_of_int spilled;
+                      ])
+              budgets
+          end)
+        factors)
+    [
+      ("proc", Datacutter.Runtime.Proc);
+      ("sim", Datacutter.Runtime.Sim);
+      ("par", Datacutter.Runtime.Par);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Smoke cell for @bench-smoke: one tiny figure cell, recorded through
    the same Record path as the real figures, then parsed back and
    validated — so metrics emission can never silently rot.              *)
@@ -935,6 +1040,7 @@ let targets =
     ("parallel", parallel);
     ("throughput", throughput);
     ("throughput_smoke", throughput_smoke);
+    ("outofcore", outofcore);
     ("micro", micro);
     ("smoke", smoke);
   ]

@@ -155,19 +155,32 @@ let policy_of ~watchdog_ms ~max_retries ~call_budget_ms =
       | None -> d.Datacutter.Supervisor.call_budget_s);
   }
 
+(* A structured runtime failure carrying its documented exit code
+   ({!Datacutter.Supervisor.exit_code_of}): raised after the failure
+   artifacts (metrics JSON) are written, caught at the very top so
+   cmdliner's reserved codes (123-125) stay out of the way. *)
+exception Run_failure of int * string
+
 (* --- observability plumbing --- *)
 
 (* Enable tracing up front when --trace was given, write the file after
-   the body completes.  Metrics writers run inside the body. *)
+   the body completes.  Metrics writers run inside the body; a
+   structured run failure still gets its trace before propagating. *)
 let with_trace trace f =
   if trace <> None then Obs.Trace.enable ();
-  let r = f () in
-  (match trace with
-  | Some path ->
-      Obs.Chrome_trace.write_file ~process_name:"cgppc" path;
-      Fmt.pr "trace written to %s (open in Perfetto / chrome://tracing)@." path
-  | None -> ());
-  r
+  let write () =
+    match trace with
+    | Some path ->
+        Obs.Chrome_trace.write_file ~process_name:"cgppc" path;
+        Fmt.pr "trace written to %s (open in Perfetto / chrome://tracing)@."
+          path
+    | None -> ()
+  in
+  match f () with
+  | r -> write (); r
+  | exception Run_failure (code, msg) ->
+      write ();
+      raise (Run_failure (code, msg))
 
 let strategy_name = function
   | Compile.Decomp -> "decomp"
@@ -284,7 +297,7 @@ let emit file app widths strategy cluster_spec =
 (* --- run --- *)
 
 let run file target widths strategy backend parallel cluster_spec trace mjson
-    faults watchdog_ms max_retries call_budget_ms batch interval_ms
+    faults watchdog_ms max_retries call_budget_ms batch mem_budget interval_ms
     openmetrics report =
   let cluster = cluster_of_spec cluster_spec in
   let backend = if parallel then Datacutter.Runtime.Par else backend in
@@ -305,13 +318,18 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
     Obs.Metrics.set_str m "strategy" (strategy_name strategy);
     Obs.Metrics.set_str m "backend" (Datacutter.Runtime.backend_name backend);
     if batch > 1 then Obs.Metrics.set_int m "batch" batch;
+    (match mem_budget with
+    | Some b -> Obs.Metrics.set_int m "mem_budget" b
+    | None -> ());
     if not (Datacutter.Fault.is_empty faults) then
       Obs.Metrics.set_str m "faults" (Datacutter.Fault.to_string faults);
     m
   in
   (* A failed run still writes the metrics document — with the
      structured error in place of runtime counters — so harnesses can
-     diagnose from the JSON alone. *)
+     diagnose from the JSON alone; then the process exits with the
+     error's documented code (watchdog 3, stage death 4, protocol 5,
+     invalid topology 6, unsupported backend 7). *)
   let write_failure fill err =
     (match mjson with
     | None -> ()
@@ -321,8 +339,10 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
         Obs.Metrics.set_bool doc "ok" false;
         Obs.Metrics.set doc "error" (Datacutter.Supervisor.run_error_to_json err);
         write_metrics path doc);
-    `Error
-      (false, Fmt.str "run failed: %a" Datacutter.Supervisor.pp_run_error err)
+    raise
+      (Run_failure
+         ( Datacutter.Supervisor.exit_code_of err,
+           Fmt.str "run failed: %a" Datacutter.Supervisor.pp_run_error err ))
   in
   let report_recovery r =
     if Datacutter.Supervisor.recovery_total r > 0 then
@@ -415,7 +435,7 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
         in
         match
           Datacutter.Runtime.run_result ~backend ~faults ~policy ~batch
-            ?metrics_interval_s topo
+            ?mem_budget ?metrics_interval_s topo
         with
         | Error err -> write_failure fill err
         | Ok m ->
@@ -449,10 +469,11 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
           ~latency:cluster.H.latency ()
       in
       let stage_batch = H.batch_plan c ~widths ~batch in
+      let queue_budgets = H.budget_plan c ~widths ~mem_budget in
       let fill doc = compile_metrics doc c in
       (match
          Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch
-           ?metrics_interval_s topo
+           ?mem_budget ?queue_budgets ?metrics_interval_s topo
        with
       | Error err -> write_failure fill err
       | Ok m ->
@@ -631,6 +652,24 @@ let batch_arg =
            item sizes, so stages emitting small items batch harder. \
            $(docv)=1 (the default) is the unbatched hot path.")
 
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the bytes held in memory across all stream queues at \
+           $(docv), split per stage in proportion to the cost model's \
+           item sizes. When a queue's share is full, producers spill \
+           checksummed encoded segments to a run-scoped temp directory \
+           instead of blocking (the simulator charges an equivalent \
+           deterministic disk-read cost), and consumers read them back \
+           in FIFO order — back-pressure can no longer deadlock a run \
+           and the watchdog never trips on a merely-large dataset. \
+           Spill totals appear in the metrics ($(b,spilled_bytes), \
+           $(b,spill_segments), $(b,mem_high_water)). Unset means \
+           classic blocking back-pressure.")
+
 let watchdog_arg =
   Arg.(
     value
@@ -712,24 +751,47 @@ let run_term ~always_report =
   Term.(
     ret
       (with_logs
-         (fun (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt), (iv, om, rp)) ->
-           run f a c s b p cl tr mj fl wd mr cb bt iv om
+         (fun
+           (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt, mb), (iv, om, rp))
+         ->
+           run f a c s b p cl tr mj fl wd mr cb bt mb iv om
              (rp || always_report))
-      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt iv om rp ->
-             (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt), (iv, om, rp)))
+      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp ->
+             ( f, a, c, s, b, p, cl, tr, mj,
+               (fl, wd, mr, cb, bt, mb),
+               (iv, om, rp) ))
         $ file_arg $ target_arg $ config_arg $ strategy_arg $ backend_arg
         $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
         $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg
-        $ interval_arg $ openmetrics_arg $ report_arg)))
+        $ mem_budget_arg $ interval_arg $ openmetrics_arg $ report_arg)))
+
+(* Documented exit codes for runtime failures, mapped from the
+   structured error by {!Datacutter.Supervisor.exit_code_of}.  Kept
+   clear of cmdliner's reserved 123-125. *)
+let run_exits =
+  Cmd.Exit.info 3
+    ~doc:"The watchdog aborted the run: no copy made progress for the \
+          stall threshold (see $(b,--watchdog-ms))."
+  :: Cmd.Exit.info 4
+       ~doc:"A whole stage died: every copy crashed past its retry \
+             budget (see $(b,--max-retries))."
+  :: Cmd.Exit.info 5
+       ~doc:"A worker broke the wire protocol (proc backend)."
+  :: Cmd.Exit.info 6 ~doc:"The topology, batch or memory-budget plan is \
+                           invalid."
+  :: Cmd.Exit.info 7
+       ~doc:"The requested backend is unsupported on this platform."
+  :: Cmd.Exit.defaults
 
 let run_cmd =
   Cmd.v
-    (Cmd.info "run" ~doc:"Compile and execute the pipeline")
+    (Cmd.info "run" ~exits:run_exits
+       ~doc:"Compile and execute the pipeline")
     (run_term ~always_report:false)
 
 let analyze_cmd =
   Cmd.v
-    (Cmd.info "analyze"
+    (Cmd.info "analyze" ~exits:run_exits
        ~doc:
          "Execute the pipeline and attribute the bottleneck: per-stage \
           utilization and predicted (cost-model) vs measured service \
@@ -742,4 +804,11 @@ let main =
        ~doc:"compiler for coarse-grained pipelined parallelism")
     [ inspect_cmd; plan_cmd; emit_cmd; run_cmd; analyze_cmd ]
 
-let () = exit (Cmd.eval main)
+(* [catch:false] so a structured runtime failure reaches us with its
+   documented exit code instead of cmdliner's internal-error 125. *)
+let () =
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception Run_failure (code, msg) ->
+      Fmt.epr "cgppc: %s@." msg;
+      exit code

@@ -1,0 +1,145 @@
+(* Out-of-core dataset cache (see dataset.mli): fixed-record files
+   generated once from a deterministic record function, then read back
+   in chunks so no consumer ever needs the whole dataset resident. *)
+
+type t = { path : string; items : int; item_bytes : int }
+
+let items t = t.items
+let item_bytes t = t.item_bytes
+let path t = t.path
+let size_bytes t = t.items * t.item_bytes
+
+let default_dir () = Filename.concat (Filename.get_temp_dir_name ()) "cgppc-datasets"
+
+(* Records per generation/read chunk: aim near 1 MiB so generation is a
+   handful of large writes whatever the record size. *)
+let chunk_records item_bytes = max 1 (1_048_576 / max 1 item_bytes)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let ensure ?dir ~name ~items ~item_bytes ~gen () =
+  if items < 0 then invalid_arg "Dataset.ensure: items must be >= 0";
+  if item_bytes <= 0 then invalid_arg "Dataset.ensure: item_bytes must be > 0";
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p dir;
+  let file = Printf.sprintf "%s-%dx%d.dat" name items item_bytes in
+  let path = Filename.concat dir file in
+  let want = items * item_bytes in
+  let fresh =
+    match open_in_bin path with
+    | exception Sys_error _ -> true
+    | ic ->
+        let len = in_channel_length ic in
+        close_in_noerr ic;
+        len <> want
+  in
+  if fresh then begin
+    (* Generate through a temp file and rename, so a crash mid-write
+       never leaves a plausible-looking truncated cache behind. *)
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let per = chunk_records item_bytes in
+        let i = ref 0 in
+        while !i < items do
+          let n = min per (items - !i) in
+          let buf = Buffer.create (n * item_bytes) in
+          for j = !i to !i + n - 1 do
+            let r = gen j in
+            if Bytes.length r <> item_bytes then
+              invalid_arg
+                (Printf.sprintf
+                   "Dataset.ensure: record %d is %d bytes, expected %d" j
+                   (Bytes.length r) item_bytes);
+            Buffer.add_bytes buf r
+          done;
+          Buffer.output_buffer oc buf;
+          i := !i + n
+        done);
+    Sys.rename tmp path
+  end;
+  { path; items; item_bytes }
+
+let pread t ~start ~count =
+  if start < 0 || count < 0 || start + count > t.items then
+    invalid_arg
+      (Printf.sprintf "Dataset.pread: [%d, %d) outside [0, %d)" start
+         (start + count) t.items);
+  let ic = open_in_bin t.path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic (start * t.item_bytes);
+      let buf = Bytes.create (count * t.item_bytes) in
+      really_input ic buf 0 (Bytes.length buf);
+      buf)
+
+(* --- sequential chunked cursor --- *)
+
+type cursor = {
+  ds : t;
+  stop : int;
+  chunk_items : int;
+  mutable next_index : int;  (* next record to hand out *)
+  mutable buf : Bytes.t;     (* records [buf_base, buf_base + buffered) *)
+  mutable buf_base : int;
+  mutable buffered : int;
+  mutable ic : in_channel option;
+}
+
+let cursor ?chunk_items t ~start ~stop =
+  if start < 0 || stop < start || stop > t.items then
+    invalid_arg
+      (Printf.sprintf "Dataset.cursor: [%d, %d) outside [0, %d)" start stop
+         t.items);
+  let chunk_items =
+    match chunk_items with
+    | Some c when c > 0 -> c
+    | Some c -> invalid_arg (Printf.sprintf "Dataset.cursor: chunk_items must be > 0 (got %d)" c)
+    | None -> chunk_records t.item_bytes
+  in
+  { ds = t; stop; chunk_items; next_index = start; buf = Bytes.empty;
+    buf_base = 0; buffered = 0; ic = None }
+
+let close cur =
+  (match cur.ic with Some ic -> close_in_noerr ic | None -> ());
+  cur.ic <- None
+
+let refill cur =
+  let ic =
+    match cur.ic with
+    | Some ic -> ic
+    | None ->
+        let ic = open_in_bin cur.ds.path in
+        cur.ic <- Some ic;
+        ic
+  in
+  let n = min cur.chunk_items (cur.stop - cur.next_index) in
+  seek_in ic (cur.next_index * cur.ds.item_bytes);
+  let buf = Bytes.create (n * cur.ds.item_bytes) in
+  really_input ic buf 0 (Bytes.length buf);
+  cur.buf <- buf;
+  cur.buf_base <- cur.next_index;
+  cur.buffered <- n
+
+let next cur =
+  if cur.next_index >= cur.stop then begin
+    close cur;
+    None
+  end
+  else begin
+    if
+      cur.next_index < cur.buf_base
+      || cur.next_index >= cur.buf_base + cur.buffered
+    then refill cur;
+    let off = (cur.next_index - cur.buf_base) * cur.ds.item_bytes in
+    let r = Bytes.sub cur.buf off cur.ds.item_bytes in
+    cur.next_index <- cur.next_index + 1;
+    r |> Option.some
+  end

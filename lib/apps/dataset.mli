@@ -1,0 +1,59 @@
+(** Out-of-core dataset cache: files of fixed-size records, generated
+    once from a deterministic record function and read back in chunks.
+
+    The synthetic datasets are functions of [(seed, index)]
+    ({!Prng.hash2}), so a cache file is write-once: {!ensure} generates
+    it through a temp-file-plus-rename (a crash mid-write never leaves a
+    truncated cache that looks valid) and later calls just reuse it,
+    keyed by name, record count and record size.  Readers —
+    {!pread} windows and sequential {!cursor}s — pull bounded chunks
+    (~1 MiB), so pipelines can stream datasets far larger than memory:
+    the out-of-core leg of the spill-to-disk story
+    ([--mem-budget], {!Datacutter.Bqueue}). *)
+
+type t
+(** A generated dataset cache file. *)
+
+val ensure :
+  ?dir:string ->
+  name:string ->
+  items:int ->
+  item_bytes:int ->
+  gen:(int -> Bytes.t) ->
+  unit ->
+  t
+(** [ensure ~name ~items ~item_bytes ~gen ()] returns the dataset at
+    [dir]/[name]-[items]x[item_bytes].dat, generating it chunk-by-chunk
+    with [gen] (record index -> exactly [item_bytes] bytes) if the file
+    is missing or has the wrong size.  [dir] defaults to a
+    [cgppc-datasets] directory under the system temp dir and is created
+    as needed.  [gen] must be deterministic — the cache is keyed only by
+    name and geometry.
+
+    @raise Invalid_argument on negative [items], non-positive
+    [item_bytes], or a [gen] result of the wrong length. *)
+
+val items : t -> int
+val item_bytes : t -> int
+val path : t -> string
+val size_bytes : t -> int
+
+val pread : t -> start:int -> count:int -> Bytes.t
+(** Read records [[start, start + count)] as one contiguous byte block
+    (windowed access, e.g. the plane slab covering one packet).
+    @raise Invalid_argument when the range is out of bounds. *)
+
+(** Sequential chunked reader over a record range. *)
+type cursor
+
+val cursor : ?chunk_items:int -> t -> start:int -> stop:int -> cursor
+(** Records [[start, stop)], buffered [chunk_items] at a time (default:
+    ~1 MiB worth).  @raise Invalid_argument on a bad range. *)
+
+val next : cursor -> Bytes.t option
+(** The next record, or [None] once the range is exhausted (the
+    underlying channel is closed on exhaustion). *)
+
+val close : cursor -> unit
+(** Release the underlying channel; idempotent.  A later {!next} on a
+    non-exhausted cursor transparently reopens. *)

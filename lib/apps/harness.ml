@@ -38,7 +38,7 @@ let vmscope_app ?(name = "vmscope") (cfg : Vmscope.config) =
     source_externs = Vmscope.source_externs;
   }
 
-let iso_app ?(name = "isosurface") ~variant (cfg : Isosurface.config) =
+let iso_app ?(name = "isosurface") ?grid ~variant (cfg : Isosurface.config) =
   {
     name;
     source =
@@ -46,7 +46,10 @@ let iso_app ?(name = "isosurface") ~variant (cfg : Isosurface.config) =
       | `Zbuffer -> Isosurface.zbuffer_source
       | `Apix -> Isosurface.apix_source);
     externs_sig = Isosurface.externs_sig;
-    externs = Isosurface.externs cfg;
+    externs =
+      (match grid with
+      | None -> Isosurface.externs cfg
+      | Some ds -> Isosurface.externs_cached cfg ds);
     runtime_defs = Isosurface.runtime_defs cfg;
     num_packets = cfg.Isosurface.num_packets;
     source_externs = Isosurface.source_externs;
@@ -119,20 +122,30 @@ let compile ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
    emission is what crosses the stage boundary).  Small items earn big
    batches up to the [batch] ceiling; [None] when batching is off, so
    callers fall through to the unbatched default. *)
+let item_bytes_of (c : Compile.t) ~(widths : int array) =
+  let m = Array.length widths in
+  let asg = c.Compile.assignment in
+  let vol = c.Compile.profile.Profile.profile.Costmodel.vol_out in
+  Array.init m (fun s ->
+      let last = ref (-1) in
+      Array.iteri (fun i u -> if u = s + 1 then last := i) asg;
+      if !last < 0 then 1.0 else Float.max 1.0 vol.(!last))
+
 let batch_plan (c : Compile.t) ~(widths : int array) ~batch =
   if batch <= 1 then None
-  else begin
-    let m = Array.length widths in
-    let asg = c.Compile.assignment in
-    let vol = c.Compile.profile.Profile.profile.Costmodel.vol_out in
-    let item_bytes =
-      Array.init m (fun s ->
-          let last = ref (-1) in
-          Array.iteri (fun i u -> if u = s + 1 then last := i) asg;
-          if !last < 0 then 1.0 else Float.max 1.0 vol.(!last))
-    in
+  else
+    let item_bytes = item_bytes_of c ~widths in
     Some (Datacutter.Engine.plan_batches ~cap:batch ~item_bytes ())
-  end
+
+(* Per-queue byte budgets from the same cost-model item sizes: heavier
+   streams get proportionally more of the run's memory budget, so every
+   queue spills at about the same item depth. *)
+let budget_plan (c : Compile.t) ~(widths : int array) ~mem_budget =
+  match mem_budget with
+  | None -> None
+  | Some total ->
+      let item_bytes = item_bytes_of c ~widths in
+      Some (Datacutter.Engine.plan_queue_budgets ~total ~item_bytes ~widths)
 
 (* Run one cell: compile for the configuration, execute on the chosen
    backend (default: the simulated cluster), return (elapsed seconds,
@@ -142,7 +155,7 @@ let batch_plan (c : Compile.t) ~(widths : int array) ~batch =
    batching with a cost-model-derived per-stage plan. *)
 let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     ?(layout_mode = `Auto) ?(backend = Datacutter.Runtime.Sim) ?faults ?policy
-    ?(batch = 1) ~(widths : int array) (app : app) =
+    ?(batch = 1) ?mem_budget ~(widths : int array) (app : app) =
   let c = compile ~cluster ~strategy ~layout_mode ~widths app in
   let powers = node_powers cluster widths in
   let bandwidths = Array.make (Array.length widths - 1) cluster.bandwidth in
@@ -151,8 +164,10 @@ let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
       ~latency:cluster.latency ()
   in
   let stage_batch = batch_plan c ~widths ~batch in
+  let queue_budgets = budget_plan c ~widths ~mem_budget in
   match
-    Datacutter.Runtime.run_result ~backend ?faults ?policy ?stage_batch topo
+    Datacutter.Runtime.run_result ~backend ?faults ?policy ?stage_batch
+      ?mem_budget ?queue_budgets topo
   with
   | Error _ as e -> e
   | Ok metrics ->

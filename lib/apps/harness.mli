@@ -19,8 +19,16 @@ type app = {
 
 val knn_app : ?name:string -> Knn.config -> app
 val vmscope_app : ?name:string -> Vmscope.config -> app
+
+(** [grid] switches the data source to the cached corner grid
+    ({!Isosurface.cached_grid}) — bit-identical results with bounded
+    memory, for out-of-core dataset sizes. *)
 val iso_app :
-  ?name:string -> variant:[ `Zbuffer | `Apix ] -> Isosurface.config -> app
+  ?name:string ->
+  ?grid:Dataset.t ->
+  variant:[ `Zbuffer | `Apix ] ->
+  Isosurface.config ->
+  app
 
 (** The simulated cluster (substitute for the paper's 700 MHz Pentium
     nodes on Myrinet): node and view-desktop powers in weighted
@@ -67,6 +75,14 @@ val compile :
 val batch_plan :
   Compile.t -> widths:int array -> batch:int -> int array option
 
+(** Per-queue byte budgets from the cost model's item sizes: splits
+    [mem_budget] (total bytes for the run) over the consumer queues in
+    proportion to the bytes crossing each stage boundary
+    ({!Datacutter.Engine.plan_queue_budgets}), so every queue spills at
+    about the same item depth.  [None] when [mem_budget] is [None]. *)
+val budget_plan :
+  Compile.t -> widths:int array -> mem_budget:int option -> int array option
+
 (** Compile for the configuration and execute on [backend] (default
     [Sim], the simulated cluster; [Par] runs on domains, [Proc] on
     forked worker processes): returns (elapsed seconds, total bytes
@@ -75,7 +91,9 @@ val batch_plan :
     ({!Datacutter.Fault}, {!Datacutter.Supervisor}), so cells can be
     produced under scripted degradation.  [batch] (default 1, meaning
     off) enables engine-level item batching, with per-stage caps derived
-    from the cost model via {!batch_plan}. *)
+    from the cost model via {!batch_plan}.  [mem_budget] (total bytes)
+    bounds queue memory with spill-to-disk back-pressure, split per
+    stage via {!budget_plan}. *)
 val run_cell :
   ?cluster:cluster ->
   ?strategy:Compile.strategy ->
@@ -84,6 +102,7 @@ val run_cell :
   ?faults:Datacutter.Fault.plan ->
   ?policy:Datacutter.Supervisor.policy ->
   ?batch:int ->
+  ?mem_budget:int ->
   widths:int array ->
   app ->
   ( float * float * (string * Value.t) list * Compile.t,

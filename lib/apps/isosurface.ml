@@ -61,24 +61,26 @@ let cube_count cfg = cfg.grid_dim * cfg.grid_dim * cfg.grid_dim
 
 let per_packet cfg = (cube_count cfg + cfg.num_packets - 1) / cfg.num_packets
 
-(* Build the Cube object for global cube index [gi]. *)
-let make_cube cfg gi =
-  let d = cfg.grid_dim in
+(* Build the Cube object for global cube index [gi], corner values
+   supplied by [corner] (the analytic field, or the cached grid). *)
+let make_cube_with ~corner d gi =
   let cx = gi mod d and cy = gi / d mod d and cz = gi / (d * d) in
   let fields = Hashtbl.create 12 in
   let setf name v = Hashtbl.replace fields name (V.Vfloat v) in
   setf "x" (float_of_int cx);
   setf "y" (float_of_int cy);
   setf "z" (float_of_int cz);
-  setf "v000" (field cfg cx cy cz);
-  setf "v001" (field cfg cx cy (cz + 1));
-  setf "v010" (field cfg cx (cy + 1) cz);
-  setf "v011" (field cfg cx (cy + 1) (cz + 1));
-  setf "v100" (field cfg (cx + 1) cy cz);
-  setf "v101" (field cfg (cx + 1) cy (cz + 1));
-  setf "v110" (field cfg (cx + 1) (cy + 1) cz);
-  setf "v111" (field cfg (cx + 1) (cy + 1) (cz + 1));
+  setf "v000" (corner cx cy cz);
+  setf "v001" (corner cx cy (cz + 1));
+  setf "v010" (corner cx (cy + 1) cz);
+  setf "v011" (corner cx (cy + 1) (cz + 1));
+  setf "v100" (corner (cx + 1) cy cz);
+  setf "v101" (corner (cx + 1) cy (cz + 1));
+  setf "v110" (corner (cx + 1) (cy + 1) cz);
+  setf "v111" (corner (cx + 1) (cy + 1) (cz + 1));
   V.Vobject { V.ocls = "Cube"; V.ofields = fields }
+
+let make_cube cfg gi = make_cube_with ~corner:(field cfg) cfg.grid_dim gi
 
 (* read_cubes(p): the cubes of packet p, charging a per-byte read cost to
    the hosting node (the data repository access of the paper). *)
@@ -98,6 +100,68 @@ let read_cubes_extern cfg : string * Interp.extern_fn =
         ctx.Interp.counter.Opcount.mem_ops + (96 * (hi - lo));
       V.Vlist vec )
 
+(* --- cached corner grid (out-of-core variant) ---------------------- *)
+
+(* The corner lattice as a dataset cache file: record [ci] is the
+   float64 bit pattern of [field] at corner [ci] (the [x + (d+1)(y +
+   (d+1)z)] enumeration [field]'s noise term already uses), so cached
+   reads reproduce the analytic field bit-for-bit. *)
+let cached_grid ?dir cfg =
+  let d1 = cfg.grid_dim + 1 in
+  Dataset.ensure ?dir
+    ~name:(Printf.sprintf "iso-grid-s%d-d%d" cfg.seed cfg.grid_dim)
+    ~items:(d1 * d1 * d1) ~item_bytes:8
+    ~gen:(fun ci ->
+      let x = ci mod d1 and y = ci / d1 mod d1 and z = ci / (d1 * d1) in
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.bits_of_float (field cfg x y z));
+      b)
+    ()
+
+(* read_cubes against the cached grid: one windowed read of the z-plane
+   slab covering the packet's cubes (planes are contiguous runs of
+   (d+1)^2 records), so memory stays bounded by the slab however large
+   the grid — the dataset itself never needs to be resident. *)
+let read_cubes_cached_extern cfg ds : string * Interp.extern_fn =
+  ( "read_cubes",
+    fun ctx args ->
+      let p = V.as_int (List.hd args) in
+      let per = per_packet cfg in
+      let lo = p * per and hi = min (cube_count cfg) ((p + 1) * per) in
+      let d = cfg.grid_dim in
+      let d1 = d + 1 in
+      let vec = V.Vec.create () in
+      if hi > lo then begin
+        let zlo = lo / (d * d) and zhi = ((hi - 1) / (d * d)) + 1 in
+        let base = zlo * d1 * d1 in
+        let window =
+          Dataset.pread ds ~start:base ~count:((zhi - zlo + 1) * d1 * d1)
+        in
+        let corner x y z =
+          let ci = x + (d1 * (y + (d1 * z))) in
+          Int64.float_of_bits (Bytes.get_int64_le window ((ci - base) * 8))
+        in
+        for gi = lo to hi - 1 do
+          V.Vec.push vec (make_cube_with ~corner d gi)
+        done
+      end;
+      ctx.Interp.counter.Opcount.mem_ops <-
+        ctx.Interp.counter.Opcount.mem_ops + (96 * (hi - lo));
+      V.Vlist vec )
+
+(* [scaled cfg n]: ~[n] times the cubes (cube-root growth per axis),
+   fixed per-packet size, so the packet count scales with the data. *)
+let scaled cfg factor =
+  if factor < 1 then invalid_arg "Isosurface.scaled: factor must be >= 1";
+  let f = float_of_int factor ** (1.0 /. 3.0) in
+  let dim =
+    max cfg.grid_dim
+      (int_of_float (Float.round (float_of_int cfg.grid_dim *. f)))
+  in
+  let per = per_packet cfg in
+  let cubes = dim * dim * dim in
+  { cfg with grid_dim = dim; num_packets = max 1 ((cubes + per - 1) / per) }
+
 let externs_sig =
   [
     Typecheck.
@@ -109,6 +173,7 @@ let externs_sig =
   ]
 
 let externs cfg = [ read_cubes_extern cfg ]
+let externs_cached cfg ds = [ read_cubes_cached_extern cfg ds ]
 let source_externs = [ "read_cubes" ]
 
 let runtime_defs cfg =

@@ -26,6 +26,11 @@ val large : config
 (** Test-sized configuration. *)
 val tiny : config
 
+(** [scaled cfg n]: ~[n] times the cubes (cube-root growth per axis)
+    with the per-packet size fixed, so the packet count scales with the
+    data — the dataset axis of the out-of-core sweep. *)
+val scaled : config -> int -> config
+
 (** The synthetic scalar field at a lattice corner. *)
 val field : config -> int -> int -> int -> float
 
@@ -35,8 +40,24 @@ val per_packet : config -> int
 (** The [read_cubes] data source (charges byte-bound read costs). *)
 val read_cubes_extern : config -> string * Interp.extern_fn
 
+(** The corner lattice as a write-once {!Dataset} cache file (float64
+    bit patterns of {!field}), for grids too large to recompute or hold
+    resident. *)
+val cached_grid : ?dir:string -> config -> Dataset.t
+
+(** [read_cubes] against {!cached_grid}: each packet reads only the
+    z-plane slab covering its cubes, reproducing the analytic field
+    bit-for-bit with bounded memory. *)
+val read_cubes_cached_extern :
+  config -> Dataset.t -> string * Interp.extern_fn
+
 val externs_sig : Typecheck.extern_sig list
 val externs : config -> (string * Interp.extern_fn) list
+
+(** The extern list with {!read_cubes_cached_extern} substituted. *)
+val externs_cached :
+  config -> Dataset.t -> (string * Interp.extern_fn) list
+
 val source_externs : string list
 val runtime_defs : config -> (string * int) list
 

@@ -17,27 +17,72 @@ type config = {
 let default = { items = 20_000; item_bytes = 32; work = 8.0 }
 let tiny = { items = 2_000; item_bytes = 32; work = 8.0 }
 
+(* Same per-item cost, [factor] times the stream: the out-of-core
+   sweep's dataset axis. *)
+let scaled cfg factor =
+  if factor < 1 then invalid_arg "Streambench.scaled: factor must be >= 1";
+  { cfg with items = cfg.items * factor }
+
 (* Deterministic payload: byte [j] of packet [p] is a mix of both, so
    the sink checksum catches reordering of bytes within an item as well
    as lost or duplicated items. *)
 let payload cfg p =
   Bytes.init cfg.item_bytes (fun j -> Char.chr (((p * 131) + (j * 7)) land 0xff))
 
-let topology cfg ~(widths : int array) ~(powers : float array)
+(* The whole stream as a dataset cache file — record [p] is exactly
+   [payload cfg p], so a file-backed run must reproduce the inline
+   [expected] checksum bit-for-bit. *)
+let dataset ?dir cfg =
+  Dataset.ensure ?dir
+    ~name:(Printf.sprintf "streambench-%d" cfg.item_bytes)
+    ~items:cfg.items ~item_bytes:cfg.item_bytes
+    ~gen:(fun p -> payload cfg p)
+    ()
+
+let topology cfg ?dataset ~(widths : int array) ~(powers : float array)
     ~(bandwidths : float array) ?(latency = 0.0) () :
     Topology.t * (unit -> int * int) =
   if Array.length widths <> 3 then invalid_arg "streambench: 3 stages";
+  (match dataset with
+  | Some ds
+    when Dataset.items ds <> cfg.items
+         || Dataset.item_bytes ds <> cfg.item_bytes ->
+      invalid_arg
+        (Printf.sprintf
+           "streambench: dataset is %dx%d but the config wants %dx%d"
+           (Dataset.items ds) (Dataset.item_bytes ds) cfg.items cfg.item_bytes)
+  | _ -> ());
   let count = ref 0 in
   let sum = ref 0 in
   let make_src k : Filter.source =
-    let next_packet = ref k in
-    let next () =
-      if !next_packet >= cfg.items then None
-      else begin
-        let p = !next_packet in
-        next_packet := !next_packet + widths.(0);
-        Some (Filter.make_buffer ~packet:p (payload cfg p), cfg.work)
-      end
+    let next =
+      match dataset with
+      | None ->
+          (* inline generation, copies interleaved by stride *)
+          let next_packet = ref k in
+          fun () ->
+            if !next_packet >= cfg.items then None
+            else begin
+              let p = !next_packet in
+              next_packet := !next_packet + widths.(0);
+              Some (Filter.make_buffer ~packet:p (payload cfg p), cfg.work)
+            end
+      | Some ds ->
+          (* file-backed: each copy streams a contiguous block through a
+             chunked cursor, so no copy ever holds more than one chunk.
+             Instantiation happens in the executing copy (domain or
+             forked worker), so every copy owns its own channel. *)
+          let w = widths.(0) in
+          let lo = cfg.items * k / w and hi = cfg.items * (k + 1) / w in
+          let cur = Dataset.cursor ds ~start:lo ~stop:hi in
+          let p = ref lo in
+          fun () ->
+            match Dataset.next cur with
+            | None -> None
+            | Some data ->
+                let packet = !p in
+                incr p;
+                Some (Filter.make_buffer ~packet data, cfg.work)
     in
     {
       Filter.src_name = Printf.sprintf "sb-src[%d]" k;

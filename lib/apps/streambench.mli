@@ -15,10 +15,26 @@ type config = {
 val default : config
 val tiny : config
 
+(** [scaled cfg n]: the same per-item shape, [n] times the stream — the
+    dataset axis of the out-of-core sweep ([bench outofcore]). *)
+val scaled : config -> int -> config
+
+(** The whole stream as a {!Dataset} cache file (record [p] is exactly
+    the payload of packet [p]), generated once and streamed back in
+    chunks — a file-backed run reproduces the inline {!expected}
+    checksum bit-for-bit while never holding the dataset in memory. *)
+val dataset : ?dir:string -> config -> Dataset.t
+
 (** Three-stage topology (source, pass-through, sink) plus a closure
-    returning the sink's (item count, byte checksum) after a run. *)
+    returning the sink's (item count, byte checksum) after a run.
+    [dataset] (from {!dataset}) switches the sources to file-backed
+    chunked reads: each source copy streams a contiguous block of
+    records through its own cursor (opened in the executing domain or
+    worker process).  @raise Invalid_argument when the dataset's
+    geometry does not match [config]. *)
 val topology :
   config ->
+  ?dataset:Dataset.t ->
   widths:int array ->
   powers:float array ->
   bandwidths:float array ->

@@ -21,6 +21,10 @@ type t = {
   agree : bool;
   predicted_link_s : float array;
   link_bound : bool;
+  mem_budget : int option;
+  spilled_bytes : int;
+  spill_segments : int;
+  mem_high_water : int;
 }
 
 let argmax (f : int -> float) n =
@@ -88,6 +92,10 @@ let make ~pipeline ~profile ~assignment ~(metrics : Datacutter.Engine.metrics)
     agree = predicted_bottleneck = measured_bottleneck;
     predicted_link_s = st.Costmodel.link_time;
     link_bound = max_link > max_unit;
+    mem_budget = metrics.Engine.mem_budget;
+    spilled_bytes = metrics.Engine.spilled_bytes;
+    spill_segments = metrics.Engine.spill_segments;
+    mem_high_water = metrics.Engine.mem_high_water;
   }
 
 let pp ppf t =
@@ -125,7 +133,19 @@ let pp ppf t =
   if t.link_bound then
     Fmt.pf ppf
       "  note: the model predicts a link outweighs every computing stage \
-       (communication-bound)@\n"
+       (communication-bound)@\n";
+  (match t.mem_budget with
+  | Some b ->
+      Fmt.pf ppf
+        "  memory: budget %d bytes, high water %d; spilled %d bytes in %d \
+         segment%s@\n"
+        b t.mem_high_water t.spilled_bytes t.spill_segments
+        (if t.spill_segments = 1 then "" else "s");
+      if t.spilled_bytes > 0 then
+        Fmt.pf ppf
+          "  note: the run went out of core — throughput includes spill \
+           I/O; raise --mem-budget to keep the working set resident@\n"
+  | None -> ())
 
 let to_json t =
   let module J = Obs.Json in
@@ -159,4 +179,13 @@ let to_json t =
       ("measured_bottleneck", J.Int t.measured_bottleneck);
       ("agree", J.Bool t.agree);
       ("link_bound", J.Bool t.link_bound);
+      ( "memory",
+        J.Obj
+          [
+            ( "budget",
+              match t.mem_budget with Some b -> J.Int b | None -> J.Null );
+            ("spilled_bytes", J.Int t.spilled_bytes);
+            ("spill_segments", J.Int t.spill_segments);
+            ("mem_high_water", J.Int t.mem_high_water);
+          ] );
     ]

@@ -40,6 +40,11 @@ type t = {
           every computing stage (communication-bound pipelines) *)
   link_bound : bool;
       (** the model predicts a link, not a stage, limits throughput *)
+  mem_budget : int option;      (** the run's queue-memory budget, if any *)
+  spilled_bytes : int;          (** bytes that overflowed to disk *)
+  spill_segments : int;         (** spill segments written *)
+  mem_high_water : int;
+      (** peak in-memory queue bytes (summed per-queue high waters) *)
 }
 
 val make :

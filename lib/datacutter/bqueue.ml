@@ -11,39 +11,117 @@
    wakeup would be wasted) cannot diverge between the single-item and
    batched variants.
 
+   Byte accounting and spill: every item is charged through a [cost]
+   function.  Without a spill config the queue behaves exactly as the
+   classic bounded queue (bytes are merely observed); with one, the
+   logical FIFO becomes three sections —
+
+     front (in-memory window)  ++  disk segments  ++  back (buffer)
+
+   Pushes land in [front] while it is under both the item capacity and
+   the byte budget AND nothing sits behind it; otherwise they append to
+   [back], which is flushed to an encoded on-disk segment once it
+   reaches the segment target.  Pops serve [front] and transparently
+   refill it from the oldest segment (or promote [back] when no
+   segments remain), preserving FIFO order.  Pushers NEVER block when
+   spill is enabled — back-pressure degrades to disk instead of
+   stalling the producer, so a budgeted run cannot deadlock on a
+   merely-large dataset.
+
    Two shutdown paths with different guarantees:
    - the shared [stop] flag is the *abort* path: every waiter (and every
      later caller) raises [Aborted] immediately, queued items may be
      dropped — the run has already failed;
    - [close] is the *graceful* path: blocked pushers wake exactly once
      and raise [Closed], poppers keep draining whatever was already
-     enqueued and only raise [Closed] once the queue is empty — no
-     accepted item is ever dropped. *)
+     enqueued — front, then disk segments, then back — and only raise
+     [Closed] once all three sections are empty: no accepted item is
+     ever dropped, spilled or not. *)
 
 exception Aborted
 exception Closed
 
+type 'a spill = {
+  sp_budget : int;
+  sp_dir : Spill.dir;
+  sp_encode : 'a -> string;
+  sp_decode : string -> 'a;
+  sp_seg_target : int;
+}
+
+let spill_config ~budget ~dir ~encode ~decode =
+  if budget < 0 then
+    invalid_arg
+      (Printf.sprintf "Bqueue.spill_config: budget must be >= 0 (got %d)"
+         budget);
+  {
+    sp_budget = budget;
+    sp_dir = dir;
+    sp_encode = encode;
+    sp_decode = decode;
+    (* Segments sized to the budget (clamped to [4 KiB, 256 KiB]) keep
+       the refill slack proportional: one refill loads at most one
+       segment over the window, so the in-memory high water stays
+       within budget + seg_target + one item. *)
+    sp_seg_target = max 4096 (min (max budget 1) 262144);
+  }
+
+type stats = {
+  st_items : int;
+  st_mem_bytes : int;
+  st_disk_items : int;
+  st_disk_bytes : int;
+  st_spilled_bytes : int;
+  st_spill_segments : int;
+  st_mem_high_water : int;
+}
+
 type 'a t = {
-  items : 'a Queue.t;
+  items : 'a Queue.t; (* front: the poppable in-memory window *)
+  back : 'a Queue.t; (* in-memory buffer behind the disk segments *)
+  segs : (string * int * int) Queue.t; (* (path, items, bytes), FIFO *)
   mutex : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
   capacity : int;
   stop : bool Atomic.t;
+  cost : 'a -> int;
+  spill : 'a spill option;
   mutable closed : bool; (* guarded by mutex *)
+  mutable mem_bytes : int; (* cost of items in front + back *)
+  mutable back_bytes : int;
+  mutable disk_items : int;
+  mutable disk_bytes : int;
+  mutable spilled_bytes : int; (* cumulative segment bytes written *)
+  mutable spill_segments : int; (* cumulative segments written *)
+  mutable high_water : int; (* max mem_bytes ever *)
   occupancy : Obs.Hist.t;  (* length after each push/pop; guarded by mutex *)
   batches : Obs.Hist.t;    (* items moved per pop/pop_all; guarded by mutex *)
 }
 
-let create ~stop capacity =
+let create ?(cost = fun _ -> 0) ?spill ~stop capacity =
+  if capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Bqueue.create: capacity must be >= 1 (got %d)" capacity);
   {
     items = Queue.create ();
+    back = Queue.create ();
+    segs = Queue.create ();
     mutex = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
     capacity;
     stop;
+    cost;
+    spill;
     closed = false;
+    mem_bytes = 0;
+    back_bytes = 0;
+    disk_items = 0;
+    disk_bytes = 0;
+    spilled_bytes = 0;
+    spill_segments = 0;
+    high_water = 0;
     occupancy = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
     batches = Obs.Hist.create ~bounds:(Obs.Hist.occupancy_bounds ~capacity);
   }
@@ -68,29 +146,118 @@ let dequeued q n =
       else Condition.broadcast q.not_full
   end
 
+let charge q c =
+  q.mem_bytes <- q.mem_bytes + c;
+  if q.mem_bytes > q.high_water then q.high_water <- q.mem_bytes
+
 let check_stop q =
   if Atomic.get q.stop then begin
     Mutex.unlock q.mutex;
     raise Aborted
   end
 
+(* All three sections empty?  (Mutex held.) *)
+let logically_empty q =
+  Queue.is_empty q.items && Queue.is_empty q.back && Queue.is_empty q.segs
+
+(* Flush [back] to one on-disk segment.  (Mutex held.) *)
+let flush_back q sp =
+  if not (Queue.is_empty q.back) then begin
+    let n = Queue.length q.back in
+    let payloads =
+      Queue.fold (fun acc x -> sp.sp_encode x :: acc) [] q.back |> List.rev
+    in
+    let path, bytes = Spill.write_segment sp.sp_dir payloads in
+    Queue.push (path, n, bytes) q.segs;
+    Queue.clear q.back;
+    q.mem_bytes <- q.mem_bytes - q.back_bytes;
+    q.back_bytes <- 0;
+    q.disk_items <- q.disk_items + n;
+    q.disk_bytes <- q.disk_bytes + bytes;
+    q.spilled_bytes <- q.spilled_bytes + bytes;
+    q.spill_segments <- q.spill_segments + 1
+  end
+
+(* Non-blocking budgeted enqueue of one item.  (Mutex held.) *)
+let spill_enqueue q sp x =
+  let c = q.cost x in
+  if
+    Queue.is_empty q.back && Queue.is_empty q.segs
+    && Queue.length q.items < q.capacity
+    && (Queue.is_empty q.items || q.mem_bytes + c <= sp.sp_budget)
+  then begin
+    Queue.push x q.items;
+    charge q c
+  end
+  else begin
+    Queue.push x q.back;
+    q.back_bytes <- q.back_bytes + c;
+    charge q c;
+    if q.back_bytes >= sp.sp_seg_target then flush_back q sp
+  end
+
+(* Make [front] non-empty if any section holds items: decode the
+   oldest disk segment, or promote [back] when no segments remain.
+   (Mutex held; disk I/O happens under the lock — segments are small
+   and bounded by [sp_seg_target].) *)
+let refill q sp =
+  if Queue.is_empty q.items then
+    if not (Queue.is_empty q.segs) then begin
+      let path, n, bytes = Queue.pop q.segs in
+      let payloads = Spill.read_segment path in
+      List.iter
+        (fun p ->
+          let x = sp.sp_decode p in
+          Queue.push x q.items;
+          charge q (q.cost x))
+        payloads;
+      q.disk_items <- q.disk_items - n;
+      q.disk_bytes <- q.disk_bytes - bytes
+    end
+    else if not (Queue.is_empty q.back) then begin
+      Queue.transfer q.back q.items;
+      q.back_bytes <- 0
+    end
+
+let maybe_refill q =
+  match q.spill with
+  | None -> ()
+  | Some sp -> (
+      match refill q sp with
+      | () -> ()
+      | exception e ->
+          Mutex.unlock q.mutex;
+          raise e)
+
 let push q x =
   let t0 = Obs.Clock.elapsed_s () in
   Mutex.lock q.mutex;
-  while
-    Queue.length q.items >= q.capacity
-    && (not (Atomic.get q.stop))
-    && not q.closed
-  do
-    Condition.wait q.not_full q.mutex
-  done;
+  (match q.spill with
+  | None ->
+      while
+        Queue.length q.items >= q.capacity
+        && (not (Atomic.get q.stop))
+        && not q.closed
+      do
+        Condition.wait q.not_full q.mutex
+      done
+  | Some _ -> ());
   check_stop q;
   if q.closed then begin
     Mutex.unlock q.mutex;
     raise Closed
   end;
   let blocked = Obs.Clock.elapsed_s () -. t0 in
-  Queue.push x q.items;
+  (match q.spill with
+  | None ->
+      Queue.push x q.items;
+      charge q (q.cost x)
+  | Some sp -> (
+      match spill_enqueue q sp x with
+      | () -> ()
+      | exception e ->
+          Mutex.unlock q.mutex;
+          raise e));
   enqueued q 1;
   Mutex.unlock q.mutex;
   blocked
@@ -98,63 +265,86 @@ let push q x =
 (* Enqueue the whole batch, in waves when it exceeds the free space (or
    even the capacity): each wave waits for room for at least one item,
    fills the queue, and wakes consumers once.  All-or-nothing is not
-   required — items of one batch are independent stream elements. *)
+   required — items of one batch are independent stream elements.
+   Under a spill config there are no waves: the whole batch is
+   accepted immediately (overflow goes to the back buffer / disk). *)
 let push_all q xs =
   match xs with
   | [] -> 0.0
   | [ x ] -> push q x
-  | xs ->
-      let t0 = Obs.Clock.elapsed_s () in
-      Mutex.lock q.mutex;
-      let rec waves xs =
-        match xs with
-        | [] -> ()
-        | xs ->
-            while
-              Queue.length q.items >= q.capacity
-              && (not (Atomic.get q.stop))
-              && not q.closed
-            do
-              Condition.wait q.not_full q.mutex
-            done;
-            check_stop q;
-            if q.closed then begin
+  | xs -> (
+      match q.spill with
+      | Some sp ->
+          let t0 = Obs.Clock.elapsed_s () in
+          Mutex.lock q.mutex;
+          check_stop q;
+          if q.closed then begin
+            Mutex.unlock q.mutex;
+            raise Closed
+          end;
+          let n = List.length xs in
+          (match List.iter (spill_enqueue q sp) xs with
+          | () -> ()
+          | exception e ->
               Mutex.unlock q.mutex;
-              raise Closed
-            end;
-            let room = q.capacity - Queue.length q.items in
-            let rec take n = function
-              | x :: rest when n > 0 ->
-                  Queue.push x q.items;
-                  take (n - 1) rest
-              | rest -> rest
-            in
-            let rest = take room xs in
-            enqueued q (min room (List.length xs));
-            waves rest
-      in
-      waves xs;
-      let blocked = Obs.Clock.elapsed_s () -. t0 in
-      Mutex.unlock q.mutex;
-      blocked
+              raise e);
+          enqueued q n;
+          let blocked = Obs.Clock.elapsed_s () -. t0 in
+          Mutex.unlock q.mutex;
+          blocked
+      | None ->
+          let t0 = Obs.Clock.elapsed_s () in
+          Mutex.lock q.mutex;
+          let rec waves xs =
+            match xs with
+            | [] -> ()
+            | xs ->
+                while
+                  Queue.length q.items >= q.capacity
+                  && (not (Atomic.get q.stop))
+                  && not q.closed
+                do
+                  Condition.wait q.not_full q.mutex
+                done;
+                check_stop q;
+                if q.closed then begin
+                  Mutex.unlock q.mutex;
+                  raise Closed
+                end;
+                let room = q.capacity - Queue.length q.items in
+                let rec take n = function
+                  | x :: rest when n > 0 ->
+                      Queue.push x q.items;
+                      charge q (q.cost x);
+                      take (n - 1) rest
+                  | rest -> rest
+                in
+                let rest = take room xs in
+                enqueued q (min room (List.length xs));
+                waves rest
+          in
+          waves xs;
+          let blocked = Obs.Clock.elapsed_s () -. t0 in
+          Mutex.unlock q.mutex;
+          blocked)
 
 let pop q =
   let t0 = Obs.Clock.elapsed_s () in
   Mutex.lock q.mutex;
-  while
-    Queue.is_empty q.items && (not (Atomic.get q.stop)) && not q.closed
-  do
+  while logically_empty q && (not (Atomic.get q.stop)) && not q.closed do
     Condition.wait q.not_empty q.mutex
   done;
   check_stop q;
   (* Closed but non-empty: keep draining — close never drops an
-     already-enqueued item. *)
-  if Queue.is_empty q.items then begin
+     already-enqueued item, spilled or not. *)
+  if logically_empty q then begin
     Mutex.unlock q.mutex;
     raise Closed
   end;
   let blocked = Obs.Clock.elapsed_s () -. t0 in
+  maybe_refill q;
   let x = Queue.pop q.items in
+  q.mem_bytes <- q.mem_bytes - q.cost x;
   dequeued q 1;
   Mutex.unlock q.mutex;
   (x, blocked)
@@ -169,19 +359,23 @@ let pop_all q ~max:cap =
   else begin
     let t0 = Obs.Clock.elapsed_s () in
     Mutex.lock q.mutex;
-    while
-      Queue.is_empty q.items && (not (Atomic.get q.stop)) && not q.closed
-    do
+    while logically_empty q && (not (Atomic.get q.stop)) && not q.closed do
       Condition.wait q.not_empty q.mutex
     done;
     check_stop q;
-    if Queue.is_empty q.items then begin
+    if logically_empty q then begin
       Mutex.unlock q.mutex;
       raise Closed
     end;
     let blocked = Obs.Clock.elapsed_s () -. t0 in
+    maybe_refill q;
     let n = min cap (Queue.length q.items) in
-    let xs = List.init n (fun _ -> Queue.pop q.items) in
+    let xs =
+      List.init n (fun _ ->
+          let x = Queue.pop q.items in
+          q.mem_bytes <- q.mem_bytes - q.cost x;
+          x)
+    in
     dequeued q n;
     Mutex.unlock q.mutex;
     (xs, blocked)
@@ -198,16 +392,18 @@ let close q =
 
 let length q =
   Mutex.lock q.mutex;
-  let n = Queue.length q.items in
+  let n = Queue.length q.items + q.disk_items + Queue.length q.back in
   Mutex.unlock q.mutex;
   n
 
 let try_pop q =
   Mutex.lock q.mutex;
+  maybe_refill q;
   let x =
     if Queue.is_empty q.items then None
     else begin
       let x = Queue.pop q.items in
+      q.mem_bytes <- q.mem_bytes - q.cost x;
       dequeued q 1;
       Some x
     end
@@ -220,6 +416,22 @@ let wake q =
   Condition.broadcast q.not_empty;
   Condition.broadcast q.not_full;
   Mutex.unlock q.mutex
+
+let stats q =
+  Mutex.lock q.mutex;
+  let s =
+    {
+      st_items = Queue.length q.items + q.disk_items + Queue.length q.back;
+      st_mem_bytes = q.mem_bytes;
+      st_disk_items = q.disk_items;
+      st_disk_bytes = q.disk_bytes;
+      st_spilled_bytes = q.spilled_bytes;
+      st_spill_segments = q.spill_segments;
+      st_mem_high_water = q.high_water;
+    }
+  in
+  Mutex.unlock q.mutex;
+  s
 
 let occupancy q = q.occupancy
 let batches q = q.batches

@@ -24,6 +24,42 @@ type item =
   | Final of Filter.buffer
   | Marker
 
+(* Byte cost of an item sitting in a queue, as charged against memory
+   budgets: the payload plus a small fixed overhead for the boxing.
+   Must be stable across push/pop of the same item. *)
+let item_cost = function
+  | Data b | Final b -> 24 + Filter.buffer_size b
+  | Marker -> 8
+
+(* Item codec for spill segments (and anything else that needs to park
+   an item as bytes): Wirefmt tag + packet + payload.  Total, and
+   self-inverse on every constructor. *)
+let encode_item it =
+  let b = Buffer.create 64 in
+  (match it with
+  | Marker -> Wirefmt.buf_add_int b 0
+  | Data buf ->
+      Wirefmt.buf_add_int b 1;
+      Wirefmt.buf_add_int b buf.Filter.packet;
+      Wirefmt.buf_add_bytes b buf.Filter.data
+  | Final buf ->
+      Wirefmt.buf_add_int b 2;
+      Wirefmt.buf_add_int b buf.Filter.packet;
+      Wirefmt.buf_add_bytes b buf.Filter.data);
+  Buffer.contents b
+
+let decode_item s =
+  let r = Wirefmt.reader_of (Bytes.unsafe_of_string s) in
+  match Wirefmt.read_int r with
+  | 0 -> Marker
+  | 1 ->
+      let packet = Wirefmt.read_int r in
+      Data { Filter.packet; data = Wirefmt.read_bytes r }
+  | 2 ->
+      let packet = Wirefmt.read_int r in
+      Final { Filter.packet; data = Wirefmt.read_bytes r }
+  | n -> invalid_arg (Printf.sprintf "Engine.decode_item: unknown tag %d" n)
+
 type copy = {
   stage : int;
   index : int;
@@ -57,6 +93,41 @@ let state_name = function
   | 5 -> "done"
   | _ -> "unknown"
 
+(* Byte/spill occupancy of one copy's input queue, as sampled by the
+   watchdog, the timeseries sampler and the final metrics.  Backends
+   without a real queue for a copy (sources) return {!no_queue_stats}. *)
+type queue_stats = {
+  qs_items : int;  (* logical backlog, spilled items included *)
+  qs_mem_bytes : int;
+  qs_disk_items : int;
+  qs_disk_bytes : int;
+  qs_spilled_bytes : int;  (* cumulative *)
+  qs_spill_segments : int;  (* cumulative *)
+  qs_mem_high_water : int;
+}
+
+let no_queue_stats =
+  {
+    qs_items = 0;
+    qs_mem_bytes = 0;
+    qs_disk_items = 0;
+    qs_disk_bytes = 0;
+    qs_spilled_bytes = 0;
+    qs_spill_segments = 0;
+    qs_mem_high_water = 0;
+  }
+
+let queue_stats_of_bqueue (s : Bqueue.stats) =
+  {
+    qs_items = s.Bqueue.st_items;
+    qs_mem_bytes = s.Bqueue.st_mem_bytes;
+    qs_disk_items = s.Bqueue.st_disk_items;
+    qs_disk_bytes = s.Bqueue.st_disk_bytes;
+    qs_spilled_bytes = s.Bqueue.st_spilled_bytes;
+    qs_spill_segments = s.Bqueue.st_spill_segments;
+    qs_mem_high_water = s.Bqueue.st_mem_high_water;
+  }
+
 type executor = {
   exec_backend : backend;
   exec_now : unit -> float;
@@ -65,6 +136,7 @@ type executor = {
   exec_send_batch :
     src:copy -> dst_stage:int -> dst_copy:int -> item list -> unit;
   exec_queue_len : stage:int -> copy:int -> int;
+  exec_queue_stats : stage:int -> copy:int -> queue_stats;
   exec_wake : unit -> unit;
 }
 
@@ -91,6 +163,8 @@ type t = {
   stall_pop : float array array;
   stall_push : float array array;
   batch_hist : Obs.Hist.t array array;  (* flushed batch sizes *)
+  mem_budget : int option;       (* total in-memory byte budget *)
+  queue_budgets : int array option;  (* per-queue budget by stage *)
   mutable exec : executor option;
 }
 
@@ -113,14 +187,36 @@ let resolve_batches ~n_stages ~batch ~stage_batch =
       if n_stages > 0 then sb.(n_stages - 1) <- 1;
       Ok sb
 
+(* Validate the budget knobs alongside the topology: a plan must have
+   one entry per stage, and every budget must be non-negative. *)
+let resolve_budgets ~n_stages ~mem_budget ~queue_budgets =
+  match (mem_budget, queue_budgets) with
+  | Some b, _ when b < 0 ->
+      Error
+        (Supervisor.Invalid_topology
+           (Printf.sprintf "memory budget must be >= 0 (got %d)" b))
+  | _, Some a when Array.length a <> n_stages ->
+      Error
+        (Supervisor.Invalid_topology
+           (Printf.sprintf "queue_budgets has %d entries for %d stages"
+              (Array.length a) n_stages))
+  | _, Some a when Array.exists (fun b -> b < 0) a ->
+      Error
+        (Supervisor.Invalid_topology "queue_budgets entries must be >= 0")
+  | _ -> Ok ()
+
 let create ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
-    ?queue_capacity ?(batch = 1) ?stage_batch (topo : Topology.t) =
+    ?queue_capacity ?(batch = 1) ?stage_batch ?mem_budget ?queue_budgets
+    (topo : Topology.t) =
   match Supervisor.validate ?queue_capacity topo with
   | Error e -> Error e
   | Ok () -> (
       let stages = Array.of_list topo.Topology.stages in
       let n_stages = Array.length stages in
-      match resolve_batches ~n_stages ~batch ~stage_batch with
+      match
+        Result.bind (resolve_budgets ~n_stages ~mem_budget ~queue_budgets)
+          (fun () -> resolve_batches ~n_stages ~batch ~stage_batch)
+      with
       | Error e -> Error e
       | Ok send_batch ->
           let per_copy mk =
@@ -181,6 +277,8 @@ let create ?(faults = Fault.empty) ?(policy = Supervisor.default_policy)
                             (Obs.Hist.occupancy_bounds
                                ~capacity:send_batch.(s))))
                   stages;
+              mem_budget;
+              queue_budgets;
               exec = None;
             })
 
@@ -220,6 +318,51 @@ let plan_batches ~cap ?(budget_bytes = default_batch_budget_bytes)
         max 1 (min cap (int_of_float per_flush)))
       item_bytes
 let width t s = t.stages.(s).Topology.width
+
+(* Plan per-queue byte budgets from the cost model, mirroring
+   {!plan_batches}: a [total] run budget is split over the consumer
+   queues of stages 1..m-1 in proportion to the size of the items that
+   flow into each ([item_bytes].(s) = bytes of one item leaving stage
+   [s], the {!plan_batches} convention), so the stage carrying the fat
+   items gets the fat share.  Entry 0 (sources have no input queue) is
+   0; every consumer entry is at least 1 so a tiny total still yields
+   a well-formed (heavily spilling) plan. *)
+let plan_queue_budgets ~total ~item_bytes ~widths =
+  if total < 0 then
+    invalid_arg
+      (Printf.sprintf "Engine.plan_queue_budgets: total must be >= 0 (got %d)"
+         total);
+  let m = Array.length widths in
+  let weight s = Float.max 1.0 item_bytes.(s - 1) in
+  let denom = ref 0.0 in
+  for s = 1 to m - 1 do
+    denom := !denom +. (float_of_int widths.(s) *. weight s)
+  done;
+  Array.init m (fun s ->
+      if s = 0 then 0
+      else
+        max 1
+          (int_of_float
+             (float_of_int total *. weight s /. Float.max 1.0 !denom)))
+
+(* The in-memory byte budget of one consumer queue at [stage] (>= 1):
+   the planned per-stage entry when a plan was given, otherwise an even
+   split of the run total over all consumer queues; [None] when the run
+   is unbudgeted (queues then block instead of spilling). *)
+let queue_budget t ~stage =
+  match t.queue_budgets with
+  | Some plan -> Some plan.(stage)
+  | None -> (
+      match t.mem_budget with
+      | None -> None
+      | Some total ->
+          let consumers = ref 0 in
+          for s = 1 to t.n_stages - 1 do
+            consumers := !consumers + width t s
+          done;
+          Some (max 1 (total / max 1 !consumers)))
+
+let mem_budget t = t.mem_budget
 let stage_name t s = t.stages.(s).Topology.stage_name
 let copy_at t ~stage ~copy = t.copies.(stage).(copy)
 let is_sink_stage t s = s = t.n_stages - 1
@@ -505,6 +648,7 @@ let copy_report ?state_of t =
   List.concat
     (List.init t.n_stages (fun s ->
          List.init (width t s) (fun k ->
+             let qs = exec.exec_queue_stats ~stage:s ~copy:k in
              {
                Supervisor.cr_stage = s;
                cr_copy = k;
@@ -512,6 +656,8 @@ let copy_report ?state_of t =
                cr_state = state_of ~stage:s ~copy:k;
                cr_items = t.items_grid.(s).(k);
                cr_queue_len = exec.exec_queue_len ~stage:s ~copy:k;
+               cr_queue_bytes = qs.qs_mem_bytes;
+               cr_spilled_items = qs.qs_disk_items;
              })))
 
 (* Trip when the progress counter stands still for the threshold while
@@ -595,7 +741,16 @@ let watchdog_loop t ~ms =
    racy-but-benign, exactly like the watchdog's [copy_report]: each
    cell has a single writer and a torn read only skews one sample. *)
 
-let sample_metrics = [ "busy_s"; "stall_pop_s"; "stall_push_s"; "queue_len"; "items_per_s" ]
+let sample_metrics =
+  [
+    "busy_s";
+    "stall_pop_s";
+    "stall_push_s";
+    "queue_len";
+    "items_per_s";
+    "queue_bytes";
+    "spilled_items";
+  ]
 
 type sampler = {
   smp_series : Obs.Timeseries.t;
@@ -644,6 +799,9 @@ let sampler_take smp t ~ts =
         (if dt > 0.0 then
            float_of_int (items - smp.smp_prev_items.(s).(k)) /. dt
          else 0.0);
+      let qs = exec.exec_queue_stats ~stage:s ~copy:k in
+      vals.(!j + 5) <- float_of_int qs.qs_mem_bytes;
+      vals.(!j + 6) <- float_of_int qs.qs_disk_items;
       smp.smp_prev_items.(s).(k) <- items;
       j := !j + List.length sample_metrics
     done
@@ -789,12 +947,30 @@ type metrics = {
   extra : (string * Obs.Json.t) list;
   copies : Supervisor.copy_report list;
   recovery : Supervisor.recovery;
+  mem_budget : int option;  (* total in-memory budget, if the run had one *)
+  spilled_bytes : int;  (* cumulative segment bytes written, all queues *)
+  spill_segments : int;  (* cumulative segments written, all queues *)
+  mem_high_water : int;
+      (* sum of per-queue in-memory high waters: an upper bound on the
+         peak simultaneous queue memory of the run *)
 }
 
 let metrics t ~elapsed_s ?queue_occupancy ?link_stats ?timeseries
     ?(extra = []) () =
+  let exec = executor t in
+  let spilled_bytes = ref 0
+  and spill_segments = ref 0
+  and mem_high_water = ref 0 in
+  for s = 0 to t.n_stages - 1 do
+    for k = 0 to width t s - 1 do
+      let qs = exec.exec_queue_stats ~stage:s ~copy:k in
+      spilled_bytes := !spilled_bytes + qs.qs_spilled_bytes;
+      spill_segments := !spill_segments + qs.qs_spill_segments;
+      mem_high_water := !mem_high_water + qs.qs_mem_high_water
+    done
+  done;
   {
-    backend = (executor t).exec_backend;
+    backend = exec.exec_backend;
     elapsed_s;
     stage_names = Array.map (fun s -> s.Topology.stage_name) t.stages;
     busy_s = t.busy;
@@ -812,6 +988,10 @@ let metrics t ~elapsed_s ?queue_occupancy ?link_stats ?timeseries
     extra;
     copies = copy_report t;
     recovery = t.rec_counters;
+    mem_budget = t.mem_budget;
+    spilled_bytes = !spilled_bytes;
+    spill_segments = !spill_segments;
+    mem_high_water = !mem_high_water;
   }
 
 let total_bytes m =
@@ -870,6 +1050,17 @@ let metrics_to_json m =
       ("elapsed_s", Obs.Json.Float m.elapsed_s);
       ("total_bytes", Obs.Json.Float (total_bytes m));
       ("batch", ints m.batch_plan);
+      ( "memory",
+        Obs.Json.Obj
+          [
+            ( "budget",
+              match m.mem_budget with
+              | Some b -> Obs.Json.Int b
+              | None -> Obs.Json.Null );
+            ("spilled_bytes", Obs.Json.Int m.spilled_bytes);
+            ("spill_segments", Obs.Json.Int m.spill_segments);
+            ("mem_high_water", Obs.Json.Int m.mem_high_water);
+          ] );
       ("stages", Obs.Json.List stages);
     ]
   in
@@ -912,6 +1103,15 @@ let pp_metrics ppf m =
     Fmt.pf ppf "  batch plan: [%a]@\n"
       Fmt.(array ~sep:(any "; ") int)
       m.batch_plan;
+  (match m.mem_budget with
+  | Some b ->
+      Fmt.pf ppf
+        "  memory: budget=%d high_water=%d spilled=%d bytes in %d segments@\n"
+        b m.mem_high_water m.spilled_bytes m.spill_segments
+  | None ->
+      if m.spilled_bytes > 0 then
+        Fmt.pf ppf "  memory: spilled=%d bytes in %d segments@\n"
+          m.spilled_bytes m.spill_segments);
   Array.iteri
     (fun s name ->
       Fmt.pf ppf

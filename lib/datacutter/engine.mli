@@ -52,6 +52,17 @@ type item =
   | Final of Filter.buffer
   | Marker
 
+(** Byte cost of an item held in a queue, as charged against memory
+    budgets: payload plus a fixed boxing overhead.  Stable across
+    push/pop of the same item. *)
+val item_cost : item -> int
+
+(** Item codec for spill segments: Wirefmt tag + packet + payload.
+    [decode_item (encode_item it)] is [it] for every constructor. *)
+val encode_item : item -> string
+
+val decode_item : string -> item
+
 (** Shared per-copy protocol state.  Backends may read any field;
     [attempts] and [rr] are owner-only (mutated by the copy's own
     domain / the event loop), the atomics are cross-domain. *)
@@ -73,6 +84,26 @@ type copy = {
 
 type t
 
+(** Byte/spill occupancy of one copy's input queue, as sampled by the
+    watchdog report, the timeseries sampler and the final metrics.
+    Cumulative counters ([qs_spilled_bytes], [qs_spill_segments]) only
+    ever grow; the rest are live occupancy. *)
+type queue_stats = {
+  qs_items : int;  (** logical backlog, spilled items included *)
+  qs_mem_bytes : int;
+  qs_disk_items : int;
+  qs_disk_bytes : int;
+  qs_spilled_bytes : int;
+  qs_spill_segments : int;
+  qs_mem_high_water : int;
+}
+
+(** All zeros — for copies without a real input queue (sources). *)
+val no_queue_stats : queue_stats
+
+(** Adapt a {!Bqueue.stats} snapshot (domain and process backends). *)
+val queue_stats_of_bqueue : Bqueue.stats -> queue_stats
+
 type executor = {
   exec_backend : backend;
   exec_now : unit -> float;
@@ -85,6 +116,9 @@ type executor = {
           modeled transfer paying latency once (simulator), one wire
           frame (processes).  Only ever called with a non-empty list. *)
   exec_queue_len : stage:int -> copy:int -> int;
+  exec_queue_stats : stage:int -> copy:int -> queue_stats;
+      (** byte/spill occupancy of the copy's input queue;
+          {!no_queue_stats} where no queue exists *)
   exec_wake : unit -> unit;
 }
 
@@ -97,13 +131,23 @@ type executor = {
     unbatched hot path, bit-for-bit the pre-batching behaviour);
     [stage_batch] overrides it per stage (length must equal the number
     of stages; the sink's entry is forced to 1).  See {!plan_batches}
-    for deriving [stage_batch] from the cost model. *)
+    for deriving [stage_batch] from the cost model.
+
+    [mem_budget] is the run's total in-memory queue byte budget:
+    backends configure their queues to spill overflow to disk instead
+    of blocking, so back-pressure can never deadlock a budgeted run.
+    [queue_budgets] overrides the per-queue split (one entry per
+    stage, entry 0 ignored — see {!plan_queue_budgets}); without it
+    the total is split evenly over all consumer queues.  Omitting both
+    disables budgeting entirely (classic blocking back-pressure). *)
 val create :
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
   ?queue_capacity:int ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?mem_budget:int ->
+  ?queue_budgets:int array ->
   Topology.t ->
   (t, Supervisor.run_error) result
 
@@ -147,6 +191,30 @@ val default_batch_budget_bytes : int
     when [cap <= 1]. *)
 val plan_batches :
   cap:int -> ?budget_bytes:int -> item_bytes:float array -> unit -> int array
+
+(** {2 Memory budgets}
+
+    A budgeted run bounds the bytes its queues may hold in memory;
+    overflow spills to encoded on-disk segments (see {!Bqueue} and
+    {!Spill}) and is transparently read back, preserving FIFO order. *)
+
+(** Split a [total] run budget into per-queue budgets, one entry per
+    stage (entry 0, the source stage, gets 0 — it has no input queue).
+    Consumer queues are weighted by the size of the items that flow
+    into them: [item_bytes].(s) is the bytes of one item {e leaving}
+    stage [s] (the {!plan_batches} convention), so stage [s+1]'s
+    queues are weighted by [item_bytes].(s).  Every consumer entry is
+    at least 1. *)
+val plan_queue_budgets :
+  total:int -> item_bytes:float array -> widths:int array -> int array
+
+(** The in-memory byte budget of one consumer queue at [stage] (>= 1):
+    the planned entry when a plan was given, else an even split of the
+    run total; [None] on unbudgeted runs. *)
+val queue_budget : t -> stage:int -> int option
+
+(** The run's total budget as given to {!create}. *)
+val mem_budget : t -> int option
 
 (** A fresh filter/source instance for one copy (also used to rebuild a
     crashed copy before replay). *)
@@ -281,7 +349,7 @@ type sampler
 
 (** Column names follow ["<copy_label>:<metric>"] with metrics
     [busy_s], [stall_pop_s], [stall_push_s], [queue_len],
-    [items_per_s]. *)
+    [items_per_s], [queue_bytes], [spilled_items]. *)
 val sampler_create : ?capacity:int -> t -> interval_s:float -> sampler
 
 val sampler_series : sampler -> Obs.Timeseries.t
@@ -360,6 +428,14 @@ type metrics = {
           ["copies"] section so lifecycle evidence is machine-readable
           on successful runs too *)
   recovery : Supervisor.recovery;
+  mem_budget : int option;
+      (** the run's total in-memory queue budget, if one was set *)
+  spilled_bytes : int;
+      (** cumulative spill-segment bytes written across all queues *)
+  spill_segments : int;  (** cumulative spill segments written *)
+  mem_high_water : int;
+      (** sum of per-queue in-memory high waters — an upper bound on
+          the run's peak simultaneous queue memory *)
 }
 
 (** Assemble the run's metrics from the engine's accounting grids. *)

@@ -10,22 +10,55 @@
 
 type msg = It of Engine.item | Release
 
+(* Spill codec for queue messages: one tag byte, then the engine's
+   item codec.  [Release] tokens are tiny but must round-trip too — a
+   drain-barrier token has no business being dropped by a spill. *)
+let encode_msg = function
+  | Release -> "R"
+  | It it -> "I" ^ Engine.encode_item it
+
+let decode_msg s =
+  if String.length s = 0 then invalid_arg "Par_runtime.decode_msg: empty"
+  else
+    match s.[0] with
+    | 'R' -> Release
+    | 'I' -> It (Engine.decode_item (String.sub s 1 (String.length s - 1)))
+    | c -> invalid_arg (Printf.sprintf "Par_runtime.decode_msg: tag %C" c)
+
+let msg_cost = function It it -> Engine.item_cost it | Release -> 8
+
 let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    ?metrics_interval_s (topo : Topology.t) :
+    ?mem_budget ?queue_budgets ?metrics_interval_s (topo : Topology.t) :
     (Engine.metrics, Supervisor.run_error) result =
-  match Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch topo with
+  match
+    Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch
+      ?mem_budget ?queue_budgets topo
+  with
   | Error e -> Error e
   | Ok eng ->
   let policy = Engine.policy eng in
   let n_stages = Engine.n_stages eng in
   let stop = Engine.stop_flag eng in
+  (* One run-scoped spill dir when the run is budgeted; removed on
+     every exit path (success and structured failure). *)
+  let budgeted = n_stages > 1 && Engine.queue_budget eng ~stage:1 <> None in
+  let spill_dir = if budgeted then Some (Spill.create_dir ()) else None in
   (* input queue per copy of stages 1.. *)
   let queues =
     Array.init n_stages (fun s ->
         if s = 0 then [||]
         else
+          let spill =
+            match (spill_dir, Engine.queue_budget eng ~stage:s) with
+            | Some dir, Some budget ->
+                Some
+                  (Bqueue.spill_config ~budget ~dir ~encode:encode_msg
+                     ~decode:decode_msg)
+            | _ -> None
+          in
           Array.init (Engine.width eng s) (fun _ ->
-              (Bqueue.create ~stop queue_capacity : msg Bqueue.t)))
+              (Bqueue.create ~cost:msg_cost ?spill ~stop queue_capacity
+                : msg Bqueue.t)))
   in
   (* The executor: [send] is a blocking push, with the blocked seconds
      charged to the sender. *)
@@ -61,6 +94,10 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       exec_queue_len =
         (fun ~stage ~copy ->
           if stage = 0 then 0 else Bqueue.length queues.(stage).(copy));
+      exec_queue_stats =
+        (fun ~stage ~copy ->
+          if stage = 0 then Engine.no_queue_stats
+          else Engine.queue_stats_of_bqueue (Bqueue.stats queues.(stage).(copy)));
       exec_wake = (fun () -> Array.iter (Array.iter Bqueue.wake) queues);
     };
   let abort_raise err = Engine.abort eng err; raise Bqueue.Aborted in
@@ -381,12 +418,16 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
   (match watchdog with Some d -> Domain.join d | None -> ());
   (match sampler with Some (_, d) -> Domain.join d | None -> ());
   let wall_time = Obs.Clock.elapsed_s () -. t0 in
-  match Engine.abort_error eng with
-  | Some e -> Error e
-  | None ->
-      Ok
-        (Engine.metrics eng ~elapsed_s:wall_time
-           ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
-           ?timeseries:
-             (Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
-           ())
+  let result =
+    match Engine.abort_error eng with
+    | Some e -> Error e
+    | None ->
+        Ok
+          (Engine.metrics eng ~elapsed_s:wall_time
+             ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+             ?timeseries:
+               (Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
+             ())
+  in
+  Option.iter Spill.remove_dir spill_dir;
+  result

@@ -26,9 +26,18 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?mem_budget:int ->
+  ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** [metrics_interval_s] runs an {!Engine.sampler_loop} monitor domain
     sampling the accounting grids on the real clock and fills
-    [metrics.timeseries]. *)
+    [metrics.timeseries].
+
+    [mem_budget] (total bytes, optionally refined per stage with
+    [queue_budgets]) turns the bounded queues into spill-to-disk
+    queues: pushers over budget write encoded segments to a run-scoped
+    temp dir instead of blocking, poppers read them back in FIFO
+    order, and the dir is removed on every exit path.  See
+    {!Engine.plan_queue_budgets}. *)

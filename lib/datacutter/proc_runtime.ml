@@ -33,6 +33,22 @@
 
 type msg = It of Engine.item | Release
 
+(* Spill codec for parent-side queue messages (the proc backend's
+   queues live in the parent, so spilling needs no wire changes). *)
+let encode_msg = function
+  | Release -> "R"
+  | It it -> "I" ^ Engine.encode_item it
+
+let decode_msg s =
+  if String.length s = 0 then invalid_arg "Proc_runtime.decode_msg: empty"
+  else
+    match s.[0] with
+    | 'R' -> Release
+    | 'I' -> It (Engine.decode_item (String.sub s 1 (String.length s - 1)))
+    | c -> invalid_arg (Printf.sprintf "Proc_runtime.decode_msg: tag %C" c)
+
+let msg_cost = function It it -> Engine.item_cost it | Release -> 8
+
 let available = not Sys.win32
 
 (* The remote peer failed: the callback raised in the child, the child
@@ -320,12 +336,15 @@ let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
 (* --- the run --------------------------------------------------------- *)
 
 let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    ?metrics_interval_s (topo : Topology.t) :
+    ?mem_budget ?queue_budgets ?metrics_interval_s (topo : Topology.t) :
     (Engine.metrics, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else
-  match Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch topo with
+  match
+    Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch
+      ?mem_budget ?queue_budgets topo
+  with
   | Error e -> Error e
   | Ok eng ->
   let policy = Engine.policy eng in
@@ -367,12 +386,25 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
   in
+  (* One run-scoped spill dir when the run is budgeted; removed on
+     every exit path.  Queues (and so spilling) live in the parent. *)
+  let budgeted = n_stages > 1 && Engine.queue_budget eng ~stage:1 <> None in
+  let spill_dir = if budgeted then Some (Spill.create_dir ()) else None in
   let queues =
     Array.init n_stages (fun s ->
         if s = 0 then [||]
         else
+          let spill =
+            match (spill_dir, Engine.queue_budget eng ~stage:s) with
+            | Some dir, Some budget ->
+                Some
+                  (Bqueue.spill_config ~budget ~dir ~encode:encode_msg
+                     ~decode:decode_msg)
+            | _ -> None
+          in
           Array.init (Engine.width eng s) (fun _ ->
-              (Bqueue.create ~stop queue_capacity : msg Bqueue.t)))
+              (Bqueue.create ~cost:msg_cost ?spill ~stop queue_capacity
+                : msg Bqueue.t)))
   in
   let blocked_push (src : Engine.copy) q m =
     Engine.set_lifecycle src Engine.st_blocked_push;
@@ -404,6 +436,10 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       exec_queue_len =
         (fun ~stage ~copy ->
           if stage = 0 then 0 else Bqueue.length queues.(stage).(copy));
+      exec_queue_stats =
+        (fun ~stage ~copy ->
+          if stage = 0 then Engine.no_queue_stats
+          else Engine.queue_stats_of_bqueue (Bqueue.stats queues.(stage).(copy)));
       exec_wake = (fun () -> Array.iter (Array.iter Bqueue.wake) queues);
     };
   (* Pre-fork every worker while the runtime is still single-domain:
@@ -1036,11 +1072,15 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       [ ("workers", Obs.Json.Obj !entries) ]
     end
   in
-  match Engine.abort_error eng with
-  | Some e -> Error e
-  | None ->
-      Ok
-        (Engine.metrics eng ~elapsed_s:wall_time
-           ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
-           ?timeseries:(Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
-           ~extra:(workers_section ()) ())
+  let result =
+    match Engine.abort_error eng with
+    | Some e -> Error e
+    | None ->
+        Ok
+          (Engine.metrics eng ~elapsed_s:wall_time
+             ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+             ?timeseries:(Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
+             ~extra:(workers_section ()) ())
+  in
+  Option.iter Spill.remove_dir spill_dir;
+  result

@@ -26,11 +26,15 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?mem_budget:int ->
+  ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run to completion; [Error (Unsupported _)] when {!available} is
-    [false].  Metrics match {!Par_runtime}'s shape ([queue_occupancy]
+    [false].  [mem_budget]/[queue_budgets] bound the parent-side
+    queues' memory exactly as in {!Par_runtime} — the queues (and so
+    the spilling) live in the parent, so no wire change is involved.  Metrics match {!Par_runtime}'s shape ([queue_occupancy]
     populated, no [link_stats]); [elapsed_s] is wall time.
     [metrics_interval_s] runs an {!Engine.sampler_loop} monitor domain
     and fills [metrics.timeseries].  When tracing is enabled the

@@ -30,6 +30,8 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?mem_budget:int ->
+  ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
@@ -53,7 +55,18 @@ val run_result :
     from the cost model).  Batching is an engine-level concept, so all
     three backends honour it: one queue round-trip (Par/Proc), one
     modeled transfer (Sim) and one wire frame (Proc, fault-inert
-    copies) per batch. *)
+    copies) per batch.
+
+    [mem_budget] (total run bytes) or [queue_budgets] (per-stage bytes,
+    entry 0 ignored — sources have no input queue) cap the in-memory
+    occupancy of every stream queue and turn back-pressure into
+    spill-to-disk: over-budget pushes park encoded segments in a
+    run-scoped temp dir (Par/Proc — the Proc queues live in the parent)
+    or are charged a deterministic modeled disk cost (Sim), so a merely
+    large dataset can neither deadlock a run nor trip the watchdog.
+    Unset means classic blocking back-pressure.  See
+    {!Engine.plan_queue_budgets} for deriving [queue_budgets] from the
+    cost model. *)
 
 (** Re-exports so callers can report metrics without importing
     {!Engine}. *)

@@ -10,12 +10,29 @@ open Engine
 type copy = {
   cs : Engine.copy;                       (* shared protocol state *)
   impl : Engine.instance;
-  queue : (float * Engine.item) Queue.t;  (* (arrival time, item) *)
+  queue : (float * Engine.item * bool) Queue.t;
+      (* (arrival time, item, modeled-as-spilled) *)
   mutable busy : bool;
   mutable finished : bool;
   mutable link_free_at : float;           (* input-link availability *)
   mutable idle_since : float;
+  (* Modeled memory accounting mirroring {!Bqueue.stats}: entries over
+     the stage budget are flagged spilled (kept in the same FIFO — only
+     the byte bookkeeping and the replay-time I/O penalty differ). *)
+  mutable q_mem_bytes : int;
+  mutable q_disk_items : int;
+  mutable q_disk_bytes : int;
+  mutable q_spilled_bytes : int;          (* cumulative *)
+  mutable q_spill_segments : int;         (* cumulative *)
+  mutable q_high_water : int;
+  mutable q_seg_acc : int;                (* bytes in the open segment *)
 }
+
+(* Deterministic model of the spill store: a per-item read pays a fixed
+   startup plus the payload at this modeled disk bandwidth.  Keeps
+   budgeted sim runs reproducible while still showing out-of-core cost. *)
+let spill_read_lat_s = 1e-4
+let spill_read_bw = 200e6
 
 type event =
   | Ev_arrival of copy * Engine.item
@@ -28,9 +45,12 @@ type event =
 exception Sim_abort of Supervisor.run_error
 
 let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
-    ?metrics_interval_s (topo : Topology.t) :
+    ?mem_budget ?queue_budgets ?metrics_interval_s (topo : Topology.t) :
     (Engine.metrics, Supervisor.run_error) result =
-  match Engine.create ~faults ?policy ?batch ?stage_batch topo with
+  match
+    Engine.create ~faults ?policy ?batch ?stage_batch ?mem_budget
+      ?queue_budgets topo
+  with
   | Error e -> Error e
   | Ok eng ->
   let stages = Array.of_list topo.Topology.stages in
@@ -43,7 +63,60 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
             let cs = Engine.copy_at eng ~stage:s ~copy:k in
             { cs; impl = Engine.instantiate eng cs; queue = Queue.create ();
               busy = false; finished = false; link_free_at = 0.0;
-              idle_since = 0.0 }))
+              idle_since = 0.0; q_mem_bytes = 0; q_disk_items = 0;
+              q_disk_bytes = 0; q_spilled_bytes = 0; q_spill_segments = 0;
+              q_high_water = 0; q_seg_acc = 0 }))
+  in
+  (* Per-stage in-memory byte budget (None = unbudgeted, nothing ever
+     spills).  Sources have no input queue, hence no budget. *)
+  let stage_budget =
+    Array.init n_stages (fun s ->
+        if s = 0 then None else Engine.queue_budget eng ~stage:s)
+  in
+  let seg_target_of budget = max 4096 (min (max budget 1) 262144) in
+  (* Enqueue with modeled spill: mirrors [Bqueue]'s rule — in memory
+     iff the disk side is empty and (queue empty or within budget);
+     everything else is flagged spilled.  FIFO order is untouched. *)
+  let enqueue t (c : copy) it =
+    let cost = Engine.item_cost it in
+    let spilled =
+      match stage_budget.(c.cs.stage) with
+      | None -> false
+      | Some b ->
+          c.q_disk_items > 0
+          || ((not (Queue.is_empty c.queue)) && c.q_mem_bytes + cost > b)
+    in
+    if spilled then begin
+      c.q_disk_items <- c.q_disk_items + 1;
+      c.q_disk_bytes <- c.q_disk_bytes + cost;
+      c.q_spilled_bytes <- c.q_spilled_bytes + cost;
+      if c.q_seg_acc = 0 then c.q_spill_segments <- c.q_spill_segments + 1;
+      c.q_seg_acc <- c.q_seg_acc + cost;
+      let budget =
+        match stage_budget.(c.cs.stage) with Some b -> b | None -> 0
+      in
+      if c.q_seg_acc >= seg_target_of budget then c.q_seg_acc <- 0
+    end
+    else begin
+      c.q_mem_bytes <- c.q_mem_bytes + cost;
+      if c.q_mem_bytes > c.q_high_water then c.q_high_water <- c.q_mem_bytes
+    end;
+    Queue.push (t, it, spilled) c.queue
+  in
+  (* Dequeue side of the model: returns the simulated I/O penalty to
+     fold into the service time (0 for in-memory entries). *)
+  let dequeue_cost (c : copy) it was_spilled =
+    let cost = Engine.item_cost it in
+    if was_spilled then begin
+      c.q_disk_items <- c.q_disk_items - 1;
+      c.q_disk_bytes <- c.q_disk_bytes - cost;
+      if c.q_disk_items = 0 then c.q_seg_acc <- 0;
+      spill_read_lat_s +. (float_of_int cost /. spill_read_bw)
+    end
+    else begin
+      c.q_mem_bytes <- c.q_mem_bytes - cost;
+      0.0
+    end
   in
   let link_bytes = Array.make n_links 0.0 in
   let link_transfers = Array.make n_links 0 in
@@ -176,6 +249,18 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
       exec_send_batch;
       exec_queue_len =
         (fun ~stage ~copy -> Queue.length copies.(stage).(copy).queue);
+      exec_queue_stats =
+        (fun ~stage ~copy ->
+          if stage = 0 then Engine.no_queue_stats
+          else
+            let c = copies.(stage).(copy) in
+            { Engine.qs_items = Queue.length c.queue;
+              qs_mem_bytes = c.q_mem_bytes;
+              qs_disk_items = c.q_disk_items;
+              qs_disk_bytes = c.q_disk_bytes;
+              qs_spilled_bytes = c.q_spilled_bytes;
+              qs_spill_segments = c.q_spill_segments;
+              qs_mem_high_water = c.q_high_water });
       exec_wake = (fun () -> ()) };
 
   (* Virtual-time sampler: advanced by the event loop before each event
@@ -224,8 +309,12 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
       | Marker -> Engine.note_marker eng c.cs
     in
     (match in_flight with Some it -> relay it | None -> ());
-    Queue.iter (fun (_, it) -> relay it) c.queue;
+    Queue.iter (fun (_, it, _) -> relay it) c.queue;
     Queue.clear c.queue;
+    c.q_mem_bytes <- 0;
+    c.q_disk_items <- 0;
+    c.q_disk_bytes <- 0;
+    c.q_seg_acc <- 0;
     trace_qlen c ~ts:t;
     dead_maybe_relay t c
   in
@@ -252,7 +341,8 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
     if (not c.busy) && not (dead c) then begin
       if Queue.is_empty c.queue then maybe_finalize t c
       else begin
-        let arrived, it = Queue.pop c.queue in
+        let arrived, it, was_spilled = Queue.pop c.queue in
+        let io_pen = dequeue_cost c it was_spilled in
         trace_qlen c ~ts:t;
         (* an actual service begins: charge the idle gap and queue wait *)
         let begin_service () =
@@ -278,7 +368,8 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
                           (out, cost, "on_eos", -1, `Final)
                       | Marker -> assert false
                     in
-                    let dur = cost /. power_of c in
+                    (* spilled input replays the modeled disk read *)
+                    let dur = (cost /. power_of c) +. io_pen in
                     c.busy <- true;
                     Engine.note_busy eng c.cs dur;
                     if kind = `Data then Engine.note_item_done eng c.cs;
@@ -317,7 +408,7 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
         | Marker -> Engine.note_marker eng c.cs; dead_maybe_relay t c
         | (Data _ | Final _) as it -> now := t; ok (Engine.reroute eng c.cs it))
     | Ev_arrival (c, it) ->
-        Queue.push (t, it) c.queue;
+        enqueue t c it;
         trace_qlen c ~ts:t;
         maybe_start t c
     | Ev_copy_done (c, out, kind) ->

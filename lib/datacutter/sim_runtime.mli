@@ -24,9 +24,19 @@ val run_result :
   ?policy:Supervisor.policy ->
   ?batch:int ->
   ?stage_batch:int array ->
+  ?mem_budget:int ->
+  ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** [metrics_interval_s] samples the accounting grids at fixed
     {e virtual} times — the resulting [metrics.timeseries] is
-    deterministic for a given topology and seed. *)
+    deterministic for a given topology and seed.
+
+    [mem_budget]/[queue_budgets] are {e modeled}: arrivals over a
+    queue's in-memory budget are flagged spilled (byte accounting and
+    spill counters mirror {!Bqueue.stats}) and replaying one charges a
+    deterministic startup-plus-per-byte disk-read term into the service
+    time — budgeted sim runs stay exactly reproducible while exposing
+    the out-of-core cost in the same metrics fields as the real
+    backends. *)

@@ -1,0 +1,129 @@
+(* Spill segments: magic, count, Wirefmt length-prefixed payloads,
+   trailing FNV-1a 64-bit checksum.  The checksum is verified BEFORE
+   any payload is parsed, so a damaged segment raises [Corrupt] without
+   ever materialising partial items; after it passes, the payload
+   region must parse exactly (count items, no trailing bytes) or the
+   segment is rejected all the same. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* "CGSP" ^ version, as an 8-byte int so it rides the Wirefmt codec. *)
+let magic = 0x43475350_0001
+
+let fnv1a data ~off ~len =
+  let h = ref 0xcbf29ce484222325L in
+  for i = off to off + len - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get data i))))
+        0x100000001b3L
+  done;
+  !h
+
+let encode_segment payloads =
+  let b = Buffer.create 256 in
+  Wirefmt.buf_add_int b magic;
+  Wirefmt.buf_add_int b (List.length payloads);
+  List.iter (Wirefmt.buf_add_string b) payloads;
+  let body = Buffer.to_bytes b in
+  let out = Bytes.create (Bytes.length body + 8) in
+  Bytes.blit body 0 out 0 (Bytes.length body);
+  Bytes.set_int64_le out (Bytes.length body)
+    (fnv1a body ~off:0 ~len:(Bytes.length body));
+  out
+
+let decode_segment data =
+  let len = Bytes.length data in
+  if len < 24 then corrupt "segment too short (%d bytes)" len;
+  let body_len = len - 8 in
+  let stored = Bytes.get_int64_le data body_len in
+  let computed = fnv1a data ~off:0 ~len:body_len in
+  if not (Int64.equal stored computed) then
+    corrupt "checksum mismatch (stored %Lx, computed %Lx)" stored computed;
+  let r = Wirefmt.reader_of ~limit:body_len data in
+  let items =
+    try
+      if Wirefmt.read_int r <> magic then corrupt "bad magic";
+      let count = Wirefmt.read_int r in
+      if count < 0 then corrupt "negative item count";
+      List.init count (fun _ -> Wirefmt.read_string r)
+    with Wirefmt.Short_read what -> corrupt "truncated %s" what
+  in
+  if r.Wirefmt.pos <> body_len then
+    corrupt "%d trailing bytes after last item" (body_len - r.Wirefmt.pos);
+  items
+
+type dir = { path : string; mutable removed : bool }
+
+let dir_counter = Atomic.make 0
+
+let create_dir () =
+  let rec attempt () =
+    let n = Atomic.fetch_and_add dir_counter 1 in
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "cgppc-spill-%d-%d" (Unix.getpid ()) n)
+    in
+    match Unix.mkdir path 0o700 with
+    | () -> { path; removed = false }
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> attempt ()
+  in
+  attempt ()
+
+let dir_path d = d.path
+
+let remove_dir d =
+  if not d.removed then begin
+    d.removed <- true;
+    match Sys.readdir d.path with
+    | entries ->
+        Array.iter
+          (fun e -> try Sys.remove (Filename.concat d.path e) with _ -> ())
+          entries;
+        (try Unix.rmdir d.path with _ -> ())
+    | exception _ -> ()
+  end
+
+let seg_counter = Atomic.make 0
+
+let write_segment d payloads =
+  let seg = encode_segment payloads in
+  let path =
+    Filename.concat d.path
+      (Printf.sprintf "seg-%09d.spill" (Atomic.fetch_and_add seg_counter 1))
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_bytes oc seg;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  (path, Bytes.length seg)
+
+let read_segment path =
+  let ic = open_in_bin path in
+  let data =
+    try
+      let len = in_channel_length ic in
+      let data = Bytes.create len in
+      really_input ic data 0 len;
+      close_in ic;
+      data
+    with
+    | End_of_file ->
+        close_in_noerr ic;
+        corrupt "segment file %s truncated mid-read" path
+    | e ->
+        close_in_noerr ic;
+        raise e
+  in
+  let items = decode_segment data in
+  (try Sys.remove path with _ -> ());
+  items

@@ -1,0 +1,43 @@
+(** Spill-to-disk segments for budgeted queues.
+
+    When a {!Bqueue} exceeds its byte budget, overflowing items are
+    encoded into {e segments}: self-validating byte blocks (magic,
+    item count, length-prefixed payloads via {!Wirefmt}, and a
+    trailing FNV-1a checksum over everything before it) written to
+    crash-safe temp files (write to [.tmp], then rename) under one
+    run-scoped spill directory.  A segment either decodes to exactly
+    the item list that was encoded or raises {!Corrupt} — truncated or
+    bit-flipped segments can never yield partial items. *)
+
+(** Raised by {!decode_segment} / {!read_segment} on any damage:
+    truncation, bit flips, bad magic, trailing garbage. *)
+exception Corrupt of string
+
+(** [encode_segment payloads] packs the payloads (each one encoded
+    item) into one self-validating segment. *)
+val encode_segment : string list -> Bytes.t
+
+(** Inverse of {!encode_segment}.  @raise Corrupt unless the bytes are
+    exactly a well-formed segment. *)
+val decode_segment : Bytes.t -> string list
+
+(** A run-scoped spill directory under the system temp dir.  Segment
+    files live only here, so one best-effort {!remove_dir} at the end
+    of the run (success or structured failure) leaves nothing behind. *)
+type dir
+
+(** Create a fresh directory ([cgppc-spill-<pid>-<n>], mode 0o700). *)
+val create_dir : unit -> dir
+
+val dir_path : dir -> string
+
+(** Best-effort recursive delete; never raises.  Idempotent. *)
+val remove_dir : dir -> unit
+
+(** [write_segment dir payloads] encodes and writes one segment
+    crash-safely; returns the file path and its size in bytes. *)
+val write_segment : dir -> string list -> string * int
+
+(** Read, validate and delete a segment file.  @raise Corrupt if the
+    file does not decode. *)
+val read_segment : string -> string list

@@ -95,7 +95,11 @@ type copy_report = {
   cr_label : string;
   cr_state : string;  (* running / computing / blocked_push / ... *)
   cr_items : int;     (* buffers processed so far *)
-  cr_queue_len : int; (* input-queue backlog at report time *)
+  cr_queue_len : int; (* input-queue backlog at report time (logical,
+                         spilled items included) *)
+  cr_queue_bytes : int;    (* in-memory bytes of that backlog — tells
+                              "many tiny items" from "few huge ones" *)
+  cr_spilled_items : int;  (* backlog items currently spilled to disk *)
 }
 
 type run_error =
@@ -115,6 +119,8 @@ let copy_report_to_json cr =
       ("state", Obs.Json.Str cr.cr_state);
       ("items", Obs.Json.Int cr.cr_items);
       ("queue_len", Obs.Json.Int cr.cr_queue_len);
+      ("queue_bytes", Obs.Json.Int cr.cr_queue_bytes);
+      ("spilled_items", Obs.Json.Int cr.cr_spilled_items);
     ]
 
 let run_error_to_json = function
@@ -141,8 +147,10 @@ let run_error_to_json = function
         [ ("kind", Obs.Json.Str "unsupported"); ("error", Obs.Json.Str msg) ]
 
 let pp_copy_report ppf cr =
-  Fmt.pf ppf "%-16s %-12s items=%d queue=%d" cr.cr_label cr.cr_state cr.cr_items
-    cr.cr_queue_len
+  Fmt.pf ppf "%-16s %-12s items=%d queue=%d bytes=%d" cr.cr_label cr.cr_state
+    cr.cr_items cr.cr_queue_len cr.cr_queue_bytes;
+  if cr.cr_spilled_items > 0 then
+    Fmt.pf ppf " spilled=%d" cr.cr_spilled_items
 
 let pp_run_error ppf = function
   | Invalid_topology msg -> Fmt.pf ppf "invalid topology: %s" msg
@@ -154,6 +162,26 @@ let pp_run_error ppf = function
         Fmt.(list ~sep:(any "@\n") (any "  " ++ pp_copy_report))
         report
   | Unsupported msg -> Fmt.pf ppf "backend unsupported: %s" msg
+
+(* Distinct process exit codes so soak scripts can triage structured
+   failures without parsing stderr.  3/4/5 are the triage classes the
+   robustness docs commit to; 6/7 cover the remaining constructors.
+   cmdliner reserves 123-125, so small codes are safe. *)
+let exit_code_of = function
+  | Stalled _ -> 3
+  | Stage_dead { error; _ } ->
+      (* The proc backend labels wire-protocol failures with this
+         marker (see Proc_runtime's rpc loop); a retired stage whose
+         last error was a protocol violation is a different triage
+         bucket than one that exhausted its retries crashing. *)
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec find i = i + m <= n && (String.sub hay i m = needle || find (i + 1)) in
+        m = 0 || find 0
+      in
+      if contains error "protocol error" then 5 else 4
+  | Invalid_topology _ -> 6
+  | Unsupported _ -> 7
 
 (* --- topology validation ---
 

@@ -53,7 +53,9 @@ val recovery_total : recovery -> int
 val recovery_to_json : recovery -> Obs.Json.t
 val pp_recovery : Format.formatter -> recovery -> unit
 
-(** One copy's state in a stall report. *)
+(** One copy's state in a stall report.  Queue occupancy is reported
+    in items {e and} bytes (plus the spill depth), so a stall report
+    distinguishes "many tiny items" from "few huge ones". *)
 type copy_report = {
   cr_stage : int;
   cr_copy : int;
@@ -61,6 +63,9 @@ type copy_report = {
   cr_state : string;
   cr_items : int;
   cr_queue_len : int;
+      (** logical input-queue backlog, spilled items included *)
+  cr_queue_bytes : int;  (** in-memory bytes of that backlog *)
+  cr_spilled_items : int;  (** backlog items currently spilled to disk *)
 }
 
 val copy_report_to_json : copy_report -> Obs.Json.t
@@ -84,6 +89,14 @@ exception Run_failed of run_error
 
 val run_error_to_json : run_error -> Obs.Json.t
 val pp_run_error : Format.formatter -> run_error -> unit
+
+(** Distinct process exit code per failure class, so soak scripts can
+    triage without parsing stderr: 3 = watchdog stall ({!Stalled}),
+    4 = retries exhausted ({!Stage_dead}), 5 = wire-protocol error (a
+    {!Stage_dead} whose error came from the proc backend's protocol
+    layer), 6 = invalid topology, 7 = unsupported backend.  Used by
+    [cgppc run]; codes 123-125 are reserved by cmdliner. *)
+val exit_code_of : run_error -> int
 
 (** Validate a topology (and optional queue capacity) that may not have
     gone through {!Topology.create}: stage/link counts, positive widths
