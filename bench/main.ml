@@ -74,9 +74,35 @@ module Record = struct
   let path_of target =
     Filename.concat (out_dir ()) ("BENCH_" ^ target ^ ".json")
 
+  (* Refuse to clobber a richer result file with a thinner one — a
+     partial or truncated rerun would silently shrink the recorded perf
+     history.  BENCH_FORCE=1 overrides. *)
+  let check_overwrite path =
+    if Sys.getenv_opt "BENCH_FORCE" <> Some "1" && Sys.file_exists path then
+      let old_rows =
+        try
+          let ic = open_in path in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Obs.Json.member_opt "rows" (Obs.Json.parse text) with
+          | Some (Obs.Json.List old) -> List.length old
+          | _ -> 0
+        with _ -> 0
+      in
+      if old_rows > List.length !rows then
+        Fmt.failwith
+          "refusing to overwrite %s: it holds %d rows, this run produced \
+           only %d (set BENCH_FORCE=1 to overwrite anyway)"
+          path old_rows
+          (List.length !rows)
+
   let write target =
     mkdir_p (out_dir ());
     let path = path_of target in
+    check_overwrite path;
     Obs.Json.write_file path
       (Obs.Json.Obj
          [
@@ -959,6 +985,172 @@ let outofcore () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive: elastic copies vs a deliberately misplanned plan.
+   The misplanned streambench gives the latency-bound middle stage one
+   copy; the static leg pays for that, the autoscaled leg discovers the
+   missing copies mid-run, and the replanned leg derives them from the
+   static run's measured metrics (the --replan-from path).  A final sim
+   pair asserts the autoscaled simulator is bit-deterministic.          *)
+(* ------------------------------------------------------------------ *)
+
+let adaptive () =
+  print_header
+    "Adaptive: misplanned streambench 1-1-1 (static vs autoscale vs replan)"
+    [ "elapsed(s)"; "items/s"; "vs static" ];
+  (* 4x the misplanned stream so the autoscaler's one-time ramp (the
+     backlog the planned copy accumulates before the first spawn) is
+     amortized below the noise floor; queues capped at 32 items keep
+     that head start small.  Both knobs apply to every par leg alike. *)
+  let cfg = Apps.Streambench.scaled Apps.Streambench.misplanned 4 in
+  let queue_capacity = 32 in
+  let base_widths = [| 1; 1; 1 |] in
+  let az = Datacutter.Engine.default_autoscale in
+  let budget = az.Datacutter.Engine.as_budget in
+  let leg ?autoscale ?queue_capacity ~backend ~cfg ?powers ?bandwidths
+      ?latency ~widths () =
+    let powers =
+      match powers with Some p -> p | None -> H.node_powers cluster widths
+    in
+    let bandwidths =
+      match bandwidths with
+      | Some b -> b
+      | None -> Array.make 2 cluster.H.bandwidth
+    in
+    let latency =
+      match latency with Some l -> l | None -> cluster.H.latency
+    in
+    let topo, results =
+      Apps.Streambench.topology cfg ~widths ~powers ~bandwidths ~latency ()
+    in
+    match
+      Datacutter.Runtime.run_result ~backend ?autoscale ?queue_capacity topo
+    with
+    | Ok m ->
+        if results () <> Apps.Streambench.expected cfg then
+          Fmt.failwith "adaptive %s: sink multiset diverged"
+            (Datacutter.Runtime.backend_name backend);
+        m
+    | Error e ->
+        Fmt.failwith "adaptive %s failed: %a"
+          (Datacutter.Runtime.backend_name backend)
+          Datacutter.Supervisor.pp_run_error e
+  in
+  let spawned (m : Datacutter.Engine.metrics) =
+    match m.Datacutter.Engine.autoscale_section with
+    | Some j -> (
+        try float_of_int (Obs.Json.to_int (Obs.Json.member "spawned" j))
+        with Obs.Json.Parse_error _ -> 0.0)
+    | None -> 0.0
+  in
+  let items = float_of_int cfg.Apps.Streambench.items in
+  let record label (m : Datacutter.Engine.metrics) ~static_rate extra =
+    let t = m.Datacutter.Engine.elapsed_s in
+    let rate = items /. t in
+    Record.row ~tags:[ ("backend", "par") ] label
+      ([
+         ("elapsed_s", t);
+         ("items_per_s", rate);
+         ("vs_static", rate /. static_rate);
+       ]
+      @ extra);
+    print_row label
+      [
+        Fmt.str "%.4f" t;
+        Fmt.str "%.0f" rate;
+        Fmt.str "%.2f" (rate /. static_rate);
+      ];
+    rate
+  in
+  (* best-of-2 on the timed elastic legs: the comparison is against a
+     10% window, tighter than one run's scheduler noise on a busy host *)
+  let best_of n mk =
+    let best = ref (mk ()) in
+    for _ = 2 to n do
+      let m = mk () in
+      if
+        m.Datacutter.Engine.elapsed_s < !best.Datacutter.Engine.elapsed_s
+      then best := m
+    done;
+    !best
+  in
+  (* static leg: the misplanned plan as given *)
+  let m_static =
+    leg ~backend:Datacutter.Runtime.Par ~cfg ~queue_capacity
+      ~widths:base_widths ()
+  in
+  let static_rate = items /. m_static.Datacutter.Engine.elapsed_s in
+  ignore (record "static" m_static ~static_rate []);
+  (* autoscaled leg: same plan, elastic budget armed *)
+  let m_auto =
+    best_of 2 (fun () ->
+        leg ~autoscale:az ~backend:Datacutter.Runtime.Par ~cfg ~queue_capacity
+          ~widths:base_widths ())
+  in
+  let auto_rate =
+    record "autoscale" m_auto ~static_rate [ ("spawned", spawned m_auto) ]
+  in
+  (* replanned leg: feed the static run's measured metrics back through
+     the planner and run the result statically *)
+  let rp =
+    match Replan.of_json (Datacutter.Runtime.metrics_to_json m_static) with
+    | Ok t -> Replan.plan ~budget t
+    | Error msg -> Fmt.failwith "adaptive: replan rejected the metrics: %s" msg
+  in
+  let m_replan =
+    best_of 2 (fun () ->
+        leg ~backend:Datacutter.Runtime.Par ~cfg ~queue_capacity
+          ~widths:rp.Replan.pl_widths ())
+  in
+  let replan_rate =
+    record "replan" m_replan ~static_rate
+      [
+        ( "replan_mid_width",
+          float_of_int rp.Replan.pl_widths.(1) );
+      ]
+  in
+  Fmt.pr "  autoscale %.2fx static; replan %.2fx static (%.2fx autoscaled)@."
+    (auto_rate /. static_rate)
+    (replan_rate /. static_rate)
+    (replan_rate /. auto_rate);
+  (* sim determinism: a modeled-slow middle stage (no real blocking —
+     sim executes filters for real) behind fast modeled links, so the
+     middle stage rather than the wire is the simulated bottleneck and
+     the autoscaler actually spawns; run twice — the serialized metrics
+     must be bit-identical.  The tighter controller interval fits more
+     spawns into the window before the modeled source drains and
+     freezes stage membership. *)
+  let sim_cfg = Apps.Streambench.tiny in
+  let sim_powers =
+    [|
+      cluster.H.node_power; cluster.H.node_power /. 16.0; cluster.H.view_power;
+    |]
+  in
+  let sim_az = { az with Datacutter.Engine.as_interval_s = 0.0005 } in
+  let sim_leg () =
+    leg ~autoscale:sim_az ~backend:Datacutter.Runtime.Sim ~cfg:sim_cfg
+      ~powers:sim_powers ~bandwidths:(Array.make 2 1e9) ~latency:0.0
+      ~widths:base_widths ()
+  in
+  let m1 = sim_leg () and m2 = sim_leg () in
+  let s1 = Obs.Json.to_string (Datacutter.Runtime.metrics_to_json m1) in
+  let s2 = Obs.Json.to_string (Datacutter.Runtime.metrics_to_json m2) in
+  if s1 <> s2 then begin
+    Fmt.epr "adaptive: autoscaled sim runs are not bit-identical@.";
+    exit 1
+  end;
+  if spawned m1 = 0.0 then begin
+    Fmt.epr "adaptive: autoscaled sim run never spawned a copy@.";
+    exit 1
+  end;
+  Record.row ~tags:[ ("backend", "sim") ] "sim-det"
+    [
+      ("deterministic", 1.0);
+      ("elapsed_s", m1.Datacutter.Engine.elapsed_s);
+      ("spawned", spawned m1);
+    ];
+  Fmt.pr "  sim: autoscaled run bit-deterministic (%.0f spawns)@." (spawned m1)
+
+(* ------------------------------------------------------------------ *)
 (* Smoke cell for @bench-smoke: one tiny figure cell, recorded through
    the same Record path as the real figures, then parsed back and
    validated — so metrics emission can never silently rot.              *)
@@ -1041,6 +1233,7 @@ let targets =
     ("throughput", throughput);
     ("throughput_smoke", throughput_smoke);
     ("outofcore", outofcore);
+    ("adaptive", adaptive);
     ("micro", micro);
     ("smoke", smoke);
   ]

@@ -298,12 +298,41 @@ let emit file app widths strategy cluster_spec =
 
 let run file target widths strategy backend parallel cluster_spec trace mjson
     faults watchdog_ms max_retries call_budget_ms batch mem_budget interval_ms
-    openmetrics report =
+    openmetrics report autoscale_n replan_from =
   let cluster = cluster_of_spec cluster_spec in
   let backend = if parallel then Datacutter.Runtime.Par else backend in
   let faults = Option.value faults ~default:Datacutter.Fault.empty in
   let policy = policy_of ~watchdog_ms ~max_retries ~call_budget_ms in
   let metrics_interval_s = interval_s_of ~interval_ms ~openmetrics in
+  (* The mid-run elastic controller; a nonsensical budget is rejected by
+     the engine with [Copy_budget] (documented exit code 8). *)
+  let autoscale =
+    Option.map
+      (fun n ->
+        { Datacutter.Engine.default_autoscale with Datacutter.Engine.as_budget = n })
+      autoscale_n
+  in
+  (* Between-runs feedback: measured metrics from a previous run replace
+     the --config widths with evidence-derived ones. *)
+  let widths =
+    match replan_from with
+    | None -> widths
+    | Some path -> (
+        match Replan.of_file path with
+        | Error msg -> invalid_arg ("--replan-from: " ^ msg)
+        | Ok t ->
+            let budget =
+              Option.value autoscale_n
+                ~default:
+                  Datacutter.Engine.default_autoscale
+                    .Datacutter.Engine.as_budget
+            in
+            let p = Replan.plan ~budget t in
+            Fmt.pr "replanned widths from %s: %s -> %s@." path
+              (config_label widths)
+              (config_label p.Replan.pl_widths);
+            p.Replan.pl_widths)
+  in
   let app_name =
     match target with
     | TApp a -> (load ~file ~app:a).H.name
@@ -323,6 +352,12 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
     | None -> ());
     if not (Datacutter.Fault.is_empty faults) then
       Obs.Metrics.set_str m "faults" (Datacutter.Fault.to_string faults);
+    (match autoscale_n with
+    | Some n -> Obs.Metrics.set_int m "autoscale_budget" n
+    | None -> ());
+    (match replan_from with
+    | Some path -> Obs.Metrics.set_str m "replan_from" path
+    | None -> ());
     m
   in
   (* A failed run still writes the metrics document — with the
@@ -435,7 +470,7 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
         in
         match
           Datacutter.Runtime.run_result ~backend ~faults ~policy ~batch
-            ?mem_budget ?metrics_interval_s topo
+            ?mem_budget ?metrics_interval_s ?autoscale topo
         with
         | Error err -> write_failure fill err
         | Ok m ->
@@ -473,7 +508,7 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
       let fill doc = compile_metrics doc c in
       (match
          Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch
-           ?mem_budget ?queue_budgets ?metrics_interval_s topo
+           ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale topo
        with
       | Error err -> write_failure fill err
       | Ok m ->
@@ -496,6 +531,37 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
                   Fmt.pr "  %s = %s@." name s)
                 (results ()))
             m)
+
+(* --- replan --- *)
+
+(* Turn a measured run back into a plan without executing anything:
+   parse the metrics JSON, print the measured per-stage service table
+   and the derived widths/batch/budget plan. *)
+let replan path budget batch mem_budget mjson =
+  match Replan.of_file path with
+  | Error msg -> `Error (false, msg)
+  | Ok t ->
+      let p = Replan.plan ?batch_cap:batch ?mem_budget ~budget t in
+      Fmt.pr "%a" Replan.pp_plan (t, p);
+      (match mjson with
+      | None -> ()
+      | Some out ->
+          let m = Obs.Metrics.create () in
+          Obs.Metrics.set_int m "schema_version" Obs.Metrics.schema_version;
+          Obs.Metrics.set_str m "command" "replan";
+          Obs.Metrics.set_str m "replan_from" path;
+          Obs.Metrics.set_ints m "widths" p.Replan.pl_widths;
+          Obs.Metrics.set_int m "bottleneck" p.Replan.pl_bottleneck;
+          (match p.Replan.pl_stage_batch with
+          | Some b -> Obs.Metrics.set_ints m "stage_batch" b
+          | None -> ());
+          (match p.Replan.pl_queue_budgets with
+          | Some b -> Obs.Metrics.set_ints m "queue_budgets" b
+          | None -> ());
+          Obs.Metrics.set_ints m "assignment"
+            p.Replan.pl_decompose.Decompose.assignment;
+          write_metrics out m);
+      `Ok ()
 
 (* --- command line --- *)
 
@@ -670,6 +736,37 @@ let mem_budget_arg =
            $(b,spill_segments), $(b,mem_high_water)). Unset means \
            classic blocking back-pressure.")
 
+let autoscale_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "autoscale" ] ~docv:"BUDGET"
+        ~doc:
+          "Arm the mid-run elastic-copy controller with a budget of \
+           $(docv) extra copies: a sustained-saturated inner stage \
+           transparently gains a pre-planned dormant copy, a \
+           long-idle elastic copy stands down, and the metrics JSON \
+           gains an $(b,autoscale) section. The simulator ticks the \
+           controller at deterministic virtual times (bit-reproducible \
+           runs); par and proc tick it from a monitor domain. A \
+           non-positive budget or a pipeline with no inner stage fails \
+           with exit code 8.")
+
+let replan_from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replan-from" ] ~docv:"METRICS.json"
+        ~doc:
+          "Re-plan the stage widths from a previous run's measured \
+           metrics (a $(b,--metrics-json) document or a bare runtime \
+           metrics object) instead of trusting $(b,--config): the \
+           measured per-copy service times are fed back through the \
+           planner and up to $(b,--autoscale)'s budget (default 4) of \
+           extra copies are placed on the measured bottleneck stages. \
+           See also the $(b,replan) subcommand, which prints the \
+           derived plan without running.")
+
 let watchdog_arg =
   Arg.(
     value
@@ -752,18 +849,21 @@ let run_term ~always_report =
     ret
       (with_logs
          (fun
-           (f, a, c, s, b, p, cl, tr, mj, (fl, wd, mr, cb, bt, mb), (iv, om, rp))
+           ( f, a, c, s, b, p, cl, tr, mj,
+             (fl, wd, mr, cb, bt, mb),
+             (iv, om, rp, az, rf) )
          ->
            run f a c s b p cl tr mj fl wd mr cb bt mb iv om
-             (rp || always_report))
-      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp ->
+             (rp || always_report) az rf)
+      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp az rf ->
              ( f, a, c, s, b, p, cl, tr, mj,
                (fl, wd, mr, cb, bt, mb),
-               (iv, om, rp) ))
+               (iv, om, rp, az, rf) ))
         $ file_arg $ target_arg $ config_arg $ strategy_arg $ backend_arg
         $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
         $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg
-        $ mem_budget_arg $ interval_arg $ openmetrics_arg $ report_arg)))
+        $ mem_budget_arg $ interval_arg $ openmetrics_arg $ report_arg
+        $ autoscale_arg $ replan_from_arg)))
 
 (* Documented exit codes for runtime failures, mapped from the
    structured error by {!Datacutter.Supervisor.exit_code_of}.  Kept
@@ -781,6 +881,10 @@ let run_exits =
                            invalid."
   :: Cmd.Exit.info 7
        ~doc:"The requested backend is unsupported on this platform."
+  :: Cmd.Exit.info 8
+       ~doc:"The elastic copy budget was refused: $(b,--autoscale) got \
+             a non-positive budget, or the pipeline has no inner stage \
+             to scale."
   :: Cmd.Exit.defaults
 
 let run_cmd =
@@ -788,6 +892,40 @@ let run_cmd =
     (Cmd.info "run" ~exits:run_exits
        ~doc:"Compile and execute the pipeline")
     (run_term ~always_report:false)
+
+let replan_cmd =
+  let metrics_file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"METRICS.json"
+          ~doc:
+            "A previous run's metrics document ($(b,cgppc run \
+             --metrics-json) output, or a bare runtime metrics object).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int
+          Datacutter.Engine.default_autoscale.Datacutter.Engine.as_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Extra copies the re-planned widths may spend (default 4).")
+  in
+  Cmd.v
+    (Cmd.info "replan"
+       ~doc:
+         "Derive a new plan from a measured run: feed the metrics \
+          JSON's per-stage busy/item/byte counters back through the \
+          cost model and print re-planned stage widths, batch caps, \
+          queue budgets and the measured-profile decomposition. Apply \
+          it with $(b,cgppc run --replan-from METRICS.json).")
+    Term.(
+      ret
+        (with_logs (fun (p, b, bt, mb, mj) ->
+             replan p b (if bt > 1 then Some bt else None) mb mj)
+        $ (const (fun p b bt mb mj -> (p, b, bt, mb, mj))
+          $ metrics_file_arg $ budget_arg $ batch_arg $ mem_budget_arg
+          $ metrics_arg)))
 
 let analyze_cmd =
   Cmd.v
@@ -802,7 +940,7 @@ let main =
   Cmd.group
     (Cmd.info "cgppc" ~version:"1.0.0"
        ~doc:"compiler for coarse-grained pipelined parallelism")
-    [ inspect_cmd; plan_cmd; emit_cmd; run_cmd; analyze_cmd ]
+    [ inspect_cmd; plan_cmd; emit_cmd; run_cmd; analyze_cmd; replan_cmd ]
 
 (* [catch:false] so a structured runtime failure reaches us with its
    documented exit code instead of cmdliner's internal-error 125. *)

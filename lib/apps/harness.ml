@@ -155,7 +155,7 @@ let budget_plan (c : Compile.t) ~(widths : int array) ~mem_budget =
    batching with a cost-model-derived per-stage plan. *)
 let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
     ?(layout_mode = `Auto) ?(backend = Datacutter.Runtime.Sim) ?faults ?policy
-    ?(batch = 1) ?mem_budget ~(widths : int array) (app : app) =
+    ?(batch = 1) ?mem_budget ?autoscale ~(widths : int array) (app : app) =
   let c = compile ~cluster ~strategy ~layout_mode ~widths app in
   let powers = node_powers cluster widths in
   let bandwidths = Array.make (Array.length widths - 1) cluster.bandwidth in
@@ -167,7 +167,7 @@ let run_cell ?(cluster = default_cluster) ?(strategy = Compile.Decomp)
   let queue_budgets = budget_plan c ~widths ~mem_budget in
   match
     Datacutter.Runtime.run_result ~backend ?faults ?policy ?stage_batch
-      ?mem_budget ?queue_budgets topo
+      ?mem_budget ?queue_budgets ?autoscale topo
   with
   | Error _ as e -> e
   | Ok metrics ->

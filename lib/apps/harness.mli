@@ -103,6 +103,7 @@ val run_cell :
   ?policy:Datacutter.Supervisor.policy ->
   ?batch:int ->
   ?mem_budget:int ->
+  ?autoscale:Datacutter.Engine.autoscale ->
   widths:int array ->
   app ->
   ( float * float * (string * Value.t) list * Compile.t,

@@ -12,10 +12,37 @@ type config = {
   items : int;  (** buffers pushed through the pipeline *)
   item_bytes : int;  (** payload size of each buffer *)
   work : float;  (** weighted ops charged per item at each stage *)
+  mid_spin : int;  (** real CPU iterations per item at the middle stage *)
+  mid_block_s : float;  (** real blocking wait per item at the middle stage *)
 }
 
-let default = { items = 20_000; item_bytes = 32; work = 8.0 }
-let tiny = { items = 2_000; item_bytes = 32; work = 8.0 }
+let default =
+  { items = 20_000; item_bytes = 32; work = 8.0; mid_spin = 0;
+    mid_block_s = 0.0 }
+
+let tiny =
+  { items = 2_000; item_bytes = 32; work = 8.0; mid_spin = 0;
+    mid_block_s = 0.0 }
+
+(* The adaptive bench's misplanned workload: each item blocks the middle
+   stage for real time (a stand-in for a latency-bound remote read), so
+   with one planned copy the middle stage is the measured bottleneck —
+   and because the cost is waiting, not computing, elastic copies
+   overlap it even on a single-core host. *)
+let misplanned =
+  { items = 1_200; item_bytes = 32; work = 8.0; mid_spin = 0;
+    mid_block_s = 0.0005 }
+
+(* Integer-mixing busywork the optimizer cannot delete: the result
+   feeds [Sys.opaque_identity].  Pure compute, no allocation, so one
+   more copy on another core buys real parallel speedup. *)
+let spin n seed =
+  let acc = ref seed in
+  for i = 1 to n do
+    acc := (!acc * 1_103_515_245) + 12_345 + i;
+    acc := !acc lxor (!acc lsr 16)
+  done;
+  ignore (Sys.opaque_identity !acc)
 
 (* Same per-item cost, [factor] times the stream: the out-of-core
    sweep's dataset axis. *)
@@ -94,7 +121,11 @@ let topology cfg ?dataset ~(widths : int array) ~(powers : float array)
     {
       Filter.name = "sb-mid";
       init = (fun () -> 0.0);
-      process = (fun b -> (Some b, cfg.work));
+      process =
+        (fun b ->
+          if cfg.mid_spin > 0 then spin cfg.mid_spin b.Filter.packet;
+          if cfg.mid_block_s > 0.0 then Unix.sleepf cfg.mid_block_s;
+          (Some b, cfg.work));
       on_eos = (fun payload -> (payload, 0.0));
       finalize = (fun () -> (None, 0.0));
     }

@@ -10,10 +10,25 @@ type config = {
   items : int;  (** buffers pushed through the pipeline *)
   item_bytes : int;  (** payload size of each buffer *)
   work : float;  (** weighted ops charged per item at each stage *)
+  mid_spin : int;
+      (** real CPU iterations the middle stage burns per item (0 = pure
+          pass-through); makes the middle stage a genuine compute
+          bottleneck on multicore parallel backends *)
+  mid_block_s : float;
+      (** real seconds the middle stage blocks per item (0 = none), a
+          stand-in for a latency-bound remote read; extra copies overlap
+          the waits even on a single core.  Filters execute for real on
+          every backend, including sim — only use with wall-clock
+          backends. *)
 }
 
 val default : config
 val tiny : config
+
+val misplanned : config
+(** The adaptive bench's workload: a middle stage that waits per item,
+    so a 1-1-1 plan is wrong on purpose — the mid-run autoscaler (or a
+    metrics replan) must discover the missing copies. *)
 
 (** [scaled cfg n]: the same per-item shape, [n] times the stream — the
     dataset axis of the out-of-core sweep ([bench outofcore]). *)

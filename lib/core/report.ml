@@ -8,7 +8,7 @@ type stage_row = {
   sr_busy_s : float;
   sr_utilization : float;
   sr_predicted_s : float;
-  sr_measured_s : float;
+  sr_measured_s : float option;
   sr_error_pct : float option;
 }
 
@@ -55,14 +55,18 @@ let make ~pipeline ~profile ~assignment ~(metrics : Datacutter.Engine.metrics)
         let busy = sum_f metrics.Engine.busy_s.(s) in
         let items = sum_i metrics.Engine.items.(s) in
         let predicted = st.Costmodel.unit_time.(s) in
+        (* A stage that saw no packets has no measurable service time —
+           [None], not 0.0, so the JSON carries [null] rather than a
+           fake perfect measurement (or a NaN from 0/0). *)
         let measured =
-          if items = 0 || width = 0 then 0.0
-          else busy /. float_of_int items /. float_of_int width
+          if items = 0 || width = 0 then None
+          else Some (busy /. float_of_int items /. float_of_int width)
         in
         let error_pct =
-          if predicted > 0.0 && items > 0 then
-            Some ((measured -. predicted) /. predicted *. 100.0)
-          else None
+          match measured with
+          | Some ms when predicted > 0.0 ->
+              Some ((ms -. predicted) /. predicted *. 100.0)
+          | _ -> None
         in
         {
           sr_stage = s;
@@ -105,10 +109,13 @@ let pp ppf t =
     "width" "items" "util%" "predicted(s/p)" "measured(s/p)" "err%";
   Array.iter
     (fun r ->
-      Fmt.pf ppf "  %-5d %-12s %5d %7d %6.1f%% %14.3e %14.3e %9s@\n"
+      Fmt.pf ppf "  %-5d %-12s %5d %7d %6.1f%% %14.3e %14s %9s@\n"
         r.sr_stage r.sr_name r.sr_width r.sr_items
         (r.sr_utilization *. 100.0)
-        r.sr_predicted_s r.sr_measured_s
+        r.sr_predicted_s
+        (match r.sr_measured_s with
+        | Some ms -> Fmt.str "%.3e" ms
+        | None -> "-")
         (match r.sr_error_pct with
         | Some e -> Fmt.str "%+.1f%%" e
         | None -> "-"))
@@ -159,7 +166,10 @@ let to_json t =
          ("busy_s", J.Float r.sr_busy_s);
          ("utilization", J.Float r.sr_utilization);
          ("predicted_service_s", J.Float r.sr_predicted_s);
-         ("measured_service_s", J.Float r.sr_measured_s);
+         ( "measured_service_s",
+           match r.sr_measured_s with
+           | Some ms -> J.Float ms
+           | None -> J.Null );
        ]
       @
       match r.sr_error_pct with

@@ -22,7 +22,9 @@ type stage_row = {
   sr_busy_s : float;            (** busy seconds, summed over copies *)
   sr_utilization : float;       (** busy / (width * elapsed) *)
   sr_predicted_s : float;       (** cost model: per-packet aggregate time *)
-  sr_measured_s : float;        (** busy / items / width (0 when idle) *)
+  sr_measured_s : float option;
+      (** busy / items / width; [None] when the stage processed no
+          packets — serialized as JSON [null], never NaN/inf *)
   sr_error_pct : float option;
       (** (measured - predicted) / predicted, as a percentage; [None]
           when the prediction is 0 or the stage saw no packets *)

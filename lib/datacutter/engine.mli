@@ -120,7 +120,39 @@ type executor = {
       (** byte/spill occupancy of the copy's input queue;
           {!no_queue_stats} where no queue exists *)
   exec_wake : unit -> unit;
+  exec_spawn : stage:int -> copy:int -> unit;
+      (** Start executing an elastic copy that {!spawn_copy} just
+          engaged: the domain backend spawns a domain, the process
+          backend promotes a pre-forked spare worker, the simulator
+          schedules the copy's first event.  Called after the copy is
+          already a routable member of its stage, so the hook must be
+          prepared to find items in the copy's queue. *)
+  exec_retire : stage:int -> copy:int -> unit;
+      (** An elastic copy was voluntarily stood down by {!retire_idle}:
+          passive backends (the simulator) re-route its remaining
+          backlog; backends whose copies run their own loop (domains,
+          processes) can ignore this — the copy drains naturally. *)
 }
+
+(** {2 Mid-run autoscaling}
+
+    The elastic-copy controller: per-copy input backlog across each
+    inner stage decides saturation; a stage sustained-saturated gains
+    a dormant copy ({!spawn_copy}), a stage long-empty sheds its
+    highest elastic copy ({!retire_idle}), all bounded by a run-wide
+    copy budget.  [as_interval_s] is virtual time on the simulator
+    (deterministic decision points) and wall time elsewhere. *)
+type autoscale = {
+  as_interval_s : float;
+  as_budget : int;       (** copies the whole run may add *)
+  as_hi_items : int;     (** per-copy backlog considered saturated *)
+  as_sustain : int;      (** consecutive saturated ticks before a spawn *)
+  as_idle_ticks : int;   (** consecutive empty ticks before a retire *)
+}
+
+(** 2ms interval, budget 4, saturation at 4 items/copy sustained for
+    2 ticks, retire after 50 empty ticks. *)
+val default_autoscale : autoscale
 
 (** Validate the topology ({!Supervisor.validate}) and build the shared
     protocol state: per-copy cells, the per-stage EOS barrier, recovery
@@ -139,7 +171,12 @@ type executor = {
     [queue_budgets] overrides the per-queue split (one entry per
     stage, entry 0 ignored — see {!plan_queue_budgets}); without it
     the total is split evenly over all consumer queues.  Omitting both
-    disables budgeting entirely (classic blocking back-pressure). *)
+    disables budgeting entirely (classic blocking back-pressure).
+
+    [autoscale] pre-allocates [as_budget] dormant elastic slots on
+    every inner stage (see {!spawn_copy}) and arms the mid-run
+    controller ({!autoscale_tick}).  [Error (Copy_budget _)] when the
+    budget is invalid or the pipeline has no inner stage to grow. *)
 val create :
   ?faults:Fault.plan ->
   ?policy:Supervisor.policy ->
@@ -148,6 +185,7 @@ val create :
   ?stage_batch:int array ->
   ?mem_budget:int ->
   ?queue_budgets:int array ->
+  ?autoscale:autoscale ->
   Topology.t ->
   (t, Supervisor.run_error) result
 
@@ -159,7 +197,21 @@ val attach : t -> executor -> unit
 val policy : t -> Supervisor.policy
 val topology : t -> Topology.t
 val n_stages : t -> int
+
+(** The *planned* copy count of stage [s] (the topology's width).
+    Routing and barrier arithmetic use {!engaged_width} instead. *)
 val width : t -> int -> int
+
+(** Physical copy slots of stage [s]: planned width plus dormant
+    elastic headroom.  Backends size their per-copy resources (queues,
+    domains, workers) by this. *)
+val slots : t -> int -> int
+
+(** Current membership of stage [s]: slots [0, engaged) are routable
+    members of the routing mask and the EOS barrier.  Starts at the
+    planned width, grows on {!spawn_copy}, never shrinks. *)
+val engaged_width : t -> int -> int
+
 val stage_name : t -> int -> string
 val copy_at : t -> stage:int -> copy:int -> copy
 val is_sink_stage : t -> int -> bool
@@ -258,6 +310,46 @@ val at_marker_quota : t -> copy -> bool
 val count_eos : t -> copy -> [ `Already | `Counted | `Stage_drained ]
 
 val barrier_released : t -> int -> bool
+
+(** {2 The elastic copy lifecycle}
+
+    Copies can join and leave a stage mid-run as a first-class
+    operation, independent of the fault path.  A spawn engages the
+    next dormant slot as a full member (routable, a marker target, a
+    barrier voter); membership of a stage freezes the moment a marker
+    is broadcast into it — a later joiner would have missed that
+    marker and could never meet its quota, so spawns then return
+    [`Late].  A voluntary retire only clears the copy's [alive] flag:
+    the router stops handing it Data, it drains what it has and
+    finalizes at EOS like everyone else; [engaged_width] never
+    shrinks, so barrier and marker arithmetic are unaffected. *)
+
+val autoscale_enabled : t -> bool
+val autoscale_config : t -> autoscale option
+
+(** Engage the next dormant slot of inner stage [stage] and run the
+    backend's [exec_spawn] hook.  [`Invalid] for endpoint stages,
+    [`Late] once the stage's membership is frozen, [`No_slot] when the
+    stage's dormant headroom is spent. *)
+val spawn_copy :
+  t -> stage:int -> [ `Spawned of int | `Late | `No_slot | `Invalid ]
+
+(** Stand down the highest live elastic copy of [stage] (never a
+    planned copy, never the last live copy) and run the backend's
+    [exec_retire] hook. *)
+val retire_idle :
+  t -> stage:int -> [ `Retired of int | `Late | `No_copy | `Invalid ]
+
+(** One controller decision (at most one spawn or retire); call from
+    exactly one place — the simulator's event loop at virtual decision
+    points, or the monitor domain via {!autoscale_loop}. *)
+val autoscale_tick :
+  t -> [ `Idle | `Spawned of int * int | `Retired of int * int ]
+
+(** Real-time hook: tick the controller every [as_interval_s] on the
+    executor clock until abort or {!all_exited}; run from a dedicated
+    monitor domain.  A no-op when the run has no autoscale config. *)
+val autoscale_loop : t -> unit
 
 (** {2 The supervisor state machine} *)
 
@@ -419,6 +511,11 @@ type metrics = {
       (** flushed batch sizes per copy (all 1.0 at B = 1) *)
   timeseries : Obs.Timeseries.t option;
       (** sampled series when a sampler ran (["timeseries"] section) *)
+  autoscale_section : Obs.Json.t option;
+      (** the ["autoscale"] section (budget, spawned, retired,
+          refusals, final engaged vs planned widths) — present exactly
+          when the run had an elastic copy budget, so static runs keep
+          their pre-elastic key set *)
   extra : (string * Obs.Json.t) list;
       (** backend-specific extra JSON sections (e.g. the proc
           backend's ["workers"]) *)

@@ -28,11 +28,11 @@ let decode_msg s =
 let msg_cost = function It it -> Engine.item_cost it | Release -> 8
 
 let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    ?mem_budget ?queue_budgets ?metrics_interval_s (topo : Topology.t) :
-    (Engine.metrics, Supervisor.run_error) result =
+    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
+    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
   match
     Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch
-      ?mem_budget ?queue_budgets topo
+      ?mem_budget ?queue_budgets ?autoscale topo
   with
   | Error e -> Error e
   | Ok eng ->
@@ -43,7 +43,8 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
      every exit path (success and structured failure). *)
   let budgeted = n_stages > 1 && Engine.queue_budget eng ~stage:1 <> None in
   let spill_dir = if budgeted then Some (Spill.create_dir ()) else None in
-  (* input queue per copy of stages 1.. *)
+  (* input queue per copy SLOT of stages 1.. — dormant elastic slots
+     get their queue up front, so a spawn never allocates *)
   let queues =
     Array.init n_stages (fun s ->
         if s = 0 then [||]
@@ -56,7 +57,7 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
                      ~decode:decode_msg)
             | _ -> None
           in
-          Array.init (Engine.width eng s) (fun _ ->
+          Array.init (Engine.slots eng s) (fun _ ->
               (Bqueue.create ~cost:msg_cost ?spill ~stop queue_capacity
                 : msg Bqueue.t)))
   in
@@ -77,6 +78,11 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     Engine.set_lifecycle src Engine.st_idle;
     Engine.note_progress eng;
     Engine.note_stall_push eng src blocked
+  in
+  (* exec_spawn needs the copy body, defined below — wired through a
+     forward ref; no spawn can occur before the autoscaler starts. *)
+  let spawn_hook : (stage:int -> copy:int -> unit) ref =
+    ref (fun ~stage:_ ~copy:_ -> ())
   in
   Engine.attach eng
     {
@@ -99,6 +105,10 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           if stage = 0 then Engine.no_queue_stats
           else Engine.queue_stats_of_bqueue (Bqueue.stats queues.(stage).(copy)));
       exec_wake = (fun () -> Array.iter (Array.iter Bqueue.wake) queues);
+      exec_spawn = (fun ~stage ~copy -> !spawn_hook ~stage ~copy);
+      (* a voluntarily retired copy keeps running its own domain and
+         drains its queue naturally — nothing to do here *)
+      exec_retire = (fun ~stage:_ ~copy:_ -> ());
     };
   let abort_raise err = Engine.abort eng err; raise Bqueue.Aborted in
   let ok = function Ok () -> () | Error e -> abort_raise e in
@@ -229,7 +239,11 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           match Engine.count_eos eng cs with
           | `Already | `Counted -> ()
           | `Stage_drained ->
-              Array.iter (fun q' -> ignore (Bqueue.push q' Release)) queues.(s)
+              (* wake the engaged members only — a dormant slot's queue
+                 has no consumer to take the token *)
+              for j = 0 to Engine.engaged_width eng s - 1 do
+                ignore (Bqueue.push queues.(s).(j) Release)
+              done
         in
         (* Zombie router: a retired copy keeps draining its queue,
            re-routing buffers and counting markers, until its stream has
@@ -368,12 +382,30 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     Engine.mark_exited cs
   in
 
+  (* Elastic spawns: one more domain running the ordinary copy body.
+     The engine made the copy a routable member before calling the
+     hook, so the domain may find items already queued.  Spawned
+     domains are tracked for the join below; the hook runs on the
+     autoscaler's monitor domain. *)
+  let elastic_mu = Mutex.create () in
+  let elastic = ref [] in
+  spawn_hook :=
+    (fun ~stage ~copy ->
+      let d = Domain.spawn (wrapped_body stage copy) in
+      Mutex.lock elastic_mu;
+      elastic := (stage, copy, d) :: !elastic;
+      Mutex.unlock elastic_mu);
   let t0 = Obs.Clock.elapsed_s () in
   let domains =
     List.concat
       (List.init n_stages (fun s ->
            List.init (Engine.width eng s) (fun k ->
                (s, k, Domain.spawn (wrapped_body s k)))))
+  in
+  let autoscaler =
+    if Engine.autoscale_enabled eng then
+      Some (Domain.spawn (fun () -> Engine.autoscale_loop eng))
+    else None
   in
   let watchdog =
     match policy.Supervisor.watchdog_ms with
@@ -415,16 +447,39 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     wait None
   in
   List.iter join_copy domains;
+  (* Elastic domains may still be added while the planned ones are
+     being joined; once the planned copies have all exited the whole
+     pipeline has drained and spawns are refused, so the list drains
+     in a bounded number of rounds. *)
+  let rec join_elastic () =
+    Mutex.lock elastic_mu;
+    let ds = !elastic in
+    elastic := [];
+    Mutex.unlock elastic_mu;
+    match ds with
+    | [] -> ()
+    | ds ->
+        List.iter join_copy ds;
+        join_elastic ()
+  in
+  join_elastic ();
+  (match autoscaler with Some d -> Domain.join d | None -> ());
   (match watchdog with Some d -> Domain.join d | None -> ());
   (match sampler with Some (_, d) -> Domain.join d | None -> ());
   let wall_time = Obs.Clock.elapsed_s () -. t0 in
+  let occupancy =
+    (* engaged members only: a dormant slot's queue never had a
+       consumer, so its occupancy is noise *)
+    Array.init n_stages (fun s ->
+        let n = min (Array.length queues.(s)) (Engine.engaged_width eng s) in
+        Array.init n (fun k -> Bqueue.occupancy queues.(s).(k)))
+  in
   let result =
     match Engine.abort_error eng with
     | Some e -> Error e
     | None ->
         Ok
-          (Engine.metrics eng ~elapsed_s:wall_time
-             ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+          (Engine.metrics eng ~elapsed_s:wall_time ~queue_occupancy:occupancy
              ?timeseries:
                (Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
              ())

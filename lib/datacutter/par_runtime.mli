@@ -29,9 +29,15 @@ val run_result :
   ?mem_budget:int ->
   ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
+  ?autoscale:Engine.autoscale ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
-(** [metrics_interval_s] runs an {!Engine.sampler_loop} monitor domain
+(** [autoscale] arms the elastic-copy controller on a monitor domain
+    ({!Engine.autoscale_loop}): a sustained-saturated inner stage gains
+    a copy — a fresh domain over a pre-allocated queue — and a
+    long-idle elastic copy stands down and drains out.
+
+    [metrics_interval_s] runs an {!Engine.sampler_loop} monitor domain
     sampling the accounting grids on the real clock and fills
     [metrics.timeseries].
 

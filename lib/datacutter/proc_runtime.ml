@@ -336,14 +336,14 @@ let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
 (* --- the run --------------------------------------------------------- *)
 
 let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    ?mem_budget ?queue_budgets ?metrics_interval_s (topo : Topology.t) :
-    (Engine.metrics, Supervisor.run_error) result =
+    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
+    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else
   match
     Engine.create ?faults ?policy ~queue_capacity ?batch ?stage_batch
-      ?mem_budget ?queue_budgets topo
+      ?mem_budget ?queue_budgets ?autoscale topo
   with
   | Error e -> Error e
   | Ok eng ->
@@ -402,9 +402,14 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
                      ~decode:decode_msg)
             | _ -> None
           in
-          Array.init (Engine.width eng s) (fun _ ->
+          Array.init (Engine.slots eng s) (fun _ ->
               (Bqueue.create ~cost:msg_cost ?spill ~stop queue_capacity
                 : msg Bqueue.t)))
+  in
+  (* exec_spawn needs the copy body, defined below — a forward ref; no
+     spawn can occur before the autoscaler starts. *)
+  let spawn_hook : (stage:int -> copy:int -> unit) ref =
+    ref (fun ~stage:_ ~copy:_ -> ())
   in
   let blocked_push (src : Engine.copy) q m =
     Engine.set_lifecycle src Engine.st_blocked_push;
@@ -441,11 +446,18 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           if stage = 0 then Engine.no_queue_stats
           else Engine.queue_stats_of_bqueue (Bqueue.stats queues.(stage).(copy)));
       exec_wake = (fun () -> Array.iter (Array.iter Bqueue.wake) queues);
+      exec_spawn = (fun ~stage ~copy -> !spawn_hook ~stage ~copy);
+      (* a voluntarily retired copy's driver keeps draining its queue
+         and shuts its worker down normally — nothing to do here *)
+      exec_retire = (fun ~stage:_ ~copy:_ -> ());
     };
   (* Pre-fork every worker while the runtime is still single-domain:
      one per source copy, 1 + max_retries per non-sink filter copy (the
      spares stand in for fork-on-restart), none for sink copies (their
-     filters run in the parent). *)
+     filters run in the parent).  Dormant elastic slots get their full
+     worker complement up front too — forking after a domain exists is
+     impossible in OCaml 5, so a mid-run spawn can only promote
+     pre-forked processes. *)
   let all_parent_fds = ref [] in
   let all_pids = ref [] in
   let fork_worker cs =
@@ -477,7 +489,7 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     try
       Ok
         (Array.init n_stages (fun s ->
-             Array.init (Engine.width eng s) (fun k ->
+             Array.init (Engine.slots eng s) (fun k ->
                  let cs = Engine.copy_at eng ~stage:s ~copy:k in
                  match stages.(s).Topology.role with
                  | Topology.Source _ ->
@@ -742,7 +754,11 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           match Engine.count_eos eng cs with
           | `Already | `Counted -> ()
           | `Stage_drained ->
-              Array.iter (fun q' -> ignore (Bqueue.push q' Release)) queues.(s)
+              (* wake the engaged members only — a dormant slot's queue
+                 has no driver to take the token *)
+              for j = 0 to Engine.engaged_width eng s - 1 do
+                ignore (Bqueue.push queues.(s).(j) Release)
+              done
         in
         (* Unacknowledged remainder of an in-flight wire batch, for the
            retirement re-route (the acknowledged prefix was already
@@ -953,12 +969,27 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     Engine.mark_exited cs
   in
 
+  (* Mid-run spawns promote a dormant slot: its worker processes were
+     pre-forked above; all that is left is starting a driver domain. *)
+  let elastic_mu = Mutex.create () in
+  let elastic : (int * int * unit Domain.t) list ref = ref [] in
+  (spawn_hook :=
+     fun ~stage ~copy ->
+       let d = Domain.spawn (wrapped_body stage copy) in
+       Mutex.lock elastic_mu;
+       elastic := (stage, copy, d) :: !elastic;
+       Mutex.unlock elastic_mu);
   let t0 = Obs.Clock.elapsed_s () in
   let domains =
     List.concat
       (List.init n_stages (fun s ->
            List.init (Engine.width eng s) (fun k ->
                (s, k, Domain.spawn (wrapped_body s k)))))
+  in
+  let autoscaler =
+    if Engine.autoscale_enabled eng then
+      Some (Domain.spawn (fun () -> Engine.autoscale_loop eng))
+    else None
   in
   let watchdog =
     match policy.Supervisor.watchdog_ms with
@@ -995,6 +1026,20 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     wait None
   in
   List.iter join_copy domains;
+  (* Once every planned copy has exited the pipeline is drained and new
+     spawns are refused [`Late], so this list converges. *)
+  let rec join_elastic () =
+    Mutex.lock elastic_mu;
+    let ds = !elastic in
+    elastic := [];
+    Mutex.unlock elastic_mu;
+    if ds <> [] then begin
+      List.iter join_copy ds;
+      join_elastic ()
+    end
+  in
+  join_elastic ();
+  (match autoscaler with Some d -> Domain.join d | None -> ());
   (match watchdog with Some d -> Domain.join d | None -> ());
   (match sampler with Some (_, d) -> Domain.join d | None -> ());
   (* Graceful queue close: leaked stuck copies (abort path) wake with
@@ -1050,7 +1095,7 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     else begin
       let entries = ref [] in
       for s = n_stages - 1 downto 0 do
-        for k = Engine.width eng s - 1 downto 0 do
+        for k = Engine.slots eng s - 1 downto 0 do
           match Hashtbl.find_opt per_copy (s, k) with
           | None -> ()
           | Some (busy, calls, pids) ->
@@ -1078,7 +1123,12 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     | None ->
         Ok
           (Engine.metrics eng ~elapsed_s:wall_time
-             ~queue_occupancy:(Array.map (Array.map Bqueue.occupancy) queues)
+             ~queue_occupancy:
+               (Array.init n_stages (fun s ->
+                    let n =
+                      min (Array.length queues.(s)) (Engine.engaged_width eng s)
+                    in
+                    Array.init n (fun k -> Bqueue.occupancy queues.(s).(k))))
              ?timeseries:(Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
              ~extra:(workers_section ()) ())
   in

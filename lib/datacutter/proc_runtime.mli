@@ -29,10 +29,16 @@ val run_result :
   ?mem_budget:int ->
   ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
+  ?autoscale:Engine.autoscale ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run to completion; [Error (Unsupported _)] when {!available} is
-    [false].  [mem_budget]/[queue_budgets] bound the parent-side
+    [false].  [autoscale] arms the elastic-copy controller
+    ({!Engine.autoscale_loop}) on a monitor domain; because forking
+    after domains exist is impossible in OCaml 5, every dormant elastic
+    slot pre-forks its full worker complement (active plus spares) up
+    front and a mid-run spawn merely starts a driver domain over the
+    waiting processes.  [mem_budget]/[queue_budgets] bound the parent-side
     queues' memory exactly as in {!Par_runtime} — the queues (and so
     the spilling) live in the parent, so no wire change is involved.  Metrics match {!Par_runtime}'s shape ([queue_occupancy]
     populated, no [link_stats]); [elapsed_s] is wall time.

@@ -33,9 +33,20 @@ val run_result :
   ?mem_budget:int ->
   ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
+  ?autoscale:Engine.autoscale ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run the pipeline to completion on [backend] (default {!Sim}).
+
+    [autoscale] arms the mid-run elastic-copy controller on every
+    backend (see {!Engine.autoscale_tick}): a sustained-saturated
+    inner stage transparently gains a copy out of the run's elastic
+    budget, a long-idle elastic copy stands down, and the metrics gain
+    an ["autoscale"] section.  The simulator ticks the controller at
+    deterministic virtual times, so an autoscaled sim run is
+    bit-reproducible; Par and Proc tick it from a monitor domain.
+    [Error (Copy_budget _)] (exit code 8 via [cgppc run]) when the
+    budget is invalid or the pipeline has no inner stage.
 
     [metrics_interval_s] turns on the engine's time-series sampler:
     per-copy busy/stall/queue/items-per-second snapshots every interval

@@ -39,17 +39,20 @@ type event =
   | Ev_copy_done of copy * Filter.buffer option * [ `Data | `Final | `Finalize ]
   | Ev_source_step of copy
   | Ev_finalize of copy  (* finalize (or retry one) if the barrier allows *)
+  | Ev_autoscale
+      (* recurring controller decision point at exact virtual times —
+         autoscaled sim runs stay bit-deterministic *)
 
 (* Aborts the event loop with a structured error; never escapes
    [run_result]. *)
 exception Sim_abort of Supervisor.run_error
 
 let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
-    ?mem_budget ?queue_budgets ?metrics_interval_s (topo : Topology.t) :
-    (Engine.metrics, Supervisor.run_error) result =
+    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
+    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
   match
     Engine.create ~faults ?policy ?batch ?stage_batch ?mem_budget
-      ?queue_budgets topo
+      ?queue_budgets ?autoscale topo
   with
   | Error e -> Error e
   | Ok eng ->
@@ -57,12 +60,17 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
   let links = Array.of_list topo.Topology.links in
   let n_stages = Array.length stages in
   let n_links = max 0 (n_stages - 1) in
+  (* One sim-copy per physical slot; dormant elastic slots start
+     [finished = true] so the end-of-run wedge check and marker relays
+     ignore them until a spawn engages one. *)
   let copies =
     Array.init n_stages (fun s ->
-        Array.init stages.(s).Topology.width (fun k ->
+        Array.init (Engine.slots eng s) (fun k ->
             let cs = Engine.copy_at eng ~stage:s ~copy:k in
             { cs; impl = Engine.instantiate eng cs; queue = Queue.create ();
-              busy = false; finished = false; link_free_at = 0.0;
+              busy = false;
+              finished = k >= stages.(s).Topology.width;
+              link_free_at = 0.0;
               idle_since = 0.0; q_mem_bytes = 0; q_disk_items = 0;
               q_disk_bytes = 0; q_spilled_bytes = 0; q_spill_segments = 0;
               q_high_water = 0; q_seg_acc = 0 }))
@@ -241,6 +249,14 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
       note_time (start +. dur)
     end
   in
+  (* Spawn/retire hooks need helpers defined below; the controller
+     only runs from Ev_autoscale events, long after these are set. *)
+  let spawn_hook : (stage:int -> copy:int -> unit) ref =
+    ref (fun ~stage:_ ~copy:_ -> ())
+  in
+  let retire_hook : (stage:int -> copy:int -> unit) ref =
+    ref (fun ~stage:_ ~copy:_ -> ())
+  in
   Engine.attach eng
     { exec_backend = Engine.Sim;
       exec_now = (fun () -> !now);
@@ -261,7 +277,9 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
               qs_spilled_bytes = c.q_spilled_bytes;
               qs_spill_segments = c.q_spill_segments;
               qs_mem_high_water = c.q_high_water });
-      exec_wake = (fun () -> ()) };
+      exec_wake = (fun () -> ());
+      exec_spawn = (fun ~stage ~copy -> !spawn_hook ~stage ~copy);
+      exec_retire = (fun ~stage ~copy -> !retire_hook ~stage ~copy) };
 
   (* Virtual-time sampler: advanced by the event loop before each event
      is handled, so every sample lands at its exact scheduled virtual
@@ -318,6 +336,38 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
     trace_qlen c ~ts:t;
     dead_maybe_relay t c
   in
+
+  (* Elastic hooks.  A spawn just wakes the dormant sim-copy — the
+     engine made it a member before calling the hook, and no arrival
+     can have been scheduled for it yet (the controller runs inside
+     the single-threaded event loop).  A voluntary retire mirrors the
+     crash-retire mechanics minus the recovery accounting: the copy is
+     already off the routing mask, so hand its backlog (normally empty
+     — the controller only retires long-idle copies) to live siblings
+     and keep its marker obligation alive through the zombie path. *)
+  spawn_hook :=
+    (fun ~stage ~copy ->
+      let c = copies.(stage).(copy) in
+      c.finished <- false;
+      c.idle_since <- !now);
+  retire_hook :=
+    (fun ~stage ~copy ->
+      let c = copies.(stage).(copy) in
+      let t = !now in
+      c.busy <- false;
+      Queue.iter
+        (fun (_, it, _) ->
+          match it with
+          | (Data _ | Final _) as it -> ok (Engine.reroute eng c.cs it)
+          | Marker -> Engine.note_marker eng c.cs)
+        c.queue;
+      Queue.clear c.queue;
+      c.q_mem_bytes <- 0;
+      c.q_disk_items <- 0;
+      c.q_disk_bytes <- 0;
+      c.q_seg_acc <- 0;
+      trace_qlen c ~ts:t;
+      dead_maybe_relay t c);
 
   (* One supervised attempt: retries re-schedule [retry_ev] after the
      backoff in simulated time; exhaustion retires + re-routes. *)
@@ -422,6 +472,21 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
         if kind = `Finalize then (c.finished <- true; send t c Marker);
         maybe_start t c
     | Ev_finalize c -> if not (dead c) then maybe_start t c
+    | Ev_autoscale -> (
+        ignore (Engine.autoscale_tick eng);
+        (* keep ticking while any engaged copy is still working; once
+           everything finished the heap is allowed to drain *)
+        match Engine.autoscale_config eng with
+        | None -> ()
+        | Some a ->
+            let unfinished = ref false in
+            for s = 0 to n_stages - 1 do
+              for k = 0 to Engine.engaged_width eng s - 1 do
+                if not copies.(s).(k).finished then unfinished := true
+              done
+            done;
+            if !unfinished then
+              Timeline.push heap (t +. a.Engine.as_interval_s) Ev_autoscale)
     | Ev_source_step c -> (
         if not (dead c) then
           match c.impl with
@@ -462,6 +527,9 @@ let run_result ?(faults = Fault.empty) ?policy ?batch ?stage_batch
                Engine.note_busy eng c.cs (cost /. power_of c)
            | I_source _ -> Timeline.push heap 0.0 (Ev_source_step c)))
       copies;
+    (match Engine.autoscale_config eng with
+    | Some a -> Timeline.push heap a.Engine.as_interval_s Ev_autoscale
+    | None -> ());
     let rec loop () =
       match Timeline.pop heap with
       | None -> ()

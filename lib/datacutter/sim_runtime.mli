@@ -27,9 +27,15 @@ val run_result :
   ?mem_budget:int ->
   ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
+  ?autoscale:Engine.autoscale ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
-(** [metrics_interval_s] samples the accounting grids at fixed
+(** [autoscale] ticks the elastic-copy controller
+    ({!Engine.autoscale_tick}) as a recurring event at exact virtual
+    times — spawn/retire decisions depend only on the modeled state,
+    so an autoscaled sim run is bit-deterministic across repeats.
+
+    [metrics_interval_s] samples the accounting grids at fixed
     {e virtual} times — the resulting [metrics.timeseries] is
     deterministic for a given topology and seed.
 

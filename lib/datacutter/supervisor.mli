@@ -83,6 +83,10 @@ type run_error =
   | Unsupported of string
       (** the selected backend cannot run on this platform (e.g. the
           process backend without [Unix.fork]) *)
+  | Copy_budget of string
+      (** the elastic-copy budget was invalid or exhausted before the
+          run could start: an autoscale request the engine refused
+          outright (budget <= 0, or no inner stage to grow) *)
 
 (** Raised by the compatibility [run] wrappers; prefer [run_result]. *)
 exception Run_failed of run_error
@@ -94,7 +98,10 @@ val pp_run_error : Format.formatter -> run_error -> unit
     triage without parsing stderr: 3 = watchdog stall ({!Stalled}),
     4 = retries exhausted ({!Stage_dead}), 5 = wire-protocol error (a
     {!Stage_dead} whose error came from the proc backend's protocol
-    layer), 6 = invalid topology, 7 = unsupported backend.  Used by
+    layer), 6 = invalid topology, 7 = unsupported backend, 8 = elastic
+    copy budget exhausted / autoscale refused ({!Copy_budget} — kept
+    distinct from the generic topology error so soak scripts can tell
+    a bad autoscale plan from a malformed pipeline).  Used by
     [cgppc run]; codes 123-125 are reserved by cmdliner. *)
 val exit_code_of : run_error -> int
 
