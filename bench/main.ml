@@ -14,6 +14,7 @@
      backends          one cell on every Engine backend (sim/par/proc),
                        rows tagged with a "backend" discriminator
      parallel          real-domain wall-clock speedups
+     transport         proc worker data path A/B (sockets vs shm rings)
      micro             Bechamel micro-benchmarks of the compiler itself
 
    Absolute times are simulated seconds on the substitute cluster and are
@@ -880,6 +881,89 @@ let throughput_smoke () =
   Fmt.pr "perf smoke: batched legs carry batch-size histograms@."
 
 (* ------------------------------------------------------------------ *)
+(* Transport A/B: the proc backend's two worker data paths             *)
+(* ------------------------------------------------------------------ *)
+
+(* The same streambench cell on the proc backend over Unix-domain
+   sockets and over shared-memory rings, at batch 1 and 64.  The proc
+   driver is request/response per wire frame, so the per-frame
+   round-trip — syscalls plus a scheduler wakeup on the socket path,
+   a spin-waited ring slot on the shm path — is exactly what this
+   isolates.  Each leg runs in its own forked child (fork is refused
+   once a domain has been spawned); legs are best-of-3 wall clock. *)
+let transport () =
+  print_header "Transport: streambench proc 1-1-1 (socket vs shm)"
+    [ "batch"; "elapsed(s)"; "items/s"; "vs socket" ];
+  let widths = [| 1; 1; 1 |] in
+  let powers = H.node_powers cluster widths in
+  let bandwidths = Array.make 2 cluster.H.bandwidth in
+  let cfg = Apps.Streambench.default in
+  let expected = Apps.Streambench.expected cfg in
+  let items = float_of_int cfg.Apps.Streambench.items in
+  let leg tp b =
+    let run () =
+      let topo, results =
+        Apps.Streambench.topology cfg ~widths ~powers ~bandwidths
+          ~latency:cluster.H.latency ()
+      in
+      match
+        Datacutter.Runtime.run_result ~backend:Datacutter.Runtime.Proc
+          ~transport:tp ~batch:b topo
+      with
+      | Ok m ->
+          if results () <> expected then
+            Fmt.failwith "transport %s B=%d: sink multiset diverged"
+              (Datacutter.Runtime.transport_name tp)
+              b;
+          m.Datacutter.Engine.elapsed_s
+      | Error e ->
+          Fmt.failwith "transport %s B=%d failed: %a"
+            (Datacutter.Runtime.transport_name tp)
+            b Datacutter.Supervisor.pp_run_error e
+    in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      match in_subprocess run with
+      | Some t -> if t < !best then best := t
+      | None -> ()
+    done;
+    if !best = infinity then None else Some !best
+  in
+  if not (Datacutter.Shm.available ()) then
+    Fmt.pr "  skipped: shared-memory transport unavailable on this platform@."
+  else
+    List.iter
+      (fun b ->
+        match (leg Datacutter.Runtime.Socket b, leg Datacutter.Runtime.Shm b) with
+        | Some t_sock, Some t_shm ->
+            let sock_rate = items /. t_sock and shm_rate = items /. t_shm in
+            List.iter
+              (fun (tp, t, rate) ->
+                Record.row
+                  ~tags:[ ("backend", "proc"); ("transport", tp) ]
+                  (Printf.sprintf "%s/B=%d" tp b)
+                  [
+                    ("batch", float_of_int b);
+                    ("elapsed_s", t);
+                    ("items_per_s", rate);
+                    ("vs_socket", rate /. sock_rate);
+                  ];
+                print_row tp
+                  [
+                    string_of_int b;
+                    Fmt.str "%.4f" t;
+                    Fmt.str "%.0f" rate;
+                    Fmt.str "%.2f" (rate /. sock_rate);
+                  ])
+              [
+                ("socket", t_sock, sock_rate); ("shm", t_shm, shm_rate);
+              ];
+            Fmt.pr "  B=%d: shm %.2fx socket items/s@." b
+              (shm_rate /. sock_rate)
+        | _ -> Fmt.pr "  B=%d skipped: fork unavailable@." b)
+      [ 1; 64 ]
+
+(* ------------------------------------------------------------------ *)
 (* Out-of-core: file-backed streambench, items/s vs dataset size vs
    memory budget.  Sources stream a write-once dataset cache file in
    chunks (Apps.Dataset) and the queues run under --mem-budget-style
@@ -1232,6 +1316,7 @@ let targets =
     ("parallel", parallel);
     ("throughput", throughput);
     ("throughput_smoke", throughput_smoke);
+    ("transport", transport);
     ("outofcore", outofcore);
     ("adaptive", adaptive);
     ("micro", micro);

@@ -298,7 +298,7 @@ let emit file app widths strategy cluster_spec =
 
 let run file target widths strategy backend parallel cluster_spec trace mjson
     faults watchdog_ms max_retries call_budget_ms batch mem_budget interval_ms
-    openmetrics report autoscale_n replan_from =
+    openmetrics report autoscale_n replan_from transport =
   let cluster = cluster_of_spec cluster_spec in
   let backend = if parallel then Datacutter.Runtime.Par else backend in
   let faults = Option.value faults ~default:Datacutter.Fault.empty in
@@ -358,6 +358,10 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
     (match replan_from with
     | Some path -> Obs.Metrics.set_str m "replan_from" path
     | None -> ());
+    (match (backend, transport) with
+    | Datacutter.Runtime.Proc, Some t ->
+        Obs.Metrics.set_str m "transport" (Datacutter.Runtime.transport_name t)
+    | _ -> ());
     m
   in
   (* A failed run still writes the metrics document — with the
@@ -470,7 +474,7 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
         in
         match
           Datacutter.Runtime.run_result ~backend ~faults ~policy ~batch
-            ?mem_budget ?metrics_interval_s ?autoscale topo
+            ?mem_budget ?metrics_interval_s ?autoscale ?transport topo
         with
         | Error err -> write_failure fill err
         | Ok m ->
@@ -508,7 +512,8 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
       let fill doc = compile_metrics doc c in
       (match
          Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch
-           ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale topo
+           ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
+           ?transport topo
        with
       | Error err -> write_failure fill err
       | Ok m ->
@@ -680,9 +685,30 @@ let backend_arg =
         ~doc:
           "Execution backend: $(b,sim) (discrete-event simulation of the \
            cluster), $(b,par) (real OCaml domains) or $(b,proc) (one forked \
-           OS process per filter copy, items serialized over Unix-domain \
-           sockets). All run the same pipeline engine and report the same \
-           metrics.")
+           OS process per filter copy, items serialized over shared-memory \
+           rings or Unix-domain sockets — see $(b,--transport)). All run \
+           the same pipeline engine and report the same metrics.")
+
+let transport_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("shm", Datacutter.Runtime.Shm);
+                ("socket", Datacutter.Runtime.Socket);
+              ]))
+        None
+    & info [ "transport" ] ~docv:"TRANSPORT"
+        ~doc:
+          "Worker data path for $(b,--backend proc): $(b,shm) (mmap'd \
+           shared-memory ring buffers per worker, frames larger than a \
+           ring slot spilling to the socket) or $(b,socket) (the plain \
+           Unix-domain socket pair). Default: $(b,shm) when the platform \
+           supports it, honouring the $(b,CGPPC_TRANSPORT) environment \
+           variable; the metrics JSON reports the path used under \
+           $(b,transport).")
 
 let parallel_arg =
   Arg.(
@@ -851,19 +877,19 @@ let run_term ~always_report =
          (fun
            ( f, a, c, s, b, p, cl, tr, mj,
              (fl, wd, mr, cb, bt, mb),
-             (iv, om, rp, az, rf) )
+             (iv, om, rp, az, rf, tp) )
          ->
            run f a c s b p cl tr mj fl wd mr cb bt mb iv om
-             (rp || always_report) az rf)
-      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp az rf ->
+             (rp || always_report) az rf tp)
+      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp az rf tp ->
              ( f, a, c, s, b, p, cl, tr, mj,
                (fl, wd, mr, cb, bt, mb),
-               (iv, om, rp, az, rf) ))
+               (iv, om, rp, az, rf, tp) ))
         $ file_arg $ target_arg $ config_arg $ strategy_arg $ backend_arg
         $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
         $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg
         $ mem_budget_arg $ interval_arg $ openmetrics_arg $ report_arg
-        $ autoscale_arg $ replan_from_arg)))
+        $ autoscale_arg $ replan_from_arg $ transport_arg)))
 
 (* Documented exit codes for runtime failures, mapped from the
    structured error by {!Datacutter.Supervisor.exit_code_of}.  Kept

@@ -9,11 +9,22 @@ let item_bytes t = t.item_bytes
 let path t = t.path
 let size_bytes t = t.items * t.item_bytes
 
-let default_dir () = Filename.concat (Filename.get_temp_dir_name ()) "cgppc-datasets"
+(* Per-uid cache root: a world-shared "cgppc-datasets" under the global
+   tmp dir lets two users collide on the same paths (and a dir
+   pre-created by someone else is not even writable).  Per-uid names
+   fix the collision at the root. *)
+let default_dir () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cgppc-datasets-%d" (Unix.getuid ()))
 
 (* Records per generation/read chunk: aim near 1 MiB so generation is a
    handful of large writes whatever the record size. *)
 let chunk_records item_bytes = max 1 (1_048_576 / max 1 item_bytes)
+
+(* Disambiguates temp files when one process generates the same dataset
+   concurrently from several domains. *)
+let tmp_counter = Atomic.make 0
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -38,30 +49,43 @@ let ensure ?dir ~name ~items ~item_bytes ~gen () =
         len <> want
   in
   if fresh then begin
-    (* Generate through a temp file and rename, so a crash mid-write
-       never leaves a plausible-looking truncated cache behind. *)
-    let tmp = path ^ ".tmp" in
+    (* Generate through a private temp file and rename, so a crash
+       mid-write never leaves a plausible-looking truncated cache
+       behind.  The temp name embeds pid + a counter: a shared
+       [path ^ ".tmp"] would let two concurrent generators interleave
+       writes into one file and publish the corrupted result.  With
+       private temps each writer renames a complete, deterministic
+       file into place — last one wins, both are identical. *)
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
+           (Atomic.fetch_and_add tmp_counter 1))
+    in
     let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        let per = chunk_records item_bytes in
-        let i = ref 0 in
-        while !i < items do
-          let n = min per (items - !i) in
-          let buf = Buffer.create (n * item_bytes) in
-          for j = !i to !i + n - 1 do
-            let r = gen j in
-            if Bytes.length r <> item_bytes then
-              invalid_arg
-                (Printf.sprintf
-                   "Dataset.ensure: record %d is %d bytes, expected %d" j
-                   (Bytes.length r) item_bytes);
-            Buffer.add_bytes buf r
-          done;
-          Buffer.output_buffer oc buf;
-          i := !i + n
-        done);
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           let per = chunk_records item_bytes in
+           let i = ref 0 in
+           while !i < items do
+             let n = min per (items - !i) in
+             let buf = Buffer.create (n * item_bytes) in
+             for j = !i to !i + n - 1 do
+               let r = gen j in
+               if Bytes.length r <> item_bytes then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Dataset.ensure: record %d is %d bytes, expected %d" j
+                      (Bytes.length r) item_bytes);
+               Buffer.add_bytes buf r
+             done;
+             Buffer.output_buffer oc buf;
+             i := !i + n
+           done)
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
     Sys.rename tmp path
   end;
   { path; items; item_bytes }

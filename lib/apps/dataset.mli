@@ -26,7 +26,7 @@ val ensure :
     [dir]/[name]-[items]x[item_bytes].dat, generating it chunk-by-chunk
     with [gen] (record index -> exactly [item_bytes] bytes) if the file
     is missing or has the wrong size.  [dir] defaults to a
-    [cgppc-datasets] directory under the system temp dir and is created
+    per-uid [cgppc-datasets-<uid>] directory under the system temp dir and is created
     as needed.  [gen] must be deterministic — the cache is keyed only by
     name and geometry.
 

@@ -56,39 +56,48 @@ let available = not Sys.win32
    exactly like a local filter exception. *)
 exception Remote_crash of string
 
-type worker = { pid : int; fd : Unix.file_descr }
+type worker = { pid : int; conn : Shm.conn }
 
 (* Per-copy worker state, touched only by the copy's own driver domain
    (and by teardown after the joins). *)
-type handle = {
-  mutable active : worker option;
-  mutable spares : worker list;
-  scratch : Bytes.t ref;  (* reusable receive buffer for responses *)
+type handle = { mutable active : worker option; mutable spares : worker list }
+
+(* What a pool [Wire.Bind] frame carries: the stage's role closure and
+   the copy coordinates, marshalled with [Marshal.Closures].  Legal
+   because pool workers are forked from the process that later binds
+   them, so code pointers agree on both sides; only the environment of
+   the closure travels. *)
+type ship_role =
+  | Ship_source of (int -> Filter.source)
+  | Ship_filter of (int -> Filter.t)
+
+type bind_info = {
+  bi_role : ship_role;
+  bi_index : int;  (* copy index the role closure is applied to *)
+  bi_tid : int;  (* trace thread id of the copy *)
+  bi_telem : bool;  (* ship telemetry frames this session *)
 }
 
 (* --- the child ------------------------------------------------------- *)
 
-(* Child main loop: never returns.  [Unix._exit] (not [exit]) so the
-   child cannot re-run the parent's [at_exit] hooks or flush inherited
-   channel buffers. *)
-let worker_main eng (cs : Engine.copy) fd : unit =
+(* One bound session inside a child: execute callback requests until
+   the channel closes or the parent sends [Exit] ([`Eof] — the child
+   should die) or [Unbind] ([`Unbind] — a pool worker parks for the
+   next plan).  Per-session state (the instance, telemetry counters)
+   lives here so a pooled worker starts every plan fresh. *)
+let serve_session conn ~telem ~tid
+    ~(instantiate : unit -> Engine.instance) : [ `Eof | `Unbind ] =
   let inst = ref `None in
   (* Local telemetry: spans + cumulative counters recorded around each
      callback, shipped as [Wire.Telemetry] frames at flush points and
      immediately before Finalize/Src_finalize/Crashed responses (a
      crash response is the last frame before the parent SIGKILLs this
-     worker, so the failing call's span still ships).  Enablement is
-     inherited at fork (tracing is turned on before the run), and so is
-     [Obs.Clock]'s t0, so timestamps share the parent's axis.  The
+     worker, so the failing call's span still ships).  [Obs.Clock]'s t0
+     is inherited at fork, so timestamps share the parent's axis.  The
      shared Trace DLS buffer is deliberately NOT used: it was inherited
      from the parent and appending there would duplicate parent events
      on ship. *)
-  let telem = Obs.Trace.is_enabled () in
   let my_pid = Unix.getpid () in
-  let tid =
-    Topology.copy_tid (Engine.topology eng) ~stage:cs.Engine.stage
-      ~copy:cs.Engine.index
-  in
   let pending = ref [] in
   let n_pending = ref 0 in
   let busy = ref 0.0 in
@@ -106,7 +115,7 @@ let worker_main eng (cs : Engine.copy) fd : unit =
       in
       pending := [];
       n_pending := 0;
-      try Wire.write_msg fd (Wire.Telemetry t)
+      try Shm.send conn (Wire.Telemetry t)
       with _ -> if not best_effort then Unix._exit 1
     end
   in
@@ -141,7 +150,7 @@ let worker_main eng (cs : Engine.copy) fd : unit =
   let handle req =
     match req with
     | Wire.Init -> (
-        match Engine.instantiate eng cs with
+        match instantiate () with
         | Engine.I_filter f ->
             inst := `Filter f;
             ignore (f.Filter.init ());
@@ -209,8 +218,8 @@ let worker_main eng (cs : Engine.copy) fd : unit =
             let out, _ = s.Filter.src_finalize () in
             Wire.Out (Option.map (fun b -> Engine.Final b) out)
         | _ -> Wire.Crashed "worker has no source instance")
-    | Wire.Exit | Wire.Out _ | Wire.Outs _ | Wire.Done | Wire.Crashed _
-    | Wire.Telemetry _ ->
+    | Wire.Bind _ | Wire.Unbind | Wire.Exit | Wire.Out _ | Wire.Outs _
+    | Wire.Done | Wire.Crashed _ | Wire.Telemetry _ ->
         Wire.Crashed "unexpected frame in worker"
   in
   (* Wrap real callback requests in a recorded span; markers and
@@ -225,14 +234,19 @@ let worker_main eng (cs : Engine.copy) fd : unit =
     | Wire.Src_finalize -> Some "src_finalize"
     | _ -> None
   in
-  let scratch = ref (Bytes.create 256) in
   let rec loop () =
-    match (try Wire.read_msg ~scratch fd with _ -> None) with
+    match (try Shm.recv conn with _ -> None) with
     | None | Some Wire.Exit ->
         (* The parent usually closed its end already; shipping the tail
            is best-effort. *)
         flush_telemetry ~best_effort:true ~force:true ();
-        Unix._exit 0
+        `Eof
+    | Some Wire.Unbind ->
+        (* Pool release: flush the session's telemetry tail so the
+           parent's per-copy rollup is complete, acknowledge, park. *)
+        flush_telemetry ~force:true ();
+        (try Shm.send conn Wire.Done with _ -> Unix._exit 1);
+        `Unbind
     | Some req ->
         let resp =
           try
@@ -248,10 +262,51 @@ let worker_main eng (cs : Engine.copy) fd : unit =
           | _ -> false
         in
         flush_telemetry ~force ();
-        (try Wire.write_msg fd resp with _ -> Unix._exit 1);
+        (try Shm.send conn resp with _ -> Unix._exit 1);
         loop ()
   in
   loop ()
+
+(* Child main loop of a per-run forked worker: never returns.
+   [Unix._exit] (not [exit]) so the child cannot re-run the parent's
+   [at_exit] hooks or flush inherited channel buffers. *)
+let worker_main eng (cs : Engine.copy) conn : unit =
+  let telem = Obs.Trace.is_enabled () in
+  let tid =
+    Topology.copy_tid (Engine.topology eng) ~stage:cs.Engine.stage
+      ~copy:cs.Engine.index
+  in
+  (match
+     serve_session conn ~telem ~tid ~instantiate:(fun () ->
+         Engine.instantiate eng cs)
+   with
+  | `Eof | `Unbind -> ());
+  Unix._exit 0
+
+(* Child main loop of a persistent pool worker: forked role-less, parks
+   until a [Bind] frame ships it a role closure, serves that plan's
+   session, and parks again on [Unbind] — the same OS process executes
+   any number of plans without re-forking. *)
+let pool_worker_main conn : unit =
+  let rec park () =
+    match (try Shm.recv conn with _ -> None) with
+    | None | Some Wire.Exit -> Unix._exit 0
+    | Some (Wire.Bind blob) -> (
+        let bi = (Marshal.from_bytes blob 0 : bind_info) in
+        let instantiate () =
+          match bi.bi_role with
+          | Ship_source mk -> Engine.I_source (mk bi.bi_index)
+          | Ship_filter mk -> Engine.I_filter (mk bi.bi_index)
+        in
+        (try Shm.send conn Wire.Done with _ -> Unix._exit 1);
+        match
+          serve_session conn ~telem:bi.bi_telem ~tid:bi.bi_tid ~instantiate
+        with
+        | `Unbind -> park ()
+        | `Eof -> Unix._exit 0)
+    | Some _ -> Unix._exit 1
+  in
+  park ()
 
 (* --- parent-side worker management ----------------------------------- *)
 
@@ -268,13 +323,13 @@ let reap_worker ?(kill = false) label (w : worker) =
       Logs.debug (fun m ->
           m "proc worker %s pid %d: %s" label w.pid (string_of_status status))
   | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ());
-  try Unix.close w.fd with Unix.Unix_error _ -> ()
+  Shm.close w.conn
 
 (* Orderly shutdown for workers still alive at the end of the run:
    close the request channel (the child reads EOF and [_exit]s), give
    it a grace period, then SIGKILL. *)
 let shutdown_worker label (w : worker) =
-  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  Shm.close w.conn;
   let deadline = Obs.Clock.elapsed_s () +. 1.0 in
   let rec reap () =
     match Unix.waitpid [ Unix.WNOHANG ] w.pid with
@@ -313,7 +368,7 @@ let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
         raise (Remote_crash msg)
       in
       let rec read_resp () =
-        match Wire.read_msg ~scratch:h.scratch w.fd with
+        match Shm.recv w.conn with
         | Some (Wire.Telemetry t) ->
             absorb t;
             read_resp ()
@@ -323,7 +378,7 @@ let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
         | None -> fail "worker exited unexpectedly"
       in
       match
-        Wire.write_msg w.fd req;
+        Shm.send w.conn req;
         read_resp ()
       with
       | resp -> resp
@@ -333,11 +388,152 @@ let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
       | exception Wire.Protocol_error msg ->
           fail ("worker protocol error: " ^ msg))
 
+(* --- the persistent worker pool -------------------------------------- *)
+
+(* A checked-in pool worker: forked role-less, currently parked. *)
+type pool_worker = { pw_pid : int; pw_conn : Shm.conn }
+
+type pool = {
+  p_mu : Mutex.t;
+  mutable p_free : pool_worker list;
+  mutable p_closed : bool;
+  p_transport : Shm.transport;
+  p_size : int;  (* workers forked at creation *)
+}
+
+let default_pool_workers = 8
+
+let pool_create ?(workers = default_pool_workers) ?transport () :
+    (pool, Supervisor.run_error) result =
+  if not available then
+    Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
+  else begin
+    let transport = Shm.resolve transport in
+    let spawned = ref [] in
+    let fork_one () =
+      let parent_conn, child_conn = Shm.pair transport in
+      match Unix.fork () with
+      | 0 ->
+          (* Keep only our own channel (see [fork_worker]). *)
+          Shm.close parent_conn;
+          List.iter (fun w -> Shm.close w.pw_conn) !spawned;
+          pool_worker_main child_conn;
+          Unix._exit 0
+      | pid ->
+          Shm.close child_conn;
+          let w = { pw_pid = pid; pw_conn = parent_conn } in
+          spawned := w :: !spawned;
+          w
+    in
+    match List.init (max 1 workers) (fun _ -> fork_one ()) with
+    | ws ->
+        Ok
+          {
+            p_mu = Mutex.create ();
+            p_free = ws;
+            p_closed = false;
+            p_transport = transport;
+            p_size = List.length ws;
+          }
+    | exception Failure msg ->
+        (* fork refused (a domain has already been spawned): reclaim
+           whatever we managed to fork and report like a platform
+           without fork. *)
+        List.iter
+          (fun w ->
+            Shm.close w.pw_conn;
+            (try Unix.kill w.pw_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] w.pw_pid)
+            with Unix.Unix_error _ -> ())
+          !spawned;
+        Error (Supervisor.Unsupported msg)
+  end
+
+let pool_size p = p.p_size
+
+let pool_free p =
+  Mutex.lock p.p_mu;
+  let n = List.length p.p_free in
+  Mutex.unlock p.p_mu;
+  n
+
+let pool_transport p = p.p_transport
+
+let pool_pids p =
+  Mutex.lock p.p_mu;
+  let pids = List.map (fun w -> w.pw_pid) p.p_free in
+  Mutex.unlock p.p_mu;
+  List.sort compare pids
+
+let pool_shutdown p =
+  Mutex.lock p.p_mu;
+  let ws = p.p_free in
+  p.p_free <- [];
+  p.p_closed <- true;
+  Mutex.unlock p.p_mu;
+  List.iter
+    (fun w -> shutdown_worker "pool" { pid = w.pw_pid; conn = w.pw_conn })
+    ws
+
+(* Check a worker out and bind it to a role: ship the marshalled
+   [bind_info], wait for the [Done] ack.  A worker that dies at bind
+   time is dropped from the pool and the next free one is tried — only
+   an empty pool fails the run. *)
+let pool_acquire p ~absorb ~role ~index ~tid ~lbl : worker =
+  let blob =
+    try
+      Marshal.to_bytes
+        { bi_role = role; bi_index = index; bi_tid = tid;
+          bi_telem = Obs.Trace.is_enabled () }
+        [ Marshal.Closures ]
+    with e ->
+      failwith
+        (lbl ^ ": filter closure not marshallable for pool dispatch: "
+       ^ Printexc.to_string e)
+  in
+  let rec try_next () =
+    Mutex.lock p.p_mu;
+    let picked =
+      match p.p_free with
+      | [] -> None
+      | w :: rest ->
+          p.p_free <- rest;
+          Some w
+    in
+    Mutex.unlock p.p_mu;
+    match picked with
+    | None -> failwith ("worker pool exhausted binding " ^ lbl)
+    | Some w ->
+        let ok =
+          try
+            Shm.send w.pw_conn (Wire.Bind blob);
+            let rec wait () =
+              match Shm.recv w.pw_conn with
+              | Some (Wire.Telemetry t) ->
+                  absorb t;
+                  wait ()
+              | Some Wire.Done -> true
+              | _ -> false
+            in
+            wait ()
+          with _ -> false
+        in
+        if ok then { pid = w.pw_pid; conn = w.pw_conn }
+        else begin
+          Logs.warn (fun m ->
+              m "pool worker pid %d failed to bind %s; dropping it" w.pw_pid
+                lbl);
+          reap_worker ~kill:true lbl { pid = w.pw_pid; conn = w.pw_conn };
+          try_next ()
+        end
+  in
+  try_next ()
+
 (* --- the run --------------------------------------------------------- *)
 
-let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
-    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
-    (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
+    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale ?transport
+    ?pool (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else
@@ -380,6 +576,14 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     Mutex.unlock telem_lock
   in
   let rpc lbl h req = rpc ~absorb lbl h req in
+  (* Pool runs inherit the pool's transport (its rings were sized and
+     mapped at creation); plain runs resolve explicit choice / env /
+     platform probe here. *)
+  let transport =
+    match pool with
+    | Some p -> p.p_transport
+    | None -> Shm.resolve transport
+  in
   (* A dead child turns writes into EPIPE errors (handled in [rpc])
      rather than a fatal signal. *)
   let prev_sigpipe =
@@ -451,78 +655,141 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
          and shuts its worker down normally — nothing to do here *)
       exec_retire = (fun ~stage:_ ~copy:_ -> ());
     };
-  (* Pre-fork every worker while the runtime is still single-domain:
-     one per source copy, 1 + max_retries per non-sink filter copy (the
+  (* Returning a worker when the run no longer needs it: plain runs
+     shut the forked child down; pool runs unbind it (flushing its
+     telemetry tail) and check it back in for the next plan.  A worker
+     that fails the unbind round trip is dropped from the pool. *)
+  let release =
+    match pool with
+    | None -> shutdown_worker
+    | Some p ->
+        fun lbl (w : worker) ->
+          let ok =
+            try
+              Shm.send w.conn Wire.Unbind;
+              let rec wait () =
+                match Shm.recv w.conn with
+                | Some (Wire.Telemetry t) ->
+                    absorb t;
+                    wait ()
+                | Some Wire.Done -> true
+                | _ -> false
+              in
+              wait ()
+            with _ -> false
+          in
+          if ok then begin
+            Mutex.lock p.p_mu;
+            if p.p_closed then begin
+              Mutex.unlock p.p_mu;
+              shutdown_worker lbl w
+            end
+            else begin
+              p.p_free <- { pw_pid = w.pid; pw_conn = w.conn } :: p.p_free;
+              Mutex.unlock p.p_mu
+            end
+          end
+          else begin
+            Logs.warn (fun m ->
+                m "proc worker %s pid %d failed to unbind; dropping it" lbl
+                  w.pid);
+            reap_worker ~kill:true lbl w
+          end
+  in
+  (* Obtain every worker while the runtime is still single-domain: one
+     per source copy, 1 + max_retries per non-sink filter copy (the
      spares stand in for fork-on-restart), none for sink copies (their
      filters run in the parent).  Dormant elastic slots get their full
      worker complement up front too — forking after a domain exists is
      impossible in OCaml 5, so a mid-run spawn can only promote
-     pre-forked processes. *)
-  let all_parent_fds = ref [] in
-  let all_pids = ref [] in
+     pre-obtained processes.  Plain runs fork each worker over a fresh
+     [Shm.pair]; pool runs check parked workers out and bind them. *)
+  let all_workers : worker list ref = ref [] in
   let fork_worker cs =
-    let parent_fd, child_fd =
-      Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
-    in
+    let parent_conn, child_conn = Shm.pair transport in
     match Unix.fork () with
     | 0 ->
         (* Keep only our own channel: inherited parent-side fds of
            earlier workers would defeat their EOF detection. *)
-        (try Unix.close parent_fd with Unix.Unix_error _ -> ());
-        List.iter
-          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-          !all_parent_fds;
-        worker_main eng cs child_fd;
+        Shm.close parent_conn;
+        List.iter (fun w -> Shm.close w.conn) !all_workers;
+        worker_main eng cs child_conn;
         Unix._exit 0
     | pid ->
-        (try Unix.close child_fd with Unix.Unix_error _ -> ());
-        all_parent_fds := parent_fd :: !all_parent_fds;
-        all_pids := pid :: !all_pids;
-        Hashtbl.replace pid_copy pid (cs.Engine.stage, cs.Engine.index);
-        if Obs.Trace.is_enabled () then
-          Obs.Trace.name_process ~pid
-            (Printf.sprintf "cgpp worker %s"
-               (label cs.Engine.stage cs.Engine.index));
-        { pid; fd = parent_fd }
+        Shm.close child_conn;
+        { pid; conn = parent_conn }
+  in
+  let obtain cs =
+    let s = cs.Engine.stage and k = cs.Engine.index in
+    let w =
+      match pool with
+      | None -> fork_worker cs
+      | Some p ->
+          let role =
+            match stages.(s).Topology.role with
+            | Topology.Source mk -> Ship_source mk
+            | Topology.Inner mk | Topology.Sink mk -> Ship_filter mk
+          in
+          pool_acquire p ~absorb ~role ~index:k
+            ~tid:(Topology.copy_tid topo ~stage:s ~copy:k)
+            ~lbl:(label s k)
+    in
+    all_workers := w :: !all_workers;
+    Hashtbl.replace pid_copy w.pid (s, k);
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.name_process ~pid:w.pid
+        (Printf.sprintf "cgpp worker %s" (label s k));
+    w
   in
   let handles_or_err =
     try
+      (* In pool mode, fail fast with a sized message instead of
+         binding a partial complement. *)
+      (match pool with
+      | Some p ->
+          let required = ref 0 in
+          for s = 0 to n_stages - 1 do
+            match stages.(s).Topology.role with
+            | Topology.Source _ -> required := !required + Engine.slots eng s
+            | Topology.Inner _ | Topology.Sink _ ->
+                if not (Engine.is_sink_stage eng s) then
+                  required :=
+                    !required
+                    + (Engine.slots eng s * (1 + policy.Supervisor.max_retries))
+          done;
+          Mutex.lock p.p_mu;
+          let free = List.length p.p_free and closed = p.p_closed in
+          Mutex.unlock p.p_mu;
+          if closed then failwith "worker pool is shut down";
+          if free < !required then
+            failwith
+              (Printf.sprintf
+                 "worker pool too small: plan needs %d workers, %d free"
+                 !required free)
+      | None -> ());
       Ok
         (Array.init n_stages (fun s ->
              Array.init (Engine.slots eng s) (fun k ->
                  let cs = Engine.copy_at eng ~stage:s ~copy:k in
                  match stages.(s).Topology.role with
                  | Topology.Source _ ->
-                     Some
-                       {
-                         active = Some (fork_worker cs);
-                         spares = [];
-                         scratch = ref (Bytes.create 256);
-                       }
+                     Some { active = Some (obtain cs); spares = [] }
                  | Topology.Inner _ | Topology.Sink _ ->
                      if Engine.is_sink_stage eng s then None
                      else
                        Some
                          {
-                           active = Some (fork_worker cs);
+                           active = Some (obtain cs);
                            spares =
                              List.init policy.Supervisor.max_retries (fun _ ->
-                                 fork_worker cs);
-                           scratch = ref (Bytes.create 256);
+                                 obtain cs);
                          })))
     with Failure msg ->
       (* OCaml 5 permanently refuses [Unix.fork] once any domain has
          ever been spawned in this process — report it like a platform
          without fork instead of crashing, after reclaiming whatever we
-         managed to fork. *)
-      List.iter
-        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        !all_parent_fds;
-      List.iter
-        (fun pid ->
-          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-        !all_pids;
+         managed to obtain (pool workers go back to the pool). *)
+      List.iter (fun w -> release "aborted-setup" w) !all_workers;
       Error msg
   in
   match handles_or_err with
@@ -1045,8 +1312,9 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
   (* Graceful queue close: leaked stuck copies (abort path) wake with
      [Closed] instead of blocking forever once their worker dies. *)
   Array.iter (Array.iter Bqueue.close) queues;
-  (* Reap the surviving children: the still-active workers of completed
-     copies and every unused spare. *)
+  (* Return the surviving children — the still-active workers of
+     completed copies and every unused spare — to the pool (unbind), or
+     reap them (plain run). *)
   Array.iteri
     (fun s row ->
       Array.iteri
@@ -1056,10 +1324,10 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           | Some h ->
               let lbl = label s k in
               (match h.active with
-              | Some w -> shutdown_worker lbl w
+              | Some w -> release lbl w
               | None -> ());
               h.active <- None;
-              List.iter (shutdown_worker lbl) h.spares;
+              List.iter (release lbl) h.spares;
               h.spares <- [])
         row)
     handles;
@@ -1130,7 +1398,20 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
                     in
                     Array.init n (fun k -> Bqueue.occupancy queues.(s).(k))))
              ?timeseries:(Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
-             ~extra:(workers_section ()) ())
+             ~extra:
+               (("transport", Obs.Json.Str (Shm.transport_name transport))
+               :: workers_section ())
+             ())
   in
   Option.iter Spill.remove_dir spill_dir;
   result
+
+let run_result ?queue_capacity ?faults ?policy ?batch ?stage_batch ?mem_budget
+    ?queue_budgets ?metrics_interval_s ?autoscale ?transport topo =
+  run_core ?queue_capacity ?faults ?policy ?batch ?stage_batch ?mem_budget
+    ?queue_budgets ?metrics_interval_s ?autoscale ?transport topo
+
+let pool_run_result pool ?queue_capacity ?faults ?policy ?batch ?stage_batch
+    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale topo =
+  run_core ?queue_capacity ?faults ?policy ?batch ?stage_batch ?mem_budget
+    ?queue_budgets ?metrics_interval_s ?autoscale ~pool topo

@@ -1,5 +1,7 @@
-(** Process backend: one forked OS process per source/inner filter
-    copy, items serialized over Unix-domain socket pairs ({!Wire}).
+(** Process backend: one OS process per source/inner filter copy,
+    items serialized as {!Wire} frames over a per-worker channel — by
+    default shared-memory ring pairs ({!Shm}), falling back to
+    Unix-domain socket pairs.
 
     The parent process keeps the whole {!Engine} protocol — queues,
     routing, the EOS drain barrier, fault ticking, the retry/retire/
@@ -30,10 +32,15 @@ val run_result :
   ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
   ?autoscale:Engine.autoscale ->
+  ?transport:Shm.transport ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run to completion; [Error (Unsupported _)] when {!available} is
-    [false].  [autoscale] arms the elastic-copy controller
+    [false].  [transport] picks the worker data path (default: resolved
+    by {!Shm.resolve} — shared-memory rings when available, the
+    [CGPPC_TRANSPORT] env var overriding); the chosen path is reported
+    in the metrics under the ["transport"] key.  [autoscale] arms the
+    elastic-copy controller
     ({!Engine.autoscale_loop}) on a monitor domain; because forking
     after domains exist is impossible in OCaml 5, every dormant elastic
     slot pre-forks its full worker complement (active plus spares) up
@@ -47,3 +54,66 @@ val run_result :
     workers ship their callback spans and counters back over the wire
     ({!Wire.Telemetry}): the trace covers worker pids and the metrics
     carry a per-copy ["workers"] rollup. *)
+
+(** {1 Persistent worker pool}
+
+    A pool keeps a set of pre-forked, role-less worker processes alive
+    across runs.  {!pool_run_result} checks workers out and binds each
+    one to a filter role by shipping the role closure over the wire
+    ([Marshal] with closures — sound because the workers were forked
+    from this very process), runs the plan, then unbinds the survivors
+    back into the pool.  Many plans thus execute through one stable set
+    of worker pids with zero mid-sequence forks — which also sidesteps
+    the OCaml 5 fork-after-domain restriction: create the pool before
+    any domain has ever been spawned and proc plans keep working for
+    the life of the process.
+
+    Crash recovery is unchanged: a crash decision still SIGKILLs the
+    bound worker (the pool shrinks by one) and promotes a bound spare. *)
+
+type pool
+
+val pool_create :
+  ?workers:int ->
+  ?transport:Shm.transport ->
+  unit ->
+  (pool, Supervisor.run_error) result
+(** Fork [workers] (default 8) parked worker processes.  Must be called
+    while the process is still single-domain.  [transport] sizes the
+    per-worker channels once, at fork time (default: {!Shm.resolve}). *)
+
+val pool_size : pool -> int
+(** Workers forked at creation. *)
+
+val pool_free : pool -> int
+(** Workers currently parked (not checked out, not crashed). *)
+
+val pool_transport : pool -> Shm.transport
+
+val pool_pids : pool -> int list
+(** Pids of the currently parked workers, sorted — lets tests and
+    diagnostics assert that runs reuse this set instead of forking. *)
+
+val pool_run_result :
+  pool ->
+  ?queue_capacity:int ->
+  ?faults:Fault.plan ->
+  ?policy:Supervisor.policy ->
+  ?batch:int ->
+  ?stage_batch:int array ->
+  ?mem_budget:int ->
+  ?queue_budgets:int array ->
+  ?metrics_interval_s:float ->
+  ?autoscale:Engine.autoscale ->
+  Topology.t ->
+  (Engine.metrics, Supervisor.run_error) result
+(** Exactly {!run_result}, but workers come from the pool instead of
+    being forked: callable after domains have been spawned.  Fails with
+    [Unsupported] when the pool has fewer free workers than the plan
+    needs (sources need 1 each, non-sink inner copies [1 + max_retries]
+    each, dormant elastic slots included) or has been shut down. *)
+
+val pool_shutdown : pool -> unit
+(** Orderly shutdown of every parked worker (EOF, grace period,
+    SIGKILL).  Checked-out workers are shut down when their run
+    releases them.  Idempotent. *)

@@ -1,0 +1,428 @@
+(* Shared-memory transport (see the .mli).
+
+   Each direction of a channel is one SPSC ring: an [Int64] Bigarray
+   over an mmap'd, already-unlinked temp file, shared between parent
+   and child because the mapping is created before the fork.
+
+   Layout (64-bit words):
+
+       word 0            tail: next sequence the reader will consume,
+                         published by the reader, polled by the writer
+                         for flow control
+       word 1            reader-parked flag: the reader is blocked on
+                         its doorbell fd waiting for a frame
+       word 2            writer-parked flag: the writer is blocked on
+                         its doorbell fd waiting for a free slot
+       words 3..7        padding (keeps the header off the slots' lines)
+       slot i            at word 8 + i * slot_words:
+         +0              seq stamp: 0 while free, [seq + 1] once the
+                         frame written at cursor [seq] is complete
+         +1              frame byte length, or -1 for an overflow
+                         marker (the frame itself travels the socket)
+         +2 ..           the encoded Wire frame, packed LE into words
+
+   Cursors are plain [int]s that increase monotonically; [land mask]
+   picks the slot.  The writer publishes a frame by storing the seq
+   stamp LAST, so a reader that observes [seq + 1] also observes the
+   payload (x86-TSO store ordering; OCaml evaluates these effectful
+   Bigarray stores in program order).  The reader frees the slot by
+   republishing the tail AFTER copying the payload out.
+
+   Waiting is futex-shaped: a blocked side spins on its polled word
+   (only worth doing on multicore — on one core the spin burns the
+   quantum the peer needs), then sets its parked flag and blocks on a
+   dedicated doorbell socketpair; the peer checks the flag after
+   publishing a frame / freeing a slot and pokes one byte, so a parked
+   side wakes at fd speed instead of nanosleep-timer-slack speed.  A
+   dead peer closes the doorbell (EOF) and is double-checked with a
+   [MSG_PEEK] probe on the main socket, converting into EOF/EPIPE
+   instead of a hang. *)
+
+module A1 = Bigarray.Array1
+
+type transport = Shm | Socket
+
+let transport_name = function Shm -> "shm" | Socket -> "socket"
+
+let transport_of_name s =
+  match String.lowercase_ascii s with
+  | "shm" -> Some Shm
+  | "socket" -> Some Socket
+  | _ -> None
+
+(* --- rings ----------------------------------------------------------- *)
+
+type ring = {
+  buf : (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t;
+  slots : int;  (* power of two *)
+  mask : int;
+  slot_words : int;  (* seq + len + payload words *)
+  payload_bytes : int;  (* frame capacity per slot *)
+  mutable cursor : int;  (* next seq this side writes / reads *)
+  mutable cached_tail : int;  (* writer-side cache of word 0 *)
+}
+
+let hdr_words = 8
+
+(* Header park flags (see the layout comment). *)
+let w_rd_parked = 1
+let w_wr_parked = 2
+let payload_words slot_bytes = (slot_bytes + 7) / 8
+
+(* Anonymous shared memory: temp file, unlink, ftruncate, map.  The
+   kernel frees the pages with the last mapping, so even a SIGKILLed
+   process leaks nothing on disk. *)
+let map_ring ~slots ~slot_bytes =
+  let slot_words = 2 + payload_words slot_bytes in
+  let words = hdr_words + (slots * slot_words) in
+  let path = Filename.temp_file "cgppc-ring" ".shm" in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  let buf =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.unlink path;
+        Unix.ftruncate fd (words * 8);
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.int64 Bigarray.c_layout true [| words |]))
+  in
+  A1.fill buf 0L;
+  buf
+
+let ring_view buf ~slots ~slot_bytes =
+  {
+    buf;
+    slots;
+    mask = slots - 1;
+    slot_words = 2 + payload_words slot_bytes;
+    payload_bytes = payload_words slot_bytes * 8;
+    cursor = 0;
+    cached_tail = 0;
+  }
+
+let slot_base r seq = hdr_words + ((seq land r.mask) * r.slot_words)
+
+(* Writer: is there a free slot?  Refreshes the cached tail only when
+   the cache says full, so the steady state never touches the shared
+   word from this side. *)
+let ring_free r =
+  r.cursor - r.cached_tail < r.slots
+  ||
+  (r.cached_tail <- Int64.to_int (A1.unsafe_get r.buf 0);
+   r.cursor - r.cached_tail < r.slots)
+
+let overflow_len = -1
+
+let ring_write_raw r len blit =
+  let base = slot_base r r.cursor in
+  A1.unsafe_set r.buf (base + 1) (Int64.of_int len);
+  blit base;
+  A1.unsafe_set r.buf base (Int64.of_int (r.cursor + 1));
+  r.cursor <- r.cursor + 1
+
+let ring_write r frame ~len pad =
+  ring_write_raw r len (fun base ->
+      let full = len / 8 in
+      for i = 0 to full - 1 do
+        A1.unsafe_set r.buf (base + 2 + i) (Bytes.get_int64_le frame (8 * i))
+      done;
+      let rem = len - (8 * full) in
+      if rem > 0 then begin
+        Bytes.fill pad 0 8 '\000';
+        Bytes.blit frame (8 * full) pad 0 rem;
+        A1.unsafe_set r.buf (base + 2 + full) (Bytes.get_int64_le pad 0)
+      end)
+
+let ring_write_overflow r = ring_write_raw r overflow_len (fun _ -> ())
+
+(* Reader: has the slot at our cursor been published? *)
+let ring_ready r =
+  Int64.to_int (A1.unsafe_get r.buf (slot_base r r.cursor)) = r.cursor + 1
+
+(* Consume the published slot at the cursor (caller checked
+   [ring_ready]).  Copies the frame out into [scratch] BEFORE freeing
+   the slot — once the tail advances the writer may overwrite it. *)
+let ring_read r scratch =
+  let base = slot_base r r.cursor in
+  let len = Int64.to_int (A1.unsafe_get r.buf (base + 1)) in
+  let res =
+    if len = overflow_len then `Overflow
+    else if len < 0 || len > r.payload_bytes then
+      raise
+        (Wire.Protocol_error
+           (Printf.sprintf "shm ring slot has bad frame length %d" len))
+    else begin
+      let words = (len + 7) / 8 in
+      if Bytes.length !scratch < words * 8 then
+        scratch := Bytes.create (max (words * 8) (2 * Bytes.length !scratch));
+      for i = 0 to words - 1 do
+        Bytes.set_int64_le !scratch (8 * i) (A1.unsafe_get r.buf (base + 2 + i))
+      done;
+      `Frame len
+    end
+  in
+  A1.unsafe_set r.buf 0 (Int64.of_int (r.cursor + 1));
+  r.cursor <- r.cursor + 1;
+  res
+
+(* --- liveness + polling ---------------------------------------------- *)
+
+(* The socket rides along for exactly this: a 1-byte MSG_PEEK tells a
+   blocked side whether its peer still exists.  0 bytes = orderly EOF
+   or a dead process; EAGAIN (nothing buffered) and EINTR mean alive.
+   Peeking never consumes, so pending overflow frames are unharmed. *)
+let peer_alive fd =
+  match Unix.set_nonblock fd with
+  | exception Unix.Unix_error _ -> false
+  | () ->
+      let peek_buf = Bytes.create 1 in
+      let alive =
+        match Unix.recv fd peek_buf 0 1 [ Unix.MSG_PEEK ] with
+        | 0 -> false
+        | _ -> true
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            true
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+      alive
+
+exception Peer_dead
+
+let spin_rounds = 512
+
+(* Spinning only pays when the peer can run on another core; on a
+   single-core host it just burns the quantum the peer needs to
+   produce, so the budget is zero and a blocked side parks at once. *)
+let spin_budget =
+  lazy
+    (try if Domain.recommended_domain_count () > 1 then spin_rounds else 0
+     with _ -> 0)
+
+(* Backstop for the flag-then-check parking race (x86 can reorder the
+   parker's flag store after its ready load, and symmetrically on the
+   waker): a missed doorbell costs at most one timeout, not a hang. *)
+let park_timeout = 0.025
+
+(* --- connections ----------------------------------------------------- *)
+
+type chan = {
+  c_fd : Unix.file_descr;
+  db : Unix.file_descr;  (* doorbell: park/wake socketpair, RCVTIMEO-bounded *)
+  tx : ring;
+  rx : ring;
+  rx_scratch : Bytes.t ref;  (* decode buffer for ring frames *)
+  fd_scratch : Bytes.t ref;  (* receive buffer for overflow frames *)
+  pad : Bytes.t;  (* 8-byte staging for a frame's last partial word *)
+}
+
+let bell = Bytes.make 1 '!'
+
+(* Wake the peer if it advertised itself parked on [flag_word] of
+   [r]'s header.  Clearing the flag first keeps a stream of publishes
+   from flooding the doorbell; write errors are ignored (a full pipe
+   means wakeups are already queued, a dead peer is handled by its own
+   exit path). *)
+let doorbell c r flag_word =
+  if A1.unsafe_get r.buf flag_word <> 0L then begin
+    A1.unsafe_set r.buf flag_word 0L;
+    try ignore (Unix.write c.db bell 0 1) with Unix.Unix_error _ -> ()
+  end
+
+(* Block until [ready ()]: spin (multicore only), then park — set the
+   flag the peer checks, re-check [ready], block reading the doorbell.
+   The read is bounded by [SO_RCVTIMEO] (= [park_timeout]), so one
+   syscall both sleeps and drains queued wakeups (the 64-byte buffer
+   empties the pipe in one gulp).  Raise [Peer_dead] only after a
+   failed liveness probe (or doorbell EOF) AND one more [ready]
+   check — the peer may have published its last frame just before
+   dying. *)
+let wait_until c r flag_word ready =
+  let set v = A1.unsafe_set r.buf flag_word (if v then 1L else 0L) in
+  let buf = Bytes.create 64 in
+  let rec spin n =
+    if ready () then ()
+    else if n > 0 then begin
+      Domain.cpu_relax ();
+      spin (n - 1)
+    end
+    else park ()
+  and park () =
+    set true;
+    if ready () then set false
+    else
+      match Unix.read c.db buf 0 64 with
+      | 0 -> dead ()  (* doorbell EOF: peer closed or died *)
+      | _ -> park ()  (* woken; the loop re-checks [ready] *)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> park ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* RCVTIMEO expired: backstop liveness probe, then re-park *)
+          if ready () then set false
+          else if peer_alive c.c_fd then park ()
+          else dead ()
+      | exception Unix.Unix_error _ -> dead ()
+  and dead () =
+    if ready () then set false
+    else begin
+      set false;
+      raise Peer_dead
+    end
+  in
+  spin (Lazy.force spin_budget)
+
+type conn =
+  | Fd of { fd : Unix.file_descr; scratch : Bytes.t ref }
+  | Ring of chan
+
+let fd_of = function Fd e -> e.fd | Ring c -> c.c_fd
+
+let close conn =
+  (try Unix.close (fd_of conn) with Unix.Unix_error _ -> ());
+  match conn with
+  | Fd _ -> ()
+  | Ring c -> ( try Unix.close c.db with Unix.Unix_error _ -> ())
+
+let epipe fn = raise (Unix.Unix_error (Unix.EPIPE, fn, ""))
+
+let ring_send_frame c frame =
+  (if Bytes.length frame <= c.tx.payload_bytes then
+     ring_write c.tx frame ~len:(Bytes.length frame) c.pad
+   else begin
+     (* oversized: the marker holds the frame's ring position, the bytes
+        go over the socket — the reader re-serializes the two paths *)
+     ring_write_overflow c.tx;
+     Wire.write_frame c.c_fd frame
+   end);
+  (* a frame is now available: wake a reader parked on our tx ring *)
+  doorbell c c.tx w_rd_parked
+
+let send conn msg =
+  match conn with
+  | Fd e -> Wire.write_msg e.fd msg
+  | Ring c -> (
+      let frame = Wire.encode msg in
+      match wait_until c c.tx w_wr_parked (fun () -> ring_free c.tx) with
+      | () -> ring_send_frame c frame
+      | exception Peer_dead -> epipe "Shm.send")
+
+let ring_consume c =
+  let read = ring_read c.rx c.rx_scratch in
+  (* a slot is now free: wake a writer parked on our rx ring *)
+  doorbell c c.rx w_wr_parked;
+  match read with
+  | `Overflow -> Wire.read_msg ~scratch:c.fd_scratch c.c_fd
+  | `Frame _len ->
+      let m, _ = Wire.decode !(c.rx_scratch) ~pos:0 in
+      Some m
+
+let recv conn =
+  match conn with
+  | Fd e -> Wire.read_msg ~scratch:e.scratch e.fd
+  | Ring c -> (
+      match wait_until c c.rx w_rd_parked (fun () -> ring_ready c.rx) with
+      | () -> ring_consume c
+      | exception Peer_dead -> None)
+
+let try_send conn msg =
+  match conn with
+  | Fd _ ->
+      send conn msg;
+      true
+  | Ring c ->
+      ring_free c.tx
+      && begin
+           ring_send_frame c (Wire.encode msg);
+           true
+         end
+
+let try_recv conn =
+  match conn with
+  | Fd _ -> ( match recv conn with Some m -> `Msg m | None -> `Eof)
+  | Ring c ->
+      if not (ring_ready c.rx) then `Empty
+      else ( match ring_consume c with Some m -> `Msg m | None -> `Eof)
+
+(* --- construction ---------------------------------------------------- *)
+
+let default_slots = 64
+let default_slot_bytes = 16 * 1024
+
+let pair ?(slots = default_slots) ?(slot_bytes = default_slot_bytes)
+    transport =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Shm.pair: slots must be a positive power of two";
+  if slot_bytes <= 0 then invalid_arg "Shm.pair: slot_bytes must be positive";
+  let fd_a, fd_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match transport with
+  | Socket ->
+      ( Fd { fd = fd_a; scratch = ref (Bytes.create 256) },
+        Fd { fd = fd_b; scratch = ref (Bytes.create 256) } )
+  | Shm -> (
+      match
+        let db_a, db_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match
+          (* parked reads sleep in the kernel but still time out for the
+             liveness backstop; sends never wedge on a full pipe *)
+          List.iter
+            (fun fd ->
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO park_timeout;
+              Unix.setsockopt_float fd Unix.SO_SNDTIMEO park_timeout)
+            [ db_a; db_b ];
+          let ab = map_ring ~slots ~slot_bytes in
+          (* a -> b *)
+          let ba = map_ring ~slots ~slot_bytes in
+          (* b -> a *)
+          let mk fd db tx_buf rx_buf =
+            Ring
+              {
+                c_fd = fd;
+                db;
+                tx = ring_view tx_buf ~slots ~slot_bytes;
+                rx = ring_view rx_buf ~slots ~slot_bytes;
+                rx_scratch = ref (Bytes.create 4096);
+                fd_scratch = ref (Bytes.create 256);
+                pad = Bytes.create 8;
+              }
+          in
+          (mk fd_a db_a ab ba, mk fd_b db_b ba ab)
+        with
+        | pair -> pair
+        | exception e ->
+            (try Unix.close db_a with Unix.Unix_error _ -> ());
+            (try Unix.close db_b with Unix.Unix_error _ -> ());
+            raise e
+      with
+      | pair -> pair
+      | exception e ->
+          (try Unix.close fd_a with Unix.Unix_error _ -> ());
+          (try Unix.close fd_b with Unix.Unix_error _ -> ());
+          raise e)
+
+let available_memo =
+  lazy
+    ((not Sys.win32)
+    &&
+    match map_ring ~slots:2 ~slot_bytes:64 with
+    | (_ : (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t) -> true
+    | exception _ -> false)
+
+let available () = Lazy.force available_memo
+
+let degrade () =
+  Logs.warn (fun m ->
+      m "shm transport unavailable on this platform; using sockets");
+  Socket
+
+let resolve choice =
+  match choice with
+  | Some Shm when not (available ()) -> degrade ()
+  | Some t -> t
+  | None -> (
+      match
+        Option.bind (Sys.getenv_opt "CGPPC_TRANSPORT") transport_of_name
+      with
+      | Some Shm when not (available ()) -> degrade ()
+      | Some t -> t
+      | None -> if available () then Shm else Socket)

@@ -1,0 +1,85 @@
+(** Shared-memory transport for the process backend.
+
+    A {!conn} is one endpoint of a parent↔worker channel carrying
+    {!Wire.msg} frames.  Two implementations sit behind the same
+    send/recv surface:
+
+    - [Socket]: the original blocking Unix-domain socket path
+      ({!Wire.write_msg} / {!Wire.read_msg}).
+    - [Shm]: a pair of fixed-capacity SPSC ring buffers in [mmap]'d
+      shared memory ([Bigarray] over [Unix.map_file]), one per
+      direction.  Slots carry whole encoded frames; each slot is
+      stamped with a sequence number so the reader polls a single
+      word — no futex, no syscall — and the writer flow-controls on a
+      reader-published tail cursor.  Frames larger than a slot fall
+      back to the socket: the ring carries an in-order overflow marker
+      and the frame itself travels the fd, so ordering is preserved
+      and [max_frame]-sized messages still work.
+
+    A blocked side spins briefly on its polled word (multicore only —
+    on one core the spin starves the peer), then parks futex-style: it
+    sets a parked flag in the shared header and blocks on a dedicated
+    doorbell socketpair, which the peer pokes after publishing a frame
+    or freeing a slot — wakeups happen at fd speed with no timer
+    slack.  A dead peer closes the doorbell and is double-checked with
+    a [MSG_PEEK] probe on the main socket, so it surfaces as EOF
+    ([recv] → [None]) or [EPIPE] ([send]) exactly like the socket
+    path.  Ring memory is an unlinked temp file: the kernel reclaims
+    it with the last mapping, so a SIGKILLed process leaks nothing.
+
+    Endpoint discipline: build the pair {e before} forking, then use
+    each endpoint from exactly one process (the rings are single
+    producer / single consumer). *)
+
+(** Which data path a proc run uses. *)
+type transport = Shm | Socket
+
+val transport_name : transport -> string
+
+val transport_of_name : string -> transport option
+(** ["shm"] / ["socket"] (case-insensitive). *)
+
+val available : unit -> bool
+(** Whether shared-memory rings work here (probed once: [Unix.map_file]
+    on an unlinked temp file).  [Socket] needs only [socketpair]. *)
+
+val resolve : transport option -> transport
+(** The transport a run should use: the explicit choice if given, else
+    the [CGPPC_TRANSPORT] env var ([shm] | [socket]), else [Shm] when
+    {!available}.  A [Shm] request degrades to [Socket] (with a
+    warning) when rings are unavailable. *)
+
+type conn
+
+val pair : ?slots:int -> ?slot_bytes:int -> transport -> conn * conn
+(** A connected (parent, child) endpoint pair — call before forking.
+    [slots] (power of two, default 64) and [slot_bytes] (frame payload
+    capacity per slot, default 16 KiB) size each ring; both are
+    ignored for [Socket]. *)
+
+val fd_of : conn -> Unix.file_descr
+(** The underlying socket (always present — [Shm] keeps it for
+    overflow frames and liveness probes).  Exposed so a forked child
+    can close the parent-side descriptors it inherited. *)
+
+val close : conn -> unit
+(** Close the socket (the peer observes EOF / EPIPE).  Ring memory is
+    reclaimed when the last process unmaps it.  Never raises. *)
+
+val send : conn -> Wire.msg -> unit
+(** Blocking send.  @raise Unix.Unix_error [EPIPE] if the peer is dead
+    (matching the socket path's write-to-dead-peer behaviour). *)
+
+val recv : conn -> Wire.msg option
+(** Blocking receive; [None] when the peer closed or died at a frame
+    boundary.  @raise Wire.Protocol_error on a malformed frame. *)
+
+(** Nonblocking variants, used by tests to hit ring boundary states
+    without threads.  On a [Socket] endpoint they block like
+    {!send} / {!recv}. *)
+
+val try_send : conn -> Wire.msg -> bool
+(** [false] iff the ring has no free slot right now. *)
+
+val try_recv : conn -> [ `Msg of Wire.msg | `Empty | `Eof ]
+(** [`Empty] iff no whole frame is currently available. *)

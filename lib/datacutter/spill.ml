@@ -59,7 +59,56 @@ type dir = { path : string; mutable removed : bool }
 
 let dir_counter = Atomic.make 0
 
+(* A run killed by SIGKILL / Ctrl-C never reaches [remove_dir], so its
+   spill dir survives in $TMPDIR forever.  Each directory name embeds
+   the owning pid; a sweep removes any [cgppc-spill-<pid>-<n>] whose
+   pid is demonstrably dead ([kill 0] -> ESRCH).  EPERM means "alive,
+   owned by someone else" and our own pid is of course alive, so live
+   runs (including concurrent ones) are never touched. *)
+let pid_dead pid =
+  match Unix.kill pid 0 with
+  | () -> false
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let stale_owner_pid name =
+  match String.split_on_char '-' name with
+  | [ "cgppc"; "spill"; pid; _n ] -> int_of_string_opt pid
+  | _ -> None
+
+let rm_rf path =
+  (match Sys.readdir path with
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat path e) with _ -> ())
+        entries
+  | exception _ -> ());
+  try Unix.rmdir path with _ -> ()
+
+let sweep_stale ?root () =
+  let root =
+    match root with Some r -> r | None -> Filename.get_temp_dir_name ()
+  in
+  match Sys.readdir root with
+  | exception _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun removed name ->
+          match stale_owner_pid name with
+          | Some pid when pid_dead pid ->
+              Logs.debug (fun m ->
+                  m "removing stale spill dir %s (pid %d is gone)" name pid);
+              rm_rf (Filename.concat root name);
+              removed + 1
+          | _ -> removed)
+        0 entries
+
+(* Sweep once per process, the first time a run actually spills: the
+   scan is cheap but there is no reason to pay it on every run. *)
+let swept = Atomic.make false
+
 let create_dir () =
+  if not (Atomic.exchange swept true) then ignore (sweep_stale ());
   let rec attempt () =
     let n = Atomic.fetch_and_add dir_counter 1 in
     let path =
@@ -78,13 +127,7 @@ let dir_path d = d.path
 let remove_dir d =
   if not d.removed then begin
     d.removed <- true;
-    match Sys.readdir d.path with
-    | entries ->
-        Array.iter
-          (fun e -> try Sys.remove (Filename.concat d.path e) with _ -> ())
-          entries;
-        (try Unix.rmdir d.path with _ -> ())
-    | exception _ -> ()
+    rm_rf d.path
   end
 
 let seg_counter = Atomic.make 0

@@ -26,8 +26,19 @@ val decode_segment : Bytes.t -> string list
     of the run (success or structured failure) leaves nothing behind. *)
 type dir
 
-(** Create a fresh directory ([cgppc-spill-<pid>-<n>], mode 0o700). *)
+(** Create a fresh directory ([cgppc-spill-<pid>-<n>], mode 0o700).
+    The first call in a process also runs {!sweep_stale} — a run that
+    died to SIGKILL or Ctrl-C never removed its dir, so the next
+    spilling run reclaims it. *)
 val create_dir : unit -> dir
+
+(** Remove leftover [cgppc-spill-<pid>-<n>] directories whose embedded
+    pid is no longer alive (killed runs that never reached
+    {!remove_dir}).  Directories of live pids — including other
+    processes' — are never touched.  [root] defaults to the system
+    temp dir; returns the number of directories removed.  Best-effort:
+    never raises. *)
+val sweep_stale : ?root:string -> unit -> int
 
 val dir_path : dir -> string
 

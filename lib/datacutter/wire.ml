@@ -46,6 +46,14 @@ type telemetry = {
 
 (* Requests (parent -> worker) and responses (worker -> parent). *)
 type msg =
+  | Bind of Bytes.t
+      (** attach a pooled worker to one filter copy; the payload is an
+          opaque role blob owned by [Proc_runtime] (a marshalled
+          closure — legal between a parent and its forked children,
+          which share the code segment) *)
+  | Unbind
+      (** detach a pooled worker from its copy: it flushes telemetry,
+          acknowledges with [Done] and parks awaiting the next [Bind] *)
   | Init  (** (re)instantiate the filter and run [init] *)
   | Item of Engine.item  (** process a [Data] or drain a [Final] payload *)
   | Batch of Engine.item list
@@ -72,6 +80,8 @@ let max_frame = 8 * 1024 * 1024
 let header_bytes = 5
 
 let tag_of_msg = function
+  | Bind _ -> 'b'
+  | Unbind -> 'U'
   | Init -> 'I'
   | Item (Engine.Data _) -> 'D'
   | Item (Engine.Final _) -> 'F'
@@ -173,7 +183,8 @@ let read_telemetry r =
 let encode (m : msg) : Bytes.t =
   let payload = Buffer.create 64 in
   (match m with
-  | Init | Finalize | Next | Src_finalize | Exit | Done -> ()
+  | Init | Unbind | Finalize | Next | Src_finalize | Exit | Done -> ()
+  | Bind blob -> Wirefmt.buf_add_bytes payload blob
   | Item (Engine.Data b) | Item (Engine.Final b) -> add_buffer payload b
   | Item Engine.Marker -> ()
   | Batch items -> add_items payload items
@@ -204,6 +215,8 @@ let decode_reader tag (r : Wirefmt.reader) : msg =
   let m =
     try
       match tag with
+      | 'b' -> Bind (Wirefmt.read_bytes r)
+      | 'U' -> Unbind
       | 'I' -> Init
       | 'D' -> Item (Engine.Data (read_buffer r))
       | 'F' -> Item (Engine.Final (read_buffer r))
@@ -262,7 +275,18 @@ let decode (b : Bytes.t) ~(pos : int) : msg * int =
 module Decoder = struct
   type t = { mutable pending : Bytes.t; mutable len : int }
 
-  let create () = { pending = Bytes.create 256; len = 0 }
+  let initial_capacity = 256
+
+  (* A drained buffer bigger than this shrinks back to
+     [initial_capacity]: one oversized frame must not pin max_frame-ish
+     scratch for the connection's remaining lifetime.  Steady large-frame
+     streams rarely drain exactly to zero (the next frame's header is
+     usually already buffered), so the hot path keeps its capacity. *)
+  let shrink_threshold = 64 * 1024
+
+  let create () = { pending = Bytes.create initial_capacity; len = 0 }
+
+  let capacity t = Bytes.length t.pending
 
   (* How many bytes the frame at the head of [pending] needs in total,
      if its header has arrived (and parses) — the growth hint. *)
@@ -303,6 +327,8 @@ module Decoder = struct
         let consumed = header_bytes + len in
         Bytes.blit t.pending consumed t.pending 0 (t.len - consumed);
         t.len <- t.len - consumed;
+        if t.len = 0 && Bytes.length t.pending > shrink_threshold then
+          t.pending <- Bytes.create initial_capacity;
         Some m
       end
     end
@@ -310,18 +336,22 @@ end
 
 (* --- blocking fd transport ------------------------------------------- *)
 
+(* Distinguish "interrupted before writing anything" (EINTR: retry the
+   same range) from a genuine 0-byte completion, which a blocking
+   [Unix.write] never returns for [len > 0] — if one surfaces anyway
+   (fd re-opened non-blocking, kernel oddity) retrying would busy-spin
+   forever, so fail loudly instead. *)
 let rec write_all fd b off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd b off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd b (off + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write fd b off len with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+    | 0 -> fail "write returned 0 bytes on a blocking fd"
+    | n -> write_all fd b (off + n) (len - n)
 
-let write_msg fd (m : msg) =
-  let frame = encode m in
-  write_all fd frame 0 (Bytes.length frame)
+(* Write one already-encoded frame (header + payload) verbatim. *)
+let write_frame fd frame = write_all fd frame 0 (Bytes.length frame)
+
+let write_msg fd (m : msg) = write_frame fd (encode m)
 
 (* Read exactly [len] bytes; [`Eof] only if the stream ends on a frame
    boundary (0 bytes read so far). *)
@@ -329,12 +359,10 @@ let really_read fd b len =
   let rec go off =
     if off >= len then `Ok
     else
-      let n =
-        try Unix.read fd b off (len - off)
-        with Unix.Unix_error (Unix.EINTR, _, _) -> -1
-      in
-      if n = 0 then if off = 0 then `Eof else fail "eof inside a frame"
-      else go (off + max n 0)
+      match Unix.read fd b off (len - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | 0 -> if off = 0 then `Eof else fail "eof inside a frame"
+      | n -> go (off + n)
   in
   go 0
 

@@ -32,6 +32,13 @@ type telemetry = {
 
 (** Requests (parent → worker) and responses (worker → parent). *)
 type msg =
+  | Bind of Bytes.t
+      (** attach a pooled worker to one filter copy; the payload is an
+          opaque role blob owned by [Proc_runtime] (a marshalled
+          closure — legal between a parent and its forked children) *)
+  | Unbind
+      (** detach a pooled worker from its copy: it flushes telemetry,
+          acknowledges with [Done] and parks awaiting the next [Bind] *)
   | Init  (** (re)instantiate the filter and run [init] *)
   | Item of Engine.item  (** process a [Data] or drain a [Final] payload *)
   | Batch of Engine.item list
@@ -75,11 +82,21 @@ module Decoder : sig
   val next : t -> msg option
   (** [Some m] once a whole frame has accumulated, [None] to feed more.
       Raises {!Protocol_error} on a malformed prefix. *)
+
+  val capacity : t -> int
+  (** Current retained buffer capacity in bytes.  One oversized frame
+      grows the buffer, but it shrinks back to its initial size once
+      drained, so capacity is not a high-water mark. *)
 end
 
 val write_msg : Unix.file_descr -> msg -> unit
 (** Blocking full write of one frame (retries [EINTR]); propagates
     [Unix.Unix_error] (e.g. [EPIPE]) for the caller's crash handling. *)
+
+val write_frame : Unix.file_descr -> Bytes.t -> unit
+(** Write one already-[encode]d frame verbatim (retries [EINTR]); lets
+    a caller that framed a message once forward it without
+    re-encoding. *)
 
 val read_msg : ?scratch:Bytes.t ref -> Unix.file_descr -> msg option
 (** Blocking read of one frame; [None] on EOF at a frame boundary,

@@ -106,10 +106,10 @@ let make_topo ~n () =
    sampler on every leg and trace collection (which makes proc workers
    ship spans and counters back to the parent) — because turning it on
    must not move anything the protocol promises. *)
-let run ~label backend ?faults ?policy ?batch n =
+let run ~label backend ?faults ?policy ?batch ?mem_budget n =
   let topo, got = make_topo ~n () in
   match
-    Datacutter.Runtime.run_result ~backend ?faults ?policy ?batch
+    Datacutter.Runtime.run_result ~backend ?faults ?policy ?batch ?mem_budget
       ~metrics_interval_s:0.005 topo
   with
   | Ok m -> (m, got ())
@@ -129,13 +129,17 @@ type leg = {
   recovery : Datacutter.Supervisor.recovery;
   keys : string list;
       (** top-level metrics-JSON keys, minus the documented optional
-          sections (links on sim, the worker-telemetry rollup on proc) *)
+          sections (links on sim, the worker-telemetry rollup and
+          transport discriminator on proc) *)
 }
 
-let strip keys = List.filter (fun k -> k <> "links" && k <> "workers") keys
+let strip keys =
+  List.filter
+    (fun k -> k <> "links" && k <> "workers" && k <> "transport")
+    keys
 
-let run_leg ~label backend ?faults ?policy ?batch n : leg =
-  let m, got = run ~label backend ?faults ?policy ?batch n in
+let run_leg ~label backend ?faults ?policy ?batch ?mem_budget n : leg =
+  let m, got = run ~label backend ?faults ?policy ?batch ?mem_budget n in
   {
     got;
     recovery = m.Datacutter.Engine.recovery;
@@ -147,12 +151,15 @@ let run_leg ~label backend ?faults ?policy ?batch n : leg =
    spawn driver domains — so every proc leg runs in its own child
    process, and all of them run before the first par leg.  The child
    marshals its leg over a pipe and [_exit]s. *)
-let run_proc_leg ~label ?faults ?policy ?batch n : leg =
+let run_proc_leg ~label ?faults ?policy ?batch ?mem_budget n : leg =
   let rd, wr = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
       Unix.close rd;
-      let leg = run_leg ~label Datacutter.Runtime.Proc ?faults ?policy ?batch n in
+      let leg =
+        run_leg ~label Datacutter.Runtime.Proc ?faults ?policy ?batch
+          ?mem_budget n
+      in
       let oc = Unix.out_channel_of_descr wr in
       Marshal.to_channel oc leg [];
       flush oc;
@@ -413,6 +420,15 @@ let () =
       Some (run_elastic_proc_leg ~label:"elastic/proc" n_elastic)
     else None
   in
+  (* the mem-budget proc leg forks before any par domain too; the
+     budget is far below the in-flight bytes so the parent-side queues
+     must spill, and the differential still has to hold *)
+  let mem_budget = 256 in
+  let mem_proc =
+    if with_proc then
+      Some (run_proc_leg ~label:"mem-budget/proc" ~mem_budget n)
+    else None
+  in
   let results =
     List.concat_map
       (fun batch ->
@@ -514,6 +530,19 @@ let () =
   if pr.Datacutter.Supervisor.replayed <> 3 then
     die "crash-retry: expected 3 replayed inputs on par, got %d"
       pr.Datacutter.Supervisor.replayed;
+  (* mem-budget differential: the same pipeline under a spill-forcing
+     byte budget — exactly-once delivery and one serializer shape must
+     survive the out-of-core path on every backend *)
+  let mem_legs =
+    [
+      ( "sim",
+        run_leg ~label:"mem-budget/sim" Datacutter.Runtime.Sim ~mem_budget n );
+      ( "par",
+        run_leg ~label:"mem-budget/par" Datacutter.Runtime.Par ~mem_budget n );
+    ]
+    @ match mem_proc with Some l -> [ ("proc", l) ] | None -> []
+  in
+  check ~what:"mem-budget" n mem_legs;
   (* elastic differential: the same slow-middle topology autoscaled on
      every backend — identical sink multisets, live spawns everywhere *)
   let elastic_legs =
@@ -529,10 +558,12 @@ let () =
   let names = if with_proc then "sim/par/proc" else "sim/par" in
   Printf.printf
     "engine-smoke ok: %s agree on %d packets at batch 1 and 64 — healthy, \
-     crash@5+retire (rerouted) and crash@3+retry (replayed=%d); elastic \
-     autoscale agrees on %d packets (%s)\n"
-    names n pr.Datacutter.Supervisor.replayed n_elastic
+     crash@5+retire (rerouted) and crash@3+retry (replayed=%d); mem-budget \
+     %dB agrees; elastic autoscale agrees on %d packets (%s); proc \
+     transport: %s\n"
+    names n pr.Datacutter.Supervisor.replayed mem_budget n_elastic
     (String.concat ", "
        (List.map
           (fun (name, leg) -> Printf.sprintf "%s +%d" name leg.e_spawned)
           elastic_legs))
+    (Datacutter.Runtime.transport_name (Datacutter.Shm.resolve None))

@@ -185,14 +185,6 @@ let test_exit_codes () =
   A.(check int) "invalid topology" 6 (exit_code_of (Invalid_topology "x"));
   A.(check int) "unsupported" 7 (exit_code_of (Unsupported "x"))
 
-(* ------------------------------------------------------------------ *)
-(* Out-of-core Dataset cache.                                         *)
-(* ------------------------------------------------------------------ *)
-
-let ds_dir =
-  Filename.concat (Filename.get_temp_dir_name ())
-    (Printf.sprintf "cgppc-test-ds-%d" (Unix.getpid ()))
-
 let rm_rf dir =
   match Sys.readdir dir with
   | entries ->
@@ -200,6 +192,56 @@ let rm_rf dir =
         entries;
       (try Unix.rmdir dir with _ -> ())
   | exception _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Stale spill-dir sweep.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A SIGKILLed run strands its spill dir; the sweep must reclaim dirs
+   whose embedded pid is dead while leaving live-pid dirs and
+   unrelated names alone. *)
+let test_sweep_stale () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cgppc-test-sweep-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir root 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e ->
+          let p = Filename.concat root e in
+          if Sys.is_directory p then rm_rf p)
+        (try Sys.readdir root with _ -> [||]);
+      rm_rf root)
+    (fun () ->
+      (* pid far above any real pid_max: demonstrably dead *)
+      let dead = Filename.concat root "cgppc-spill-999999999-0" in
+      Unix.mkdir dead 0o700;
+      let oc = open_out_bin (Filename.concat dead "seg-000000000.spill") in
+      output_string oc "stranded";
+      close_out oc;
+      let alive =
+        Filename.concat root
+          (Printf.sprintf "cgppc-spill-%d-3" (Unix.getpid ()))
+      in
+      Unix.mkdir alive 0o700;
+      let unrelated = Filename.concat root "cgppc-datasets" in
+      Unix.mkdir unrelated 0o700;
+      let removed = Spill.sweep_stale ~root () in
+      A.(check int) "exactly the dead-pid dir swept" 1 removed;
+      A.(check bool) "dead-pid dir gone" false (Sys.file_exists dead);
+      A.(check bool) "live-pid dir kept" true (Sys.file_exists alive);
+      A.(check bool) "unrelated dir kept" true (Sys.file_exists unrelated);
+      A.(check int) "second sweep finds nothing" 0 (Spill.sweep_stale ~root ()))
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-core Dataset cache.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ds_dir =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cgppc-test-ds-%d" (Unix.getpid ()))
 
 let gen_record i = Bytes.of_string (Printf.sprintf "%015d\n" i)
 
@@ -281,6 +323,37 @@ let test_iso_cached_grid_bit_identical () =
     done
   done
 
+(* Concurrent generators of the same dataset must not corrupt it: each
+   writes a private pid+counter temp file and renames a complete copy
+   into place.  (The old shared [path ^ ".tmp"] interleaved writers.) *)
+let test_dataset_concurrent_writers () =
+  let items = 500 and item_bytes = 16 in
+  let gen i =
+    (* stagger writers so their generation windows genuinely overlap *)
+    if i mod 100 = 0 then Unix.sleepf 0.005;
+    gen_record i
+  in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Apps.Dataset.ensure ~dir:ds_dir ~name:"concurrent" ~items
+              ~item_bytes ~gen ()))
+  in
+  let dss = List.map Domain.join writers in
+  List.iter
+    (fun ds ->
+      let all = Apps.Dataset.pread ds ~start:0 ~count:items in
+      let want = Bytes.concat Bytes.empty (List.init items gen_record) in
+      A.(check bool) "every record intact" true (Bytes.equal all want))
+    dss;
+  let leftovers =
+    Array.to_list (Sys.readdir ds_dir)
+    |> List.filter (fun e ->
+           Astring.String.is_infix ~affix:".tmp." e
+           && Astring.String.is_prefix ~affix:"concurrent" e)
+  in
+  A.(check (list string)) "no temp files left behind" [] leftovers
+
 let test_iso_cached_run_matches_analytic () =
   let module H = Apps.Harness in
   let cfg = Apps.Isosurface.tiny in
@@ -315,6 +388,7 @@ let () =
                 test_segment_file_roundtrip;
               A.test_case "truncated file rejected" `Quick
                 test_segment_file_truncated;
+              A.test_case "stale dirs swept" `Quick test_sweep_stale;
             ] );
           ( "spilling bqueue",
             [
@@ -333,6 +407,8 @@ let () =
             [
               A.test_case "write-once cache" `Quick test_dataset_write_once;
               A.test_case "pread and cursor" `Quick test_dataset_readers;
+              A.test_case "concurrent writers" `Quick
+                test_dataset_concurrent_writers;
               A.test_case "iso grid bit-identical" `Quick
                 test_iso_cached_grid_bit_identical;
               A.test_case "iso cached run matches" `Quick

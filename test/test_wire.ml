@@ -26,6 +26,7 @@ let item_opt_equal a b =
 let msg_equal a b =
   match (a, b) with
   | Wire.Init, Wire.Init
+  | Wire.Unbind, Wire.Unbind
   | Wire.Finalize, Wire.Finalize
   | Wire.Next, Wire.Next
   | Wire.Src_finalize, Wire.Src_finalize
@@ -33,6 +34,7 @@ let msg_equal a b =
   | Wire.Done, Wire.Done
   | Wire.Out None, Wire.Out None ->
       true
+  | Wire.Bind x, Wire.Bind y -> Bytes.equal x y
   | Wire.Item x, Wire.Item y -> item_equal x y
   | Wire.Batch xs, Wire.Batch ys ->
       List.length xs = List.length ys && List.for_all2 item_equal xs ys
@@ -61,6 +63,8 @@ let msg_equal a b =
 
 let msg_name = function
   | Wire.Init -> "Init"
+  | Wire.Bind blob -> Printf.sprintf "Bind[%d bytes]" (Bytes.length blob)
+  | Wire.Unbind -> "Unbind"
   | Wire.Item (Engine.Data _) -> "Item Data"
   | Wire.Item (Engine.Final _) -> "Item Final"
   | Wire.Item Engine.Marker -> "Item Marker"
@@ -87,6 +91,9 @@ let msg_name = function
 let samples =
   [
     Wire.Init;
+    Wire.Bind (Bytes.of_string "opaque role blob \x00\x01\xff");
+    Wire.Bind Bytes.empty;
+    Wire.Unbind;
     Wire.Item (Engine.Data (buffer "payload bytes"));
     Wire.Item (Engine.Data (buffer ~packet:0 ""));
     Wire.Item (Engine.Final (buffer ~packet:max_int "final"));
@@ -257,6 +264,35 @@ let test_decoder_bulk () =
   drain ();
   Alcotest.(check int) "one chunk, all frames" (List.length samples) !n
 
+(* One oversized frame must not pin its buffer for the connection's
+   remaining lifetime: once drained, capacity falls back to a small
+   constant, and subsequent small frames keep it there. *)
+let test_decoder_shrink () =
+  let d = Wire.Decoder.create () in
+  let small_cap = Wire.Decoder.capacity d in
+  let big =
+    Wire.encode (Wire.Crashed (String.make (1024 * 1024) 'x'))
+  in
+  Wire.Decoder.feed d big ~off:0 ~len:(Bytes.length big);
+  Alcotest.(check bool)
+    "oversized frame grew the buffer" true
+    (Wire.Decoder.capacity d >= Bytes.length big);
+  (match Wire.Decoder.next d with
+  | Some (Wire.Crashed _) -> ()
+  | _ -> Alcotest.fail "big frame did not decode");
+  Alcotest.(check int) "drained decoder shrank back" small_cap
+    (Wire.Decoder.capacity d);
+  (* steady small traffic afterwards never re-inflates it *)
+  let frame = Wire.encode Wire.Done in
+  for _ = 1 to 100 do
+    Wire.Decoder.feed d frame ~off:0 ~len:(Bytes.length frame);
+    match Wire.Decoder.next d with
+    | Some Wire.Done -> ()
+    | _ -> Alcotest.fail "small frame did not decode"
+  done;
+  Alcotest.(check int) "peak retained capacity stays small" small_cap
+    (Wire.Decoder.capacity d)
+
 let test_decoder_malformed () =
   let d = Wire.Decoder.create () in
   let bad = Bytes.create (1 + 4) in
@@ -360,6 +396,61 @@ let prop_batch_roundtrip =
       List.length out = List.length msgs
       && List.for_all2 msg_equal msgs out)
 
+(* A frame much larger than the pipe buffer forces [write_all] through
+   many short writes, and a repeating interval timer delivers real
+   signals while the writer thread sits in a blocked (and repeatedly
+   interrupted) write on a pre-filled pipe — the old retry loop
+   conflated EINTR with "wrote 0" here.  The frame must still arrive
+   intact.  The draining side deliberately avoids timed waits (a
+   [Thread.delay] would itself be restarted by every tick and never
+   complete); it spins on the handler counter instead, so the test
+   cannot livelock under the signal storm. *)
+let test_fd_short_writes_and_eintr () =
+  let rd, wr = Unix.pipe () in
+  let big = Wire.Crashed (String.make (1024 * 1024) 'x') in
+  (* fill the pipe so the writer thread parks in a blocked write *)
+  Unix.set_nonblock wr;
+  let junk = Bytes.make 4096 'j' in
+  let junk_len = ref 0 in
+  (try
+     while true do
+       junk_len := !junk_len + Unix.write wr junk 0 (Bytes.length junk)
+     done
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  Unix.clear_nonblock wr;
+  let fired = Atomic.make 0 in
+  let prev =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> Atomic.incr fired))
+  in
+  let old_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_interval = 0.002; it_value = 0.002 }
+  in
+  let writer = Thread.create (fun () -> Wire.write_msg wr big) () in
+  (* several ticks must land while the write is still blocked *)
+  while Atomic.get fired < 5 do
+    Thread.yield ()
+  done;
+  let scratch = Bytes.create 4096 in
+  let rec drain n =
+    if n > 0 then
+      match Unix.read rd scratch 0 (min n (Bytes.length scratch)) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain n
+      | got -> drain (n - got)
+  in
+  drain !junk_len;
+  let got = Wire.read_msg rd in
+  ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
+  Sys.set_signal Sys.sigalrm prev;
+  Thread.join writer;
+  Unix.close wr;
+  Unix.close rd;
+  match got with
+  | Some m ->
+      Alcotest.(check bool) "big frame survives short writes + EINTR" true
+        (msg_equal big m)
+  | None -> Alcotest.fail "reader saw EOF instead of the frame"
+
 let test_fd_midframe_eof () =
   let rd, wr = Unix.pipe () in
   let frame = Wire.encode (Wire.Crashed "interrupted") in
@@ -396,6 +487,8 @@ let () =
           Alcotest.test_case "byte-wise reassembly" `Quick
             test_decoder_reassembly;
           Alcotest.test_case "bulk feed" `Quick test_decoder_bulk;
+          Alcotest.test_case "shrink after oversized frame" `Quick
+            test_decoder_shrink;
           Alcotest.test_case "malformed prefix" `Quick test_decoder_malformed;
           QCheck_alcotest.to_alcotest prop_batch_roundtrip;
         ] );
@@ -403,6 +496,8 @@ let () =
         [
           Alcotest.test_case "write_msg/read_msg over a pipe" `Quick
             test_fd_roundtrip;
+          Alcotest.test_case "short writes + EINTR" `Quick
+            test_fd_short_writes_and_eintr;
           Alcotest.test_case "EOF mid-frame" `Quick test_fd_midframe_eof;
         ] );
     ]
