@@ -298,7 +298,7 @@ let emit file app widths strategy cluster_spec =
 
 let run file target widths strategy backend parallel cluster_spec trace mjson
     faults watchdog_ms max_retries call_budget_ms batch mem_budget interval_ms
-    openmetrics report autoscale_n replan_from transport =
+    openmetrics report autoscale_n replan_from transport inflight =
   let cluster = cluster_of_spec cluster_spec in
   let backend = if parallel then Datacutter.Runtime.Par else backend in
   let faults = Option.value faults ~default:Datacutter.Fault.empty in
@@ -362,7 +362,25 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
     | Datacutter.Runtime.Proc, Some t ->
         Obs.Metrics.set_str m "transport" (Datacutter.Runtime.transport_name t)
     | _ -> ());
+    (match (backend, inflight) with
+    | Datacutter.Runtime.Proc, Some n -> Obs.Metrics.set_int m "inflight" n
+    | _ -> ());
     m
+  in
+  (* Credit window and ring-slot geometry for the proc backend: an
+     explicit --inflight (or the CGPPC_INFLIGHT env var, which the
+     runtime reads itself) wins; otherwise the cost model picks the
+     window, and the batch plan's largest frame sizes the ring slots so
+     batched runs stay off the overflow path. *)
+  let pick_inflight derived =
+    match inflight with
+    | Some _ -> inflight
+    | None ->
+        if
+          backend <> Datacutter.Runtime.Proc
+          || Sys.getenv_opt "CGPPC_INFLIGHT" <> None
+        then None
+        else Some (derived ())
   in
   (* A failed run still writes the metrics document — with the
      structured error in place of runtime counters — so harnesses can
@@ -472,9 +490,26 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
         let fill doc =
           Obs.Metrics.set_int doc "num_packets" cfg.Apps.Streambench.items
         in
+        let inflight =
+          pick_inflight (fun () ->
+              Datacutter.Engine.plan_inflight
+                ~service_s:(cfg.Apps.Streambench.work /. cluster.H.node_power)
+                ())
+        in
+        let frame_bytes =
+          Datacutter.Engine.plan_frame_bytes
+            ~stage_batch:(Array.make 3 batch)
+            ~item_bytes:
+              [|
+                float_of_int cfg.Apps.Streambench.item_bytes;
+                float_of_int cfg.Apps.Streambench.item_bytes;
+                16.0;
+              |]
+        in
         match
           Datacutter.Runtime.run_result ~backend ~faults ~policy ~batch
-            ?mem_budget ?metrics_interval_s ?autoscale ?transport topo
+            ?mem_budget ?metrics_interval_s ?autoscale ?transport ?inflight
+            ~frame_bytes topo
         with
         | Error err -> write_failure fill err
         | Ok m ->
@@ -510,10 +545,12 @@ let run file target widths strategy backend parallel cluster_spec trace mjson
       let stage_batch = H.batch_plan c ~widths ~batch in
       let queue_budgets = H.budget_plan c ~widths ~mem_budget in
       let fill doc = compile_metrics doc c in
+      let inflight = pick_inflight (fun () -> H.inflight_plan c ~cluster) in
+      let frame_bytes = H.frame_plan c ~widths ~batch in
       (match
          Datacutter.Runtime.run_result ~backend ~faults ~policy ?stage_batch
            ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
-           ?transport topo
+           ?transport ?inflight ~frame_bytes topo
        with
       | Error err -> write_failure fill err
       | Ok m ->
@@ -710,6 +747,22 @@ let transport_arg =
            variable; the metrics JSON reports the path used under \
            $(b,transport).")
 
+let inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inflight" ] ~docv:"N"
+        ~doc:
+          "Credit window for $(b,--backend proc): keep up to $(docv) \
+           frames in flight to each worker before waiting for an \
+           acknowledgement (clamped to 1-16; $(docv)=1 is the classic \
+           strict request/response loop; copies with injected faults \
+           always run strictly). Default: derived from the cost model's \
+           per-item service time against the assumed worker round trip, \
+           honouring the $(b,CGPPC_INFLIGHT) environment variable. The \
+           metrics JSON reports the window and the credit-stall seconds \
+           under $(b,transport).")
+
 let parallel_arg =
   Arg.(
     value & flag
@@ -877,19 +930,20 @@ let run_term ~always_report =
          (fun
            ( f, a, c, s, b, p, cl, tr, mj,
              (fl, wd, mr, cb, bt, mb),
-             (iv, om, rp, az, rf, tp) )
+             (iv, om, rp, az, rf, tp, infl) )
          ->
            run f a c s b p cl tr mj fl wd mr cb bt mb iv om
-             (rp || always_report) az rf tp)
-      $ (const (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp az rf tp ->
+             (rp || always_report) az rf tp infl)
+      $ (const
+           (fun f a c s b p cl tr mj fl wd mr cb bt mb iv om rp az rf tp infl ->
              ( f, a, c, s, b, p, cl, tr, mj,
                (fl, wd, mr, cb, bt, mb),
-               (iv, om, rp, az, rf, tp) ))
+               (iv, om, rp, az, rf, tp, infl) ))
         $ file_arg $ target_arg $ config_arg $ strategy_arg $ backend_arg
         $ parallel_arg $ cluster_arg $ trace_arg $ metrics_arg $ faults_arg
         $ watchdog_arg $ max_retries_arg $ call_budget_arg $ batch_arg
         $ mem_budget_arg $ interval_arg $ openmetrics_arg $ report_arg
-        $ autoscale_arg $ replan_from_arg $ transport_arg)))
+        $ autoscale_arg $ replan_from_arg $ transport_arg $ inflight_arg)))
 
 (* Documented exit codes for runtime failures, mapped from the
    structured error by {!Datacutter.Supervisor.exit_code_of}.  Kept

@@ -137,6 +137,31 @@ let batch_plan (c : Compile.t) ~(widths : int array) ~batch =
     let item_bytes = item_bytes_of c ~widths in
     Some (Datacutter.Engine.plan_batches ~cap:batch ~item_bytes ())
 
+(* Ring-slot planning input for the proc backend: the largest wire
+   frame this plan can emit, from the batch plan and the same cost-model
+   item sizes. *)
+let frame_plan (c : Compile.t) ~(widths : int array) ~batch =
+  let item_bytes = item_bytes_of c ~widths in
+  let stage_batch =
+    match batch_plan c ~widths ~batch with
+    | Some sb -> sb
+    | None -> Array.make (Array.length widths) 1
+  in
+  Datacutter.Engine.plan_frame_bytes ~stage_batch ~item_bytes
+
+(* Credit-window depth from the cost model: the fastest stage's
+   per-item service time against the assumed worker round trip.  Cheap
+   items earn a deep window; expensive ones stay near strict. *)
+let inflight_plan (c : Compile.t) ~(cluster : cluster) =
+  let task = c.Compile.profile.Profile.profile.Costmodel.task in
+  let service_s =
+    Array.fold_left
+      (fun a t -> Float.min a (t /. cluster.node_power))
+      Float.infinity task
+  in
+  if not (Float.is_finite service_s) then 1
+  else Datacutter.Engine.plan_inflight ~service_s ()
+
 (* Per-queue byte budgets from the same cost-model item sizes: heavier
    streams get proportionally more of the run's memory budget, so every
    queue spills at about the same item depth. *)

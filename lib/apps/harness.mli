@@ -75,6 +75,17 @@ val compile :
 val batch_plan :
   Compile.t -> widths:int array -> batch:int -> int array option
 
+(** Largest wire frame the plan can emit under its batch caps
+    ({!Datacutter.Engine.plan_frame_bytes}) — the proc backend sizes
+    its shared-memory ring slots from this so batched frames stay on
+    the ring instead of overflowing to the control socket. *)
+val frame_plan : Compile.t -> widths:int array -> batch:int -> int
+
+(** Cost-model-derived credit-window depth for the proc backend
+    ({!Datacutter.Engine.plan_inflight}): the fastest stage's per-item
+    service time against the assumed worker round trip. *)
+val inflight_plan : Compile.t -> cluster:cluster -> int
+
 (** Per-queue byte budgets from the cost model's item sizes: splits
     [mem_budget] (total bytes for the run) over the consumer queues in
     proportion to the bytes crossing each stage boundary

@@ -25,6 +25,8 @@ type t = {
   spilled_bytes : int;
   spill_segments : int;
   mem_high_water : int;
+  credit_stall_s : float;
+  rtt_bound : bool;
 }
 
 let argmax (f : int -> float) n =
@@ -87,6 +89,18 @@ let make ~pipeline ~profile ~assignment ~(metrics : Datacutter.Engine.metrics)
   let measured_bottleneck = argmax (fun s -> rows.(s).sr_utilization) m in
   let max_unit = st.Costmodel.unit_time.(predicted_bottleneck) in
   let max_link = Array.fold_left Float.max 0.0 st.Costmodel.link_time in
+  (* Proc-backend transport rollup: time the drivers spent blocked with
+     every frame credit spent.  When those stalls dominate the wall
+     time, the run is bound by the worker round trip, not by compute —
+     the fix is a deeper --inflight window, not more copies. *)
+  let credit_stall_s =
+    match List.assoc_opt "transport" metrics.Engine.extra with
+    | Some (Obs.Json.Obj kv) -> (
+        match List.assoc_opt "credit_stall_s" kv with
+        | Some (Obs.Json.Float f) -> f
+        | _ -> 0.0)
+    | _ -> 0.0
+  in
   {
     elapsed_s = elapsed;
     packets = profile.Costmodel.packets;
@@ -100,6 +114,8 @@ let make ~pipeline ~profile ~assignment ~(metrics : Datacutter.Engine.metrics)
     spilled_bytes = metrics.Engine.spilled_bytes;
     spill_segments = metrics.Engine.spill_segments;
     mem_high_water = metrics.Engine.mem_high_water;
+    credit_stall_s;
+    rtt_bound = elapsed > 0.0 && credit_stall_s > 0.5 *. elapsed;
   }
 
 let pp ppf t =
@@ -141,6 +157,11 @@ let pp ppf t =
     Fmt.pf ppf
       "  note: the model predicts a link outweighs every computing stage \
        (communication-bound)@\n";
+  if t.rtt_bound then
+    Fmt.pf ppf
+      "  note: drivers spent %.4fs blocked with every frame credit spent \
+       (RTT-bound) — raise --inflight to deepen the pipelined window@\n"
+      t.credit_stall_s;
   (match t.mem_budget with
   | Some b ->
       Fmt.pf ppf
@@ -189,6 +210,8 @@ let to_json t =
       ("measured_bottleneck", J.Int t.measured_bottleneck);
       ("agree", J.Bool t.agree);
       ("link_bound", J.Bool t.link_bound);
+      ("credit_stall_s", J.Float t.credit_stall_s);
+      ("rtt_bound", J.Bool t.rtt_bound);
       ( "memory",
         J.Obj
           [

@@ -47,6 +47,13 @@ type t = {
   spill_segments : int;         (** spill segments written *)
   mem_high_water : int;
       (** peak in-memory queue bytes (summed per-queue high waters) *)
+  credit_stall_s : float;
+      (** proc backend: seconds drivers spent blocked with every frame
+          credit spent (from the metrics ["transport"] section); 0 on
+          other backends *)
+  rtt_bound : bool;
+      (** credit stalls dominate the wall time — the run is bound by
+          the worker round trip; raising [--inflight] is the lever *)
 }
 
 val make :

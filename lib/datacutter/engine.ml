@@ -140,6 +140,12 @@ type executor = {
   exec_wake : unit -> unit;
   exec_spawn : stage:int -> copy:int -> unit;
   exec_retire : stage:int -> copy:int -> unit;
+  exec_drain : stage:int -> copy:int -> unit;
+      (* barrier edge: the copy reached its marker quota and is about
+         to count toward the EOS barrier.  A backend that pipelines
+         in-flight work for the copy must drain it here so every
+         response is settled before the barrier can release; no-op for
+         backends with synchronous sends. *)
 }
 
 (* Mid-run autoscaling: the elastic-copy budget and the controller's
@@ -404,6 +410,41 @@ let plan_batches ~cap ?(budget_bytes = default_batch_budget_bytes)
         in
         max 1 (min cap (int_of_float per_flush)))
       item_bytes
+
+(* Credit window for a streaming request/response transport: classic
+   bandwidth-delay sizing, ceil(rtt / service) + 1 frames keeps the
+   worker busy across the round trip without queueing unbounded work
+   behind a slow copy.  [rtt_s] defaults to a Unix-domain
+   context-switch round trip on a loaded host; [service_s] is the cost
+   model's per-item work estimate.  Unknown (non-positive) service
+   time means latency-dominated tiny items — take the whole cap. *)
+let default_inflight_rtt_s = 30e-6
+
+let plan_inflight ?(rtt_s = default_inflight_rtt_s) ?(cap = 16) ~service_s () =
+  if cap <= 1 then 1
+  else if service_s <= 0.0 then cap
+  else
+    let n = 1 + int_of_float (Float.ceil (rtt_s /. service_s)) in
+    max 1 (min cap n)
+
+(* Largest wire frame a plan can produce: the fattest per-boundary
+   batch of items, each paying the item framing overhead (kind byte +
+   packet id + length prefix), plus slack for the message envelope.
+   Feeds {!Shm.plan_slot_bytes} so planned batches ride the ring
+   instead of overflowing to the control socket. *)
+let frame_item_overhead_bytes = 24
+
+let plan_frame_bytes ~stage_batch ~item_bytes =
+  let worst = ref 0 in
+  Array.iteri
+    (fun s b ->
+      let per =
+        int_of_float (Float.max 1.0 item_bytes.(s)) + frame_item_overhead_bytes
+      in
+      worst := max !worst (b * per))
+    stage_batch;
+  !worst + 64
+
 let width t s = t.stages.(s).Topology.width
 
 (* Elastic membership: [slots] is the physical allocation (planned
@@ -631,6 +672,12 @@ let markers_seen (c : copy) = Atomic.get c.markers
 let at_marker_quota t (c : copy) = markers_seen c >= upstream_width t c
 
 let count_eos t (c : copy) =
+  (* settle any in-flight pipelined work before the copy can count:
+     once the stage's barrier releases, downstream believes it has seen
+     every item this copy will ever emit *)
+  (match t.exec with
+  | Some e -> e.exec_drain ~stage:c.stage ~copy:c.index
+  | None -> ());
   if Atomic.get c.at_quota then `Already
   else begin
     Atomic.set c.at_quota true;

@@ -132,6 +132,14 @@ type executor = {
           passive backends (the simulator) re-route its remaining
           backlog; backends whose copies run their own loop (domains,
           processes) can ignore this — the copy drains naturally. *)
+  exec_drain : stage:int -> copy:int -> unit;
+      (** Barrier edge, called by {!count_eos} before the copy counts
+          toward its stage's EOS barrier: a backend that pipelines
+          in-flight work per copy (the process backend's credit
+          window) must settle every outstanding frame here, so that
+          once the barrier releases, downstream has really seen every
+          item the copy will emit.  Must be idempotent; no-op for
+          backends whose sends are synchronous. *)
 }
 
 (** {2 Mid-run autoscaling}
@@ -243,6 +251,25 @@ val default_batch_budget_bytes : int
     when [cap <= 1]. *)
 val plan_batches :
   cap:int -> ?budget_bytes:int -> item_bytes:float array -> unit -> int array
+
+val default_inflight_rtt_s : float
+
+(** Credit window for a streaming request/response transport —
+    bandwidth-delay sizing, [clamp 1 cap (ceil (rtt_s / service_s) + 1)]:
+    enough frames in flight to cover the round trip, no more.
+    [service_s] is the cost model's per-item work estimate; a
+    non-positive value (unknown / latency-dominated) takes the whole
+    [cap] (default 16).  [rtt_s] defaults to
+    {!default_inflight_rtt_s}, a Unix-domain context-switch round
+    trip. *)
+val plan_inflight : ?rtt_s:float -> ?cap:int -> service_s:float -> unit -> int
+
+(** Largest wire frame the plan can produce: the fattest per-stage
+    batch ([stage_batch], the {!plan_batches} output) of items of
+    [item_bytes] each paying per-item framing overhead, plus envelope
+    slack.  Feed this to [Shm.plan_slot_bytes] so planned batches ride
+    the shm ring instead of overflowing to the control socket. *)
+val plan_frame_bytes : stage_batch:int array -> item_bytes:float array -> int
 
 (** {2 Memory budgets}
 

@@ -109,6 +109,8 @@ let run_result ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       (* a voluntarily retired copy keeps running its own domain and
          drains its queue naturally — nothing to do here *)
       exec_retire = (fun ~stage:_ ~copy:_ -> ());
+      (* domain sends are synchronous pushes — nothing in flight *)
+      exec_drain = (fun ~stage:_ ~copy:_ -> ());
     };
   let abort_raise err = Engine.abort eng err; raise Bqueue.Aborted in
   let ok = function Ok () -> () | Error e -> abort_raise e in

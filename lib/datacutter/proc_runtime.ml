@@ -88,6 +88,10 @@ type bind_info = {
 let serve_session conn ~telem ~tid
     ~(instantiate : unit -> Engine.instance) : [ `Eof | `Unbind ] =
   let inst = ref `None in
+  (* With pipelined [Next] requests the parent may have several queued
+     when the source runs dry; once [next] returned [None] the
+     leftovers answer [Done] without touching the source again. *)
+  let src_done = ref false in
   (* Local telemetry: spans + cumulative counters recorded around each
      callback, shipped as [Wire.Telemetry] frames at flush points and
      immediately before Finalize/Src_finalize/Crashed responses (a
@@ -157,6 +161,7 @@ let serve_session conn ~telem ~tid
             Wire.Done
         | Engine.I_source s ->
             inst := `Source s;
+            src_done := false;
             Wire.Done)
     | Wire.Item (Engine.Data b) -> (
         match !inst with
@@ -208,9 +213,13 @@ let serve_session conn ~telem ~tid
     | Wire.Next -> (
         match !inst with
         | `Source s -> (
-            match s.Filter.next () with
-            | Some (b, _) -> Wire.Out (Some (Engine.Data b))
-            | None -> Wire.Done)
+            if !src_done then Wire.Done
+            else
+              match s.Filter.next () with
+              | Some (b, _) -> Wire.Out (Some (Engine.Data b))
+              | None ->
+                  src_done := true;
+                  Wire.Done)
         | _ -> Wire.Crashed "worker has no source instance")
     | Wire.Src_finalize -> (
         match !inst with
@@ -388,6 +397,50 @@ let rpc ?(absorb = fun (_ : Wire.telemetry) -> ()) label (h : handle)
       | exception Wire.Protocol_error msg ->
           fail ("worker protocol error: " ^ msg))
 
+(* --- the credit window ------------------------------------------------ *)
+
+(* One in-flight pipelined frame of a copy's credit window: the items
+   it carried (trimmed from the front as partial batch acks arrive —
+   whatever remains is exactly the unacknowledged suffix a crash must
+   resubmit or re-route) and its send-time byte estimate for the
+   socket-path in-flight budget. *)
+type win_frame = { mutable wf_items : Engine.item list; wf_bytes : int }
+
+let default_inflight = 4
+
+(* Hard cap on the per-worker window.  16 is a quarter of the default
+   ring (the window can never fill the ring, so a pipelined [send]
+   never blocks on a full ring while responses back up — the classic
+   bidirectional-pipe deadlock) and past it the round trip is already
+   fully hidden on any host this targets. *)
+let max_inflight = 16
+
+(* In-flight request bytes a socket-path window may hold.  Well under
+   the kernel's default socketpair send buffer, so the parent's
+   pipelined writes always complete without blocking and it can always
+   progress to collecting responses. *)
+let inflight_byte_budget = 64 * 1024
+
+(* A frame estimated bigger than this is sent strictly (window drained
+   first): one oversized frame can exceed what the socket buffers — or
+   the ring slot — can absorb without write-side blocking, which is
+   only safe when no responses are queued behind it. *)
+let big_frame_bytes = 32 * 1024
+
+let resolve_inflight inflight =
+  let v =
+    match inflight with
+    | Some n -> n
+    | None -> (
+        match Sys.getenv_opt "CGPPC_INFLIGHT" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some n -> n
+            | None -> default_inflight)
+        | None -> default_inflight)
+  in
+  max 1 (min max_inflight v)
+
 (* --- the persistent worker pool -------------------------------------- *)
 
 (* A checked-in pool worker: forked role-less, currently parked. *)
@@ -403,15 +456,21 @@ type pool = {
 
 let default_pool_workers = 8
 
-let pool_create ?(workers = default_pool_workers) ?transport () :
+let pool_create ?(workers = default_pool_workers) ?transport ?frame_bytes () :
     (pool, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else begin
     let transport = Shm.resolve transport in
+    (* Rings are mapped once, at fork time: a pool caller that knows
+       its plans' largest frame sizes the slots here.  Undersized slots
+       stay correct later via the overflow-to-socket fallback. *)
+    let slot_bytes =
+      Option.map (fun fb -> Shm.plan_slot_bytes ~frame_bytes:fb) frame_bytes
+    in
     let spawned = ref [] in
     let fork_one () =
-      let parent_conn, child_conn = Shm.pair transport in
+      let parent_conn, child_conn = Shm.pair ?slot_bytes transport in
       match Unix.fork () with
       | 0 ->
           (* Keep only our own channel (see [fork_worker]). *)
@@ -533,7 +592,8 @@ let pool_acquire p ~absorb ~role ~index ~tid ~lbl : worker =
 
 let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale ?transport
-    ?pool (topo : Topology.t) : (Engine.metrics, Supervisor.run_error) result =
+    ?inflight ?frame_bytes ?pool (topo : Topology.t) :
+    (Engine.metrics, Supervisor.run_error) result =
   if not available then
     Error (Supervisor.Unsupported "the proc backend needs Unix.fork")
   else
@@ -583,6 +643,27 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
     match pool with
     | Some p -> p.p_transport
     | None -> Shm.resolve transport
+  in
+  (* Credit window size: explicit arg beats the CGPPC_INFLIGHT env var
+     beats the default.  1 = the strict one-round-trip-per-frame
+     driver. *)
+  let inflight = resolve_inflight inflight in
+  (* Planner-sized ring slots for the channels this run forks itself
+     (a pool's rings were already mapped at pool creation). *)
+  let slot_bytes =
+    Option.map (fun fb -> Shm.plan_slot_bytes ~frame_bytes:fb) frame_bytes
+  in
+  (* Per-copy window-drain hooks (registered by streaming drivers) and
+     credit-stall accounting, reported under metrics "transport".  One
+     writer per cell: the copy's own driver domain. *)
+  let drain_hooks : (unit -> unit) option array array =
+    Array.init n_stages (fun s -> Array.make (Engine.slots eng s) None)
+  in
+  let drain_grid ~stage ~copy =
+    match drain_hooks.(stage).(copy) with Some f -> f () | None -> ()
+  in
+  let stall_s =
+    Array.init n_stages (fun s -> Array.make (Engine.slots eng s) 0.0)
   in
   (* A dead child turns writes into EPIPE errors (handled in [rpc])
      rather than a fatal signal. *)
@@ -654,6 +735,7 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       (* a voluntarily retired copy's driver keeps draining its queue
          and shuts its worker down normally — nothing to do here *)
       exec_retire = (fun ~stage:_ ~copy:_ -> ());
+      exec_drain = (fun ~stage ~copy -> drain_grid ~stage ~copy);
     };
   (* Returning a worker when the run no longer needs it: plain runs
      shut the forked child down; pool runs unbind it (flushing its
@@ -706,7 +788,7 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
      [Shm.pair]; pool runs check parked workers out and bind them. *)
   let all_workers : worker list ref = ref [] in
   let fork_worker cs =
-    let parent_conn, child_conn = Shm.pair transport in
+    let parent_conn, child_conn = Shm.pair ?slot_bytes transport in
     match Unix.fork () with
     | 0 ->
         (* Keep only our own channel: inherited parent-side fds of
@@ -881,28 +963,159 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           | Wire.Done -> None
           | _ -> raise (Remote_crash "bad src_finalize response")
         in
-        let rec loop () =
-          match
-            supervised "produce" (fun () ->
-                with_slowdown (fun () ->
-                    Fault.tick cs.Engine.fstate;
-                    next ()))
-          with
-          | Some b ->
-              Engine.note_item_done eng cs;
-              send (Engine.Data b);
-              loop ()
-          | None ->
-              let out = supervised "src_finalize" src_finalize in
-              (match out with Some b -> send (Engine.Final b) | None -> ());
-              send Engine.Marker
-          | exception Bqueue.Aborted -> raise Bqueue.Aborted
-          | exception err -> (
-              match Engine.retire eng cs ~error:err with
-              | `Fatal e -> abort_raise e
-              | `Continue -> send Engine.Marker)
+        let finish () =
+          let out = supervised "src_finalize" src_finalize in
+          (match out with Some b -> send (Engine.Final b) | None -> ());
+          send Engine.Marker
         in
-        loop ()
+        let retire_src err =
+          match Engine.retire eng cs ~error:err with
+          | `Fatal e -> abort_raise e
+          | `Continue -> send Engine.Marker
+        in
+        if Fault.inert cs.Engine.fstate then begin
+          (* Streaming produce: a window of up to [inflight] pipelined
+             [Next] requests rides against the worker, which answers in
+             order — Data frames, then Done (the child's src_done guard
+             answers any queued leftovers with Done without touching the
+             exhausted source).  The parent forwards items downstream
+             while the child produces the next ones, so throughput is no
+             longer bound by the per-item round trip. *)
+          let outstanding = ref 0 in
+          let finished = ref false in
+          let fail_dead msg =
+            (match h.active with
+            | Some w ->
+                h.active <- None;
+                reap_worker lbl w
+            | None -> ());
+            raise (Remote_crash msg)
+          in
+          let prime () =
+            match h.active with
+            | None -> raise (Remote_crash "worker is dead")
+            | Some w -> (
+                match Shm.send w.conn Wire.Next with
+                | () -> incr outstanding
+                | exception Unix.Unix_error (e, _, _) ->
+                    fail_dead ("worker i/o error: " ^ Unix.error_message e))
+          in
+          let collect () =
+            charge "produce" (fun () ->
+                match h.active with
+                | None -> raise (Remote_crash "worker is dead")
+                | Some w -> (
+                    let rec rd () =
+                      match Shm.recv w.conn with
+                      | Some (Wire.Telemetry t) ->
+                          absorb t;
+                          rd ()
+                      | Some (Wire.Out (Some (Engine.Data b))) ->
+                          decr outstanding;
+                          `Data b
+                      | Some Wire.Done ->
+                          decr outstanding;
+                          `Done
+                      | Some (Wire.Crashed msg) ->
+                          decr outstanding;
+                          raise (Remote_crash msg)
+                      | Some _ -> fail_dead "bad next response"
+                      | None -> fail_dead "worker exited unexpectedly"
+                    in
+                    try rd () with
+                    | Unix.Unix_error (e, _, _) ->
+                        fail_dead ("worker i/o error: " ^ Unix.error_message e)
+                    | Wire.Protocol_error m ->
+                        fail_dead ("worker protocol error: " ^ m)))
+          in
+          (* Credit-stall accounting: time blocked waiting for a
+             response while every credit is spent. *)
+          let timed_collect () =
+            if !outstanding >= inflight then begin
+              let t0 = Obs.Clock.elapsed_s () in
+              let note () =
+                stall_s.(s).(k) <-
+                  stall_s.(s).(k) +. (Obs.Clock.elapsed_s () -. t0)
+              in
+              match collect () with
+              | r ->
+                  note ();
+                  r
+              | exception e ->
+                  note ();
+                  raise e
+            end
+            else collect ()
+          in
+          (* Best-effort settle of what the worker already produced, so
+             giving up truncates the stream after the last delivered
+             item just like the strict driver. *)
+          let drain_best_effort () =
+            try
+              while !outstanding > 0 do
+                match collect () with
+                | `Data b ->
+                    Engine.note_item_done eng cs;
+                    send (Engine.Data b)
+                | `Done -> finished := true
+              done
+            with
+            | Bqueue.Aborted -> raise Bqueue.Aborted
+            | _ -> ()
+          in
+          let rec stream () =
+            if Engine.aborting eng then raise Bqueue.Aborted;
+            match
+              while (not !finished) && !outstanding < inflight do
+                prime ()
+              done;
+              if !outstanding > 0 then Some (timed_collect ()) else None
+            with
+            | None -> ()
+            | Some (`Data b) ->
+                Engine.note_item_done eng cs;
+                send (Engine.Data b);
+                stream ()
+            | Some `Done ->
+                finished := true;
+                stream ()
+            | exception Bqueue.Aborted -> raise Bqueue.Aborted
+            | exception err -> (
+                match Engine.on_crash eng cs with
+                | `Retry delay ->
+                    if delay > 0.0 then Unix.sleepf delay;
+                    stream ()
+                | `Give_up ->
+                    drain_best_effort ();
+                    raise err)
+          in
+          match stream () with
+          | () -> finish ()
+          | exception Bqueue.Aborted -> raise Bqueue.Aborted
+          | exception err -> retire_src err
+        end
+        else begin
+          (* Fault-injected sources keep the strict one-at-a-time
+             driver: parent-side fault ticks fire at exactly the same
+             protocol points as before pipelining existed, so scripted
+             crash timing is unchanged. *)
+          let rec loop () =
+            match
+              supervised "produce" (fun () ->
+                  with_slowdown (fun () ->
+                      Fault.tick cs.Engine.fstate;
+                      next ()))
+            with
+            | Some b ->
+                Engine.note_item_done eng cs;
+                send (Engine.Data b);
+                loop ()
+            | None -> finish ()
+            | exception Bqueue.Aborted -> raise Bqueue.Aborted
+            | exception err -> retire_src err
+          in
+          loop ()
+        end
     | Topology.Inner _ | Topology.Sink _ ->
         let is_last = Engine.is_sink_stage eng s in
         (* The callback set, local (sink, parent memory) or remote.
@@ -1162,13 +1375,230 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
           done;
           current_batch := []
         in
+        (* --- credit window -------------------------------------------
+           For fault-inert remote copies, up to [inflight] Data frames
+           ride to the worker before the first acknowledgement comes
+           back.  The worker answers in FIFO order, so settling the
+           window head against each response preserves exactly the
+           strict driver's accounting: ack → note_item_done, forward
+           the output, push the input onto the retention ring.  The
+           window is drained empty before any strict round trip (Final,
+           Finalize) and at the marker-quota barrier edge (the engine's
+           [exec_drain] hook), so barrier semantics are unchanged.
+           Crash recovery mirrors [supervised]: unacknowledged frames
+           stay queued here, a restart replays the ring (acked prefix)
+           and then re-sends the queued frames verbatim; on give-up the
+           flattened window joins [current_batch] for the retirement
+           re-route.  Injected-fault copies keep the strict path so
+           scripted crash timing is byte-for-byte reproducible. *)
+        let use_window = (not is_last) && Fault.inert cs.Engine.fstate in
+        let win : win_frame Queue.t = Queue.create () in
+        let win_bytes = ref 0 in
+        let take_unacked () =
+          let items =
+            List.concat_map
+              (fun fr -> fr.wf_items)
+              (List.of_seq (Queue.to_seq win))
+          in
+          Queue.clear win;
+          win_bytes := 0;
+          items
+        in
+        let raw_send msg =
+          let h = Option.get handles.(s).(k) in
+          match h.active with
+          | None -> raise (Remote_crash "worker is dead")
+          | Some w -> (
+              try Shm.send w.conn msg
+              with Unix.Unix_error (e, _, _) ->
+                raise
+                  (Remote_crash ("worker i/o error: " ^ Unix.error_message e)))
+        in
+        let frame_msg fr =
+          match fr.wf_items with
+          | [ it ] -> Wire.Item it
+          | items -> Wire.Batch items
+        in
+        let resubmit () =
+          Queue.iter
+            (fun fr -> if fr.wf_items <> [] then raw_send (frame_msg fr))
+            win
+        in
+        let rec recover err =
+          if Engine.aborting eng then raise Bqueue.Aborted;
+          on_fail ();
+          match Engine.on_crash eng cs with
+          | `Give_up ->
+              current_batch := take_unacked () @ !current_batch;
+              raise err
+          | `Retry delay -> (
+              if delay > 0.0 then Unix.sleepf delay;
+              match
+                restart_and_replay ();
+                resubmit ()
+              with
+              | () -> ()
+              | exception Bqueue.Aborted -> raise Bqueue.Aborted
+              | exception e -> recover e)
+        in
+        let settle fr (resp : Wire.msg) =
+          let acked_all () =
+            ignore (Queue.pop win);
+            win_bytes := !win_bytes - fr.wf_bytes
+          in
+          let ack out =
+            match fr.wf_items with
+            | [] ->
+                raise (Remote_crash "worker acknowledged more items than sent")
+            | it :: rest ->
+                Engine.note_item_done eng cs;
+                (match out with Some o -> forward o | None -> ());
+                Engine.Ring.push ring it;
+                fr.wf_items <- rest
+          in
+          match resp with
+          | Wire.Out out -> (
+              match fr.wf_items with
+              | [ _ ] ->
+                  ack out;
+                  acked_all ()
+              | _ -> recover (Remote_crash "single ack for a batch frame"))
+          | Wire.Outs (outs, err) -> (
+              match
+                List.iter ack outs;
+                (match err with
+                | Some msg -> raise (Remote_crash msg)
+                | None -> ());
+                if fr.wf_items <> [] then
+                  raise
+                    (Remote_crash "worker acknowledged fewer items than sent")
+              with
+              | () -> acked_all ()
+              | exception (Remote_crash _ as e) -> recover e)
+          | Wire.Crashed msg -> recover (Remote_crash msg)
+          | _ -> recover (Remote_crash "out-of-protocol response from worker")
+        in
+        (* Blocking settle of the window head.  [stalled] marks waits
+           forced by an exhausted credit/byte budget — that time is the
+           transport's credit-stall metric. *)
+        let collect_one ~stalled () =
+          match Queue.peek_opt win with
+          | None -> ()
+          | Some fr ->
+              let t0 = if stalled then Obs.Clock.elapsed_s () else 0.0 in
+              let r =
+                charge "process" (fun () ->
+                    match (Option.get handles.(s).(k)).active with
+                    | None -> Error (Remote_crash "worker is dead")
+                    | Some w -> (
+                        match
+                          let rec rd () =
+                            match Shm.recv w.conn with
+                            | Some (Wire.Telemetry t) ->
+                                absorb t;
+                                rd ()
+                            | Some m -> m
+                            | None ->
+                                raise
+                                  (Remote_crash "worker exited unexpectedly")
+                          in
+                          rd ()
+                        with
+                        | resp -> Ok resp
+                        | exception (Remote_crash _ as e) -> Error e
+                        | exception Unix.Unix_error (e, _, _) ->
+                            Error
+                              (Remote_crash
+                                 ("worker i/o error: " ^ Unix.error_message e))
+                        | exception Wire.Protocol_error m ->
+                            Error
+                              (Remote_crash ("worker protocol error: " ^ m))))
+              in
+              if stalled then
+                stall_s.(s).(k) <-
+                  stall_s.(s).(k) +. (Obs.Clock.elapsed_s () -. t0);
+              (match r with Ok resp -> settle fr resp | Error e -> recover e)
+        in
+        (* Opportunistic settle: consume whatever responses are already
+           waiting, without blocking. *)
+        let drain_ready () =
+          let rec go () =
+            match Queue.peek_opt win with
+            | None -> ()
+            | Some fr -> (
+                match (Option.get handles.(s).(k)).active with
+                | None -> ()
+                | Some w -> (
+                    match Shm.try_recv w.conn with
+                    | `Empty -> ()
+                    | `Msg (Wire.Telemetry t) ->
+                        absorb t;
+                        go ()
+                    | `Msg m ->
+                        settle fr m;
+                        go ()
+                    | `Eof -> recover (Remote_crash "worker exited unexpectedly")
+                    | exception Unix.Unix_error (e, _, _) ->
+                        recover
+                          (Remote_crash
+                             ("worker i/o error: " ^ Unix.error_message e))
+                    | exception Wire.Protocol_error m ->
+                        recover (Remote_crash ("worker protocol error: " ^ m)))
+                )
+          in
+          go ()
+        in
+        let rec drain_window () =
+          if not (Queue.is_empty win) then begin
+            collect_one ~stalled:false ();
+            drain_window ()
+          end
+        in
+        let submit items =
+          let est =
+            List.fold_left (fun a it -> a + Engine.item_cost it) 32 items
+          in
+          if est > big_frame_bytes then begin
+            (* An oversized frame would monopolise ring slots (or the
+               socket send buffer): settle everything in flight, then
+               take the strict one-round-trip path for this one. *)
+            drain_window ();
+            match items with
+            | [ Engine.Data b ] -> handle_data b
+            | _ ->
+                handle_data_batch
+                  (List.filter_map
+                     (function Engine.Data b -> Some b | _ -> None)
+                     items)
+          end
+          else begin
+            drain_ready ();
+            while
+              Queue.length win >= inflight || !win_bytes > inflight_byte_budget
+            do
+              collect_one ~stalled:true ()
+            done;
+            (* Queue before sending: if the send itself fails, the frame
+               is already part of the unacknowledged set and recovery
+               re-sends it. *)
+            let fr = { wf_items = items; wf_bytes = est } in
+            Queue.push fr win;
+            win_bytes := !win_bytes + est;
+            match raw_send (frame_msg fr) with
+            | () -> ()
+            | exception (Remote_crash _ as e) -> recover e
+          end
+        in
+        if use_window then drain_hooks.(s).(k) <- Some drain_window;
         let handle_final b =
+          drain_window ();
           let out = supervised "on_eos" (fun () -> call_eos b) in
           current := None;
           (match out with Some b -> forward (Engine.Final b) | None -> ());
           Engine.Ring.push ring (Engine.Final b)
         in
         let finalize_copy () =
+          drain_window ();
           let out = supervised "finalize" call_finalize in
           (match out with Some b -> forward (Engine.Final b) | None -> ());
           if not is_last then send Engine.Marker
@@ -1176,13 +1606,18 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
         let serve () =
           supervised "init" call_init;
           let serve_data m b =
-            match data_run () with
-            | [] ->
-                current := Some m;
-                handle_data b
-            | more ->
-                current := None;
-                handle_data_batch (b :: more)
+            if use_window then begin
+              current := None;
+              submit (Engine.Data b :: List.map (fun b' -> Engine.Data b') (data_run ()))
+            end
+            else
+              match data_run () with
+              | [] ->
+                  current := Some m;
+                  handle_data b
+              | more ->
+                  current := None;
+                  handle_data_batch (b :: more)
           in
           let rec eos_wait () =
             match recv () with
@@ -1217,7 +1652,10 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
         in
         (try serve () with
         | Bqueue.Aborted -> raise Bqueue.Aborted
-        | err -> retire err !current)
+        | err ->
+            (* whatever the window still held joins the re-route set *)
+            current_batch := take_unacked () @ !current_batch;
+            retire err !current)
   in
 
   let wrapped_body s k () =
@@ -1385,6 +1823,44 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
       [ ("workers", Obs.Json.Obj !entries) ]
     end
   in
+  (* Transport rollup: ring stats summed over every worker channel this
+     run touched (the counters are plain fields on the channel record,
+     so they stay readable after release/close), plus the driver-side
+     credit-stall clock.  Socket transports report zero ring stats. *)
+  let transport_section () =
+    let overflow = ref 0 and occ_hw = ref 0 and slot_b = ref 0 in
+    List.iter
+      (fun w ->
+        match Shm.stats w.conn with
+        | None -> ()
+        | Some st ->
+            overflow := !overflow + st.Shm.overflow_frames;
+            occ_hw := max !occ_hw st.Shm.occupancy_hw;
+            slot_b := max !slot_b st.Shm.slot_bytes)
+      !all_workers;
+    let stall_total = ref 0.0 in
+    let stalls = ref [] in
+    for s = n_stages - 1 downto 0 do
+      for k = Engine.slots eng s - 1 downto 0 do
+        let v = stall_s.(s).(k) in
+        if v > 0.0 then begin
+          stall_total := !stall_total +. v;
+          stalls := (label s k, Obs.Json.Float v) :: !stalls
+        end
+      done
+    done;
+    ( "transport",
+      Obs.Json.Obj
+        ([
+           ("kind", Obs.Json.Str (Shm.transport_name transport));
+           ("inflight", Obs.Json.Int inflight);
+           ("slot_bytes", Obs.Json.Int !slot_b);
+           ("overflow_frames", Obs.Json.Int !overflow);
+           ("ring_occupancy_hw", Obs.Json.Int !occ_hw);
+           ("credit_stall_s", Obs.Json.Float !stall_total);
+         ]
+        @ if !stalls = [] then [] else [ ("stalls", Obs.Json.Obj !stalls) ]) )
+  in
   let result =
     match Engine.abort_error eng with
     | Some e -> Error e
@@ -1398,20 +1874,20 @@ let run_core ?(queue_capacity = 64) ?faults ?policy ?batch ?stage_batch
                     in
                     Array.init n (fun k -> Bqueue.occupancy queues.(s).(k))))
              ?timeseries:(Option.map (fun (smp, _) -> Engine.sampler_series smp) sampler)
-             ~extra:
-               (("transport", Obs.Json.Str (Shm.transport_name transport))
-               :: workers_section ())
+             ~extra:(transport_section () :: workers_section ())
              ())
   in
   Option.iter Spill.remove_dir spill_dir;
   result
 
 let run_result ?queue_capacity ?faults ?policy ?batch ?stage_batch ?mem_budget
-    ?queue_budgets ?metrics_interval_s ?autoscale ?transport topo =
+    ?queue_budgets ?metrics_interval_s ?autoscale ?transport ?inflight
+    ?frame_bytes topo =
   run_core ?queue_capacity ?faults ?policy ?batch ?stage_batch ?mem_budget
-    ?queue_budgets ?metrics_interval_s ?autoscale ?transport topo
+    ?queue_budgets ?metrics_interval_s ?autoscale ?transport ?inflight
+    ?frame_bytes topo
 
 let pool_run_result pool ?queue_capacity ?faults ?policy ?batch ?stage_batch
-    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale topo =
+    ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale ?inflight topo =
   run_core ?queue_capacity ?faults ?policy ?batch ?stage_batch ?mem_budget
-    ?queue_budgets ?metrics_interval_s ?autoscale ~pool topo
+    ?queue_budgets ?metrics_interval_s ?autoscale ?inflight ~pool topo

@@ -33,13 +33,29 @@ val run_result :
   ?metrics_interval_s:float ->
   ?autoscale:Engine.autoscale ->
   ?transport:Shm.transport ->
+  ?inflight:int ->
+  ?frame_bytes:int ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Run to completion; [Error (Unsupported _)] when {!available} is
     [false].  [transport] picks the worker data path (default: resolved
     by {!Shm.resolve} — shared-memory rings when available, the
     [CGPPC_TRANSPORT] env var overriding); the chosen path is reported
-    in the metrics under the ["transport"] key.  [autoscale] arms the
+    in the metrics under the ["transport"] key as an object
+    [{kind; inflight; slot_bytes; overflow_frames; ring_occupancy_hw;
+    credit_stall_s; stalls?}].
+
+    [inflight] is the credit window: how many frames each driver keeps
+    in flight to its worker before waiting for an acknowledgement
+    (default 4, clamped to [1, 16]; the [CGPPC_INFLIGHT] env var
+    overrides the default when the argument is omitted).  At 1 the
+    driver is the classic strict request/response loop.  Copies with
+    injected faults always run strictly so scripted crash timing is
+    independent of the window.  [frame_bytes] sizes the shared-memory
+    ring slots from the expected largest frame (see
+    {!Engine.plan_frame_bytes} and {!Shm.plan_slot_bytes}) so batched
+    frames stay on the ring instead of overflowing to the control
+    socket.  [autoscale] arms the
     elastic-copy controller
     ({!Engine.autoscale_loop}) on a monitor domain; because forking
     after domains exist is impossible in OCaml 5, every dormant elastic
@@ -76,11 +92,14 @@ type pool
 val pool_create :
   ?workers:int ->
   ?transport:Shm.transport ->
+  ?frame_bytes:int ->
   unit ->
   (pool, Supervisor.run_error) result
 (** Fork [workers] (default 8) parked worker processes.  Must be called
     while the process is still single-domain.  [transport] sizes the
-    per-worker channels once, at fork time (default: {!Shm.resolve}). *)
+    per-worker channels once, at fork time (default: {!Shm.resolve});
+    [frame_bytes] sizes the ring slots for the largest frame the pool's
+    runs are expected to ship ({!Shm.plan_slot_bytes}). *)
 
 val pool_size : pool -> int
 (** Workers forked at creation. *)
@@ -105,10 +124,13 @@ val pool_run_result :
   ?queue_budgets:int array ->
   ?metrics_interval_s:float ->
   ?autoscale:Engine.autoscale ->
+  ?inflight:int ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
 (** Exactly {!run_result}, but workers come from the pool instead of
-    being forked: callable after domains have been spawned.  Fails with
+    being forked: callable after domains have been spawned (ring slot
+    geometry is fixed at {!pool_create} time, so there is no
+    [frame_bytes] here).  Fails with
     [Unsupported] when the pool has fewer free workers than the plan
     needs (sources need 1 each, non-sink inner copies [1 + max_retries]
     each, dormant elastic slots included) or has been shut down. *)

@@ -18,7 +18,7 @@ let pool_shutdown = Proc_runtime.pool_shutdown
 
 let run_result ?(backend = Sim) ?queue_capacity ?faults ?policy ?batch
     ?stage_batch ?mem_budget ?queue_budgets ?metrics_interval_s ?autoscale
-    ?transport ?pool topo =
+    ?transport ?inflight ?frame_bytes ?pool topo =
   match backend with
   | Sim -> (
       (* The simulator has no bounded queues, but a nonsensical capacity
@@ -37,11 +37,11 @@ let run_result ?(backend = Sim) ?queue_capacity ?faults ?policy ?batch
       | Some p ->
           Proc_runtime.pool_run_result p ?queue_capacity ?faults ?policy
             ?batch ?stage_batch ?mem_budget ?queue_budgets ?metrics_interval_s
-            ?autoscale topo
+            ?autoscale ?inflight topo
       | None ->
           Proc_runtime.run_result ?queue_capacity ?faults ?policy ?batch
             ?stage_batch ?mem_budget ?queue_budgets ?metrics_interval_s
-            ?autoscale ?transport topo)
+            ?autoscale ?transport ?inflight ?frame_bytes topo)
 
 let total_bytes = Engine.total_bytes
 let pp_metrics = Engine.pp_metrics

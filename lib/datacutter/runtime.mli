@@ -37,6 +37,7 @@ type pool = Proc_runtime.pool
 val pool_create :
   ?workers:int ->
   ?transport:transport ->
+  ?frame_bytes:int ->
   unit ->
   (pool, Supervisor.run_error) result
 
@@ -58,6 +59,8 @@ val run_result :
   ?metrics_interval_s:float ->
   ?autoscale:Engine.autoscale ->
   ?transport:transport ->
+  ?inflight:int ->
+  ?frame_bytes:int ->
   ?pool:pool ->
   Topology.t ->
   (Engine.metrics, Supervisor.run_error) result
@@ -66,10 +69,18 @@ val run_result :
     [transport] (Proc only) picks the worker data path — shared-memory
     rings by default when the platform supports them, sockets otherwise
     or on request; the metrics carry the chosen path under
-    ["transport"].  [pool] (Proc only) runs the plan on a persistent
+    ["transport"] (an object: kind, inflight, ring stats, credit-stall
+    seconds).  [inflight] (Proc only) is the credit window — how many
+    frames each driver keeps in flight to its worker before waiting for
+    an acknowledgement (default 4, clamp [1, 16], [CGPPC_INFLIGHT]
+    overrides the default; see {!Proc_runtime.run_result}).
+    [frame_bytes] (Proc only, per-run forks) sizes the shared-memory
+    ring slots for the largest expected wire frame
+    ({!Shm.plan_slot_bytes}) so batched frames stay on the ring.
+    [pool] (Proc only) runs the plan on a persistent
     {!pool} instead of forking per run — the way to execute proc plans
     after domains have been spawned; the pool's own transport then
-    applies and [transport] is ignored.
+    applies and [transport] and [frame_bytes] are ignored.
 
     [autoscale] arms the mid-run elastic-copy controller on every
     backend (see {!Engine.autoscale_tick}): a sustained-saturated

@@ -54,6 +54,7 @@ let transport_of_name s =
 
 type ring = {
   buf : (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t;
+  cbuf : Wirefmt.Big.buf;  (* char view of the same pages, for in-slot codec *)
   slots : int;  (* power of two *)
   mask : int;
   slot_words : int;  (* seq + len + payload words *)
@@ -71,27 +72,40 @@ let payload_words slot_bytes = (slot_bytes + 7) / 8
 
 (* Anonymous shared memory: temp file, unlink, ftruncate, map.  The
    kernel frees the pages with the last mapping, so even a SIGKILLed
-   process leaks nothing on disk. *)
+   process leaks nothing on disk.  The file is mapped twice — an
+   [Int64] view for the control words and a char view of the same
+   pages for the payload bytes — so [Wire]/[Wirefmt] can encode
+   frames directly into the slot with byte granularity while the
+   seq/len/tail words keep their one-store word semantics. *)
 let map_ring ~slots ~slot_bytes =
   let slot_words = 2 + payload_words slot_bytes in
   let words = hdr_words + (slots * slot_words) in
   let path = Filename.temp_file "cgppc-ring" ".shm" in
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
-  let buf =
+  let bufs =
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
         Unix.unlink path;
         Unix.ftruncate fd (words * 8);
-        Bigarray.array1_of_genarray
-          (Unix.map_file fd Bigarray.int64 Bigarray.c_layout true [| words |]))
+        let b64 =
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.int64 Bigarray.c_layout true [| words |])
+        in
+        let bc =
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.char Bigarray.c_layout true
+               [| words * 8 |])
+        in
+        (b64, bc))
   in
-  A1.fill buf 0L;
-  buf
+  A1.fill (fst bufs) 0L;
+  bufs
 
-let ring_view buf ~slots ~slot_bytes =
+let ring_view (buf, cbuf) ~slots ~slot_bytes =
   {
     buf;
+    cbuf;
     slots;
     mask = slots - 1;
     slot_words = 2 + payload_words slot_bytes;
@@ -113,57 +127,31 @@ let ring_free r =
 
 let overflow_len = -1
 
-let ring_write_raw r len blit =
+(* Byte offset of the payload area of the slot at [seq] inside the
+   char view (the payload starts two control words past the base). *)
+let payload_off r seq = (slot_base r seq + 2) * 8
+
+(* Publish the slot at the write cursor: len word, then the seq stamp
+   LAST (the payload bytes were already stored through the char view),
+   so a reader that observes the stamp observes the frame. *)
+let ring_publish r len =
   let base = slot_base r r.cursor in
   A1.unsafe_set r.buf (base + 1) (Int64.of_int len);
-  blit base;
   A1.unsafe_set r.buf base (Int64.of_int (r.cursor + 1));
   r.cursor <- r.cursor + 1
 
-let ring_write r frame ~len pad =
-  ring_write_raw r len (fun base ->
-      let full = len / 8 in
-      for i = 0 to full - 1 do
-        A1.unsafe_set r.buf (base + 2 + i) (Bytes.get_int64_le frame (8 * i))
-      done;
-      let rem = len - (8 * full) in
-      if rem > 0 then begin
-        Bytes.fill pad 0 8 '\000';
-        Bytes.blit frame (8 * full) pad 0 rem;
-        A1.unsafe_set r.buf (base + 2 + full) (Bytes.get_int64_le pad 0)
-      end)
-
-let ring_write_overflow r = ring_write_raw r overflow_len (fun _ -> ())
+let ring_write_overflow r = ring_publish r overflow_len
 
 (* Reader: has the slot at our cursor been published? *)
 let ring_ready r =
   Int64.to_int (A1.unsafe_get r.buf (slot_base r r.cursor)) = r.cursor + 1
 
-(* Consume the published slot at the cursor (caller checked
-   [ring_ready]).  Copies the frame out into [scratch] BEFORE freeing
-   the slot — once the tail advances the writer may overwrite it. *)
-let ring_read r scratch =
-  let base = slot_base r r.cursor in
-  let len = Int64.to_int (A1.unsafe_get r.buf (base + 1)) in
-  let res =
-    if len = overflow_len then `Overflow
-    else if len < 0 || len > r.payload_bytes then
-      raise
-        (Wire.Protocol_error
-           (Printf.sprintf "shm ring slot has bad frame length %d" len))
-    else begin
-      let words = (len + 7) / 8 in
-      if Bytes.length !scratch < words * 8 then
-        scratch := Bytes.create (max (words * 8) (2 * Bytes.length !scratch));
-      for i = 0 to words - 1 do
-        Bytes.set_int64_le !scratch (8 * i) (A1.unsafe_get r.buf (base + 2 + i))
-      done;
-      `Frame len
-    end
-  in
+(* Free the slot at the read cursor by republishing the tail — only
+   AFTER the payload has been decoded out, since the writer may then
+   immediately overwrite it. *)
+let ring_release r =
   A1.unsafe_set r.buf 0 (Int64.of_int (r.cursor + 1));
-  r.cursor <- r.cursor + 1;
-  res
+  r.cursor <- r.cursor + 1
 
 (* --- liveness + polling ---------------------------------------------- *)
 
@@ -213,22 +201,31 @@ type chan = {
   db : Unix.file_descr;  (* doorbell: park/wake socketpair, RCVTIMEO-bounded *)
   tx : ring;
   rx : ring;
-  rx_scratch : Bytes.t ref;  (* decode buffer for ring frames *)
   fd_scratch : Bytes.t ref;  (* receive buffer for overflow frames *)
-  pad : Bytes.t;  (* 8-byte staging for a frame's last partial word *)
+  mutable st_overflow : int;  (* frames that fell back to the socket *)
+  mutable st_occ_hw : int;  (* tx occupancy high-water, in slots *)
 }
 
 let bell = Bytes.make 1 '!'
 
 (* Wake the peer if it advertised itself parked on [flag_word] of
    [r]'s header.  Clearing the flag first keeps a stream of publishes
-   from flooding the doorbell; write errors are ignored (a full pipe
-   means wakeups are already queued, a dead peer is handled by its own
-   exit path). *)
+   from flooding the doorbell.  The write retries on EINTR (a missed
+   wakeup would otherwise cost the peer a park_timeout, and under a
+   SIGCHLD-heavy parent those add up); other errors are ignored — a
+   full pipe means wakeups are already queued, a dead peer is handled
+   by its own exit path.  A 1-byte write on a SOCK_STREAM pair cannot
+   complete short, so EINTR is the only retry case. *)
+let rec ding fd =
+  match Unix.write fd bell 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ding fd
+  | exception Unix.Unix_error _ -> ()
+
 let doorbell c r flag_word =
   if A1.unsafe_get r.buf flag_word <> 0L then begin
     A1.unsafe_set r.buf flag_word 0L;
-    try ignore (Unix.write c.db bell 0 1) with Unix.Unix_error _ -> ()
+    ding c.db
   end
 
 (* Block until [ready ()]: spin (multicore only), then park — set the
@@ -286,36 +283,66 @@ let close conn =
 
 let epipe fn = raise (Unix.Unix_error (Unix.EPIPE, fn, ""))
 
-let ring_send_frame c frame =
-  (if Bytes.length frame <= c.tx.payload_bytes then
-     ring_write c.tx frame ~len:(Bytes.length frame) c.pad
-   else begin
-     (* oversized: the marker holds the frame's ring position, the bytes
-        go over the socket — the reader re-serializes the two paths *)
-     ring_write_overflow c.tx;
-     Wire.write_frame c.c_fd frame
-   end);
+(* Encode [msg] straight into the free slot at the tx cursor (the
+   caller checked [ring_free]) — no intermediate [Bytes] frame.  When
+   the message overflows the slot, nothing was published yet, so the
+   marker + socket fallback preserves frame order exactly. *)
+let ring_send_msg c msg =
+  let r = c.tx in
+  let off = payload_off r r.cursor in
+  (match
+     let w = Wirefmt.Big.writer r.cbuf ~pos:off ~limit:(off + r.payload_bytes) in
+     Wire.encode_big w msg;
+     Wirefmt.Big.writer_pos w - off
+   with
+  | len -> ring_publish r len
+  | exception Wirefmt.Big.Overflow ->
+      c.st_overflow <- c.st_overflow + 1;
+      ring_write_overflow r;
+      Wire.write_msg c.c_fd msg);
+  (* tx occupancy against the (possibly stale) cached tail: a cheap
+     high-water pressure gauge, never above [slots] *)
+  let occ = r.cursor - r.cached_tail in
+  if occ > c.st_occ_hw then c.st_occ_hw <- occ;
   (* a frame is now available: wake a reader parked on our tx ring *)
-  doorbell c c.tx w_rd_parked
+  doorbell c r w_rd_parked
 
 let send conn msg =
   match conn with
   | Fd e -> Wire.write_msg e.fd msg
   | Ring c -> (
-      let frame = Wire.encode msg in
       match wait_until c c.tx w_wr_parked (fun () -> ring_free c.tx) with
-      | () -> ring_send_frame c frame
+      | () -> ring_send_msg c msg
       | exception Peer_dead -> epipe "Shm.send")
 
+(* Consume the published slot at the rx cursor (caller checked
+   [ring_ready]): decode the frame in place from the char view, then
+   free the slot — decoded payloads are fresh heap values, so the
+   writer overwriting the slot afterwards is harmless. *)
 let ring_consume c =
-  let read = ring_read c.rx c.rx_scratch in
-  (* a slot is now free: wake a writer parked on our rx ring *)
-  doorbell c c.rx w_wr_parked;
-  match read with
-  | `Overflow -> Wire.read_msg ~scratch:c.fd_scratch c.c_fd
-  | `Frame _len ->
-      let m, _ = Wire.decode !(c.rx_scratch) ~pos:0 in
-      Some m
+  let r = c.rx in
+  let base = slot_base r r.cursor in
+  let len = Int64.to_int (A1.unsafe_get r.buf (base + 1)) in
+  let free () =
+    ring_release r;
+    (* a slot is now free: wake a writer parked on our rx ring *)
+    doorbell c r w_wr_parked
+  in
+  if len = overflow_len then begin
+    c.st_overflow <- c.st_overflow + 1;
+    free ();
+    Wire.read_msg ~scratch:c.fd_scratch c.c_fd
+  end
+  else if len < 0 || len > r.payload_bytes then
+    raise
+      (Wire.Protocol_error
+         (Printf.sprintf "shm ring slot has bad frame length %d" len))
+  else begin
+    let off = payload_off r r.cursor in
+    let m = Wire.decode_big (Wirefmt.Big.reader r.cbuf ~pos:off ~limit:(off + len)) in
+    free ();
+    Some m
+  end
 
 let recv conn =
   match conn with
@@ -333,16 +360,99 @@ let try_send conn msg =
   | Ring c ->
       ring_free c.tx
       && begin
-           ring_send_frame c (Wire.encode msg);
+           ring_send_msg c msg;
            true
          end
 
 let try_recv conn =
   match conn with
-  | Fd _ -> ( match recv conn with Some m -> `Msg m | None -> `Eof)
+  | Fd e -> (
+      (* poll: only commit to the blocking read once at least the frame
+         header has started arriving, so a streaming driver can drain
+         ready responses between sends on either transport *)
+      match Unix.select [ e.fd ] [] [] 0.0 with
+      | [], _, _ -> `Empty
+      | _ -> ( match recv conn with Some m -> `Msg m | None -> `Eof)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Empty)
   | Ring c ->
       if not (ring_ready c.rx) then `Empty
       else ( match ring_consume c with Some m -> `Msg m | None -> `Eof)
+
+(* --- reserve / commit + peek / consume ------------------------------- *)
+
+(* The in-ring codec surface used by [send]/[recv] internally, exposed
+   so callers (and the property tests) can stage a frame directly in
+   slot memory: [reserve] hands out a bounded writer over the free
+   slot's payload window, [commit] publishes exactly the bytes written
+   through it.  Symmetrically [peek] is a bounded reader over the
+   published frame, [consume] frees the slot afterwards. *)
+
+let reserve conn =
+  match conn with
+  | Fd _ -> None
+  | Ring c ->
+      if not (ring_free c.tx) then None
+      else
+        let off = payload_off c.tx c.tx.cursor in
+        Some
+          (Wirefmt.Big.writer c.tx.cbuf ~pos:off
+             ~limit:(off + c.tx.payload_bytes))
+
+let commit conn w =
+  match conn with
+  | Fd _ -> invalid_arg "Shm.commit: socket endpoint"
+  | Ring c ->
+      let r = c.tx in
+      let len = Wirefmt.Big.writer_pos w - payload_off r r.cursor in
+      if len < 0 || len > r.payload_bytes then
+        invalid_arg "Shm.commit: writer does not match the reserved slot";
+      ring_publish r len;
+      let occ = r.cursor - r.cached_tail in
+      if occ > c.st_occ_hw then c.st_occ_hw <- occ;
+      doorbell c r w_rd_parked
+
+let peek conn =
+  match conn with
+  | Fd _ -> None
+  | Ring c ->
+      if not (ring_ready c.rx) then None
+      else
+        let r = c.rx in
+        let base = slot_base r r.cursor in
+        let len = Int64.to_int (A1.unsafe_get r.buf (base + 1)) in
+        if len < 0 || len > r.payload_bytes then None
+          (* overflow marker: the frame is on the socket — use [recv] *)
+        else
+          let off = payload_off r r.cursor in
+          Some (Wirefmt.Big.reader r.cbuf ~pos:off ~limit:(off + len))
+
+let consume conn =
+  match conn with
+  | Fd _ -> invalid_arg "Shm.consume: socket endpoint"
+  | Ring c ->
+      ring_release c.rx;
+      doorbell c c.rx w_wr_parked
+
+(* --- stats ----------------------------------------------------------- *)
+
+type stats = {
+  overflow_frames : int;
+  occupancy_hw : int;
+  slots : int;
+  slot_bytes : int;
+}
+
+let stats conn =
+  match conn with
+  | Fd _ -> None
+  | Ring c ->
+      Some
+        {
+          overflow_frames = c.st_overflow;
+          occupancy_hw = c.st_occ_hw;
+          slots = c.tx.slots;
+          slot_bytes = c.tx.payload_bytes;
+        }
 
 (* --- construction ---------------------------------------------------- *)
 
@@ -381,9 +491,9 @@ let pair ?(slots = default_slots) ?(slot_bytes = default_slot_bytes)
                 db;
                 tx = ring_view tx_buf ~slots ~slot_bytes;
                 rx = ring_view rx_buf ~slots ~slot_bytes;
-                rx_scratch = ref (Bytes.create 4096);
                 fd_scratch = ref (Bytes.create 256);
-                pad = Bytes.create 8;
+                st_overflow = 0;
+                st_occ_hw = 0;
               }
           in
           (mk fd_a db_a ab ba, mk fd_b db_b ba ab)
@@ -400,12 +510,25 @@ let pair ?(slots = default_slots) ?(slot_bytes = default_slot_bytes)
           (try Unix.close fd_b with Unix.Unix_error _ -> ());
           raise e)
 
+(* Ring slot geometry derived from the batch planner's frame-size
+   estimate: the next power of two that fits the largest planned frame
+   (plus a little framing slack), clamped to [default, 2 MiB] so a
+   wild estimate cannot map gigabytes per worker.  Slot count stays
+   fixed — capacity scales via slot size, keeping the header layout
+   and park protocol untouched. *)
+let max_slot_bytes = 2 * 1024 * 1024
+
+let plan_slot_bytes ~frame_bytes =
+  let target = frame_bytes + 64 in
+  let rec up n = if n >= target || n >= max_slot_bytes then n else up (2 * n) in
+  up default_slot_bytes
+
 let available_memo =
   lazy
     ((not Sys.win32)
     &&
     match map_ring ~slots:2 ~slot_bytes:64 with
-    | (_ : (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t) -> true
+    | _, _ -> true
     | exception _ -> false)
 
 let available () = Lazy.force available_memo

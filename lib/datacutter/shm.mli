@@ -57,6 +57,13 @@ val pair : ?slots:int -> ?slot_bytes:int -> transport -> conn * conn
     capacity per slot, default 16 KiB) size each ring; both are
     ignored for [Socket]. *)
 
+val plan_slot_bytes : frame_bytes:int -> int
+(** Ring slot size for a run whose largest planned frame is
+    [frame_bytes]: the next power of two that fits it (plus framing
+    slack), clamped to [16 KiB, 2 MiB].  Feeding the batch planner's
+    byte estimate here keeps large batches on the zero-copy ring path
+    instead of overflowing to the control socket. *)
+
 val fd_of : conn -> Unix.file_descr
 (** The underlying socket (always present — [Shm] keeps it for
     overflow frames and liveness probes).  Exposed so a forked child
@@ -74,12 +81,61 @@ val recv : conn -> Wire.msg option
 (** Blocking receive; [None] when the peer closed or died at a frame
     boundary.  @raise Wire.Protocol_error on a malformed frame. *)
 
-(** Nonblocking variants, used by tests to hit ring boundary states
-    without threads.  On a [Socket] endpoint they block like
-    {!send} / {!recv}. *)
+(** Nonblocking variants, used by the streaming driver to drain ready
+    responses between sends and by tests to hit ring boundary states
+    without threads. *)
 
 val try_send : conn -> Wire.msg -> bool
-(** [false] iff the ring has no free slot right now. *)
+(** [false] iff the ring has no free slot right now.  On a [Socket]
+    endpoint this blocks like {!send} and returns [true]. *)
 
 val try_recv : conn -> [ `Msg of Wire.msg | `Empty | `Eof ]
-(** [`Empty] iff no whole frame is currently available. *)
+(** [`Empty] iff no whole frame is currently available.  On a [Socket]
+    endpoint this polls the fd ([select] with a zero timeout) and only
+    commits to the blocking frame read once bytes are pending. *)
+
+(** {2 In-ring encode/decode}
+
+    The zero-copy surface {!send}/{!recv} use internally, exposed so a
+    caller can serialize a frame directly in slot memory: {!reserve}
+    hands out a bounded {!Wirefmt.Big.writer} over the next free tx
+    slot's payload window, {!commit} publishes exactly the bytes
+    written through it.  Symmetrically {!peek} is a bounded reader
+    over the oldest published rx frame and {!consume} frees its slot.
+    Single-producer/single-consumer discipline applies: at most one
+    outstanding reservation (or peek) per direction, committed or
+    consumed from the same thread. *)
+
+val reserve : conn -> Wirefmt.Big.writer option
+(** [None] on a [Socket] endpoint or when the tx ring is full. *)
+
+val commit : conn -> Wirefmt.Big.writer -> unit
+(** Publish the frame staged through [reserve]'s writer and ring the
+    peer's doorbell.  @raise Invalid_argument on a [Socket] endpoint
+    or a writer that does not match the reserved slot. *)
+
+val peek : conn -> Wirefmt.Big.reader option
+(** A reader bounded to exactly the published frame; [None] on a
+    [Socket] endpoint, an empty ring, or an overflow marker (the frame
+    then lives on the socket — use {!recv}).  The window is only valid
+    until {!consume}. *)
+
+val consume : conn -> unit
+(** Free the slot {!peek} exposed and ring the peer's doorbell.
+    @raise Invalid_argument on a [Socket] endpoint. *)
+
+(** {2 Stats} *)
+
+(** Counters an endpoint accumulates over its lifetime, for the
+    run-level transport metrics section. *)
+type stats = {
+  overflow_frames : int;
+      (** frames that fell back to the socket, both directions as seen
+          from this endpoint *)
+  occupancy_hw : int;  (** tx-ring occupancy high-water, in slots *)
+  slots : int;
+  slot_bytes : int;  (** per-slot frame capacity, after word round-up *)
+}
+
+val stats : conn -> stats option
+(** [None] on a [Socket] endpoint. *)

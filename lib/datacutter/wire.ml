@@ -97,108 +97,204 @@ let tag_of_msg = function
   | Crashed _ -> 'C'
   | Telemetry _ -> 'T'
 
-let add_buffer buf (b : Filter.buffer) =
-  Wirefmt.buf_add_int buf b.Filter.packet;
-  Wirefmt.buf_add_bytes buf b.Filter.data
+(* The payload codec is written once against abstract byte sinks and
+   sources, then instantiated twice: over [Buffer]/[Bytes] for the
+   socket path, and over a {!Wirefmt.Big} window for in-ring encode
+   straight into an mmap'd shm slot ([encode_big]/[decode_big] below).
+   A first-class record (not a functor) keeps the call sites
+   monomorphic-cheap and lets the two instances share every
+   message-shape decision by construction. *)
+type 'b sink = {
+  s_char : 'b -> char -> unit;
+  s_int : 'b -> int -> unit;
+  s_float : 'b -> float -> unit;
+  s_bool : 'b -> bool -> unit;
+  s_string : 'b -> string -> unit;
+  s_bytes : 'b -> Bytes.t -> unit;
+}
 
-let read_buffer r =
-  let packet = Wirefmt.read_int r in
-  let data = Wirefmt.read_bytes r in
+type 'r source = {
+  g_char : 'r -> char;
+  g_int : 'r -> int;
+  g_float : 'r -> float;
+  g_bool : 'r -> bool;
+  g_string : 'r -> string;
+  g_bytes : 'r -> Bytes.t;
+  g_left : 'r -> int;  (* bytes remaining: trailing-garbage check *)
+}
+
+let buffer_sink : Buffer.t sink =
+  {
+    s_char = Buffer.add_char;
+    s_int = Wirefmt.buf_add_int;
+    s_float = Wirefmt.buf_add_float;
+    s_bool = Wirefmt.buf_add_bool;
+    s_string = Wirefmt.buf_add_string;
+    s_bytes = Wirefmt.buf_add_bytes;
+  }
+
+let big_sink : Wirefmt.Big.writer sink =
+  {
+    s_char = Wirefmt.Big.add_char;
+    s_int = Wirefmt.Big.add_int;
+    s_float = Wirefmt.Big.add_float;
+    s_bool = Wirefmt.Big.add_bool;
+    s_string = Wirefmt.Big.add_string;
+    s_bytes = Wirefmt.Big.add_bytes;
+  }
+
+let bytes_source : Wirefmt.reader source =
+  {
+    g_char =
+      (fun (r : Wirefmt.reader) ->
+        if r.Wirefmt.pos >= r.Wirefmt.limit then
+          raise (Wirefmt.Short_read "char: empty window");
+        let c = Bytes.get r.Wirefmt.data r.Wirefmt.pos in
+        r.Wirefmt.pos <- r.Wirefmt.pos + 1;
+        c);
+    g_int = Wirefmt.read_int;
+    g_float = Wirefmt.read_float;
+    g_bool = Wirefmt.read_bool;
+    g_string = Wirefmt.read_string;
+    g_bytes = Wirefmt.read_bytes;
+    g_left = (fun (r : Wirefmt.reader) -> r.Wirefmt.limit - r.Wirefmt.pos);
+  }
+
+let big_source : Wirefmt.Big.reader source =
+  {
+    g_char = Wirefmt.Big.read_char;
+    g_int = Wirefmt.Big.read_int;
+    g_float = Wirefmt.Big.read_float;
+    g_bool = Wirefmt.Big.read_bool;
+    g_string = Wirefmt.Big.read_string;
+    g_bytes = Wirefmt.Big.read_bytes;
+    g_left = Wirefmt.Big.remaining;
+  }
+
+let add_buffer sk k (b : Filter.buffer) =
+  sk.s_int k b.Filter.packet;
+  sk.s_bytes k b.Filter.data
+
+let read_buffer src r =
+  let packet = src.g_int r in
+  let data = src.g_bytes r in
   Filter.make_buffer ~packet data
 
 (* Item kind byte used inside [Out]/[Outs]/[Batch] payloads. *)
-let add_item_opt buf = function
-  | None -> Buffer.add_char buf '\000'
+let add_item_opt sk k = function
+  | None -> sk.s_char k '\000'
   | Some (Engine.Data b) ->
-      Buffer.add_char buf '\001';
-      add_buffer buf b
+      sk.s_char k '\001';
+      add_buffer sk k b
   | Some (Engine.Final b) ->
-      Buffer.add_char buf '\002';
-      add_buffer buf b
-  | Some Engine.Marker -> Buffer.add_char buf '\003'
+      sk.s_char k '\002';
+      add_buffer sk k b
+  | Some Engine.Marker -> sk.s_char k '\003'
 
-let read_item_opt (r : Wirefmt.reader) =
-  if r.Wirefmt.pos >= r.Wirefmt.limit then
-    fail "payload missing item kind byte";
-  let kind = Bytes.get r.Wirefmt.data r.Wirefmt.pos in
-  r.Wirefmt.pos <- r.Wirefmt.pos + 1;
-  match kind with
+let read_item_opt src r =
+  match src.g_char r with
   | '\000' -> None
-  | '\001' -> Some (Engine.Data (read_buffer r))
-  | '\002' -> Some (Engine.Final (read_buffer r))
+  | '\001' -> Some (Engine.Data (read_buffer src r))
+  | '\002' -> Some (Engine.Final (read_buffer src r))
   | '\003' -> Some Engine.Marker
   | c -> fail "bad item kind byte %C in payload" c
 
-let read_item r =
-  match read_item_opt r with
+let read_item src r =
+  match read_item_opt src r with
   | Some it -> it
   | None -> fail "bare item slot cannot be empty"
 
-let add_items buf items =
-  Wirefmt.buf_add_int buf (List.length items);
-  List.iter (fun it -> add_item_opt buf (Some it)) items
+let add_items sk k items =
+  sk.s_int k (List.length items);
+  List.iter (fun it -> add_item_opt sk k (Some it)) items
 
-let read_counted what r read_one =
-  let n = Wirefmt.read_int r in
+let read_counted what src r read_one =
+  let n = src.g_int r in
   if n < 0 || n > max_frame then fail "bad %s count %d" what n;
-  List.init n (fun _ -> read_one r)
+  List.init n (fun _ -> read_one src r)
 
-let add_span buf s =
-  Wirefmt.buf_add_string buf s.s_name;
-  Wirefmt.buf_add_string buf s.s_cat;
-  Wirefmt.buf_add_float buf s.s_ts;
-  Wirefmt.buf_add_float buf s.s_dur;
-  Wirefmt.buf_add_int buf s.s_tid
+let add_span sk k s =
+  sk.s_string k s.s_name;
+  sk.s_string k s.s_cat;
+  sk.s_float k s.s_ts;
+  sk.s_float k s.s_dur;
+  sk.s_int k s.s_tid
 
-let read_span r =
-  let s_name = Wirefmt.read_string r in
-  let s_cat = Wirefmt.read_string r in
-  let s_ts = Wirefmt.read_float r in
-  let s_dur = Wirefmt.read_float r in
-  let s_tid = Wirefmt.read_int r in
+let read_span src r =
+  let s_name = src.g_string r in
+  let s_cat = src.g_string r in
+  let s_ts = src.g_float r in
+  let s_dur = src.g_float r in
+  let s_tid = src.g_int r in
   { s_name; s_cat; s_ts; s_dur; s_tid }
 
-let add_telemetry buf t =
-  Wirefmt.buf_add_int buf t.w_pid;
-  Wirefmt.buf_add_int buf (List.length t.w_spans);
-  List.iter (add_span buf) t.w_spans;
-  Wirefmt.buf_add_int buf (List.length t.w_counters);
+let add_telemetry sk k t =
+  sk.s_int k t.w_pid;
+  sk.s_int k (List.length t.w_spans);
+  List.iter (add_span sk k) t.w_spans;
+  sk.s_int k (List.length t.w_counters);
   List.iter
-    (fun (k, v) ->
-      Wirefmt.buf_add_string buf k;
-      Wirefmt.buf_add_float buf v)
+    (fun (kk, v) ->
+      sk.s_string k kk;
+      sk.s_float k v)
     t.w_counters
 
-let read_telemetry r =
-  let w_pid = Wirefmt.read_int r in
-  let w_spans = read_counted "telemetry span" r read_span in
+let read_telemetry src r =
+  let w_pid = src.g_int r in
+  let w_spans = read_counted "telemetry span" src r read_span in
   let w_counters =
-    read_counted "telemetry counter" r (fun r ->
-        let k = Wirefmt.read_string r in
-        let v = Wirefmt.read_float r in
+    read_counted "telemetry counter" src r (fun src r ->
+        let k = src.g_string r in
+        let v = src.g_float r in
         (k, v))
   in
   { w_pid; w_spans; w_counters }
 
+let encode_payload sk k (m : msg) =
+  match m with
+  | Init | Unbind | Finalize | Next | Src_finalize | Exit | Done -> ()
+  | Bind blob -> sk.s_bytes k blob
+  | Item (Engine.Data b) | Item (Engine.Final b) -> add_buffer sk k b
+  | Item Engine.Marker -> ()
+  | Batch items -> add_items sk k items
+  | Out it -> add_item_opt sk k it
+  | Outs (outs, err) ->
+      sk.s_int k (List.length outs);
+      List.iter (add_item_opt sk k) outs;
+      (match err with
+      | None -> sk.s_bool k false
+      | Some e ->
+          sk.s_bool k true;
+          sk.s_string k e)
+  | Crashed s -> sk.s_string k s
+  | Telemetry t -> add_telemetry sk k t
+
+let decode_payload src r tag : msg =
+  match tag with
+  | 'b' -> Bind (src.g_bytes r)
+  | 'U' -> Unbind
+  | 'I' -> Init
+  | 'D' -> Item (Engine.Data (read_buffer src r))
+  | 'F' -> Item (Engine.Final (read_buffer src r))
+  | 'M' -> Item Engine.Marker
+  | 'B' -> Batch (read_counted "batch item" src r read_item)
+  | 'Z' -> Finalize
+  | 'N' -> Next
+  | 'S' -> Src_finalize
+  | 'X' -> Exit
+  | 'O' -> Out (read_item_opt src r)
+  | 'P' ->
+      let outs = read_counted "outs slot" src r read_item_opt in
+      let err = if src.g_bool r then Some (src.g_string r) else None in
+      Outs (outs, err)
+  | 'K' -> Done
+  | 'C' -> Crashed (src.g_string r)
+  | 'T' -> Telemetry (read_telemetry src r)
+  | c -> fail "unknown frame tag %C" c
+
 let encode (m : msg) : Bytes.t =
   let payload = Buffer.create 64 in
-  (match m with
-  | Init | Unbind | Finalize | Next | Src_finalize | Exit | Done -> ()
-  | Bind blob -> Wirefmt.buf_add_bytes payload blob
-  | Item (Engine.Data b) | Item (Engine.Final b) -> add_buffer payload b
-  | Item Engine.Marker -> ()
-  | Batch items -> add_items payload items
-  | Out it -> add_item_opt payload it
-  | Outs (outs, err) ->
-      Wirefmt.buf_add_int payload (List.length outs);
-      List.iter (add_item_opt payload) outs;
-      (match err with
-      | None -> Wirefmt.buf_add_bool payload false
-      | Some e ->
-          Wirefmt.buf_add_bool payload true;
-          Wirefmt.buf_add_string payload e)
-  | Crashed s -> Wirefmt.buf_add_string payload s
-  | Telemetry t -> add_telemetry payload t);
+  encode_payload buffer_sink payload m;
   let len = Buffer.length payload in
   if len > max_frame then fail "frame payload %d exceeds max_frame %d" len max_frame;
   let frame = Bytes.create (header_bytes + len) in
@@ -213,36 +309,39 @@ let encode (m : msg) : Bytes.t =
    so a framing bug cannot silently smuggle data between messages. *)
 let decode_reader tag (r : Wirefmt.reader) : msg =
   let m =
-    try
-      match tag with
-      | 'b' -> Bind (Wirefmt.read_bytes r)
-      | 'U' -> Unbind
-      | 'I' -> Init
-      | 'D' -> Item (Engine.Data (read_buffer r))
-      | 'F' -> Item (Engine.Final (read_buffer r))
-      | 'M' -> Item Engine.Marker
-      | 'B' -> Batch (read_counted "batch item" r read_item)
-      | 'Z' -> Finalize
-      | 'N' -> Next
-      | 'S' -> Src_finalize
-      | 'X' -> Exit
-      | 'O' -> Out (read_item_opt r)
-      | 'P' ->
-          let outs = read_counted "outs slot" r read_item_opt in
-          let err =
-            if Wirefmt.read_bool r then Some (Wirefmt.read_string r) else None
-          in
-          Outs (outs, err)
-      | 'K' -> Done
-      | 'C' -> Crashed (Wirefmt.read_string r)
-      | 'T' -> Telemetry (read_telemetry r)
-      | c -> fail "unknown frame tag %C" c
+    try decode_payload bytes_source r tag
     with Wirefmt.Short_read m -> fail "truncated frame payload (%s)" m
   in
   if r.Wirefmt.pos <> r.Wirefmt.limit then
     fail "frame has %d trailing bytes after %C payload"
       (r.Wirefmt.limit - r.Wirefmt.pos)
       tag;
+  m
+
+(* --- in-ring frames ---------------------------------------------------- *)
+
+(* Inside an shm ring slot the 4-byte length header is redundant — the
+   slot's own length word already bounds the payload — so the in-slot
+   format is just [tag:1][payload], encoded directly into the mmap'd
+   window.  [encode_big] raises {!Wirefmt.Big.Overflow} (without having
+   published anything) when the message does not fit, and the caller
+   falls back to the framed socket encoding. *)
+let encode_big (w : Wirefmt.Big.writer) (m : msg) : unit =
+  Wirefmt.Big.add_char w (tag_of_msg m);
+  encode_payload big_sink w m
+
+let decode_big (r : Wirefmt.Big.reader) : msg =
+  let tag =
+    try Wirefmt.Big.read_char r
+    with Wirefmt.Short_read _ -> fail "empty in-ring frame"
+  in
+  let m =
+    try decode_payload big_source r tag
+    with Wirefmt.Short_read m -> fail "truncated in-ring payload (%s)" m
+  in
+  let left = Wirefmt.Big.remaining r in
+  if left <> 0 then
+    fail "in-ring frame has %d trailing bytes after %C payload" left tag;
   m
 
 let check_len len =

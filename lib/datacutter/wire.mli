@@ -72,6 +72,18 @@ val decode : Bytes.t -> pos:int -> msg * int
 (** Decode one complete frame at [pos]; returns the message and the
     offset just past it.  Raises {!Protocol_error} on truncation. *)
 
+val encode_big : Wirefmt.Big.writer -> msg -> unit
+(** Encode [msg] directly into a bigstring window — typically an shm
+    ring slot — as [tag:1][payload] (no length header: the slot's own
+    length word bounds the payload).  Raises [Wirefmt.Big.Overflow]
+    when the message does not fit; nothing is published in that case,
+    so the caller can fall back to the framed socket encoding. *)
+
+val decode_big : Wirefmt.Big.reader -> msg
+(** Inverse of {!encode_big}: decode one [tag:1][payload] frame in
+    place from a bigstring window bounded to exactly the frame.
+    Raises {!Protocol_error} on truncation or trailing bytes. *)
+
 (** Incremental decoder for streams arriving in arbitrary chunks. *)
 module Decoder : sig
   type t

@@ -33,3 +33,42 @@ val read_string : reader -> string
 
 (** Inverse of {!buf_add_bytes}: one [Bytes.sub], no string detour. *)
 val read_bytes : reader -> Bytes.t
+
+(** The same codec over a char-Bigarray window — typically a view of
+    mmap'd shared memory, so payloads are encoded directly where the
+    consumer reads them (no intermediate [Buffer]/[Bytes] staging).
+    The writer is bounded: exhausting the window raises {!Big.Overflow}
+    before anything is published, so callers can fall back to a heap
+    encoding.  Readers raise {!Short_read} like the [Bytes] reader. *)
+module Big : sig
+  type buf = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  exception Overflow
+
+  type writer
+
+  (** [writer ?pos ?limit buf] — a bounded cursor; [limit] defaults to
+      the whole array.  @raise Invalid_argument on a bad window. *)
+  val writer : ?pos:int -> ?limit:int -> buf -> writer
+
+  val writer_pos : writer -> int
+  (** Bytes written so far land in [\[pos, writer_pos)]. *)
+
+  val add_char : writer -> char -> unit
+  val add_int : writer -> int -> unit
+  val add_float : writer -> float -> unit
+  val add_bool : writer -> bool -> unit
+  val add_string : writer -> string -> unit
+  val add_bytes : writer -> Bytes.t -> unit
+
+  type reader
+
+  val reader : ?pos:int -> ?limit:int -> buf -> reader
+  val remaining : reader -> int
+  val read_char : reader -> char
+  val read_int : reader -> int
+  val read_float : reader -> float
+  val read_bool : reader -> bool
+  val read_string : reader -> string
+  val read_bytes : reader -> Bytes.t
+end

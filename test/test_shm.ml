@@ -284,14 +284,15 @@ let test_pool_stable_pids () =
           | Ok m ->
               Alcotest.(check (list int)) (label ^ ": sink") expected (got ());
               (match
-                 Obs.Json.member "transport" (Runtime.metrics_to_json m)
+                 Obs.Json.member "kind"
+                   (Obs.Json.member "transport" (Runtime.metrics_to_json m))
                with
               | Obs.Json.Str t ->
                   Alcotest.(check string)
                     (label ^ ": transport")
                     (Runtime.transport_name (Runtime.pool_transport pool))
                     t
-              | _ -> Alcotest.failf "%s: no transport key" label);
+              | _ -> Alcotest.failf "%s: no transport kind" label);
               Alcotest.(check int)
                 (label ^ ": workers returned")
                 6 (Runtime.pool_free pool);
@@ -372,6 +373,63 @@ let qcheck_roundtrip =
       Shm.close b;
       ok)
 
+(* The zero-copy surface against the Bytes codec: encode each message
+   directly into a reserved ring slot ([reserve]/[Wire.encode_big]/
+   [commit]), decode it in place from the peeked slot
+   ([peek]/[Wire.decode_big]/[consume]), and check the decoded message
+   is structurally equal both to the original and to what the plain
+   Bytes codec ([Wire.encode]/[Wire.decode]) round-trips — the two
+   paths must describe the same wire language. *)
+let msg_equal a b =
+  match (a, b) with
+  | Wire.Crashed x, Wire.Crashed y -> String.equal x y
+  | Wire.Done, Wire.Done -> true
+  | Wire.Item x, Wire.Item y -> item_equal x y
+  | Wire.Batch xs, Wire.Batch ys ->
+      List.length xs = List.length ys && List.for_all2 item_equal xs ys
+  | Wire.Out (Some x), Wire.Out (Some y) -> item_equal x y
+  | Wire.Out None, Wire.Out None -> true
+  | _ -> false
+
+let qcheck_inring_vs_bytes =
+  QCheck.Test.make ~name:"reserve/commit matches the Bytes codec" ~count:150
+    QCheck.(
+      pair
+        (string_of_size Gen.(0 -- 400))
+        (small_list (string_of_size Gen.(0 -- 100))))
+    (fun (s, batch) ->
+      QCheck.assume shm_available;
+      let a, b = Shm.pair ~slots:8 ~slot_bytes:65536 Shm.Shm in
+      let msgs =
+        [
+          Wire.Crashed s;
+          Wire.Item (Engine.Data (buffer s));
+          Wire.Batch (List.map (fun x -> Engine.Data (buffer x)) batch);
+          Wire.Out (Some (Engine.Final (buffer s)));
+          Wire.Done;
+        ]
+      in
+      let ok =
+        List.for_all
+          (fun m ->
+            match Shm.reserve a with
+            | None -> false
+            | Some w -> (
+                Wire.encode_big w m;
+                Shm.commit a w;
+                match Shm.peek b with
+                | None -> false
+                | Some r ->
+                    let got = Wire.decode_big r in
+                    Shm.consume b;
+                    let via_bytes, _ = Wire.decode (Wire.encode m) ~pos:0 in
+                    msg_equal m got && msg_equal m via_bytes))
+          msgs
+      in
+      Shm.close a;
+      Shm.close b;
+      ok)
+
 let () =
   Alcotest.run "shm"
     [
@@ -392,5 +450,9 @@ let () =
           Alcotest.test_case "three plans on stable pids" `Quick
             test_pool_stable_pids;
         ] );
-      ("codec", [ QCheck_alcotest.to_alcotest qcheck_roundtrip ]);
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_inring_vs_bytes;
+        ] );
     ]
